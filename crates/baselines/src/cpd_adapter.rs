@@ -1,0 +1,86 @@
+//! Adapter exposing a fitted CPD model through the shared baseline
+//! traits, so the experiment harness can sweep CPD and the baselines
+//! through one interface.
+
+use crate::traits::{DiffusionScorer, FriendshipScorer, Memberships};
+use cpd_core::{Cpd, CpdConfig, CpdModel, DiffusionPredictor, FitDiagnostics, UserFeatures};
+use social_graph::{DocId, SocialGraph, UserId};
+
+/// A fitted CPD (or CPD-ablation) bundled with everything needed for
+/// scoring.
+pub struct CpdMethod {
+    model: CpdModel,
+    features: UserFeatures,
+    config: CpdConfig,
+    diagnostics: FitDiagnostics,
+}
+
+impl CpdMethod {
+    /// Fit CPD with `config` on `graph`.
+    pub fn fit(graph: &SocialGraph, config: CpdConfig) -> Result<Self, String> {
+        let fit = Cpd::new(config.clone())?.fit(graph);
+        Ok(Self {
+            model: fit.model,
+            features: UserFeatures::compute(graph),
+            config,
+            diagnostics: fit.diagnostics,
+        })
+    }
+
+    /// The fitted model.
+    pub fn model(&self) -> &CpdModel {
+        &self.model
+    }
+
+    /// Fit diagnostics (timings).
+    pub fn diagnostics(&self) -> &FitDiagnostics {
+        &self.diagnostics
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &CpdConfig {
+        &self.config
+    }
+}
+
+impl Memberships for CpdMethod {
+    fn memberships(&self) -> &[Vec<f64>] {
+        &self.model.pi
+    }
+}
+
+impl FriendshipScorer for CpdMethod {
+    fn score_friendship(&self, u: UserId, v: UserId) -> f64 {
+        DiffusionPredictor::new(&self.model, &self.features, &self.config).friendship_score(u, v)
+    }
+}
+
+impl DiffusionScorer for CpdMethod {
+    fn score_diffusion(&self, graph: &SocialGraph, u: UserId, dst: DocId, t: u32) -> f64 {
+        DiffusionPredictor::new(&self.model, &self.features, &self.config).score(graph, u, dst, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpd_datagen::{generate, GenConfig, Scale};
+
+    #[test]
+    fn adapter_round_trips() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let cfg = CpdConfig {
+            em_iters: 3,
+            gibbs_sweeps: 1,
+            seed: 41,
+            ..CpdConfig::experiment(4, 6)
+        };
+        let m = CpdMethod::fit(&g, cfg).unwrap();
+        assert_eq!(m.memberships().len(), g.n_users());
+        assert!(m.score_friendship(UserId(0), UserId(1)) > 0.0);
+        let l = &g.diffusions()[0];
+        let s = m.score_diffusion(&g, g.doc(l.src).author, l.dst, l.at);
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(m.diagnostics().em_iterations, 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! A small dense logistic-regression trainer shared by the
+//! feature-based baselines.
+
+use cpd_prob::special::sigmoid;
+
+/// Fit weights by full-batch gradient descent on labelled feature
+/// vectors (all the same length). Returns the learned weights.
+pub fn fit(
+    examples: &[(Vec<f64>, bool)],
+    n_features: usize,
+    iters: usize,
+    learning_rate: f64,
+) -> Vec<f64> {
+    let mut w = vec![0.0f64; n_features];
+    if examples.is_empty() {
+        return w;
+    }
+    let n = examples.len() as f64;
+    let mut grad = vec![0.0f64; n_features];
+    for _ in 0..iters {
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for (x, label) in examples {
+            let s: f64 = w.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            let err = sigmoid(s) - if *label { 1.0 } else { 0.0 };
+            for (g, &xi) in grad.iter_mut().zip(x.iter()) {
+                *g += err * xi;
+            }
+        }
+        for (wi, g) in w.iter_mut().zip(grad.iter()) {
+            *wi -= learning_rate * g / n;
+        }
+    }
+    w
+}
+
+/// Score a feature vector under learned weights.
+#[inline]
+pub fn score(w: &[f64], x: &[f64]) -> f64 {
+    sigmoid(w.iter().zip(x.iter()).map(|(a, b)| a * b).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let mut examples = Vec::new();
+        for i in 0..200 {
+            let label = i % 2 == 0;
+            examples.push((vec![1.0, if label { 2.0 } else { -2.0 }], label));
+        }
+        let w = fit(&examples, 2, 200, 0.5);
+        assert!(w[1] > 0.5);
+        let acc = examples
+            .iter()
+            .filter(|(x, l)| (score(&w, x) > 0.5) == *l)
+            .count();
+        assert!(acc >= 195, "{acc}/200");
+    }
+
+    #[test]
+    fn empty_input_gives_zero_weights() {
+        let w = fit(&[], 3, 10, 0.1);
+        assert_eq!(w, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Uniform scoring interfaces so the experiment harness can sweep
+//! methods generically.
+
+use social_graph::{DocId, SocialGraph, UserId};
+
+/// Scores candidate diffusion events ("will `u` retweet/cite document
+/// `dst` at time `t`?"). Higher = more likely; only the ranking matters
+/// (AUC evaluation).
+pub trait DiffusionScorer {
+    /// Score the candidate diffusion.
+    fn score_diffusion(&self, graph: &SocialGraph, u: UserId, dst: DocId, t: u32) -> f64;
+}
+
+/// Scores candidate friendship links.
+pub trait FriendshipScorer {
+    /// Score the candidate link `u → v`.
+    fn score_friendship(&self, u: UserId, v: UserId) -> f64;
+}
+
+/// Exposes soft community memberships (`U x C`).
+pub trait Memberships {
+    /// The membership matrix.
+    fn memberships(&self) -> &[Vec<f64>];
+}

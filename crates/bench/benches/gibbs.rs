@@ -1,0 +1,67 @@
+//! End-to-end inference benchmarks (the timing backbone of Fig. 10):
+//! one EM iteration of CPD at two community counts, serial vs parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpd_core::{Cpd, CpdConfig};
+use cpd_datagen::{generate, GenConfig, Scale};
+
+fn bench_em_iteration(c: &mut Criterion) {
+    let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+    let mut group = c.benchmark_group("em_iteration_twitter_tiny");
+    group.sample_size(10);
+    for n_comms in [8usize, 20] {
+        group.bench_function(format!("serial_c{n_comms}"), |b| {
+            let cfg = CpdConfig {
+                em_iters: 1,
+                gibbs_sweeps: 1,
+                nu_iters: 10,
+                seed: 1,
+                ..CpdConfig::experiment(n_comms, 12)
+            };
+            let trainer = Cpd::new(cfg).unwrap();
+            b.iter(|| trainer.fit(&g));
+        });
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(2);
+    group.bench_function(format!("parallel_x{threads}_c8"), |b| {
+        let cfg = CpdConfig {
+            em_iters: 1,
+            gibbs_sweeps: 1,
+            nu_iters: 10,
+            threads: Some(threads),
+            seed: 1,
+            ..CpdConfig::experiment(8, 12)
+        };
+        let trainer = Cpd::new(cfg).unwrap();
+        b.iter(|| trainer.fit(&g));
+    });
+    group.finish();
+}
+
+fn bench_subsample_scaling(c: &mut Criterion) {
+    // Linearity probe (Fig. 10(a) in micro form): E-step time at two data
+    // fractions should roughly double.
+    let (g, _) = generate(&GenConfig::dblp_like(Scale::Tiny));
+    let mut group = c.benchmark_group("em_iteration_dblp_fraction");
+    group.sample_size(10);
+    for p in [0.5f64, 1.0] {
+        let sub = social_graph::sample::subsample(&g, p, 9);
+        group.bench_function(format!("p_{p}"), |b| {
+            let cfg = CpdConfig {
+                em_iters: 1,
+                gibbs_sweeps: 1,
+                nu_iters: 10,
+                seed: 2,
+                ..CpdConfig::experiment(8, 12)
+            };
+            let trainer = Cpd::new(cfg).unwrap();
+            b.iter(|| trainer.fit(&sub));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em_iteration, bench_subsample_scaling);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the sampling substrate: the Pólya-Gamma sampler
+//! that dominates the λ/δ passes (Eqs. 15–16), and the categorical
+//! samplers on the Gibbs hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cpd_prob::categorical::{sample_index, sample_log_index, AliasTable};
+use cpd_prob::gamma::sample_gamma;
+use cpd_prob::rng::seeded_rng;
+use polya_gamma::sample_pg1;
+
+fn bench_polya_gamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polya_gamma");
+    group.sample_size(30);
+    for z in [0.0f64, 0.5, 2.0, 10.0] {
+        group.bench_function(format!("pg1_z_{z}"), |b| {
+            let mut rng = seeded_rng(1);
+            b.iter(|| black_box(sample_pg1(&mut rng, black_box(z))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_categorical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("categorical");
+    group.sample_size(30);
+    let weights: Vec<f64> = (0..150).map(|i| 1.0 / (i + 1) as f64).collect();
+    let log_weights: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
+    group.bench_function("linear_scan_150", |b| {
+        let mut rng = seeded_rng(2);
+        b.iter(|| black_box(sample_index(&mut rng, black_box(&weights))));
+    });
+    group.bench_function("log_space_150", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| black_box(sample_log_index(&mut rng, black_box(&log_weights))));
+    });
+    group.bench_function("alias_150", |b| {
+        let table = AliasTable::new(&weights);
+        let mut rng = seeded_rng(4);
+        b.iter(|| black_box(table.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma");
+    group.sample_size(30);
+    for shape in [0.4f64, 1.0, 8.0] {
+        group.bench_function(format!("shape_{shape}"), |b| {
+            let mut rng = seeded_rng(5);
+            b.iter(|| black_box(sample_gamma(&mut rng, black_box(shape), 1.0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polya_gamma, bench_categorical, bench_gamma);
+criterion_main!(benches);

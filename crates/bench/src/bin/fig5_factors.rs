@@ -1,0 +1,133 @@
+//! **Fig. 5** — case study of the three diffusion factors on the
+//! DBLP-like dataset:
+//!
+//! * (a) individual factor — users who publish more cite more; users who
+//!   are more popular are cited more;
+//! * (b) topic factor — papers and citations of one topic track each
+//!   other over time;
+//! * (c) community factor — the top topics two communities cite each
+//!   other on are asymmetric and community-specific.
+//!
+//! Usage: `fig5_factors [tiny|small|medium]`.
+
+use cpd_bench::{print_table, scale_from_args};
+use cpd_core::{rank_communities, Cpd, CpdConfig};
+use cpd_datagen::{generate, GenConfig};
+use cpd_prob::stats::pearson;
+use social_graph::{UserId, WordId};
+
+fn main() {
+    let scale = scale_from_args();
+    let gen = GenConfig::dblp_like(scale);
+    let (g, _) = generate(&gen);
+
+    // ---- (a) Individual factor -----------------------------------------
+    let mut cites_made = vec![0usize; g.n_users()];
+    let mut cites_received = vec![0usize; g.n_users()];
+    for l in g.diffusions() {
+        cites_made[g.doc(l.src).author.index()] += 1;
+        cites_received[g.doc(l.dst).author.index()] += 1;
+    }
+    let docs_per_user: Vec<f64> = (0..g.n_users())
+        .map(|u| g.n_docs_of(UserId(u as u32)) as f64)
+        .collect();
+    let followers: Vec<f64> = (0..g.n_users())
+        .map(|u| g.followers(UserId(u as u32)) as f64)
+        .collect();
+    let made: Vec<f64> = cites_made.iter().map(|&x| x as f64).collect();
+    let received: Vec<f64> = cites_received.iter().map(|&x| x as f64).collect();
+    println!("== Fig. 5(a): individual factor ==");
+    println!(
+        "corr(#papers, #citations made)       = {:.3}   (paper: positive — active users cite more)",
+        pearson(&docs_per_user, &made)
+    );
+    println!(
+        "corr(#followers, #citations received) = {:.3}   (paper: positive — popular users are cited more)",
+        pearson(&followers, &received)
+    );
+
+    // ---- (b) Topic factor ------------------------------------------------
+    // Pick the topic with the most diffused documents; print papers vs
+    // citations per epoch.
+    let fit = Cpd::new(CpdConfig {
+        seed: 9,
+        ..CpdConfig::experiment(gen.n_communities, gen.n_topics)
+    })
+    .unwrap()
+    .fit(&g);
+    let model = &fit.model;
+    let mut diffused_per_topic = vec![0usize; gen.n_topics];
+    for l in g.diffusions() {
+        diffused_per_topic[model.doc_topic[l.dst.index()] as usize] += 1;
+    }
+    let z_star = diffused_per_topic
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(z, _)| z)
+        .unwrap_or(0);
+    let t_n = g.n_timestamps() as usize;
+    let mut papers = vec![0f64; t_n];
+    let mut citations = vec![0f64; t_n];
+    for (d, doc) in g.docs().iter().enumerate() {
+        if model.doc_topic[d] as usize == z_star {
+            papers[doc.timestamp as usize] += 1.0;
+        }
+    }
+    for l in g.diffusions() {
+        if model.doc_topic[l.dst.index()] as usize == z_star {
+            citations[l.at as usize] += 1.0;
+        }
+    }
+    let rows: Vec<Vec<String>> = (0..t_n)
+        .map(|t| {
+            vec![
+                t.to_string(),
+                format!("{:.0}", papers[t]),
+                format!("{:.0}", citations[t]),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 5(b): topic factor — papers vs citations per epoch for topic T{z_star}"),
+        &["epoch", "#papers", "#citations"],
+        &rows,
+    );
+    println!(
+        "corr(#papers_t, #citations_t) = {:.3}   (paper: highly correlated over time)",
+        pearson(&papers, &citations)
+    );
+
+    // ---- (c) Community factor ---------------------------------------------
+    // Take the top-2 communities for the most-diffused word and list the
+    // top-5 topics each cites the other on (the c18/c32 case study).
+    let mut freq = vec![0usize; g.vocab_size()];
+    for l in g.diffusions() {
+        for w in &g.doc(l.dst).words {
+            freq[w.index()] += 1;
+        }
+    }
+    let q = freq
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &f)| f)
+        .map(|(w, _)| w)
+        .unwrap_or(0);
+    let ranked = rank_communities(model, &[WordId(q as u32)]);
+    let (ca, cb) = (ranked[0].0, ranked[1].0);
+    for (x, y) in [(ca, cb), (cb, ca)] {
+        let rows: Vec<Vec<String>> = model
+            .eta
+            .top_topics(x, y, 5)
+            .iter()
+            .map(|&(z, s)| vec![format!("T{z}"), format!("{s:.5}")])
+            .collect();
+        print_table(
+            &format!("Fig. 5(c): top-5 topics c{x:02} diffuses c{y:02} on (query w{q:04})"),
+            &["Topic", "Diffusion Strength"],
+            &rows,
+        );
+    }
+    println!("\nShape check vs paper: both directions share the head topic but differ in the");
+    println!("tail — each community has its own preference for what it diffuses from the other.");
+}

@@ -1,0 +1,96 @@
+//! **Table 6** — the top-3 communities ranked for a single query
+//! (Eq. 19), with `AP@K` / `AR@K` / `AF@K` and each community's topic
+//! distribution, on the DBLP-like dataset.
+//!
+//! Usage: `table6_query [tiny|small|medium]`.
+
+use cpd_bench::{print_table, scale_from_args};
+use cpd_core::{rank_communities, Cpd, CpdConfig};
+use cpd_datagen::{generate, GenConfig};
+use cpd_eval::membership::CommunityUserSets;
+use cpd_eval::ranking::evaluate_ranking;
+use social_graph::WordId;
+
+fn main() {
+    let scale = scale_from_args();
+    let gen = GenConfig::dblp_like(scale);
+    let (g, _) = generate(&gen);
+    let cfg = CpdConfig {
+        seed: 6,
+        ..CpdConfig::experiment(gen.n_communities, gen.n_topics)
+    };
+    let fit = Cpd::new(cfg).unwrap().fit(&g);
+    let model = &fit.model;
+
+    // Query: a frequent word among *diffused* documents, excluding the
+    // global head words (the paper picks terms with diffusion frequency
+    // > 100 and removes the most frequent words, e.g. "router").
+    let mut freq = vec![0usize; g.vocab_size()];
+    for l in g.diffusions() {
+        for w in &g.doc(l.dst).words {
+            freq[w.index()] += 1;
+        }
+    }
+    let mut global = vec![0usize; g.vocab_size()];
+    for d in g.docs() {
+        for w in &d.words {
+            global[w.index()] += 1;
+        }
+    }
+    let mut head: Vec<usize> = (0..g.vocab_size()).collect();
+    head.sort_by(|&a, &b| global[b].cmp(&global[a]));
+    let head_cut: std::collections::HashSet<usize> =
+        head.into_iter().take(g.vocab_size() / 50).collect();
+    let query_word = (0..g.vocab_size())
+        .filter(|w| !head_cut.contains(w))
+        .max_by_key(|&w| freq[w])
+        .unwrap_or(0);
+    let query = vec![WordId(query_word as u32)];
+    println!(
+        "Query: w{query_word:04} (appears in {} diffused documents)",
+        freq[query_word]
+    );
+
+    // Relevant users: authors who actually diffused a document containing
+    // the query (the paper's U*_q).
+    let mut relevant = vec![false; g.n_users()];
+    for l in g.diffusions() {
+        if g.doc(l.dst).words.iter().any(|w| w.index() == query_word) {
+            relevant[g.doc(l.src).author.index()] = true;
+        }
+    }
+
+    let ranking: Vec<usize> = rank_communities(model, &query)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
+    let sets = CommunityUserSets::from_memberships(&model.pi, 5);
+    let outcome = evaluate_ranking(&sets, &ranking, &relevant, 3);
+
+    let mut rows = Vec::new();
+    for k in 0..3 {
+        let c = ranking[k];
+        let p = outcome.precision_at[k];
+        let r = outcome.recall_at[k];
+        let f = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        let topics: Vec<String> = model
+            .top_topics_of_community(c, 3)
+            .iter()
+            .map(|&(z, pz)| format!("T{z}:{pz:.3}"))
+            .collect();
+        rows.push(vec![
+            (k + 1).to_string(),
+            format!("c{c:02}"),
+            format!("{p:.3}"),
+            format!("{r:.3}"),
+            format!("{f:.3}"),
+            topics.join(", "),
+        ]);
+    }
+    print_table(
+        "Table 6: top-3 communities for the query",
+        &["K", "community", "AP@K", "AR@K", "AF@K", "Topic Distribution"],
+        &rows,
+    );
+    println!("\nShape check vs paper: AF@K should increase with K (Table 6 shows 0.483 -> 0.576 -> 0.663).");
+}

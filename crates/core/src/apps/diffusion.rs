@@ -1,0 +1,208 @@
+//! Community-aware diffusion prediction (Eq. 18):
+//!
+//! `p(E^t_ij = 1 | u, v, d_vj, t) = Σ_z p(z | d_vj) ·
+//!  σ(Σ_c Σ_c' π_uc θ_cz η_cc'z π_vc' θ_c'z + topic/individual factors)`.
+
+use crate::config::{CpdConfig, DiffusionModel};
+use crate::features::{
+    community_feature, UserFeatures, F_COMMUNITY, F_TOPIC_POP, N_FEATURES,
+};
+use crate::profiles::CpdModel;
+use cpd_prob::special::sigmoid;
+use social_graph::{DocId, SocialGraph, UserId};
+
+/// Scores candidate diffusions under a fitted model.
+pub struct DiffusionPredictor<'a> {
+    model: &'a CpdModel,
+    features: &'a UserFeatures,
+    same_as_friendship: bool,
+    individual_factor: bool,
+    topic_factor: bool,
+}
+
+impl<'a> DiffusionPredictor<'a> {
+    /// Build a predictor; `config` must be the configuration the model
+    /// was fitted with (it decides which factors are active).
+    pub fn new(model: &'a CpdModel, features: &'a UserFeatures, config: &CpdConfig) -> Self {
+        Self {
+            model,
+            features,
+            same_as_friendship: config.diffusion == DiffusionModel::SameAsFriendship,
+            individual_factor: config.individual_factor,
+            topic_factor: config.topic_factor,
+        }
+    }
+
+    /// Posterior topic distribution of a document, `p(z | d) ∝ Π_w φ_zw`
+    /// (uniform topic prior), computed in log space.
+    pub fn doc_topic_posterior(&self, graph: &SocialGraph, doc: DocId) -> Vec<f64> {
+        let z_n = self.model.n_topics();
+        let words = &graph.doc(doc).words;
+        let mut logp = vec![0.0f64; z_n];
+        for (z, lp) in logp.iter_mut().enumerate() {
+            for w in words {
+                *lp += self.model.phi[z][w.index()].max(1e-300).ln();
+            }
+        }
+        let m = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs: Vec<f64> = logp.iter().map(|&lp| (lp - m).exp()).collect();
+        let total: f64 = probs.iter().sum();
+        probs.iter_mut().for_each(|p| *p /= total);
+        probs
+    }
+
+    /// Probability that user `u` diffuses document `dst` (published by
+    /// its author `v`) at time `t` — Eq. 18.
+    pub fn score(&self, graph: &SocialGraph, u: UserId, dst: DocId, t: u32) -> f64 {
+        let v = graph.doc(dst).author;
+        if self.same_as_friendship {
+            return sigmoid(self.membership_dot(u, v));
+        }
+        let pz = self.doc_topic_posterior(graph, dst);
+        let mut x = [0.0f64; N_FEATURES];
+        self.features
+            .fill_static(&mut x, u, v, self.individual_factor);
+        let c_n = self.model.n_communities();
+        let z_n = self.model.n_topics();
+        let t_idx = (t as usize).min(self.model.topic_popularity.len().saturating_sub(1));
+        let mut acc = 0.0f64;
+        for (z, &p_z) in pz.iter().enumerate() {
+            if p_z < 1e-12 {
+                continue;
+            }
+            let s = self.soft_community_factor(u, v, z);
+            x[F_COMMUNITY] = community_feature(s, c_n, z_n);
+            x[F_TOPIC_POP] = if self.topic_factor && !self.model.topic_popularity.is_empty() {
+                self.model.topic_popularity[t_idx][z]
+            } else {
+                0.0
+            };
+            let w: f64 = self
+                .model
+                .nu
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            acc += p_z * sigmoid(w);
+        }
+        acc
+    }
+
+    /// `σ(π_uᵀ π_v)` — the friendship link predictor (Eq. 3), shared by
+    /// all CPD variants.
+    pub fn friendship_score(&self, u: UserId, v: UserId) -> f64 {
+        sigmoid(self.membership_dot(u, v))
+    }
+
+    fn membership_dot(&self, u: UserId, v: UserId) -> f64 {
+        self.model.pi[u.index()]
+            .iter()
+            .zip(&self.model.pi[v.index()])
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    fn soft_community_factor(&self, u: UserId, v: UserId, z: usize) -> f64 {
+        let c_n = self.model.n_communities();
+        let mut acc = 0.0f64;
+        for c2 in 0..c_n {
+            let w2 = self.model.pi[v.index()][c2] * self.model.theta[c2][z];
+            if w2 == 0.0 {
+                continue;
+            }
+            let mut inner = 0.0f64;
+            for c1 in 0..c_n {
+                inner += self.model.eta.at(c1, c2, z)
+                    * self.model.pi[u.index()][c1]
+                    * self.model.theta[c1][z];
+            }
+            acc += inner * w2;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cpd;
+    use cpd_datagen::{generate, GenConfig, Scale};
+    use crate::state::link_metadata;
+
+    fn fitted() -> (social_graph::SocialGraph, CpdModel, UserFeatures, CpdConfig) {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let cfg = CpdConfig {
+            em_iters: 3,
+            gibbs_sweeps: 1,
+            nu_iters: 30,
+            seed: 11,
+            ..CpdConfig::new(4, 6)
+        };
+        let fit = Cpd::new(cfg.clone()).unwrap().fit(&g);
+        let features = UserFeatures::compute(&g);
+        (g, fit.model, features, cfg)
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (g, model, features, cfg) = fitted();
+        let p = DiffusionPredictor::new(&model, &features, &cfg);
+        for lm in link_metadata(&g).iter().take(30) {
+            let s = p.score(
+                &g,
+                UserId(lm.src_author),
+                DocId(lm.dst_doc),
+                lm.at,
+            );
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn topic_posterior_normalises_and_tracks_content() {
+        let (g, model, features, cfg) = fitted();
+        let p = DiffusionPredictor::new(&model, &features, &cfg);
+        let pz = p.doc_topic_posterior(&g, DocId(0));
+        assert!((pz.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pz.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn observed_links_outscore_random_pairs_on_average() {
+        let (g, model, features, cfg) = fitted();
+        let p = DiffusionPredictor::new(&model, &features, &cfg);
+        let links = link_metadata(&g);
+        let pos: f64 = links
+            .iter()
+            .take(100)
+            .map(|lm| p.score(&g, UserId(lm.src_author), DocId(lm.dst_doc), lm.at))
+            .sum::<f64>()
+            / links.len().min(100) as f64;
+        // Random (author, doc) pairs.
+        use rand::Rng;
+        let mut rng = cpd_prob::rng::seeded_rng(1);
+        let mut neg = 0.0;
+        let n = 100;
+        for _ in 0..n {
+            let u = UserId(rng.gen_range(0..g.n_users()) as u32);
+            let d = DocId(rng.gen_range(0..g.n_docs()) as u32);
+            neg += p.score(&g, u, d, 0);
+        }
+        neg /= n as f64;
+        assert!(
+            pos > neg,
+            "positive mean {pos} should beat random mean {neg}"
+        );
+    }
+
+    #[test]
+    fn friendship_score_symmetric_and_bounded() {
+        let (_, model, features, cfg) = fitted();
+        let p = DiffusionPredictor::new(&model, &features, &cfg);
+        let a = p.friendship_score(UserId(0), UserId(1));
+        let b = p.friendship_score(UserId(1), UserId(0));
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.5 && a < 1.0); // dot of probability vectors is in (0, 1)
+    }
+}

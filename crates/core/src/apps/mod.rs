@@ -1,0 +1,7 @@
+//! The three community-level applications the profiles enable (Sect. 5):
+//! community-aware diffusion prediction, profile-driven community
+//! ranking, and profile-driven visualisation.
+
+pub mod diffusion;
+pub mod ranking;
+pub mod visualization;

@@ -1,0 +1,136 @@
+//! Profile-driven community ranking (Eq. 19):
+//!
+//! `p(s=1 | c, q) ∝ Σ_z Σ_c' η_cc'z θ_c'z Π_{w∈q} φ_zw` — which
+//! communities are most likely to diffuse content about query `q`.
+
+use crate::profiles::CpdModel;
+use social_graph::WordId;
+
+/// Rank all communities for `query`, best first, returning
+/// `(community, score)` pairs. Scores are normalised to sum to 1 for
+/// readability (the ranking is scale-invariant).
+pub fn rank_communities(model: &CpdModel, query: &[WordId]) -> Vec<(usize, f64)> {
+    let c_n = model.n_communities();
+    let z_n = model.n_topics();
+    // Query-topic affinity Π_w φ_zw, in log space.
+    let mut logq = vec![0.0f64; z_n];
+    for (z, lq) in logq.iter_mut().enumerate() {
+        for w in query {
+            *lq += model.phi[z][w.index()].max(1e-300).ln();
+        }
+    }
+    let m = logq.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let qz: Vec<f64> = logq.iter().map(|&l| (l - m).exp()).collect();
+
+    let mut scores: Vec<(usize, f64)> = (0..c_n)
+        .map(|c| {
+            let mut s = 0.0f64;
+            for (z, &q) in qz.iter().enumerate() {
+                if q < 1e-14 {
+                    continue;
+                }
+                let mut inner = 0.0f64;
+                for c2 in 0..c_n {
+                    inner += model.eta.at(c, c2, z) * model.theta[c2][z];
+                }
+                s += q * inner;
+            }
+            (c, s)
+        })
+        .collect();
+    let total: f64 = scores.iter().map(|&(_, s)| s).sum();
+    if total > 0.0 {
+        for (_, s) in scores.iter_mut() {
+            *s /= total;
+        }
+    }
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+    scores
+}
+
+/// The query-topic distribution `p(z | q)` used by the ranking — exposed
+/// for the Table 6 case study ("Topic Distribution" column).
+pub fn query_topics(model: &CpdModel, query: &[WordId]) -> Vec<(usize, f64)> {
+    let z_n = model.n_topics();
+    let mut logq = vec![0.0f64; z_n];
+    for (z, lq) in logq.iter_mut().enumerate() {
+        for w in query {
+            *lq += model.phi[z][w.index()].max(1e-300).ln();
+        }
+    }
+    let m = logq.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut qz: Vec<f64> = logq.iter().map(|&l| (l - m).exp()).collect();
+    let total: f64 = qz.iter().sum();
+    qz.iter_mut().for_each(|q| *q /= total);
+    let mut pairs: Vec<(usize, f64)> = qz.into_iter().enumerate().collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::Eta;
+
+    /// A hand-built model where community 0 diffuses topic 0 and
+    /// community 1 diffuses topic 1, with disjoint vocabularies.
+    fn toy_model() -> CpdModel {
+        // eta counts: c-major [c][c'][z]
+        #[rustfmt::skip]
+        let counts = vec![
+            // c = 0: diffuses itself on topic 0
+            10.0, 0.0,   0.0, 0.0,
+            // c = 1: diffuses itself on topic 1
+            0.0, 0.0,    0.0, 10.0,
+        ];
+        CpdModel {
+            pi: vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+            theta: vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+            phi: vec![vec![0.8, 0.1, 0.1], vec![0.1, 0.1, 0.8]],
+            eta: Eta::from_counts(2, 2, &counts, 0.01),
+            nu: vec![0.0; crate::features::N_FEATURES],
+            topic_popularity: vec![vec![0.5, 0.5]],
+            doc_community: vec![],
+            doc_topic: vec![],
+        }
+    }
+
+    #[test]
+    fn query_routes_to_matching_community() {
+        let m = toy_model();
+        // Word 0 belongs to topic 0 → community 0 should rank first.
+        let r = rank_communities(&m, &[WordId(0)]);
+        assert_eq!(r[0].0, 0);
+        // Word 2 belongs to topic 1 → community 1 first.
+        let r = rank_communities(&m, &[WordId(2)]);
+        assert_eq!(r[0].0, 1);
+    }
+
+    #[test]
+    fn scores_normalise_and_sort_desc() {
+        let m = toy_model();
+        let r = rank_communities(&m, &[WordId(0), WordId(0)]);
+        let total: f64 = r.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(r[0].1 >= r[1].1);
+    }
+
+    #[test]
+    fn query_topics_identify_topic() {
+        let m = toy_model();
+        let qt = query_topics(&m, &[WordId(2), WordId(2)]);
+        assert_eq!(qt[0].0, 1);
+        assert!(qt[0].1 > 0.9);
+        let total: f64 = qt.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiword_queries_multiply_evidence() {
+        let m = toy_model();
+        let one = query_topics(&m, &[WordId(0)]);
+        let three = query_topics(&m, &[WordId(0), WordId(0), WordId(0)]);
+        // More repetitions of a topic-0 word → more confident topic 0.
+        assert!(three[0].1 > one[0].1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Profile-driven community visualisation (Sect. 5 / Fig. 7): export the
+//! community diffusion graph — topic-aggregated or for a single topic —
+//! as Graphviz DOT or JSON. Following the paper, edges below the average
+//! strength are skipped for readability.
+//!
+//! (`serde_json` is not on the offline dependency allowlist, so the JSON
+//! writer is a small hand-rolled serialiser for this one fixed shape.)
+
+use crate::profiles::CpdModel;
+
+/// A directed community-to-community edge with a diffusion strength.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffusionEdge {
+    /// Source community.
+    pub from: usize,
+    /// Target community.
+    pub to: usize,
+    /// `η` strength (topic-aggregated or single-topic).
+    pub strength: f64,
+}
+
+/// All directed edges of the diffusion graph. `topic = None` aggregates
+/// over topics (`Σ_z η_cc'z`); `Some(z)` restricts to one topic.
+pub fn diffusion_edges(model: &CpdModel, topic: Option<usize>) -> Vec<DiffusionEdge> {
+    let c_n = model.n_communities();
+    let mut edges = Vec::with_capacity(c_n * c_n);
+    for from in 0..c_n {
+        for to in 0..c_n {
+            let strength = match topic {
+                Some(z) => model.eta.at(from, to, z),
+                None => model.eta.aggregate_strength(from, to),
+            };
+            edges.push(DiffusionEdge { from, to, strength });
+        }
+    }
+    edges
+}
+
+/// Edges above the mean strength (the paper's display rule).
+pub fn significant_edges(model: &CpdModel, topic: Option<usize>) -> Vec<DiffusionEdge> {
+    let edges = diffusion_edges(model, topic);
+    let mean = edges.iter().map(|e| e.strength).sum::<f64>() / edges.len().max(1) as f64;
+    edges.into_iter().filter(|e| e.strength > mean).collect()
+}
+
+/// Graphviz DOT rendering. `labels` (optional) names the communities;
+/// edge pen widths scale with strength.
+pub fn to_dot(model: &CpdModel, topic: Option<usize>, labels: Option<&[String]>) -> String {
+    let edges = significant_edges(model, topic);
+    let max = edges
+        .iter()
+        .map(|e| e.strength)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = String::from("digraph diffusion {\n  rankdir=LR;\n  node [shape=ellipse];\n");
+    for c in 0..model.n_communities() {
+        let label = labels
+            .and_then(|l| l.get(c).cloned())
+            .unwrap_or_else(|| format!("c{c:02}"));
+        out.push_str(&format!("  c{c} [label=\"{label}\"];\n"));
+    }
+    for e in &edges {
+        let width = 0.5 + 4.5 * e.strength / max;
+        out.push_str(&format!(
+            "  c{} -> c{} [penwidth={:.2}, label=\"{:.4}\"];\n",
+            e.from, e.to, width, e.strength
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// JSON rendering: `{"topic": ..., "nodes": [...], "edges": [{...}]}`.
+pub fn to_json(model: &CpdModel, topic: Option<usize>) -> String {
+    let edges = significant_edges(model, topic);
+    let mut out = String::from("{");
+    match topic {
+        Some(z) => out.push_str(&format!("\"topic\": {z}, ")),
+        None => out.push_str("\"topic\": null, "),
+    }
+    out.push_str("\"nodes\": [");
+    for c in 0..model.n_communities() {
+        if c > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{c}"));
+    }
+    out.push_str("], \"edges\": [");
+    for (i, e) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"from\": {}, \"to\": {}, \"strength\": {:.6}}}",
+            e.from, e.to, e.strength
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The "openness" of a community (Sect. 6.3.3 discussion): the share of
+/// its outgoing diffusion strength that leaves the community.
+pub fn openness(model: &CpdModel, c: usize) -> f64 {
+    let total: f64 = (0..model.n_communities())
+        .map(|c2| model.eta.aggregate_strength(c, c2))
+        .sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let external: f64 = (0..model.n_communities())
+        .filter(|&c2| c2 != c)
+        .map(|c2| model.eta.aggregate_strength(c, c2))
+        .sum();
+    external / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::Eta;
+
+    fn model() -> CpdModel {
+        #[rustfmt::skip]
+        let counts = vec![
+            // c0: strongly diffuses itself on z0, weakly c1 on z1.
+            8.0, 0.0,  0.0, 2.0,
+            // c1: only diffuses itself on z1.
+            0.0, 0.0,  0.0, 10.0,
+        ];
+        CpdModel {
+            pi: vec![],
+            theta: vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            phi: vec![vec![1.0], vec![1.0]],
+            eta: Eta::from_counts(2, 2, &counts, 0.0),
+            nu: vec![0.0; crate::features::N_FEATURES],
+            topic_popularity: vec![],
+            doc_community: vec![],
+            doc_topic: vec![],
+        }
+    }
+
+    #[test]
+    fn aggregated_edges_cover_all_pairs() {
+        let m = model();
+        let edges = diffusion_edges(&m, None);
+        assert_eq!(edges.len(), 4);
+        let self0 = edges
+            .iter()
+            .find(|e| e.from == 0 && e.to == 0)
+            .unwrap()
+            .strength;
+        assert!((self0 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn significant_filter_drops_weak_edges() {
+        let m = model();
+        let sig = significant_edges(&m, None);
+        // Mean strength = (0.8 + 0.2 + 0 + 1.0)/4 = 0.5; keep 0.8 and 1.0.
+        assert_eq!(sig.len(), 2);
+        assert!(sig.iter().all(|e| e.strength > 0.5));
+    }
+
+    #[test]
+    fn per_topic_view_differs_from_aggregate() {
+        let m = model();
+        let z0 = diffusion_edges(&m, Some(0));
+        let z1 = diffusion_edges(&m, Some(1));
+        let e00_z0 = z0.iter().find(|e| e.from == 0 && e.to == 0).unwrap();
+        let e00_z1 = z1.iter().find(|e| e.from == 0 && e.to == 0).unwrap();
+        assert!(e00_z0.strength > e00_z1.strength);
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let m = model();
+        let dot = to_dot(&m, None, None);
+        assert!(dot.starts_with("digraph diffusion {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("c0 ->") || dot.contains("c1 ->"));
+        assert!(dot.contains("penwidth"));
+        // Custom labels.
+        let labels = vec!["networks".to_string(), "databases".to_string()];
+        let dot = to_dot(&m, None, Some(&labels));
+        assert!(dot.contains("networks"));
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let m = model();
+        let json = to_json(&m, Some(1));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"topic\": 1"));
+        assert!(json.contains("\"edges\": ["));
+        assert!(json.contains("\"strength\""));
+        let json_agg = to_json(&m, None);
+        assert!(json_agg.contains("\"topic\": null"));
+    }
+
+    #[test]
+    fn openness_separates_open_and_closed() {
+        let m = model();
+        // c0 sends 0.2 of its strength outward; c1 sends none.
+        assert!((openness(&m, 0) - 0.2).abs() < 1e-12);
+        assert_eq!(openness(&m, 1), 0.0);
+        assert!(openness(&m, 0) > openness(&m, 1));
+    }
+}

@@ -1,0 +1,719 @@
+//! Collapsed Gibbs sampling (Eqs. 13–16 of the paper).
+//!
+//! Per document the sweep resamples the topic `z_ui` (Eq. 13) and the
+//! community `c_ui` (Eq. 14); per link it resamples the Pólya-Gamma
+//! augmentation variables `λ_uv` (Eq. 15) and `δ_ij` (Eq. 16). The link
+//! factors enter through `ln ψ(w, x) = w/2 − x·w²/2` (Eq. 7).
+//!
+//! Candidate scoring uses the incremental decompositions documented in
+//! DESIGN.md §2: membership dot products and the bilinear community
+//! factor are evaluated in O(1) per candidate after an O(|C|)/O(|C|²)
+//! per-neighbour precomputation, matching the paper's stated
+//! `O(|C||F| + |C|²|E|)` sweep complexity. When resampling a *topic*
+//! with incident diffusion links the community pair is held at its
+//! current hard assignment (the dominant term of the bilinear form).
+
+use crate::config::{CpdConfig, DiffusionModel};
+use crate::features::{
+    community_feature, UserFeatures, F_COMMUNITY, F_TOPIC_POP, N_FEATURES,
+};
+use crate::profiles::Eta;
+use crate::state::{CpdState, LinkMeta};
+use cpd_prob::categorical::sample_log_index;
+use polya_gamma::sample_pg1;
+use rand::rngs::StdRng;
+use rand::Rng;
+use social_graph::{DocId, SocialGraph, UserId};
+
+/// Which factors a sweep samples — the "no joint modeling" ablation
+/// trains in two phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SweepPhase {
+    /// Joint: topics and communities, all factors.
+    Full,
+    /// Phase 1 of two-phase training: communities from friendship links
+    /// only (Eq. 3 as the sole evidence).
+    DetectOnly,
+    /// Phase 2 of two-phase training: topics only, communities frozen.
+    ProfileOnly,
+}
+
+/// Immutable per-fit context shared by all sweeps (and all threads).
+pub(crate) struct SweepContext<'a> {
+    pub graph: &'a SocialGraph,
+    pub config: &'a CpdConfig,
+    pub eta: &'a Eta,
+    pub nu: &'a [f64],
+    pub features: &'a UserFeatures,
+    pub links: &'a [LinkMeta],
+    pub alpha: f64,
+    pub rho: f64,
+    pub beta: f64,
+}
+
+impl<'a> SweepContext<'a> {
+    pub(crate) fn new(
+        graph: &'a SocialGraph,
+        config: &'a CpdConfig,
+        eta: &'a Eta,
+        nu: &'a [f64],
+        features: &'a UserFeatures,
+        links: &'a [LinkMeta],
+    ) -> Self {
+        Self {
+            graph,
+            config,
+            eta,
+            nu,
+            features,
+            links,
+            alpha: config.resolved_alpha(),
+            rho: config.resolved_rho(),
+            beta: config.beta,
+        }
+    }
+
+    #[inline]
+    fn dot_nu(&self, x: &[f64; N_FEATURES]) -> f64 {
+        self.nu.iter().zip(x.iter()).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// `ln ψ(w, x) = w/2 − x w² / 2` (Eq. 7).
+#[inline]
+fn ln_psi(w: f64, pg: f64) -> f64 {
+    0.5 * w - 0.5 * pg * w * w
+}
+
+/// One full sweep over the documents of `users` (topic then community per
+/// document, in user order). `state` must contain consistent counts.
+pub(crate) fn sweep_user_docs(
+    ctx: &SweepContext<'_>,
+    state: &mut CpdState,
+    users: &[u32],
+    rng: &mut StdRng,
+    phase: SweepPhase,
+) {
+    for &u in users {
+        // Collect to release the borrow on graph adjacency while mutating
+        // state (doc lists are small).
+        let docs: Vec<DocId> = ctx.graph.docs_of(UserId(u)).collect();
+        for d in docs {
+            if phase != SweepPhase::DetectOnly {
+                sample_topic(ctx, state, d.index(), rng, phase);
+            }
+            if phase != SweepPhase::ProfileOnly {
+                sample_community(ctx, state, d.index(), rng, phase);
+            }
+        }
+    }
+}
+
+// --- Topic resampling (Eq. 13) -----------------------------------------
+
+fn sample_topic(
+    ctx: &SweepContext<'_>,
+    state: &mut CpdState,
+    d: usize,
+    rng: &mut StdRng,
+    phase: SweepPhase,
+) {
+    let doc = &ctx.graph.docs()[d];
+    let z_n = state.n_topics;
+    let w_n = state.vocab_size;
+    let c = state.doc_community[d] as usize;
+    let t = doc.timestamp as usize;
+    let z_old = state.doc_topic[d] as usize;
+
+    // Remove the document entirely (the ¬{ui} state).
+    state.n_cz[c * z_n + z_old] -= 1;
+    state.n_c[c] -= 1;
+    for w in &doc.words {
+        state.n_zw[z_old * w_n + w.index()] -= 1;
+        state.n_z[z_old] -= 1;
+    }
+    state.n_tz[t * z_n + z_old] -= 1;
+    state.n_t[t] -= 1;
+
+    let mut lw = vec![0.0f64; z_n];
+    // Community-topic factor: ln(n^z_{c,¬ui} + α); the denominator is
+    // constant across candidates.
+    for (z, l) in lw.iter_mut().enumerate() {
+        *l = (state.n_cz[c * z_n + z] as f64 + ctx.alpha).ln();
+    }
+    // Topic-word factor with within-document repetition offsets.
+    let len = doc.words.len();
+    for z in 0..z_n {
+        let mut acc = 0.0f64;
+        for (k, w) in doc.words.iter().enumerate() {
+            // i-th occurrence of this word within the doc (docs are short;
+            // the quadratic scan is cheaper than a hash map here).
+            let prior = doc.words[..k].iter().filter(|x| *x == w).count();
+            acc += (state.n_zw[z * w_n + w.index()] as f64 + ctx.beta + prior as f64).ln();
+        }
+        for j in 0..len {
+            acc -= (state.n_z[z] as f64 + w_n as f64 * ctx.beta + j as f64).ln();
+        }
+        lw[z] += acc;
+    }
+
+    // Diffusion factor: links where this document is the *diffused*
+    // source — their link topic is this document's topic. (Links where
+    // this document is the diffuser carry the other end's topic and do
+    // not depend on the candidate.)
+    if (phase == SweepPhase::Full || phase == SweepPhase::ProfileOnly)
+        && ctx.config.diffusion == DiffusionModel::Full {
+            for &lid in ctx.graph.diffusion_links_of(DocId(d as u32)) {
+                let lm = &ctx.links[lid as usize];
+                if lm.dst_doc as usize != d {
+                    continue;
+                }
+                let delta = state.delta[lid as usize];
+                let diffuser_doc = lm.src_doc as usize;
+                let ck = state.doc_community[diffuser_doc] as usize;
+                let uk = lm.src_author as usize;
+                let pi_pair = state.pi_hat(uk, ck, ctx.rho)
+                    * state.pi_hat(doc.author.index(), c, ctx.rho);
+                let mut x = [0.0f64; N_FEATURES];
+                ctx.features.fill_static(
+                    &mut x,
+                    UserId(lm.src_author),
+                    UserId(lm.dst_author),
+                    ctx.config.individual_factor,
+                );
+                let at = lm.at as usize;
+                for (z, l) in lw.iter_mut().enumerate() {
+                    // Hard-pair community factor at (c_k, c) for topic z.
+                    let s = ctx.eta.at(ck, c, z)
+                        * state.theta_hat(ck, z, ctx.alpha)
+                        * state.theta_hat(c, z, ctx.alpha)
+                        * pi_pair;
+                    x[F_COMMUNITY] =
+                        community_feature(s, state.n_communities, z_n);
+                    x[F_TOPIC_POP] = if ctx.config.topic_factor {
+                        state.topic_popularity(at, z)
+                    } else {
+                        0.0
+                    };
+                    *l += ln_psi(ctx.dot_nu(&x), delta);
+                }
+            }
+        }
+        // SameAsFriendship diffusion has no topic dependence.
+
+    let z_new = sample_log_index(rng, &lw);
+
+    state.doc_topic[d] = z_new as u32;
+    state.n_cz[c * z_n + z_new] += 1;
+    state.n_c[c] += 1;
+    for w in &doc.words {
+        state.n_zw[z_new * w_n + w.index()] += 1;
+        state.n_z[z_new] += 1;
+    }
+    state.n_tz[t * z_n + z_new] += 1;
+    state.n_t[t] += 1;
+}
+
+// --- Community resampling (Eq. 14) --------------------------------------
+
+fn sample_community(
+    ctx: &SweepContext<'_>,
+    state: &mut CpdState,
+    d: usize,
+    rng: &mut StdRng,
+    phase: SweepPhase,
+) {
+    let doc = &ctx.graph.docs()[d];
+    let c_n = state.n_communities;
+    let z_n = state.n_topics;
+    let u = doc.author.index();
+    let z = state.doc_topic[d] as usize;
+    let c_old = state.doc_community[d] as usize;
+
+    // Remove the document (community side).
+    state.n_uc[u * c_n + c_old] -= 1;
+    state.n_cz[c_old * z_n + z] -= 1;
+    state.n_c[c_old] -= 1;
+
+    let mut lw = vec![0.0f64; c_n];
+    // User-community prior: ln(n^c_{u,¬ui} + ρ) (denominator constant).
+    for (c, l) in lw.iter_mut().enumerate() {
+        *l = (state.n_uc[u * c_n + c] as f64 + ctx.rho).ln();
+    }
+    // Community-topic factor, with its candidate-dependent denominator.
+    if phase != SweepPhase::DetectOnly {
+        for (c, l) in lw.iter_mut().enumerate() {
+            *l += (state.n_cz[c * z_n + z] as f64 + ctx.alpha).ln()
+                - (state.n_c[c] as f64 + z_n as f64 * ctx.alpha).ln();
+        }
+    }
+
+    // π̂_u(c) denominator with the document re-added.
+    let denom_u = state.n_u[u] as f64 + c_n as f64 * ctx.rho;
+
+    // Friendship factor over Λ_u (Eq. 3 evidence through ψ(·, λ)).
+    if ctx.config.use_friendship {
+        add_membership_link_terms(
+            ctx,
+            state,
+            u,
+            denom_u,
+            &mut lw,
+            rng,
+            MembershipLinks::Friendship,
+        );
+    }
+
+    // Diffusion factor over Λ_i.
+    if phase != SweepPhase::DetectOnly {
+        match ctx.config.diffusion {
+            DiffusionModel::SameAsFriendship => {
+                add_membership_link_terms(
+                    ctx,
+                    state,
+                    u,
+                    denom_u,
+                    &mut lw,
+                    rng,
+                    MembershipLinks::DiffusionOf(d),
+                );
+            }
+            DiffusionModel::Full => {
+                add_full_diffusion_terms(ctx, state, d, u, denom_u, &mut lw);
+            }
+        }
+    }
+
+    let c_new = sample_log_index(rng, &lw);
+
+    state.doc_community[d] = c_new as u32;
+    state.n_uc[u * c_n + c_new] += 1;
+    state.n_cz[c_new * z_n + z] += 1;
+    state.n_c[c_new] += 1;
+}
+
+/// Which links feed the membership-similarity factor.
+enum MembershipLinks {
+    /// `Λ_u` — friendship links of the document's author.
+    Friendship,
+    /// Diffusion links of document `d`, modelled like friendship links
+    /// (the "no heterogeneity" ablation).
+    DiffusionOf(usize),
+}
+
+/// Add `Σ ln ψ(π̂_u(c)ᵀ π̂_v, pg)` terms to `lw` for each linked partner
+/// `v`, using the O(1)-per-candidate incremental dot product.
+fn add_membership_link_terms(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    u: usize,
+    denom_u: f64,
+    lw: &mut [f64],
+    rng: &mut StdRng,
+    which: MembershipLinks,
+) {
+    let c_n = state.n_communities;
+    let (link_ids, partner_of, pg_of): (Vec<u32>, Vec<usize>, &[f64]) = match which {
+        MembershipLinks::Friendship => {
+            let ids = ctx.graph.friend_links_of(UserId(u as u32)).to_vec();
+            let partners = ids
+                .iter()
+                .map(|&lid| {
+                    let l = ctx.graph.friendships()[lid as usize];
+                    if l.from.index() == u {
+                        l.to.index()
+                    } else {
+                        l.from.index()
+                    }
+                })
+                .collect();
+            (ids, partners, &state.lambda)
+        }
+        MembershipLinks::DiffusionOf(d) => {
+            let ids = ctx.graph.diffusion_links_of(DocId(d as u32)).to_vec();
+            let partners = ids
+                .iter()
+                .map(|&lid| {
+                    let lm = &ctx.links[lid as usize];
+                    if lm.src_doc as usize == d {
+                        lm.dst_author as usize
+                    } else {
+                        lm.src_author as usize
+                    }
+                })
+                .collect();
+            (ids, partners, &state.delta)
+        }
+    };
+
+    let cap = ctx.config.max_neighbors;
+    let total = link_ids.len();
+    let use_all = cap == 0 || total <= cap;
+    let picks = if use_all { total } else { cap };
+    for pick in 0..picks {
+        let idx = if use_all {
+            pick
+        } else {
+            rng.gen_range(0..total)
+        };
+        let lid = link_ids[idx] as usize;
+        let v = partner_of[idx];
+        if v == u {
+            continue;
+        }
+        let pg = pg_of[lid];
+        let denom_v = state.n_u[v] as f64 + c_n as f64 * ctx.rho;
+        // S_v = Σ_c (n¬_uc + ρ) π̂_vc  (u's counts currently exclude the doc).
+        let mut s_v = 0.0f64;
+        for c in 0..c_n {
+            s_v += (state.n_uc[u * c_n + c] as f64 + ctx.rho)
+                * (state.n_uc[v * c_n + c] as f64 + ctx.rho);
+        }
+        s_v /= denom_v;
+        for (c, l) in lw.iter_mut().enumerate() {
+            let p_vc = (state.n_uc[v * c_n + c] as f64 + ctx.rho) / denom_v;
+            let dot = (s_v + p_vc) / denom_u;
+            *l += ln_psi(dot, pg);
+        }
+    }
+}
+
+/// Add the full Eq. 5 diffusion terms for every link incident to doc `d`
+/// while resampling its community. O(|C|²) per link for the bilinear
+/// precomputation, then O(1) per candidate.
+fn add_full_diffusion_terms(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    d: usize,
+    u: usize,
+    denom_u: f64,
+    lw: &mut [f64],
+) {
+    let c_n = state.n_communities;
+    let z_n = state.n_topics;
+    for &lid in ctx.graph.diffusion_links_of(DocId(d as u32)) {
+        let lm = &ctx.links[lid as usize];
+        let delta = state.delta[lid as usize];
+        let d_is_diffuser = lm.src_doc as usize == d;
+        // Link topic: the *source* document's topic. When d is the source
+        // that is d's own (fixed) topic; otherwise the partner's.
+        let zl = state.doc_topic[lm.dst_doc as usize] as usize;
+        // Fixed-side user and candidate-side pairing.
+        let other_author = if d_is_diffuser {
+            lm.dst_author as usize
+        } else {
+            lm.src_author as usize
+        };
+        // g[c_cand] = Σ_{c_other} η(pair) π̂_{other} θ̂_{other} with the
+        // candidate index in the right slot of η.
+        let mut g = vec![0.0f64; c_n];
+        for c_other in 0..c_n {
+            let w_other = state.pi_hat(other_author, c_other, ctx.rho)
+                * state.theta_hat(c_other, zl, ctx.alpha);
+            if w_other == 0.0 {
+                continue;
+            }
+            for (c_cand, gc) in g.iter_mut().enumerate() {
+                let e = if d_is_diffuser {
+                    // candidate is the diffusing side c1: η[c1][c2][z]
+                    ctx.eta.at(c_cand, c_other, zl)
+                } else {
+                    // candidate is the source side c2: η[c1][c2][z]
+                    ctx.eta.at(c_other, c_cand, zl)
+                };
+                *gc += e * w_other;
+            }
+        }
+        // T0 = Σ_c (n¬_uc + ρ) θ̂_{c,zl} g[c].
+        let mut t0 = 0.0f64;
+        for c in 0..c_n {
+            t0 += (state.n_uc[u * c_n + c] as f64 + ctx.rho)
+                * state.theta_hat(c, zl, ctx.alpha)
+                * g[c];
+        }
+        let mut x = [0.0f64; N_FEATURES];
+        ctx.features.fill_static(
+            &mut x,
+            UserId(lm.src_author),
+            UserId(lm.dst_author),
+            ctx.config.individual_factor,
+        );
+        x[F_TOPIC_POP] = if ctx.config.topic_factor {
+            state.topic_popularity(lm.at as usize, zl)
+        } else {
+            0.0
+        };
+        for (c, l) in lw.iter_mut().enumerate() {
+            let s = (t0 + state.theta_hat(c, zl, ctx.alpha) * g[c]) / denom_u;
+            x[F_COMMUNITY] = community_feature(s, c_n, z_n);
+            *l += ln_psi(ctx.dot_nu(&x), delta);
+        }
+    }
+}
+
+// --- Pólya-Gamma resampling (Eqs. 15–16) ---------------------------------
+
+/// Resample `λ_uv ~ PG(1, π̂_uᵀπ̂_v)` for the friendship links in
+/// `[lo, hi)`, writing into `out` (parallel-friendly range API).
+pub(crate) fn resample_lambda_range(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    lo: usize,
+    hi: usize,
+    out: &mut [f64],
+    rng: &mut StdRng,
+) {
+    for (slot, lid) in (lo..hi).enumerate() {
+        let l = ctx.graph.friendships()[lid];
+        let w = state.membership_dot(l.from.index(), l.to.index(), ctx.rho);
+        out[slot] = sample_pg1(rng, w);
+    }
+}
+
+/// Compute the full (soft) Eq. 5 logit and feature vector for diffusion
+/// link `lm` under the current state.
+pub(crate) fn diffusion_logit(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    lm: &LinkMeta,
+) -> (f64, [f64; N_FEATURES]) {
+    let mut x = [0.0f64; N_FEATURES];
+    match ctx.config.diffusion {
+        DiffusionModel::SameAsFriendship => {
+            let w = state.membership_dot(
+                lm.src_author as usize,
+                lm.dst_author as usize,
+                ctx.rho,
+            );
+            (w, x)
+        }
+        DiffusionModel::Full => {
+            let zl = state.doc_topic[lm.dst_doc as usize] as usize;
+            let s = soft_community_factor(
+                ctx,
+                state,
+                lm.src_author as usize,
+                lm.dst_author as usize,
+                zl,
+            );
+            ctx.features.fill_static(
+                &mut x,
+                UserId(lm.src_author),
+                UserId(lm.dst_author),
+                ctx.config.individual_factor,
+            );
+            x[F_COMMUNITY] = community_feature(s, state.n_communities, state.n_topics);
+            x[F_TOPIC_POP] = if ctx.config.topic_factor {
+                state.topic_popularity(lm.at as usize, zl)
+            } else {
+                0.0
+            };
+            (ctx.dot_nu(&x), x)
+        }
+    }
+}
+
+/// `s_comm = Σ_{c,c'} η_{c,c',z} π̂_{u,c} θ̂_{c,z} π̂_{v,c'} θ̂_{c',z}`
+/// (Eq. 4, step 2).
+pub(crate) fn soft_community_factor(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    u: usize,
+    v: usize,
+    z: usize,
+) -> f64 {
+    let c_n = state.n_communities;
+    let mut acc = 0.0f64;
+    for c2 in 0..c_n {
+        let w2 = state.pi_hat(v, c2, ctx.rho) * state.theta_hat(c2, z, ctx.alpha);
+        if w2 == 0.0 {
+            continue;
+        }
+        let mut inner = 0.0f64;
+        for c1 in 0..c_n {
+            inner += ctx.eta.at(c1, c2, z)
+                * state.pi_hat(u, c1, ctx.rho)
+                * state.theta_hat(c1, z, ctx.alpha);
+        }
+        acc += inner * w2;
+    }
+    acc
+}
+
+/// Resample `δ_ij ~ PG(1, w_ij)` for the diffusion links in `[lo, hi)`,
+/// writing the draws into `out_delta` and caching the logistic feature
+/// vectors (reused by the `ν` M-step) into `out_x`.
+pub(crate) fn resample_delta_range(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    lo: usize,
+    hi: usize,
+    out_delta: &mut [f64],
+    out_x: &mut [[f64; N_FEATURES]],
+    rng: &mut StdRng,
+) {
+    for (slot, lid) in (lo..hi).enumerate() {
+        let lm = &ctx.links[lid];
+        let (w, x) = diffusion_logit(ctx, state, lm);
+        out_delta[slot] = sample_pg1(rng, w);
+        out_x[slot] = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::link_metadata;
+    use cpd_prob::rng::seeded_rng;
+    use social_graph::{Document, SocialGraphBuilder, WordId};
+
+    fn small_graph() -> SocialGraph {
+        let mut b = SocialGraphBuilder::new(4, 6);
+        let mut docs = Vec::new();
+        for u in 0..4u32 {
+            for i in 0..3u32 {
+                let w0 = WordId((u % 2) * 3 + i % 3);
+                let w1 = WordId((u % 2) * 3 + (i + 1) % 3);
+                docs.push(b.add_document(Document::new(UserId(u), vec![w0, w1], i % 4)));
+            }
+        }
+        b.add_friendship(UserId(0), UserId(1));
+        b.add_friendship(UserId(2), UserId(3));
+        b.add_friendship(UserId(0), UserId(2));
+        b.add_diffusion(docs[0], docs[4], 1);
+        b.add_diffusion(docs[7], docs[2], 2);
+        b.build().unwrap()
+    }
+
+    fn ctx_parts() -> (SocialGraph, CpdConfig) {
+        (small_graph(), CpdConfig::new(2, 2))
+    }
+
+    #[test]
+    fn sweep_preserves_count_consistency() {
+        let (g, cfg) = ctx_parts();
+        let features = UserFeatures::compute(&g);
+        let links = link_metadata(&g);
+        let eta = Eta::uniform(2, 2);
+        let nu = vec![0.1; N_FEATURES];
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let mut state = CpdState::init(&g, &cfg);
+        let mut rng = seeded_rng(3);
+        let users: Vec<u32> = (0..4).collect();
+        for _ in 0..5 {
+            sweep_user_docs(&ctx, &mut state, &users, &mut rng, SweepPhase::Full);
+            state.check_consistency(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn detect_only_keeps_topics_fixed() {
+        let (g, cfg) = ctx_parts();
+        let features = UserFeatures::compute(&g);
+        let links = link_metadata(&g);
+        let eta = Eta::uniform(2, 2);
+        let nu = vec![0.0; N_FEATURES];
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let mut state = CpdState::init(&g, &cfg);
+        let topics_before = state.doc_topic.clone();
+        let mut rng = seeded_rng(4);
+        sweep_user_docs(
+            &ctx,
+            &mut state,
+            &[0, 1, 2, 3],
+            &mut rng,
+            SweepPhase::DetectOnly,
+        );
+        assert_eq!(state.doc_topic, topics_before);
+        state.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn profile_only_keeps_communities_fixed() {
+        let (g, cfg) = ctx_parts();
+        let features = UserFeatures::compute(&g);
+        let links = link_metadata(&g);
+        let eta = Eta::uniform(2, 2);
+        let nu = vec![0.0; N_FEATURES];
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let mut state = CpdState::init(&g, &cfg);
+        let comms_before = state.doc_community.clone();
+        let mut rng = seeded_rng(5);
+        sweep_user_docs(
+            &ctx,
+            &mut state,
+            &[0, 1, 2, 3],
+            &mut rng,
+            SweepPhase::ProfileOnly,
+        );
+        assert_eq!(state.doc_community, comms_before);
+        state.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn lambda_delta_resampling_is_positive_and_bounded() {
+        let (g, cfg) = ctx_parts();
+        let features = UserFeatures::compute(&g);
+        let links = link_metadata(&g);
+        let eta = Eta::uniform(2, 2);
+        let nu = vec![0.1; N_FEATURES];
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let state = CpdState::init(&g, &cfg);
+        let mut rng = seeded_rng(6);
+        let mut lam = vec![0.0; g.friendships().len()];
+        resample_lambda_range(&ctx, &state, 0, lam.len(), &mut lam, &mut rng);
+        assert!(lam.iter().all(|&l| l > 0.0));
+        let mut del = vec![0.0; g.diffusions().len()];
+        let mut xs = vec![[0.0; N_FEATURES]; g.diffusions().len()];
+        resample_delta_range(&ctx, &state, 0, del.len(), &mut del, &mut xs, &mut rng);
+        assert!(del.iter().all(|&d| d > 0.0));
+        // Feature vectors have the bias set.
+        assert!(xs.iter().all(|x| x[0] == 1.0));
+    }
+
+    #[test]
+    fn soft_community_factor_matches_brute_force() {
+        let (g, cfg) = ctx_parts();
+        let features = UserFeatures::compute(&g);
+        let links = link_metadata(&g);
+        // Non-uniform eta to make the test meaningful.
+        let counts = vec![4.0, 1.0, 2.0, 0.5, 1.0, 3.0, 0.2, 2.2];
+        let eta = Eta::from_counts(2, 2, &counts, 0.1);
+        let nu = vec![0.0; N_FEATURES];
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let state = CpdState::init(&g, &cfg);
+        let (u, v, z) = (0usize, 1usize, 1usize);
+        let fast = soft_community_factor(&ctx, &state, u, v, z);
+        let mut brute = 0.0;
+        for c1 in 0..2 {
+            for c2 in 0..2 {
+                brute += eta.at(c1, c2, z)
+                    * state.pi_hat(u, c1, ctx.rho)
+                    * state.theta_hat(c1, z, ctx.alpha)
+                    * state.pi_hat(v, c2, ctx.rho)
+                    * state.theta_hat(c2, z, ctx.alpha);
+            }
+        }
+        assert!((fast - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_heterogeneity_logit_is_membership_dot() {
+        let (g, mut cfg) = ctx_parts();
+        cfg = cfg.no_heterogeneity();
+        let features = UserFeatures::compute(&g);
+        let links = link_metadata(&g);
+        let eta = Eta::uniform(2, 2);
+        let nu = vec![0.5; N_FEATURES];
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let state = CpdState::init(&g, &cfg);
+        let lm = &links[0];
+        let (w, _) = diffusion_logit(&ctx, &state, lm);
+        let want = state.membership_dot(
+            lm.src_author as usize,
+            lm.dst_author as usize,
+            ctx.rho,
+        );
+        assert!((w - want).abs() < 1e-12);
+    }
+}

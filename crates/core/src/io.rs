@@ -1,0 +1,352 @@
+//! Model persistence: save and load a fitted [`CpdModel`] in a
+//! self-describing, line-oriented text format.
+//!
+//! Profiling is done **once, offline** and then serves multiple
+//! applications (remark 1, Sect. 1 of the paper), so a fitted model
+//! needs to outlive the process. `serde_json` is not on the offline
+//! dependency allowlist, so the format is a small hand-rolled section
+//! layout; `f64` values use Rust's shortest-round-trip formatting, so a
+//! round trip is bit-exact.
+
+use crate::features::N_FEATURES;
+use crate::profiles::{CpdModel, Eta};
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic header of the format.
+const MAGIC: &str = "cpd-model v1";
+
+/// Errors loading a persisted model.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not a CPD model file or is structurally corrupt.
+    Format(String),
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model io error: {e}"),
+            ModelIoError::Format(m) => write!(f, "model format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+/// Write `model` to `writer`.
+pub fn write_model<W: Write>(model: &CpdModel, writer: W) -> Result<(), ModelIoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{MAGIC}")?;
+    write_matrix(&mut w, "pi", &model.pi)?;
+    write_matrix(&mut w, "theta", &model.theta)?;
+    write_matrix(&mut w, "phi", &model.phi)?;
+    writeln!(
+        w,
+        "eta {} {}",
+        model.eta.n_communities(),
+        model.eta.n_topics()
+    )?;
+    write_row(&mut w, model.eta.as_slice())?;
+    writeln!(w, "nu {}", model.nu.len())?;
+    write_row(&mut w, &model.nu)?;
+    write_matrix(&mut w, "topic_popularity", &model.topic_popularity)?;
+    writeln!(w, "doc_community {}", model.doc_community.len())?;
+    write_u32_row(&mut w, &model.doc_community)?;
+    writeln!(w, "doc_topic {}", model.doc_topic.len())?;
+    write_u32_row(&mut w, &model.doc_topic)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Save `model` to a file at `path`.
+pub fn save_model(model: &CpdModel, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+    write_model(model, std::fs::File::create(path)?)
+}
+
+/// Read a model from `reader`.
+pub fn read_model<R: Read>(reader: R) -> Result<CpdModel, ModelIoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut next_line = move || -> Result<String, ModelIoError> {
+        lines
+            .next()
+            .ok_or_else(|| ModelIoError::Format("unexpected end of file".into()))?
+            .map_err(ModelIoError::from)
+    };
+    if next_line()? != MAGIC {
+        return Err(ModelIoError::Format(format!("missing `{MAGIC}` header")));
+    }
+    let pi = read_matrix(&mut next_line, "pi")?;
+    let theta = read_matrix(&mut next_line, "theta")?;
+    let phi = read_matrix(&mut next_line, "phi")?;
+
+    let (c_n, z_n) = read_header(&next_line()?, "eta")?;
+    let flat = parse_f64_row(&next_line()?, c_n * c_n * z_n)?;
+    // `Eta` stores row-normalised values; re-normalising normalised rows
+    // with zero smoothing is the identity, so round trips are exact.
+    let eta = Eta::from_counts(c_n, z_n, &flat, 0.0);
+
+    let (nu_len, _) = read_header_one(&next_line()?, "nu")?;
+    let nu = parse_f64_row(&next_line()?, nu_len)?;
+    if nu_len != N_FEATURES {
+        return Err(ModelIoError::Format(format!(
+            "nu has {nu_len} entries, expected {N_FEATURES}"
+        )));
+    }
+    let topic_popularity = read_matrix(&mut next_line, "topic_popularity")?;
+    let (d_n, _) = read_header_one(&next_line()?, "doc_community")?;
+    let doc_community = parse_u32_row(&next_line()?, d_n)?;
+    let (d_n2, _) = read_header_one(&next_line()?, "doc_topic")?;
+    let doc_topic = parse_u32_row(&next_line()?, d_n2)?;
+    if d_n != d_n2 {
+        return Err(ModelIoError::Format(
+            "doc_community / doc_topic length mismatch".into(),
+        ));
+    }
+    let model = CpdModel {
+        pi,
+        theta,
+        phi,
+        eta,
+        nu,
+        topic_popularity,
+        doc_community,
+        doc_topic,
+    };
+    validate(&model)?;
+    Ok(model)
+}
+
+/// Load a model from a file at `path`.
+pub fn load_model(path: impl AsRef<Path>) -> Result<CpdModel, ModelIoError> {
+    read_model(std::fs::File::open(path)?)
+}
+
+fn validate(model: &CpdModel) -> Result<(), ModelIoError> {
+    let c_n = model.n_communities();
+    let z_n = model.n_topics();
+    if model.eta.n_communities() != c_n || model.eta.n_topics() != z_n {
+        return Err(ModelIoError::Format("eta dimensions disagree with theta/phi".into()));
+    }
+    for (name, rows, width) in [
+        ("pi", &model.pi, c_n),
+        ("theta", &model.theta, z_n),
+        ("phi", &model.phi, model.vocab_size()),
+        ("topic_popularity", &model.topic_popularity, z_n),
+    ] {
+        for row in rows.iter() {
+            if row.len() != width {
+                return Err(ModelIoError::Format(format!(
+                    "{name} row width {} != {width}",
+                    row.len()
+                )));
+            }
+            if !row.iter().all(|x| x.is_finite()) {
+                return Err(ModelIoError::Format(format!("{name} contains non-finite values")));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_matrix<W: Write>(
+    w: &mut W,
+    name: &str,
+    rows: &[Vec<f64>],
+) -> Result<(), ModelIoError> {
+    let width = rows.first().map_or(0, |r| r.len());
+    writeln!(w, "{name} {} {width}", rows.len())?;
+    for row in rows {
+        write_row(w, row)?;
+    }
+    Ok(())
+}
+
+fn write_row<W: Write>(w: &mut W, row: &[f64]) -> Result<(), ModelIoError> {
+    let mut first = true;
+    for x in row {
+        if !first {
+            write!(w, " ")?;
+        }
+        write!(w, "{x}")?;
+        first = false;
+    }
+    writeln!(w)?;
+    Ok(())
+}
+
+fn write_u32_row<W: Write>(w: &mut W, row: &[u32]) -> Result<(), ModelIoError> {
+    let strs: Vec<String> = row.iter().map(|x| x.to_string()).collect();
+    writeln!(w, "{}", strs.join(" "))?;
+    Ok(())
+}
+
+fn read_matrix(
+    next_line: &mut impl FnMut() -> Result<String, ModelIoError>,
+    name: &str,
+) -> Result<Vec<Vec<f64>>, ModelIoError> {
+    let (n_rows, width) = read_header(&next_line()?, name)?;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        rows.push(parse_f64_row(&next_line()?, width)?);
+    }
+    Ok(rows)
+}
+
+fn read_header(line: &str, expected: &str) -> Result<(usize, usize), ModelIoError> {
+    let mut parts = line.split_whitespace();
+    let name = parts.next().unwrap_or("");
+    if name != expected {
+        return Err(ModelIoError::Format(format!(
+            "expected section `{expected}`, found `{name}`"
+        )));
+    }
+    let a = parse_usize(parts.next(), expected)?;
+    let b = parse_usize(parts.next(), expected)?;
+    Ok((a, b))
+}
+
+fn read_header_one(line: &str, expected: &str) -> Result<(usize, ()), ModelIoError> {
+    let mut parts = line.split_whitespace();
+    let name = parts.next().unwrap_or("");
+    if name != expected {
+        return Err(ModelIoError::Format(format!(
+            "expected section `{expected}`, found `{name}`"
+        )));
+    }
+    Ok((parse_usize(parts.next(), expected)?, ()))
+}
+
+fn parse_usize(token: Option<&str>, section: &str) -> Result<usize, ModelIoError> {
+    token
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ModelIoError::Format(format!("bad dimension in `{section}` header")))
+}
+
+fn parse_f64_row(line: &str, expected: usize) -> Result<Vec<f64>, ModelIoError> {
+    let row: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+    let row = row.map_err(|e| ModelIoError::Format(format!("bad float: {e}")))?;
+    if row.len() != expected {
+        return Err(ModelIoError::Format(format!(
+            "row has {} values, expected {expected}",
+            row.len()
+        )));
+    }
+    Ok(row)
+}
+
+fn parse_u32_row(line: &str, expected: usize) -> Result<Vec<u32>, ModelIoError> {
+    if expected == 0 {
+        return Ok(Vec::new());
+    }
+    let row: Result<Vec<u32>, _> = line.split_whitespace().map(str::parse).collect();
+    let row = row.map_err(|e| ModelIoError::Format(format!("bad integer: {e}")))?;
+    if row.len() != expected {
+        return Err(ModelIoError::Format(format!(
+            "row has {} values, expected {expected}",
+            row.len()
+        )));
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpdConfig;
+    use crate::model::Cpd;
+    use cpd_datagen::{generate, GenConfig, Scale};
+
+    fn fitted_model() -> CpdModel {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let cfg = CpdConfig {
+            em_iters: 2,
+            gibbs_sweeps: 1,
+            nu_iters: 10,
+            seed: 77,
+            ..CpdConfig::new(3, 4)
+        };
+        Cpd::new(cfg).unwrap().fit(&g).model
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let model = fitted_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+        let loaded = read_model(&buf[..]).unwrap();
+        assert_eq!(model.pi, loaded.pi);
+        assert_eq!(model.theta, loaded.theta);
+        assert_eq!(model.phi, loaded.phi);
+        assert_eq!(model.nu, loaded.nu);
+        assert_eq!(model.doc_community, loaded.doc_community);
+        assert_eq!(model.doc_topic, loaded.doc_topic);
+        for c in 0..model.n_communities() {
+            for c2 in 0..model.n_communities() {
+                for z in 0..model.n_topics() {
+                    assert!(
+                        (model.eta.at(c, c2, z) - loaded.eta.at(c, c2, z)).abs() < 1e-15,
+                        "eta[{c}][{c2}][{z}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let model = fitted_model();
+        let dir = std::env::temp_dir().join("cpd-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cpd");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(model.pi, loaded.pi);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let err = read_model(&b"not a model\n"[..]).unwrap_err();
+        assert!(matches!(err, ModelIoError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let model = fitted_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(read_model(truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_floats() {
+        let model = fitted_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let corrupted = text.replacen("0.", "xx.", 1);
+        assert!(read_model(corrupted.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let model = fitted_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Lie about the pi width.
+        let corrupted = text.replacen("pi 120 3", "pi 120 4", 1);
+        assert!(read_model(corrupted.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! The trainer: variational EM around the collapsed Gibbs sampler
+//! (Alg. 1 of the paper), serial or parallel, joint or two-phase.
+
+use crate::config::{CpdConfig, DiffusionModel, TrainingMode};
+use crate::features::{UserFeatures, F_COMMUNITY, N_FEATURES};
+use crate::gibbs::{
+    resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
+};
+use crate::mstep::{build_nu_training_set, estimate_eta, fit_nu};
+use crate::parallel::{
+    allocate_segments, parallel_doc_sweep, parallel_resample_delta, parallel_resample_lambda,
+    segment_users, Segmentation,
+};
+use crate::profiles::{CpdModel, Eta};
+use crate::state::{link_metadata, CpdState};
+use cpd_prob::rng::seeded_rng;
+use social_graph::SocialGraph;
+use std::time::Instant;
+
+/// Timing and progress information from a fit.
+#[derive(Debug, Clone, Default)]
+pub struct FitDiagnostics {
+    /// Outer EM iterations executed.
+    pub em_iterations: usize,
+    /// Wall-clock seconds of each E-step (Gibbs sweeps + PG passes) —
+    /// the quantity Fig. 10(a) plots per iteration.
+    pub estep_seconds: Vec<f64>,
+    /// Wall-clock seconds of each M-step.
+    pub mstep_seconds: Vec<f64>,
+    /// Per-thread busy seconds of the last parallel sweep (Fig. 11).
+    pub last_thread_seconds: Vec<f64>,
+    /// Threads used (1 = serial).
+    pub threads: usize,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+}
+
+/// A fitted model plus its diagnostics.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The fitted CPD model.
+    pub model: CpdModel,
+    /// Timing diagnostics.
+    pub diagnostics: FitDiagnostics,
+}
+
+/// The CPD trainer.
+#[derive(Debug, Clone)]
+pub struct Cpd {
+    config: CpdConfig,
+}
+
+impl Cpd {
+    /// Create a trainer, validating the configuration.
+    pub fn new(config: CpdConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CpdConfig {
+        &self.config
+    }
+
+    /// Fit the model on `graph` (Alg. 1).
+    pub fn fit(&self, graph: &SocialGraph) -> FitResult {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let features = UserFeatures::compute(graph);
+        let links = link_metadata(graph);
+        let mut state = CpdState::init(graph, cfg);
+        let mut eta = Eta::uniform(cfg.n_communities, cfg.n_topics);
+        let mut nu = vec![0.0f64; N_FEATURES];
+        nu[F_COMMUNITY] = 1.0;
+
+        let threads = cfg.threads.unwrap_or(1).max(1);
+        let all_users: Vec<u32> = (0..graph.n_users() as u32).collect();
+        // Segment + allocate once up front (Sect. 4.3); reused every sweep.
+        let user_groups: Option<Vec<Vec<u32>>> = if threads > 1 {
+            let seg: Segmentation = segment_users(
+                graph,
+                cfg.n_topics.max(threads),
+                cfg.n_communities,
+                15,
+                cfg.seed ^ 0x5E6,
+            );
+            let groups = allocate_segments(&seg.workloads, threads);
+            Some(
+                groups
+                    .iter()
+                    .map(|g| {
+                        g.iter()
+                            .flat_map(|&s| seg.segments[s].iter().copied())
+                            .collect()
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        let mut diagnostics = FitDiagnostics {
+            threads,
+            ..Default::default()
+        };
+        let mut rng = seeded_rng(cfg.seed ^ 0xE57E9);
+        let mut cached_x: Vec<[f64; N_FEATURES]> =
+            vec![[0.0; N_FEATURES]; links.len()];
+        let mut sweep_counter = 0u64;
+
+        // "No joint modeling": phase 1 detects communities from friendship
+        // links alone before any profiling sweeps.
+        if cfg.training == TrainingMode::TwoPhase {
+            for _ in 0..cfg.em_iters {
+                let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                for _ in 0..cfg.gibbs_sweeps {
+                    sweep_counter += 1;
+                    match &user_groups {
+                        Some(groups) => {
+                            parallel_doc_sweep(
+                                &ctx,
+                                &mut state,
+                                groups,
+                                SweepPhase::DetectOnly,
+                                sweep_counter,
+                            );
+                            parallel_resample_lambda(&ctx, &mut state, threads, sweep_counter);
+                        }
+                        None => {
+                            sweep_user_docs(
+                                &ctx,
+                                &mut state,
+                                &all_users,
+                                &mut rng,
+                                SweepPhase::DetectOnly,
+                            );
+                            let mut lam = std::mem::take(&mut state.lambda);
+                            resample_lambda_range(&ctx, &state, 0, lam.len(), &mut lam, &mut rng);
+                            state.lambda = lam;
+                        }
+                    }
+                }
+            }
+        }
+
+        let doc_phase = match cfg.training {
+            TrainingMode::Joint => SweepPhase::Full,
+            TrainingMode::TwoPhase => SweepPhase::ProfileOnly,
+        };
+
+        for _ in 0..cfg.em_iters {
+            // ---- E-step ---------------------------------------------------
+            let e_start = Instant::now();
+            {
+                let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                for _ in 0..cfg.gibbs_sweeps {
+                    sweep_counter += 1;
+                    match &user_groups {
+                        Some(groups) => {
+                            diagnostics.last_thread_seconds = parallel_doc_sweep(
+                                &ctx,
+                                &mut state,
+                                groups,
+                                doc_phase,
+                                sweep_counter,
+                            );
+                            if cfg.use_friendship && doc_phase != SweepPhase::ProfileOnly {
+                                parallel_resample_lambda(&ctx, &mut state, threads, sweep_counter);
+                            }
+                            cached_x =
+                                parallel_resample_delta(&ctx, &mut state, threads, sweep_counter);
+                        }
+                        None => {
+                            sweep_user_docs(&ctx, &mut state, &all_users, &mut rng, doc_phase);
+                            if cfg.use_friendship && doc_phase != SweepPhase::ProfileOnly {
+                                let mut lam = std::mem::take(&mut state.lambda);
+                                resample_lambda_range(
+                                    &ctx, &state, 0, lam.len(), &mut lam, &mut rng,
+                                );
+                                state.lambda = lam;
+                            }
+                            let mut del = std::mem::take(&mut state.delta);
+                            resample_delta_range(
+                                &ctx,
+                                &state,
+                                0,
+                                del.len(),
+                                &mut del,
+                                &mut cached_x,
+                                &mut rng,
+                            );
+                            state.delta = del;
+                        }
+                    }
+                }
+            }
+            diagnostics.estep_seconds.push(e_start.elapsed().as_secs_f64());
+
+            // ---- M-step ---------------------------------------------------
+            let m_start = Instant::now();
+            eta = estimate_eta(&state, &links, cfg.eta_smoothing);
+            if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
+                let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                let examples = build_nu_training_set(&ctx, &state, &cached_x, &mut rng);
+                fit_nu(&examples, &mut nu, cfg);
+            }
+            diagnostics.mstep_seconds.push(m_start.elapsed().as_secs_f64());
+            diagnostics.em_iterations += 1;
+        }
+
+        let model = extract_model(graph, cfg, &state, eta, nu);
+        diagnostics.total_seconds = start.elapsed().as_secs_f64();
+        FitResult { model, diagnostics }
+    }
+}
+
+/// Final parameter estimates from the last sample (Sect. 4.2).
+fn extract_model(
+    graph: &SocialGraph,
+    cfg: &CpdConfig,
+    state: &CpdState,
+    eta: Eta,
+    nu: Vec<f64>,
+) -> CpdModel {
+    let rho = cfg.resolved_rho();
+    let alpha = cfg.resolved_alpha();
+    let beta = cfg.beta;
+    let pi: Vec<Vec<f64>> = (0..graph.n_users())
+        .map(|u| state.pi_hat_row(u, rho))
+        .collect();
+    let theta: Vec<Vec<f64>> = (0..cfg.n_communities)
+        .map(|c| {
+            (0..cfg.n_topics)
+                .map(|z| state.theta_hat(c, z, alpha))
+                .collect()
+        })
+        .collect();
+    let phi: Vec<Vec<f64>> = (0..cfg.n_topics)
+        .map(|z| {
+            (0..graph.vocab_size())
+                .map(|w| state.phi_hat(z, w, beta))
+                .collect()
+        })
+        .collect();
+    let topic_popularity: Vec<Vec<f64>> = (0..state.n_timestamps)
+        .map(|t| {
+            (0..cfg.n_topics)
+                .map(|z| state.topic_popularity(t, z))
+                .collect()
+        })
+        .collect();
+    CpdModel {
+        pi,
+        theta,
+        phi,
+        eta,
+        nu,
+        topic_popularity,
+        doc_community: state.doc_community.clone(),
+        doc_topic: state.doc_topic.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpd_datagen::{generate, GenConfig, Scale};
+
+    fn quick_config(seed: u64) -> CpdConfig {
+        CpdConfig {
+            em_iters: 3,
+            gibbs_sweeps: 1,
+            nu_iters: 20,
+            seed,
+            ..CpdConfig::new(4, 6)
+        }
+    }
+
+    #[test]
+    fn fit_produces_normalised_model() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let fit = Cpd::new(quick_config(1)).unwrap().fit(&g);
+        let m = &fit.model;
+        assert_eq!(m.pi.len(), g.n_users());
+        for row in &m.pi {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for row in &m.theta {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for row in &m.phi {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for c in 0..m.n_communities() {
+            let s: f64 = (0..m.n_communities())
+                .flat_map(|c2| (0..m.n_topics()).map(move |z| (c2, z)))
+                .map(|(c2, z)| m.eta.at(c, c2, z))
+                .sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(fit.diagnostics.em_iterations, 3);
+        assert_eq!(fit.diagnostics.estep_seconds.len(), 3);
+        assert_eq!(fit.diagnostics.threads, 1);
+    }
+
+    #[test]
+    fn fit_is_deterministic_for_seed() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let a = Cpd::new(quick_config(5)).unwrap().fit(&g);
+        let b = Cpd::new(quick_config(5)).unwrap().fit(&g);
+        assert_eq!(a.model.doc_community, b.model.doc_community);
+        assert_eq!(a.model.doc_topic, b.model.doc_topic);
+        assert_eq!(a.model.nu, b.model.nu);
+        let c = Cpd::new(quick_config(6)).unwrap().fit(&g);
+        assert_ne!(a.model.doc_community, c.model.doc_community);
+    }
+
+    #[test]
+    fn parallel_fit_matches_dimensions_and_runs() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let cfg = CpdConfig {
+            threads: Some(2),
+            ..quick_config(2)
+        };
+        let fit = Cpd::new(cfg).unwrap().fit(&g);
+        assert_eq!(fit.diagnostics.threads, 2);
+        assert_eq!(fit.diagnostics.last_thread_seconds.len(), 2);
+        assert_eq!(fit.model.pi.len(), g.n_users());
+    }
+
+    #[test]
+    fn two_phase_training_runs() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let cfg = quick_config(3).no_joint_modeling();
+        let fit = Cpd::new(cfg).unwrap().fit(&g);
+        assert_eq!(fit.model.pi.len(), g.n_users());
+    }
+
+    #[test]
+    fn ablations_run_to_completion() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        for cfg in [
+            quick_config(4).no_heterogeneity(),
+            quick_config(4).no_topic_factor(),
+            quick_config(4).no_individual_and_topic(),
+        ] {
+            let fit = Cpd::new(cfg).unwrap().fit(&g);
+            assert_eq!(fit.model.pi.len(), g.n_users());
+        }
+    }
+
+    #[test]
+    fn cold_style_config_without_friendship_runs() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let mut cfg = quick_config(8);
+        cfg.use_friendship = false;
+        let fit = Cpd::new(cfg).unwrap().fit(&g);
+        assert_eq!(fit.model.pi.len(), g.n_users());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(Cpd::new(CpdConfig::new(0, 5)).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! The variational M-step (Sect. 4.2): re-estimate `η` by aggregating the
+//! last sweep's community/topic assignments over the diffusion links, and
+//! fit `ν` by logistic regression on observed diffusion links plus an
+//! equal number of sampled negative links.
+
+use crate::config::CpdConfig;
+use crate::features::N_FEATURES;
+use crate::gibbs::{diffusion_logit, SweepContext};
+use crate::profiles::Eta;
+use crate::state::{CpdState, LinkMeta};
+use cpd_prob::special::sigmoid;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Aggregate `η_{c,c',z}` from the current hard assignments:
+/// each diffusion link `(i → j)` contributes one count to
+/// `(c_i, c_j, z_j)`; rows are smoothed and normalised per source
+/// community (Alg. 1, steps 11–12).
+pub(crate) fn estimate_eta(state: &CpdState, links: &[LinkMeta], smoothing: f64) -> Eta {
+    let c_n = state.n_communities;
+    let z_n = state.n_topics;
+    let mut counts = vec![0.0f64; c_n * c_n * z_n];
+    for lm in links {
+        let c1 = state.doc_community[lm.src_doc as usize] as usize;
+        let c2 = state.doc_community[lm.dst_doc as usize] as usize;
+        let z = state.doc_topic[lm.dst_doc as usize] as usize;
+        counts[c1 * c_n * z_n + c2 * z_n + z] += 1.0;
+    }
+    Eta::from_counts(c_n, z_n, &counts, smoothing)
+}
+
+/// A logistic-regression training example.
+pub(crate) struct NuExample {
+    pub x: [f64; N_FEATURES],
+    pub label: bool,
+}
+
+/// Assemble the `ν` training set: cached positive feature vectors (from
+/// the δ pass) plus `negative_ratio` random non-linked document pairs per
+/// positive (Sect. 4.2: "we randomly sample the same amount of
+/// non-observed diffusion links as negative instances").
+pub(crate) fn build_nu_training_set(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    positive_x: &[[f64; N_FEATURES]],
+    rng: &mut StdRng,
+) -> Vec<NuExample> {
+    let cap = ctx.config.nu_max_positives;
+    let n_pos = if cap == 0 {
+        positive_x.len()
+    } else {
+        positive_x.len().min(cap)
+    };
+    let mut examples: Vec<NuExample> = Vec::with_capacity(n_pos * 2);
+    // Subsample positives uniformly if capped.
+    if n_pos == positive_x.len() {
+        for x in positive_x {
+            examples.push(NuExample { x: *x, label: true });
+        }
+    } else {
+        for _ in 0..n_pos {
+            let i = rng.gen_range(0..positive_x.len());
+            examples.push(NuExample {
+                x: positive_x[i],
+                label: true,
+            });
+        }
+    }
+
+    let linked: HashSet<(u32, u32)> = ctx
+        .links
+        .iter()
+        .map(|lm| (lm.src_doc, lm.dst_doc))
+        .collect();
+    let n_docs = ctx.graph.n_docs();
+    let n_neg = (n_pos as f64 * ctx.config.negative_ratio).round() as usize;
+    let mut produced = 0usize;
+    let mut guard = 0usize;
+    while produced < n_neg && guard < n_neg * 30 + 100 {
+        guard += 1;
+        let i = rng.gen_range(0..n_docs) as u32;
+        let j = rng.gen_range(0..n_docs) as u32;
+        if i == j || linked.contains(&(i, j)) {
+            continue;
+        }
+        let src_author = ctx.graph.docs()[i as usize].author.0;
+        let dst_author = ctx.graph.docs()[j as usize].author.0;
+        if src_author == dst_author {
+            continue;
+        }
+        let lm = LinkMeta {
+            src_doc: i,
+            dst_doc: j,
+            src_author,
+            dst_author,
+            at: ctx.graph.docs()[i as usize].timestamp,
+        };
+        let (_, x) = diffusion_logit(ctx, state, &lm);
+        examples.push(NuExample { x, label: false });
+        produced += 1;
+    }
+    examples
+}
+
+/// Fit `ν` by full-batch gradient descent on the logistic log-likelihood
+/// (Alg. 1, steps 13–14). Starts from the previous `ν` (warm start).
+pub(crate) fn fit_nu(examples: &[NuExample], nu: &mut [f64], config: &CpdConfig) {
+    if examples.is_empty() {
+        return;
+    }
+    let n = examples.len() as f64;
+    let lr = config.nu_learning_rate;
+    let mut grad = [0.0f64; N_FEATURES];
+    for _ in 0..config.nu_iters {
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for ex in examples {
+            let w: f64 = nu.iter().zip(ex.x.iter()).map(|(a, b)| a * b).sum();
+            let err = sigmoid(w) - if ex.label { 1.0 } else { 0.0 };
+            for (g, &xi) in grad.iter_mut().zip(ex.x.iter()) {
+                *g += err * xi;
+            }
+        }
+        for (v, g) in nu.iter_mut().zip(grad.iter()) {
+            *v -= lr * g / n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpdConfig;
+    use cpd_prob::rng::seeded_rng;
+
+    #[test]
+    fn eta_aggregation_counts_hard_assignments() {
+        let mut state = CpdState {
+            n_communities: 2,
+            n_topics: 2,
+            vocab_size: 1,
+            n_timestamps: 1,
+            doc_community: vec![0, 1, 0, 1],
+            doc_topic: vec![0, 1, 1, 0],
+            n_uc: vec![],
+            n_u: vec![],
+            n_cz: vec![],
+            n_c: vec![],
+            n_zw: vec![],
+            n_z: vec![],
+            n_tz: vec![],
+            n_t: vec![],
+            lambda: vec![],
+            delta: vec![],
+        };
+        let _ = &mut state;
+        let links = vec![
+            // doc0 (c=0) diffuses doc1 (c=1, z=1): count (0, 1, 1).
+            LinkMeta {
+                src_doc: 0,
+                dst_doc: 1,
+                src_author: 0,
+                dst_author: 1,
+                at: 0,
+            },
+            // doc2 (c=0) diffuses doc3 (c=1, z=0): count (0, 1, 0).
+            LinkMeta {
+                src_doc: 2,
+                dst_doc: 3,
+                src_author: 0,
+                dst_author: 1,
+                at: 0,
+            },
+            // doc1 (c=1) diffuses doc0 (c=0, z=0): count (1, 0, 0).
+            LinkMeta {
+                src_doc: 1,
+                dst_doc: 0,
+                src_author: 1,
+                dst_author: 0,
+                at: 0,
+            },
+        ];
+        let eta = estimate_eta(&state, &links, 0.0);
+        // Row 0: two counts at (1,1) and (1,0) -> 0.5 each.
+        assert!((eta.at(0, 1, 1) - 0.5).abs() < 1e-12);
+        assert!((eta.at(0, 1, 0) - 0.5).abs() < 1e-12);
+        assert_eq!(eta.at(0, 0, 0), 0.0);
+        // Row 1: single count.
+        assert!((eta.at(1, 0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logistic_regression_learns_a_separator() {
+        // Feature 1 positive for label 1, negative for label 0.
+        let mut rng = seeded_rng(9);
+        let mut examples = Vec::new();
+        for i in 0..400 {
+            let label = i % 2 == 0;
+            let mut x = [0.0; N_FEATURES];
+            x[0] = 1.0;
+            x[1] = if label { 1.0 } else { -1.0 };
+            x[2] = rng.gen::<f64>() - 0.5; // noise
+            examples.push(NuExample { x, label });
+        }
+        let mut nu = vec![0.0; N_FEATURES];
+        let cfg = CpdConfig::new(2, 2);
+        fit_nu(&examples, &mut nu, &cfg);
+        assert!(nu[1] > 0.5, "separator weight {}", nu[1]);
+        assert!(nu[2].abs() < 0.5, "noise weight {}", nu[2]);
+        // Training accuracy should be high.
+        let correct = examples
+            .iter()
+            .filter(|ex| {
+                let w: f64 = nu.iter().zip(ex.x.iter()).map(|(a, b)| a * b).sum();
+                (w > 0.0) == ex.label
+            })
+            .count();
+        assert!(correct > 380, "accuracy {correct}/400");
+    }
+
+    #[test]
+    fn empty_training_set_is_a_noop() {
+        let mut nu = vec![0.3; N_FEATURES];
+        fit_nu(&[], &mut nu, &CpdConfig::new(2, 2));
+        assert!(nu.iter().all(|&v| v == 0.3));
+    }
+}

@@ -1,0 +1,349 @@
+//! Parallel E-step (Sect. 4.3): LDA-guided data segmentation, workload
+//! estimation, knapsack-style allocation to threads, and the scoped
+//! worker sweep with post-barrier merge.
+//!
+//! Workers follow the standard approximate-distributed-Gibbs recipe: each
+//! thread owns a disjoint set of *users* (so a user's documents never
+//! split across threads — the paper's first segmentation guideline),
+//! works on a cloned snapshot of the count state, and reads neighbouring
+//! assignments as of the sweep start. After the barrier the owners'
+//! assignments are merged and all counts rebuilt exactly.
+
+use crate::gibbs::{
+    resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
+};
+use crate::features::N_FEATURES;
+use crate::state::CpdState;
+use cpd_prob::rng::child_rng;
+use social_graph::{SocialGraph, UserId};
+use topic_model::{Lda, LdaConfig};
+
+/// User segments (Sect. 4.3, "segmenting data to reduce
+/// inter-dependency"): one segment per LDA topic, each user in the
+/// segment of her documents' dominant topic.
+#[derive(Debug, Clone)]
+pub struct Segmentation {
+    /// `segments[s]` = user ids in segment `s`.
+    pub segments: Vec<Vec<u32>>,
+    /// Estimated workload `o_i` per segment.
+    pub workloads: Vec<f64>,
+}
+
+/// Segment users by their dominant LDA topic (the paper runs LDA with
+/// `|Z|` topics and partitions users by most frequent topic).
+pub fn segment_users(
+    graph: &SocialGraph,
+    n_segments: usize,
+    n_communities: usize,
+    lda_iters: usize,
+    seed: u64,
+) -> Segmentation {
+    assert!(n_segments >= 1);
+    let docs: Vec<Vec<social_graph::WordId>> =
+        graph.docs().iter().map(|d| d.words.clone()).collect();
+    let lda = Lda::new(LdaConfig {
+        n_iters: lda_iters,
+        seed,
+        ..LdaConfig::new(n_segments)
+    })
+    .fit(&docs, graph.vocab_size());
+
+    let mut segments: Vec<Vec<u32>> = vec![Vec::new(); n_segments];
+    for u in 0..graph.n_users() {
+        let uid = UserId(u as u32);
+        let mut votes = vec![0u32; n_segments];
+        for d in graph.docs_of(uid) {
+            votes[lda.dominant_topic(d.index())] += 1;
+        }
+        let seg = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(s, _)| s)
+            .unwrap_or(u % n_segments);
+        segments[seg].push(u as u32);
+    }
+    let workloads = segments
+        .iter()
+        .map(|users| estimate_workload(graph, users, n_communities))
+        .collect();
+    Segmentation {
+        segments,
+        workloads,
+    }
+}
+
+/// Estimated workload of sweeping `users` once: per document the
+/// candidate scans cost `O(|C| + |Z|)`-ish, each friendship neighbour
+/// adds `O(|C|)` per document, and each incident diffusion link adds the
+/// `O(|C|²)` bilinear precomputation.
+pub fn estimate_workload(graph: &SocialGraph, users: &[u32], n_communities: usize) -> f64 {
+    let c = n_communities as f64;
+    let mut total = 0.0f64;
+    for &u in users {
+        let uid = UserId(u);
+        let degree = graph.friend_degree(uid) as f64;
+        for d in graph.docs_of(uid) {
+            let doc = graph.doc(d);
+            let diffusion_links = graph.diffusion_links_of(d).len() as f64;
+            total += c + doc.len() as f64 + degree * c + diffusion_links * c * c;
+        }
+    }
+    total
+}
+
+/// Longest-processing-time-first allocation of segments to `m` threads.
+/// This greedy is the classic 4/3-approximation for makespan and is what
+/// the paper's per-thread knapsacks reduce to with coarse estimates
+/// (DESIGN.md §2). Returns segment indices per thread.
+pub fn allocate_segments(workloads: &[f64], m: usize) -> Vec<Vec<usize>> {
+    assert!(m >= 1);
+    let mut order: Vec<usize> = (0..workloads.len()).collect();
+    order.sort_by(|&a, &b| workloads[b].partial_cmp(&workloads[a]).expect("no NaN"));
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut loads = vec![0.0f64; m];
+    for seg in order {
+        let (t, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("m >= 1");
+        groups[t].push(seg);
+        loads[t] += workloads[seg];
+    }
+    groups
+}
+
+/// Paper-style allocation: solve `m` successive 0-1 knapsacks, each
+/// targeting `O/m` capacity (Eq. 17), greedily on the sorted remaining
+/// segments; leftovers go to the least-loaded thread.
+pub fn allocate_segments_knapsack(workloads: &[f64], m: usize) -> Vec<Vec<usize>> {
+    assert!(m >= 1);
+    let total: f64 = workloads.iter().sum();
+    let target = total / m as f64;
+    let mut remaining: Vec<usize> = (0..workloads.len()).collect();
+    remaining.sort_by(|&a, &b| workloads[b].partial_cmp(&workloads[a]).expect("no NaN"));
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut loads = vec![0.0f64; m];
+    for t in 0..m {
+        let mut i = 0;
+        while i < remaining.len() {
+            let seg = remaining[i];
+            // Last thread takes everything; earlier threads fill to target.
+            if t + 1 == m || loads[t] + workloads[seg] <= target * 1.0001 {
+                groups[t].push(seg);
+                loads[t] += workloads[seg];
+                remaining.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if loads[t] >= target {
+            continue;
+        }
+    }
+    // Anything still unassigned (can happen when every remaining segment
+    // overflows every target) goes to the least-loaded thread.
+    for seg in remaining {
+        let (t, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("m >= 1");
+        groups[t].push(seg);
+        loads[t] += workloads[seg];
+    }
+    groups
+}
+
+/// Makespan ratio `max(load) / mean(load)` of an allocation — 1.0 is a
+/// perfect balance (Fig. 11's quality measure).
+pub fn balance_ratio(groups: &[Vec<usize>], workloads: &[f64]) -> f64 {
+    let loads: Vec<f64> = groups
+        .iter()
+        .map(|g| g.iter().map(|&s| workloads[s]).sum())
+        .collect();
+    let max = loads.iter().copied().fold(0.0f64, f64::max);
+    let mean = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+/// One parallel document sweep: threads own user groups, sample on
+/// cloned state, and the merged assignments are rebuilt into `state`.
+/// Also returns the per-thread wall times (Fig. 11).
+pub(crate) fn parallel_doc_sweep(
+    ctx: &SweepContext<'_>,
+    state: &mut CpdState,
+    user_groups: &[Vec<u32>],
+    phase: SweepPhase,
+    sweep_index: u64,
+) -> Vec<f64> {
+    let snapshot: &CpdState = state;
+    let results: Vec<(Vec<u32>, Vec<u32>, Vec<u32>, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = user_groups
+            .iter()
+            .enumerate()
+            .map(|(ti, users)| {
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    let mut local = snapshot.clone();
+                    let mut rng = child_rng(
+                        ctx.config.seed ^ 0x9A7A_11E1,
+                        sweep_index * user_groups.len() as u64 + ti as u64,
+                    );
+                    sweep_user_docs(ctx, &mut local, users, &mut rng, phase);
+                    let mut docs = Vec::new();
+                    for &u in users.iter() {
+                        for d in ctx.graph.docs_of(UserId(u)) {
+                            docs.push(d.0);
+                        }
+                    }
+                    let cs: Vec<u32> = docs
+                        .iter()
+                        .map(|&d| local.doc_community[d as usize])
+                        .collect();
+                    let zs: Vec<u32> =
+                        docs.iter().map(|&d| local.doc_topic[d as usize]).collect();
+                    (docs, cs, zs, start.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut times = Vec::with_capacity(results.len());
+    for (docs, cs, zs, secs) in results {
+        for i in 0..docs.len() {
+            state.doc_community[docs[i] as usize] = cs[i];
+            state.doc_topic[docs[i] as usize] = zs[i];
+        }
+        times.push(secs);
+    }
+    state.rebuild_counts(ctx.graph);
+    times
+}
+
+/// Parallel Pólya-Gamma resampling of `λ` over link chunks.
+pub(crate) fn parallel_resample_lambda(
+    ctx: &SweepContext<'_>,
+    state: &mut CpdState,
+    n_threads: usize,
+    sweep_index: u64,
+) {
+    let n = state.lambda.len();
+    if n == 0 {
+        return;
+    }
+    let chunk = n.div_ceil(n_threads.max(1));
+    let mut fresh = vec![0.0f64; n];
+    {
+        let snapshot: &CpdState = state;
+        std::thread::scope(|scope| {
+            for (ti, out) in fresh.chunks_mut(chunk).enumerate() {
+                let lo = ti * chunk;
+                let hi = (lo + out.len()).min(n);
+                scope.spawn(move || {
+                    let mut rng =
+                        child_rng(ctx.config.seed ^ 0x1A3B_DA, sweep_index * 64 + ti as u64);
+                    resample_lambda_range(ctx, snapshot, lo, hi, out, &mut rng);
+                });
+            }
+        });
+    }
+    state.lambda = fresh;
+}
+
+/// Parallel Pólya-Gamma resampling of `δ`, returning the cached feature
+/// vectors for the M-step.
+pub(crate) fn parallel_resample_delta(
+    ctx: &SweepContext<'_>,
+    state: &mut CpdState,
+    n_threads: usize,
+    sweep_index: u64,
+) -> Vec<[f64; N_FEATURES]> {
+    let n = state.delta.len();
+    let mut xs = vec![[0.0f64; N_FEATURES]; n];
+    if n == 0 {
+        return xs;
+    }
+    let chunk = n.div_ceil(n_threads.max(1));
+    let mut fresh = vec![0.0f64; n];
+    {
+        let snapshot: &CpdState = state;
+        std::thread::scope(|scope| {
+            for ((ti, out), xout) in fresh.chunks_mut(chunk).enumerate().zip(xs.chunks_mut(chunk))
+            {
+                let lo = ti * chunk;
+                let hi = (lo + out.len()).min(n);
+                scope.spawn(move || {
+                    let mut rng =
+                        child_rng(ctx.config.seed ^ 0xDE17A, sweep_index * 64 + ti as u64);
+                    resample_delta_range(ctx, snapshot, lo, hi, out, xout, &mut rng);
+                });
+            }
+        });
+    }
+    state.delta = fresh;
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_balances_equal_items() {
+        let w = vec![1.0; 8];
+        let groups = allocate_segments(&w, 4);
+        for g in &groups {
+            assert_eq!(g.len(), 2);
+        }
+        assert!((balance_ratio(&groups, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_handles_skew() {
+        // One huge segment dominates; the rest spread over other threads.
+        let w = vec![100.0, 10.0, 10.0, 10.0, 10.0, 10.0];
+        let groups = allocate_segments(&w, 3);
+        let ratio = balance_ratio(&groups, &w);
+        // The optimum puts the 100 alone: loads (100, 25, 25); ratio = 2.
+        assert!(ratio <= 2.0 + 1e-9, "ratio {ratio}");
+        // Segment 0 must be alone on its thread.
+        let holder = groups.iter().find(|g| g.contains(&0)).unwrap();
+        assert_eq!(holder.len(), 1);
+    }
+
+    #[test]
+    fn knapsack_assigns_every_segment_once() {
+        let w = vec![5.0, 3.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0];
+        let groups = allocate_segments_knapsack(&w, 4);
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert!(balance_ratio(&groups, &w) < 1.6);
+    }
+
+    #[test]
+    fn allocations_cover_all_segments_under_more_threads_than_segments() {
+        let w = vec![4.0, 2.0];
+        let groups = allocate_segments(&w, 5);
+        let all: Vec<usize> = groups.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 2);
+        let groups = allocate_segments_knapsack(&w, 5);
+        let all: Vec<usize> = groups.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn balance_ratio_of_empty_groups_is_one() {
+        let groups: Vec<Vec<usize>> = vec![vec![], vec![]];
+        assert_eq!(balance_ratio(&groups, &[]), 1.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Community profile types: the content profile `θ_c` (Def. 4) and the
+//! diffusion profile `η_c` (Def. 5), plus the fitted-model container.
+
+/// The diffusion profile tensor `η ∈ R^{C x C x Z}`, row-normalised per
+/// source community: `Σ_{c', z} η_{c,c',z} = 1`.
+#[derive(Debug, Clone)]
+pub struct Eta {
+    n_communities: usize,
+    n_topics: usize,
+    values: Vec<f64>,
+}
+
+impl Eta {
+    /// Uniform tensor (every `(c', z)` cell equally likely).
+    pub fn uniform(n_communities: usize, n_topics: usize) -> Self {
+        let cell = 1.0 / (n_communities * n_topics) as f64;
+        Self {
+            n_communities,
+            n_topics,
+            values: vec![cell; n_communities * n_communities * n_topics],
+        }
+    }
+
+    /// Build from raw per-cell weights (e.g. aggregated counts),
+    /// smoothing each cell by `smoothing` and row-normalising.
+    pub fn from_counts(
+        n_communities: usize,
+        n_topics: usize,
+        counts: &[f64],
+        smoothing: f64,
+    ) -> Self {
+        assert_eq!(counts.len(), n_communities * n_communities * n_topics);
+        let row = n_communities * n_topics;
+        let mut values = vec![0.0f64; counts.len()];
+        for c in 0..n_communities {
+            let total: f64 = counts[c * row..(c + 1) * row].iter().sum::<f64>()
+                + smoothing * row as f64;
+            for i in 0..row {
+                values[c * row + i] = (counts[c * row + i] + smoothing) / total;
+            }
+        }
+        Self {
+            n_communities,
+            n_topics,
+            values,
+        }
+    }
+
+    /// Number of communities.
+    pub fn n_communities(&self) -> usize {
+        self.n_communities
+    }
+
+    /// Number of topics.
+    pub fn n_topics(&self) -> usize {
+        self.n_topics
+    }
+
+    /// `η_{c,c',z}`.
+    #[inline]
+    pub fn at(&self, c: usize, c2: usize, z: usize) -> f64 {
+        self.values[c * self.n_communities * self.n_topics + c2 * self.n_topics + z]
+    }
+
+    /// Raw flat storage (`c`-major, then `c'`, then `z`).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Topic-aggregated diffusion strength `Σ_z η_{c,c',z}`
+    /// (Sect. 5, "diffusion with topic aggregation").
+    pub fn aggregate_strength(&self, c: usize, c2: usize) -> f64 {
+        (0..self.n_topics).map(|z| self.at(c, c2, z)).sum()
+    }
+
+    /// Top-`k` `(topic, strength)` pairs for the directed pair `c → c'`
+    /// (the Fig. 5(c) case study).
+    pub fn top_topics(&self, c: usize, c2: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut pairs: Vec<(usize, f64)> = (0..self.n_topics).map(|z| (z, self.at(c, c2, z))).collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+/// A fitted CPD model: everything Sect. 5 needs to drive the three
+/// applications.
+#[derive(Debug, Clone)]
+pub struct CpdModel {
+    /// `π_u` — community membership per user (`U x C`).
+    pub pi: Vec<Vec<f64>>,
+    /// `θ_c` — content profile per community (`C x Z`).
+    pub theta: Vec<Vec<f64>>,
+    /// `φ_z` — word distribution per topic (`Z x W`).
+    pub phi: Vec<Vec<f64>>,
+    /// `η` — diffusion profile tensor.
+    pub eta: Eta,
+    /// `ν` — diffusion factor weights (see `features::N_FEATURES`).
+    pub nu: Vec<f64>,
+    /// Normalised topic popularity per time bucket (`T x Z`).
+    pub topic_popularity: Vec<Vec<f64>>,
+    /// Hard per-document community assignment after the final sweep.
+    pub doc_community: Vec<u32>,
+    /// Hard per-document topic assignment after the final sweep.
+    pub doc_topic: Vec<u32>,
+}
+
+impl CpdModel {
+    /// Number of communities.
+    pub fn n_communities(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Number of topics.
+    pub fn n_topics(&self) -> usize {
+        self.phi.len()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.phi.first().map_or(0, |r| r.len())
+    }
+
+    /// Each user's most likely community.
+    pub fn dominant_communities(&self) -> Vec<usize> {
+        self.pi
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Top-`k` `(word, probability)` pairs of topic `z` (Table 5).
+    pub fn top_words(&self, z: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut pairs: Vec<(usize, f64)> =
+            self.phi[z].iter().copied().enumerate().collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Top-`k` `(topic, probability)` pairs of community `c`'s content
+    /// profile.
+    pub fn top_topics_of_community(&self, c: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut pairs: Vec<(usize, f64)> =
+            self.theta[c].iter().copied().enumerate().collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_eta_rows_normalise() {
+        let e = Eta::uniform(3, 4);
+        for c in 0..3 {
+            let s: f64 = (0..3)
+                .flat_map(|c2| (0..4).map(move |z| (c2, z)))
+                .map(|(c2, z)| e.at(c, c2, z))
+                .sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!((e.aggregate_strength(0, 1) - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_normalises_and_smooths() {
+        // 2 communities, 1 topic.
+        let counts = vec![3.0, 1.0, 0.0, 0.0];
+        let e = Eta::from_counts(2, 1, &counts, 0.5);
+        // Row 0: (3.5, 1.5)/5 -> 0.7, 0.3.
+        assert!((e.at(0, 0, 0) - 0.7).abs() < 1e-12);
+        assert!((e.at(0, 1, 0) - 0.3).abs() < 1e-12);
+        // Row 1 had no counts: uniform.
+        assert!((e.at(1, 0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_topics_sorted_desc() {
+        let counts = vec![
+            // c=0 row: c'=0 topics [5, 1], c'=1 topics [0, 2]
+            5.0, 1.0, 0.0, 2.0, //
+            0.0, 0.0, 0.0, 0.0,
+        ];
+        let e = Eta::from_counts(2, 2, &counts, 0.0);
+        let top = e.top_topics(0, 0, 2);
+        assert_eq!(top[0].0, 0);
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    fn model_helpers() {
+        let m = CpdModel {
+            pi: vec![vec![0.2, 0.8], vec![0.9, 0.1]],
+            theta: vec![vec![0.3, 0.7], vec![0.6, 0.4]],
+            phi: vec![vec![0.1, 0.9], vec![0.5, 0.5]],
+            eta: Eta::uniform(2, 2),
+            nu: vec![0.0; crate::features::N_FEATURES],
+            topic_popularity: vec![vec![0.5, 0.5]],
+            doc_community: vec![0],
+            doc_topic: vec![1],
+        };
+        assert_eq!(m.dominant_communities(), vec![1, 0]);
+        assert_eq!(m.top_words(0, 1), vec![(1, 0.9)]);
+        assert_eq!(m.top_topics_of_community(1, 1), vec![(0, 0.6)]);
+        assert_eq!(m.n_communities(), 2);
+        assert_eq!(m.n_topics(), 2);
+        assert_eq!(m.vocab_size(), 2);
+    }
+}

@@ -1,0 +1,325 @@
+//! Gibbs-sampler state: latent assignments, count matrices and the
+//! empirical estimators `π̂`, `θ̂`, `φ̂` (Sect. 4.2) derived from them.
+
+use crate::config::CpdConfig;
+use cpd_prob::rng::seeded_rng;
+use rand::Rng;
+use social_graph::SocialGraph;
+
+/// Per-diffusion-link static metadata, precomputed once.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkMeta {
+    /// Diffusing (new) document.
+    pub src_doc: u32,
+    /// Source (diffused) document.
+    pub dst_doc: u32,
+    /// Author of the diffusing document (`u`).
+    pub src_author: u32,
+    /// Author of the source document (`v`).
+    pub dst_author: u32,
+    /// Diffusion timestamp.
+    pub at: u32,
+}
+
+/// Mutable sampler state. In the parallel E-step each worker owns a
+/// clone of the count arrays and of the assignment vectors; after the
+/// sweep the owners' document ranges are merged back and counts rebuilt.
+#[derive(Debug, Clone)]
+pub struct CpdState {
+    /// `|C|`.
+    pub n_communities: usize,
+    /// `|Z|`.
+    pub n_topics: usize,
+    /// `|W|`.
+    pub vocab_size: usize,
+    /// Number of time buckets.
+    pub n_timestamps: usize,
+    /// Per-document community assignment `c_ui`.
+    pub doc_community: Vec<u32>,
+    /// Per-document topic assignment `z_ui`.
+    pub doc_topic: Vec<u32>,
+    /// `U x C` — documents of user `u` assigned to community `c`.
+    pub n_uc: Vec<u32>,
+    /// Documents per user (constant).
+    pub n_u: Vec<u32>,
+    /// `C x Z` — documents of community `c` with topic `z`.
+    pub n_cz: Vec<u32>,
+    /// Documents per community.
+    pub n_c: Vec<u32>,
+    /// `Z x W` — tokens of word `w` assigned topic `z`.
+    pub n_zw: Vec<u32>,
+    /// Tokens per topic.
+    pub n_z: Vec<u32>,
+    /// `T x Z` — documents with topic `z` at time `t` (topic popularity).
+    pub n_tz: Vec<u32>,
+    /// Documents per time bucket (constant).
+    pub n_t: Vec<u32>,
+    /// Pólya-Gamma augmentation `λ_uv`, one per friendship link.
+    pub lambda: Vec<f64>,
+    /// Pólya-Gamma augmentation `δ_ij`, one per diffusion link.
+    pub delta: Vec<f64>,
+}
+
+impl CpdState {
+    /// Random initialisation from the graph and config.
+    pub fn init(graph: &SocialGraph, config: &CpdConfig) -> Self {
+        let c_n = config.n_communities;
+        let z_n = config.n_topics;
+        let w_n = graph.vocab_size();
+        let t_n = graph.n_timestamps() as usize;
+        let d_n = graph.n_docs();
+        let mut rng = seeded_rng(config.seed ^ 0x5EED_1_1);
+        let mut state = Self {
+            n_communities: c_n,
+            n_topics: z_n,
+            vocab_size: w_n,
+            n_timestamps: t_n,
+            doc_community: vec![0; d_n],
+            doc_topic: vec![0; d_n],
+            n_uc: vec![0; graph.n_users() * c_n],
+            n_u: vec![0; graph.n_users()],
+            n_cz: vec![0; c_n * z_n],
+            n_c: vec![0; c_n],
+            n_zw: vec![0; z_n * w_n],
+            n_z: vec![0; z_n],
+            n_tz: vec![0; t_n * z_n],
+            n_t: vec![0; t_n],
+            // PG(1, 0) has mean 1/4; a fine starting point before the
+            // first resampling pass.
+            lambda: vec![0.25; graph.friendships().len()],
+            delta: vec![0.25; graph.diffusions().len()],
+        };
+        for (d, c, z) in (0..d_n).map(|d| {
+            (
+                d,
+                rng.gen_range(0..c_n) as u32,
+                rng.gen_range(0..z_n) as u32,
+            )
+        }) {
+            state.doc_community[d] = c;
+            state.doc_topic[d] = z;
+        }
+        state.rebuild_counts(graph);
+        state
+    }
+
+    /// Recompute every count matrix from the current assignments.
+    /// `O(|D| + tokens)`; used after initialisation and after merging
+    /// parallel workers.
+    pub fn rebuild_counts(&mut self, graph: &SocialGraph) {
+        let c_n = self.n_communities;
+        let z_n = self.n_topics;
+        let w_n = self.vocab_size;
+        self.n_uc.iter_mut().for_each(|x| *x = 0);
+        self.n_u.iter_mut().for_each(|x| *x = 0);
+        self.n_cz.iter_mut().for_each(|x| *x = 0);
+        self.n_c.iter_mut().for_each(|x| *x = 0);
+        self.n_zw.iter_mut().for_each(|x| *x = 0);
+        self.n_z.iter_mut().for_each(|x| *x = 0);
+        self.n_tz.iter_mut().for_each(|x| *x = 0);
+        self.n_t.iter_mut().for_each(|x| *x = 0);
+        for (d, doc) in graph.docs().iter().enumerate() {
+            let u = doc.author.index();
+            let c = self.doc_community[d] as usize;
+            let z = self.doc_topic[d] as usize;
+            let t = doc.timestamp as usize;
+            self.n_uc[u * c_n + c] += 1;
+            self.n_u[u] += 1;
+            self.n_cz[c * z_n + z] += 1;
+            self.n_c[c] += 1;
+            for w in &doc.words {
+                self.n_zw[z * w_n + w.index()] += 1;
+                self.n_z[z] += 1;
+            }
+            self.n_tz[t * z_n + z] += 1;
+            self.n_t[t] += 1;
+        }
+    }
+
+    /// `π̂_{u,c} = (n_uc + ρ) / (n_u + |C| ρ)` (Sect. 4.2).
+    #[inline]
+    pub fn pi_hat(&self, u: usize, c: usize, rho: f64) -> f64 {
+        (self.n_uc[u * self.n_communities + c] as f64 + rho)
+            / (self.n_u[u] as f64 + self.n_communities as f64 * rho)
+    }
+
+    /// Full `π̂_u` row.
+    pub fn pi_hat_row(&self, u: usize, rho: f64) -> Vec<f64> {
+        (0..self.n_communities)
+            .map(|c| self.pi_hat(u, c, rho))
+            .collect()
+    }
+
+    /// `θ̂_{c,z} = (n_cz + α) / (n_c + |Z| α)` (Sect. 4.2).
+    #[inline]
+    pub fn theta_hat(&self, c: usize, z: usize, alpha: f64) -> f64 {
+        (self.n_cz[c * self.n_topics + z] as f64 + alpha)
+            / (self.n_c[c] as f64 + self.n_topics as f64 * alpha)
+    }
+
+    /// `φ̂_{z,w} = (n_zw + β) / (n_z + |W| β)` (Sect. 4.2).
+    #[inline]
+    pub fn phi_hat(&self, z: usize, w: usize, beta: f64) -> f64 {
+        (self.n_zw[z * self.vocab_size + w] as f64 + beta)
+            / (self.n_z[z] as f64 + self.vocab_size as f64 * beta)
+    }
+
+    /// Normalised topic popularity `n_tz / n_t` at bucket `t` (smoothed;
+    /// see DESIGN.md — the raw count of the paper saturates the sigmoid).
+    #[inline]
+    pub fn topic_popularity(&self, t: usize, z: usize) -> f64 {
+        let num = self.n_tz[t * self.n_topics + z] as f64 + 1.0;
+        let den = self.n_t[t] as f64 + self.n_topics as f64;
+        num / den
+    }
+
+    /// Dot product `π̂_uᵀ π̂_v`.
+    pub fn membership_dot(&self, u: usize, v: usize, rho: f64) -> f64 {
+        let c_n = self.n_communities;
+        let du = self.n_u[u] as f64 + c_n as f64 * rho;
+        let dv = self.n_u[v] as f64 + c_n as f64 * rho;
+        let mut acc = 0.0;
+        for c in 0..c_n {
+            acc += (self.n_uc[u * c_n + c] as f64 + rho) * (self.n_uc[v * c_n + c] as f64 + rho);
+        }
+        acc / (du * dv)
+    }
+
+    /// Internal consistency check: every count matrix agrees with the
+    /// assignments. Used by tests and debug assertions.
+    pub fn check_consistency(&self, graph: &SocialGraph) -> Result<(), String> {
+        let mut fresh = self.clone();
+        fresh.rebuild_counts(graph);
+        for (name, a, b) in [
+            ("n_uc", &self.n_uc, &fresh.n_uc),
+            ("n_cz", &self.n_cz, &fresh.n_cz),
+            ("n_zw", &self.n_zw, &fresh.n_zw),
+            ("n_tz", &self.n_tz, &fresh.n_tz),
+        ] {
+            if a != b {
+                return Err(format!("{name} counts diverged from assignments"));
+            }
+        }
+        if self.n_z != fresh.n_z || self.n_c != fresh.n_c {
+            return Err("aggregate counts diverged".into());
+        }
+        Ok(())
+    }
+}
+
+/// Precompute per-link metadata for all diffusion links.
+pub fn link_metadata(graph: &SocialGraph) -> Vec<LinkMeta> {
+    graph
+        .diffusions()
+        .iter()
+        .map(|l| LinkMeta {
+            src_doc: l.src.0,
+            dst_doc: l.dst.0,
+            src_author: graph.doc(l.src).author.0,
+            dst_author: graph.doc(l.dst).author.0,
+            at: l.at,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social_graph::{Document, SocialGraphBuilder, UserId, WordId};
+
+    fn graph() -> SocialGraph {
+        let mut b = SocialGraphBuilder::new(2, 4);
+        let d0 = b.add_document(Document::new(UserId(0), vec![WordId(0), WordId(1)], 0));
+        let d1 = b.add_document(Document::new(UserId(0), vec![WordId(2)], 1));
+        let d2 = b.add_document(Document::new(UserId(1), vec![WordId(3), WordId(3)], 1));
+        b.add_friendship(UserId(0), UserId(1));
+        b.add_diffusion(d2, d0, 1);
+        let _ = d1;
+        b.build().unwrap()
+    }
+
+    fn config() -> CpdConfig {
+        CpdConfig::new(3, 2)
+    }
+
+    #[test]
+    fn init_counts_are_consistent() {
+        let g = graph();
+        let s = CpdState::init(&g, &config());
+        s.check_consistency(&g).unwrap();
+        assert_eq!(s.n_u, vec![2, 1]);
+        assert_eq!(s.n_c.iter().sum::<u32>(), 3);
+        assert_eq!(s.n_z.iter().sum::<u32>(), 5);
+        assert_eq!(s.n_t, vec![1, 2]);
+        assert_eq!(s.lambda.len(), 1);
+        assert_eq!(s.delta.len(), 1);
+    }
+
+    #[test]
+    fn pi_hat_rows_normalise() {
+        let g = graph();
+        let s = CpdState::init(&g, &config());
+        let rho = config().resolved_rho();
+        for u in 0..2 {
+            let row = s.pi_hat_row(u, rho);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn theta_phi_normalise() {
+        let g = graph();
+        let s = CpdState::init(&g, &config());
+        let alpha = config().resolved_alpha();
+        for c in 0..3 {
+            let sum: f64 = (0..2).map(|z| s.theta_hat(c, z, alpha)).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        for z in 0..2 {
+            let sum: f64 = (0..4).map(|w| s.phi_hat(z, w, 0.1)).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn membership_dot_matches_rows() {
+        let g = graph();
+        let s = CpdState::init(&g, &config());
+        let rho = 0.5;
+        let r0 = s.pi_hat_row(0, rho);
+        let r1 = s.pi_hat_row(1, rho);
+        let want: f64 = r0.iter().zip(&r1).map(|(a, b)| a * b).sum();
+        assert!((s.membership_dot(0, 1, rho) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topic_popularity_is_a_smoothed_frequency() {
+        let g = graph();
+        let s = CpdState::init(&g, &config());
+        for t in 0..2 {
+            let sum: f64 = (0..2).map(|z| s.topic_popularity(t, z)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "t = {t}: {sum}");
+        }
+    }
+
+    #[test]
+    fn consistency_check_detects_corruption() {
+        let g = graph();
+        let mut s = CpdState::init(&g, &config());
+        s.n_cz[0] += 1;
+        assert!(s.check_consistency(&g).is_err());
+    }
+
+    #[test]
+    fn link_metadata_resolves_authors() {
+        let g = graph();
+        let meta = link_metadata(&g);
+        assert_eq!(meta.len(), 1);
+        assert_eq!(meta[0].src_doc, 2);
+        assert_eq!(meta[0].dst_doc, 0);
+        assert_eq!(meta[0].src_author, 1);
+        assert_eq!(meta[0].dst_author, 0);
+        assert_eq!(meta[0].at, 1);
+    }
+}

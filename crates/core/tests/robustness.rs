@@ -1,0 +1,186 @@
+//! Failure injection and robustness: CPD must fit (or fail cleanly) on
+//! degenerate graphs — no links, one community, one topic, empty-ish
+//! users — and on arbitrary small random graphs without panicking or
+//! producing unnormalised output.
+
+use cpd_core::{Cpd, CpdConfig, DiffusionPredictor, Eta, UserFeatures};
+use proptest::prelude::*;
+use social_graph::{DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId};
+
+fn quick(c: usize, z: usize) -> CpdConfig {
+    CpdConfig {
+        em_iters: 2,
+        gibbs_sweeps: 1,
+        nu_iters: 10,
+        seed: 1,
+        ..CpdConfig::new(c, z)
+    }
+}
+
+fn check_model(g: &SocialGraph, cfg: &CpdConfig) {
+    let fit = Cpd::new(cfg.clone()).unwrap().fit(g);
+    let m = &fit.model;
+    for row in &m.pi {
+        let s: f64 = row.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "pi row sums to {s}");
+        assert!(row.iter().all(|&p| p.is_finite() && p >= 0.0));
+    }
+    for row in &m.theta {
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+    for row in &m.phi {
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+    assert!(m.nu.iter().all(|v| v.is_finite()));
+    // Predictor runs on every document.
+    let features = UserFeatures::compute(g);
+    let pred = DiffusionPredictor::new(m, &features, cfg);
+    if g.n_docs() > 0 {
+        let p = pred.score(g, UserId(0), DocId(0), 0);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}
+
+#[test]
+fn fits_with_no_links_at_all() {
+    let mut b = SocialGraphBuilder::new(4, 3);
+    for u in 0..4u32 {
+        b.add_document(Document::new(UserId(u), vec![WordId(u % 3), WordId(0)], 0));
+    }
+    let g = b.build().unwrap();
+    check_model(&g, &quick(2, 2));
+}
+
+#[test]
+fn fits_with_only_friendship_links() {
+    let mut b = SocialGraphBuilder::new(3, 2);
+    for u in 0..3u32 {
+        b.add_document(Document::new(UserId(u), vec![WordId(0), WordId(1)], 0));
+    }
+    b.add_friendship(UserId(0), UserId(1));
+    b.add_friendship(UserId(1), UserId(2));
+    let g = b.build().unwrap();
+    check_model(&g, &quick(2, 2));
+}
+
+#[test]
+fn fits_with_only_diffusion_links() {
+    let mut b = SocialGraphBuilder::new(3, 2);
+    let mut ids = Vec::new();
+    for u in 0..3u32 {
+        ids.push(b.add_document(Document::new(UserId(u), vec![WordId(0), WordId(1)], u)));
+    }
+    b.add_diffusion(ids[1], ids[0], 1);
+    b.add_diffusion(ids[2], ids[0], 2);
+    let g = b.build().unwrap();
+    check_model(&g, &quick(2, 2));
+}
+
+#[test]
+fn fits_with_single_community_and_topic() {
+    let mut b = SocialGraphBuilder::new(3, 2);
+    let mut ids = Vec::new();
+    for u in 0..3u32 {
+        ids.push(b.add_document(Document::new(UserId(u), vec![WordId(0), WordId(1)], 0)));
+    }
+    b.add_friendship(UserId(0), UserId(1));
+    b.add_diffusion(ids[2], ids[0], 0);
+    let g = b.build().unwrap();
+    check_model(&g, &quick(1, 1));
+    // A 1x1x1 eta row-normalises to exactly 1.
+    let fit = Cpd::new(quick(1, 1)).unwrap().fit(&g);
+    assert!((fit.model.eta.at(0, 0, 0) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn fits_with_users_without_documents() {
+    // Users 3 and 4 never publish (the paper drops them in preprocessing;
+    // the model must still not crash when they remain).
+    let mut b = SocialGraphBuilder::new(5, 2);
+    for u in 0..3u32 {
+        b.add_document(Document::new(UserId(u), vec![WordId(0), WordId(1)], 0));
+    }
+    b.add_friendship(UserId(3), UserId(4));
+    b.add_friendship(UserId(0), UserId(3));
+    let g = b.build().unwrap();
+    check_model(&g, &quick(2, 2));
+}
+
+#[test]
+fn fits_with_more_communities_than_users() {
+    let mut b = SocialGraphBuilder::new(2, 2);
+    b.add_document(Document::new(UserId(0), vec![WordId(0)], 0));
+    b.add_document(Document::new(UserId(1), vec![WordId(1)], 0));
+    b.add_friendship(UserId(0), UserId(1));
+    let g = b.build().unwrap();
+    check_model(&g, &quick(8, 4));
+}
+
+#[test]
+fn parallel_fit_on_degenerate_graph() {
+    let mut b = SocialGraphBuilder::new(3, 2);
+    for u in 0..3u32 {
+        b.add_document(Document::new(UserId(u), vec![WordId(0), WordId(1)], 0));
+    }
+    let g = b.build().unwrap();
+    let cfg = CpdConfig {
+        threads: Some(4), // more threads than meaningful segments
+        ..quick(2, 2)
+    };
+    check_model(&g, &cfg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fit_never_panics_on_random_small_graphs(
+        n_users in 2usize..8,
+        docs in prop::collection::vec((0u32..8, prop::collection::vec(0u32..5, 1..4), 0u32..4), 1..15),
+        friends in prop::collection::vec((0u32..8, 0u32..8), 0..10),
+        diffs in prop::collection::vec((0u32..15, 0u32..15), 0..8),
+        c in 1usize..5,
+        z in 1usize..4,
+    ) {
+        let mut b = SocialGraphBuilder::new(n_users, 5);
+        let mut n_docs = 0u32;
+        for (author, words, t) in &docs {
+            b.add_document(Document::new(
+                UserId(author % n_users as u32),
+                words.iter().map(|&w| WordId(w)).collect(),
+                *t,
+            ));
+            n_docs += 1;
+        }
+        for (u, v) in &friends {
+            let (u, v) = (u % n_users as u32, v % n_users as u32);
+            if u != v {
+                b.add_friendship(UserId(u), UserId(v));
+            }
+        }
+        for (i, j) in &diffs {
+            let (i, j) = (i % n_docs, j % n_docs);
+            if i != j {
+                b.add_diffusion(DocId(i), DocId(j), 0);
+            }
+        }
+        let g = b.build().unwrap();
+        check_model(&g, &quick(c, z));
+    }
+
+    #[test]
+    fn eta_from_counts_always_row_normalises(
+        counts in prop::collection::vec(0f64..100.0, 8..8 + 1),
+        smoothing in 0.001f64..1.0,
+    ) {
+        // 2 communities x 2 topics.
+        let eta = Eta::from_counts(2, 2, &counts, smoothing);
+        for c in 0..2 {
+            let s: f64 = (0..2)
+                .flat_map(|c2| (0..2).map(move |zz| (c2, zz)))
+                .map(|(c2, zz)| eta.at(c, c2, zz))
+                .sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Generator configuration and the two dataset presets.
+
+/// Preset sizes. `Tiny` keeps unit tests fast; `Small` drives the
+/// integration tests; `Medium` is the default for the figure/bench
+/// binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~120 users — unit tests.
+    Tiny,
+    /// ~600 users — integration tests and quick example runs.
+    Small,
+    /// ~2000 users — figure regeneration.
+    Medium,
+}
+
+/// Full generator configuration. Start from [`GenConfig::twitter_like`] or
+/// [`GenConfig::dblp_like`] and override fields as needed.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// `|U|`.
+    pub n_users: usize,
+    /// Number of planted communities.
+    pub n_communities: usize,
+    /// Number of planted topics.
+    pub n_topics: usize,
+    /// `|W|`.
+    pub vocab_size: usize,
+    /// Number of discrete time buckets.
+    pub n_timestamps: u32,
+    /// Mean original (non-diffusion) documents per user.
+    pub mean_docs_per_user: f64,
+    /// Mean tokens per document (short documents, like tweets / titles).
+    pub mean_words_per_doc: f64,
+    /// Mean friendship out-degree per user.
+    pub mean_friend_degree: f64,
+    /// Fraction of friendship links drawn inside the dominant community.
+    pub intra_friend_fraction: f64,
+    /// Number of diffusion links to generate.
+    pub n_diffusions: usize,
+    /// Probability mass a user puts on her dominant community.
+    pub membership_concentration: f64,
+    /// Symmetric Dirichlet concentration for community topic profiles
+    /// (small = each community focuses on few topics).
+    pub topic_sparsity: f64,
+    /// Zipf exponent for word frequencies.
+    pub word_zipf_exponent: f64,
+    /// Share of a topic's word mass on its anchor-word block.
+    pub anchor_mass: f64,
+    /// Relative strength of within-community diffusion in `η*`.
+    pub eta_self_strength: f64,
+    /// Number of planted strong cross-community `(c, c', z)` triples.
+    pub n_cross_pairs: usize,
+    /// Strength of each planted cross pair relative to self-diffusion.
+    pub cross_strength: f64,
+    /// Probability a diffusion is driven by individual celebrity
+    /// preference instead of community structure.
+    pub nonconformity_individual: f64,
+    /// Probability a diffusion is driven by a trending topic.
+    pub nonconformity_topic: f64,
+    /// Retweet semantics: the diffusing document duplicates the source
+    /// content (Twitter) vs. fresh content (DBLP citation).
+    pub duplicate_content: bool,
+    /// Add friendship links in both directions (co-authorship).
+    pub symmetric_friendship: bool,
+    /// Force diffusion source timestamps to be >= target timestamps
+    /// (citations cannot go back in time).
+    pub respect_time_order: bool,
+    /// RNG seed; everything is deterministic given this.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// Twitter-flavoured preset: many short documents per user, directed
+    /// follows, retweets duplicate content, strong trend effects.
+    pub fn twitter_like(scale: Scale) -> Self {
+        let (n_users, docs, diffusions) = match scale {
+            Scale::Tiny => (120, 6.0, 400),
+            Scale::Small => (600, 8.0, 2_500),
+            Scale::Medium => (2_000, 10.0, 12_000),
+        };
+        Self {
+            n_users,
+            n_communities: 8,
+            n_topics: 12,
+            vocab_size: 1_200,
+            n_timestamps: 24,
+            mean_docs_per_user: docs,
+            mean_words_per_doc: 6.0,
+            mean_friend_degree: 10.0,
+            intra_friend_fraction: 0.85,
+            n_diffusions: diffusions,
+            membership_concentration: 0.85,
+            topic_sparsity: 0.15,
+            word_zipf_exponent: 1.05,
+            anchor_mass: 0.7,
+            eta_self_strength: 1.0,
+            n_cross_pairs: 6,
+            cross_strength: 1.5,
+            nonconformity_individual: 0.15,
+            nonconformity_topic: 0.15,
+            duplicate_content: true,
+            symmetric_friendship: false,
+            respect_time_order: false,
+            seed: 2017,
+        }
+    }
+
+    /// DBLP-flavoured preset: fewer documents per author, symmetric
+    /// co-authorship, time-ordered citations with fresh content, and a
+    /// *larger* share of strong cross-community pairs (citations cross
+    /// fields more than co-authorships do — the weak-ties effect).
+    pub fn dblp_like(scale: Scale) -> Self {
+        let (n_users, docs, diffusions) = match scale {
+            Scale::Tiny => (120, 4.0, 500),
+            Scale::Small => (600, 5.0, 3_000),
+            Scale::Medium => (2_000, 6.0, 15_000),
+        };
+        Self {
+            n_users,
+            n_communities: 8,
+            n_topics: 12,
+            vocab_size: 1_000,
+            n_timestamps: 32,
+            mean_docs_per_user: docs,
+            mean_words_per_doc: 7.0,
+            mean_friend_degree: 7.0,
+            intra_friend_fraction: 0.9,
+            n_diffusions: diffusions,
+            membership_concentration: 0.9,
+            topic_sparsity: 0.12,
+            word_zipf_exponent: 1.0,
+            anchor_mass: 0.75,
+            eta_self_strength: 1.0,
+            n_cross_pairs: 10,
+            cross_strength: 2.0,
+            nonconformity_individual: 0.12,
+            nonconformity_topic: 0.10,
+            duplicate_content: false,
+            symmetric_friendship: true,
+            respect_time_order: true,
+            seed: 1936,
+        }
+    }
+
+    /// Sanity-check the configuration; called by the generator.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_users == 0 || self.n_communities == 0 || self.n_topics == 0 {
+            return Err("users, communities and topics must be positive".into());
+        }
+        if self.vocab_size < self.n_topics {
+            return Err("vocabulary must be at least as large as the topic count".into());
+        }
+        if self.n_timestamps == 0 {
+            return Err("need at least one time bucket".into());
+        }
+        for (name, v) in [
+            ("intra_friend_fraction", self.intra_friend_fraction),
+            ("membership_concentration", self.membership_concentration),
+            ("anchor_mass", self.anchor_mass),
+            ("nonconformity_individual", self.nonconformity_individual),
+            ("nonconformity_topic", self.nonconformity_topic),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability, got {v}"));
+            }
+        }
+        if self.nonconformity_individual + self.nonconformity_topic > 1.0 {
+            return Err("nonconformity fractions exceed 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for scale in [Scale::Tiny, Scale::Small, Scale::Medium] {
+            GenConfig::twitter_like(scale).validate().unwrap();
+            GenConfig::dblp_like(scale).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut c = GenConfig::twitter_like(Scale::Tiny);
+        c.n_users = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GenConfig::twitter_like(Scale::Tiny);
+        c.intra_friend_fraction = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = GenConfig::twitter_like(Scale::Tiny);
+        c.nonconformity_individual = 0.7;
+        c.nonconformity_topic = 0.7;
+        assert!(c.validate().is_err());
+
+        let mut c = GenConfig::twitter_like(Scale::Tiny);
+        c.vocab_size = 2;
+        assert!(c.validate().is_err());
+    }
+}

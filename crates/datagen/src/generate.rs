@@ -1,0 +1,390 @@
+//! The generator itself.
+
+use crate::config::GenConfig;
+use crate::truth::GroundTruth;
+use cpd_prob::categorical::{sample_index, AliasTable};
+use cpd_prob::dirichlet::sample_symmetric_dirichlet;
+use cpd_prob::poisson::sample_poisson;
+use cpd_prob::rng::seeded_rng;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use social_graph::{DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId};
+use std::collections::HashSet;
+
+/// Generate a synthetic social graph and its planted ground truth.
+///
+/// # Panics
+/// Panics if the configuration fails [`GenConfig::validate`].
+pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
+    cfg.validate().expect("invalid generator configuration");
+    let mut rng = seeded_rng(cfg.seed);
+    let c_n = cfg.n_communities;
+    let z_n = cfg.n_topics;
+
+    // --- Communities and memberships -----------------------------------
+    let comm_weights = sample_symmetric_dirichlet(&mut rng, c_n, 4.0);
+    let comm_sampler = AliasTable::new(&comm_weights);
+    let dominant: Vec<usize> = (0..cfg.n_users).map(|_| comm_sampler.sample(&mut rng)).collect();
+    let pi: Vec<Vec<f64>> = dominant
+        .iter()
+        .map(|&d| {
+            let mut row = vec![(1.0 - cfg.membership_concentration) / (c_n - 1).max(1) as f64; c_n];
+            row[d] = if c_n == 1 {
+                1.0
+            } else {
+                cfg.membership_concentration
+            };
+            row
+        })
+        .collect();
+    let mut users_of_comm: Vec<Vec<u32>> = vec![Vec::new(); c_n];
+    for (u, &d) in dominant.iter().enumerate() {
+        users_of_comm[d].push(u as u32);
+    }
+
+    // --- Celebrity weights (individual-preference factor) --------------
+    let mut ranks: Vec<usize> = (0..cfg.n_users).collect();
+    ranks.shuffle(&mut rng);
+    let mut celebrity = vec![0.0f64; cfg.n_users];
+    for (rank, &u) in ranks.iter().enumerate() {
+        celebrity[u] = 1.0 / ((rank + 1) as f64).powf(0.8);
+    }
+    let celebrity_sampler = AliasTable::new(&celebrity);
+    // Per-community celebrity-weighted user samplers.
+    let comm_user_samplers: Vec<Option<AliasTable>> = users_of_comm
+        .iter()
+        .map(|members| {
+            if members.is_empty() {
+                None
+            } else {
+                let w: Vec<f64> = members.iter().map(|&u| celebrity[u as usize]).collect();
+                Some(AliasTable::new(&w))
+            }
+        })
+        .collect();
+    let sample_user_in =
+        |rng: &mut StdRng, c: usize, users_of_comm: &[Vec<u32>]| -> Option<u32> {
+            let t = comm_user_samplers[c].as_ref()?;
+            Some(users_of_comm[c][t.sample(rng)])
+        };
+
+    // --- Topic profiles and word distributions -------------------------
+    let theta: Vec<Vec<f64>> = (0..c_n)
+        .map(|_| sample_symmetric_dirichlet(&mut rng, z_n, cfg.topic_sparsity))
+        .collect();
+    let theta_samplers: Vec<AliasTable> = theta.iter().map(|t| AliasTable::new(t)).collect();
+
+    let phi = build_phi(cfg);
+    let phi_samplers: Vec<AliasTable> = phi.iter().map(|p| AliasTable::new(p)).collect();
+
+    // Topic popularity peaks over time.
+    let topic_peak: Vec<u32> = (0..z_n)
+        .map(|_| rng.gen_range(0..cfg.n_timestamps))
+        .collect();
+
+    // --- Base documents -------------------------------------------------
+    let mut builder = SocialGraphBuilder::new(cfg.n_users, cfg.vocab_size);
+    let mut doc_community: Vec<usize> = Vec::new();
+    let mut doc_topic: Vec<usize> = Vec::new();
+    let mut docs_by_ct: Vec<Vec<u32>> = vec![Vec::new(); c_n * z_n];
+    let mut docs_by_topic: Vec<Vec<u32>> = vec![Vec::new(); z_n];
+    let mut doc_meta: Vec<(u32, u32)> = Vec::new(); // (author, timestamp)
+
+    let emit_doc = |builder: &mut SocialGraphBuilder,
+                        rng: &mut StdRng,
+                        u: u32,
+                        c: usize,
+                        z: usize,
+                        t: u32,
+                        words: Vec<WordId>,
+                        doc_community: &mut Vec<usize>,
+                        doc_topic: &mut Vec<usize>,
+                        docs_by_ct: &mut Vec<Vec<u32>>,
+                        docs_by_topic: &mut Vec<Vec<u32>>,
+                        doc_meta: &mut Vec<(u32, u32)>|
+     -> DocId {
+        let _ = rng;
+        let id = builder.add_document(Document::new(UserId(u), words, t));
+        doc_community.push(c);
+        doc_topic.push(z);
+        docs_by_ct[c * z_n + z].push(id.0);
+        docs_by_topic[z].push(id.0);
+        doc_meta.push((u, t));
+        id
+    };
+
+    for u in 0..cfg.n_users {
+        let n_docs = 1 + sample_poisson(&mut rng, (cfg.mean_docs_per_user - 1.0).max(0.0));
+        for _ in 0..n_docs {
+            let c = weighted_community(&mut rng, &pi[u]);
+            let z = theta_samplers[c].sample(&mut rng);
+            let t = timestamp_near_peak(&mut rng, topic_peak[z], cfg.n_timestamps);
+            let words = sample_words(&mut rng, &phi_samplers[z], cfg.mean_words_per_doc);
+            emit_doc(
+                &mut builder,
+                &mut rng,
+                u as u32,
+                c,
+                z,
+                t,
+                words,
+                &mut doc_community,
+                &mut doc_topic,
+                &mut docs_by_ct,
+                &mut docs_by_topic,
+                &mut doc_meta,
+            );
+        }
+    }
+
+    // --- Friendship links ------------------------------------------------
+    // Edges are collected in a Vec (insertion order keeps the output
+    // deterministic for a fixed seed); the set only deduplicates.
+    let mut edge_set: HashSet<(u32, u32)> = HashSet::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let target_links = (cfg.n_users as f64 * cfg.mean_friend_degree) as usize;
+    let mut attempts = 0usize;
+    while edges.len() < target_links && attempts < target_links * 20 {
+        attempts += 1;
+        let u = rng.gen_range(0..cfg.n_users) as u32;
+        let du = dominant[u as usize];
+        let c = if rng.gen::<f64>() < cfg.intra_friend_fraction || c_n == 1 {
+            du
+        } else {
+            // A different community, uniformly.
+            let mut other = rng.gen_range(0..c_n - 1);
+            if other >= du {
+                other += 1;
+            }
+            other
+        };
+        let Some(v) = sample_user_in(&mut rng, c, &users_of_comm) else {
+            continue;
+        };
+        if v == u {
+            continue;
+        }
+        if edge_set.insert((u, v)) {
+            edges.push((u, v));
+            if cfg.symmetric_friendship && edge_set.insert((v, u)) {
+                edges.push((v, u));
+            }
+        }
+    }
+    for &(u, v) in &edges {
+        builder.add_friendship(UserId(u), UserId(v));
+    }
+
+    // --- Planted diffusion profile η* ------------------------------------
+    let mut eta = vec![0.0f64; c_n * c_n * z_n];
+    for c in 0..c_n {
+        for z in 0..z_n {
+            eta[c * c_n * z_n + c * z_n + z] = cfg.eta_self_strength * theta[c][z];
+        }
+    }
+    let mut cross_pairs: Vec<(usize, usize, usize)> = Vec::new();
+    let mut seen_pairs: HashSet<(usize, usize, usize)> = HashSet::new();
+    while cross_pairs.len() < cfg.n_cross_pairs && c_n > 1 {
+        let c = rng.gen_range(0..c_n);
+        let mut c2 = rng.gen_range(0..c_n - 1);
+        if c2 >= c {
+            c2 += 1;
+        }
+        // Diffuse the *target* community's strong topic (the "SE cites ML
+        // on deep learning" pattern).
+        let z = theta_samplers[c2].sample(&mut rng);
+        if seen_pairs.insert((c, c2, z)) {
+            cross_pairs.push((c, c2, z));
+            eta[c * c_n * z_n + c2 * z_n + z] += cfg.cross_strength * theta[c2][z].max(0.05);
+        }
+    }
+    // Row-normalise per source community.
+    for c in 0..c_n {
+        let row = &mut eta[c * c_n * z_n..(c + 1) * c_n * z_n];
+        let total: f64 = row.iter().sum();
+        if total > 0.0 {
+            row.iter_mut().for_each(|x| *x /= total);
+        }
+    }
+
+    // Event sampler over (c, c', z) triples, weighted by η* and community
+    // sizes.
+    let mut triple_weights = vec![0.0f64; c_n * c_n * z_n];
+    for c in 0..c_n {
+        for c2 in 0..c_n {
+            for z in 0..z_n {
+                let idx = c * c_n * z_n + c2 * z_n + z;
+                triple_weights[idx] = eta[idx]
+                    * (users_of_comm[c].len().max(1) as f64)
+                    * (users_of_comm[c2].len().max(1) as f64);
+            }
+        }
+    }
+    let triple_sampler = AliasTable::new(&triple_weights);
+
+    // --- Diffusion links --------------------------------------------------
+    let p_ind = cfg.nonconformity_individual;
+    let p_top = cfg.nonconformity_topic;
+    let mut generated = 0usize;
+    let mut guard = 0usize;
+    while generated < cfg.n_diffusions && guard < cfg.n_diffusions * 50 {
+        guard += 1;
+        let r: f64 = rng.gen();
+        let (u, dst, z): (u32, u32, usize) = if r < p_ind {
+            // Individual preference: retweet/cite a celebrity.
+            let v = celebrity_sampler.sample(&mut rng) as u32;
+            let v_docs: Vec<u32> = doc_meta
+                .iter()
+                .enumerate()
+                .filter(|(_, &(a, _))| a == v)
+                .map(|(i, _)| i as u32)
+                .collect();
+            if v_docs.is_empty() {
+                continue;
+            }
+            let dst = v_docs[rng.gen_range(0..v_docs.len())];
+            let u = rng.gen_range(0..cfg.n_users) as u32;
+            (u, dst, doc_topic[dst as usize])
+        } else if r < p_ind + p_top {
+            // Trending topic: diffuse whatever peaks near a random epoch.
+            let t = rng.gen_range(0..cfg.n_timestamps);
+            let weights: Vec<f64> = topic_peak
+                .iter()
+                .map(|&p| {
+                    let d = (p as i64 - t as i64).unsigned_abs() as f64;
+                    (-d / 2.0).exp()
+                })
+                .collect();
+            let z = sample_index(&mut rng, &weights);
+            if docs_by_topic[z].is_empty() {
+                continue;
+            }
+            let dst = docs_by_topic[z][rng.gen_range(0..docs_by_topic[z].len())];
+            let u = rng.gen_range(0..cfg.n_users) as u32;
+            (u, dst, z)
+        } else {
+            // Community-structured diffusion from η*.
+            let idx = triple_sampler.sample(&mut rng);
+            let c = idx / (c_n * z_n);
+            let c2 = (idx / z_n) % c_n;
+            let z = idx % z_n;
+            let pool = &docs_by_ct[c2 * z_n + z];
+            if pool.is_empty() {
+                continue;
+            }
+            let dst = pool[rng.gen_range(0..pool.len())];
+            let Some(u) = sample_user_in(&mut rng, c, &users_of_comm) else {
+                continue;
+            };
+            (u, dst, z)
+        };
+        let (dst_author, dst_time) = doc_meta[dst as usize];
+        if u == dst_author {
+            continue; // no self-diffusion
+        }
+        let t_src = if cfg.respect_time_order {
+            (dst_time + 1 + sample_poisson(&mut rng, 2.0) as u32).min(cfg.n_timestamps - 1)
+        } else {
+            timestamp_near_peak(&mut rng, topic_peak[z], cfg.n_timestamps)
+        };
+        let words = if cfg.duplicate_content {
+            // Retweets duplicate the source content verbatim.
+            builder.doc(DocId(dst)).words.clone()
+        } else {
+            sample_words(&mut rng, &phi_samplers[z], cfg.mean_words_per_doc)
+        };
+        let c_label = weighted_community(&mut rng, &pi[u as usize]);
+        let src = emit_doc(
+            &mut builder,
+            &mut rng,
+            u,
+            c_label,
+            z,
+            t_src,
+            words,
+            &mut doc_community,
+            &mut doc_topic,
+            &mut docs_by_ct,
+            &mut docs_by_topic,
+            &mut doc_meta,
+        );
+        builder.add_diffusion(src, DocId(dst), t_src);
+        generated += 1;
+    }
+
+    let graph = builder.build().expect("generator produced a valid graph");
+    let truth = GroundTruth {
+        pi,
+        dominant_community: dominant,
+        theta,
+        phi,
+        eta,
+        n_communities: c_n,
+        n_topics: z_n,
+        doc_community,
+        doc_topic,
+        topic_peak,
+        celebrity,
+        cross_pairs,
+    };
+    (graph, truth)
+}
+
+/// Topic-word distributions with anchor blocks: topic `z` puts
+/// `anchor_mass` on its own block of `W/Z` words (Zipf within the block)
+/// and the remainder on a global Zipf background.
+fn build_phi(cfg: &GenConfig) -> Vec<Vec<f64>> {
+    let w = cfg.vocab_size;
+    let z_n = cfg.n_topics;
+    let block = w / z_n;
+    let zipf_weight = |rank: usize| 1.0 / ((rank + 1) as f64).powf(cfg.word_zipf_exponent);
+    let background_total: f64 = (0..w).map(zipf_weight).sum();
+    (0..z_n)
+        .map(|z| {
+            let lo = z * block;
+            let hi = if z == z_n - 1 { w } else { lo + block };
+            let anchor_total: f64 = (0..hi - lo).map(zipf_weight).sum();
+            let mut row = vec![0.0f64; w];
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = (1.0 - cfg.anchor_mass) * zipf_weight(i) / background_total;
+            }
+            for i in lo..hi {
+                row[i] += cfg.anchor_mass * zipf_weight(i - lo) / anchor_total;
+            }
+            row
+        })
+        .collect()
+}
+
+fn weighted_community(rng: &mut StdRng, pi_row: &[f64]) -> usize {
+    sample_index(rng, pi_row)
+}
+
+fn timestamp_near_peak(rng: &mut StdRng, peak: u32, n_timestamps: u32) -> u32 {
+    let offset = sample_poisson(rng, 2.0) as i64;
+    let sign: i64 = if rng.gen::<bool>() { 1 } else { -1 };
+    (peak as i64 + sign * offset).clamp(0, n_timestamps as i64 - 1) as u32
+}
+
+fn sample_words(rng: &mut StdRng, sampler: &AliasTable, mean_len: f64) -> Vec<WordId> {
+    let len = 2 + sample_poisson(rng, (mean_len - 2.0).max(0.0)) as usize;
+    (0..len).map(|_| WordId(sampler.sample(rng) as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    #[test]
+    fn zipf_phi_rows_normalise() {
+        let cfg = GenConfig::twitter_like(Scale::Tiny);
+        let phi = build_phi(&cfg);
+        assert_eq!(phi.len(), cfg.n_topics);
+        for row in &phi {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{s}");
+        }
+    }
+}

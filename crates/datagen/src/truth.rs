@@ -1,0 +1,39 @@
+//! Planted ground truth emitted alongside each synthetic graph.
+
+/// Everything the generator planted, for recovery evaluation.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// True membership `π*_u` (`U x C`).
+    pub pi: Vec<Vec<f64>>,
+    /// Each user's dominant community.
+    pub dominant_community: Vec<usize>,
+    /// True community content profiles `θ*_c` (`C x Z`).
+    pub theta: Vec<Vec<f64>>,
+    /// True topic-word distributions `φ*_z` (`Z x W`).
+    pub phi: Vec<Vec<f64>>,
+    /// True diffusion profile `η*` flattened as `c * (C * Z) + c' * Z + z`,
+    /// row-normalised per source community `c`.
+    pub eta: Vec<f64>,
+    /// Number of communities.
+    pub n_communities: usize,
+    /// Number of topics.
+    pub n_topics: usize,
+    /// Per-document generating community.
+    pub doc_community: Vec<usize>,
+    /// Per-document generating topic.
+    pub doc_topic: Vec<usize>,
+    /// Per-topic popularity peak epoch.
+    pub topic_peak: Vec<u32>,
+    /// Per-user celebrity weight (drives the individual diffusion factor).
+    pub celebrity: Vec<f64>,
+    /// The planted strong cross-community triples `(c, c', z)`.
+    pub cross_pairs: Vec<(usize, usize, usize)>,
+}
+
+impl GroundTruth {
+    /// Planted `η*_{c,c',z}`.
+    #[inline]
+    pub fn eta_at(&self, c: usize, c2: usize, z: usize) -> f64 {
+        self.eta[c * self.n_communities * self.n_topics + c2 * self.n_topics + z]
+    }
+}

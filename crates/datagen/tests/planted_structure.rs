@@ -1,0 +1,213 @@
+//! The generator must actually plant the structure the experiments rely
+//! on: homophilous friendships, topical anchor words, community-shaped
+//! diffusion with nonconformity, and valid graphs.
+
+use cpd_datagen::{generate, GenConfig, Scale};
+use social_graph::UserId;
+
+#[test]
+fn graphs_are_valid_and_sized_roughly_to_config() {
+    for cfg in [
+        GenConfig::twitter_like(Scale::Tiny),
+        GenConfig::dblp_like(Scale::Tiny),
+    ] {
+        let (g, truth) = generate(&cfg);
+        assert_eq!(g.n_users(), cfg.n_users);
+        assert_eq!(g.vocab_size(), cfg.vocab_size);
+        // Base docs + one doc per diffusion.
+        let expected_docs = cfg.n_users as f64 * cfg.mean_docs_per_user;
+        assert!(
+            g.n_docs() as f64 > 0.5 * expected_docs,
+            "docs {} vs expected ~{expected_docs}",
+            g.n_docs()
+        );
+        assert!(g.diffusions().len() as f64 >= 0.9 * cfg.n_diffusions as f64);
+        assert_eq!(truth.doc_community.len(), g.n_docs());
+        assert_eq!(truth.doc_topic.len(), g.n_docs());
+        // Every user got at least one document.
+        for u in 0..g.n_users() {
+            assert!(g.n_docs_of(UserId(u as u32)) >= 1, "user {u} has no docs");
+        }
+    }
+}
+
+#[test]
+fn friendship_links_are_homophilous() {
+    let cfg = GenConfig::twitter_like(Scale::Small);
+    let (g, truth) = generate(&cfg);
+    let intra = g
+        .friendships()
+        .iter()
+        .filter(|l| {
+            truth.dominant_community[l.from.index()] == truth.dominant_community[l.to.index()]
+        })
+        .count();
+    let frac = intra as f64 / g.friendships().len() as f64;
+    assert!(
+        frac > cfg.intra_friend_fraction - 0.12,
+        "intra fraction {frac}"
+    );
+}
+
+#[test]
+fn twitter_retweets_duplicate_content() {
+    let cfg = GenConfig::twitter_like(Scale::Tiny);
+    let (g, _) = generate(&cfg);
+    for l in g.diffusions().iter().take(50) {
+        assert_eq!(
+            g.doc(l.src).words,
+            g.doc(l.dst).words,
+            "retweet {:?} does not duplicate its source",
+            l
+        );
+    }
+}
+
+#[test]
+fn dblp_citations_respect_time_order() {
+    let cfg = GenConfig::dblp_like(Scale::Tiny);
+    let (g, _) = generate(&cfg);
+    for l in g.diffusions() {
+        assert!(
+            g.doc(l.src).timestamp >= g.doc(l.dst).timestamp,
+            "citation goes back in time: {:?}",
+            l
+        );
+    }
+}
+
+#[test]
+fn dblp_coauthorship_is_symmetric() {
+    let cfg = GenConfig::dblp_like(Scale::Tiny);
+    let (g, _) = generate(&cfg);
+    use std::collections::HashSet;
+    let edges: HashSet<(u32, u32)> = g
+        .friendships()
+        .iter()
+        .map(|l| (l.from.0, l.to.0))
+        .collect();
+    for &(u, v) in &edges {
+        assert!(edges.contains(&(v, u)), "missing reverse edge ({u},{v})");
+    }
+}
+
+#[test]
+fn eta_rows_are_distributions_with_cross_pairs() {
+    let cfg = GenConfig::dblp_like(Scale::Tiny);
+    let (_, truth) = generate(&cfg);
+    let c_n = truth.n_communities;
+    let z_n = truth.n_topics;
+    for c in 0..c_n {
+        let row_sum: f64 = (0..c_n)
+            .flat_map(|c2| (0..z_n).map(move |z| (c2, z)))
+            .map(|(c2, z)| truth.eta_at(c, c2, z))
+            .sum();
+        assert!((row_sum - 1.0).abs() < 1e-9, "row {c} sums to {row_sum}");
+    }
+    assert_eq!(truth.cross_pairs.len(), cfg.n_cross_pairs);
+    // Planted cross pairs must stand out against the average off-diagonal
+    // entry.
+    let mut off_sum = 0.0;
+    let mut off_n = 0usize;
+    for c in 0..c_n {
+        for c2 in 0..c_n {
+            if c == c2 {
+                continue;
+            }
+            for z in 0..z_n {
+                off_sum += truth.eta_at(c, c2, z);
+                off_n += 1;
+            }
+        }
+    }
+    let off_avg = off_sum / off_n as f64;
+    for &(c, c2, z) in &truth.cross_pairs {
+        assert!(
+            truth.eta_at(c, c2, z) > 5.0 * off_avg,
+            "cross pair ({c},{c2},{z}) = {} vs avg {off_avg}",
+            truth.eta_at(c, c2, z)
+        );
+    }
+}
+
+#[test]
+fn diffusion_is_community_assortative_but_not_purely() {
+    // Community-driven events dominate, so most diffusions connect the
+    // communities that η* couples — but nonconformity keeps it from being
+    // deterministic.
+    let cfg = GenConfig::twitter_like(Scale::Small);
+    let (g, truth) = generate(&cfg);
+    let mut strong = 0usize;
+    for l in g.diffusions() {
+        let cu = truth.dominant_community[g.doc(l.src).author.index()];
+        let cv = truth.dominant_community[g.doc(l.dst).author.index()];
+        let z = truth.doc_topic[l.dst.index()];
+        if truth.eta_at(cu, cv, z) > 1e-4 {
+            strong += 1;
+        }
+    }
+    let frac = strong as f64 / g.diffusions().len() as f64;
+    assert!(
+        frac > 0.5 && frac < 1.0,
+        "eta-supported diffusion fraction {frac}"
+    );
+}
+
+#[test]
+fn topic_anchor_words_dominate() {
+    let cfg = GenConfig::twitter_like(Scale::Tiny);
+    let (_, truth) = generate(&cfg);
+    let block = cfg.vocab_size / cfg.n_topics;
+    for (z, row) in truth.phi.iter().enumerate() {
+        let lo = z * block;
+        let hi = if z == cfg.n_topics - 1 {
+            cfg.vocab_size
+        } else {
+            lo + block
+        };
+        let anchor_mass: f64 = row[lo..hi].iter().sum();
+        assert!(
+            anchor_mass > cfg.anchor_mass - 0.05,
+            "topic {z}: anchor mass {anchor_mass}"
+        );
+    }
+}
+
+#[test]
+fn generation_is_deterministic_in_seed() {
+    let cfg = GenConfig::twitter_like(Scale::Tiny);
+    let (g1, t1) = generate(&cfg);
+    let (g2, t2) = generate(&cfg);
+    assert_eq!(g1.n_docs(), g2.n_docs());
+    assert_eq!(g1.friendships(), g2.friendships());
+    assert_eq!(g1.diffusions(), g2.diffusions());
+    assert_eq!(t1.dominant_community, t2.dominant_community);
+
+    let mut cfg3 = cfg.clone();
+    cfg3.seed = 999;
+    let (g3, _) = generate(&cfg3);
+    assert_ne!(g1.friendships(), g3.friendships());
+}
+
+#[test]
+fn celebrity_users_attract_more_diffusion() {
+    let cfg = GenConfig::twitter_like(Scale::Small);
+    let (g, truth) = generate(&cfg);
+    // Count how often each user is the *diffused* (source-of-content) side.
+    let mut cited = vec![0usize; g.n_users()];
+    for l in g.diffusions() {
+        cited[g.doc(l.dst).author.index()] += 1;
+    }
+    // Top-decile celebrities vs bottom decile.
+    let mut order: Vec<usize> = (0..g.n_users()).collect();
+    order.sort_by(|&a, &b| truth.celebrity[b].partial_cmp(&truth.celebrity[a]).unwrap());
+    let top: usize = order[..g.n_users() / 10].iter().map(|&u| cited[u]).sum();
+    let bottom: usize = order[g.n_users() - g.n_users() / 10..]
+        .iter()
+        .map(|&u| cited[u])
+        .sum();
+    assert!(
+        top > bottom,
+        "celebrities should be diffused more: top {top} bottom {bottom}"
+    );
+}

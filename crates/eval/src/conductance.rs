@@ -1,0 +1,145 @@
+//! Community conductance (Sect. 6.1, "Detection quality").
+//!
+//! For a community (user set) `S` with edge set `F` viewed undirected:
+//! `cond(S) = cut(S) / min(vol(S), vol(V \ S))`. The reported number is
+//! the average over all non-trivial communities, with each user assigned
+//! to her top-five communities. Lower is better.
+
+use crate::membership::CommunityUserSets;
+use social_graph::{SocialGraph, UserId};
+
+/// Conductance of one user set `S` (sorted ids) in `g`'s friendship
+/// graph. Returns `None` for trivial sets (empty, or cutting nothing and
+/// containing all volume).
+pub fn conductance(g: &SocialGraph, members: &[u32]) -> Option<f64> {
+    if members.is_empty() {
+        return None;
+    }
+    let in_set = |u: u32| members.binary_search(&u).is_ok();
+    let mut cut = 0usize;
+    let mut vol = 0usize;
+    for &u in members {
+        let deg = g.friend_degree(UserId(u));
+        vol += deg;
+        for v in g.friend_neighbors_of(UserId(u)) {
+            if !in_set(v.0) {
+                cut += 1;
+            }
+        }
+    }
+    let total_vol = 2 * g.friendships().len();
+    let other = total_vol.saturating_sub(vol);
+    let denom = vol.min(other);
+    if denom == 0 {
+        return None;
+    }
+    Some(cut as f64 / denom as f64)
+}
+
+/// Average conductance over all communities induced by `pi` with top-`k`
+/// membership (the paper uses `k = 5`). Communities with undefined
+/// conductance are skipped; returns `None` if every community is trivial.
+pub fn average_conductance(g: &SocialGraph, pi: &[Vec<f64>], top_k: usize) -> Option<f64> {
+    let sets = CommunityUserSets::from_memberships(pi, top_k);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for c in 0..sets.n_communities() {
+        if let Some(x) = conductance(g, sets.users(c)) {
+            total += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(total / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social_graph::{Document, SocialGraphBuilder, WordId};
+
+    /// Two 4-cliques joined by a single edge.
+    fn two_cliques() -> SocialGraph {
+        let mut b = SocialGraphBuilder::new(8, 1);
+        for u in 0..8u32 {
+            b.add_document(Document::new(UserId(u), vec![WordId(0), WordId(0)], 0));
+        }
+        for grp in [0u32, 4] {
+            for i in grp..grp + 4 {
+                for j in (i + 1)..grp + 4 {
+                    b.add_friendship(UserId(i), UserId(j));
+                }
+            }
+        }
+        b.add_friendship(UserId(0), UserId(4));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clique_has_low_conductance() {
+        let g = two_cliques();
+        // S = {0,1,2,3}: vol = 6*2+1 = 13, cut = 1.
+        let c = conductance(&g, &[0, 1, 2, 3]).unwrap();
+        assert!((c - 1.0 / 13.0).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn split_community_has_high_conductance() {
+        let g = two_cliques();
+        // Mixed set straddling both cliques cuts many edges.
+        let c = conductance(&g, &[0, 1, 4, 5]).unwrap();
+        let good = conductance(&g, &[0, 1, 2, 3]).unwrap();
+        assert!(c > 3.0 * good, "mixed {c} vs clique {good}");
+    }
+
+    #[test]
+    fn trivial_sets_are_none() {
+        let g = two_cliques();
+        assert!(conductance(&g, &[]).is_none());
+        // All users: complement volume = 0.
+        assert!(conductance(&g, &[0, 1, 2, 3, 4, 5, 6, 7]).is_none());
+    }
+
+    #[test]
+    fn average_prefers_planted_partition() {
+        let g = two_cliques();
+        let planted: Vec<Vec<f64>> = (0..8)
+            .map(|u| {
+                if u < 4 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.0, 1.0]
+                }
+            })
+            .collect();
+        let scrambled: Vec<Vec<f64>> = (0..8)
+            .map(|u| {
+                if u % 2 == 0 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.0, 1.0]
+                }
+            })
+            .collect();
+        let good = average_conductance(&g, &planted, 1).unwrap();
+        let bad = average_conductance(&g, &scrambled, 1).unwrap();
+        assert!(good < bad, "planted {good} scrambled {bad}");
+    }
+
+    #[test]
+    fn isolated_users_do_not_poison_average() {
+        let mut b = SocialGraphBuilder::new(3, 1);
+        for u in 0..3u32 {
+            b.add_document(Document::new(UserId(u), vec![WordId(0)], 0));
+        }
+        b.add_friendship(UserId(0), UserId(1));
+        let g = b.build().unwrap();
+        // Community 1 = isolated user 2 (zero volume) -> skipped.
+        let pi = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        // Community 0 covers all volume -> also trivial; expect None.
+        assert!(average_conductance(&g, &pi, 1).is_none());
+    }
+}

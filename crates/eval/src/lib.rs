@@ -1,0 +1,29 @@
+//! Evaluation metrics, exactly as defined in Sect. 6.1 of the paper:
+//!
+//! * **Conductance** of detected communities, with each user assigned to
+//!   her top-five communities ([`conductance`]).
+//! * **AUC** for friendship / diffusion link prediction over positive
+//!   links and sampled negatives ([`auc`]).
+//! * **MAP/MAR/MAF@K** for profile-driven community ranking
+//!   ([`ranking`]).
+//! * **Perplexity** of content profiles ([`perplexity`]).
+//! * **NMI** against the synthetic ground truth — a recovery check the
+//!   original paper could not run ([`nmi`]).
+//! * Paired one-tailed **Student t-tests** for the significance claims
+//!   ([`ttest`]).
+
+pub mod auc;
+pub mod conductance;
+pub mod membership;
+pub mod nmi;
+pub mod perplexity;
+pub mod ranking;
+pub mod ttest;
+
+pub use auc::auc;
+pub use conductance::average_conductance;
+pub use membership::{top_k_communities, CommunityUserSets};
+pub use nmi::nmi;
+pub use perplexity::content_profile_perplexity;
+pub use ranking::{maf_curve, RankingOutcome};
+pub use ttest::{paired_t_test, TTestResult};

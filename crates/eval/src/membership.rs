@@ -1,0 +1,88 @@
+//! Soft membership → hard community user sets.
+//!
+//! Both conductance and community ranking evaluate probabilistic
+//! memberships by letting each user belong to her **top five**
+//! communities (the paper follows COLD here).
+
+/// The indices of the `k` largest entries of `row` (ties by smaller
+/// index), skipping zero-probability entries.
+pub fn top_k_communities(row: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..row.len()).filter(|&c| row[c] > 0.0).collect();
+    idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("no NaN").then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Per-community user sets derived from a `U x C` membership matrix.
+#[derive(Debug, Clone)]
+pub struct CommunityUserSets {
+    /// `sets[c]` = sorted user ids whose top-k includes community `c`.
+    sets: Vec<Vec<u32>>,
+}
+
+impl CommunityUserSets {
+    /// Build from memberships, assigning each user to her top-`k`
+    /// communities.
+    pub fn from_memberships(pi: &[Vec<f64>], k: usize) -> Self {
+        let n_comms = pi.first().map_or(0, |r| r.len());
+        let mut sets: Vec<Vec<u32>> = vec![Vec::new(); n_comms];
+        for (u, row) in pi.iter().enumerate() {
+            for c in top_k_communities(row, k) {
+                sets[c].push(u as u32);
+            }
+        }
+        Self { sets }
+    }
+
+    /// Number of communities.
+    pub fn n_communities(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Sorted users of community `c`.
+    pub fn users(&self, c: usize) -> &[u32] {
+        &self.sets[c]
+    }
+
+    /// Number of users in community `c`.
+    pub fn len(&self, c: usize) -> usize {
+        self.sets[c].len()
+    }
+
+    /// True if community `c` has no members.
+    pub fn is_empty(&self, c: usize) -> bool {
+        self.sets[c].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_probability() {
+        let row = [0.1, 0.4, 0.0, 0.3, 0.2];
+        assert_eq!(top_k_communities(&row, 3), vec![1, 3, 4]);
+        assert_eq!(top_k_communities(&row, 10), vec![1, 3, 4, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let row = [0.25, 0.25, 0.25, 0.25];
+        assert_eq!(top_k_communities(&row, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn sets_collect_users() {
+        let pi = vec![
+            vec![0.9, 0.1, 0.0],
+            vec![0.1, 0.9, 0.0],
+            vec![0.5, 0.5, 0.0],
+        ];
+        let sets = CommunityUserSets::from_memberships(&pi, 1);
+        assert_eq!(sets.users(0), &[0, 2]);
+        assert_eq!(sets.users(1), &[1]);
+        assert!(sets.is_empty(2));
+        assert_eq!(sets.n_communities(), 3);
+    }
+}

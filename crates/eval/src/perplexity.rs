@@ -1,0 +1,101 @@
+//! Content-profile perplexity (Fig. 8 of the paper).
+//!
+//! A content profile explains a user's words through her communities:
+//! `p(w | u) = Σ_c π_uc Σ_z θ_cz φ_zw`, and
+//! `perplexity = exp( − Σ_tokens ln p(w | u) / N_tokens )`.
+//! Lower is better; it directly measures the joint-vs-aggregate claim of
+//! Eq. 1 in the paper.
+
+use social_graph::Document;
+
+/// Perplexity of `docs` under the community content profiles
+/// `(pi: U x C, theta: C x Z, phi: Z x W)`.
+///
+/// Returns `None` when there are no tokens.
+pub fn content_profile_perplexity(
+    docs: &[Document],
+    pi: &[Vec<f64>],
+    theta: &[Vec<f64>],
+    phi: &[Vec<f64>],
+) -> Option<f64> {
+    let n_topics = theta.first().map_or(0, |r| r.len());
+    if n_topics == 0 {
+        return None;
+    }
+    // Per-user topic mixture m_u[z] = Σ_c π_uc θ_cz, computed lazily and
+    // cached (documents are grouped by author in practice).
+    let mut cache: Vec<Option<Vec<f64>>> = vec![None; pi.len()];
+    let mut log_lik = 0.0f64;
+    let mut n_tokens = 0usize;
+    for d in docs {
+        let u = d.author.index();
+        if cache[u].is_none() {
+            let mut m = vec![0.0f64; n_topics];
+            for (c, &p_uc) in pi[u].iter().enumerate() {
+                if p_uc == 0.0 {
+                    continue;
+                }
+                for (z, mz) in m.iter_mut().enumerate() {
+                    *mz += p_uc * theta[c][z];
+                }
+            }
+            cache[u] = Some(m);
+        }
+        let m = cache[u].as_ref().expect("just inserted");
+        for w in &d.words {
+            let p: f64 = (0..n_topics).map(|z| m[z] * phi[z][w.index()]).sum();
+            log_lik += p.max(1e-300).ln();
+            n_tokens += 1;
+        }
+    }
+    if n_tokens == 0 {
+        None
+    } else {
+        Some((-log_lik / n_tokens as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social_graph::{UserId, WordId};
+
+    fn doc(u: u32, words: &[u32]) -> Document {
+        Document::new(UserId(u), words.iter().map(|&w| WordId(w)).collect(), 0)
+    }
+
+    #[test]
+    fn oracle_profile_beats_uniform() {
+        // User 0's community always emits word 0; user 1's always word 1.
+        let docs = vec![doc(0, &[0, 0, 0]), doc(1, &[1, 1])];
+        let pi = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let theta = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let phi_oracle = vec![vec![0.99, 0.01], vec![0.01, 0.99]];
+        let phi_uniform = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        let good =
+            content_profile_perplexity(&docs, &pi, &theta, &phi_oracle).unwrap();
+        let bad =
+            content_profile_perplexity(&docs, &pi, &theta, &phi_uniform).unwrap();
+        assert!(good < bad, "oracle {good} uniform {bad}");
+        assert!((bad - 2.0).abs() < 1e-9); // uniform over 2 words
+        assert!(good < 1.02);
+    }
+
+    #[test]
+    fn uniform_everything_gives_vocab_size() {
+        let docs = vec![doc(0, &[0, 1, 2, 3])];
+        let pi = vec![vec![0.5, 0.5]];
+        let theta = vec![vec![1.0], vec![1.0]];
+        let phi = vec![vec![0.25; 4]];
+        let p = content_profile_perplexity(&docs, &pi, &theta, &phi).unwrap();
+        assert!((p - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_docs_are_none() {
+        let pi = vec![vec![1.0]];
+        let theta = vec![vec![1.0]];
+        let phi = vec![vec![1.0]];
+        assert!(content_profile_perplexity(&[], &pi, &theta, &phi).is_none());
+    }
+}

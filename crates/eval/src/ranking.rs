@@ -1,0 +1,164 @@
+//! Profile-driven community ranking metrics (Sect. 6.1):
+//!
+//! `P(K, q) = |U*_q ∩ U_K| / |U_K|`, `R(K, q) = |U*_q ∩ U_K| / |U*_q|`
+//! where `U_K` is the union of the users of the top-`K` ranked
+//! communities and `U*_q` the users who truly diffused about query `q`;
+//! `MAP@K`, `MAR@K` average the running precision/recall over ranks
+//! `1..=K` and queries, and `MAF@K` is their harmonic mean.
+
+use crate::membership::CommunityUserSets;
+
+/// Per-`K` precision/recall for one query.
+#[derive(Debug, Clone)]
+pub struct RankingOutcome {
+    /// `P(K, q)` for `K = 1..=k_max` (index 0 is `K = 1`).
+    pub precision_at: Vec<f64>,
+    /// `R(K, q)` for `K = 1..=k_max`.
+    pub recall_at: Vec<f64>,
+}
+
+/// Evaluate one query: `ranking` is the ordered community list, `sets`
+/// the community→user assignment, `relevant` a user-indexed membership
+/// mask of `U*_q`, and `k_max` the deepest rank.
+pub fn evaluate_ranking(
+    sets: &CommunityUserSets,
+    ranking: &[usize],
+    relevant: &[bool],
+    k_max: usize,
+) -> RankingOutcome {
+    let n_relevant = relevant.iter().filter(|&&r| r).count();
+    let mut in_union = vec![false; relevant.len()];
+    let mut union_size = 0usize;
+    let mut hits = 0usize;
+    let mut precision_at = Vec::with_capacity(k_max);
+    let mut recall_at = Vec::with_capacity(k_max);
+    for k in 0..k_max {
+        if let Some(&c) = ranking.get(k) {
+            for &u in sets.users(c) {
+                let u = u as usize;
+                if !in_union[u] {
+                    in_union[u] = true;
+                    union_size += 1;
+                    if relevant[u] {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        precision_at.push(if union_size == 0 {
+            0.0
+        } else {
+            hits as f64 / union_size as f64
+        });
+        recall_at.push(if n_relevant == 0 {
+            0.0
+        } else {
+            hits as f64 / n_relevant as f64
+        });
+    }
+    RankingOutcome {
+        precision_at,
+        recall_at,
+    }
+}
+
+/// Mean-average curves over queries: returns `(MAP@K, MAR@K, MAF@K)` for
+/// `K = 1..=k_max` (index 0 is `K = 1`).
+pub fn maf_curve(outcomes: &[RankingOutcome], k_max: usize) -> Vec<(f64, f64, f64)> {
+    let nq = outcomes.len().max(1) as f64;
+    (1..=k_max)
+        .map(|k| {
+            // AP@K(q) = (Σ_{i<=K} P(i, q)) / K, averaged over queries.
+            let map: f64 = outcomes
+                .iter()
+                .map(|o| o.precision_at[..k].iter().sum::<f64>() / k as f64)
+                .sum::<f64>()
+                / nq;
+            let mar: f64 = outcomes
+                .iter()
+                .map(|o| o.recall_at[..k].iter().sum::<f64>() / k as f64)
+                .sum::<f64>()
+                / nq;
+            let maf = if map + mar > 0.0 {
+                2.0 * map * mar / (map + mar)
+            } else {
+                0.0
+            };
+            (map, mar, maf)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets() -> CommunityUserSets {
+        // c0 = {0,1}, c1 = {2,3}, c2 = {4,5}
+        let pi = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        CommunityUserSets::from_memberships(&pi, 1)
+    }
+
+    #[test]
+    fn precision_recall_accumulate_with_k() {
+        let s = sets();
+        // Relevant users: 0, 1, 2 — perfect ranking puts c0 then c1 first.
+        let relevant = [true, true, true, false, false, false];
+        let o = evaluate_ranking(&s, &[0, 1, 2], &relevant, 3);
+        assert_eq!(o.precision_at[0], 1.0); // U_1 = {0,1}, both relevant
+        assert!((o.recall_at[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((o.precision_at[1] - 3.0 / 4.0).abs() < 1e-12); // {0,1,2,3}
+        assert_eq!(o.recall_at[1], 1.0);
+        assert!((o.precision_at[2] - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_ranking_scores_lower() {
+        let s = sets();
+        let relevant = [true, true, false, false, false, false];
+        let good = evaluate_ranking(&s, &[0, 1, 2], &relevant, 3);
+        let bad = evaluate_ranking(&s, &[2, 1, 0], &relevant, 3);
+        let g = maf_curve(&[good], 3);
+        let b = maf_curve(&[bad], 3);
+        assert!(g[0].2 > b[0].2);
+        assert!(g[2].2 > b[2].2);
+    }
+
+    #[test]
+    fn maf_is_harmonic_mean() {
+        let o = RankingOutcome {
+            precision_at: vec![0.5],
+            recall_at: vec![1.0],
+        };
+        let curve = maf_curve(&[o], 1);
+        let (map, mar, maf) = curve[0];
+        assert!((maf - 2.0 * map * mar / (map + mar)).abs() < 1e-12);
+        assert!((maf - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_relevant_users_is_zero_not_nan() {
+        let s = sets();
+        let relevant = [false; 6];
+        let o = evaluate_ranking(&s, &[0, 1], &relevant, 2);
+        assert_eq!(o.recall_at[1], 0.0);
+        let curve = maf_curve(&[o], 2);
+        assert_eq!(curve[1].2, 0.0);
+    }
+
+    #[test]
+    fn ranking_shorter_than_k_repeats_last_union() {
+        let s = sets();
+        let relevant = [true, true, false, false, false, false];
+        let o = evaluate_ranking(&s, &[0], &relevant, 3);
+        assert_eq!(o.precision_at[0], 1.0);
+        assert_eq!(o.precision_at[2], 1.0); // union unchanged past rank 1
+    }
+}

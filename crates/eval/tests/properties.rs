@@ -1,0 +1,127 @@
+//! Property-based tests for the evaluation metrics.
+
+use cpd_eval::membership::CommunityUserSets;
+use cpd_eval::ranking::{evaluate_ranking, maf_curve};
+use cpd_eval::{auc, nmi, paired_t_test};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn auc_matches_naive_definition(
+        pos in prop::collection::vec(0f64..1.0, 1..40),
+        neg in prop::collection::vec(0f64..1.0, 1..40),
+    ) {
+        let fast = auc(&pos, &neg).unwrap();
+        let mut wins = 0.0;
+        for &p in &pos {
+            for &n in &neg {
+                if p > n {
+                    wins += 1.0;
+                } else if p == n {
+                    wins += 0.5;
+                }
+            }
+        }
+        let naive = wins / (pos.len() * neg.len()) as f64;
+        prop_assert!((fast - naive).abs() < 1e-9, "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn auc_is_complement_under_swap(
+        pos in prop::collection::vec(0f64..1.0, 1..30),
+        neg in prop::collection::vec(0f64..1.0, 1..30),
+    ) {
+        let a = auc(&pos, &neg).unwrap();
+        let b = auc(&neg, &pos).unwrap();
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transforms(
+        pos in prop::collection::vec(0.01f64..1.0, 1..25),
+        neg in prop::collection::vec(0.01f64..1.0, 1..25),
+    ) {
+        let a = auc(&pos, &neg).unwrap();
+        let pos2: Vec<f64> = pos.iter().map(|x| x.ln()).collect();
+        let neg2: Vec<f64> = neg.iter().map(|x| x.ln()).collect();
+        let b = auc(&pos2, &neg2).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_is_bounded_symmetric_and_relabel_invariant(
+        labels in prop::collection::vec((0usize..5, 0usize..5), 2..60),
+    ) {
+        let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+        let b: Vec<usize> = labels.iter().map(|l| l.1).collect();
+        let v = nmi(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((v - nmi(&b, &a)).abs() < 1e-9);
+        // Permuting labels of one side preserves NMI.
+        let perm: Vec<usize> = a.iter().map(|&x| (x + 3) % 5).collect();
+        prop_assert!((nmi(&perm, &b) - v).abs() < 1e-9);
+        // Self-NMI is 1 unless constant.
+        let distinct = a.iter().collect::<std::collections::HashSet<_>>().len();
+        if distinct > 1 {
+            prop_assert!((nmi(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranking_recall_is_monotone_and_bounded(
+        memberships in prop::collection::vec(0usize..4, 4..40),
+        relevant_bits in prop::collection::vec(any::<bool>(), 4..40),
+        ranking in Just(vec![0usize, 1, 2, 3]),
+    ) {
+        let n = memberships.len().min(relevant_bits.len());
+        let pi: Vec<Vec<f64>> = memberships[..n]
+            .iter()
+            .map(|&c| {
+                let mut row = vec![0.0; 4];
+                row[c] = 1.0;
+                row
+            })
+            .collect();
+        let sets = CommunityUserSets::from_memberships(&pi, 1);
+        let relevant = &relevant_bits[..n];
+        let o = evaluate_ranking(&sets, &ranking, relevant, 4);
+        let mut last = 0.0;
+        for k in 0..4 {
+            prop_assert!((0.0..=1.0).contains(&o.precision_at[k]));
+            prop_assert!((0.0..=1.0).contains(&o.recall_at[k]));
+            prop_assert!(o.recall_at[k] + 1e-12 >= last, "recall not monotone");
+            last = o.recall_at[k];
+        }
+        // After ranking every community, recall is 1 if any user is
+        // relevant (every user belongs to exactly one community here).
+        if relevant.iter().any(|&r| r) {
+            prop_assert!((o.recall_at[3] - 1.0).abs() < 1e-12);
+        }
+        // MAF is the harmonic mean of MAP/MAR.
+        let curve = maf_curve(std::slice::from_ref(&o), 4);
+        for (map, mar, maf) in curve {
+            if map + mar > 0.0 {
+                prop_assert!((maf - 2.0 * map * mar / (map + mar)).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(maf, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn t_test_p_value_is_probability(
+        diffs in prop::collection::vec(-1f64..1.0, 2..30),
+        base in prop::collection::vec(0f64..1.0, 2..30),
+    ) {
+        let n = diffs.len().min(base.len());
+        let a: Vec<f64> = (0..n).map(|i| base[i] + diffs[i]).collect();
+        let b = &base[..n];
+        if let Some(r) = paired_t_test(&a, b) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+            prop_assert_eq!(r.df, (n - 1) as f64);
+            // Swapping sides mirrors the p-value.
+            let swapped = paired_t_test(b, &a).unwrap();
+            prop_assert!((r.p_value + swapped.p_value - 1.0).abs() < 1e-9);
+        }
+    }
+}

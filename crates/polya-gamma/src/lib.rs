@@ -1,0 +1,21 @@
+//! Exact Pólya-Gamma sampling.
+//!
+//! The CPD model (Sect. 4.1 of the paper) augments its two sigmoid link
+//! likelihoods with Pólya-Gamma variables `λ_uv ~ PG(1, π̂_uᵀπ̂_v)` and
+//! `δ_ij ~ PG(1, w_ij)`, turning each sigmoid into a Gaussian in the
+//! linear term (Polson, Scott & Windle 2013):
+//!
+//! ```text
+//! σ(w) = 1/2 ∫ exp(w/2 − x w²/2) p(x | 1, 0) dx,   x ~ PG(1, 0)
+//! ```
+//!
+//! This crate implements the exact `PG(1, z)` sampler of Devroye's
+//! alternating-series method as specialised by Polson–Scott–Windle: a
+//! proposal mixture of a truncated exponential (right of the inflection
+//! point `t = 0.64`) and a truncated inverse-Gaussian (left of it),
+//! accepted against the partial sums of the Jacobi density series.
+//! `PG(b, z)` for integer `b` is a sum of independent `PG(1, z)` draws.
+
+mod sampler;
+
+pub use sampler::{pg_mean, pg_variance, sample_pg, sample_pg1, PolyaGamma};

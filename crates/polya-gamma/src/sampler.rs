@@ -1,0 +1,240 @@
+//! The Devroye / Polson–Scott–Windle exact `PG(1, z)` sampler.
+
+use cpd_prob::exponential::sample_exponential;
+use cpd_prob::inverse_gaussian::sample_truncated_inverse_gaussian;
+use cpd_prob::special::normal_cdf;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Truncation point separating the two proposal regimes. `0.64` is the
+/// near-optimal constant from the Polson–Scott–Windle paper.
+const TRUNC: f64 = 0.64;
+
+/// Coefficient `a_n(x)` of the alternating series for the Jacobi density,
+/// in its left (`x <= t`) and right (`x > t`) forms.
+#[inline]
+fn a_coef(n: u32, x: f64) -> f64 {
+    let np5 = n as f64 + 0.5;
+    if x > TRUNC {
+        PI * np5 * (-np5 * np5 * PI * PI * x / 2.0).exp()
+    } else {
+        (2.0 / (PI * x)).powf(1.5) * PI * np5 * (-2.0 * np5 * np5 / x).exp()
+    }
+}
+
+/// Probability that the proposal draws from the truncated-exponential
+/// (right) branch, `p / (p + q)` in the paper's notation.
+fn exponential_branch_mass(z: f64) -> f64 {
+    let t = TRUNC;
+    let fz = PI * PI / 8.0 + z * z / 2.0;
+    let b = (1.0 / t).sqrt() * (t * z - 1.0);
+    let a = -(1.0 / t).sqrt() * (t * z + 1.0);
+    let x0 = fz.ln() + fz * t;
+    let cdf_b = normal_cdf(b);
+    let cdf_a = normal_cdf(a);
+    // q/p; the pnorm factors can underflow to 0, which is the correct limit.
+    let xb = if cdf_b > 0.0 {
+        (x0 - z + cdf_b.ln()).exp()
+    } else {
+        0.0
+    };
+    let xa = if cdf_a > 0.0 {
+        (x0 + z + cdf_a.ln()).exp()
+    } else {
+        0.0
+    };
+    let q_div_p = 4.0 / PI * (xb + xa);
+    1.0 / (1.0 + q_div_p)
+}
+
+/// Draw one sample from `PG(1, z)`.
+///
+/// The returned value is `J*(1, z/2) / 4` where `J*` is the tilted Jacobi
+/// variable; the sampler is exact (accept/reject against the alternating
+/// series, no truncation error).
+pub fn sample_pg1<R: Rng + ?Sized>(rng: &mut R, z: f64) -> f64 {
+    let z = z.abs() / 2.0;
+    let fz = PI * PI / 8.0 + z * z / 2.0;
+    let p_exp = exponential_branch_mass(z);
+    loop {
+        let x = if rng.gen::<f64>() < p_exp {
+            TRUNC + sample_exponential(rng, fz)
+        } else {
+            sample_truncated_inverse_gaussian(rng, z, TRUNC)
+        };
+        // Accept/reject by Devroye's alternating partial sums.
+        let mut s = a_coef(0, x);
+        let y = rng.gen::<f64>() * s;
+        let mut n = 0u32;
+        loop {
+            n += 1;
+            if n % 2 == 1 {
+                s -= a_coef(n, x);
+                if y <= s {
+                    return 0.25 * x;
+                }
+            } else {
+                s += a_coef(n, x);
+                if y > s {
+                    break; // reject this x, repropose
+                }
+            }
+            // The series converges geometrically; n rarely exceeds ~10.
+            debug_assert!(n < 10_000, "PG series failed to converge");
+        }
+    }
+}
+
+/// Draw one sample from `PG(b, z)` for integer `b >= 1` (sum of `b`
+/// independent `PG(1, z)` draws).
+pub fn sample_pg<R: Rng + ?Sized>(rng: &mut R, b: u32, z: f64) -> f64 {
+    assert!(b >= 1, "PG(b, z) requires b >= 1");
+    (0..b).map(|_| sample_pg1(rng, z)).sum()
+}
+
+/// Analytic mean of `PG(b, z)`: `b/(2z) · tanh(z/2)`, with the `z → 0`
+/// limit `b/4`.
+pub fn pg_mean(b: f64, z: f64) -> f64 {
+    let z = z.abs();
+    if z < 1e-8 {
+        b / 4.0
+    } else {
+        b / (2.0 * z) * (z / 2.0).tanh()
+    }
+}
+
+/// Analytic variance of `PG(b, z)`:
+/// `b/(4z³) · (sinh(z) − z) · sech²(z/2)`, with the `z → 0` limit `b/24`.
+pub fn pg_variance(b: f64, z: f64) -> f64 {
+    let z = z.abs();
+    if z < 1e-4 {
+        b / 24.0
+    } else {
+        let sech = 1.0 / (z / 2.0).cosh();
+        b / (4.0 * z.powi(3)) * (z.sinh() - z) * sech * sech
+    }
+}
+
+/// Reusable sampler handle (carries no state; exists so call sites can take
+/// a `&PolyaGamma` dependency that is mockable in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolyaGamma;
+
+impl PolyaGamma {
+    /// Construct the sampler.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Sample `PG(1, z)`.
+    #[inline]
+    pub fn draw1<R: Rng + ?Sized>(&self, rng: &mut R, z: f64) -> f64 {
+        sample_pg1(rng, z)
+    }
+
+    /// Sample `PG(b, z)`.
+    #[inline]
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R, b: u32, z: f64) -> f64 {
+        sample_pg(rng, b, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpd_prob::rng::seeded_rng;
+    use cpd_prob::stats::RunningStats;
+
+    fn empirical(z: f64, n: usize, seed: u64) -> RunningStats {
+        let mut rng = seeded_rng(seed);
+        let mut st = RunningStats::new();
+        for _ in 0..n {
+            st.push(sample_pg1(&mut rng, z));
+        }
+        st
+    }
+
+    #[test]
+    fn mean_matches_analytic_across_z() {
+        for (i, &z) in [0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0].iter().enumerate() {
+            let st = empirical(z, 40_000, 100 + i as u64);
+            let want = pg_mean(1.0, z);
+            assert!(
+                (st.mean() - want).abs() < 0.02 * want.max(0.05),
+                "z = {z}: mean {} want {want}",
+                st.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn variance_matches_analytic() {
+        for (i, &z) in [0.0, 1.0, 3.0].iter().enumerate() {
+            let st = empirical(z, 60_000, 200 + i as u64);
+            let want = pg_variance(1.0, z);
+            assert!(
+                (st.variance() - want).abs() < 0.1 * want.max(0.01),
+                "z = {z}: var {} want {want}",
+                st.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_in_z() {
+        let a = empirical(2.0, 30_000, 300);
+        let mut rng = seeded_rng(301);
+        let mut b = RunningStats::new();
+        for _ in 0..30_000 {
+            b.push(sample_pg1(&mut rng, -2.0));
+        }
+        assert!((a.mean() - b.mean()).abs() < 0.01);
+    }
+
+    #[test]
+    fn draws_are_positive() {
+        let mut rng = seeded_rng(302);
+        for &z in &[0.0, 0.01, 1.0, 50.0] {
+            for _ in 0..2_000 {
+                assert!(sample_pg1(&mut rng, z) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pg_b_is_sum_of_pg1() {
+        let mut rng = seeded_rng(303);
+        let mut st = RunningStats::new();
+        for _ in 0..30_000 {
+            st.push(sample_pg(&mut rng, 3, 1.0));
+        }
+        let want = pg_mean(3.0, 1.0);
+        assert!((st.mean() - want).abs() < 0.02 * want);
+    }
+
+    #[test]
+    fn large_z_concentrates_near_zero() {
+        // E[PG(1, z)] → 1/(2z) for large z; draws should be tiny.
+        let st = empirical(40.0, 10_000, 304);
+        assert!(st.mean() < 0.02, "mean {}", st.mean());
+        assert!(st.max() < 0.5);
+    }
+
+    #[test]
+    fn augmentation_identity_monte_carlo() {
+        // σ(w) = (1/2) E_{x~PG(1,0)}[exp(w/2 − x w²/2)] — the identity the
+        // whole inference rests on (Eq. 7 in the paper).
+        let mut rng = seeded_rng(305);
+        for &w in &[0.5f64, 1.0, 2.0] {
+            let n = 120_000;
+            let mut acc = 0.0;
+            for _ in 0..n {
+                let x = sample_pg1(&mut rng, 0.0);
+                acc += (w / 2.0 - x * w * w / 2.0).exp();
+            }
+            let est = 0.5 * acc / n as f64;
+            let want = cpd_prob::special::sigmoid(w);
+            assert!((est - want).abs() < 0.01, "w = {w}: est {est} want {want}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Property-based tests for the Pólya-Gamma sampler.
+
+use cpd_prob::rng::seeded_rng;
+use polya_gamma::{pg_mean, pg_variance, sample_pg, sample_pg1};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn draws_are_positive_and_finite(z in -50f64..50.0, seed in 0u64..10_000) {
+        let mut rng = seeded_rng(seed);
+        let x = sample_pg1(&mut rng, z);
+        prop_assert!(x > 0.0 && x.is_finite(), "z = {z}: {x}");
+    }
+
+    #[test]
+    fn mean_is_decreasing_in_abs_z(z in 0.0f64..20.0, dz in 0.1f64..10.0) {
+        // E[PG(1, z)] = tanh(z/2)/(2z) strictly decreases in |z|.
+        prop_assert!(pg_mean(1.0, z) >= pg_mean(1.0, z + dz) - 1e-12);
+    }
+
+    #[test]
+    fn analytic_moments_are_positive_and_symmetric(z in -30f64..30.0) {
+        prop_assert!(pg_mean(1.0, z) > 0.0);
+        prop_assert!(pg_variance(1.0, z) > 0.0);
+        prop_assert!((pg_mean(1.0, z) - pg_mean(1.0, -z)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn batch_mean_tracks_analytic(z in 0.0f64..8.0, seed in 0u64..100) {
+        let mut rng = seeded_rng(seed);
+        let n = 3000;
+        let m: f64 = (0..n).map(|_| sample_pg1(&mut rng, z)).sum::<f64>() / n as f64;
+        let want = pg_mean(1.0, z);
+        let sd = (pg_variance(1.0, z) / n as f64).sqrt();
+        // 6-sigma band keeps the test robust while catching real bugs.
+        prop_assert!((m - want).abs() < 6.0 * sd + 1e-4, "z = {z}: {m} vs {want}");
+    }
+
+    #[test]
+    fn pg_b_scales_linearly(b in 1u32..6, z in 0.0f64..5.0, seed in 0u64..50) {
+        let mut rng = seeded_rng(seed);
+        let n = 1500;
+        let m: f64 = (0..n).map(|_| sample_pg(&mut rng, b, z)).sum::<f64>() / n as f64;
+        let want = pg_mean(b as f64, z);
+        let sd = (pg_variance(b as f64, z) / n as f64).sqrt();
+        prop_assert!((m - want).abs() < 6.0 * sd + 1e-3, "b = {b}, z = {z}: {m} vs {want}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Beta draws from two Gamma draws.
+
+use crate::gamma::sample_gamma;
+use rand::Rng;
+
+/// Sample `Beta(a, b)`.
+pub fn sample_beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    debug_assert!(a > 0.0 && b > 0.0);
+    let x = sample_gamma(rng, a, 1.0);
+    let y = sample_gamma(rng, b, 1.0);
+    x / (x + y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::stats::RunningStats;
+
+    #[test]
+    fn mean_and_range() {
+        let mut rng = seeded_rng(31);
+        for &(a, b) in &[(1.0, 1.0), (2.0, 5.0), (0.5, 0.5)] {
+            let mut st = RunningStats::new();
+            for _ in 0..40_000 {
+                let x = sample_beta(&mut rng, a, b);
+                assert!((0.0..=1.0).contains(&x));
+                st.push(x);
+            }
+            let want = a / (a + b);
+            assert!((st.mean() - want).abs() < 0.01, "a={a} b={b}");
+        }
+    }
+}

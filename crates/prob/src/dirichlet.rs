@@ -1,0 +1,89 @@
+//! Dirichlet draws (via normalised Gammas).
+
+use crate::gamma::sample_gamma;
+use rand::Rng;
+
+/// Sample a Dirichlet vector with concentration parameters `alpha`.
+/// Panics (debug) if any concentration is non-positive or the slice is empty.
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
+    debug_assert!(!alpha.is_empty());
+    let mut out: Vec<f64> = alpha
+        .iter()
+        .map(|&a| {
+            debug_assert!(a > 0.0);
+            sample_gamma(rng, a, 1.0)
+        })
+        .collect();
+    let sum: f64 = out.iter().sum();
+    if sum <= 0.0 {
+        // Numerically degenerate (all tiny concentrations): fall back to
+        // a one-hot on a uniformly chosen coordinate, the correct limit.
+        let k = rng.gen_range(0..out.len());
+        out.iter_mut().for_each(|x| *x = 0.0);
+        out[k] = 1.0;
+        return out;
+    }
+    out.iter_mut().for_each(|x| *x /= sum);
+    out
+}
+
+/// Sample a symmetric `Dirichlet(alpha, ..., alpha)` of dimension `dim`.
+pub fn sample_symmetric_dirichlet<R: Rng + ?Sized>(rng: &mut R, dim: usize, alpha: f64) -> Vec<f64> {
+    debug_assert!(dim > 0);
+    let mut out: Vec<f64> = (0..dim).map(|_| sample_gamma(rng, alpha, 1.0)).collect();
+    let sum: f64 = out.iter().sum();
+    if sum <= 0.0 {
+        let k = rng.gen_range(0..dim);
+        out.iter_mut().for_each(|x| *x = 0.0);
+        out[k] = 1.0;
+        return out;
+    }
+    out.iter_mut().for_each(|x| *x /= sum);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn sums_to_one_and_nonnegative() {
+        let mut rng = seeded_rng(41);
+        for _ in 0..200 {
+            let v = sample_dirichlet(&mut rng, &[0.5, 1.0, 3.0, 0.1]);
+            assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn mean_matches_normalised_alpha() {
+        let mut rng = seeded_rng(42);
+        let alpha = [2.0, 1.0, 7.0];
+        let total: f64 = alpha.iter().sum();
+        let mut acc = [0.0f64; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            let v = sample_dirichlet(&mut rng, &alpha);
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            let got = a / n as f64;
+            let want = alpha[i] / total;
+            assert!((got - want).abs() < 0.01, "dim {i}");
+        }
+    }
+
+    #[test]
+    fn symmetric_concentration_spreads_mass() {
+        let mut rng = seeded_rng(43);
+        // Very large alpha => nearly uniform.
+        let v = sample_symmetric_dirichlet(&mut rng, 8, 5_000.0);
+        for &x in &v {
+            assert!((x - 0.125).abs() < 0.02, "{x}");
+        }
+    }
+}

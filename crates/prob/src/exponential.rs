@@ -1,0 +1,63 @@
+//! Exponential draws, including the left-truncated form the Pólya-Gamma
+//! sampler needs.
+
+use rand::Rng;
+
+/// Sample `Exp(rate)` by inversion. `rate > 0`.
+#[inline]
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    // 1 - U avoids ln(0); U is in [0, 1).
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+/// Sample from `Exp(rate)` conditioned on being greater than `floor`
+/// (memorylessness: `floor + Exp(rate)`).
+#[inline]
+pub fn sample_truncated_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64, floor: f64) -> f64 {
+    floor + sample_exponential(rng, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::stats::RunningStats;
+
+    #[test]
+    fn mean_matches_inverse_rate() {
+        let mut rng = seeded_rng(1);
+        for &rate in &[0.5, 1.0, 4.0] {
+            let mut st = RunningStats::new();
+            for _ in 0..40_000 {
+                st.push(sample_exponential(&mut rng, rate));
+            }
+            let want = 1.0 / rate;
+            assert!(
+                (st.mean() - want).abs() < 0.03 * want.max(1.0),
+                "rate {rate}: mean {}",
+                st.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_respects_floor() {
+        let mut rng = seeded_rng(2);
+        for _ in 0..1000 {
+            let x = sample_truncated_exponential(&mut rng, 2.0, 0.64);
+            assert!(x > 0.64);
+        }
+    }
+
+    #[test]
+    fn truncated_mean_is_floor_plus_inverse_rate() {
+        let mut rng = seeded_rng(3);
+        let mut st = RunningStats::new();
+        for _ in 0..40_000 {
+            st.push(sample_truncated_exponential(&mut rng, 3.0, 1.5));
+        }
+        assert!((st.mean() - (1.5 + 1.0 / 3.0)).abs() < 0.02);
+    }
+}

@@ -1,0 +1,72 @@
+//! Gamma draws via Marsaglia–Tsang squeeze (shape >= 1) with the boost
+//! trick for shape < 1.
+
+use crate::normal::standard_normal;
+use rand::Rng;
+
+/// Sample `Gamma(shape, scale)` (mean = `shape * scale`).
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    debug_assert!(shape > 0.0 && scale > 0.0);
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.gen();
+        let x2 = x * x;
+        // Squeeze then exact acceptance test.
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v * scale;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::stats::RunningStats;
+
+    #[test]
+    fn moments_for_various_shapes() {
+        let mut rng = seeded_rng(21);
+        for &(shape, scale) in &[(0.3, 1.0), (1.0, 2.0), (2.5, 0.5), (9.0, 1.0)] {
+            let mut st = RunningStats::new();
+            for _ in 0..60_000 {
+                st.push(sample_gamma(&mut rng, shape, scale));
+            }
+            let mean = shape * scale;
+            let var = shape * scale * scale;
+            assert!(
+                (st.mean() - mean).abs() < 0.04 * mean.max(1.0),
+                "shape {shape}: mean {} want {mean}",
+                st.mean()
+            );
+            assert!(
+                (st.variance() - var).abs() < 0.1 * var.max(1.0),
+                "shape {shape}: var {} want {var}",
+                st.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn always_positive() {
+        let mut rng = seeded_rng(22);
+        for _ in 0..5_000 {
+            assert!(sample_gamma(&mut rng, 0.05, 1.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Gaussian draws via the Marsaglia polar method.
+
+use rand::Rng;
+
+/// Sample a standard normal deviate.
+///
+/// The polar method generates pairs; we deliberately discard the second
+/// value rather than cache it so the function stays stateless (sampler
+/// state lives in the callers, which are already seeded per-thread).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Sample `N(mean, sd^2)`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    debug_assert!(sd >= 0.0);
+    mean + sd * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::special::normal_cdf;
+    use crate::stats::RunningStats;
+
+    #[test]
+    fn moments_match() {
+        let mut rng = seeded_rng(11);
+        let mut st = RunningStats::new();
+        for _ in 0..60_000 {
+            st.push(standard_normal(&mut rng));
+        }
+        assert!(st.mean().abs() < 0.02, "mean {}", st.mean());
+        assert!((st.variance() - 1.0).abs() < 0.03, "var {}", st.variance());
+    }
+
+    #[test]
+    fn shifted_and_scaled() {
+        let mut rng = seeded_rng(12);
+        let mut st = RunningStats::new();
+        for _ in 0..60_000 {
+            st.push(sample_normal(&mut rng, 3.0, 2.0));
+        }
+        assert!((st.mean() - 3.0).abs() < 0.05);
+        assert!((st.variance() - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn empirical_cdf_matches_analytic() {
+        let mut rng = seeded_rng(13);
+        let n = 50_000;
+        let mut below = 0usize;
+        for _ in 0..n {
+            if standard_normal(&mut rng) < 1.0 {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((frac - normal_cdf(1.0)).abs() < 0.01);
+    }
+}

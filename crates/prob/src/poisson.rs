@@ -1,0 +1,62 @@
+//! Poisson draws: Knuth's product method for small means, a rounded
+//! normal approximation for large ones (the synthetic generators only
+//! need counts, not exactness in the far tail).
+
+use crate::normal::sample_normal;
+use rand::Rng;
+
+/// Sample `Poisson(mean)` for `mean >= 0`.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    debug_assert!(mean >= 0.0);
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        sample_normal(rng, mean, mean.sqrt()).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::stats::RunningStats;
+
+    #[test]
+    fn moments_small_and_large_mean() {
+        let mut rng = seeded_rng(81);
+        for &mean in &[0.5, 4.0, 12.0, 80.0] {
+            let mut st = RunningStats::new();
+            for _ in 0..40_000 {
+                st.push(sample_poisson(&mut rng, mean) as f64);
+            }
+            assert!(
+                (st.mean() - mean).abs() < 0.03 * mean.max(1.0),
+                "mean {mean}: {}",
+                st.mean()
+            );
+            assert!(
+                (st.variance() - mean).abs() < 0.08 * mean.max(1.0),
+                "mean {mean}: var {}",
+                st.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mean_is_zero() {
+        let mut rng = seeded_rng(82);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+}

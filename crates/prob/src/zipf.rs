@@ -1,0 +1,87 @@
+//! Zipf-distributed draws over a finite support (word frequencies in the
+//! synthetic corpora follow a Zipf law, like natural language).
+
+use crate::categorical::AliasTable;
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(k) ∝ 1 / (k + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: AliasTable,
+    n: usize,
+    s: f64,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s > 0.0 && s.is_finite());
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        Self {
+            table: AliasTable::new(&weights),
+            n,
+            s,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the support is empty (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draw a rank in `0..n`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn head_ranks_dominate() {
+        let mut rng = seeded_rng(71);
+        let z = Zipf::new(1000, 1.1);
+        let n = 50_000;
+        let mut head = 0usize;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1.1 the top-10 ranks carry a large share of the mass.
+        assert!(head as f64 / n as f64 > 0.35, "head share {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn rank_probabilities_match_law() {
+        let mut rng = seeded_rng(72);
+        let z = Zipf::new(50, 1.0);
+        let norm: f64 = (1..=50).map(|k| 1.0 / k as f64).sum();
+        let n = 100_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 4, 20] {
+            let want = (1.0 / (k + 1) as f64) / norm;
+            let got = counts[k] as f64 / n as f64;
+            assert!((got - want).abs() < 0.01, "rank {k}: got {got} want {want}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the probability substrate.
+
+use cpd_prob::categorical::{sample_index, sample_log_index, AliasTable, CumulativeTable};
+use cpd_prob::dirichlet::sample_dirichlet;
+use cpd_prob::rng::seeded_rng;
+use cpd_prob::special::{betai, log1pexp, log_sum_exp, sigmoid, student_t_sf};
+use cpd_prob::stats::{pearson, spearman, RunningStats};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sigmoid_is_bounded_and_monotone(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let sl = sigmoid(lo);
+        let sh = sigmoid(hi);
+        prop_assert!((0.0..=1.0).contains(&sl));
+        prop_assert!((0.0..=1.0).contains(&sh));
+        prop_assert!(sl <= sh + 1e-15);
+    }
+
+    #[test]
+    fn sigmoid_complement_identity(x in -700f64..700.0) {
+        prop_assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log1pexp_matches_definition(x in -700f64..30.0) {
+        let naive = (1.0 + x.exp()).ln();
+        prop_assert!((log1pexp(x) - naive).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in prop::collection::vec(-100f64..100.0, 1..20)) {
+        let lse = log_sum_exp(&xs);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn betai_is_a_cdf(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.0f64..1.0, y in 0.0f64..1.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let il = betai(a, b, lo);
+        let ih = betai(a, b, hi);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&il));
+        prop_assert!(il <= ih + 1e-9);
+        prop_assert!(betai(a, b, 0.0) == 0.0);
+        prop_assert!(betai(a, b, 1.0) == 1.0);
+    }
+
+    #[test]
+    fn student_t_tail_is_probability(t in -50f64..50.0, df in 1f64..200.0) {
+        let p = student_t_sf(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Symmetry: P(T > t) + P(T > -t) = 1.
+        prop_assert!((p + student_t_sf(-t, df) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirichlet_samples_are_simplex_points(
+        alpha in prop::collection::vec(0.05f64..10.0, 1..12),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let v = sample_dirichlet(&mut rng, &alpha);
+        prop_assert_eq!(v.len(), alpha.len());
+        prop_assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn samplers_only_return_positive_weight_indices(
+        weights in prop::collection::vec(0f64..10.0, 2..30),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let mut rng = seeded_rng(seed);
+        for _ in 0..50 {
+            let i = sample_index(&mut rng, &weights);
+            prop_assert!(weights[i] > 0.0, "picked zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn log_and_linear_samplers_agree_in_support(
+        weights in prop::collection::vec(0.01f64..10.0, 2..20),
+        seed in 0u64..500,
+    ) {
+        let logw: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
+        let mut rng = seeded_rng(seed);
+        let i = sample_log_index(&mut rng, &logw);
+        prop_assert!(i < weights.len());
+    }
+
+    #[test]
+    fn alias_and_cumulative_tables_sample_support(
+        weights in prop::collection::vec(0f64..5.0, 2..40),
+        seed in 0u64..500,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let alias = AliasTable::new(&weights);
+        let cum = CumulativeTable::new(&weights);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..30 {
+            let a = alias.sample(&mut rng);
+            let c = cum.sample(&mut rng);
+            prop_assert!(a < weights.len());
+            prop_assert!(c < weights.len());
+        }
+    }
+
+    #[test]
+    fn running_stats_mean_is_bounded_by_extremes(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..50),
+    ) {
+        let mut st = RunningStats::new();
+        xs.iter().for_each(|&x| st.push(x));
+        prop_assert!(st.mean() >= st.min() - 1e-6);
+        prop_assert!(st.mean() <= st.max() + 1e-6);
+        prop_assert!(st.variance() >= 0.0);
+        prop_assert_eq!(st.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn correlations_are_bounded_and_symmetric(
+        pairs in prop::collection::vec((-100f64..100.0, -100f64..100.0), 3..30),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        for r in [pearson(&xs, &ys), spearman(&xs, &ys)] {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+        prop_assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_scale_invariant(
+        pairs in prop::collection::vec((-10f64..10.0, -10f64..10.0), 3..20),
+        scale in 0.1f64..100.0,
+        shift in -100f64..100.0,
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let xs2: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let r1 = pearson(&xs, &ys);
+        let r2 = pearson(&xs2, &ys);
+        prop_assert!((r1 - r2).abs() < 1e-6, "{r1} vs {r2}");
+    }
+}

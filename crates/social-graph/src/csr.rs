@@ -1,0 +1,89 @@
+//! A minimal compressed-sparse-row adjacency container.
+//!
+//! Stores, for each of `n` nodes, a contiguous slice of `u32` payloads
+//! (neighbour ids or link ids). Built once from an edge list; lookups are
+//! two loads and a slice.
+
+/// CSR adjacency: `values[offsets[i]..offsets[i+1]]` are node `i`'s items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Csr {
+    offsets: Vec<u32>,
+    values: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from `(node, payload)` pairs over `n` nodes.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut counts = vec![0u32; n + 1];
+        let pairs: Vec<(u32, u32)> = pairs.into_iter().collect();
+        for &(node, _) in &pairs {
+            debug_assert!((node as usize) < n, "CSR node {node} out of range {n}");
+            counts[node as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut values = vec![0u32; pairs.len()];
+        for (node, payload) in pairs {
+            let slot = cursor[node as usize];
+            values[slot as usize] = payload;
+            cursor[node as usize] += 1;
+        }
+        Self { offsets, values }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload slice for `node`.
+    #[inline]
+    pub fn row(&self, node: usize) -> &[u32] {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        &self.values[lo..hi]
+    }
+
+    /// Degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: usize) -> usize {
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+
+    /// Total number of stored items.
+    pub fn total(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_rows_in_insertion_order() {
+        let csr = Csr::from_pairs(3, vec![(0, 10), (2, 20), (0, 11), (2, 21), (2, 22)]);
+        assert_eq!(csr.row(0), &[10, 11]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[20, 21, 22]);
+        assert_eq!(csr.degree(2), 3);
+        assert_eq!(csr.total(), 5);
+        assert_eq!(csr.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_pairs(0, vec![]);
+        assert_eq!(csr.len(), 0);
+        assert!(csr.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! User-published documents (tweets, paper titles, …).
+
+use crate::ids::{UserId, WordId};
+
+/// A document `d_ui`: author, bag of word tokens (with repetition, in
+/// order) and a discrete timestamp (epoch bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Document {
+    /// Publishing user `u`.
+    pub author: UserId,
+    /// Token sequence; repetitions matter for the topic model counts.
+    pub words: Vec<WordId>,
+    /// Discrete publication time (bucket index, dataset-defined).
+    pub timestamp: u32,
+}
+
+impl Document {
+    /// Construct a document.
+    pub fn new(author: UserId, words: Vec<WordId>, timestamp: u32) -> Self {
+        Self {
+            author,
+            words,
+            timestamp,
+        }
+    }
+
+    /// Number of tokens `|W_ui|`.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let d = Document::new(UserId(1), vec![WordId(0), WordId(2), WordId(0)], 5);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.author, UserId(1));
+        assert_eq!(d.timestamp, 5);
+    }
+}

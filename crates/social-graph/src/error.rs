@@ -1,0 +1,52 @@
+//! Construction-time validation errors.
+
+use std::fmt;
+
+/// Why a [`crate::SocialGraphBuilder`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A document referenced an author index `>= n_users`.
+    AuthorOutOfRange { doc: usize, author: u32, n_users: usize },
+    /// A document contained a word index `>= vocab_size`.
+    WordOutOfRange { doc: usize, word: u32, vocab: usize },
+    /// A friendship link referenced a user index `>= n_users`.
+    FriendEndpointOutOfRange { link: usize, user: u32 },
+    /// A friendship self-loop `(u, u)`.
+    FriendSelfLoop { user: u32 },
+    /// A diffusion link referenced a document index `>= n_docs`.
+    DiffusionEndpointOutOfRange { link: usize, doc: u32 },
+    /// A diffusion self-loop `(i, i)`.
+    DiffusionSelfLoop { doc: u32 },
+    /// The graph has zero users.
+    NoUsers,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::AuthorOutOfRange { doc, author, n_users } => write!(
+                f,
+                "document {doc} has author {author} but the graph has {n_users} users"
+            ),
+            GraphError::WordOutOfRange { doc, word, vocab } => write!(
+                f,
+                "document {doc} contains word {word} but the vocabulary has {vocab} entries"
+            ),
+            GraphError::FriendEndpointOutOfRange { link, user } => {
+                write!(f, "friendship link {link} references unknown user {user}")
+            }
+            GraphError::FriendSelfLoop { user } => {
+                write!(f, "friendship self-loop on user {user}")
+            }
+            GraphError::DiffusionEndpointOutOfRange { link, doc } => {
+                write!(f, "diffusion link {link} references unknown document {doc}")
+            }
+            GraphError::DiffusionSelfLoop { doc } => {
+                write!(f, "diffusion self-loop on document {doc}")
+            }
+            GraphError::NoUsers => write!(f, "a social graph needs at least one user"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

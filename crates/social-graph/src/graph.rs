@@ -1,0 +1,501 @@
+//! The immutable social graph and its validating builder.
+
+use crate::csr::Csr;
+use crate::document::Document;
+use crate::error::GraphError;
+use crate::ids::{DocId, UserId};
+use crate::stats::GraphStats;
+
+/// A directed friendship link `F_uv` (u follows v / u co-authors with v).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FriendshipLink {
+    /// Source user `u`.
+    pub from: UserId,
+    /// Target user `v`.
+    pub to: UserId,
+}
+
+/// A directed, timestamped diffusion link `E^t_ij`: document `src`
+/// diffuses (retweets / cites) document `dst` at time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiffusionLink {
+    /// The diffusing (new) document `i`.
+    pub src: DocId,
+    /// The diffused (original) document `j`.
+    pub dst: DocId,
+    /// Diffusion timestamp `t` (bucket index).
+    pub at: u32,
+}
+
+/// Immutable social graph `G = (U, D, F, E)` with precomputed
+/// neighbourhood indices.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SocialGraph {
+    n_users: usize,
+    vocab_size: usize,
+    n_timestamps: u32,
+    docs: Vec<Document>,
+    user_docs: Csr,
+    friendships: Vec<FriendshipLink>,
+    friend_neighbors: Csr,
+    friend_incident: Csr,
+    diffusions: Vec<DiffusionLink>,
+    diffusion_incident: Csr,
+    out_degree: Vec<u32>,
+    in_degree: Vec<u32>,
+}
+
+impl SocialGraph {
+    /// Number of users `|U|`.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Vocabulary size `|W|`.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Number of discrete time buckets (max timestamp + 1).
+    pub fn n_timestamps(&self) -> u32 {
+        self.n_timestamps
+    }
+
+    /// All documents `D`.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Number of documents `|D|`.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// A document by id.
+    #[inline]
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// Documents published by `u` (as doc ids).
+    pub fn docs_of(&self, u: UserId) -> impl Iterator<Item = DocId> + '_ {
+        self.user_docs.row(u.index()).iter().map(|&d| DocId(d))
+    }
+
+    /// Number of documents published by `u`.
+    pub fn n_docs_of(&self, u: UserId) -> usize {
+        self.user_docs.degree(u.index())
+    }
+
+    /// All friendship links `F`.
+    pub fn friendships(&self) -> &[FriendshipLink] {
+        &self.friendships
+    }
+
+    /// All diffusion links `E`.
+    pub fn diffusions(&self) -> &[DiffusionLink] {
+        &self.diffusions
+    }
+
+    /// `Λ_u`: friendship neighbours of `u`, both directions, as user ids
+    /// (parallel to [`SocialGraph::friend_links_of`]).
+    pub fn friend_neighbors_of(&self, u: UserId) -> impl Iterator<Item = UserId> + '_ {
+        self.friend_neighbors.row(u.index()).iter().map(|&v| UserId(v))
+    }
+
+    /// Friendship link ids incident to `u` (both directions), parallel to
+    /// [`SocialGraph::friend_neighbors_of`].
+    pub fn friend_links_of(&self, u: UserId) -> &[u32] {
+        self.friend_incident.row(u.index())
+    }
+
+    /// Friendship degree of `u` (in + out).
+    pub fn friend_degree(&self, u: UserId) -> usize {
+        self.friend_neighbors.degree(u.index())
+    }
+
+    /// `Λ_i`: diffusion link ids incident to document `i` (both
+    /// directions).
+    pub fn diffusion_links_of(&self, d: DocId) -> &[u32] {
+        self.diffusion_incident.row(d.index())
+    }
+
+    /// Out-degree of `u` in `F` (the paper's "followees" count).
+    pub fn followees(&self, u: UserId) -> u32 {
+        self.out_degree[u.index()]
+    }
+
+    /// In-degree of `u` in `F` (the paper's "followers" count).
+    pub fn followers(&self, u: UserId) -> u32 {
+        self.in_degree[u.index()]
+    }
+
+    /// Total token count over all documents.
+    pub fn n_tokens(&self) -> usize {
+        self.docs.iter().map(Document::len).sum()
+    }
+
+    /// Summary statistics (Table 3 of the paper).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            n_users: self.n_users,
+            n_docs: self.docs.len(),
+            vocab_size: self.vocab_size,
+            n_tokens: self.n_tokens(),
+            n_friendship_links: self.friendships.len(),
+            n_diffusion_links: self.diffusions.len(),
+            n_timestamps: self.n_timestamps,
+        }
+    }
+
+    /// Rebuild this graph keeping only friendship links whose index passes
+    /// `keep` (used by the cross-validation splitter).
+    pub fn retain_friendships(&self, keep: impl Fn(usize) -> bool) -> SocialGraph {
+        let friendships: Vec<FriendshipLink> = self
+            .friendships
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep(*i))
+            .map(|(_, &l)| l)
+            .collect();
+        Self::assemble(
+            self.n_users,
+            self.vocab_size,
+            self.docs.clone(),
+            friendships,
+            self.diffusions.clone(),
+        )
+    }
+
+    /// Rebuild this graph keeping only diffusion links whose index passes
+    /// `keep`.
+    pub fn retain_diffusions(&self, keep: impl Fn(usize) -> bool) -> SocialGraph {
+        let diffusions: Vec<DiffusionLink> = self
+            .diffusions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep(*i))
+            .map(|(_, &l)| l)
+            .collect();
+        Self::assemble(
+            self.n_users,
+            self.vocab_size,
+            self.docs.clone(),
+            self.friendships.clone(),
+            diffusions,
+        )
+    }
+
+    pub(crate) fn assemble(
+        n_users: usize,
+        vocab_size: usize,
+        docs: Vec<Document>,
+        friendships: Vec<FriendshipLink>,
+        diffusions: Vec<DiffusionLink>,
+    ) -> SocialGraph {
+        let user_docs = Csr::from_pairs(
+            n_users,
+            docs.iter()
+                .enumerate()
+                .map(|(i, d)| (d.author.0, i as u32)),
+        );
+        let friend_neighbors = Csr::from_pairs(
+            n_users,
+            friendships
+                .iter()
+                .flat_map(|l| [(l.from.0, l.to.0), (l.to.0, l.from.0)]),
+        );
+        let friend_incident = Csr::from_pairs(
+            n_users,
+            friendships
+                .iter()
+                .enumerate()
+                .flat_map(|(i, l)| [(l.from.0, i as u32), (l.to.0, i as u32)]),
+        );
+        let diffusion_incident = Csr::from_pairs(
+            docs.len(),
+            diffusions
+                .iter()
+                .enumerate()
+                .flat_map(|(i, l)| [(l.src.0, i as u32), (l.dst.0, i as u32)]),
+        );
+        let mut out_degree = vec![0u32; n_users];
+        let mut in_degree = vec![0u32; n_users];
+        for l in &friendships {
+            out_degree[l.from.index()] += 1;
+            in_degree[l.to.index()] += 1;
+        }
+        let n_timestamps = docs
+            .iter()
+            .map(|d| d.timestamp)
+            .chain(diffusions.iter().map(|l| l.at))
+            .max()
+            .map_or(1, |t| t + 1);
+        SocialGraph {
+            n_users,
+            vocab_size,
+            n_timestamps,
+            docs,
+            user_docs,
+            friendships,
+            friend_neighbors,
+            friend_incident,
+            diffusions,
+            diffusion_incident,
+            out_degree,
+            in_degree,
+        }
+    }
+}
+
+/// Validating builder for [`SocialGraph`].
+#[derive(Debug, Default)]
+pub struct SocialGraphBuilder {
+    n_users: usize,
+    vocab_size: usize,
+    docs: Vec<Document>,
+    friendships: Vec<FriendshipLink>,
+    diffusions: Vec<DiffusionLink>,
+}
+
+impl SocialGraphBuilder {
+    /// Start a graph over `n_users` users and a vocabulary of
+    /// `vocab_size` words.
+    pub fn new(n_users: usize, vocab_size: usize) -> Self {
+        Self {
+            n_users,
+            vocab_size,
+            ..Default::default()
+        }
+    }
+
+    /// Add a document; returns its id.
+    pub fn add_document(&mut self, doc: Document) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(doc);
+        id
+    }
+
+    /// Add a directed friendship link `u → v`.
+    pub fn add_friendship(&mut self, from: UserId, to: UserId) {
+        self.friendships.push(FriendshipLink { from, to });
+    }
+
+    /// Add a diffusion link: document `src` diffuses `dst` at time `at`.
+    pub fn add_diffusion(&mut self, src: DocId, dst: DocId, at: u32) {
+        self.diffusions.push(DiffusionLink { src, dst, at });
+    }
+
+    /// Current number of documents added.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// A document already added to the builder (panics on bad id).
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<SocialGraph, GraphError> {
+        if self.n_users == 0 {
+            return Err(GraphError::NoUsers);
+        }
+        for (i, d) in self.docs.iter().enumerate() {
+            if d.author.index() >= self.n_users {
+                return Err(GraphError::AuthorOutOfRange {
+                    doc: i,
+                    author: d.author.0,
+                    n_users: self.n_users,
+                });
+            }
+            if let Some(w) = d.words.iter().find(|w| w.index() >= self.vocab_size) {
+                return Err(GraphError::WordOutOfRange {
+                    doc: i,
+                    word: w.0,
+                    vocab: self.vocab_size,
+                });
+            }
+        }
+        for (i, l) in self.friendships.iter().enumerate() {
+            if l.from.index() >= self.n_users || l.to.index() >= self.n_users {
+                let user = if l.from.index() >= self.n_users {
+                    l.from.0
+                } else {
+                    l.to.0
+                };
+                return Err(GraphError::FriendEndpointOutOfRange { link: i, user });
+            }
+            if l.from == l.to {
+                return Err(GraphError::FriendSelfLoop { user: l.from.0 });
+            }
+        }
+        for (i, l) in self.diffusions.iter().enumerate() {
+            if l.src.index() >= self.docs.len() || l.dst.index() >= self.docs.len() {
+                let doc = if l.src.index() >= self.docs.len() {
+                    l.src.0
+                } else {
+                    l.dst.0
+                };
+                return Err(GraphError::DiffusionEndpointOutOfRange { link: i, doc });
+            }
+            if l.src == l.dst {
+                return Err(GraphError::DiffusionSelfLoop { doc: l.src.0 });
+            }
+        }
+        Ok(SocialGraph::assemble(
+            self.n_users,
+            self.vocab_size,
+            self.docs,
+            self.friendships,
+            self.diffusions,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::WordId;
+
+    fn tiny() -> SocialGraph {
+        let mut b = SocialGraphBuilder::new(3, 5);
+        let d0 = b.add_document(Document::new(UserId(0), vec![WordId(0), WordId(1)], 0));
+        let d1 = b.add_document(Document::new(UserId(1), vec![WordId(2)], 1));
+        let d2 = b.add_document(Document::new(UserId(1), vec![WordId(3), WordId(4)], 2));
+        b.add_friendship(UserId(0), UserId(1));
+        b.add_friendship(UserId(1), UserId(2));
+        b.add_diffusion(d2, d0, 2);
+        b.add_diffusion(d1, d0, 1);
+        b.build().expect("valid graph")
+    }
+
+    #[test]
+    fn neighbourhoods_are_bidirectional() {
+        let g = tiny();
+        let n1: Vec<UserId> = g.friend_neighbors_of(UserId(1)).collect();
+        assert_eq!(n1, vec![UserId(0), UserId(2)]);
+        assert_eq!(g.friend_degree(UserId(1)), 2);
+        assert_eq!(g.friend_links_of(UserId(0)), &[0]);
+        assert_eq!(g.friend_links_of(UserId(2)), &[1]);
+    }
+
+    #[test]
+    fn diffusion_incidence_covers_both_ends() {
+        let g = tiny();
+        assert_eq!(g.diffusion_links_of(DocId(0)), &[0, 1]);
+        assert_eq!(g.diffusion_links_of(DocId(2)), &[0]);
+        assert_eq!(g.diffusion_links_of(DocId(1)), &[1]);
+    }
+
+    #[test]
+    fn degrees_and_docs_per_user() {
+        let g = tiny();
+        assert_eq!(g.followers(UserId(1)), 1);
+        assert_eq!(g.followees(UserId(1)), 1);
+        assert_eq!(g.n_docs_of(UserId(1)), 2);
+        let docs: Vec<DocId> = g.docs_of(UserId(1)).collect();
+        assert_eq!(docs, vec![DocId(1), DocId(2)]);
+        assert_eq!(g.n_docs_of(UserId(2)), 0);
+    }
+
+    #[test]
+    fn timestamps_inferred_from_max() {
+        let g = tiny();
+        assert_eq!(g.n_timestamps(), 3);
+        assert_eq!(g.n_tokens(), 5);
+    }
+
+    #[test]
+    fn rejects_out_of_range_author() {
+        let mut b = SocialGraphBuilder::new(1, 2);
+        b.add_document(Document::new(UserId(5), vec![WordId(0)], 0));
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::AuthorOutOfRange { author: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_word() {
+        let mut b = SocialGraphBuilder::new(1, 2);
+        b.add_document(Document::new(UserId(0), vec![WordId(9)], 0));
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::WordOutOfRange { word: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_friend_self_loop_and_bad_endpoint() {
+        let mut b = SocialGraphBuilder::new(2, 1);
+        b.add_friendship(UserId(0), UserId(0));
+        assert!(matches!(b.build(), Err(GraphError::FriendSelfLoop { user: 0 })));
+
+        let mut b = SocialGraphBuilder::new(2, 1);
+        b.add_friendship(UserId(0), UserId(7));
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::FriendEndpointOutOfRange { user: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_diffusion_links() {
+        let mut b = SocialGraphBuilder::new(1, 1);
+        let d = b.add_document(Document::new(UserId(0), vec![WordId(0)], 0));
+        b.add_diffusion(d, DocId(9), 0);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::DiffusionEndpointOutOfRange { doc: 9, .. })
+        ));
+
+        let mut b = SocialGraphBuilder::new(1, 1);
+        let d = b.add_document(Document::new(UserId(0), vec![WordId(0)], 0));
+        b.add_diffusion(d, d, 0);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::DiffusionSelfLoop { doc: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_user_set() {
+        let b = SocialGraphBuilder::new(0, 1);
+        assert!(matches!(b.build(), Err(GraphError::NoUsers)));
+    }
+
+    #[test]
+    fn retain_friendships_drops_links() {
+        let g = tiny();
+        let g2 = g.retain_friendships(|i| i != 0);
+        assert_eq!(g2.friendships().len(), 1);
+        assert_eq!(g2.friend_degree(UserId(0)), 0);
+        // Docs and diffusions untouched.
+        assert_eq!(g2.n_docs(), 3);
+        assert_eq!(g2.diffusions().len(), 2);
+    }
+
+    #[test]
+    fn retain_diffusions_drops_links() {
+        let g = tiny();
+        let g2 = g.retain_diffusions(|i| i == 1);
+        assert_eq!(g2.diffusions().len(), 1);
+        assert_eq!(g2.diffusions()[0].src, DocId(1));
+        assert_eq!(g2.friendships().len(), 2);
+    }
+
+    #[test]
+    fn stats_match_contents() {
+        let s = tiny().stats();
+        assert_eq!(s.n_users, 3);
+        assert_eq!(s.n_docs, 3);
+        assert_eq!(s.n_friendship_links, 2);
+        assert_eq!(s.n_diffusion_links, 2);
+        assert_eq!(s.n_tokens, 5);
+        assert_eq!(s.vocab_size, 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Typed index newtypes.
+//!
+//! All entities are dense `u32` indices; the newtypes prevent the classic
+//! "passed a doc id where a user id was expected" bug without costing
+//! anything at runtime.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a `usize` array index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                debug_assert!(v <= u32::MAX as usize);
+                $name(v as u32)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.index()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A user `u ∈ U`.
+    UserId
+);
+id_type!(
+    /// A document `d ∈ D`.
+    DocId
+);
+id_type!(
+    /// A vocabulary word `w ∈ {1..|W|}`.
+    WordId
+);
+id_type!(
+    /// A community `c ∈ {1..|C|}` (model-side index).
+    CommunityId
+);
+id_type!(
+    /// A topic `z ∈ {1..|Z|}` (model-side index).
+    TopicId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_ordering() {
+        let u = UserId::from(7usize);
+        assert_eq!(u.index(), 7);
+        assert_eq!(usize::from(u), 7);
+        assert!(UserId(1) < UserId(2));
+        assert_eq!(format!("{}", DocId(3)), "DocId(3)");
+    }
+}

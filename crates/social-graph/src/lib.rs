@@ -1,0 +1,28 @@
+//! Social graph substrate for the CPD reproduction.
+//!
+//! Implements Definition 1 of the paper: a social graph
+//! `G = (U, D, F, E)` where `U` are users, `D` user-published documents,
+//! `F` directed friendship links between users and `E` directed,
+//! timestamped diffusion links between documents (document `i` retweets /
+//! cites document `j`).
+//!
+//! The [`SocialGraph`] is immutable after construction (via
+//! [`SocialGraphBuilder`], which validates endpoints) and exposes the
+//! neighbourhood views the Gibbs samplers need: `Λ_u` (friendship
+//! neighbours of a user, both directions) and `Λ_i` (diffusion links
+//! incident to a document, both directions).
+
+pub mod csr;
+pub mod document;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod sample;
+pub mod split;
+pub mod stats;
+
+pub use document::Document;
+pub use error::GraphError;
+pub use graph::{DiffusionLink, FriendshipLink, SocialGraph, SocialGraphBuilder};
+pub use ids::{CommunityId, DocId, TopicId, UserId, WordId};
+pub use stats::GraphStats;

@@ -1,0 +1,123 @@
+//! K-fold link splits for the paper's 10-fold cross-validated link
+//! prediction (Sect. 6.1: each fold holds out 10% of positive links).
+
+use crate::graph::SocialGraph;
+use cpd_prob::rng::seeded_rng;
+use rand::seq::SliceRandom;
+
+/// Partition `0..n` into `k` shuffled folds of near-equal size.
+pub fn k_fold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 1, "need at least one fold");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut seeded_rng(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, v) in idx.into_iter().enumerate() {
+        folds[i % k].push(v);
+    }
+    folds
+}
+
+/// A train graph plus the held-out positive link indices for one fold.
+pub struct LinkHoldout {
+    /// Training graph (held-out links removed).
+    pub train: SocialGraph,
+    /// Indices (into the *original* graph's link list) of held-out links.
+    pub held_out: Vec<usize>,
+}
+
+/// Build the `fold`-th friendship-link holdout.
+pub fn friendship_holdout(g: &SocialGraph, folds: &[Vec<usize>], fold: usize) -> LinkHoldout {
+    let held: Vec<usize> = folds[fold].clone();
+    let mask = index_mask(g.friendships().len(), &held);
+    LinkHoldout {
+        train: g.retain_friendships(|i| !mask[i]),
+        held_out: held,
+    }
+}
+
+/// Build the `fold`-th diffusion-link holdout.
+pub fn diffusion_holdout(g: &SocialGraph, folds: &[Vec<usize>], fold: usize) -> LinkHoldout {
+    let held: Vec<usize> = folds[fold].clone();
+    let mask = index_mask(g.diffusions().len(), &held);
+    LinkHoldout {
+        train: g.retain_diffusions(|i| !mask[i]),
+        held_out: held,
+    }
+}
+
+fn index_mask(n: usize, held: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &i in held {
+        mask[i] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+    use crate::graph::SocialGraphBuilder;
+    use crate::ids::{DocId, UserId, WordId};
+
+    fn graph() -> SocialGraph {
+        let mut b = SocialGraphBuilder::new(10, 3);
+        for u in 0..10u32 {
+            b.add_document(Document::new(UserId(u), vec![WordId(u % 3)], 0));
+        }
+        for u in 0..9u32 {
+            b.add_friendship(UserId(u), UserId(u + 1));
+        }
+        for d in 0..9u32 {
+            b.add_diffusion(DocId(d + 1), DocId(d), 0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn folds_partition_exactly() {
+        let folds = k_fold_indices(23, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert!(f.len() == 4 || f.len() == 5);
+        }
+    }
+
+    #[test]
+    fn holdout_removes_exactly_the_fold() {
+        let g = graph();
+        let folds = k_fold_indices(g.friendships().len(), 3, 2);
+        let h = friendship_holdout(&g, &folds, 0);
+        assert_eq!(
+            h.train.friendships().len(),
+            g.friendships().len() - h.held_out.len()
+        );
+        // Held-out links are absent from the training edge list.
+        for &i in &h.held_out {
+            let l = g.friendships()[i];
+            assert!(!h.train.friendships().contains(&l));
+        }
+    }
+
+    #[test]
+    fn diffusion_holdout_round_trips() {
+        let g = graph();
+        let folds = k_fold_indices(g.diffusions().len(), 3, 3);
+        let total: usize = (0..3)
+            .map(|f| diffusion_holdout(&g, &folds, f).held_out.len())
+            .sum();
+        assert_eq!(total, g.diffusions().len());
+    }
+
+    #[test]
+    fn single_fold_holds_out_everything() {
+        let g = graph();
+        let folds = k_fold_indices(g.diffusions().len(), 1, 4);
+        let h = diffusion_holdout(&g, &folds, 0);
+        assert_eq!(h.train.diffusions().len(), 0);
+        assert_eq!(h.held_out.len(), g.diffusions().len());
+    }
+}

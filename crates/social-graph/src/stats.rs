@@ -1,0 +1,61 @@
+//! Summary statistics (Table 3 of the paper).
+
+use std::fmt;
+
+/// Corpus-level counts, printable as a Table-3-style row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GraphStats {
+    /// `#(user)`
+    pub n_users: usize,
+    /// `#(doc.)`
+    pub n_docs: usize,
+    /// `#(word)` — vocabulary size.
+    pub vocab_size: usize,
+    /// Total token occurrences.
+    pub n_tokens: usize,
+    /// `#(friend. link)`
+    pub n_friendship_links: usize,
+    /// `#(diff. link)`
+    pub n_diffusion_links: usize,
+    /// Number of discrete time buckets.
+    pub n_timestamps: u32,
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>10} users, {:>10} friend links, {:>10} diff links, {:>10} docs, {:>8} words, {:>10} tokens, {:>5} epochs",
+            self.n_users,
+            self.n_friendship_links,
+            self.n_diffusion_links,
+            self.n_docs,
+            self.vocab_size,
+            self.n_tokens,
+            self.n_timestamps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_all_counts() {
+        let s = GraphStats {
+            n_users: 1,
+            n_docs: 2,
+            vocab_size: 3,
+            n_tokens: 4,
+            n_friendship_links: 5,
+            n_diffusion_links: 6,
+            n_timestamps: 7,
+        };
+        let out = s.to_string();
+        for needle in ["1 users", "5 friend", "6 diff", "2 docs", "3 words", "4 tokens"] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the social-graph substrate.
+
+use proptest::prelude::*;
+use social_graph::csr::Csr;
+use social_graph::split::k_fold_indices;
+use social_graph::{sample::subsample, Document, SocialGraphBuilder, UserId, WordId};
+
+/// Strategy: a random valid graph description.
+fn graph_strategy() -> impl Strategy<
+    Value = (
+        usize,                      // n_users
+        usize,                      // vocab
+        Vec<(u32, Vec<u32>, u32)>,  // docs: (author, words, t)
+        Vec<(u32, u32)>,            // friendships
+        Vec<(u32, u32)>,            // diffusions (doc idx pairs)
+    ),
+> {
+    (2usize..20, 2usize..30).prop_flat_map(|(n_users, vocab)| {
+        let docs = prop::collection::vec(
+            (
+                0..n_users as u32,
+                prop::collection::vec(0..vocab as u32, 1..6),
+                0u32..8,
+            ),
+            1..30,
+        );
+        docs.prop_flat_map(move |docs| {
+            let n_docs = docs.len();
+            let friends = prop::collection::vec((0..n_users as u32, 0..n_users as u32), 0..40);
+            let diffs = prop::collection::vec((0..n_docs as u32, 0..n_docs as u32), 0..20);
+            (
+                Just(n_users),
+                Just(vocab),
+                Just(docs),
+                friends,
+                diffs,
+            )
+        })
+    })
+}
+
+fn build(
+    n_users: usize,
+    vocab: usize,
+    docs: &[(u32, Vec<u32>, u32)],
+    friends: &[(u32, u32)],
+    diffs: &[(u32, u32)],
+) -> social_graph::SocialGraph {
+    let mut b = SocialGraphBuilder::new(n_users, vocab);
+    for (author, words, t) in docs {
+        b.add_document(Document::new(
+            UserId(*author),
+            words.iter().map(|&w| WordId(w)).collect(),
+            *t,
+        ));
+    }
+    for &(u, v) in friends.iter().filter(|(u, v)| u != v) {
+        b.add_friendship(UserId(u), UserId(v));
+    }
+    for &(i, j) in diffs.iter().filter(|(i, j)| i != j) {
+        b.add_diffusion(
+            social_graph::DocId(i),
+            social_graph::DocId(j),
+            docs[i as usize].2,
+        );
+    }
+    b.build().expect("strategy only produces valid graphs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_is_consistent_with_edge_lists(
+        (n_users, vocab, docs, friends, diffs) in graph_strategy()
+    ) {
+        let g = build(n_users, vocab, &docs, &friends, &diffs);
+        // Degree sums equal twice the link count (each link incident to
+        // exactly two users).
+        let deg_sum: usize = (0..n_users).map(|u| g.friend_degree(UserId(u as u32))).sum();
+        prop_assert_eq!(deg_sum, 2 * g.friendships().len());
+        // Followers/followees sum to link count.
+        let followers: u32 = (0..n_users).map(|u| g.followers(UserId(u as u32))).sum();
+        let followees: u32 = (0..n_users).map(|u| g.followees(UserId(u as u32))).sum();
+        prop_assert_eq!(followers as usize, g.friendships().len());
+        prop_assert_eq!(followees as usize, g.friendships().len());
+        // Diffusion incidences sum to twice the diffusion count.
+        let inc: usize = (0..g.n_docs())
+            .map(|d| g.diffusion_links_of(social_graph::DocId(d as u32)).len())
+            .sum();
+        prop_assert_eq!(inc, 2 * g.diffusions().len());
+        // Docs-per-user partition the documents.
+        let doc_sum: usize = (0..n_users).map(|u| g.n_docs_of(UserId(u as u32))).sum();
+        prop_assert_eq!(doc_sum, g.n_docs());
+    }
+
+    #[test]
+    fn stats_count_everything(
+        (n_users, vocab, docs, friends, diffs) in graph_strategy()
+    ) {
+        let g = build(n_users, vocab, &docs, &friends, &diffs);
+        let s = g.stats();
+        prop_assert_eq!(s.n_users, n_users);
+        prop_assert_eq!(s.n_docs, docs.len());
+        prop_assert_eq!(
+            s.n_tokens,
+            docs.iter().map(|(_, w, _)| w.len()).sum::<usize>()
+        );
+        prop_assert!(s.n_timestamps >= 1);
+    }
+
+    #[test]
+    fn subsample_is_a_valid_subgraph(
+        (n_users, vocab, docs, friends, diffs) in graph_strategy(),
+        frac in 0.1f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let g = build(n_users, vocab, &docs, &friends, &diffs);
+        let s = subsample(&g, frac, seed);
+        prop_assert!(s.n_docs() <= g.n_docs());
+        prop_assert!(s.friendships().len() <= g.friendships().len());
+        prop_assert!(s.diffusions().len() <= g.diffusions().len());
+        for l in s.diffusions() {
+            prop_assert!(l.src.index() < s.n_docs());
+            prop_assert!(l.dst.index() < s.n_docs());
+            prop_assert_ne!(l.src, l.dst);
+        }
+    }
+
+    #[test]
+    fn k_folds_partition(n in 1usize..200, k in 2usize..10, seed in 0u64..100) {
+        let folds = k_fold_indices(n, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // Fold sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn csr_preserves_all_pairs(
+        pairs in prop::collection::vec((0u32..15, 0u32..1000), 0..60)
+    ) {
+        let csr = Csr::from_pairs(15, pairs.clone());
+        prop_assert_eq!(csr.total(), pairs.len());
+        for node in 0..15 {
+            let want: Vec<u32> = pairs
+                .iter()
+                .filter(|(n, _)| *n == node as u32)
+                .map(|(_, p)| *p)
+                .collect();
+            prop_assert_eq!(csr.row(node), &want[..]);
+        }
+    }
+}

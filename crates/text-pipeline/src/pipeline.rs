@@ -1,0 +1,195 @@
+//! The end-to-end corpus pipeline: raw text → `social_graph::Document`s.
+
+use crate::filter::is_content_word;
+use crate::stemmer::porter_stem;
+use crate::tokenizer::tokenize;
+use crate::vocab::Vocabulary;
+use social_graph::{Document, UserId, WordId};
+
+/// A raw input document before preprocessing.
+#[derive(Debug, Clone)]
+pub struct RawDocument {
+    /// Author user id (caller-assigned, dense).
+    pub author: UserId,
+    /// Raw text.
+    pub text: String,
+    /// Discrete timestamp bucket.
+    pub timestamp: u32,
+}
+
+/// Pipeline configuration. Defaults mirror the paper's preprocessing.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Apply the Porter stemmer.
+    pub stem: bool,
+    /// Apply the content-word (POS-substitute) filter.
+    pub content_filter: bool,
+    /// Drop documents with fewer than this many surviving tokens
+    /// (the paper uses 2).
+    pub min_doc_tokens: usize,
+    /// Drop words occurring fewer than this many times corpus-wide.
+    pub min_word_count: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            stem: true,
+            content_filter: true,
+            min_doc_tokens: 2,
+            min_word_count: 1,
+        }
+    }
+}
+
+/// Pipeline output: surviving documents (with dense word ids), the final
+/// vocabulary, and bookkeeping about what was dropped.
+#[derive(Debug)]
+pub struct ProcessedCorpus {
+    /// Documents that survived preprocessing, in input order.
+    pub docs: Vec<Document>,
+    /// For each surviving doc, the index of its raw input document.
+    pub source_index: Vec<usize>,
+    /// Final (pruned) vocabulary.
+    pub vocab: Vocabulary,
+    /// Number of raw documents dropped (too few tokens after filtering).
+    pub dropped_docs: usize,
+}
+
+/// The preprocessing pipeline (Sect. 6.1 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Tokenise one text into processed word strings.
+    pub fn process_text(&self, text: &str) -> Vec<String> {
+        tokenize(text)
+            .into_iter()
+            .filter(|t| !self.config.content_filter || is_content_word(t))
+            .map(|t| if self.config.stem { porter_stem(&t) } else { t })
+            .collect()
+    }
+
+    /// Run the full pipeline over a corpus.
+    pub fn process_corpus(&self, raw: &[RawDocument]) -> ProcessedCorpus {
+        // Pass 1: tokenise + intern everything to get corpus-wide counts.
+        let mut vocab = Vocabulary::new();
+        let tokenised: Vec<Vec<WordId>> = raw
+            .iter()
+            .map(|r| {
+                self.process_text(&r.text)
+                    .iter()
+                    .map(|w| vocab.intern(w))
+                    .collect()
+            })
+            .collect();
+
+        // Pass 2: prune rare words, remap, drop short documents.
+        let (final_vocab, remap) = vocab.prune(self.config.min_word_count);
+        let mut docs = Vec::new();
+        let mut source_index = Vec::new();
+        let mut dropped = 0usize;
+        for (i, words) in tokenised.into_iter().enumerate() {
+            let kept: Vec<WordId> = words
+                .into_iter()
+                .filter_map(|w| remap[w.index()])
+                .collect();
+            if kept.len() >= self.config.min_doc_tokens {
+                docs.push(Document::new(raw[i].author, kept, raw[i].timestamp));
+                source_index.push(i);
+            } else {
+                dropped += 1;
+            }
+        }
+        ProcessedCorpus {
+            docs,
+            source_index,
+            vocab: final_vocab,
+            dropped_docs: dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(author: u32, text: &str, t: u32) -> RawDocument {
+        RawDocument {
+            author: UserId(author),
+            text: text.to_string(),
+            timestamp: t,
+        }
+    }
+
+    #[test]
+    fn full_pipeline_stems_and_filters() {
+        let p = Pipeline::default();
+        let toks = p.process_text("The networks are quickly LEARNING about #iPhone!");
+        assert_eq!(toks, vec!["network", "learn", "#iphone"]);
+    }
+
+    #[test]
+    fn corpus_drops_short_docs() {
+        let p = Pipeline::default();
+        let corpus = p.process_corpus(&[
+            raw(0, "wireless networks routing protocols", 0),
+            raw(1, "the and of", 1), // all stop words -> dropped
+            raw(1, "deep learning models", 2),
+        ]);
+        assert_eq!(corpus.docs.len(), 2);
+        assert_eq!(corpus.dropped_docs, 1);
+        assert_eq!(corpus.source_index, vec![0, 2]);
+        assert_eq!(corpus.docs[1].author, UserId(1));
+        assert_eq!(corpus.docs[1].timestamp, 2);
+    }
+
+    #[test]
+    fn min_word_count_prunes_rare_words() {
+        let p = Pipeline::new(PipelineConfig {
+            min_word_count: 2,
+            ..Default::default()
+        });
+        let corpus = p.process_corpus(&[
+            raw(0, "network routing network protocols", 0),
+            raw(0, "network protocols design", 0),
+        ]);
+        // "routing" and "design" occur once -> pruned.
+        assert!(corpus.vocab.id_of("rout").is_none());
+        assert!(corpus.vocab.id_of("design").is_none());
+        assert!(corpus.vocab.id_of("network").is_some());
+        // Word ids in docs are all < vocab len.
+        for d in &corpus.docs {
+            for w in &d.words {
+                assert!(w.index() < corpus.vocab.len());
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_across_docs() {
+        let p = Pipeline::default();
+        let corpus = p.process_corpus(&[
+            raw(0, "wireless network", 0),
+            raw(1, "network security", 0),
+        ]);
+        let net = corpus.vocab.id_of("network").unwrap();
+        assert!(corpus.docs[0].words.contains(&net));
+        assert!(corpus.docs[1].words.contains(&net));
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let p = Pipeline::default();
+        let corpus = p.process_corpus(&[]);
+        assert!(corpus.docs.is_empty());
+        assert_eq!(corpus.vocab.len(), 0);
+    }
+}

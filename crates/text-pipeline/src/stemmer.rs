@@ -1,0 +1,385 @@
+//! The classic Porter (1980) stemming algorithm, operating on ASCII
+//! lowercase words. Hashtag tokens (`#...`) pass through unstemmed.
+
+/// Stem `word` with the Porter algorithm. Words shorter than 3 characters
+/// and hashtags are returned unchanged (lowercased input expected).
+pub fn porter_stem(word: &str) -> String {
+    if word.starts_with('#') || word.len() < 3 || !word.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return word.to_string();
+    }
+    let mut s = Stem {
+        b: word.as_bytes().to_vec(),
+    };
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    String::from_utf8(s.b).expect("ascii in, ascii out")
+}
+
+struct Stem {
+    b: Vec<u8>,
+}
+
+impl Stem {
+    fn len(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Is `b[i]` a consonant (in-word sense: `y` after a consonant is a
+    /// vowel)?
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => i == 0 || !self.is_consonant(i - 1),
+            _ => true,
+        }
+    }
+
+    /// The measure `m` of `b[..k]`: number of VC sequences.
+    fn measure(&self, k: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < k && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // In vowels.
+            while i < k && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= k {
+                return m;
+            }
+            m += 1;
+            // In consonants.
+            while i < k && self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= k {
+                return m;
+            }
+        }
+    }
+
+    /// Does the stem `b[..k]` contain a vowel?
+    fn has_vowel(&self, k: usize) -> bool {
+        (0..k).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does `b[..k]` end in a double consonant?
+    fn ends_double_consonant(&self, k: usize) -> bool {
+        k >= 2 && self.b[k - 1] == self.b[k - 2] && self.is_consonant(k - 1)
+    }
+
+    /// Does `b[..k]` end consonant-vowel-consonant, where the final
+    /// consonant is not `w`, `x` or `y`?
+    fn ends_cvc(&self, k: usize) -> bool {
+        if k < 3 || !self.is_consonant(k - 1) || self.is_consonant(k - 2) || !self.is_consonant(k - 3)
+        {
+            return false;
+        }
+        !matches!(self.b[k - 1], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &str) -> bool {
+        self.b.ends_with(suffix.as_bytes())
+    }
+
+    /// Length of the stem if `suffix` were removed.
+    fn stem_len(&self, suffix: &str) -> usize {
+        self.len() - suffix.len()
+    }
+
+    fn truncate_to(&mut self, k: usize) {
+        self.b.truncate(k);
+    }
+
+    fn replace_suffix(&mut self, suffix: &str, replacement: &str) {
+        let k = self.stem_len(suffix);
+        self.b.truncate(k);
+        self.b.extend_from_slice(replacement.as_bytes());
+    }
+
+    /// `(m > 0) suffix -> replacement`; returns true if the suffix matched
+    /// (whether or not the condition held).
+    fn r(&mut self, suffix: &str, replacement: &str, min_m: usize) -> bool {
+        if self.ends_with(suffix) {
+            let k = self.stem_len(suffix);
+            if self.measure(k) > min_m - 1 {
+                self.replace_suffix(suffix, replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step1ab(&mut self) {
+        // Step 1a.
+        if self.ends_with("sses") {
+            self.replace_suffix("sses", "ss");
+        } else if self.ends_with("ies") {
+            self.replace_suffix("ies", "i");
+        } else if !self.ends_with("ss") && self.ends_with("s") {
+            self.replace_suffix("s", "");
+        }
+        // Step 1b.
+        let mut cleanup = false;
+        if self.ends_with("eed") {
+            if self.measure(self.stem_len("eed")) > 0 {
+                self.replace_suffix("eed", "ee");
+            }
+        } else if self.ends_with("ed") && self.has_vowel(self.stem_len("ed")) {
+            self.replace_suffix("ed", "");
+            cleanup = true;
+        } else if self.ends_with("ing") && self.has_vowel(self.stem_len("ing")) {
+            self.replace_suffix("ing", "");
+            cleanup = true;
+        }
+        if cleanup {
+            if self.ends_with("at") {
+                self.replace_suffix("at", "ate");
+            } else if self.ends_with("bl") {
+                self.replace_suffix("bl", "ble");
+            } else if self.ends_with("iz") {
+                self.replace_suffix("iz", "ize");
+            } else if self.ends_double_consonant(self.len())
+                && !matches!(self.b[self.len() - 1], b'l' | b's' | b'z')
+            {
+                self.truncate_to(self.len() - 1);
+            } else if self.measure(self.len()) == 1 && self.ends_cvc(self.len()) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if self.ends_with("y") && self.has_vowel(self.stem_len("y")) {
+            let k = self.len();
+            self.b[k - 1] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.r(suffix, replacement, 1) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.r(suffix, replacement, 1) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const RULES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for suffix in RULES {
+            if self.ends_with(suffix) {
+                let k = self.stem_len(suffix);
+                if self.measure(k) > 1 {
+                    // "ion" additionally requires the stem to end in s or t.
+                    if *suffix == "ion" && !matches!(self.b.get(k.wrapping_sub(1)), Some(b's') | Some(b't')) {
+                        return;
+                    }
+                    self.truncate_to(k);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5(&mut self) {
+        // Step 5a.
+        if self.ends_with("e") {
+            let k = self.stem_len("e");
+            let m = self.measure(k);
+            if m > 1 || (m == 1 && !self.ends_cvc(k)) {
+                self.truncate_to(k);
+            }
+        }
+        // Step 5b.
+        let k = self.len();
+        if self.measure(k) > 1 && self.ends_double_consonant(k) && self.b[k - 1] == b'l' {
+            self.truncate_to(k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pairs: &[(&str, &str)]) {
+        for (input, want) in pairs {
+            assert_eq!(porter_stem(input), *want, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn step1_plurals_and_participles() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_cleanup_rules() {
+        check(&[
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn y_to_i() {
+        check(&[("happy", "happi"), ("sky", "sky")]);
+    }
+
+    #[test]
+    fn derivational_suffixes() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ]);
+    }
+
+    #[test]
+    fn step3_and_4() {
+        check(&[
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ]);
+    }
+
+    #[test]
+    fn step5_final_e_and_double_l() {
+        check(&[
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ]);
+    }
+
+    #[test]
+    fn community_domain_words_collapse() {
+        // Words that must land on the same stem for the profiles to merge.
+        assert_eq!(porter_stem("communities"), porter_stem("communiti"));
+        assert_eq!(porter_stem("networks"), "network");
+        assert_eq!(porter_stem("networking"), "network");
+        assert_eq!(porter_stem("retweets"), "retweet");
+        assert_eq!(porter_stem("learning"), "learn");
+    }
+
+    #[test]
+    fn hashtags_and_short_words_pass_through() {
+        assert_eq!(porter_stem("#iphone"), "#iphone");
+        assert_eq!(porter_stem("go"), "go");
+        assert_eq!(porter_stem("6s"), "6s");
+    }
+}

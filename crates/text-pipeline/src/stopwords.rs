@@ -1,0 +1,54 @@
+//! A compact English stop-word list (function words; the usual SMART-style
+//! core set), checked by binary search over a sorted static table.
+
+/// Sorted stop-word table.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "arent", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "cant", "could", "couldnt", "did", "didnt", "do", "does",
+    "doesnt", "doing", "dont", "down", "during", "each", "few", "for", "from", "further", "had",
+    "hadnt", "has", "hasnt", "have", "havent", "having", "he", "hed", "hell", "her", "here",
+    "hers", "herself", "hes", "him", "himself", "his", "how", "hows", "i", "id", "if", "ill",
+    "im", "in", "into", "is", "isnt", "it", "its", "itself", "ive", "just", "lets", "me", "more",
+    "most", "mustnt", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+    "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "rt",
+    "same", "shant", "she", "shed", "shell", "shes", "should", "shouldnt", "so", "some", "such",
+    "than", "that", "thats", "the", "their", "theirs", "them", "themselves", "then", "there",
+    "theres", "these", "they", "theyd", "theyll", "theyre", "theyve", "this", "those", "through",
+    "to", "too", "under", "until", "up", "us", "very", "via", "was", "wasnt", "we", "wed",
+    "well", "were", "werent", "weve", "what", "whats", "when", "whens", "where", "wheres",
+    "which", "while", "who", "whom", "whos", "why", "whys", "will", "with", "wont", "would",
+    "wouldnt", "you", "youd", "youll", "your", "youre", "yours", "yourself", "yourselves",
+    "youve",
+];
+
+/// True if `word` (already lowercased, apostrophes removed) is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_deduped() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "out of order: {} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_function_words_hit() {
+        for w in ["the", "and", "is", "dont", "rt", "via"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_miss() {
+        for w in ["network", "wireless", "deep", "learning", "#iphone"] {
+            assert!(!is_stopword(w), "{w} should not be a stop word");
+        }
+    }
+}

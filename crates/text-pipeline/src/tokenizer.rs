@@ -1,0 +1,79 @@
+//! Lowercasing tokenizer that preserves hashtags.
+
+/// Split `text` into lowercase tokens. Alphanumeric runs become tokens;
+/// a `#` immediately preceding an alphanumeric run is kept as part of the
+/// token (hashtags are first-class content in the paper's Twitter
+/// experiments). Apostrophes inside words are dropped (`don't` → `dont`).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if ch == '#' {
+            // Start a hashtag only if it begins a token and is followed by
+            // an alphanumeric character; mid-token it acts as a separator.
+            if current.is_empty() && chars.peek().is_some_and(|c| c.is_alphanumeric()) {
+                current.push('#');
+            } else if !current.is_empty() && current != "#" {
+                tokens.push(std::mem::take(&mut current));
+            }
+        } else if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if ch == '\'' && !current.is_empty() {
+            // swallow intra-word apostrophes
+        } else if !current.is_empty() {
+            if current != "#" {
+                tokens.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        }
+    }
+    if !current.is_empty() && current != "#" {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Deep Learning, for Software!"),
+            vec!["deep", "learning", "for", "software"]
+        );
+    }
+
+    #[test]
+    fn preserves_hashtags() {
+        assert_eq!(
+            tokenize("Buy the new #iPhone now"),
+            vec!["buy", "the", "new", "#iphone", "now"]
+        );
+    }
+
+    #[test]
+    fn hash_mid_token_is_a_separator() {
+        assert_eq!(tokenize("a#b"), vec!["a", "b"]);
+        assert_eq!(tokenize("# alone"), vec!["alone"]);
+    }
+
+    #[test]
+    fn apostrophes_are_swallowed() {
+        assert_eq!(tokenize("don't can't"), vec!["dont", "cant"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ###").is_empty());
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(tokenize("iphone 6s"), vec!["iphone", "6s"]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Word ↔ id vocabulary with frequency pruning.
+
+use social_graph::WordId;
+use std::collections::HashMap;
+
+/// Bidirectional word/id map with occurrence counts.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+    counts: Vec<u64>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if no words have been added.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Intern `word`, bumping its count; returns its id.
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.index.get(word) {
+            self.counts[id as usize] += 1;
+            return WordId(id);
+        }
+        let id = self.words.len() as u32;
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        self.counts.push(1);
+        WordId(id)
+    }
+
+    /// Look up an existing word.
+    pub fn id_of(&self, word: &str) -> Option<WordId> {
+        self.index.get(word).map(|&id| WordId(id))
+    }
+
+    /// The word for `id`.
+    pub fn word(&self, id: WordId) -> &str {
+        &self.words[id.index()]
+    }
+
+    /// Occurrence count of `id`.
+    pub fn count(&self, id: WordId) -> u64 {
+        self.counts[id.index()]
+    }
+
+    /// Build a pruned vocabulary keeping only words with at least
+    /// `min_count` occurrences. Returns the new vocabulary and an
+    /// old-id → new-id map (`None` for pruned words). Counts carry over.
+    pub fn prune(&self, min_count: u64) -> (Vocabulary, Vec<Option<WordId>>) {
+        let mut out = Vocabulary::new();
+        let mut remap = vec![None; self.words.len()];
+        for (i, w) in self.words.iter().enumerate() {
+            if self.counts[i] >= min_count {
+                let id = out.words.len() as u32;
+                out.words.push(w.clone());
+                out.index.insert(w.clone(), id);
+                out.counts.push(self.counts[i]);
+                remap[i] = Some(WordId(id));
+            }
+        }
+        (out, remap)
+    }
+
+    /// Iterate `(word, count)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.words
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(w, &c)| (w.as_str(), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_counts() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("network");
+        let b = v.intern("wireless");
+        let a2 = v.intern("network");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.count(b), 1);
+        assert_eq!(v.word(a), "network");
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.id_of("wireless"), Some(b));
+        assert_eq!(v.id_of("router"), None);
+    }
+
+    #[test]
+    fn pruning_remaps_ids_densely() {
+        let mut v = Vocabulary::new();
+        for _ in 0..3 {
+            v.intern("common");
+        }
+        v.intern("rare");
+        for _ in 0..2 {
+            v.intern("medium");
+        }
+        let (pruned, remap) = v.prune(2);
+        assert_eq!(pruned.len(), 2);
+        assert_eq!(pruned.word(WordId(0)), "common");
+        assert_eq!(pruned.word(WordId(1)), "medium");
+        assert_eq!(remap[0], Some(WordId(0)));
+        assert_eq!(remap[1], None); // "rare"
+        assert_eq!(remap[2], Some(WordId(1)));
+        assert_eq!(pruned.count(WordId(0)), 3);
+    }
+}

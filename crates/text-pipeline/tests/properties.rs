@@ -1,0 +1,107 @@
+//! Property-based tests for the text pipeline: total functions over
+//! arbitrary input, stable invariants of the tokenizer / stemmer /
+//! vocabulary.
+
+use proptest::prelude::*;
+use text_pipeline::{porter_stem, tokenize, Pipeline, PipelineConfig, RawDocument, Vocabulary};
+use social_graph::UserId;
+
+proptest! {
+    #[test]
+    fn tokenizer_never_panics_and_produces_clean_tokens(s in ".{0,200}") {
+        let tokens = tokenize(&s);
+        for t in &tokens {
+            prop_assert!(!t.is_empty());
+            // No whitespace or punctuation survives except a leading '#'.
+            let body = t.strip_prefix('#').unwrap_or(t);
+            prop_assert!(!body.is_empty(), "bare # token");
+            prop_assert!(
+                body.chars().all(|c| c.is_alphanumeric()),
+                "dirty token {t:?} from {s:?}"
+            );
+            // Tokens are lowercased: no character has a *different*
+            // lowercase form left (some uppercase code points, e.g. 🅐,
+            // have no lowercase mapping and pass through unchanged).
+            prop_assert!(
+                t.chars().all(|c| c.to_lowercase().next() == Some(c)),
+                "{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_on_its_output(s in "[a-zA-Z0-9# ]{0,100}") {
+        let once = tokenize(&s);
+        let again: Vec<String> = once.iter().flat_map(|t| tokenize(t)).collect();
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn stemmer_is_total_and_never_grows_alpha_words(w in "[a-z]{1,20}") {
+        let stem = porter_stem(&w);
+        prop_assert!(!stem.is_empty());
+        prop_assert!(stem.len() <= w.len() + 1, "{w} -> {stem}");
+        // Porter stems are prefixes of the word up to the final few
+        // characters (no rewriting of word-initial material).
+        let common: usize = stem
+            .bytes()
+            .zip(w.bytes())
+            .take_while(|(a, b)| a == b)
+            .count();
+        prop_assert!(common >= stem.len().saturating_sub(3), "{w} -> {stem}");
+    }
+
+    #[test]
+    fn stemmer_passes_non_alpha_through(w in "[a-z0-9#]{1,15}") {
+        prop_assume!(!w.bytes().all(|b| b.is_ascii_alphabetic()));
+        prop_assert_eq!(porter_stem(&w), w);
+    }
+
+    #[test]
+    fn vocabulary_ids_are_dense_and_stable(words in prop::collection::vec("[a-z]{1,8}", 1..60)) {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+        // Dense: every id < len.
+        for id in &ids {
+            prop_assert!(id.index() < v.len());
+        }
+        // Stable: re-interning returns the same id and lookup agrees.
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.id_of(w), Some(*id));
+            prop_assert_eq!(v.word(*id), w.as_str());
+        }
+        // Counts sum to the number of interned tokens.
+        let total: u64 = (0..v.len()).map(|i| v.count(social_graph::WordId(i as u32))).sum();
+        prop_assert_eq!(total, words.len() as u64);
+    }
+
+    #[test]
+    fn pipeline_respects_min_doc_tokens(texts in prop::collection::vec(".{0,80}", 1..20)) {
+        let raw: Vec<RawDocument> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| RawDocument {
+                author: UserId(i as u32 % 4),
+                text: t.clone(),
+                timestamp: 0,
+            })
+            .collect();
+        let corpus = Pipeline::new(PipelineConfig::default()).process_corpus(&raw);
+        prop_assert_eq!(corpus.docs.len() + corpus.dropped_docs, raw.len());
+        for d in &corpus.docs {
+            prop_assert!(d.len() >= 2);
+            for w in &d.words {
+                prop_assert!(w.index() < corpus.vocab.len());
+            }
+        }
+        // source_index maps back into the raw corpus, strictly increasing.
+        let mut last = None;
+        for &src in &corpus.source_index {
+            prop_assert!(src < raw.len());
+            if let Some(l) = last {
+                prop_assert!(src > l);
+            }
+            last = Some(src);
+        }
+    }
+}

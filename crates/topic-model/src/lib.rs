@@ -1,0 +1,16 @@
+//! Latent Dirichlet Allocation with collapsed Gibbs sampling.
+//!
+//! The paper uses plain LDA (Blei et al. 2003, sampled per Griffiths &
+//! Steyvers 2004) in three places:
+//!
+//! 1. **Parallelisation** (Sect. 4.3): users are segmented by the dominant
+//!    LDA topic of their documents before the CPD E-step is distributed.
+//! 2. **Aggregation baselines** (Sect. 6.1, Eqs. 20–21): `CRM+Agg` and
+//!    `COLD+Agg` aggregate per-document LDA topic distributions into
+//!    community content/diffusion profiles.
+//! 3. **Perplexity evaluation** (Fig. 8) compares content profiles in
+//!    topic-model terms.
+
+pub mod lda;
+
+pub use lda::{Lda, LdaConfig, LdaModel};

@@ -1,0 +1,100 @@
+//! Campaign targeting — the paper's motivating application for
+//! profile-driven community ranking (Sect. 1): a company wants to find
+//! the communities most likely to retweet about its product, so it can
+//! focus a marketing campaign there.
+//!
+//! ```sh
+//! cargo run --release --example campaign_targeting
+//! ```
+
+use cpd::eval::membership::CommunityUserSets;
+use cpd::prelude::*;
+
+fn main() {
+    let gen = GenConfig::twitter_like(Scale::Small);
+    let (graph, _) = generate(&gen);
+
+    // Profile the communities once, offline (remark 1 in Sect. 1).
+    let config = CpdConfig {
+        seed: 7,
+        ..CpdConfig::experiment(gen.n_communities, gen.n_topics)
+    };
+    let fit = Cpd::new(config).expect("valid config").fit(&graph);
+    let model = &fit.model;
+
+    // The "product": a topical term. We use the most retweeted
+    // non-headline word as the campaign keyword (in the paper this would
+    // be a hashtag such as "#iPhone").
+    let mut freq = vec![0usize; graph.vocab_size()];
+    for l in graph.diffusions() {
+        for w in &graph.doc(l.dst).words {
+            freq[w.index()] += 1;
+        }
+    }
+    let mut global = vec![0usize; graph.vocab_size()];
+    for d in graph.docs() {
+        for w in &d.words {
+            global[w.index()] += 1;
+        }
+    }
+    let mut head: Vec<usize> = (0..graph.vocab_size()).collect();
+    head.sort_by(|&a, &b| global[b].cmp(&global[a]));
+    let head: std::collections::HashSet<usize> =
+        head.into_iter().take(graph.vocab_size() / 50).collect();
+    let keyword = (0..graph.vocab_size())
+        .filter(|w| !head.contains(w))
+        .max_by_key(|&w| freq[w])
+        .expect("non-empty vocabulary");
+    println!("campaign keyword: word {keyword} (retweeted {} times)", freq[keyword]);
+
+    // Rank communities by their probability of diffusing the keyword
+    // (Eq. 19) and report the audience each pick adds.
+    let ranking = rank_communities(model, &[WordId(keyword as u32)]);
+    let sets = CommunityUserSets::from_memberships(&model.pi, 5);
+
+    // Ground truth for this campaign: users who really retweeted about
+    // the keyword.
+    let mut relevant = vec![false; graph.n_users()];
+    for l in graph.diffusions() {
+        if graph.doc(l.dst).words.iter().any(|w| w.index() == keyword) {
+            relevant[graph.doc(l.src).author.index()] = true;
+        }
+    }
+    let total_relevant = relevant.iter().filter(|&&r| r).count();
+    println!("{total_relevant} users actually retweeted about the keyword\n");
+    println!("top-5 communities to target:");
+    let mut covered = vec![false; graph.n_users()];
+    for (rank, &(c, score)) in ranking.iter().take(5).enumerate() {
+        let members = sets.users(c);
+        let mut new_hits = 0usize;
+        for &u in members {
+            if !covered[u as usize] {
+                covered[u as usize] = true;
+                if relevant[u as usize] {
+                    new_hits += 1;
+                }
+            }
+        }
+        let reach: usize = covered.iter().filter(|&&x| x).count();
+        let hits = covered
+            .iter()
+            .zip(&relevant)
+            .filter(|(&c, &r)| c && r)
+            .count();
+        let topics: Vec<String> = model
+            .top_topics_of_community(c, 2)
+            .iter()
+            .map(|&(z, p)| format!("T{z}:{p:.2}"))
+            .collect();
+        println!(
+            "  #{:<2} c{c:02}  score {score:.3}  +{new_hits:>3} new relevant users  \
+             (audience {reach}, recall {:.0}%)  profile: {}",
+            rank + 1,
+            100.0 * hits as f64 / total_relevant.max(1) as f64,
+            topics.join(" ")
+        );
+    }
+    println!("\nThe ranking concentrates the campaign budget on the communities whose");
+    println!("diffusion profiles already carry this topic — the paper's Fig. 6 measures");
+    println!("exactly this targeting quality (MAF@K).");
+}

@@ -1,0 +1,113 @@
+//! End-to-end ingestion: raw text → preprocessing pipeline → social
+//! graph → CPD fit. Demonstrates the full path a real dataset (tweets,
+//! paper titles) would take, using the same preprocessing as the paper
+//! (Sect. 6.1: tokenise, drop stop words, stem, keep content words,
+//! drop documents with fewer than two words).
+//!
+//! ```sh
+//! cargo run --release --example text_to_graph
+//! ```
+
+use cpd::prelude::*;
+
+fn main() {
+    // A miniature two-community corpus: networking people and database
+    // people, each tweeting in their own vocabulary.
+    let networking = [
+        "Wireless sensor networks need better routing protocols",
+        "Routing in wireless networks is an open problem",
+        "Our new paper on network protocols and routing!",
+        "Sensor networks and wireless routing at scale",
+        "Protocol design for wireless sensor networks",
+    ];
+    let databases = [
+        "Query optimization for relational databases",
+        "Indexing strategies make database queries fast",
+        "A survey of database query optimization",
+        "Transactions and indexing in modern databases",
+        "Fast queries need good database indexes",
+    ];
+    let mut raw = Vec::new();
+    // Users 0-4 are networking researchers, 5-9 database researchers;
+    // each posts two documents drawn from their community's corpus.
+    for u in 0..10u32 {
+        let pool: &[&str] = if u < 5 { &networking } else { &databases };
+        for i in 0..2usize {
+            raw.push(RawDocument {
+                author: UserId(u),
+                text: pool[(u as usize + i) % pool.len()].to_string(),
+                timestamp: (u % 4) as u32,
+            });
+        }
+    }
+
+    // 1. Preprocess exactly as the paper does.
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let corpus = pipeline.process_corpus(&raw);
+    println!(
+        "pipeline: {} raw docs -> {} kept, vocabulary {} stems ({} dropped)",
+        raw.len(),
+        corpus.docs.len(),
+        corpus.vocab.len(),
+        corpus.dropped_docs
+    );
+    println!(
+        "sample stems: {:?}",
+        corpus.vocab.iter().take(8).map(|(w, _)| w).collect::<Vec<_>>()
+    );
+
+    // 2. Assemble the social graph: friendships inside each clique, and
+    //    a few retweets of each community's first post.
+    let mut b = SocialGraphBuilder::new(10, corpus.vocab.len());
+    let mut doc_ids = Vec::new();
+    for d in &corpus.docs {
+        doc_ids.push(b.add_document(d.clone()));
+    }
+    for grp in [0u32, 5] {
+        for i in grp..grp + 5 {
+            for j in grp..grp + 5 {
+                if i != j {
+                    b.add_friendship(UserId(i), UserId(j));
+                }
+            }
+        }
+    }
+    // Retweets: user u rebroadcasts the previous user's first doc.
+    let retweets: Vec<(usize, usize)> = vec![(2, 0), (4, 0), (6, 10), (8, 10)];
+    for (src_doc, dst_doc) in retweets {
+        if src_doc < doc_ids.len() && dst_doc < doc_ids.len() {
+            b.add_diffusion(doc_ids[src_doc], doc_ids[dst_doc], 3);
+        }
+    }
+    let graph = b.build().expect("valid graph");
+    println!("graph: {}", graph.stats());
+
+    // 3. Fit CPD with two communities and two topics.
+    let config = CpdConfig {
+        em_iters: 20,
+        seed: 3,
+        ..CpdConfig::experiment(2, 2)
+    };
+    let fit = Cpd::new(config).expect("valid config").fit(&graph);
+    let labels = fit.model.dominant_communities();
+    println!("\ndetected communities: {labels:?}");
+    let networking_label = labels[0];
+    let split_ok = labels[..5].iter().all(|&c| c == networking_label)
+        && labels[5..].iter().all(|&c| c != networking_label);
+    println!(
+        "networking vs database researchers separated: {}",
+        if split_ok { "yes" } else { "partially" }
+    );
+
+    // 4. What does each community talk about?
+    for c in 0..2 {
+        let z = fit.model.top_topics_of_community(c, 1)[0].0;
+        let words: Vec<String> = fit
+            .model
+            .top_words(z, 4)
+            .iter()
+            .map(|&(w, _)| corpus.vocab.word(WordId(w as u32)).to_string())
+            .collect();
+        println!("community c{c} talks about: {}", words.join(", "));
+    }
+}

@@ -1,0 +1,45 @@
+//! # cpd — *From Community Detection to Community Profiling*
+//!
+//! Umbrella crate for the full reproduction of Cai, Zheng, Zhu, Chang &
+//! Huang (PVLDB 10(6), 2017): the CPD joint model, every substrate it
+//! needs, the evaluation baselines and the experiment harness.
+//!
+//! The sub-crates are re-exported under short names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `cpd-core` | the CPD model, inference, applications |
+//! | [`social_graph`] | `social-graph` | users, documents, links (Def. 1) |
+//! | [`text_pipeline`] | `text-pipeline` | tokeniser, stemmer, vocabulary |
+//! | [`topic_model`] | `topic-model` | collapsed-Gibbs LDA |
+//! | [`polya_gamma`] | `polya-gamma` | exact `PG(b, z)` sampling |
+//! | [`prob`] | `cpd-prob` | distributions and special functions |
+//! | [`datagen`] | `cpd-datagen` | synthetic Twitter-/DBLP-like data |
+//! | [`eval`] | `cpd-eval` | conductance, AUC, MAF@K, perplexity, NMI |
+//! | [`baselines`] | `cpd-baselines` | PMTLM, WTM, CRM, COLD, +Agg |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
+//! for the paper-to-code map.
+
+pub use cpd_baselines as baselines;
+pub use cpd_core as core;
+pub use cpd_datagen as datagen;
+pub use cpd_eval as eval;
+pub use cpd_prob as prob;
+pub use polya_gamma;
+pub use social_graph;
+pub use text_pipeline;
+pub use topic_model;
+
+/// The common imports for working with CPD.
+pub mod prelude {
+    pub use cpd_baselines::{DiffusionScorer, FriendshipScorer, Memberships};
+    pub use cpd_core::{
+        rank_communities, Cpd, CpdConfig, CpdModel, DiffusionPredictor, Eta, UserFeatures,
+    };
+    pub use cpd_datagen::{generate, GenConfig, Scale};
+    pub use social_graph::{
+        DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId,
+    };
+    pub use text_pipeline::{Pipeline, PipelineConfig, RawDocument};
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration: the full path from raw text through the
+//! preprocessing pipeline and graph construction to a fitted CPD model
+//! and its three applications.
+
+use cpd::prelude::*;
+
+fn two_community_graph() -> (SocialGraph, text_pipeline::Vocabulary) {
+    let topics_a = [
+        "wireless sensor networks routing protocols",
+        "routing wireless networks protocol design",
+        "network protocols routing wireless",
+    ];
+    let topics_b = [
+        "database query optimization indexing",
+        "indexing databases queries transactions",
+        "query optimization database indexes",
+    ];
+    let mut raw = Vec::new();
+    for u in 0..12u32 {
+        let pool: &[&str] = if u < 6 { &topics_a } else { &topics_b };
+        for i in 0..3usize {
+            raw.push(RawDocument {
+                author: UserId(u),
+                text: pool[(u as usize + i) % pool.len()].to_string(),
+                timestamp: u % 3,
+            });
+        }
+    }
+    let corpus = Pipeline::new(PipelineConfig::default()).process_corpus(&raw);
+    let mut b = SocialGraphBuilder::new(12, corpus.vocab.len());
+    let mut ids = Vec::new();
+    for d in &corpus.docs {
+        ids.push(b.add_document(d.clone()));
+    }
+    for grp in [0u32, 6] {
+        for i in grp..grp + 6 {
+            for j in grp..grp + 6 {
+                if i != j {
+                    b.add_friendship(UserId(i), UserId(j));
+                }
+            }
+        }
+    }
+    for (s, d) in [(3usize, 0usize), (6, 0), (9, 1), (21, 18), (24, 18), (27, 19)] {
+        if s < ids.len() && d < ids.len() && s != d {
+            b.add_diffusion(ids[s], ids[d], 2);
+        }
+    }
+    (b.build().unwrap(), corpus.vocab)
+}
+
+#[test]
+fn raw_text_to_model_to_applications() {
+    let (graph, vocab) = two_community_graph();
+    assert!(vocab.len() > 5);
+    let config = CpdConfig {
+        em_iters: 25,
+        seed: 12,
+        ..CpdConfig::experiment(2, 2)
+    };
+    let fit = Cpd::new(config.clone()).unwrap().fit(&graph);
+    let model = &fit.model;
+
+    // Detection separates the two cliques.
+    let labels = model.dominant_communities();
+    let a = labels[0];
+    let same_a = labels[..6].iter().filter(|&&c| c == a).count();
+    let same_b = labels[6..].iter().filter(|&&c| c != a).count();
+    assert!(
+        same_a + same_b >= 10,
+        "poor separation: {labels:?} ({same_a}+{same_b})"
+    );
+
+    // Ranking routes a networking stem to the networking community.
+    let net_word = vocab.id_of("network").expect("stem present");
+    let ranking = cpd::core::rank_communities(model, &[net_word]);
+    let top = ranking[0].0;
+    // The top community for "network" should be the majority label of
+    // the networking users.
+    let networking_majority = {
+        let mut counts = vec![0usize; 2];
+        for &c in &labels[..6] {
+            counts[c] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap()
+    };
+    assert_eq!(top, networking_majority, "ranking {ranking:?}");
+
+    // Diffusion prediction produces probabilities.
+    let features = UserFeatures::compute(&graph);
+    let predictor = DiffusionPredictor::new(model, &features, &config);
+    for l in graph.diffusions() {
+        let p = predictor.score(&graph, graph.doc(l.src).author, l.dst, l.at);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    // Visualisation exports well-formed artefacts.
+    let dot = cpd::core::apps::visualization::to_dot(model, None, None);
+    assert!(dot.starts_with("digraph"));
+    let json = cpd::core::apps::visualization::to_json(model, Some(0));
+    assert!(json.contains("\"edges\""));
+}
+
+#[test]
+fn metrics_pipeline_spans_crates() {
+    // datagen -> split -> core -> eval, all through the public APIs.
+    let gen = GenConfig::twitter_like(Scale::Tiny);
+    let (g, truth) = generate(&gen);
+    let folds = social_graph::split::k_fold_indices(g.diffusions().len(), 3, 5);
+    let holdout = social_graph::split::diffusion_holdout(&g, &folds, 0);
+    let config = CpdConfig {
+        em_iters: 8,
+        seed: 5,
+        ..CpdConfig::experiment(gen.n_communities, gen.n_topics)
+    };
+    let fit = Cpd::new(config.clone()).unwrap().fit(&holdout.train);
+    let features = UserFeatures::compute(&holdout.train);
+    let predictor = DiffusionPredictor::new(&fit.model, &features, &config);
+
+    let pos: Vec<f64> = holdout
+        .held_out
+        .iter()
+        .map(|&i| {
+            let l = &g.diffusions()[i];
+            predictor.score(&holdout.train, g.doc(l.src).author, l.dst, l.at)
+        })
+        .collect();
+    use rand::Rng;
+    let mut rng = cpd::prob::rng::seeded_rng(5);
+    let neg: Vec<f64> = (0..pos.len())
+        .map(|_| {
+            let u = UserId(rng.gen_range(0..g.n_users()) as u32);
+            let d = DocId(rng.gen_range(0..g.n_docs()) as u32);
+            predictor.score(&holdout.train, u, d, 0)
+        })
+        .collect();
+    let auc = cpd::eval::auc(&pos, &neg).unwrap();
+    assert!(auc > 0.55, "held-out diffusion AUC {auc}");
+
+    // Conductance and NMI run on the same memberships.
+    let cond = cpd::eval::average_conductance(&g, &fit.model.pi, 5);
+    assert!(cond.is_some());
+    let nmi = cpd::eval::nmi(
+        &fit.model.dominant_communities(),
+        &truth.dominant_community,
+    );
+    assert!(nmi > 0.1, "NMI {nmi}");
+}
+
+#[test]
+fn baselines_and_cpd_share_interfaces() {
+    use cpd::baselines::{CpdMethod, Crm, CrmConfig, DiffusionScorer, Memberships};
+    let gen = GenConfig::twitter_like(Scale::Tiny);
+    let (g, _) = generate(&gen);
+    let cpd_fit = CpdMethod::fit(
+        &g,
+        CpdConfig {
+            em_iters: 4,
+            seed: 6,
+            ..CpdConfig::experiment(4, 6)
+        },
+    )
+    .unwrap();
+    let crm = Crm::fit(&g, &CrmConfig::new(4));
+    let l = &g.diffusions()[0];
+    for scorer in [&cpd_fit as &dyn DiffusionScorer, &crm as &dyn DiffusionScorer] {
+        let s = scorer.score_diffusion(&g, g.doc(l.src).author, l.dst, l.at);
+        assert!(s.is_finite());
+    }
+    assert_eq!(cpd_fit.memberships().len(), g.n_users());
+    assert_eq!(crm.memberships().len(), g.n_users());
+}
