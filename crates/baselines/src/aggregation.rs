@@ -51,7 +51,7 @@ pub fn aggregate_profiles(
 
     // Eq. 20: user-mean topic mixtures weighted into communities.
     let mut theta = vec![vec![0.0f64; n_topics]; c_n];
-    for u in 0..graph.n_users() {
+    for (u, membership) in memberships.iter().enumerate().take(graph.n_users()) {
         let uid = UserId(u as u32);
         let n_docs = graph.n_docs_of(uid);
         if n_docs == 0 {
@@ -64,7 +64,7 @@ pub fn aggregate_profiles(
             }
         }
         mean.iter_mut().for_each(|x| *x /= n_docs as f64);
-        for (c, &p_uc) in memberships[u].iter().enumerate() {
+        for (c, &p_uc) in membership.iter().enumerate() {
             if p_uc == 0.0 {
                 continue;
             }

@@ -70,8 +70,7 @@ impl FriendshipScorer for Cold {
 
 impl DiffusionScorer for Cold {
     fn score_diffusion(&self, graph: &SocialGraph, u: UserId, dst: DocId, t: u32) -> f64 {
-        DiffusionPredictor::new(&self.model, &self.features, &self.config)
-            .score(graph, u, dst, t)
+        DiffusionPredictor::new(&self.model, &self.features, &self.config).score(graph, u, dst, t)
     }
 }
 

@@ -64,19 +64,19 @@ impl Pmtlm {
 
         // Per-user aggregation (the paper's detection adaptation).
         let mut user_pi = vec![vec![0.0f64; z_n]; graph.n_users()];
-        for u in 0..graph.n_users() {
+        for (u, row) in user_pi.iter_mut().enumerate() {
             let uid = UserId(u as u32);
             let mut n = 0usize;
             for d in graph.docs_of(uid) {
                 for (z, &t) in doc_theta[d.index()].iter().enumerate() {
-                    user_pi[u][z] += t;
+                    row[z] += t;
                 }
                 n += 1;
             }
             if n > 0 {
-                user_pi[u].iter_mut().for_each(|x| *x /= n as f64);
+                row.iter_mut().for_each(|x| *x /= n as f64);
             } else {
-                user_pi[u].iter_mut().for_each(|x| *x = 1.0 / z_n as f64);
+                row.iter_mut().for_each(|x| *x = 1.0 / z_n as f64);
             }
         }
 

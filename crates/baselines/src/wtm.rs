@@ -72,7 +72,7 @@ impl Wtm {
         let doc_theta: Vec<Vec<f64>> = (0..graph.n_docs()).map(|d| lda.theta(d)).collect();
         let z_n = config.n_topics;
         let mut user_interest = vec![vec![1.0 / z_n as f64; z_n]; graph.n_users()];
-        for u in 0..graph.n_users() {
+        for (u, interest) in user_interest.iter_mut().enumerate() {
             let uid = UserId(u as u32);
             let mut acc = vec![0.0f64; z_n];
             let mut n = 0usize;
@@ -84,7 +84,7 @@ impl Wtm {
             }
             if n > 0 {
                 acc.iter_mut().for_each(|x| *x /= n as f64);
-                user_interest[u] = acc;
+                *interest = acc;
             }
         }
         let friends: HashSet<(u32, u32)> = graph
@@ -133,12 +133,7 @@ impl Wtm {
             examples.push((model.feature_vector(u, DocId(j), v), false));
             produced += 1;
         }
-        model.weights = logistic::fit(
-            &examples,
-            N_FEATURES,
-            config.lr_iters,
-            config.learning_rate,
-        );
+        model.weights = logistic::fit(&examples, N_FEATURES, config.lr_iters, config.learning_rate);
         model
     }
 

@@ -3,10 +3,10 @@
 //! approximation used during topic resampling, and the evaluation
 //! metrics' own cost.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cpd_core::{Cpd, CpdConfig, DiffusionPredictor, UserFeatures};
 use cpd_datagen::{generate, GenConfig, Scale};
 use cpd_eval::{auc, average_conductance};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use social_graph::DocId;
 
 fn bench_diffusion_scoring(c: &mut Criterion) {

@@ -1,9 +1,9 @@
 //! End-to-end inference benchmarks (the timing backbone of Fig. 10):
 //! one EM iteration of CPD at two community counts, serial vs parallel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpd_core::{Cpd, CpdConfig};
 use cpd_datagen::{generate, GenConfig, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_em_iteration(c: &mut Criterion) {
     let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));

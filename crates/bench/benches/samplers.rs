@@ -2,10 +2,10 @@
 //! that dominates the λ/δ passes (Eqs. 15–16), and the categorical
 //! samplers on the Gibbs hot path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cpd_prob::categorical::{sample_index, sample_log_index, AliasTable};
 use cpd_prob::gamma::sample_gamma;
 use cpd_prob::rng::seeded_rng;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use polya_gamma::sample_pg1;
 
 fn bench_polya_gamma(c: &mut Criterion) {

@@ -44,12 +44,20 @@ fn main() {
 
             // Eta recovery for the CPD-family methods.
             let eta_corr = match &fitted {
-                cpd_bench::FittedMethod::Cpd(m) => {
-                    Some(eta_correlation(m.model(), &detected, &truth, gen.n_communities, gen.n_topics))
-                }
-                cpd_bench::FittedMethod::Cold(m) => {
-                    Some(eta_correlation(m.model(), &detected, &truth, gen.n_communities, gen.n_topics))
-                }
+                cpd_bench::FittedMethod::Cpd(m) => Some(eta_correlation(
+                    m.model(),
+                    &detected,
+                    &truth,
+                    gen.n_communities,
+                    gen.n_topics,
+                )),
+                cpd_bench::FittedMethod::Cold(m) => Some(eta_correlation(
+                    m.model(),
+                    &detected,
+                    &truth,
+                    gen.n_communities,
+                    gen.n_topics,
+                )),
                 _ => None,
             };
             rows.push(vec![

@@ -8,7 +8,7 @@
 //!
 //! Usage: `fig10_scalability [tiny|small|medium]`.
 
-use cpd_bench::{datasets, print_table, scale_from_args};
+use cpd_bench::{datasets, mean, print_table, scale_from_args};
 use cpd_core::{Cpd, CpdConfig};
 use cpd_datagen::generate;
 use social_graph::sample::subsample;
@@ -49,14 +49,15 @@ fn main() {
             ]);
         }
         print_table(
-            &format!(
-                "Fig. 10(a) ({ds_name}): E-step seconds per iteration vs dataset fraction"
-            ),
+            &format!("Fig. 10(a) ({ds_name}): E-step seconds per iteration vs dataset fraction"),
             &["p", "serial (s)", &format!("parallel x{max_threads} (s)")],
             &rows,
         );
 
         // ---- (b) speedup vs threads ---------------------------------------
+        // The sharded runtime's merge/snapshot columns expose the
+        // coordination overhead the delta-based E-step pays instead of
+        // the old full clone + rebuild (see FitDiagnostics).
         let serial = Cpd::new(time_cfg(None)).unwrap().fit(&g);
         let base = mean(&serial.diagnostics.estep_seconds);
         let mut rows = Vec::new();
@@ -68,25 +69,23 @@ fn main() {
                 t.to_string(),
                 format!("{pt:.3}"),
                 format!("{:.2}x", base / pt.max(1e-9)),
+                format!("{:.4}", mean(&par.diagnostics.merge_seconds)),
+                format!("{:.4}", mean(&par.diagnostics.snapshot_seconds)),
             ]);
             t += 2;
         }
         print_table(
-            &format!(
-                "Fig. 10(b) ({ds_name}): parallel speedup (serial E-step = {base:.3}s)"
-            ),
-            &["threads", "E-step (s)", "speedup"],
+            &format!("Fig. 10(b) ({ds_name}): parallel speedup (serial E-step = {base:.3}s)"),
+            &[
+                "threads",
+                "E-step (s)",
+                "speedup",
+                "merge (s)",
+                "snapshot (s)",
+            ],
             &rows,
         );
     }
     println!("\nShape check vs paper: per-iteration time grows linearly with p; speedup");
     println!("increases with cores (the paper reaches 4.5x on Twitter / 5.7x on DBLP at 8 cores).");
-}
-
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
 }

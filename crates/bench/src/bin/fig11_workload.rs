@@ -4,7 +4,7 @@
 //!
 //! Usage: `fig11_workload [tiny|small|medium] [threads]`.
 
-use cpd_bench::{datasets, print_table, scale_from_args};
+use cpd_bench::{datasets, mean, print_table, scale_from_args};
 use cpd_core::parallel::{allocate_segments, balance_ratio, segment_users};
 use cpd_core::{Cpd, CpdConfig};
 use cpd_datagen::generate;
@@ -69,6 +69,21 @@ fn main() {
                     max / mean
                 } else {
                     1.0
+                }
+            }
+        );
+        // Sharded-runtime coordination overhead (zero-length for the
+        // legacy clone-rebuild runtime).
+        println!(
+            "delta runtime per sweep: merge {:.4}s, snapshot sync {:.4}s, changed docs {:.0}",
+            mean(&fit.diagnostics.merge_seconds),
+            mean(&fit.diagnostics.snapshot_seconds),
+            {
+                let cd = &fit.diagnostics.changed_docs;
+                if cd.is_empty() {
+                    0.0
+                } else {
+                    cd.iter().sum::<usize>() as f64 / cd.len() as f64
                 }
             }
         );

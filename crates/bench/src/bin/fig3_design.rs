@@ -11,8 +11,8 @@
 //! the paper uses 10).
 
 use cpd_bench::{
-    community_sweep, datasets, diffusion_auc, fit_method, fmt_metric, friendship_auc,
-    print_table, scale_from_args, MethodKind,
+    community_sweep, datasets, diffusion_auc, fit_method, fmt_metric, friendship_auc, print_table,
+    scale_from_args, MethodKind,
 };
 use cpd_datagen::generate;
 use cpd_eval::average_conductance;
@@ -60,9 +60,7 @@ fn main() {
                     let h = friendship_holdout(&g, &f_folds, fold);
                     let fitted = fit_method(kind, &h.train, c, z, 42 + fold as u64);
                     if let Some(scorer) = fitted.friendship_scorer() {
-                        if let Some(a) =
-                            friendship_auc(&g, &h.held_out, scorer, 77 + fold as u64)
-                        {
+                        if let Some(a) = friendship_auc(&g, &h.held_out, scorer, 77 + fold as u64) {
                             scores.push(a);
                         }
                     }
@@ -124,7 +122,13 @@ fn diffusion_cv(
     for fold in 0..folds {
         let h = diffusion_holdout(g, d_folds, fold);
         let fitted = fit_method(kind, &h.train, c, z, 42 + fold as u64);
-        if let Some(a) = diffusion_auc(g, &h.train, &h.held_out, fitted.diffusion_scorer(), 88 + fold as u64) {
+        if let Some(a) = diffusion_auc(
+            g,
+            &h.train,
+            &h.held_out,
+            fitted.diffusion_scorer(),
+            88 + fold as u64,
+        ) {
             scores.push(a);
         }
     }

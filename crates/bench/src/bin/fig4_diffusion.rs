@@ -30,7 +30,11 @@ fn main() {
         for b in &baselines {
             header.push(b.name().into());
         }
-        header.extend(["CRM+Agg".to_string(), "COLD+Agg".to_string(), "Ours".to_string()]);
+        header.extend([
+            "CRM+Agg".to_string(),
+            "COLD+Agg".to_string(),
+            "Ours".to_string(),
+        ]);
 
         let mut rows = Vec::new();
         let mut ours_scores_all: Vec<f64> = Vec::new();

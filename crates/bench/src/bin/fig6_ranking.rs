@@ -9,7 +9,9 @@
 //!
 //! Usage: `fig6_ranking [tiny|small|medium]`.
 
-use cpd_bench::{cold_agg, crm_agg, datasets, fit_method, print_table, scale_from_args, MethodKind};
+use cpd_bench::{
+    cold_agg, crm_agg, datasets, fit_method, print_table, scale_from_args, MethodKind,
+};
 use cpd_core::rank_communities;
 use cpd_datagen::{generate, Scale};
 use cpd_eval::membership::CommunityUserSets;

@@ -59,7 +59,9 @@ fn main() {
         &rows,
     );
     println!("\nShape check vs paper: joint estimation (Ours) must be far below both aggregation");
-    println!("baselines at every |C| (the paper reports ~5k vs ~700k on Twitter, ~1k vs ~47k on DBLP).");
+    println!(
+        "baselines at every |C| (the paper reports ~5k vs ~700k on Twitter, ~1k vs ~47k on DBLP)."
+    );
 }
 
 fn fmt(v: Option<f64>) -> String {

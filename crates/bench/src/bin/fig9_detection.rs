@@ -46,9 +46,7 @@ fn main() {
                     let h = friendship_holdout(&g, &f_folds, fold);
                     let fitted = fit_method(kind, &h.train, c, z, 21 + fold as u64);
                     if let Some(scorer) = fitted.friendship_scorer() {
-                        if let Some(a) =
-                            friendship_auc(&g, &h.held_out, scorer, 31 + fold as u64)
-                        {
+                        if let Some(a) = friendship_auc(&g, &h.held_out, scorer, 31 + fold as u64) {
                             scores.push(a);
                         }
                     }

@@ -68,11 +68,14 @@ fn main() {
     let outcome = evaluate_ranking(&sets, &ranking, &relevant, 3);
 
     let mut rows = Vec::new();
-    for k in 0..3 {
-        let c = ranking[k];
+    for (k, &c) in ranking.iter().enumerate().take(3) {
         let p = outcome.precision_at[k];
         let r = outcome.recall_at[k];
-        let f = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        let f = if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        };
         let topics: Vec<String> = model
             .top_topics_of_community(c, 3)
             .iter()
@@ -89,7 +92,14 @@ fn main() {
     }
     print_table(
         "Table 6: top-3 communities for the query",
-        &["K", "community", "AP@K", "AR@K", "AF@K", "Topic Distribution"],
+        &[
+            "K",
+            "community",
+            "AP@K",
+            "AR@K",
+            "AF@K",
+            "Topic Distribution",
+        ],
         &rows,
     );
     println!("\nShape check vs paper: AF@K should increase with K (Table 6 shows 0.483 -> 0.576 -> 0.663).");

@@ -78,7 +78,11 @@ pub fn sample_negative_diffusions(
 }
 
 /// Sample `n` negative user pairs that are not friendship links.
-pub fn sample_negative_friendships(graph: &SocialGraph, n: usize, seed: u64) -> Vec<(UserId, UserId)> {
+pub fn sample_negative_friendships(
+    graph: &SocialGraph,
+    n: usize,
+    seed: u64,
+) -> Vec<(UserId, UserId)> {
     let mut rng = seeded_rng(seed);
     let linked: HashSet<(u32, u32)> = graph
         .friendships()
@@ -109,10 +113,7 @@ pub fn diffusion_auc(
     scorer: &dyn DiffusionScorer,
     seed: u64,
 ) -> Option<f64> {
-    let positives: Vec<&DiffusionLink> = held_out
-        .iter()
-        .map(|&i| &full.diffusions()[i])
-        .collect();
+    let positives: Vec<&DiffusionLink> = held_out.iter().map(|&i| &full.diffusions()[i]).collect();
     let pos: Vec<f64> = positives
         .iter()
         .map(|l| scorer.score_diffusion(train, full.doc(l.src).author, l.dst, l.at))
@@ -172,9 +173,22 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(header.iter().map(|s| s.to_string()).collect())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Mean of a slice, `0.0` when empty (per-iteration diagnostics are
+/// often absent for serial fits).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
     }
 }
 
@@ -203,11 +217,8 @@ mod tests {
             assert!(!linked.contains(&(u.0, d.0)));
             assert_ne!(g.doc(d).author, u);
         }
-        let friends: HashSet<(u32, u32)> = g
-            .friendships()
-            .iter()
-            .map(|l| (l.from.0, l.to.0))
-            .collect();
+        let friends: HashSet<(u32, u32)> =
+            g.friendships().iter().map(|l| (l.from.0, l.to.0)).collect();
         for (u, v) in sample_negative_friendships(&g, 200, 2) {
             assert!(!friends.contains(&(u.0, v.0)));
             assert_ne!(u, v);

@@ -77,24 +77,20 @@ pub fn fit_method(
         ..CpdConfig::experiment(n_communities, n_topics)
     };
     match kind {
-        MethodKind::Cpd => {
-            FittedMethod::Cpd(CpdMethod::fit(graph, base).expect("valid config"))
-        }
+        MethodKind::Cpd => FittedMethod::Cpd(CpdMethod::fit(graph, base).expect("valid config")),
         MethodKind::CpdNoJoint => FittedMethod::Cpd(
             CpdMethod::fit(graph, base.no_joint_modeling()).expect("valid config"),
         ),
-        MethodKind::CpdNoHeterogeneity => FittedMethod::Cpd(
-            CpdMethod::fit(graph, base.no_heterogeneity()).expect("valid config"),
-        ),
-        MethodKind::CpdNoTopic => FittedMethod::Cpd(
-            CpdMethod::fit(graph, base.no_topic_factor()).expect("valid config"),
-        ),
+        MethodKind::CpdNoHeterogeneity => {
+            FittedMethod::Cpd(CpdMethod::fit(graph, base.no_heterogeneity()).expect("valid config"))
+        }
+        MethodKind::CpdNoTopic => {
+            FittedMethod::Cpd(CpdMethod::fit(graph, base.no_topic_factor()).expect("valid config"))
+        }
         MethodKind::CpdNoIndividualTopic => FittedMethod::Cpd(
             CpdMethod::fit(graph, base.no_individual_and_topic()).expect("valid config"),
         ),
-        MethodKind::Cold => {
-            FittedMethod::Cold(Cold::fit(graph, base).expect("valid config"))
-        }
+        MethodKind::Cold => FittedMethod::Cold(Cold::fit(graph, base).expect("valid config")),
         MethodKind::Crm => FittedMethod::Crm(Crm::fit(
             graph,
             &CrmConfig {

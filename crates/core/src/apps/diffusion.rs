@@ -4,9 +4,7 @@
 //!  σ(Σ_c Σ_c' π_uc θ_cz η_cc'z π_vc' θ_c'z + topic/individual factors)`.
 
 use crate::config::{CpdConfig, DiffusionModel};
-use crate::features::{
-    community_feature, UserFeatures, F_COMMUNITY, F_TOPIC_POP, N_FEATURES,
-};
+use crate::features::{community_feature, UserFeatures, F_COMMUNITY, F_TOPIC_POP, N_FEATURES};
 use crate::profiles::CpdModel;
 use cpd_prob::special::sigmoid;
 use social_graph::{DocId, SocialGraph, UserId};
@@ -77,13 +75,7 @@ impl<'a> DiffusionPredictor<'a> {
             } else {
                 0.0
             };
-            let w: f64 = self
-                .model
-                .nu
-                .iter()
-                .zip(x.iter())
-                .map(|(a, b)| a * b)
-                .sum();
+            let w: f64 = self.model.nu.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
             acc += p_z * sigmoid(w);
         }
         acc
@@ -127,8 +119,8 @@ impl<'a> DiffusionPredictor<'a> {
 mod tests {
     use super::*;
     use crate::model::Cpd;
-    use cpd_datagen::{generate, GenConfig, Scale};
     use crate::state::link_metadata;
+    use cpd_datagen::{generate, GenConfig, Scale};
 
     fn fitted() -> (social_graph::SocialGraph, CpdModel, UserFeatures, CpdConfig) {
         let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
@@ -149,12 +141,7 @@ mod tests {
         let (g, model, features, cfg) = fitted();
         let p = DiffusionPredictor::new(&model, &features, &cfg);
         for lm in link_metadata(&g).iter().take(30) {
-            let s = p.score(
-                &g,
-                UserId(lm.src_author),
-                DocId(lm.dst_doc),
-                lm.at,
-            );
+            let s = p.score(&g, UserId(lm.src_author), DocId(lm.dst_doc), lm.at);
             assert!((0.0..=1.0).contains(&s), "score {s}");
         }
     }

@@ -12,6 +12,20 @@ pub enum DiffusionModel {
     SameAsFriendship,
 }
 
+/// Which parallel E-step runtime executes the per-sweep worker barrier
+/// (only consulted when `threads > 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelRuntime {
+    /// Persistent sharded workers exchanging sparse `CountDelta`s; no
+    /// per-sweep state clone and no count rebuild (Sect. 4.3 runtime).
+    #[default]
+    DeltaSharded,
+    /// Legacy runtime: clone the full state per worker per sweep and
+    /// rebuild every count matrix after the merge. Kept as a
+    /// benchmarking reference and differential-testing oracle.
+    CloneRebuild,
+}
+
 /// Joint vs. two-phase training.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrainingMode {
@@ -54,6 +68,8 @@ pub struct CpdConfig {
     pub max_neighbors: usize,
     /// Threads for the parallel E-step (`None`/`Some(1)` = serial).
     pub threads: Option<usize>,
+    /// Parallel E-step runtime (ignored when serial).
+    pub parallel_runtime: ParallelRuntime,
     /// RNG seed.
     pub seed: u64,
     /// Joint vs. two-phase ("no joint modeling" ablation).
@@ -88,6 +104,7 @@ impl CpdConfig {
             eta_smoothing: 0.05,
             max_neighbors: 64,
             threads: None,
+            parallel_runtime: ParallelRuntime::default(),
             seed: 7,
             training: TrainingMode::Joint,
             diffusion: DiffusionModel::Full,

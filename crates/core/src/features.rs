@@ -46,14 +46,14 @@ impl UserFeatures {
         }
         let mut popularity = Vec::with_capacity(n);
         let mut activeness = Vec::with_capacity(n);
-        for u in 0..n {
+        for (u, &diffusing) in diffusing_docs.iter().enumerate() {
             let uid = UserId(u as u32);
             let followers = graph.followers(uid) as f64;
             let followees = graph.followees(uid) as f64;
             popularity.push(((1.0 + followers) / (1.0 + followees)).ln());
             let docs = graph.n_docs_of(uid) as f64;
             activeness.push(if docs > 0.0 {
-                diffusing_docs[u] as f64 / docs
+                diffusing as f64 / docs
             } else {
                 0.0
             });
@@ -111,7 +111,7 @@ pub fn community_feature(s_comm: f64, n_communities: usize, n_topics: usize) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use social_graph::{DocId, Document, SocialGraphBuilder, WordId};
+    use social_graph::{Document, SocialGraphBuilder, WordId};
 
     fn graph() -> SocialGraph {
         let mut b = SocialGraphBuilder::new(3, 2);

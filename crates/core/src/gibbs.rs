@@ -14,11 +14,9 @@
 //! current hard assignment (the dominant term of the bilinear form).
 
 use crate::config::{CpdConfig, DiffusionModel};
-use crate::features::{
-    community_feature, UserFeatures, F_COMMUNITY, F_TOPIC_POP, N_FEATURES,
-};
+use crate::features::{community_feature, UserFeatures, F_COMMUNITY, F_TOPIC_POP, N_FEATURES};
 use crate::profiles::Eta;
-use crate::state::{CpdState, LinkMeta};
+use crate::state::{CpdState, DeltaSink, LinkMeta};
 use cpd_prob::categorical::sample_log_index;
 use polya_gamma::sample_pg1;
 use rand::rngs::StdRng;
@@ -87,12 +85,18 @@ fn ln_psi(w: f64, pg: f64) -> f64 {
 
 /// One full sweep over the documents of `users` (topic then community per
 /// document, in user order). `state` must contain consistent counts.
-pub(crate) fn sweep_user_docs(
+///
+/// Every count mutation is mirrored into `sink`: the serial path passes
+/// [`crate::state::NoDelta`] (compiled away), sharded workers pass a
+/// [`crate::state::CountDelta`] so the coordinator can fold their local
+/// work into the canonical state without a rebuild.
+pub(crate) fn sweep_user_docs<S: DeltaSink>(
     ctx: &SweepContext<'_>,
     state: &mut CpdState,
     users: &[u32],
     rng: &mut StdRng,
     phase: SweepPhase,
+    sink: &mut S,
 ) {
     for &u in users {
         // Collect to release the borrow on graph adjacency while mutating
@@ -100,10 +104,10 @@ pub(crate) fn sweep_user_docs(
         let docs: Vec<DocId> = ctx.graph.docs_of(UserId(u)).collect();
         for d in docs {
             if phase != SweepPhase::DetectOnly {
-                sample_topic(ctx, state, d.index(), rng, phase);
+                sample_topic(ctx, state, d.index(), rng, phase, sink);
             }
             if phase != SweepPhase::ProfileOnly {
-                sample_community(ctx, state, d.index(), rng, phase);
+                sample_community(ctx, state, d.index(), rng, phase, sink);
             }
         }
     }
@@ -111,12 +115,13 @@ pub(crate) fn sweep_user_docs(
 
 // --- Topic resampling (Eq. 13) -----------------------------------------
 
-fn sample_topic(
+fn sample_topic<S: DeltaSink>(
     ctx: &SweepContext<'_>,
     state: &mut CpdState,
     d: usize,
     rng: &mut StdRng,
     phase: SweepPhase,
+    sink: &mut S,
 ) {
     let doc = &ctx.graph.docs()[d];
     let z_n = state.n_topics;
@@ -143,7 +148,7 @@ fn sample_topic(
     }
     // Topic-word factor with within-document repetition offsets.
     let len = doc.words.len();
-    for z in 0..z_n {
+    for (z, l) in lw.iter_mut().enumerate() {
         let mut acc = 0.0f64;
         for (k, w) in doc.words.iter().enumerate() {
             // i-th occurrence of this word within the doc (docs are short;
@@ -154,7 +159,7 @@ fn sample_topic(
         for j in 0..len {
             acc -= (state.n_z[z] as f64 + w_n as f64 * ctx.beta + j as f64).ln();
         }
-        lw[z] += acc;
+        *l += acc;
     }
 
     // Diffusion factor: links where this document is the *diffused*
@@ -162,44 +167,44 @@ fn sample_topic(
     // this document is the diffuser carry the other end's topic and do
     // not depend on the candidate.)
     if (phase == SweepPhase::Full || phase == SweepPhase::ProfileOnly)
-        && ctx.config.diffusion == DiffusionModel::Full {
-            for &lid in ctx.graph.diffusion_links_of(DocId(d as u32)) {
-                let lm = &ctx.links[lid as usize];
-                if lm.dst_doc as usize != d {
-                    continue;
-                }
-                let delta = state.delta[lid as usize];
-                let diffuser_doc = lm.src_doc as usize;
-                let ck = state.doc_community[diffuser_doc] as usize;
-                let uk = lm.src_author as usize;
-                let pi_pair = state.pi_hat(uk, ck, ctx.rho)
-                    * state.pi_hat(doc.author.index(), c, ctx.rho);
-                let mut x = [0.0f64; N_FEATURES];
-                ctx.features.fill_static(
-                    &mut x,
-                    UserId(lm.src_author),
-                    UserId(lm.dst_author),
-                    ctx.config.individual_factor,
-                );
-                let at = lm.at as usize;
-                for (z, l) in lw.iter_mut().enumerate() {
-                    // Hard-pair community factor at (c_k, c) for topic z.
-                    let s = ctx.eta.at(ck, c, z)
-                        * state.theta_hat(ck, z, ctx.alpha)
-                        * state.theta_hat(c, z, ctx.alpha)
-                        * pi_pair;
-                    x[F_COMMUNITY] =
-                        community_feature(s, state.n_communities, z_n);
-                    x[F_TOPIC_POP] = if ctx.config.topic_factor {
-                        state.topic_popularity(at, z)
-                    } else {
-                        0.0
-                    };
-                    *l += ln_psi(ctx.dot_nu(&x), delta);
-                }
+        && ctx.config.diffusion == DiffusionModel::Full
+    {
+        for &lid in ctx.graph.diffusion_links_of(DocId(d as u32)) {
+            let lm = &ctx.links[lid as usize];
+            if lm.dst_doc as usize != d {
+                continue;
+            }
+            let delta = state.delta[lid as usize];
+            let diffuser_doc = lm.src_doc as usize;
+            let ck = state.doc_community[diffuser_doc] as usize;
+            let uk = lm.src_author as usize;
+            let pi_pair =
+                state.pi_hat(uk, ck, ctx.rho) * state.pi_hat(doc.author.index(), c, ctx.rho);
+            let mut x = [0.0f64; N_FEATURES];
+            ctx.features.fill_static(
+                &mut x,
+                UserId(lm.src_author),
+                UserId(lm.dst_author),
+                ctx.config.individual_factor,
+            );
+            let at = lm.at as usize;
+            for (z, l) in lw.iter_mut().enumerate() {
+                // Hard-pair community factor at (c_k, c) for topic z.
+                let s = ctx.eta.at(ck, c, z)
+                    * state.theta_hat(ck, z, ctx.alpha)
+                    * state.theta_hat(c, z, ctx.alpha)
+                    * pi_pair;
+                x[F_COMMUNITY] = community_feature(s, state.n_communities, z_n);
+                x[F_TOPIC_POP] = if ctx.config.topic_factor {
+                    state.topic_popularity(at, z)
+                } else {
+                    0.0
+                };
+                *l += ln_psi(ctx.dot_nu(&x), delta);
             }
         }
-        // SameAsFriendship diffusion has no topic dependence.
+    }
+    // SameAsFriendship diffusion has no topic dependence.
 
     let z_new = sample_log_index(rng, &lw);
 
@@ -212,16 +217,20 @@ fn sample_topic(
     }
     state.n_tz[t * z_n + z_new] += 1;
     state.n_t[t] += 1;
+    if z_new != z_old {
+        sink.topic_moved(d, c, t, &doc.words, z_old, z_new);
+    }
 }
 
 // --- Community resampling (Eq. 14) --------------------------------------
 
-fn sample_community(
+fn sample_community<S: DeltaSink>(
     ctx: &SweepContext<'_>,
     state: &mut CpdState,
     d: usize,
     rng: &mut StdRng,
     phase: SweepPhase,
+    sink: &mut S,
 ) {
     let doc = &ctx.graph.docs()[d];
     let c_n = state.n_communities;
@@ -290,6 +299,9 @@ fn sample_community(
     state.n_uc[u * c_n + c_new] += 1;
     state.n_cz[c_new * z_n + z] += 1;
     state.n_c[c_new] += 1;
+    if c_new != c_old {
+        sink.community_moved(d, u, z, c_old, c_new);
+    }
 }
 
 /// Which links feed the membership-similarity factor.
@@ -426,10 +438,9 @@ fn add_full_diffusion_terms(
         }
         // T0 = Σ_c (n¬_uc + ρ) θ̂_{c,zl} g[c].
         let mut t0 = 0.0f64;
-        for c in 0..c_n {
-            t0 += (state.n_uc[u * c_n + c] as f64 + ctx.rho)
-                * state.theta_hat(c, zl, ctx.alpha)
-                * g[c];
+        for (c, &gc) in g.iter().enumerate() {
+            t0 +=
+                (state.n_uc[u * c_n + c] as f64 + ctx.rho) * state.theta_hat(c, zl, ctx.alpha) * gc;
         }
         let mut x = [0.0f64; N_FEATURES];
         ctx.features.fill_static(
@@ -480,11 +491,7 @@ pub(crate) fn diffusion_logit(
     let mut x = [0.0f64; N_FEATURES];
     match ctx.config.diffusion {
         DiffusionModel::SameAsFriendship => {
-            let w = state.membership_dot(
-                lm.src_author as usize,
-                lm.dst_author as usize,
-                ctx.rho,
-            );
+            let w = state.membership_dot(lm.src_author as usize, lm.dst_author as usize, ctx.rho);
             (w, x)
         }
         DiffusionModel::Full => {
@@ -563,7 +570,7 @@ pub(crate) fn resample_delta_range(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::link_metadata;
+    use crate::state::{link_metadata, NoDelta};
     use cpd_prob::rng::seeded_rng;
     use social_graph::{Document, SocialGraphBuilder, WordId};
 
@@ -601,7 +608,14 @@ mod tests {
         let mut rng = seeded_rng(3);
         let users: Vec<u32> = (0..4).collect();
         for _ in 0..5 {
-            sweep_user_docs(&ctx, &mut state, &users, &mut rng, SweepPhase::Full);
+            sweep_user_docs(
+                &ctx,
+                &mut state,
+                &users,
+                &mut rng,
+                SweepPhase::Full,
+                &mut NoDelta,
+            );
             state.check_consistency(&g).unwrap();
         }
     }
@@ -623,6 +637,7 @@ mod tests {
             &[0, 1, 2, 3],
             &mut rng,
             SweepPhase::DetectOnly,
+            &mut NoDelta,
         );
         assert_eq!(state.doc_topic, topics_before);
         state.check_consistency(&g).unwrap();
@@ -645,6 +660,7 @@ mod tests {
             &[0, 1, 2, 3],
             &mut rng,
             SweepPhase::ProfileOnly,
+            &mut NoDelta,
         );
         assert_eq!(state.doc_community, comms_before);
         state.check_consistency(&g).unwrap();
@@ -709,11 +725,7 @@ mod tests {
         let state = CpdState::init(&g, &cfg);
         let lm = &links[0];
         let (w, _) = diffusion_logit(&ctx, &state, lm);
-        let want = state.membership_dot(
-            lm.src_author as usize,
-            lm.dst_author as usize,
-            ctx.rho,
-        );
+        let want = state.membership_dot(lm.src_author as usize, lm.dst_author as usize, ctx.rho);
         assert!((w - want).abs() < 1e-12);
     }
 }

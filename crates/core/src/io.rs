@@ -135,7 +135,9 @@ fn validate(model: &CpdModel) -> Result<(), ModelIoError> {
     let c_n = model.n_communities();
     let z_n = model.n_topics();
     if model.eta.n_communities() != c_n || model.eta.n_topics() != z_n {
-        return Err(ModelIoError::Format("eta dimensions disagree with theta/phi".into()));
+        return Err(ModelIoError::Format(
+            "eta dimensions disagree with theta/phi".into(),
+        ));
     }
     for (name, rows, width) in [
         ("pi", &model.pi, c_n),
@@ -151,18 +153,16 @@ fn validate(model: &CpdModel) -> Result<(), ModelIoError> {
                 )));
             }
             if !row.iter().all(|x| x.is_finite()) {
-                return Err(ModelIoError::Format(format!("{name} contains non-finite values")));
+                return Err(ModelIoError::Format(format!(
+                    "{name} contains non-finite values"
+                )));
             }
         }
     }
     Ok(())
 }
 
-fn write_matrix<W: Write>(
-    w: &mut W,
-    name: &str,
-    rows: &[Vec<f64>],
-) -> Result<(), ModelIoError> {
+fn write_matrix<W: Write>(w: &mut W, name: &str, rows: &[Vec<f64>]) -> Result<(), ModelIoError> {
     let width = rows.first().map_or(0, |r| r.len());
     writeln!(w, "{name} {} {width}", rows.len())?;
     for row in rows {

@@ -39,7 +39,7 @@ pub mod state;
 
 pub use apps::diffusion::DiffusionPredictor;
 pub use apps::ranking::{query_topics, rank_communities};
-pub use config::{CpdConfig, DiffusionModel, TrainingMode};
+pub use config::{CpdConfig, DiffusionModel, ParallelRuntime, TrainingMode};
 pub use features::UserFeatures;
 pub use model::{Cpd, FitDiagnostics, FitResult};
 pub use profiles::{CpdModel, Eta};

@@ -1,20 +1,21 @@
 //! The trainer: variational EM around the collapsed Gibbs sampler
 //! (Alg. 1 of the paper), serial or parallel, joint or two-phase.
 
-use crate::config::{CpdConfig, DiffusionModel, TrainingMode};
+use crate::config::{CpdConfig, DiffusionModel, ParallelRuntime, TrainingMode};
 use crate::features::{UserFeatures, F_COMMUNITY, N_FEATURES};
 use crate::gibbs::{
     resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
 };
 use crate::mstep::{build_nu_training_set, estimate_eta, fit_nu};
 use crate::parallel::{
-    allocate_segments, parallel_doc_sweep, parallel_resample_delta, parallel_resample_lambda,
-    segment_users, Segmentation,
+    allocate_segments, clone_rebuild_doc_sweep, parallel_resample_delta, parallel_resample_lambda,
+    segment_users, Segmentation, WorkerPool,
 };
 use crate::profiles::{CpdModel, Eta};
-use crate::state::{link_metadata, CpdState};
+use crate::state::{link_metadata, CpdState, NoDelta};
 use cpd_prob::rng::seeded_rng;
 use social_graph::SocialGraph;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Timing and progress information from a fit.
@@ -29,6 +30,17 @@ pub struct FitDiagnostics {
     pub mstep_seconds: Vec<f64>,
     /// Per-thread busy seconds of the last parallel sweep (Fig. 11).
     pub last_thread_seconds: Vec<f64>,
+    /// Coordinator seconds folding worker `CountDelta`s into the
+    /// canonical state, one entry per sharded document sweep (empty for
+    /// the serial and clone-rebuild runtimes).
+    pub merge_seconds: Vec<f64>,
+    /// Slowest worker's replica-sync seconds (applying the other
+    /// shards' deltas + refreshing the Pólya-Gamma vectors), one entry
+    /// per sharded document sweep.
+    pub snapshot_seconds: Vec<f64>,
+    /// Documents whose assignment changed, one entry per sharded sweep
+    /// (the quantity the delta runtime's cost scales with).
+    pub changed_docs: Vec<usize>,
     /// Threads used (1 = serial).
     pub threads: usize,
     /// Total wall-clock seconds.
@@ -63,13 +75,19 @@ impl Cpd {
     }
 
     /// Fit the model on `graph` (Alg. 1).
+    ///
+    /// With `threads > 1` and the default
+    /// [`ParallelRuntime::DeltaSharded`], the E-step workers are spawned
+    /// once here and live for the whole fit, exchanging sparse
+    /// `CountDelta`s with the coordinator every sweep (see
+    /// `parallel.rs`, "Parallel runtime").
     pub fn fit(&self, graph: &SocialGraph) -> FitResult {
         let start = Instant::now();
         let cfg = &self.config;
         let features = UserFeatures::compute(graph);
         let links = link_metadata(graph);
         let mut state = CpdState::init(graph, cfg);
-        let mut eta = Eta::uniform(cfg.n_communities, cfg.n_topics);
+        let mut eta = Arc::new(Eta::uniform(cfg.n_communities, cfg.n_topics));
         let mut nu = vec![0.0f64; N_FEATURES];
         nu[F_COMMUNITY] = 1.0;
 
@@ -104,36 +122,79 @@ impl Cpd {
             ..Default::default()
         };
         let mut rng = seeded_rng(cfg.seed ^ 0xE57E9);
-        let mut cached_x: Vec<[f64; N_FEATURES]> =
-            vec![[0.0; N_FEATURES]; links.len()];
+        let mut cached_x: Vec<[f64; N_FEATURES]> = vec![[0.0; N_FEATURES]; links.len()];
         let mut sweep_counter = 0u64;
 
-        // "No joint modeling": phase 1 detects communities from friendship
-        // links alone before any profiling sweeps.
-        if cfg.training == TrainingMode::TwoPhase {
-            for _ in 0..cfg.em_iters {
-                let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
-                for _ in 0..cfg.gibbs_sweeps {
-                    sweep_counter += 1;
-                    match &user_groups {
-                        Some(groups) => {
-                            parallel_doc_sweep(
-                                &ctx,
-                                &mut state,
-                                groups,
-                                SweepPhase::DetectOnly,
-                                sweep_counter,
-                            );
-                            parallel_resample_lambda(&ctx, &mut state, threads, sweep_counter);
+        let model = std::thread::scope(|scope| {
+            // The persistent sharded worker pool — spawned once per fit,
+            // each worker cloning the freshly initialised state exactly
+            // once.
+            let mut pool: Option<WorkerPool<'_>> = match (&user_groups, cfg.parallel_runtime) {
+                (Some(groups), ParallelRuntime::DeltaSharded) => Some(WorkerPool::spawn(
+                    scope, graph, cfg, &features, &links, groups, &state,
+                )),
+                _ => None,
+            };
+
+            // One barrier-synchronised document sweep under the active
+            // runtime (sharded delta, legacy clone-rebuild, or serial).
+            let doc_sweep = |phase: SweepPhase,
+                             sweep_counter: u64,
+                             pool: &mut Option<WorkerPool<'_>>,
+                             state: &mut CpdState,
+                             eta: &Arc<Eta>,
+                             nu: &[f64],
+                             rng: &mut rand::rngs::StdRng,
+                             diagnostics: &mut FitDiagnostics| {
+                match pool {
+                    Some(pool) => {
+                        let nu_arc = Arc::new(nu.to_vec());
+                        let stats = pool.sweep(graph, state, phase, sweep_counter, eta, &nu_arc);
+                        diagnostics.last_thread_seconds = stats.thread_seconds;
+                        diagnostics.merge_seconds.push(stats.merge_seconds);
+                        diagnostics.snapshot_seconds.push(stats.snapshot_seconds);
+                        diagnostics.changed_docs.push(stats.changed_docs);
+                    }
+                    None => {
+                        let ctx = SweepContext::new(graph, cfg, eta, nu, &features, &links);
+                        match &user_groups {
+                            Some(groups) => {
+                                diagnostics.last_thread_seconds = clone_rebuild_doc_sweep(
+                                    &ctx,
+                                    state,
+                                    groups,
+                                    phase,
+                                    sweep_counter,
+                                );
+                            }
+                            None => {
+                                sweep_user_docs(&ctx, state, &all_users, rng, phase, &mut NoDelta);
+                            }
                         }
-                        None => {
-                            sweep_user_docs(
-                                &ctx,
-                                &mut state,
-                                &all_users,
-                                &mut rng,
-                                SweepPhase::DetectOnly,
-                            );
+                    }
+                }
+            };
+
+            // "No joint modeling": phase 1 detects communities from
+            // friendship links alone before any profiling sweeps.
+            if cfg.training == TrainingMode::TwoPhase {
+                for _ in 0..cfg.em_iters {
+                    for _ in 0..cfg.gibbs_sweeps {
+                        sweep_counter += 1;
+                        doc_sweep(
+                            SweepPhase::DetectOnly,
+                            sweep_counter,
+                            &mut pool,
+                            &mut state,
+                            &eta,
+                            &nu,
+                            &mut rng,
+                            &mut diagnostics,
+                        );
+                        let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                        if threads > 1 {
+                            parallel_resample_lambda(&ctx, &mut state, threads, sweep_counter);
+                        } else {
                             let mut lam = std::mem::take(&mut state.lambda);
                             resample_lambda_range(&ctx, &state, 0, lam.len(), &mut lam, &mut rng);
                             state.lambda = lam;
@@ -141,74 +202,78 @@ impl Cpd {
                     }
                 }
             }
-        }
 
-        let doc_phase = match cfg.training {
-            TrainingMode::Joint => SweepPhase::Full,
-            TrainingMode::TwoPhase => SweepPhase::ProfileOnly,
-        };
+            let doc_phase = match cfg.training {
+                TrainingMode::Joint => SweepPhase::Full,
+                TrainingMode::TwoPhase => SweepPhase::ProfileOnly,
+            };
 
-        for _ in 0..cfg.em_iters {
-            // ---- E-step ---------------------------------------------------
-            let e_start = Instant::now();
-            {
-                let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+            for _ in 0..cfg.em_iters {
+                // ---- E-step ----------------------------------------------
+                let e_start = Instant::now();
                 for _ in 0..cfg.gibbs_sweeps {
                     sweep_counter += 1;
-                    match &user_groups {
-                        Some(groups) => {
-                            diagnostics.last_thread_seconds = parallel_doc_sweep(
-                                &ctx,
-                                &mut state,
-                                groups,
-                                doc_phase,
-                                sweep_counter,
-                            );
-                            if cfg.use_friendship && doc_phase != SweepPhase::ProfileOnly {
-                                parallel_resample_lambda(&ctx, &mut state, threads, sweep_counter);
-                            }
-                            cached_x =
-                                parallel_resample_delta(&ctx, &mut state, threads, sweep_counter);
+                    doc_sweep(
+                        doc_phase,
+                        sweep_counter,
+                        &mut pool,
+                        &mut state,
+                        &eta,
+                        &nu,
+                        &mut rng,
+                        &mut diagnostics,
+                    );
+                    let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                    if threads > 1 {
+                        if cfg.use_friendship && doc_phase != SweepPhase::ProfileOnly {
+                            parallel_resample_lambda(&ctx, &mut state, threads, sweep_counter);
                         }
-                        None => {
-                            sweep_user_docs(&ctx, &mut state, &all_users, &mut rng, doc_phase);
-                            if cfg.use_friendship && doc_phase != SweepPhase::ProfileOnly {
-                                let mut lam = std::mem::take(&mut state.lambda);
-                                resample_lambda_range(
-                                    &ctx, &state, 0, lam.len(), &mut lam, &mut rng,
-                                );
-                                state.lambda = lam;
-                            }
-                            let mut del = std::mem::take(&mut state.delta);
-                            resample_delta_range(
-                                &ctx,
-                                &state,
-                                0,
-                                del.len(),
-                                &mut del,
-                                &mut cached_x,
-                                &mut rng,
-                            );
-                            state.delta = del;
+                        cached_x =
+                            parallel_resample_delta(&ctx, &mut state, threads, sweep_counter);
+                    } else {
+                        if cfg.use_friendship && doc_phase != SweepPhase::ProfileOnly {
+                            let mut lam = std::mem::take(&mut state.lambda);
+                            resample_lambda_range(&ctx, &state, 0, lam.len(), &mut lam, &mut rng);
+                            state.lambda = lam;
                         }
+                        let mut del = std::mem::take(&mut state.delta);
+                        resample_delta_range(
+                            &ctx,
+                            &state,
+                            0,
+                            del.len(),
+                            &mut del,
+                            &mut cached_x,
+                            &mut rng,
+                        );
+                        state.delta = del;
                     }
                 }
-            }
-            diagnostics.estep_seconds.push(e_start.elapsed().as_secs_f64());
+                diagnostics
+                    .estep_seconds
+                    .push(e_start.elapsed().as_secs_f64());
 
-            // ---- M-step ---------------------------------------------------
-            let m_start = Instant::now();
-            eta = estimate_eta(&state, &links, cfg.eta_smoothing);
-            if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
-                let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
-                let examples = build_nu_training_set(&ctx, &state, &cached_x, &mut rng);
-                fit_nu(&examples, &mut nu, cfg);
+                // ---- M-step ----------------------------------------------
+                let m_start = Instant::now();
+                eta = Arc::new(estimate_eta(&state, &links, cfg.eta_smoothing));
+                if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
+                    let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                    let examples = build_nu_training_set(&ctx, &state, &cached_x, &mut rng);
+                    fit_nu(&examples, &mut nu, cfg);
+                }
+                diagnostics
+                    .mstep_seconds
+                    .push(m_start.elapsed().as_secs_f64());
+                diagnostics.em_iterations += 1;
             }
-            diagnostics.mstep_seconds.push(m_start.elapsed().as_secs_f64());
-            diagnostics.em_iterations += 1;
-        }
 
-        let model = extract_model(graph, cfg, &state, eta, nu);
+            if let Some(pool) = pool {
+                pool.shutdown();
+            }
+            let eta = Arc::try_unwrap(eta).unwrap_or_else(|shared| (*shared).clone());
+            extract_model(graph, cfg, &state, eta, nu)
+        });
+
         diagnostics.total_seconds = start.elapsed().as_secs_f64();
         FitResult { model, diagnostics }
     }

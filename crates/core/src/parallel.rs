@@ -1,21 +1,54 @@
 //! Parallel E-step (Sect. 4.3): LDA-guided data segmentation, workload
-//! estimation, knapsack-style allocation to threads, and the scoped
-//! worker sweep with post-barrier merge.
+//! estimation, knapsack-style allocation to threads, and the sharded
+//! delta-merge runtime that executes the per-sweep worker barrier.
 //!
-//! Workers follow the standard approximate-distributed-Gibbs recipe: each
-//! thread owns a disjoint set of *users* (so a user's documents never
-//! split across threads — the paper's first segmentation guideline),
-//! works on a cloned snapshot of the count state, and reads neighbouring
-//! assignments as of the sweep start. After the barrier the owners'
-//! assignments are merged and all counts rebuilt exactly.
+//! # Parallel runtime
+//!
+//! Workers follow the approximate-distributed-Gibbs recipe: each thread
+//! owns a disjoint set of *users* (so a user's documents never split
+//! across threads — the paper's first segmentation guideline) and reads
+//! neighbouring assignments as of the sweep start.
+//!
+//! The default runtime ([`WorkerPool`], selected by
+//! [`crate::config::ParallelRuntime::DeltaSharded`]) spawns the workers
+//! **once per fit**. Each worker keeps a persistent replica of the
+//! sampler state, cloned from the canonical state at spawn and kept in
+//! sync incrementally: every sweep it first refreshes from the
+//! coordinator's sync package, then sweeps its owned users while
+//! recording a new [`CountDelta`], and ships that delta back. After the
+//! barrier the coordinator folds all deltas into the canonical state.
+//!
+//! The sync package is planned **per count array** from the previous
+//! sweep's churn ([`CountRefresh::plan`]): a sparsely-touched array is
+//! synced by replaying the other shards' logs (own changes are already
+//! local); an array whose delta volume approaches its size ships as one
+//! shared snapshot of the canonical array that replicas
+//! `copy_from_slice` — one coordinator clone instead of `threads` full
+//! state clones, and a sequential copy instead of scattered replay
+//! writes. Per-sweep cost therefore tracks the number of *changed*
+//! assignments, bounded above by one snapshot copy — never the
+//! `O(threads × |state|)` memcpy plus `O(|D| + tokens)` rebuild the
+//! legacy [`clone_rebuild_doc_sweep`] path pays every sweep (kept for
+//! benchmarking and as a differential-testing oracle; both runtimes are
+//! draw-for-draw identical). `CpdState::rebuild_counts` now runs only
+//! at initialisation.
+//!
+//! Next step (see ROADMAP "Open items"): move the word-topic counts
+//! `n_zw` into per-shard lock-free accumulators so the coordinator fold
+//! itself parallelises across matrices.
 
+use crate::config::CpdConfig;
+use crate::features::{UserFeatures, N_FEATURES};
 use crate::gibbs::{
     resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
 };
-use crate::features::N_FEATURES;
-use crate::state::CpdState;
+use crate::profiles::Eta;
+use crate::state::{CountDelta, CountRefresh, CpdState, DeltaSizes, LinkMeta, NoDelta, SyncPlan};
 use cpd_prob::rng::child_rng;
-use social_graph::{SocialGraph, UserId};
+use social_graph::{SocialGraph, UserId, WordId};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
 use topic_model::{Lda, LdaConfig};
 
 /// User segments (Sect. 4.3, "segmenting data to reduce
@@ -39,8 +72,9 @@ pub fn segment_users(
     seed: u64,
 ) -> Segmentation {
     assert!(n_segments >= 1);
-    let docs: Vec<Vec<social_graph::WordId>> =
-        graph.docs().iter().map(|d| d.words.clone()).collect();
+    // Borrow each document's word slice — cloning every word vector here
+    // used to double the corpus allocation just to run the guide LDA.
+    let docs: Vec<&[WordId]> = graph.docs().iter().map(|d| d.words.as_slice()).collect();
     let lda = Lda::new(LdaConfig {
         n_iters: lda_iters,
         seed,
@@ -172,18 +206,23 @@ pub fn balance_ratio(groups: &[Vec<usize>], workloads: &[f64]) -> f64 {
     }
 }
 
-/// One parallel document sweep: threads own user groups, sample on
-/// cloned state, and the merged assignments are rebuilt into `state`.
-/// Also returns the per-thread wall times (Fig. 11).
-pub(crate) fn parallel_doc_sweep(
+/// Legacy clone-and-rebuild parallel sweep: every sweep each thread
+/// clones the full count state, samples its user group, and the merged
+/// assignments are rebuilt into `state` from scratch. Kept as the
+/// benchmarking reference and differential-testing oracle for the
+/// sharded delta runtime ([`WorkerPool`]); both produce identical draws.
+/// Returns the per-thread wall times (Fig. 11).
+pub(crate) fn clone_rebuild_doc_sweep(
     ctx: &SweepContext<'_>,
     state: &mut CpdState,
     user_groups: &[Vec<u32>],
     phase: SweepPhase,
     sweep_index: u64,
 ) -> Vec<f64> {
+    // (owned docs, their communities, their topics, busy seconds)
+    type GroupResult = (Vec<u32>, Vec<u32>, Vec<u32>, f64);
     let snapshot: &CpdState = state;
-    let results: Vec<(Vec<u32>, Vec<u32>, Vec<u32>, f64)> = std::thread::scope(|scope| {
+    let results: Vec<GroupResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = user_groups
             .iter()
             .enumerate()
@@ -195,7 +234,7 @@ pub(crate) fn parallel_doc_sweep(
                         ctx.config.seed ^ 0x9A7A_11E1,
                         sweep_index * user_groups.len() as u64 + ti as u64,
                     );
-                    sweep_user_docs(ctx, &mut local, users, &mut rng, phase);
+                    sweep_user_docs(ctx, &mut local, users, &mut rng, phase, &mut NoDelta);
                     let mut docs = Vec::new();
                     for &u in users.iter() {
                         for d in ctx.graph.docs_of(UserId(u)) {
@@ -206,8 +245,7 @@ pub(crate) fn parallel_doc_sweep(
                         .iter()
                         .map(|&d| local.doc_community[d as usize])
                         .collect();
-                    let zs: Vec<u32> =
-                        docs.iter().map(|&d| local.doc_topic[d as usize]).collect();
+                    let zs: Vec<u32> = docs.iter().map(|&d| local.doc_topic[d as usize]).collect();
                     (docs, cs, zs, start.elapsed().as_secs_f64())
                 })
             })
@@ -227,6 +265,200 @@ pub(crate) fn parallel_doc_sweep(
     }
     state.rebuild_counts(ctx.graph);
     times
+}
+
+/// One sweep command from the coordinator to a worker. `eta`/`nu` are
+/// the current M-step parameters; `lambda`/`delta_pg` the freshly
+/// resampled Pólya-Gamma vectors; `sync` the previous sweep's deltas
+/// (one per worker), `replay` which of their arrays to replay, and
+/// `refresh` shared snapshots for the arrays where the churn made a
+/// sequential copy cheaper than the replay.
+struct SweepCmd {
+    phase: SweepPhase,
+    sweep_index: u64,
+    eta: Arc<Eta>,
+    nu: Arc<Vec<f64>>,
+    lambda: Arc<Vec<f64>>,
+    delta_pg: Arc<Vec<f64>>,
+    sync: Arc<Vec<CountDelta>>,
+    replay: SyncPlan,
+    refresh: Arc<CountRefresh>,
+}
+
+/// A worker's result for one sweep.
+struct WorkerReply {
+    delta: CountDelta,
+    busy_secs: f64,
+    sync_secs: f64,
+}
+
+/// Timing breakdown of one sharded sweep (surfaced through
+/// `FitDiagnostics`).
+pub(crate) struct SweepStats {
+    /// Per-thread busy seconds (Fig. 11).
+    pub thread_seconds: Vec<f64>,
+    /// Coordinator time folding the deltas into the canonical state.
+    pub merge_seconds: f64,
+    /// Slowest worker's replica-sync time (delta apply + PG refresh).
+    pub snapshot_seconds: f64,
+    /// Documents whose assignment changed this sweep.
+    pub changed_docs: usize,
+}
+
+/// Persistent sharded E-step runtime: one worker thread per user group,
+/// spawned once per fit, communicating per sweep through channels. See
+/// the module docs ("Parallel runtime") for the synchronisation scheme.
+pub(crate) struct WorkerPool<'scope> {
+    cmd_txs: Vec<Sender<SweepCmd>>,
+    reply_rxs: Vec<Receiver<WorkerReply>>,
+    /// Deltas of the previous sweep, broadcast to workers on the next.
+    prev: Arc<Vec<CountDelta>>,
+    /// Total log sizes of `prev`, steering the replay-vs-snapshot plan.
+    prev_sizes: DeltaSizes,
+    handles: Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
+}
+
+impl<'scope> WorkerPool<'scope> {
+    /// Spawn one worker per user group. Each worker clones `state` once
+    /// — the only full copy it will ever make.
+    pub fn spawn<'env: 'scope>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        graph: &'env SocialGraph,
+        config: &'env CpdConfig,
+        features: &'env UserFeatures,
+        links: &'env [LinkMeta],
+        user_groups: &[Vec<u32>],
+        state: &CpdState,
+    ) -> Self {
+        let n_workers = user_groups.len();
+        let mut cmd_txs = Vec::with_capacity(n_workers);
+        let mut reply_rxs = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for (me, users) in user_groups.iter().enumerate() {
+            let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<SweepCmd>();
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<WorkerReply>();
+            let users = users.clone();
+            let mut local = state.clone();
+            handles.push(scope.spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    let sync_start = Instant::now();
+                    // Snapshot-copied arrays land wholesale; the rest
+                    // replay the other shards' logs (own changes are
+                    // already local).
+                    cmd.refresh.copy_into(&mut local);
+                    for (i, d) in cmd.sync.iter().enumerate() {
+                        if i != me {
+                            d.apply_selected(&mut local, cmd.replay);
+                        }
+                    }
+                    local.lambda.copy_from_slice(&cmd.lambda);
+                    local.delta.copy_from_slice(&cmd.delta_pg);
+                    let sync_secs = sync_start.elapsed().as_secs_f64();
+
+                    let ctx = SweepContext::new(graph, config, &cmd.eta, &cmd.nu, features, links);
+                    let mut rng = child_rng(
+                        config.seed ^ 0x9A7A_11E1,
+                        cmd.sweep_index * n_workers as u64 + me as u64,
+                    );
+                    let mut delta = CountDelta::new(&local);
+                    let busy_start = Instant::now();
+                    sweep_user_docs(&ctx, &mut local, &users, &mut rng, cmd.phase, &mut delta);
+                    let busy_secs = busy_start.elapsed().as_secs_f64();
+                    if reply_tx
+                        .send(WorkerReply {
+                            delta,
+                            busy_secs,
+                            sync_secs,
+                        })
+                        .is_err()
+                    {
+                        break; // Coordinator is gone; shut down.
+                    }
+                }
+            }));
+            cmd_txs.push(cmd_tx);
+            reply_rxs.push(reply_rx);
+        }
+        Self {
+            cmd_txs,
+            reply_rxs,
+            prev: Arc::new(Vec::new()),
+            prev_sizes: DeltaSizes::default(),
+            handles,
+        }
+    }
+
+    /// Run one barrier-synchronised document sweep and fold the workers'
+    /// deltas into the canonical `state`.
+    pub fn sweep(
+        &mut self,
+        graph: &SocialGraph,
+        state: &mut CpdState,
+        phase: SweepPhase,
+        sweep_index: u64,
+        eta: &Arc<Eta>,
+        nu: &Arc<Vec<f64>>,
+    ) -> SweepStats {
+        let lambda = Arc::new(state.lambda.clone());
+        let delta_pg = Arc::new(state.delta.clone());
+        let (refresh, replay) = CountRefresh::plan(state, self.prev_sizes, self.cmd_txs.len());
+        let refresh = Arc::new(refresh);
+        for tx in &self.cmd_txs {
+            tx.send(SweepCmd {
+                phase,
+                sweep_index,
+                eta: Arc::clone(eta),
+                nu: Arc::clone(nu),
+                lambda: Arc::clone(&lambda),
+                delta_pg: Arc::clone(&delta_pg),
+                sync: Arc::clone(&self.prev),
+                replay,
+                refresh: Arc::clone(&refresh),
+            })
+            .expect("worker hung up");
+        }
+        let replies: Vec<WorkerReply> = self
+            .reply_rxs
+            .iter()
+            .map(|rx| rx.recv().expect("worker panicked"))
+            .collect();
+
+        let merge_start = Instant::now();
+        let mut deltas = Vec::with_capacity(replies.len());
+        let mut thread_seconds = Vec::with_capacity(replies.len());
+        let mut snapshot_seconds = 0.0f64;
+        let mut changed_docs = 0usize;
+        let mut sizes = DeltaSizes::default();
+        for reply in replies {
+            reply.delta.apply(state);
+            changed_docs += reply.delta.n_changed_docs();
+            sizes.accumulate(reply.delta.log_sizes());
+            thread_seconds.push(reply.busy_secs);
+            snapshot_seconds = snapshot_seconds.max(reply.sync_secs);
+            deltas.push(reply.delta);
+        }
+        let merge_seconds = merge_start.elapsed().as_secs_f64();
+        debug_assert!(
+            state.check_consistency(graph).is_ok(),
+            "delta fold diverged from the assignments"
+        );
+        self.prev = Arc::new(deltas);
+        self.prev_sizes = sizes;
+        SweepStats {
+            thread_seconds,
+            merge_seconds,
+            snapshot_seconds,
+            changed_docs,
+        }
+    }
+
+    /// Drop the command channels and join the workers.
+    pub fn shutdown(self) {
+        drop(self.cmd_txs);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
 }
 
 /// Parallel Pólya-Gamma resampling of `λ` over link chunks.
@@ -250,7 +482,7 @@ pub(crate) fn parallel_resample_lambda(
                 let hi = (lo + out.len()).min(n);
                 scope.spawn(move || {
                     let mut rng =
-                        child_rng(ctx.config.seed ^ 0x1A3B_DA, sweep_index * 64 + ti as u64);
+                        child_rng(ctx.config.seed ^ 0x001A_3BDA, sweep_index * 64 + ti as u64);
                     resample_lambda_range(ctx, snapshot, lo, hi, out, &mut rng);
                 });
             }
@@ -277,7 +509,10 @@ pub(crate) fn parallel_resample_delta(
     {
         let snapshot: &CpdState = state;
         std::thread::scope(|scope| {
-            for ((ti, out), xout) in fresh.chunks_mut(chunk).enumerate().zip(xs.chunks_mut(chunk))
+            for ((ti, out), xout) in fresh
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(xs.chunks_mut(chunk))
             {
                 let lo = ti * chunk;
                 let hi = (lo + out.len()).min(n);
@@ -345,5 +580,99 @@ mod tests {
     fn balance_ratio_of_empty_groups_is_one() {
         let groups: Vec<Vec<usize>> = vec![vec![], vec![]];
         assert_eq!(balance_ratio(&groups, &[]), 1.0);
+    }
+
+    /// The sharded delta runtime and the legacy clone-and-rebuild sweep
+    /// must be draw-for-draw identical: same assignments after every
+    /// sweep, and delta-folded counts exactly equal to rebuilt counts.
+    #[test]
+    fn worker_pool_matches_clone_rebuild_sweep_for_sweep() {
+        use crate::features::UserFeatures;
+        use crate::state::link_metadata;
+        use cpd_datagen::{generate, GenConfig, Scale};
+
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let cfg = CpdConfig {
+            threads: Some(3),
+            ..CpdConfig::experiment(4, 6)
+        };
+        let features = UserFeatures::compute(&g);
+        let links = link_metadata(&g);
+        let eta = Arc::new(Eta::uniform(4, 6));
+        let nu = Arc::new(vec![0.3f64; N_FEATURES]);
+
+        let seg = segment_users(&g, 6, 4, 10, cfg.seed ^ 0x5E6);
+        let alloc = allocate_segments(&seg.workloads, 3);
+        let groups: Vec<Vec<u32>> = alloc
+            .iter()
+            .map(|a| {
+                a.iter()
+                    .flat_map(|&s| seg.segments[s].iter().copied())
+                    .collect()
+            })
+            .collect();
+
+        let mut delta_state = CpdState::init(&g, &cfg);
+        let mut clone_state = delta_state.clone();
+
+        std::thread::scope(|scope| {
+            let mut pool =
+                WorkerPool::spawn(scope, &g, &cfg, &features, &links, &groups, &delta_state);
+            for sweep in 1..=4u64 {
+                let stats = pool.sweep(&g, &mut delta_state, SweepPhase::Full, sweep, &eta, &nu);
+                assert_eq!(stats.thread_seconds.len(), 3);
+
+                let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+                clone_rebuild_doc_sweep(&ctx, &mut clone_state, &groups, SweepPhase::Full, sweep);
+
+                assert_eq!(delta_state.doc_community, clone_state.doc_community);
+                assert_eq!(delta_state.doc_topic, clone_state.doc_topic);
+                assert_eq!(delta_state.n_uc, clone_state.n_uc);
+                assert_eq!(delta_state.n_cz, clone_state.n_cz);
+                assert_eq!(delta_state.n_zw, clone_state.n_zw);
+                assert_eq!(delta_state.n_tz, clone_state.n_tz);
+                assert_eq!(delta_state.n_c, clone_state.n_c);
+                assert_eq!(delta_state.n_z, clone_state.n_z);
+                delta_state.check_consistency(&g).unwrap();
+            }
+            pool.shutdown();
+        });
+    }
+
+    /// Deltas recorded by a worker verify against a rebuild from any
+    /// base state they are applied to.
+    #[test]
+    fn worker_deltas_verify_against_rebuild() {
+        use crate::features::UserFeatures;
+        use crate::state::link_metadata;
+        use cpd_datagen::{generate, GenConfig, Scale};
+
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let cfg = CpdConfig {
+            threads: Some(2),
+            ..CpdConfig::experiment(3, 4)
+        };
+        let features = UserFeatures::compute(&g);
+        let links = link_metadata(&g);
+        let eta = Arc::new(Eta::uniform(3, 4));
+        let nu = Arc::new(vec![0.1f64; N_FEATURES]);
+        let groups: Vec<Vec<u32>> = vec![
+            (0..g.n_users() as u32 / 2).collect(),
+            (g.n_users() as u32 / 2..g.n_users() as u32).collect(),
+        ];
+        let mut state = CpdState::init(&g, &cfg);
+        let base = state.clone();
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::spawn(scope, &g, &cfg, &features, &links, &groups, &state);
+            let stats = pool.sweep(&g, &mut state, SweepPhase::Full, 1, &eta, &nu);
+            assert!(stats.changed_docs > 0, "tiny graph should reshuffle");
+            // The merged delta of the sweep reproduces the fold exactly.
+            let mut merged = CountDelta::new(&base);
+            for d in pool.prev.iter() {
+                merged.merge(d);
+            }
+            merged.verify_against_rebuild(&g, &base).unwrap();
+            pool.shutdown();
+        });
     }
 }

@@ -33,8 +33,8 @@ impl Eta {
         let row = n_communities * n_topics;
         let mut values = vec![0.0f64; counts.len()];
         for c in 0..n_communities {
-            let total: f64 = counts[c * row..(c + 1) * row].iter().sum::<f64>()
-                + smoothing * row as f64;
+            let total: f64 =
+                counts[c * row..(c + 1) * row].iter().sum::<f64>() + smoothing * row as f64;
             for i in 0..row {
                 values[c * row + i] = (counts[c * row + i] + smoothing) / total;
             }
@@ -76,7 +76,8 @@ impl Eta {
     /// Top-`k` `(topic, strength)` pairs for the directed pair `c → c'`
     /// (the Fig. 5(c) case study).
     pub fn top_topics(&self, c: usize, c2: usize, k: usize) -> Vec<(usize, f64)> {
-        let mut pairs: Vec<(usize, f64)> = (0..self.n_topics).map(|z| (z, self.at(c, c2, z))).collect();
+        let mut pairs: Vec<(usize, f64)> =
+            (0..self.n_topics).map(|z| (z, self.at(c, c2, z))).collect();
         pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
         pairs.truncate(k);
         pairs
@@ -137,8 +138,7 @@ impl CpdModel {
 
     /// Top-`k` `(word, probability)` pairs of topic `z` (Table 5).
     pub fn top_words(&self, z: usize, k: usize) -> Vec<(usize, f64)> {
-        let mut pairs: Vec<(usize, f64)> =
-            self.phi[z].iter().copied().enumerate().collect();
+        let mut pairs: Vec<(usize, f64)> = self.phi[z].iter().copied().enumerate().collect();
         pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
         pairs.truncate(k);
         pairs
@@ -147,8 +147,7 @@ impl CpdModel {
     /// Top-`k` `(topic, probability)` pairs of community `c`'s content
     /// profile.
     pub fn top_topics_of_community(&self, c: usize, k: usize) -> Vec<(usize, f64)> {
-        let mut pairs: Vec<(usize, f64)> =
-            self.theta[c].iter().copied().enumerate().collect();
+        let mut pairs: Vec<(usize, f64)> = self.theta[c].iter().copied().enumerate().collect();
         pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
         pairs.truncate(k);
         pairs

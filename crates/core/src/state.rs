@@ -4,7 +4,7 @@
 use crate::config::CpdConfig;
 use cpd_prob::rng::seeded_rng;
 use rand::Rng;
-use social_graph::SocialGraph;
+use social_graph::{SocialGraph, WordId};
 
 /// Per-diffusion-link static metadata, precomputed once.
 #[derive(Debug, Clone, Copy)]
@@ -21,9 +21,11 @@ pub struct LinkMeta {
     pub at: u32,
 }
 
-/// Mutable sampler state. In the parallel E-step each worker owns a
-/// clone of the count arrays and of the assignment vectors; after the
-/// sweep the owners' document ranges are merged back and counts rebuilt.
+/// Mutable sampler state. In the sharded parallel E-step each worker
+/// owns a persistent replica of this state (cloned once per fit) that it
+/// keeps in sync by applying the other shards' [`CountDelta`]s between
+/// sweeps; the coordinator folds all deltas into the canonical state
+/// after each barrier instead of rebuilding counts from scratch.
 #[derive(Debug, Clone)]
 pub struct CpdState {
     /// `|C|`.
@@ -68,7 +70,7 @@ impl CpdState {
         let w_n = graph.vocab_size();
         let t_n = graph.n_timestamps() as usize;
         let d_n = graph.n_docs();
-        let mut rng = seeded_rng(config.seed ^ 0x5EED_1_1);
+        let mut rng = seeded_rng(config.seed ^ 0x005E_ED11);
         let mut state = Self {
             n_communities: c_n,
             n_topics: z_n,
@@ -207,6 +209,407 @@ impl CpdState {
     }
 }
 
+/// Sink for count mutations during a sweep. The serial sweep uses the
+/// no-op [`NoDelta`] (monomorphised away); sharded workers record into a
+/// [`CountDelta`] so the coordinator can fold their work into the
+/// canonical state without rebuilding anything.
+pub trait DeltaSink {
+    /// Document `d` (author community `c`, time bucket `t`, tokens
+    /// `words`) moved from topic `z_old` to topic `z_new`.
+    fn topic_moved(
+        &mut self,
+        d: usize,
+        c: usize,
+        t: usize,
+        words: &[WordId],
+        z_old: usize,
+        z_new: usize,
+    );
+
+    /// Document `d` of user `u` (current topic `z`) moved from community
+    /// `c_old` to community `c_new`.
+    fn community_moved(&mut self, d: usize, u: usize, z: usize, c_old: usize, c_new: usize);
+}
+
+/// The no-op sink used by the serial sweep.
+pub struct NoDelta;
+
+impl DeltaSink for NoDelta {
+    #[inline]
+    fn topic_moved(&mut self, _: usize, _: usize, _: usize, _: &[WordId], _: usize, _: usize) {}
+
+    #[inline]
+    fn community_moved(&mut self, _: usize, _: usize, _: usize, _: usize, _: usize) {}
+}
+
+/// Sparse increments to a [`CpdState`] produced by one worker's sweep
+/// over its owned users (Sect. 4.3 runtime).
+///
+/// Implemented as an append-only mutation log: recording a move is a
+/// handful of `Vec` pushes (the sweep hot path must not pay hashing),
+/// and applying is a linear scan of `+=`s over the same flat indices the
+/// `CpdState` matrices use. The tiny `n_c`/`n_z` marginals are dense.
+/// Assignment writes replay in order, so the last write per document
+/// wins — and each document is owned by exactly one worker, so deltas
+/// from disjoint shards never conflict and all increments commute.
+#[derive(Debug, Clone)]
+pub struct CountDelta {
+    vocab_size: usize,
+    n_topics_dim: usize,
+    n_communities_dim: usize,
+    /// `(doc, community, topic)` writes in sweep order.
+    assign: Vec<(u32, u32, u32)>,
+    /// Distinct documents reassigned (assignment writes for one document
+    /// are consecutive, so a neighbour check suffices).
+    changed_docs: usize,
+    n_uc: Vec<(u32, i32)>,
+    n_cz: Vec<(u32, i32)>,
+    n_zw: Vec<(u32, i32)>,
+    n_tz: Vec<(u32, i32)>,
+    n_c: Vec<i32>,
+    n_z: Vec<i32>,
+}
+
+impl CountDelta {
+    /// Empty delta shaped like `state`.
+    pub fn new(state: &CpdState) -> Self {
+        Self {
+            vocab_size: state.vocab_size,
+            n_topics_dim: state.n_topics,
+            n_communities_dim: state.n_communities,
+            assign: Vec::new(),
+            changed_docs: 0,
+            n_uc: Vec::new(),
+            n_cz: Vec::new(),
+            n_zw: Vec::new(),
+            n_tz: Vec::new(),
+            n_c: vec![0; state.n_communities],
+            n_z: vec![0; state.n_topics],
+        }
+    }
+
+    /// No recorded changes?
+    pub fn is_empty(&self) -> bool {
+        self.assign.is_empty()
+    }
+
+    /// Number of distinct reassigned documents.
+    pub fn n_changed_docs(&self) -> usize {
+        self.changed_docs
+    }
+
+    #[inline]
+    fn write_assign(&mut self, d: usize, c: usize, z: usize) {
+        if self.assign.last().map(|&(prev, _, _)| prev) != Some(d as u32) {
+            self.changed_docs += 1;
+        }
+        self.assign.push((d as u32, c as u32, z as u32));
+    }
+
+    /// Record a topic move (the exact counterpart of the count mutations
+    /// in `sample_topic`).
+    #[inline]
+    pub fn record_topic_move(
+        &mut self,
+        d: usize,
+        c: usize,
+        t: usize,
+        words: &[WordId],
+        z_old: usize,
+        z_new: usize,
+    ) {
+        let z_n = self.n_topics_dim;
+        let w_n = self.vocab_size;
+        self.n_cz.push(((c * z_n + z_old) as u32, -1));
+        self.n_cz.push(((c * z_n + z_new) as u32, 1));
+        for w in words {
+            self.n_zw.push(((z_old * w_n + w.index()) as u32, -1));
+            self.n_zw.push(((z_new * w_n + w.index()) as u32, 1));
+        }
+        self.n_z[z_old] -= words.len() as i32;
+        self.n_z[z_new] += words.len() as i32;
+        self.n_tz.push(((t * z_n + z_old) as u32, -1));
+        self.n_tz.push(((t * z_n + z_new) as u32, 1));
+        self.write_assign(d, c, z_new);
+    }
+
+    /// Record a community move (the counterpart of `sample_community`).
+    #[inline]
+    pub fn record_community_move(
+        &mut self,
+        d: usize,
+        u: usize,
+        z: usize,
+        c_old: usize,
+        c_new: usize,
+    ) {
+        let c_n = self.n_communities_dim;
+        let z_n = self.n_topics_dim;
+        self.n_uc.push(((u * c_n + c_old) as u32, -1));
+        self.n_uc.push(((u * c_n + c_new) as u32, 1));
+        self.n_cz.push(((c_old * z_n + z) as u32, -1));
+        self.n_cz.push(((c_new * z_n + z) as u32, 1));
+        self.n_c[c_old] -= 1;
+        self.n_c[c_new] += 1;
+        self.write_assign(d, c_new, z);
+    }
+
+    /// Per-array log lengths, used by the coordinator to pick the
+    /// cheaper replica-sync strategy per array (replay vs snapshot copy).
+    pub fn log_sizes(&self) -> DeltaSizes {
+        DeltaSizes {
+            assign: self.assign.len(),
+            n_uc: self.n_uc.len(),
+            n_cz: self.n_cz.len(),
+            n_zw: self.n_zw.len(),
+            n_tz: self.n_tz.len(),
+        }
+    }
+
+    /// Fold `other` into `self` (shards are disjoint in documents, so
+    /// assignment writes never conflict and increments simply add).
+    pub fn merge(&mut self, other: &CountDelta) {
+        self.assign.extend_from_slice(&other.assign);
+        self.changed_docs += other.changed_docs;
+        self.n_uc.extend_from_slice(&other.n_uc);
+        self.n_cz.extend_from_slice(&other.n_cz);
+        self.n_zw.extend_from_slice(&other.n_zw);
+        self.n_tz.extend_from_slice(&other.n_tz);
+        for (a, b) in self.n_c.iter_mut().zip(&other.n_c) {
+            *a += b;
+        }
+        for (a, b) in self.n_z.iter_mut().zip(&other.n_z) {
+            *a += b;
+        }
+    }
+
+    /// Apply the assignment writes and count increments to `state`.
+    pub fn apply(&self, state: &mut CpdState) {
+        self.apply_selected(state, SyncPlan::ALL);
+    }
+
+    /// Apply only the arrays selected in `plan` (the sharded runtime's
+    /// replica sync mixes log replay with wholesale snapshot copies per
+    /// array; a copied array must not also be replayed).
+    pub fn apply_selected(&self, state: &mut CpdState, plan: SyncPlan) {
+        #[inline]
+        fn add(slot: &mut u32, v: i32) {
+            debug_assert!(*slot as i64 + v as i64 >= 0, "count would go negative");
+            *slot = slot.wrapping_add_signed(v);
+        }
+        if plan.assign {
+            for &(d, c, z) in &self.assign {
+                state.doc_community[d as usize] = c;
+                state.doc_topic[d as usize] = z;
+            }
+        }
+        if plan.n_uc {
+            for &(i, v) in &self.n_uc {
+                add(&mut state.n_uc[i as usize], v);
+            }
+        }
+        if plan.n_cz {
+            for &(i, v) in &self.n_cz {
+                add(&mut state.n_cz[i as usize], v);
+            }
+        }
+        if plan.n_zw {
+            for &(i, v) in &self.n_zw {
+                add(&mut state.n_zw[i as usize], v);
+            }
+        }
+        if plan.n_tz {
+            for &(i, v) in &self.n_tz {
+                add(&mut state.n_tz[i as usize], v);
+            }
+        }
+        if plan.marginals {
+            for (c, &v) in self.n_c.iter().enumerate() {
+                add(&mut state.n_c[c], v);
+            }
+            for (z, &v) in self.n_z.iter().enumerate() {
+                add(&mut state.n_z[z], v);
+            }
+        }
+    }
+
+    /// Debug check: applying this delta to `base` must yield counts
+    /// identical to a full [`CpdState::rebuild_counts`] from the merged
+    /// assignments. Returns the first divergent matrix on failure.
+    pub fn verify_against_rebuild(
+        &self,
+        graph: &SocialGraph,
+        base: &CpdState,
+    ) -> Result<(), String> {
+        let mut applied = base.clone();
+        self.apply(&mut applied);
+        applied
+            .check_consistency(graph)
+            .map_err(|e| format!("delta-merge diverged from rebuild: {e}"))
+    }
+}
+
+/// Per-array log lengths of a [`CountDelta`] (or a sweep's total).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaSizes {
+    /// Assignment writes.
+    pub assign: usize,
+    /// `n_uc` increments.
+    pub n_uc: usize,
+    /// `n_cz` increments.
+    pub n_cz: usize,
+    /// `n_zw` increments.
+    pub n_zw: usize,
+    /// `n_tz` increments.
+    pub n_tz: usize,
+}
+
+impl DeltaSizes {
+    /// Element-wise sum (totals across a sweep's worker deltas).
+    pub fn accumulate(&mut self, other: DeltaSizes) {
+        self.assign += other.assign;
+        self.n_uc += other.n_uc;
+        self.n_cz += other.n_cz;
+        self.n_zw += other.n_zw;
+        self.n_tz += other.n_tz;
+    }
+}
+
+/// Which arrays of a [`CountDelta`] to apply (see
+/// [`CountDelta::apply_selected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncPlan {
+    /// Replay assignment writes.
+    pub assign: bool,
+    /// Replay `n_uc` increments.
+    pub n_uc: bool,
+    /// Replay `n_cz` increments.
+    pub n_cz: bool,
+    /// Replay `n_zw` increments.
+    pub n_zw: bool,
+    /// Replay `n_tz` increments.
+    pub n_tz: bool,
+    /// Replay the dense `n_c`/`n_z` marginals.
+    pub marginals: bool,
+}
+
+impl SyncPlan {
+    /// Apply everything.
+    pub const ALL: SyncPlan = SyncPlan {
+        assign: true,
+        n_uc: true,
+        n_cz: true,
+        n_zw: true,
+        n_tz: true,
+        marginals: true,
+    };
+}
+
+/// One sweep's replica-refresh package: for each count array the
+/// coordinator either lets workers replay the (sparse) delta logs or —
+/// when the sweep churned enough that replay's scattered writes would
+/// cost more than a sequential copy — ships one shared snapshot of the
+/// canonical array for `copy_from_slice`. This is the "double-buffered
+/// snapshot" half of the sharded runtime: one clone by the coordinator
+/// per hot array instead of `threads` full-state clones.
+#[derive(Debug, Default)]
+pub struct CountRefresh {
+    /// Snapshot of `(doc_community, doc_topic)`.
+    pub assign: Option<(Vec<u32>, Vec<u32>)>,
+    /// Snapshot of `n_uc`.
+    pub n_uc: Option<Vec<u32>>,
+    /// Snapshot of `n_cz`.
+    pub n_cz: Option<Vec<u32>>,
+    /// Snapshot of `n_zw`.
+    pub n_zw: Option<Vec<u32>>,
+    /// Snapshot of `n_tz`.
+    pub n_tz: Option<Vec<u32>>,
+}
+
+impl CountRefresh {
+    /// Replay beats copying an array of `len` elements only while the
+    /// aggregate replay volume stays well below it: each log entry is a
+    /// scattered read-modify-write (≈2 sequential element-copies worth
+    /// of memory cost) and *every other* worker replays it, while the
+    /// snapshot is cloned once and each replica copies it sequentially.
+    fn copy_wins(entries: usize, n_workers: usize, len: usize) -> bool {
+        entries * n_workers.saturating_sub(1) * 2 >= len
+    }
+
+    /// Build the refresh package for the coming sweep from the previous
+    /// sweep's total delta volume across the `n_workers` shards.
+    pub fn plan(
+        state: &CpdState,
+        totals: DeltaSizes,
+        n_workers: usize,
+    ) -> (CountRefresh, SyncPlan) {
+        let mut refresh = CountRefresh::default();
+        // `replay.x == false` means "snapshot shipped, skip the log".
+        let mut replay = SyncPlan::ALL;
+        if Self::copy_wins(totals.assign, n_workers, state.doc_community.len() * 2) {
+            refresh.assign = Some((state.doc_community.clone(), state.doc_topic.clone()));
+            replay.assign = false;
+        }
+        if Self::copy_wins(totals.n_uc, n_workers, state.n_uc.len()) {
+            refresh.n_uc = Some(state.n_uc.clone());
+            replay.n_uc = false;
+        }
+        if Self::copy_wins(totals.n_cz, n_workers, state.n_cz.len()) {
+            refresh.n_cz = Some(state.n_cz.clone());
+            replay.n_cz = false;
+        }
+        if Self::copy_wins(totals.n_zw, n_workers, state.n_zw.len()) {
+            refresh.n_zw = Some(state.n_zw.clone());
+            replay.n_zw = false;
+        }
+        if Self::copy_wins(totals.n_tz, n_workers, state.n_tz.len()) {
+            refresh.n_tz = Some(state.n_tz.clone());
+            replay.n_tz = false;
+        }
+        (refresh, replay)
+    }
+
+    /// Copy the shipped snapshots into a worker replica.
+    pub fn copy_into(&self, state: &mut CpdState) {
+        if let Some((dc, dt)) = &self.assign {
+            state.doc_community.copy_from_slice(dc);
+            state.doc_topic.copy_from_slice(dt);
+        }
+        if let Some(a) = &self.n_uc {
+            state.n_uc.copy_from_slice(a);
+        }
+        if let Some(a) = &self.n_cz {
+            state.n_cz.copy_from_slice(a);
+        }
+        if let Some(a) = &self.n_zw {
+            state.n_zw.copy_from_slice(a);
+        }
+        if let Some(a) = &self.n_tz {
+            state.n_tz.copy_from_slice(a);
+        }
+    }
+}
+
+impl DeltaSink for CountDelta {
+    #[inline]
+    fn topic_moved(
+        &mut self,
+        d: usize,
+        c: usize,
+        t: usize,
+        words: &[WordId],
+        z_old: usize,
+        z_new: usize,
+    ) {
+        self.record_topic_move(d, c, t, words, z_old, z_new);
+    }
+
+    #[inline]
+    fn community_moved(&mut self, d: usize, u: usize, z: usize, c_old: usize, c_new: usize) {
+        self.record_community_move(d, u, z, c_old, c_new);
+    }
+}
+
 /// Precompute per-link metadata for all diffusion links.
 pub fn link_metadata(graph: &SocialGraph) -> Vec<LinkMeta> {
     graph
@@ -309,6 +712,106 @@ mod tests {
         let mut s = CpdState::init(&g, &config());
         s.n_cz[0] += 1;
         assert!(s.check_consistency(&g).is_err());
+    }
+
+    /// Mirror of the mutation sequence in `sample_topic` /
+    /// `sample_community`, applied directly to a state while recording
+    /// into a delta.
+    fn move_doc(
+        state: &mut CpdState,
+        g: &SocialGraph,
+        delta: &mut CountDelta,
+        d: usize,
+        c_new: u32,
+        z_new: u32,
+    ) {
+        let doc = &g.docs()[d];
+        let (c_n, z_n, w_n) = (state.n_communities, state.n_topics, state.vocab_size);
+        let c = state.doc_community[d] as usize;
+        let z_old = state.doc_topic[d] as usize;
+        let t = doc.timestamp as usize;
+        state.n_cz[c * z_n + z_old] -= 1;
+        state.n_cz[c * z_n + z_new as usize] += 1;
+        for w in &doc.words {
+            state.n_zw[z_old * w_n + w.index()] -= 1;
+            state.n_zw[z_new as usize * w_n + w.index()] += 1;
+        }
+        state.n_z[z_old] -= doc.words.len() as u32;
+        state.n_z[z_new as usize] += doc.words.len() as u32;
+        state.n_tz[t * z_n + z_old] -= 1;
+        state.n_tz[t * z_n + z_new as usize] += 1;
+        state.doc_topic[d] = z_new;
+        delta.record_topic_move(d, c, t, &doc.words, z_old, z_new as usize);
+
+        let u = doc.author.index();
+        let z = state.doc_topic[d] as usize;
+        state.n_uc[u * c_n + c] -= 1;
+        state.n_uc[u * c_n + c_new as usize] += 1;
+        state.n_cz[c * z_n + z] -= 1;
+        state.n_cz[c_new as usize * z_n + z] += 1;
+        state.n_c[c] -= 1;
+        state.n_c[c_new as usize] += 1;
+        state.doc_community[d] = c_new;
+        delta.record_community_move(d, u, z, c, c_new as usize);
+    }
+
+    #[test]
+    fn delta_apply_reproduces_direct_mutation() {
+        let g = graph();
+        let base = CpdState::init(&g, &config());
+        let mut swept = base.clone();
+        let mut delta = CountDelta::new(&base);
+        move_doc(&mut swept, &g, &mut delta, 0, 2, 1);
+        move_doc(&mut swept, &g, &mut delta, 2, 1, 0);
+        assert_eq!(delta.n_changed_docs(), 2);
+        delta.verify_against_rebuild(&g, &base).unwrap();
+
+        let mut applied = base.clone();
+        delta.apply(&mut applied);
+        assert_eq!(applied.doc_community, swept.doc_community);
+        assert_eq!(applied.doc_topic, swept.doc_topic);
+        assert_eq!(applied.n_uc, swept.n_uc);
+        assert_eq!(applied.n_cz, swept.n_cz);
+        assert_eq!(applied.n_zw, swept.n_zw);
+        assert_eq!(applied.n_tz, swept.n_tz);
+        assert_eq!(applied.n_c, swept.n_c);
+        assert_eq!(applied.n_z, swept.n_z);
+    }
+
+    #[test]
+    fn merged_deltas_equal_sequential_application() {
+        let g = graph();
+        let base = CpdState::init(&g, &config());
+        let mut s = base.clone();
+        let mut d1 = CountDelta::new(&base);
+        let mut d2 = CountDelta::new(&base);
+        move_doc(&mut s, &g, &mut d1, 0, 2, 1);
+        move_doc(&mut s, &g, &mut d2, 2, 1, 0);
+
+        let mut merged = d1.clone();
+        merged.merge(&d2);
+        let mut via_merge = base.clone();
+        merged.apply(&mut via_merge);
+        let mut via_seq = base.clone();
+        d1.apply(&mut via_seq);
+        d2.apply(&mut via_seq);
+        assert_eq!(via_merge.n_uc, via_seq.n_uc);
+        assert_eq!(via_merge.n_cz, via_seq.n_cz);
+        assert_eq!(via_merge.n_zw, via_seq.n_zw);
+        assert_eq!(via_merge.doc_community, via_seq.doc_community);
+        via_merge.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let g = graph();
+        let base = CpdState::init(&g, &config());
+        let delta = CountDelta::new(&base);
+        assert!(delta.is_empty());
+        let mut applied = base.clone();
+        delta.apply(&mut applied);
+        assert_eq!(applied.n_uc, base.n_uc);
+        delta.verify_against_rebuild(&g, &base).unwrap();
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
     // --- Communities and memberships -----------------------------------
     let comm_weights = sample_symmetric_dirichlet(&mut rng, c_n, 4.0);
     let comm_sampler = AliasTable::new(&comm_weights);
-    let dominant: Vec<usize> = (0..cfg.n_users).map(|_| comm_sampler.sample(&mut rng)).collect();
+    let dominant: Vec<usize> = (0..cfg.n_users)
+        .map(|_| comm_sampler.sample(&mut rng))
+        .collect();
     let pi: Vec<Vec<f64>> = dominant
         .iter()
         .map(|&d| {
@@ -63,11 +65,10 @@ pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
             }
         })
         .collect();
-    let sample_user_in =
-        |rng: &mut StdRng, c: usize, users_of_comm: &[Vec<u32>]| -> Option<u32> {
-            let t = comm_user_samplers[c].as_ref()?;
-            Some(users_of_comm[c][t.sample(rng)])
-        };
+    let sample_user_in = |rng: &mut StdRng, c: usize, users_of_comm: &[Vec<u32>]| -> Option<u32> {
+        let t = comm_user_samplers[c].as_ref()?;
+        Some(users_of_comm[c][t.sample(rng)])
+    };
 
     // --- Topic profiles and word distributions -------------------------
     let theta: Vec<Vec<f64>> = (0..c_n)
@@ -92,17 +93,17 @@ pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
     let mut doc_meta: Vec<(u32, u32)> = Vec::new(); // (author, timestamp)
 
     let emit_doc = |builder: &mut SocialGraphBuilder,
-                        rng: &mut StdRng,
-                        u: u32,
-                        c: usize,
-                        z: usize,
-                        t: u32,
-                        words: Vec<WordId>,
-                        doc_community: &mut Vec<usize>,
-                        doc_topic: &mut Vec<usize>,
-                        docs_by_ct: &mut Vec<Vec<u32>>,
-                        docs_by_topic: &mut Vec<Vec<u32>>,
-                        doc_meta: &mut Vec<(u32, u32)>|
+                    rng: &mut StdRng,
+                    u: u32,
+                    c: usize,
+                    z: usize,
+                    t: u32,
+                    words: Vec<WordId>,
+                    doc_community: &mut Vec<usize>,
+                    doc_topic: &mut Vec<usize>,
+                    docs_by_ct: &mut Vec<Vec<u32>>,
+                    docs_by_topic: &mut Vec<Vec<u32>>,
+                    doc_meta: &mut Vec<(u32, u32)>|
      -> DocId {
         let _ = rng;
         let id = builder.add_document(Document::new(UserId(u), words, t));
@@ -114,10 +115,10 @@ pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
         id
     };
 
-    for u in 0..cfg.n_users {
+    for (u, pi_u) in pi.iter().enumerate().take(cfg.n_users) {
         let n_docs = 1 + sample_poisson(&mut rng, (cfg.mean_docs_per_user - 1.0).max(0.0));
         for _ in 0..n_docs {
-            let c = weighted_community(&mut rng, &pi[u]);
+            let c = weighted_community(&mut rng, pi_u);
             let z = theta_samplers[c].sample(&mut rng);
             let t = timestamp_near_peak(&mut rng, topic_peak[z], cfg.n_timestamps);
             let words = sample_words(&mut rng, &phi_samplers[z], cfg.mean_words_per_doc);
@@ -349,8 +350,8 @@ fn build_phi(cfg: &GenConfig) -> Vec<Vec<f64>> {
             for (i, slot) in row.iter_mut().enumerate() {
                 *slot = (1.0 - cfg.anchor_mass) * zipf_weight(i) / background_total;
             }
-            for i in lo..hi {
-                row[i] += cfg.anchor_mass * zipf_weight(i - lo) / anchor_total;
+            for (i, slot) in row[lo..hi].iter_mut().enumerate() {
+                *slot += cfg.anchor_mass * zipf_weight(i) / anchor_total;
             }
             row
         })
@@ -369,7 +370,9 @@ fn timestamp_near_peak(rng: &mut StdRng, peak: u32, n_timestamps: u32) -> u32 {
 
 fn sample_words(rng: &mut StdRng, sampler: &AliasTable, mean_len: f64) -> Vec<WordId> {
     let len = 2 + sample_poisson(rng, (mean_len - 2.0).max(0.0)) as usize;
-    (0..len).map(|_| WordId(sampler.sample(rng) as u32)).collect()
+    (0..len)
+        .map(|_| WordId(sampler.sample(rng) as u32))
+        .collect()
 }
 
 #[cfg(test)]

@@ -81,11 +81,7 @@ fn dblp_coauthorship_is_symmetric() {
     let cfg = GenConfig::dblp_like(Scale::Tiny);
     let (g, _) = generate(&cfg);
     use std::collections::HashSet;
-    let edges: HashSet<(u32, u32)> = g
-        .friendships()
-        .iter()
-        .map(|l| (l.from.0, l.to.0))
-        .collect();
+    let edges: HashSet<(u32, u32)> = g.friendships().iter().map(|l| (l.from.0, l.to.0)).collect();
     for &(u, v) in &edges {
         assert!(edges.contains(&(v, u)), "missing reverse edge ({u},{v})");
     }

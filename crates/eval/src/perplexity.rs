@@ -72,10 +72,8 @@ mod tests {
         let theta = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
         let phi_oracle = vec![vec![0.99, 0.01], vec![0.01, 0.99]];
         let phi_uniform = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
-        let good =
-            content_profile_perplexity(&docs, &pi, &theta, &phi_oracle).unwrap();
-        let bad =
-            content_profile_perplexity(&docs, &pi, &theta, &phi_uniform).unwrap();
+        let good = content_profile_perplexity(&docs, &pi, &theta, &phi_oracle).unwrap();
+        let bad = content_profile_perplexity(&docs, &pi, &theta, &phi_uniform).unwrap();
         assert!(good < bad, "oracle {good} uniform {bad}");
         assert!((bad - 2.0).abs() < 1e-9); // uniform over 2 words
         assert!(good < 1.02);

@@ -7,7 +7,11 @@ use rand::Rng;
 /// normalised). All-zero weights degrade to uniform. Panics on empty input.
 pub fn sample_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     assert!(!weights.is_empty(), "sample_index on empty weights");
-    let total: f64 = weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).sum();
+    let total: f64 = weights
+        .iter()
+        .copied()
+        .filter(|w| w.is_finite() && *w > 0.0)
+        .sum();
     if total <= 0.0 {
         return rng.gen_range(0..weights.len());
     }

@@ -28,7 +28,11 @@ pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64>
 }
 
 /// Sample a symmetric `Dirichlet(alpha, ..., alpha)` of dimension `dim`.
-pub fn sample_symmetric_dirichlet<R: Rng + ?Sized>(rng: &mut R, dim: usize, alpha: f64) -> Vec<f64> {
+pub fn sample_symmetric_dirichlet<R: Rng + ?Sized>(
+    rng: &mut R,
+    dim: usize,
+    alpha: f64,
+) -> Vec<f64> {
     debug_assert!(dim > 0);
     let mut out: Vec<f64> = (0..dim).map(|_| sample_gamma(rng, alpha, 1.0)).collect();
     let sum: f64 = out.iter().sum();

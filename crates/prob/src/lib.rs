@@ -14,8 +14,8 @@
 //! Everything is `f64`, allocation-free on the sampling hot paths, and
 //! validated by moment tests and property tests.
 
-pub mod categorical;
 pub mod beta;
+pub mod categorical;
 pub mod dirichlet;
 pub mod exponential;
 pub mod gamma;

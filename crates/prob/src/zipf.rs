@@ -65,7 +65,11 @@ mod tests {
             }
         }
         // With s = 1.1 the top-10 ranks carry a large share of the mass.
-        assert!(head as f64 / n as f64 > 0.35, "head share {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.35,
+            "head share {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// A document referenced an author index `>= n_users`.
-    AuthorOutOfRange { doc: usize, author: u32, n_users: usize },
+    AuthorOutOfRange {
+        doc: usize,
+        author: u32,
+        n_users: usize,
+    },
     /// A document contained a word index `>= vocab_size`.
     WordOutOfRange { doc: usize, word: u32, vocab: usize },
     /// A friendship link referenced a user index `>= n_users`.
@@ -24,7 +28,11 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::AuthorOutOfRange { doc, author, n_users } => write!(
+            GraphError::AuthorOutOfRange {
+                doc,
+                author,
+                n_users,
+            } => write!(
                 f,
                 "document {doc} has author {author} but the graph has {n_users} users"
             ),

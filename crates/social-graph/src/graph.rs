@@ -103,7 +103,10 @@ impl SocialGraph {
     /// `Λ_u`: friendship neighbours of `u`, both directions, as user ids
     /// (parallel to [`SocialGraph::friend_links_of`]).
     pub fn friend_neighbors_of(&self, u: UserId) -> impl Iterator<Item = UserId> + '_ {
-        self.friend_neighbors.row(u.index()).iter().map(|&v| UserId(v))
+        self.friend_neighbors
+            .row(u.index())
+            .iter()
+            .map(|&v| UserId(v))
     }
 
     /// Friendship link ids incident to `u` (both directions), parallel to
@@ -198,9 +201,7 @@ impl SocialGraph {
     ) -> SocialGraph {
         let user_docs = Csr::from_pairs(
             n_users,
-            docs.iter()
-                .enumerate()
-                .map(|(i, d)| (d.author.0, i as u32)),
+            docs.iter().enumerate().map(|(i, d)| (d.author.0, i as u32)),
         );
         let friend_neighbors = Csr::from_pairs(
             n_users,
@@ -433,7 +434,10 @@ mod tests {
     fn rejects_friend_self_loop_and_bad_endpoint() {
         let mut b = SocialGraphBuilder::new(2, 1);
         b.add_friendship(UserId(0), UserId(0));
-        assert!(matches!(b.build(), Err(GraphError::FriendSelfLoop { user: 0 })));
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::FriendSelfLoop { user: 0 })
+        ));
 
         let mut b = SocialGraphBuilder::new(2, 1);
         b.add_friendship(UserId(0), UserId(7));

@@ -54,7 +54,9 @@ mod tests {
             n_timestamps: 7,
         };
         let out = s.to_string();
-        for needle in ["1 users", "5 friend", "6 diff", "2 docs", "3 words", "4 tokens"] {
+        for needle in [
+            "1 users", "5 friend", "6 diff", "2 docs", "3 words", "4 tokens",
+        ] {
             assert!(out.contains(needle), "missing {needle} in {out}");
         }
     }

@@ -6,13 +6,14 @@ use social_graph::split::k_fold_indices;
 use social_graph::{sample::subsample, Document, SocialGraphBuilder, UserId, WordId};
 
 /// Strategy: a random valid graph description.
+#[allow(clippy::type_complexity)]
 fn graph_strategy() -> impl Strategy<
     Value = (
-        usize,                      // n_users
-        usize,                      // vocab
-        Vec<(u32, Vec<u32>, u32)>,  // docs: (author, words, t)
-        Vec<(u32, u32)>,            // friendships
-        Vec<(u32, u32)>,            // diffusions (doc idx pairs)
+        usize,                     // n_users
+        usize,                     // vocab
+        Vec<(u32, Vec<u32>, u32)>, // docs: (author, words, t)
+        Vec<(u32, u32)>,           // friendships
+        Vec<(u32, u32)>,           // diffusions (doc idx pairs)
     ),
 > {
     (2usize..20, 2usize..30).prop_flat_map(|(n_users, vocab)| {
@@ -28,13 +29,7 @@ fn graph_strategy() -> impl Strategy<
             let n_docs = docs.len();
             let friends = prop::collection::vec((0..n_users as u32, 0..n_users as u32), 0..40);
             let diffs = prop::collection::vec((0..n_docs as u32, 0..n_docs as u32), 0..20);
-            (
-                Just(n_users),
-                Just(vocab),
-                Just(docs),
-                friends,
-                diffs,
-            )
+            (Just(n_users), Just(vocab), Just(docs), friends, diffs)
         })
     })
 }

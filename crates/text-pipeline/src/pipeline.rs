@@ -97,10 +97,7 @@ impl Pipeline {
         let mut source_index = Vec::new();
         let mut dropped = 0usize;
         for (i, words) in tokenised.into_iter().enumerate() {
-            let kept: Vec<WordId> = words
-                .into_iter()
-                .filter_map(|w| remap[w.index()])
-                .collect();
+            let kept: Vec<WordId> = words.into_iter().filter_map(|w| remap[w.index()]).collect();
             if kept.len() >= self.config.min_doc_tokens {
                 docs.push(Document::new(raw[i].author, kept, raw[i].timestamp));
                 source_index.push(i);
@@ -176,10 +173,8 @@ mod tests {
     #[test]
     fn ids_are_stable_across_docs() {
         let p = Pipeline::default();
-        let corpus = p.process_corpus(&[
-            raw(0, "wireless network", 0),
-            raw(1, "network security", 0),
-        ]);
+        let corpus =
+            p.process_corpus(&[raw(0, "wireless network", 0), raw(1, "network security", 0)]);
         let net = corpus.vocab.id_of("network").unwrap();
         assert!(corpus.docs[0].words.contains(&net));
         assert!(corpus.docs[1].words.contains(&net));

@@ -78,7 +78,10 @@ impl Stem {
     /// Does `b[..k]` end consonant-vowel-consonant, where the final
     /// consonant is not `w`, `x` or `y`?
     fn ends_cvc(&self, k: usize) -> bool {
-        if k < 3 || !self.is_consonant(k - 1) || self.is_consonant(k - 2) || !self.is_consonant(k - 3)
+        if k < 3
+            || !self.is_consonant(k - 1)
+            || self.is_consonant(k - 2)
+            || !self.is_consonant(k - 3)
         {
             return false;
         }
@@ -213,15 +216,17 @@ impl Stem {
 
     fn step4(&mut self) {
         const RULES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suffix in RULES {
             if self.ends_with(suffix) {
                 let k = self.stem_len(suffix);
                 if self.measure(k) > 1 {
                     // "ion" additionally requires the stem to end in s or t.
-                    if *suffix == "ion" && !matches!(self.b.get(k.wrapping_sub(1)), Some(b's') | Some(b't')) {
+                    if *suffix == "ion"
+                        && !matches!(self.b.get(k.wrapping_sub(1)), Some(b's') | Some(b't'))
+                    {
                         return;
                     }
                     self.truncate_to(k);

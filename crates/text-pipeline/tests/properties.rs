@@ -3,8 +3,8 @@
 //! vocabulary.
 
 use proptest::prelude::*;
-use text_pipeline::{porter_stem, tokenize, Pipeline, PipelineConfig, RawDocument, Vocabulary};
 use social_graph::UserId;
+use text_pipeline::{porter_stem, tokenize, Pipeline, PipelineConfig, RawDocument, Vocabulary};
 
 proptest! {
     #[test]

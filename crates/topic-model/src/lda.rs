@@ -67,8 +67,9 @@ impl Lda {
         Self { config }
     }
 
-    /// Fit on `docs` (token lists) over a vocabulary of `vocab_size`.
-    pub fn fit(&self, docs: &[Vec<WordId>], vocab_size: usize) -> LdaModel {
+    /// Fit on `docs` (token lists — owned vectors or borrowed slices)
+    /// over a vocabulary of `vocab_size`.
+    pub fn fit<D: AsRef<[WordId]>>(&self, docs: &[D], vocab_size: usize) -> LdaModel {
         let z = self.config.n_topics;
         let alpha = self.config.resolved_alpha();
         let beta = self.config.beta;
@@ -79,7 +80,7 @@ impl Lda {
             vocab_size,
             alpha,
             beta,
-            assignments: docs.iter().map(|d| vec![0u32; d.len()]).collect(),
+            assignments: docs.iter().map(|d| vec![0u32; d.as_ref().len()]).collect(),
             n_dz: vec![0u32; docs.len() * z],
             n_zw: vec![0u32; z * vocab_size],
             n_z: vec![0u32; z],
@@ -87,7 +88,7 @@ impl Lda {
 
         // Random initialisation.
         for (d, doc) in docs.iter().enumerate() {
-            for (i, w) in doc.iter().enumerate() {
+            for (i, w) in doc.as_ref().iter().enumerate() {
                 let t = (rand::Rng::gen_range(&mut rng, 0..z)) as u32;
                 model.assignments[d][i] = t;
                 model.n_dz[d * z + t as usize] += 1;
@@ -99,7 +100,7 @@ impl Lda {
         let mut weights = vec![0.0f64; z];
         for _ in 0..self.config.n_iters {
             for (d, doc) in docs.iter().enumerate() {
-                for (i, w) in doc.iter().enumerate() {
+                for (i, w) in doc.as_ref().iter().enumerate() {
                     let old = model.assignments[d][i] as usize;
                     model.n_dz[d * z + old] -= 1;
                     model.n_zw[old * vocab_size + w.index()] -= 1;
@@ -185,11 +186,12 @@ impl LdaModel {
 
     /// Training-corpus perplexity
     /// `exp(-Σ_d Σ_w ln Σ_z θ_dz φ_zw / N_tokens)`.
-    pub fn perplexity(&self, docs: &[Vec<WordId>]) -> f64 {
+    pub fn perplexity<D: AsRef<[WordId]>>(&self, docs: &[D]) -> f64 {
         let mut log_lik = 0.0f64;
         let mut n_tokens = 0usize;
         let phis = self.phi_matrix();
         for (d, doc) in docs.iter().enumerate() {
+            let doc = doc.as_ref();
             if doc.is_empty() {
                 continue;
             }

@@ -45,7 +45,10 @@ fn main() {
         .filter(|w| !head.contains(w))
         .max_by_key(|&w| freq[w])
         .expect("non-empty vocabulary");
-    println!("campaign keyword: word {keyword} (retweeted {} times)", freq[keyword]);
+    println!(
+        "campaign keyword: word {keyword} (retweeted {} times)",
+        freq[keyword]
+    );
 
     // Rank communities by their probability of diffusing the keyword
     // (Eq. 19) and report the audience each pick adds.

@@ -46,9 +46,17 @@ fn main() {
         .map(|c| (c, openness(model, c)))
         .collect();
     open.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("\nmost open community: c{:02} ({:.0}% of its citations leave home)", open[0].0, open[0].1 * 100.0);
+    println!(
+        "\nmost open community: c{:02} ({:.0}% of its citations leave home)",
+        open[0].0,
+        open[0].1 * 100.0
+    );
     let closed = open.last().unwrap();
-    println!("most closed community: c{:02} ({:.0}%)", closed.0, closed.1 * 100.0);
+    println!(
+        "most closed community: c{:02} ({:.0}%)",
+        closed.0,
+        closed.1 * 100.0
+    );
 
     // --- Grant-call dissemination: rank communities for a theme.
     let theme = graph.docs()[0].words[0];
@@ -69,7 +77,10 @@ fn main() {
     let mut best: Vec<(f64, UserId)> = (0..graph.n_users().min(200))
         .map(|u| {
             let u = UserId(u as u32);
-            (predictor.score(&graph, u, paper, graph.n_timestamps() - 1), u)
+            (
+                predictor.score(&graph, u, paper, graph.n_timestamps() - 1),
+                u,
+            )
         })
         .collect();
     best.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
@@ -84,7 +95,11 @@ fn main() {
     // --- Export the visualisations.
     let out = std::path::Path::new("target/figures");
     std::fs::create_dir_all(out).expect("create target/figures");
-    std::fs::write(out.join("citation_diffusion.dot"), to_dot(model, None, None)).unwrap();
+    std::fs::write(
+        out.join("citation_diffusion.dot"),
+        to_dot(model, None, None),
+    )
+    .unwrap();
     std::fs::write(out.join("citation_diffusion.json"), to_json(model, None)).unwrap();
     println!(
         "\nexported citation diffusion graph ({} significant edges) to target/figures/",

@@ -36,7 +36,7 @@ fn main() {
             raw.push(RawDocument {
                 author: UserId(u),
                 text: pool[(u as usize + i) % pool.len()].to_string(),
-                timestamp: (u % 4) as u32,
+                timestamp: (u % 4),
             });
         }
     }
@@ -53,7 +53,12 @@ fn main() {
     );
     println!(
         "sample stems: {:?}",
-        corpus.vocab.iter().take(8).map(|(w, _)| w).collect::<Vec<_>>()
+        corpus
+            .vocab
+            .iter()
+            .take(8)
+            .map(|(w, _)| w)
+            .collect::<Vec<_>>()
     );
 
     // 2. Assemble the social graph: friendships inside each clique, and

@@ -38,8 +38,6 @@ pub mod prelude {
         rank_communities, Cpd, CpdConfig, CpdModel, DiffusionPredictor, Eta, UserFeatures,
     };
     pub use cpd_datagen::{generate, GenConfig, Scale};
-    pub use social_graph::{
-        DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId,
-    };
+    pub use social_graph::{DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId};
     pub use text_pipeline::{Pipeline, PipelineConfig, RawDocument};
 }

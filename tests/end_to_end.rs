@@ -41,7 +41,14 @@ fn two_community_graph() -> (SocialGraph, text_pipeline::Vocabulary) {
             }
         }
     }
-    for (s, d) in [(3usize, 0usize), (6, 0), (9, 1), (21, 18), (24, 18), (27, 19)] {
+    for (s, d) in [
+        (3usize, 0usize),
+        (6, 0),
+        (9, 1),
+        (21, 18),
+        (24, 18),
+        (27, 19),
+    ] {
         if s < ids.len() && d < ids.len() && s != d {
             b.add_diffusion(ids[s], ids[d], 2);
         }
@@ -78,7 +85,7 @@ fn raw_text_to_model_to_applications() {
     // The top community for "network" should be the majority label of
     // the networking users.
     let networking_majority = {
-        let mut counts = vec![0usize; 2];
+        let mut counts = [0usize; 2];
         for &c in &labels[..6] {
             counts[c] += 1;
         }
@@ -145,10 +152,7 @@ fn metrics_pipeline_spans_crates() {
     // Conductance and NMI run on the same memberships.
     let cond = cpd::eval::average_conductance(&g, &fit.model.pi, 5);
     assert!(cond.is_some());
-    let nmi = cpd::eval::nmi(
-        &fit.model.dominant_communities(),
-        &truth.dominant_community,
-    );
+    let nmi = cpd::eval::nmi(&fit.model.dominant_communities(), &truth.dominant_community);
     assert!(nmi > 0.1, "NMI {nmi}");
 }
 
@@ -168,7 +172,10 @@ fn baselines_and_cpd_share_interfaces() {
     .unwrap();
     let crm = Crm::fit(&g, &CrmConfig::new(4));
     let l = &g.diffusions()[0];
-    for scorer in [&cpd_fit as &dyn DiffusionScorer, &crm as &dyn DiffusionScorer] {
+    for scorer in [
+        &cpd_fit as &dyn DiffusionScorer,
+        &crm as &dyn DiffusionScorer,
+    ] {
         let s = scorer.score_diffusion(&g, g.doc(l.src).author, l.dst, l.at);
         assert!(s.is_finite());
     }

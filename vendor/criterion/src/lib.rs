@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`sample_size`/`finish`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros — over a simple wall-clock harness:
+//! per sample the closure runs enough iterations to cover a minimum
+//! window, and the median/mean/min of the samples are printed and
+//! appended to `BENCH_<group>.json` at the workspace root so runs can
+//! be compared across commits.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context, passed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            sample_size: self.sample_size,
+            results: Vec::new(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        let mut group = self.benchmark_group("ungrouped");
+        group.sample_size = sample_size;
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// One measured benchmark, serialised into the group's JSON report.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measure `f` under `name`.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.as_ref().to_string();
+        // Calibrate: run once to size the per-sample iteration count so
+        // each sample spans at least ~5 ms (or one iteration for slow
+        // closures).
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let once = bencher.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample = (Duration::from_millis(5).as_nanos() / once.as_nanos())
+            .max(1)
+            .min(u64::MAX as u128) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns[0];
+        println!(
+            "{}/{}: median {} mean {} min {} ({} samples x {} iters)",
+            self.name,
+            name,
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self.results.push(BenchResult {
+            name,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            samples: self.sample_size,
+            iters_per_sample,
+        });
+    }
+
+    /// Write the group's JSON report.
+    pub fn finish(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let sanitized: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = workspace_root().join(format!("BENCH_{sanitized}.json"));
+        let mut rows = String::new();
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                r.name.replace('"', "'"),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample,
+            ));
+        }
+        let json = format!(
+            "{{\n  \"group\": \"{}\",\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+            self.name, rows
+        );
+        if let Ok(mut file) = std::fs::File::create(&path) {
+            let _ = file.write_all(json.as_bytes());
+        }
+        self.results.clear();
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Walk up from the current directory to the workspace root (the
+/// topmost `Cargo.toml`), falling back to `.`.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut best: Option<PathBuf> = None;
+    loop {
+        if dir.join("Cargo.toml").is_file() {
+            best = Some(dir.clone());
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => break,
+        }
+    }
+    best.unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Timing handle passed to each bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for this sample's iteration budget and record wall time.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group bench target functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("criterion_stub_selftest");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(group.results.len(), 1);
+        assert!(group.results[0].median_ns >= 0.0);
+        // Skip the JSON write in unit tests.
+        group.results.clear();
+    }
+}

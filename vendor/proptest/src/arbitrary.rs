@@ -1,0 +1,50 @@
+//! `any::<T>()` support for the types the workspace asks for.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform strategy over all values of a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! arbitrary_impl {
+    ($($t:ty => $gen:expr),+ $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let f: fn(&mut StdRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )+};
+}
+
+arbitrary_impl! {
+    bool => |rng| rng.gen::<bool>(),
+    u32 => |rng| rng.gen::<u32>(),
+    u64 => |rng| rng.gen::<u64>(),
+    f64 => |rng| rng.gen::<f64>(),
+}

@@ -1,0 +1,24 @@
+//! Runner configuration.
+
+/// How a [`crate::proptest!`] block runs its cases.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the heavier fit-in-the-loop tests in
+        // this workspace override per-block, and 48 keeps the rest quick
+        // while still exercising a meaningful spread of inputs.
+        Self { cases: 48 }
+    }
+}

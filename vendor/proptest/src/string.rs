@@ -1,0 +1,142 @@
+//! String generation from the small regex subset the workspace's tests
+//! use as patterns: literal characters, `.` (any printable ASCII),
+//! character classes like `[a-z0-9#]` (ranges, single characters and
+//! spaces), each optionally followed by an `{m,n}` repetition.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Unit {
+    /// Candidate characters.
+    class: Vec<char>,
+    /// Repetition bounds (inclusive).
+    min: usize,
+    max: usize,
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7E).map(|b| b as char).collect()
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    for c in chars.by_ref() {
+        match c {
+            ']' => return out,
+            '-' => {
+                // Range like `a-z` when between two characters, literal
+                // `-` otherwise; peek resolution happens on the next char.
+                prev = Some('-');
+            }
+            c => {
+                if prev == Some('-') && !out.is_empty() {
+                    let lo = *out.last().expect("non-empty") as u32 + 1;
+                    let hi = c as u32;
+                    for u in lo..=hi {
+                        if let Some(ch) = char::from_u32(u) {
+                            out.push(ch);
+                        }
+                    }
+                } else {
+                    out.push(c);
+                }
+                prev = Some(c);
+            }
+        }
+    }
+    out
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Option<(usize, usize)> {
+    if chars.peek() != Some(&'{') {
+        return None;
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    let (lo, hi) = match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().unwrap_or(0),
+            hi.trim().parse().unwrap_or(8),
+        ),
+        None => {
+            let n = spec.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+    };
+    Some((lo, hi))
+}
+
+fn parse(pattern: &str) -> Vec<Unit> {
+    let mut chars = pattern.chars().peekable();
+    let mut units = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '.' => printable_ascii(),
+            '[' => parse_class(&mut chars),
+            '\\' => vec![chars.next().unwrap_or('\\')],
+            c => vec![c],
+        };
+        let (min, max) = parse_repetition(&mut chars).unwrap_or((1, 1));
+        units.push(Unit { class, min, max });
+    }
+    units
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for unit in parse(pattern) {
+        if unit.class.is_empty() {
+            continue;
+        }
+        let n = rng.gen_range(unit.min..=unit.max);
+        for _ in 0..n {
+            out.push(unit.class[rng.gen_range(0..unit.class.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn literal_patterns_reproduce_themselves() {
+        let mut rng = case_rng("string::tests", 1);
+        assert_eq!(generate_from_pattern("ly", &mut rng), "ly");
+    }
+
+    #[test]
+    fn class_with_repetition_respects_alphabet_and_length() {
+        let mut rng = case_rng("string::tests", 2);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9#]{1,15}", &mut rng);
+            assert!((1..=15).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '#'));
+        }
+    }
+
+    #[test]
+    fn dot_generates_printable_ascii() {
+        let mut rng = case_rng("string::tests", 3);
+        for _ in 0..100 {
+            let s = generate_from_pattern(".{0,80}", &mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

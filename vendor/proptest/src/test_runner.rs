@@ -1,0 +1,34 @@
+//! Per-case RNG derivation and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+}
+
+/// FNV-1a, enough to decorrelate test names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic RNG for one case of one test: seeded from the test's
+/// full path, the attempt number, and the optional `PROPTEST_SEED`
+/// environment override.
+pub fn case_rng(test_name: &str, attempt: u32) -> StdRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_CA5E);
+    StdRng::seed_from_u64(
+        base ^ fnv1a(test_name.as_bytes()) ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
