@@ -1,10 +1,21 @@
-//! Parallel E-step benchmarks: a threads × graph-size matrix pitting the
-//! sharded delta-merge runtime against the legacy clone-and-rebuild
-//! sweep (the Fig. 10(b) speedup claim in micro form).
+//! Parallel E-step benchmarks: a threads × graph-size matrix over all
+//! three runtimes (sharded delta-merge, lock-free count plane, legacy
+//! clone-and-rebuild — the Fig. 10(b) speedup claim in micro form),
+//! plus a paper-shaped corpus pitting `LockFreeCounts` against
+//! `DeltaSharded` head-to-head.
 //!
-//! Both runtimes produce identical draws, so any wall-clock difference
-//! is pure runtime overhead: per-sweep state clones + count rebuilds on
-//! one side, delta recording + folding on the other.
+//! `CloneRebuild` and `DeltaSharded` produce identical draws, so their
+//! wall-clock difference is pure runtime overhead: per-sweep state
+//! clones + count rebuilds on one side, delta recording + folding on
+//! the other. `LockFreeCounts` additionally drops the word-topic
+//! arrays from the delta logs, the barrier fold and the replica sync —
+//! its draws are distributionally (not byte-) equivalent, so it is
+//! compared on wall clock for the same sweep schedule.
+//!
+//! Setting `CPD_BENCH_SMOKE=1` runs a single-sweep, tiny-corpus version
+//! of every benchmark (distinct `_smoke` group names so recorded
+//! `BENCH_*.json` results are not clobbered) — CI uses this to keep the
+//! bench binaries from rotting.
 
 use cpd_core::{Cpd, CpdConfig, ParallelRuntime};
 use cpd_datagen::{generate, GenConfig, Scale};
@@ -16,10 +27,33 @@ use criterion::{criterion_group, criterion_main, Criterion};
 /// every per-thread clone in CPU time).
 const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
 
+fn smoke() -> bool {
+    std::env::var_os("CPD_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Suffix group names in smoke mode so `BENCH_<group>.json` files from
+/// real runs are preserved.
+fn group_name(base: &str) -> String {
+    if smoke() {
+        format!("{base}_smoke")
+    } else {
+        base.to_string()
+    }
+}
+
+fn runtime_label(runtime: ParallelRuntime) -> &'static str {
+    match runtime {
+        ParallelRuntime::DeltaSharded => "delta",
+        ParallelRuntime::CloneRebuild => "clone_rebuild",
+        ParallelRuntime::LockFreeCounts => "lockfree",
+    }
+}
+
 fn bench_cfg(c: usize, z: usize, threads: usize, runtime: ParallelRuntime) -> CpdConfig {
+    let (em_iters, gibbs_sweeps) = if smoke() { (1, 1) } else { (4, 2) };
     CpdConfig {
-        em_iters: 4,
-        gibbs_sweeps: 2,
+        em_iters,
+        gibbs_sweeps,
         nu_iters: 10,
         threads: Some(threads),
         parallel_runtime: runtime,
@@ -28,18 +62,30 @@ fn bench_cfg(c: usize, z: usize, threads: usize, runtime: ParallelRuntime) -> Cp
     }
 }
 
-/// Threads × graph-size matrix for the delta runtime.
+/// Threads × graph-size matrix across all three runtimes.
 fn bench_thread_size_matrix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gibbs_parallel_matrix");
-    group.sample_size(10);
-    for (size_name, scale) in [("tiny", Scale::Tiny), ("small", Scale::Small)] {
+    let mut group = c.benchmark_group(group_name("gibbs_parallel_matrix"));
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let sizes: &[(&str, Scale)] = if smoke() {
+        &[("tiny", Scale::Tiny)]
+    } else {
+        &[("tiny", Scale::Tiny), ("small", Scale::Small)]
+    };
+    let ladder: &[usize] = if smoke() { &[2] } else { &THREAD_LADDER };
+    for &(size_name, scale) in sizes {
         let (g, _) = generate(&GenConfig::twitter_like(scale));
-        for threads in THREAD_LADDER {
-            group.bench_function(format!("delta_{size_name}_x{threads}"), |b| {
-                let trainer =
-                    Cpd::new(bench_cfg(8, 12, threads, ParallelRuntime::DeltaSharded)).unwrap();
-                b.iter(|| trainer.fit(&g));
-            });
+        for &threads in ladder {
+            for runtime in [
+                ParallelRuntime::DeltaSharded,
+                ParallelRuntime::LockFreeCounts,
+                ParallelRuntime::CloneRebuild,
+            ] {
+                let label = runtime_label(runtime);
+                group.bench_function(format!("{label}_{size_name}_x{threads}"), |b| {
+                    let trainer = Cpd::new(bench_cfg(8, 12, threads, runtime)).unwrap();
+                    b.iter(|| trainer.fit(&g));
+                });
+            }
         }
     }
     group.finish();
@@ -55,17 +101,12 @@ fn bench_thread_size_matrix(c: &mut Criterion) {
 /// while the delta runtime's sync traffic tracks the tokens that
 /// actually moved and shrinks as the chain mixes.
 fn bench_delta_vs_clone_rebuild(c: &mut Criterion) {
-    let gen = GenConfig {
-        vocab_size: 60_000,
-        n_users: 300,
-        mean_docs_per_user: 4.0,
-        n_diffusions: 400,
-        ..GenConfig::twitter_like(Scale::Small)
-    };
+    let gen = paper_shaped_corpus();
     let (g, _) = generate(&gen);
-    let mut group = c.benchmark_group("estep_runtime");
-    group.sample_size(10);
-    for threads in THREAD_LADDER {
+    let mut group = c.benchmark_group(group_name("estep_runtime"));
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let ladder: &[usize] = if smoke() { &[2] } else { &THREAD_LADDER };
+    for &threads in ladder {
         group.bench_function(format!("delta_merge_x{threads}"), |b| {
             let trainer =
                 Cpd::new(bench_cfg(8, 50, threads, ParallelRuntime::DeltaSharded)).unwrap();
@@ -80,9 +121,59 @@ fn bench_delta_vs_clone_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
+/// The paper-shaped corpus of the `estep_runtime` bench (big vocab, the
+/// word-topic matrix dominating the count state).
+fn paper_shaped_corpus() -> GenConfig {
+    if smoke() {
+        GenConfig {
+            vocab_size: 2_000,
+            n_users: 40,
+            mean_docs_per_user: 3.0,
+            n_diffusions: 40,
+            ..GenConfig::twitter_like(Scale::Tiny)
+        }
+    } else {
+        GenConfig {
+            vocab_size: 60_000,
+            n_users: 300,
+            mean_docs_per_user: 4.0,
+            n_diffusions: 400,
+            ..GenConfig::twitter_like(Scale::Small)
+        }
+    }
+}
+
+/// The lock-free count plane vs the delta-sharded barrier on the
+/// paper-shaped corpus: under `DeltaSharded` every moved token costs
+/// two `n_zw` log entries that are folded at the barrier and replayed
+/// by (or snapshot-copied to) every replica; under `LockFreeCounts`
+/// those increments go straight to the shared atomic plane and all of
+/// that traffic disappears. Results land in `BENCH_lockfree_counts.json`.
+fn bench_lockfree_vs_delta(c: &mut Criterion) {
+    let gen = paper_shaped_corpus();
+    let (g, _) = generate(&gen);
+    let mut group = c.benchmark_group(group_name("lockfree_counts"));
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let ladder: &[usize] = if smoke() { &[2] } else { &THREAD_LADDER };
+    for &threads in ladder {
+        for runtime in [
+            ParallelRuntime::DeltaSharded,
+            ParallelRuntime::LockFreeCounts,
+        ] {
+            let label = runtime_label(runtime);
+            group.bench_function(format!("{label}_x{threads}"), |b| {
+                let trainer = Cpd::new(bench_cfg(8, 50, threads, runtime)).unwrap();
+                b.iter(|| trainer.fit(&g));
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_thread_size_matrix,
-    bench_delta_vs_clone_rebuild
+    bench_delta_vs_clone_rebuild,
+    bench_lockfree_vs_delta
 );
 criterion_main!(benches);

@@ -49,6 +49,9 @@ impl MethodKind {
 }
 
 /// A fitted method behind the uniform traits.
+// A handful of these exist per experiment run; the size skew between
+// variants is irrelevant next to pattern-matching clarity.
+#[allow(clippy::large_enum_variant)]
 pub enum FittedMethod {
     /// Any CPD variant.
     Cpd(CpdMethod),

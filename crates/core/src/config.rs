@@ -13,17 +13,29 @@ pub enum DiffusionModel {
 }
 
 /// Which parallel E-step runtime executes the per-sweep worker barrier
-/// (only consulted when `threads > 1`).
+/// (only consulted when `threads` is set; `DeltaSharded` and
+/// `CloneRebuild` additionally need `threads > 1` — see the "Parallel
+/// runtime" module docs in `parallel.rs` for the three-runtime story).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParallelRuntime {
     /// Persistent sharded workers exchanging sparse `CountDelta`s; no
     /// per-sweep state clone and no count rebuild (Sect. 4.3 runtime).
+    /// Draw-for-draw identical to `CloneRebuild`.
     #[default]
     DeltaSharded,
     /// Legacy runtime: clone the full state per worker per sweep and
     /// rebuild every count matrix after the merge. Kept as a
     /// benchmarking reference and differential-testing oracle.
     CloneRebuild,
+    /// `DeltaSharded` plus a shared lock-free word-topic plane: workers
+    /// publish `n_zw`/`n_z` increments straight into shared striped
+    /// atomics during the sweep, so the biggest count matrix drops out
+    /// of the delta logs, the barrier fold and the replica sync
+    /// entirely. Mid-sweep reads may observe other shards' in-flight
+    /// updates (relaxed ordering), so this runtime is distributionally
+    /// — not draw-for-draw — equivalent to the other two. Runs the
+    /// sharded pool even at `threads = Some(1)`.
+    LockFreeCounts,
 }
 
 /// Joint vs. two-phase training.

@@ -1,0 +1,548 @@
+//! Count-plane abstraction over the big count matrices.
+//!
+//! The Gibbs sampler's state is a handful of flat count arrays; the
+//! word-topic pair (`n_zw`: `Z × W`, `n_z`: `Z`) dwarfs the rest and
+//! dominated the sharded runtime's per-sweep barrier: every moved token
+//! cost two `CountDelta` log entries that the coordinator replayed
+//! serially and every other replica replayed again (or paid a
+//! `Z × W` snapshot copy). This module abstracts *where counts live* so
+//! the word-topic plane can move into shared lock-free storage while
+//! everything else stays in plain per-replica vectors.
+//!
+//! # The [`CountPlane`] contract
+//!
+//! A count plane is a flat array of `u32` tallies addressed by the same
+//! row-major indices the dense `CpdState` matrices use. Implementations
+//! must provide:
+//!
+//! * **Exactly-applied increments.** [`CountPlane::add`] applies a
+//!   signed delta exactly once; concurrent `add`s on the same slot must
+//!   not lose updates (dense planes are exclusively owned so `&mut`
+//!   suffices; the atomic plane uses relaxed read-modify-writes).
+//! * **Commutativity.** Callers only ever publish increments whose sum
+//!   is order-independent, so a plane never needs ordering between
+//!   slots — relaxed atomics are enough.
+//! * **Quiescent exactness.** Once all writers have reached a barrier,
+//!   [`CountPlane::get`] / [`CountPlane::snapshot`] must return the
+//!   exact tallies (every increment visible). *During* a concurrent
+//!   sweep, reads may be stale or mid-flight by any interleaving — the
+//!   approximate-Gibbs argument (Sect. 4.3 of the paper) tolerates
+//!   this, which is why the sampler proves distributional equivalence,
+//!   not draw-identity, for the lock-free runtime.
+//! * **No transient underflow.** Callers must never let a slot's true
+//!   running total go negative; each document's tokens are removed only
+//!   by the worker that owns the document, so its prior increments are
+//!   always in the slot before the matching decrement.
+//!
+//! Two backends implement the contract:
+//!
+//! * [`Vec<u32>`] — the dense per-replica plane the serial,
+//!   `CloneRebuild` and `DeltaSharded` runtimes use (byte-identical
+//!   draws, zero overhead);
+//! * [`AtomicPlane`] — one `Arc<[AtomicU32]>` shared by every worker,
+//!   striped into contiguous index shards, used by `LockFreeCounts` so
+//!   workers publish word-topic increments directly during the sweep
+//!   and the arrays vanish from the `CountDelta` logs entirely.
+//!
+//! [`WordTopicCounts`] pairs an `n_zw` plane with its `n_z` marginal and
+//! is what `CpdState` actually stores; it selects the backend at
+//! runtime (an enum, so `CpdState` stays object-safe and cloneable)
+//! and counts the atomic read-modify-writes issued through each handle
+//! for the trainer's contention diagnostics.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Flat array of `u32` tallies — see the module docs for the full
+/// contract (exactly-applied commutative increments, quiescent
+/// exactness, no transient underflow).
+pub trait CountPlane {
+    /// Number of slots.
+    fn len(&self) -> usize;
+
+    /// `true` when the plane has no slots.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current tally of slot `i` (may be mid-sweep stale for shared
+    /// planes; exact at a barrier).
+    fn get(&self, i: usize) -> u32;
+
+    /// Apply a signed increment to slot `i`, exactly once.
+    fn add(&mut self, i: usize, v: i32);
+
+    /// Zero every slot.
+    fn reset(&mut self);
+
+    /// Copy the current tallies out as a plain vector.
+    fn snapshot(&self) -> Vec<u32>;
+
+    /// Overwrite every slot from `src` (`src.len() == self.len()`).
+    fn copy_from(&mut self, src: &[u32]);
+}
+
+/// The dense backend: a plain exclusively-owned vector.
+impl CountPlane for Vec<u32> {
+    #[inline]
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u32 {
+        self[i]
+    }
+
+    #[inline]
+    fn add(&mut self, i: usize, v: i32) {
+        debug_assert!(
+            self[i] as i64 + v as i64 >= 0,
+            "count would go negative at slot {i}"
+        );
+        self[i] = self[i].wrapping_add_signed(v);
+    }
+
+    fn reset(&mut self) {
+        self.iter_mut().for_each(|x| *x = 0);
+    }
+
+    fn snapshot(&self) -> Vec<u32> {
+        self.clone()
+    }
+
+    fn copy_from(&mut self, src: &[u32]) {
+        self.copy_from_slice(src);
+    }
+}
+
+/// The shared lock-free backend: one reference-counted slab of
+/// `AtomicU32` cells, striped into contiguous shards.
+///
+/// Every clone of an `AtomicPlane` aliases the same cells, so cloning a
+/// `CpdState` whose word-topic counts are shared gives each worker
+/// replica a *view* of one canonical plane — increments published by
+/// any worker are visible (modulo relaxed-ordering lag) to all of them
+/// mid-sweep, and exactly summed by the time the sweep barrier is
+/// crossed.
+///
+/// The shard boundaries partition the flat index space into
+/// `n_shards` contiguous stripes (for the row-major `n_zw` a stripe is
+/// a run of whole and partial topic rows). Shards are the plane's maintenance
+/// unit: the consistency checker validates the plane stripe by stripe
+/// (`CpdState::check_consistency`), and snapshot/store operations take
+/// shard ranges so future maintenance passes can fan out across worker
+/// threads the way the barrier fold does for the dense arrays.
+pub struct AtomicPlane {
+    cells: Arc<[AtomicU32]>,
+    n_shards: usize,
+}
+
+impl AtomicPlane {
+    /// A zeroed plane of `len` slots split into `n_shards` stripes.
+    pub fn new(len: usize, n_shards: usize) -> Self {
+        Self {
+            cells: (0..len).map(|_| AtomicU32::new(0)).collect(),
+            n_shards: n_shards.max(1),
+        }
+    }
+
+    /// A plane initialised from dense tallies.
+    pub fn from_dense(src: &[u32], n_shards: usize) -> Self {
+        Self {
+            cells: src.iter().map(|&v| AtomicU32::new(v)).collect(),
+            n_shards: n_shards.max(1),
+        }
+    }
+
+    /// Number of contiguous stripes.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Flat index range of shard `s` (`s < n_shards()`); the ranges
+    /// partition `0..len()`.
+    pub fn shard_range(&self, s: usize) -> std::ops::Range<usize> {
+        let len = self.cells.len();
+        let per = len.div_ceil(self.n_shards);
+        let lo = (s * per).min(len);
+        let hi = ((s + 1) * per).min(len);
+        lo..hi
+    }
+
+    /// Snapshot one shard's tallies (relaxed loads; exact at a barrier).
+    pub fn snapshot_shard(&self, s: usize) -> Vec<u32> {
+        self.shard_range(s)
+            .map(|i| self.cells[i].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// `true` when `other` aliases the same cells.
+    pub fn same_plane(&self, other: &AtomicPlane) -> bool {
+        Arc::ptr_eq(&self.cells, &other.cells)
+    }
+}
+
+impl Clone for AtomicPlane {
+    /// Clones share the cells — a clone is another handle onto the same
+    /// plane, not a copy of the tallies.
+    fn clone(&self) -> Self {
+        Self {
+            cells: Arc::clone(&self.cells),
+            n_shards: self.n_shards,
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicPlane")
+            .field("len", &self.cells.len())
+            .field("n_shards", &self.n_shards)
+            .finish()
+    }
+}
+
+impl CountPlane for AtomicPlane {
+    #[inline]
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u32 {
+        self.cells[i].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed `fetch_add`; a negative `v` wraps through two's
+    /// complement, which is exact as long as the running total never
+    /// goes negative (the contract's underflow clause).
+    #[inline]
+    fn add(&mut self, i: usize, v: i32) {
+        self.cells[i].fetch_add(v as u32, Ordering::Relaxed);
+    }
+
+    fn reset(&mut self) {
+        for c in self.cells.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u32> {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn copy_from(&mut self, src: &[u32]) {
+        assert_eq!(src.len(), self.cells.len());
+        for (c, &v) in self.cells.iter().zip(src) {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The word-topic count pair (`n_zw`: `Z × W` row-major, `n_z`: `Z`)
+/// behind a runtime-selected [`CountPlane`] backend.
+///
+/// `Dense` is per-replica storage (cloning copies the tallies);
+/// `Shared` is one atomic plane every clone aliases (cloning hands out
+/// another view). The `Shared` variant also counts the atomic
+/// read-modify-writes issued through *this* handle — each worker's
+/// replica accumulates its own tally, which the runtime drains per
+/// sweep into the trainer's contention diagnostics.
+#[derive(Debug)]
+pub enum WordTopicCounts {
+    /// Per-replica dense vectors (serial, `CloneRebuild`,
+    /// `DeltaSharded`).
+    Dense {
+        /// `Z × W` word-topic tallies.
+        n_zw: Vec<u32>,
+        /// Per-topic token totals.
+        n_z: Vec<u32>,
+    },
+    /// One shared atomic plane per array (`LockFreeCounts`).
+    Shared {
+        /// Shared `Z × W` word-topic plane.
+        n_zw: AtomicPlane,
+        /// Shared per-topic totals.
+        n_z: AtomicPlane,
+        /// Atomic read-modify-writes published through this handle
+        /// since the last [`WordTopicCounts::take_ops`].
+        ops: u64,
+    },
+}
+
+impl Clone for WordTopicCounts {
+    fn clone(&self) -> Self {
+        match self {
+            Self::Dense { n_zw, n_z } => Self::Dense {
+                n_zw: n_zw.clone(),
+                n_z: n_z.clone(),
+            },
+            // A cloned shared handle starts its own ops tally.
+            Self::Shared { n_zw, n_z, .. } => Self::Shared {
+                n_zw: n_zw.clone(),
+                n_z: n_z.clone(),
+                ops: 0,
+            },
+        }
+    }
+}
+
+impl WordTopicCounts {
+    /// Zeroed dense planes for `n_topics × vocab_size`.
+    pub fn dense(n_topics: usize, vocab_size: usize) -> Self {
+        Self::Dense {
+            n_zw: vec![0; n_topics * vocab_size],
+            n_z: vec![0; n_topics],
+        }
+    }
+
+    /// A shared atomic plane initialised from the current tallies,
+    /// striped into `n_shards` contiguous index shards.
+    pub fn to_shared(&self, n_shards: usize) -> Self {
+        let (zw, z) = self.snapshot();
+        Self::Shared {
+            n_zw: AtomicPlane::from_dense(&zw, n_shards),
+            n_z: AtomicPlane::from_dense(&z, n_shards.min(z.len().max(1))),
+            ops: 0,
+        }
+    }
+
+    /// `true` for the shared atomic backend.
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        matches!(self, Self::Shared { .. })
+    }
+
+    /// Number of `n_zw` slots (`Z × W`).
+    #[inline]
+    pub fn len_zw(&self) -> usize {
+        match self {
+            Self::Dense { n_zw, .. } => n_zw.len(),
+            Self::Shared { n_zw, .. } => n_zw.len(),
+        }
+    }
+
+    /// Current `n_zw` tally at flat index `i`.
+    #[inline]
+    pub fn zw(&self, i: usize) -> u32 {
+        match self {
+            Self::Dense { n_zw, .. } => n_zw[i],
+            Self::Shared { n_zw, .. } => n_zw.get(i),
+        }
+    }
+
+    /// Current `n_z` tally for topic `z`.
+    #[inline]
+    pub fn z(&self, z: usize) -> u32 {
+        match self {
+            Self::Dense { n_z, .. } => n_z[z],
+            Self::Shared { n_z, .. } => n_z.get(z),
+        }
+    }
+
+    /// Apply a signed increment to `n_zw[i]`.
+    #[inline]
+    pub fn add_zw(&mut self, i: usize, v: i32) {
+        match self {
+            Self::Dense { n_zw, .. } => n_zw.add(i, v),
+            Self::Shared { n_zw, ops, .. } => {
+                n_zw.add(i, v);
+                *ops += 1;
+            }
+        }
+    }
+
+    /// Apply a signed increment to `n_z[z]`.
+    #[inline]
+    pub fn add_z(&mut self, z: usize, v: i32) {
+        match self {
+            Self::Dense { n_z, .. } => n_z.add(z, v),
+            Self::Shared { n_z, ops, .. } => {
+                n_z.add(z, v);
+                *ops += 1;
+            }
+        }
+    }
+
+    /// Zero both planes (shared: zeroes the canonical plane every
+    /// handle sees).
+    pub fn reset(&mut self) {
+        match self {
+            Self::Dense { n_zw, n_z } => {
+                CountPlane::reset(n_zw);
+                CountPlane::reset(n_z);
+            }
+            Self::Shared { n_zw, n_z, .. } => {
+                n_zw.reset();
+                n_z.reset();
+            }
+        }
+    }
+
+    /// Copy both planes out as dense vectors (`(n_zw, n_z)`); exact at
+    /// a barrier.
+    pub fn snapshot(&self) -> (Vec<u32>, Vec<u32>) {
+        match self {
+            Self::Dense { n_zw, n_z } => (n_zw.clone(), n_z.clone()),
+            Self::Shared { n_zw, n_z, .. } => (n_zw.snapshot(), n_z.snapshot()),
+        }
+    }
+
+    /// Overwrite `n_zw` wholesale (the `CountRefresh` snapshot path).
+    ///
+    /// # Panics
+    ///
+    /// On a shared plane: a snapshot store would clobber the one live
+    /// plane every replica aliases with stale tallies, mid-sync, for
+    /// all shards at once. `CountRefresh::decide` never ships an
+    /// `n_zw` snapshot for shared planes, so reaching this is a
+    /// runtime-plumbing bug and fails loudly instead of corrupting.
+    pub fn copy_zw_from(&mut self, src: &[u32]) {
+        match self {
+            Self::Dense { n_zw, .. } => n_zw.copy_from(src),
+            Self::Shared { .. } => unreachable!(
+                "shared word-topic planes are never snapshot-synced \
+                 (CountRefresh::decide skips them)"
+            ),
+        }
+    }
+
+    /// Mutable access to the dense vectors (`None` for shared planes) —
+    /// the delta replay path writes through this.
+    #[inline]
+    pub fn dense_mut(&mut self) -> Option<(&mut Vec<u32>, &mut Vec<u32>)> {
+        match self {
+            Self::Dense { n_zw, n_z } => Some((n_zw, n_z)),
+            Self::Shared { .. } => None,
+        }
+    }
+
+    /// Move the dense vectors out (replaced by empty ones), for
+    /// shipping to a fold worker; `None` for shared planes.
+    pub fn take_dense(&mut self) -> Option<(Vec<u32>, Vec<u32>)> {
+        match self {
+            Self::Dense { n_zw, n_z } => Some((std::mem::take(n_zw), std::mem::take(n_z))),
+            Self::Shared { .. } => None,
+        }
+    }
+
+    /// Re-install dense vectors previously moved out by
+    /// [`WordTopicCounts::take_dense`].
+    pub fn restore_dense(&mut self, zw: Vec<u32>, z: Vec<u32>) {
+        *self = Self::Dense { n_zw: zw, n_z: z };
+    }
+
+    /// Drain this handle's atomic read-modify-write tally (always 0 for
+    /// dense planes).
+    pub fn take_ops(&mut self) -> u64 {
+        match self {
+            Self::Dense { .. } => 0,
+            Self::Shared { ops, .. } => std::mem::take(ops),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_plane_adds_and_snapshots() {
+        let mut p: Vec<u32> = vec![0; 4];
+        p.add(1, 3);
+        p.add(1, -1);
+        assert_eq!(p.get(1), 2);
+        assert_eq!(p.snapshot(), vec![0, 2, 0, 0]);
+        CountPlane::reset(&mut p);
+        assert_eq!(p, vec![0; 4]);
+    }
+
+    #[test]
+    fn atomic_plane_is_shared_across_clones() {
+        let mut a = AtomicPlane::from_dense(&[5, 6, 7], 2);
+        let b = a.clone();
+        assert!(a.same_plane(&b));
+        a.add(0, -2);
+        assert_eq!(b.get(0), 3);
+        assert_eq!(b.snapshot(), vec![3, 6, 7]);
+    }
+
+    #[test]
+    fn atomic_shards_partition_the_index_space() {
+        let p = AtomicPlane::new(10, 3);
+        let mut covered = Vec::new();
+        for s in 0..p.n_shards() {
+            covered.extend(p.shard_range(s));
+        }
+        assert_eq!(covered, (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            p.snapshot_shard(0).len() + p.snapshot_shard(1).len() + p.snapshot_shard(2).len(),
+            10
+        );
+    }
+
+    #[test]
+    fn atomic_adds_survive_threads() {
+        let plane = AtomicPlane::new(8, 4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mut view = plane.clone();
+                s.spawn(move || {
+                    for i in 0..8 {
+                        for _ in 0..1000 {
+                            view.add(i, 1);
+                        }
+                        for _ in 0..500 {
+                            view.add(i, -1);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(plane.snapshot(), vec![2000; 8]);
+    }
+
+    #[test]
+    fn word_topic_shared_view_counts_ops() {
+        let dense = WordTopicCounts::dense(2, 3);
+        let mut shared = dense.to_shared(2);
+        assert!(shared.is_shared());
+        let mut view = shared.clone();
+        view.add_zw(4, 1);
+        view.add_z(1, 1);
+        assert_eq!(view.take_ops(), 2);
+        assert_eq!(view.take_ops(), 0);
+        // The increments landed on the canonical plane.
+        assert_eq!(shared.zw(4), 1);
+        assert_eq!(shared.z(1), 1);
+        assert_eq!(shared.take_ops(), 0, "other handles' ops are not ours");
+    }
+
+    #[test]
+    fn to_shared_preserves_tallies() {
+        let mut d = WordTopicCounts::dense(2, 2);
+        d.add_zw(3, 7);
+        d.add_z(1, 7);
+        let s = d.to_shared(4);
+        assert_eq!(s.snapshot(), d.snapshot());
+    }
+
+    #[test]
+    fn take_and_restore_dense_round_trips() {
+        let mut d = WordTopicCounts::dense(2, 2);
+        d.add_zw(0, 2);
+        let (zw, z) = d.take_dense().unwrap();
+        assert_eq!(zw[0], 2);
+        assert_eq!(d.len_zw(), 0, "taken planes are empty");
+        d.restore_dense(zw, z);
+        assert_eq!(d.zw(0), 2);
+        assert!(WordTopicCounts::dense(1, 1)
+            .to_shared(1)
+            .take_dense()
+            .is_none());
+    }
+}

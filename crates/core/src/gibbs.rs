@@ -36,6 +36,39 @@ pub(crate) enum SweepPhase {
     ProfileOnly,
 }
 
+/// Reusable per-worker scratch space for the sweep hot loop: the
+/// candidate log-weight vectors and the bilinear `g` buffer used to be
+/// allocated fresh for every document visit (two `Vec`s per document,
+/// one more per diffusion link); each worker now carries one
+/// `SweepScratch` for its whole fit and the hot loop never touches the
+/// allocator. Logically this is the mutable, per-thread companion of
+/// the shared immutable [`SweepContext`].
+pub(crate) struct SweepScratch {
+    /// Topic-candidate log weights (`|Z|`).
+    lw_topic: Vec<f64>,
+    /// Community-candidate log weights (`|C|`).
+    lw_comm: Vec<f64>,
+    /// Bilinear diffusion precomputation `g[c]` (`|C|`).
+    g: Vec<f64>,
+}
+
+impl SweepScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            lw_topic: Vec::new(),
+            lw_comm: Vec::new(),
+            g: Vec::new(),
+        }
+    }
+}
+
+/// Reset `buf` to `n` zeros without shrinking its allocation.
+#[inline]
+fn zeroed(buf: &mut Vec<f64>, n: usize) {
+    buf.clear();
+    buf.resize(n, 0.0);
+}
+
 /// Immutable per-fit context shared by all sweeps (and all threads).
 pub(crate) struct SweepContext<'a> {
     pub graph: &'a SocialGraph,
@@ -97,17 +130,15 @@ pub(crate) fn sweep_user_docs<S: DeltaSink>(
     rng: &mut StdRng,
     phase: SweepPhase,
     sink: &mut S,
+    scratch: &mut SweepScratch,
 ) {
     for &u in users {
-        // Collect to release the borrow on graph adjacency while mutating
-        // state (doc lists are small).
-        let docs: Vec<DocId> = ctx.graph.docs_of(UserId(u)).collect();
-        for d in docs {
+        for d in ctx.graph.docs_of(UserId(u)) {
             if phase != SweepPhase::DetectOnly {
-                sample_topic(ctx, state, d.index(), rng, phase, sink);
+                sample_topic(ctx, state, d.index(), rng, phase, sink, scratch);
             }
             if phase != SweepPhase::ProfileOnly {
-                sample_community(ctx, state, d.index(), rng, phase, sink);
+                sample_community(ctx, state, d.index(), rng, phase, sink, scratch);
             }
         }
     }
@@ -122,6 +153,7 @@ fn sample_topic<S: DeltaSink>(
     rng: &mut StdRng,
     phase: SweepPhase,
     sink: &mut S,
+    scratch: &mut SweepScratch,
 ) {
     let doc = &ctx.graph.docs()[d];
     let z_n = state.n_topics;
@@ -134,13 +166,14 @@ fn sample_topic<S: DeltaSink>(
     state.n_cz[c * z_n + z_old] -= 1;
     state.n_c[c] -= 1;
     for w in &doc.words {
-        state.n_zw[z_old * w_n + w.index()] -= 1;
-        state.n_z[z_old] -= 1;
+        state.word_topic.add_zw(z_old * w_n + w.index(), -1);
     }
+    state.word_topic.add_z(z_old, -(doc.words.len() as i32));
     state.n_tz[t * z_n + z_old] -= 1;
     state.n_t[t] -= 1;
 
-    let mut lw = vec![0.0f64; z_n];
+    zeroed(&mut scratch.lw_topic, z_n);
+    let lw = &mut scratch.lw_topic;
     // Community-topic factor: ln(n^z_{c,¬ui} + α); the denominator is
     // constant across candidates.
     for (z, l) in lw.iter_mut().enumerate() {
@@ -154,10 +187,11 @@ fn sample_topic<S: DeltaSink>(
             // i-th occurrence of this word within the doc (docs are short;
             // the quadratic scan is cheaper than a hash map here).
             let prior = doc.words[..k].iter().filter(|x| *x == w).count();
-            acc += (state.n_zw[z * w_n + w.index()] as f64 + ctx.beta + prior as f64).ln();
+            acc += (state.word_topic.zw(z * w_n + w.index()) as f64 + ctx.beta + prior as f64).ln();
         }
+        let n_z = state.word_topic.z(z) as f64;
         for j in 0..len {
-            acc -= (state.n_z[z] as f64 + w_n as f64 * ctx.beta + j as f64).ln();
+            acc -= (n_z + w_n as f64 * ctx.beta + j as f64).ln();
         }
         *l += acc;
     }
@@ -206,15 +240,15 @@ fn sample_topic<S: DeltaSink>(
     }
     // SameAsFriendship diffusion has no topic dependence.
 
-    let z_new = sample_log_index(rng, &lw);
+    let z_new = sample_log_index(rng, lw);
 
     state.doc_topic[d] = z_new as u32;
     state.n_cz[c * z_n + z_new] += 1;
     state.n_c[c] += 1;
     for w in &doc.words {
-        state.n_zw[z_new * w_n + w.index()] += 1;
-        state.n_z[z_new] += 1;
+        state.word_topic.add_zw(z_new * w_n + w.index(), 1);
     }
+    state.word_topic.add_z(z_new, doc.words.len() as i32);
     state.n_tz[t * z_n + z_new] += 1;
     state.n_t[t] += 1;
     if z_new != z_old {
@@ -231,6 +265,7 @@ fn sample_community<S: DeltaSink>(
     rng: &mut StdRng,
     phase: SweepPhase,
     sink: &mut S,
+    scratch: &mut SweepScratch,
 ) {
     let doc = &ctx.graph.docs()[d];
     let c_n = state.n_communities;
@@ -244,7 +279,11 @@ fn sample_community<S: DeltaSink>(
     state.n_cz[c_old * z_n + z] -= 1;
     state.n_c[c_old] -= 1;
 
-    let mut lw = vec![0.0f64; c_n];
+    // Disjoint scratch borrows: `lw` for the candidate weights, `g` for
+    // the per-link bilinear precomputation further down.
+    let SweepScratch { lw_comm, g, .. } = scratch;
+    zeroed(lw_comm, c_n);
+    let lw = lw_comm;
     // User-community prior: ln(n^c_{u,¬ui} + ρ) (denominator constant).
     for (c, l) in lw.iter_mut().enumerate() {
         *l = (state.n_uc[u * c_n + c] as f64 + ctx.rho).ln();
@@ -262,15 +301,7 @@ fn sample_community<S: DeltaSink>(
 
     // Friendship factor over Λ_u (Eq. 3 evidence through ψ(·, λ)).
     if ctx.config.use_friendship {
-        add_membership_link_terms(
-            ctx,
-            state,
-            u,
-            denom_u,
-            &mut lw,
-            rng,
-            MembershipLinks::Friendship,
-        );
+        add_membership_link_terms(ctx, state, u, denom_u, lw, rng, MembershipLinks::Friendship);
     }
 
     // Diffusion factor over Λ_i.
@@ -282,18 +313,18 @@ fn sample_community<S: DeltaSink>(
                     state,
                     u,
                     denom_u,
-                    &mut lw,
+                    lw,
                     rng,
                     MembershipLinks::DiffusionOf(d),
                 );
             }
             DiffusionModel::Full => {
-                add_full_diffusion_terms(ctx, state, d, u, denom_u, &mut lw);
+                add_full_diffusion_terms(ctx, state, d, u, denom_u, lw, g);
             }
         }
     }
 
-    let c_new = sample_log_index(rng, &lw);
+    let c_new = sample_log_index(rng, lw);
 
     state.doc_community[d] = c_new as u32;
     state.n_uc[u * c_n + c_new] += 1;
@@ -305,6 +336,7 @@ fn sample_community<S: DeltaSink>(
 }
 
 /// Which links feed the membership-similarity factor.
+#[derive(Clone, Copy)]
 enum MembershipLinks {
     /// `Λ_u` — friendship links of the document's author.
     Friendship,
@@ -314,7 +346,11 @@ enum MembershipLinks {
 }
 
 /// Add `Σ ln ψ(π̂_u(c)ᵀ π̂_v, pg)` terms to `lw` for each linked partner
-/// `v`, using the O(1)-per-candidate incremental dot product.
+/// `v`, using the O(1)-per-candidate incremental dot product. The link
+/// id lists are borrowed straight from the graph's CSR adjacency —
+/// no per-visit copies — and the partner endpoint is resolved per
+/// examined link (cheaper than materialising all partners when the
+/// neighbour cap samples a subset).
 fn add_membership_link_terms(
     ctx: &SweepContext<'_>,
     state: &CpdState,
@@ -325,36 +361,10 @@ fn add_membership_link_terms(
     which: MembershipLinks,
 ) {
     let c_n = state.n_communities;
-    let (link_ids, partner_of, pg_of): (Vec<u32>, Vec<usize>, &[f64]) = match which {
-        MembershipLinks::Friendship => {
-            let ids = ctx.graph.friend_links_of(UserId(u as u32)).to_vec();
-            let partners = ids
-                .iter()
-                .map(|&lid| {
-                    let l = ctx.graph.friendships()[lid as usize];
-                    if l.from.index() == u {
-                        l.to.index()
-                    } else {
-                        l.from.index()
-                    }
-                })
-                .collect();
-            (ids, partners, &state.lambda)
-        }
+    let (link_ids, pg_of): (&[u32], &[f64]) = match which {
+        MembershipLinks::Friendship => (ctx.graph.friend_links_of(UserId(u as u32)), &state.lambda),
         MembershipLinks::DiffusionOf(d) => {
-            let ids = ctx.graph.diffusion_links_of(DocId(d as u32)).to_vec();
-            let partners = ids
-                .iter()
-                .map(|&lid| {
-                    let lm = &ctx.links[lid as usize];
-                    if lm.src_doc as usize == d {
-                        lm.dst_author as usize
-                    } else {
-                        lm.src_author as usize
-                    }
-                })
-                .collect();
-            (ids, partners, &state.delta)
+            (ctx.graph.diffusion_links_of(DocId(d as u32)), &state.delta)
         }
     };
 
@@ -369,7 +379,24 @@ fn add_membership_link_terms(
             rng.gen_range(0..total)
         };
         let lid = link_ids[idx] as usize;
-        let v = partner_of[idx];
+        let v = match which {
+            MembershipLinks::Friendship => {
+                let l = ctx.graph.friendships()[lid];
+                if l.from.index() == u {
+                    l.to.index()
+                } else {
+                    l.from.index()
+                }
+            }
+            MembershipLinks::DiffusionOf(d) => {
+                let lm = &ctx.links[lid];
+                if lm.src_doc as usize == d {
+                    lm.dst_author as usize
+                } else {
+                    lm.src_author as usize
+                }
+            }
+        };
         if v == u {
             continue;
         }
@@ -400,6 +427,7 @@ fn add_full_diffusion_terms(
     u: usize,
     denom_u: f64,
     lw: &mut [f64],
+    g: &mut Vec<f64>,
 ) {
     let c_n = state.n_communities;
     let z_n = state.n_topics;
@@ -418,7 +446,7 @@ fn add_full_diffusion_terms(
         };
         // g[c_cand] = Σ_{c_other} η(pair) π̂_{other} θ̂_{other} with the
         // candidate index in the right slot of η.
-        let mut g = vec![0.0f64; c_n];
+        zeroed(g, c_n);
         for c_other in 0..c_n {
             let w_other = state.pi_hat(other_author, c_other, ctx.rho)
                 * state.theta_hat(c_other, zl, ctx.alpha);
@@ -606,6 +634,7 @@ mod tests {
         let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
         let mut state = CpdState::init(&g, &cfg);
         let mut rng = seeded_rng(3);
+        let mut scratch = SweepScratch::new();
         let users: Vec<u32> = (0..4).collect();
         for _ in 0..5 {
             sweep_user_docs(
@@ -615,6 +644,7 @@ mod tests {
                 &mut rng,
                 SweepPhase::Full,
                 &mut NoDelta,
+                &mut scratch,
             );
             state.check_consistency(&g).unwrap();
         }
@@ -638,6 +668,7 @@ mod tests {
             &mut rng,
             SweepPhase::DetectOnly,
             &mut NoDelta,
+            &mut SweepScratch::new(),
         );
         assert_eq!(state.doc_topic, topics_before);
         state.check_consistency(&g).unwrap();
@@ -661,6 +692,7 @@ mod tests {
             &mut rng,
             SweepPhase::ProfileOnly,
             &mut NoDelta,
+            &mut SweepScratch::new(),
         );
         assert_eq!(state.doc_community, comms_before);
         state.check_consistency(&g).unwrap();

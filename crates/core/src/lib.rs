@@ -28,6 +28,7 @@
 
 pub mod apps;
 pub mod config;
+pub mod counts;
 pub mod features;
 mod gibbs;
 pub mod io;
@@ -40,6 +41,8 @@ pub mod state;
 pub use apps::diffusion::DiffusionPredictor;
 pub use apps::ranking::{query_topics, rank_communities};
 pub use config::{CpdConfig, DiffusionModel, ParallelRuntime, TrainingMode};
+pub use counts::{AtomicPlane, CountPlane, WordTopicCounts};
 pub use features::UserFeatures;
 pub use model::{Cpd, FitDiagnostics, FitResult};
+pub use parallel::FoldBreakdown;
 pub use profiles::{CpdModel, Eta};

@@ -3,13 +3,14 @@
 
 use crate::config::{CpdConfig, DiffusionModel, ParallelRuntime, TrainingMode};
 use crate::features::{UserFeatures, F_COMMUNITY, N_FEATURES};
+use crate::gibbs::SweepScratch;
 use crate::gibbs::{
     resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
 };
 use crate::mstep::{build_nu_training_set, estimate_eta, fit_nu};
 use crate::parallel::{
     allocate_segments, clone_rebuild_doc_sweep, parallel_resample_delta, parallel_resample_lambda,
-    segment_users, Segmentation, WorkerPool,
+    segment_users, FoldBreakdown, Segmentation, WorkerPool,
 };
 use crate::profiles::{CpdModel, Eta};
 use crate::state::{link_metadata, CpdState, NoDelta};
@@ -30,10 +31,22 @@ pub struct FitDiagnostics {
     pub mstep_seconds: Vec<f64>,
     /// Per-thread busy seconds of the last parallel sweep (Fig. 11).
     pub last_thread_seconds: Vec<f64>,
-    /// Coordinator seconds folding worker `CountDelta`s into the
-    /// canonical state, one entry per sharded document sweep (empty for
-    /// the serial and clone-rebuild runtimes).
+    /// Barrier seconds folding worker `CountDelta`s into the canonical
+    /// state (task distribution + worker-side fold + re-install), one
+    /// entry per sharded document sweep (empty for the serial and
+    /// clone-rebuild runtimes).
     pub merge_seconds: Vec<f64>,
+    /// Worker-side fold seconds split per count array, one entry per
+    /// sharded document sweep. Arrays fold on different workers
+    /// concurrently (the dominant `n_zw` fold on a worker of its own),
+    /// so [`FoldBreakdown::max`] lower-bounds the barrier critical
+    /// path.
+    pub fold_seconds: Vec<FoldBreakdown>,
+    /// Atomic read-modify-writes published to the shared word-topic
+    /// plane, one entry per sharded sweep (all zero unless the runtime
+    /// is `LockFreeCounts`) — the contention measure for the lock-free
+    /// count plane.
+    pub atomic_ops: Vec<u64>,
     /// Slowest worker's replica-sync seconds (applying the other
     /// shards' deltas + refreshing the Pólya-Gamma vectors), one entry
     /// per sharded document sweep.
@@ -93,8 +106,13 @@ impl Cpd {
 
         let threads = cfg.threads.unwrap_or(1).max(1);
         let all_users: Vec<u32> = (0..graph.n_users() as u32).collect();
+        // The lock-free runtime exercises the sharded pool whenever a
+        // thread count is given, including `Some(1)`; the draw-identical
+        // runtimes fall back to the serial sweep at one thread.
+        let sharded = cfg.threads.is_some()
+            && (threads > 1 || cfg.parallel_runtime == ParallelRuntime::LockFreeCounts);
         // Segment + allocate once up front (Sect. 4.3); reused every sweep.
-        let user_groups: Option<Vec<Vec<u32>>> = if threads > 1 {
+        let user_groups: Option<Vec<Vec<u32>>> = if sharded {
             let seg: Segmentation = segment_users(
                 graph,
                 cfg.n_topics.max(threads),
@@ -125,6 +143,7 @@ impl Cpd {
         let mut cached_x: Vec<[f64; N_FEATURES]> = vec![[0.0; N_FEATURES]; links.len()];
         let mut sweep_counter = 0u64;
 
+        let mut scratch = SweepScratch::new();
         let model = std::thread::scope(|scope| {
             // The persistent sharded worker pool — spawned once per fit,
             // each worker cloning the freshly initialised state exactly
@@ -133,6 +152,16 @@ impl Cpd {
                 (Some(groups), ParallelRuntime::DeltaSharded) => Some(WorkerPool::spawn(
                     scope, graph, cfg, &features, &links, groups, &state,
                 )),
+                (Some(groups), ParallelRuntime::LockFreeCounts) => {
+                    // Lift the word-topic counts onto the shared atomic
+                    // plane *before* the workers clone the state, so
+                    // every replica aliases one plane (one index stripe
+                    // per worker).
+                    state.word_topic = state.word_topic.to_shared(groups.len());
+                    Some(WorkerPool::spawn(
+                        scope, graph, cfg, &features, &links, groups, &state,
+                    ))
+                }
                 _ => None,
             };
 
@@ -145,6 +174,7 @@ impl Cpd {
                              eta: &Arc<Eta>,
                              nu: &[f64],
                              rng: &mut rand::rngs::StdRng,
+                             scratch: &mut SweepScratch,
                              diagnostics: &mut FitDiagnostics| {
                 match pool {
                     Some(pool) => {
@@ -154,6 +184,8 @@ impl Cpd {
                         diagnostics.merge_seconds.push(stats.merge_seconds);
                         diagnostics.snapshot_seconds.push(stats.snapshot_seconds);
                         diagnostics.changed_docs.push(stats.changed_docs);
+                        diagnostics.fold_seconds.push(stats.fold);
+                        diagnostics.atomic_ops.push(stats.atomic_ops);
                     }
                     None => {
                         let ctx = SweepContext::new(graph, cfg, eta, nu, &features, &links);
@@ -168,7 +200,15 @@ impl Cpd {
                                 );
                             }
                             None => {
-                                sweep_user_docs(&ctx, state, &all_users, rng, phase, &mut NoDelta);
+                                sweep_user_docs(
+                                    &ctx,
+                                    state,
+                                    &all_users,
+                                    rng,
+                                    phase,
+                                    &mut NoDelta,
+                                    scratch,
+                                );
                             }
                         }
                     }
@@ -189,6 +229,7 @@ impl Cpd {
                             &eta,
                             &nu,
                             &mut rng,
+                            &mut scratch,
                             &mut diagnostics,
                         );
                         let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
@@ -221,6 +262,7 @@ impl Cpd {
                         &eta,
                         &nu,
                         &mut rng,
+                        &mut scratch,
                         &mut diagnostics,
                     );
                     let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);

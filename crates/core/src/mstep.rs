@@ -146,8 +146,7 @@ mod tests {
             n_u: vec![],
             n_cz: vec![],
             n_c: vec![],
-            n_zw: vec![],
-            n_z: vec![],
+            word_topic: crate::counts::WordTopicCounts::dense(0, 0),
             n_tz: vec![],
             n_t: vec![],
             lambda: vec![],

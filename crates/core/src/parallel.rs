@@ -1,46 +1,74 @@
 //! Parallel E-step (Sect. 4.3): LDA-guided data segmentation, workload
 //! estimation, knapsack-style allocation to threads, and the sharded
-//! delta-merge runtime that executes the per-sweep worker barrier.
+//! runtimes that execute the per-sweep worker barrier.
 //!
 //! # Parallel runtime
 //!
 //! Workers follow the approximate-distributed-Gibbs recipe: each thread
 //! owns a disjoint set of *users* (so a user's documents never split
 //! across threads — the paper's first segmentation guideline) and reads
-//! neighbouring assignments as of the sweep start.
+//! neighbouring assignments as of the sweep start. Three runtimes
+//! execute the barrier, selectable via
+//! [`crate::config::ParallelRuntime`]:
 //!
-//! The default runtime ([`WorkerPool`], selected by
-//! [`crate::config::ParallelRuntime::DeltaSharded`]) spawns the workers
-//! **once per fit**. Each worker keeps a persistent replica of the
-//! sampler state, cloned from the canonical state at spawn and kept in
-//! sync incrementally: every sweep it first refreshes from the
-//! coordinator's sync package, then sweeps its owned users while
-//! recording a new [`CountDelta`], and ships that delta back. After the
-//! barrier the coordinator folds all deltas into the canonical state.
+//! * **`CloneRebuild`** (legacy oracle): every sweep each thread clones
+//!   the full count state, samples its user group, and the merged
+//!   assignments are rebuilt into the canonical state from scratch —
+//!   `O(threads × |state|)` memcpy plus an `O(|D| + tokens)` rebuild
+//!   per sweep. Kept for benchmarking and as the differential-testing
+//!   oracle.
 //!
-//! The sync package is planned **per count array** from the previous
-//! sweep's churn ([`CountRefresh::plan`]): a sparsely-touched array is
-//! synced by replaying the other shards' logs (own changes are already
-//! local); an array whose delta volume approaches its size ships as one
-//! shared snapshot of the canonical array that replicas
-//! `copy_from_slice` — one coordinator clone instead of `threads` full
-//! state clones, and a sequential copy instead of scattered replay
-//! writes. Per-sweep cost therefore tracks the number of *changed*
-//! assignments, bounded above by one snapshot copy — never the
-//! `O(threads × |state|)` memcpy plus `O(|D| + tokens)` rebuild the
-//! legacy [`clone_rebuild_doc_sweep`] path pays every sweep (kept for
-//! benchmarking and as a differential-testing oracle; both runtimes are
-//! draw-for-draw identical). `CpdState::rebuild_counts` now runs only
-//! at initialisation.
+//! * **`DeltaSharded`** (default): the persistent `WorkerPool`,
+//!   spawned **once per fit**. Each worker keeps a replica of the
+//!   sampler state, cloned at spawn and kept in sync incrementally:
+//!   every sweep it refreshes from the coordinator's sync package,
+//!   sweeps its owned users while recording a [`CountDelta`], and ships
+//!   the delta back. The sync package is planned **per count array**
+//!   from the previous sweep's churn ([`CountRefresh::decide`]): a
+//!   sparsely-touched array replays the other shards' logs; a heavily
+//!   churned array ships as one shared snapshot that replicas
+//!   `copy_from_slice`. Draw-for-draw identical to `CloneRebuild`.
 //!
-//! Next step (see ROADMAP "Open items"): move the word-topic counts
-//! `n_zw` into per-shard lock-free accumulators so the coordinator fold
-//! itself parallelises across matrices.
+//! * **`LockFreeCounts`**: like `DeltaSharded`, but the word-topic
+//!   counts (`n_zw`, `Z × W`, plus `n_z`) — which dominate both the
+//!   delta logs (two entries per moved token) and the barrier fold —
+//!   live on one **shared atomic plane**
+//!   ([`crate::counts::AtomicPlane`], a striped `Arc<[AtomicU32]>`)
+//!   that every replica aliases. Workers publish word-topic increments
+//!   directly during the sweep with relaxed atomics, so those arrays
+//!   vanish from the `CountDelta` logs, are never folded, and need no
+//!   replica sync at all. Mid-sweep reads may observe other shards'
+//!   in-flight updates — the standard approximate-Gibbs relaxation, so
+//!   this runtime is *distributionally* equivalent to the others (the
+//!   differential tests in `tests/parallel_lockfree.rs` check
+//!   perplexity and community recovery, not draw identity), while the
+//!   counts are still **exact at every barrier** (atomic
+//!   read-modify-writes lose nothing).
+//!
+//! Since the count-plane refactor the barrier fold itself is
+//! parallelised: after collecting the sweep deltas the coordinator
+//! ships each canonical count array (moved out of the state, so no
+//! copies and no unsafe aliasing) to an idle **worker thread** as a
+//! `FoldTask`; workers replay all shards' logs for their array,
+//! clone the refresh snapshot for it when [`CountRefresh::decide`]
+//! picked the snapshot path, and send the folded array back. The
+//! coordinator's residual work is channel traffic and re-installing the
+//! arrays. Count arrays are the fold's sharding unit; the one array too
+//! big for that to be acceptable — `n_zw` — is exactly the one the
+//! atomic plane removes from the fold altogether under
+//! `LockFreeCounts`.
+//!
+//! `CpdState::rebuild_counts` runs only at initialisation.
+//!
+//! Next step (see ROADMAP "Open items"): shard the `n_cz`
+//! community-topic plane the same way, or overlap the M-step with the
+//! first sweep of the next E-step.
 
 use crate::config::CpdConfig;
 use crate::features::{UserFeatures, N_FEATURES};
 use crate::gibbs::{
     resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
+    SweepScratch,
 };
 use crate::profiles::Eta;
 use crate::state::{CountDelta, CountRefresh, CpdState, DeltaSizes, LinkMeta, NoDelta, SyncPlan};
@@ -234,7 +262,16 @@ pub(crate) fn clone_rebuild_doc_sweep(
                         ctx.config.seed ^ 0x9A7A_11E1,
                         sweep_index * user_groups.len() as u64 + ti as u64,
                     );
-                    sweep_user_docs(ctx, &mut local, users, &mut rng, phase, &mut NoDelta);
+                    let mut scratch = SweepScratch::new();
+                    sweep_user_docs(
+                        ctx,
+                        &mut local,
+                        users,
+                        &mut rng,
+                        phase,
+                        &mut NoDelta,
+                        &mut scratch,
+                    );
                     let mut docs = Vec::new();
                     for &u in users.iter() {
                         for d in ctx.graph.docs_of(UserId(u)) {
@@ -285,11 +322,197 @@ struct SweepCmd {
     refresh: Arc<CountRefresh>,
 }
 
+/// A coordinator→worker message: run a document sweep, or fold a batch
+/// of canonical count arrays at the barrier.
+enum Cmd {
+    Sweep(SweepCmd),
+    Fold(FoldCmd),
+}
+
+/// Barrier fold work for one worker: apply every shard's delta log for
+/// the shipped arrays. The arrays are **moved** out of the canonical
+/// state (no copies, no aliasing) and returned folded.
+struct FoldCmd {
+    deltas: Arc<Vec<CountDelta>>,
+    tasks: Vec<FoldTask>,
+}
+
+/// Which canonical array class a [`FoldTask`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FoldKind {
+    /// `doc_community` + `doc_topic` (assignment replay).
+    Assign,
+    /// `n_uc`.
+    NUc,
+    /// `n_cz` + the `n_c` marginal.
+    NCz,
+    /// Dense `n_zw` + the `n_z` marginal (absent under
+    /// `LockFreeCounts`, where the shared atomic plane is folded by
+    /// construction).
+    WordTopic,
+    /// `n_tz`.
+    NTz,
+}
+
+/// One canonical array (pair), moved out of the state for a worker to
+/// fold and, when the refresh plan calls for it, snapshot for the next
+/// sweep's replica sync.
+struct FoldTask {
+    kind: FoldKind,
+    /// Primary array (`doc_community` / `n_uc` / `n_cz` / `n_zw` /
+    /// `n_tz`).
+    a: Vec<u32>,
+    /// Companion array (`doc_topic` / `n_c` / `n_z`), empty when the
+    /// kind has none.
+    b: Vec<u32>,
+    /// Clone the folded array into `snap_*` (the refresh package).
+    want_snapshot: bool,
+    snap_a: Option<Vec<u32>>,
+    snap_b: Option<Vec<u32>>,
+    /// Worker-side fold wall time.
+    seconds: f64,
+}
+
+impl FoldTask {
+    fn new(kind: FoldKind, a: Vec<u32>, b: Vec<u32>, want_snapshot: bool) -> Self {
+        Self {
+            kind,
+            a,
+            b,
+            want_snapshot,
+            snap_a: None,
+            snap_b: None,
+            seconds: 0.0,
+        }
+    }
+
+    /// Replay every shard's log for this array class (increments
+    /// commute exactly, and assignment writes target disjoint docs, so
+    /// per-array folding in shard order reproduces the serial fold
+    /// byte-for-byte).
+    fn run(&mut self, deltas: &[CountDelta]) {
+        let start = Instant::now();
+        match self.kind {
+            FoldKind::Assign => {
+                for d in deltas {
+                    d.apply_assign(&mut self.a, &mut self.b);
+                }
+            }
+            FoldKind::NUc => {
+                for d in deltas {
+                    d.apply_n_uc(&mut self.a);
+                }
+            }
+            FoldKind::NCz => {
+                for d in deltas {
+                    d.apply_n_cz(&mut self.a);
+                    d.apply_n_c(&mut self.b);
+                }
+            }
+            FoldKind::WordTopic => {
+                for d in deltas {
+                    d.apply_n_zw(&mut self.a);
+                    d.apply_n_z(&mut self.b);
+                }
+            }
+            FoldKind::NTz => {
+                for d in deltas {
+                    d.apply_n_tz(&mut self.a);
+                }
+            }
+        }
+        if self.want_snapshot {
+            self.snap_a = Some(self.a.clone());
+            if self.kind == FoldKind::Assign {
+                self.snap_b = Some(self.b.clone());
+            }
+        }
+        self.seconds = start.elapsed().as_secs_f64();
+    }
+
+    /// Re-install the folded arrays into the canonical state and file
+    /// the snapshot/timing into the refresh package and breakdown.
+    fn install(self, state: &mut CpdState, refresh: &mut CountRefresh, fold: &mut FoldBreakdown) {
+        match self.kind {
+            FoldKind::Assign => {
+                state.doc_community = self.a;
+                state.doc_topic = self.b;
+                if let (Some(dc), Some(dt)) = (self.snap_a, self.snap_b) {
+                    refresh.assign = Some((dc, dt));
+                }
+                fold.assign = self.seconds;
+            }
+            FoldKind::NUc => {
+                state.n_uc = self.a;
+                refresh.n_uc = self.snap_a;
+                fold.n_uc = self.seconds;
+            }
+            FoldKind::NCz => {
+                state.n_cz = self.a;
+                state.n_c = self.b;
+                refresh.n_cz = self.snap_a;
+                fold.n_cz = self.seconds;
+            }
+            FoldKind::WordTopic => {
+                state.word_topic.restore_dense(self.a, self.b);
+                refresh.n_zw = self.snap_a;
+                fold.n_zw = self.seconds;
+            }
+            FoldKind::NTz => {
+                state.n_tz = self.a;
+                refresh.n_tz = self.snap_a;
+                fold.n_tz = self.seconds;
+            }
+        }
+    }
+}
+
+/// A worker's reply: the sweep result, or the folded arrays.
+enum Reply {
+    Sweep(Box<WorkerReply>),
+    Fold(Vec<FoldTask>),
+}
+
 /// A worker's result for one sweep.
 struct WorkerReply {
     delta: CountDelta,
     busy_secs: f64,
     sync_secs: f64,
+    /// Atomic read-modify-writes this worker published to the shared
+    /// word-topic plane (0 for dense planes).
+    atomic_ops: u64,
+}
+
+/// Per-array worker-side fold seconds of one barrier (surfaced through
+/// `FitDiagnostics::fold_seconds`). Arrays folded on different workers
+/// overlap in wall time; the `Z × W` fold runs on a worker of its own
+/// (when the pool has more than one), the small arrays share the rest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FoldBreakdown {
+    /// Assignment replay (`doc_community`/`doc_topic`).
+    pub assign: f64,
+    /// `n_uc` fold.
+    pub n_uc: f64,
+    /// `n_cz` + `n_c` fold.
+    pub n_cz: f64,
+    /// Dense `n_zw` + `n_z` fold (0 under `LockFreeCounts` — the shared
+    /// atomic plane is never folded).
+    pub n_zw: f64,
+    /// `n_tz` fold.
+    pub n_tz: f64,
+}
+
+impl FoldBreakdown {
+    /// Slowest single-array fold — a lower bound on the barrier's
+    /// critical path (exact when every array folds on its own worker;
+    /// workers sharing several small arrays serialise their sum).
+    pub fn max(&self) -> f64 {
+        self.assign
+            .max(self.n_uc)
+            .max(self.n_cz)
+            .max(self.n_zw)
+            .max(self.n_tz)
+    }
 }
 
 /// Timing breakdown of one sharded sweep (surfaced through
@@ -297,30 +520,40 @@ struct WorkerReply {
 pub(crate) struct SweepStats {
     /// Per-thread busy seconds (Fig. 11).
     pub thread_seconds: Vec<f64>,
-    /// Coordinator time folding the deltas into the canonical state.
+    /// Total barrier wall time (distributing fold tasks, waiting on the
+    /// fold workers, re-installing the arrays).
     pub merge_seconds: f64,
     /// Slowest worker's replica-sync time (delta apply + PG refresh).
     pub snapshot_seconds: f64,
     /// Documents whose assignment changed this sweep.
     pub changed_docs: usize,
+    /// Per-array worker-side fold seconds.
+    pub fold: FoldBreakdown,
+    /// Atomic RMWs published to the shared word-topic plane this sweep.
+    pub atomic_ops: u64,
 }
 
 /// Persistent sharded E-step runtime: one worker thread per user group,
 /// spawned once per fit, communicating per sweep through channels. See
 /// the module docs ("Parallel runtime") for the synchronisation scheme.
 pub(crate) struct WorkerPool<'scope> {
-    cmd_txs: Vec<Sender<SweepCmd>>,
-    reply_rxs: Vec<Receiver<WorkerReply>>,
+    cmd_txs: Vec<Sender<Cmd>>,
+    reply_rxs: Vec<Receiver<Reply>>,
     /// Deltas of the previous sweep, broadcast to workers on the next.
     prev: Arc<Vec<CountDelta>>,
-    /// Total log sizes of `prev`, steering the replay-vs-snapshot plan.
-    prev_sizes: DeltaSizes,
+    /// Replay-vs-snapshot plan for the coming sweep's replica sync,
+    /// decided at the previous barrier.
+    pending_replay: SyncPlan,
+    /// Snapshots backing `pending_replay`, cloned by the fold workers.
+    pending_refresh: Arc<CountRefresh>,
     handles: Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
 }
 
 impl<'scope> WorkerPool<'scope> {
     /// Spawn one worker per user group. Each worker clones `state` once
-    /// — the only full copy it will ever make.
+    /// — the only full copy it will ever make. (Under `LockFreeCounts`
+    /// the clone's word-topic plane is another handle onto the shared
+    /// atomics, not a copy.)
     pub fn spawn<'env: 'scope>(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         graph: &'env SocialGraph,
@@ -335,43 +568,63 @@ impl<'scope> WorkerPool<'scope> {
         let mut reply_rxs = Vec::with_capacity(n_workers);
         let mut handles = Vec::with_capacity(n_workers);
         for (me, users) in user_groups.iter().enumerate() {
-            let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<SweepCmd>();
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<WorkerReply>();
+            let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<Cmd>();
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Reply>();
             let users = users.clone();
             let mut local = state.clone();
             handles.push(scope.spawn(move || {
+                let mut scratch = SweepScratch::new();
                 while let Ok(cmd) = cmd_rx.recv() {
-                    let sync_start = Instant::now();
-                    // Snapshot-copied arrays land wholesale; the rest
-                    // replay the other shards' logs (own changes are
-                    // already local).
-                    cmd.refresh.copy_into(&mut local);
-                    for (i, d) in cmd.sync.iter().enumerate() {
-                        if i != me {
-                            d.apply_selected(&mut local, cmd.replay);
-                        }
-                    }
-                    local.lambda.copy_from_slice(&cmd.lambda);
-                    local.delta.copy_from_slice(&cmd.delta_pg);
-                    let sync_secs = sync_start.elapsed().as_secs_f64();
+                    let reply = match cmd {
+                        Cmd::Sweep(cmd) => {
+                            let sync_start = Instant::now();
+                            // Snapshot-copied arrays land wholesale; the
+                            // rest replay the other shards' logs (own
+                            // changes are already local).
+                            cmd.refresh.copy_into(&mut local);
+                            for (i, d) in cmd.sync.iter().enumerate() {
+                                if i != me {
+                                    d.apply_selected(&mut local, cmd.replay);
+                                }
+                            }
+                            local.lambda.copy_from_slice(&cmd.lambda);
+                            local.delta.copy_from_slice(&cmd.delta_pg);
+                            let sync_secs = sync_start.elapsed().as_secs_f64();
 
-                    let ctx = SweepContext::new(graph, config, &cmd.eta, &cmd.nu, features, links);
-                    let mut rng = child_rng(
-                        config.seed ^ 0x9A7A_11E1,
-                        cmd.sweep_index * n_workers as u64 + me as u64,
-                    );
-                    let mut delta = CountDelta::new(&local);
-                    let busy_start = Instant::now();
-                    sweep_user_docs(&ctx, &mut local, &users, &mut rng, cmd.phase, &mut delta);
-                    let busy_secs = busy_start.elapsed().as_secs_f64();
-                    if reply_tx
-                        .send(WorkerReply {
-                            delta,
-                            busy_secs,
-                            sync_secs,
-                        })
-                        .is_err()
-                    {
+                            let ctx = SweepContext::new(
+                                graph, config, &cmd.eta, &cmd.nu, features, links,
+                            );
+                            let mut rng = child_rng(
+                                config.seed ^ 0x9A7A_11E1,
+                                cmd.sweep_index * n_workers as u64 + me as u64,
+                            );
+                            let mut delta = CountDelta::new(&local);
+                            let busy_start = Instant::now();
+                            sweep_user_docs(
+                                &ctx,
+                                &mut local,
+                                &users,
+                                &mut rng,
+                                cmd.phase,
+                                &mut delta,
+                                &mut scratch,
+                            );
+                            let busy_secs = busy_start.elapsed().as_secs_f64();
+                            Reply::Sweep(Box::new(WorkerReply {
+                                delta,
+                                busy_secs,
+                                sync_secs,
+                                atomic_ops: local.word_topic.take_ops(),
+                            }))
+                        }
+                        Cmd::Fold(mut fold) => {
+                            for task in &mut fold.tasks {
+                                task.run(&fold.deltas);
+                            }
+                            Reply::Fold(fold.tasks)
+                        }
+                    };
+                    if reply_tx.send(reply).is_err() {
                         break; // Coordinator is gone; shut down.
                     }
                 }
@@ -383,13 +636,15 @@ impl<'scope> WorkerPool<'scope> {
             cmd_txs,
             reply_rxs,
             prev: Arc::new(Vec::new()),
-            prev_sizes: DeltaSizes::default(),
+            pending_replay: SyncPlan::ALL,
+            pending_refresh: Arc::new(CountRefresh::default()),
             handles,
         }
     }
 
     /// Run one barrier-synchronised document sweep and fold the workers'
-    /// deltas into the canonical `state`.
+    /// deltas into the canonical `state` — the fold itself executed by
+    /// the (now idle) worker threads, one [`FoldTask`] per count array.
     pub fn sweep(
         &mut self,
         graph: &SocialGraph,
@@ -399,12 +654,11 @@ impl<'scope> WorkerPool<'scope> {
         eta: &Arc<Eta>,
         nu: &Arc<Vec<f64>>,
     ) -> SweepStats {
+        let n_workers = self.cmd_txs.len();
         let lambda = Arc::new(state.lambda.clone());
         let delta_pg = Arc::new(state.delta.clone());
-        let (refresh, replay) = CountRefresh::plan(state, self.prev_sizes, self.cmd_txs.len());
-        let refresh = Arc::new(refresh);
         for tx in &self.cmd_txs {
-            tx.send(SweepCmd {
+            tx.send(Cmd::Sweep(SweepCmd {
                 phase,
                 sweep_index,
                 eta: Arc::clone(eta),
@@ -412,43 +666,124 @@ impl<'scope> WorkerPool<'scope> {
                 lambda: Arc::clone(&lambda),
                 delta_pg: Arc::clone(&delta_pg),
                 sync: Arc::clone(&self.prev),
-                replay,
-                refresh: Arc::clone(&refresh),
-            })
+                replay: self.pending_replay,
+                refresh: Arc::clone(&self.pending_refresh),
+            }))
             .expect("worker hung up");
         }
-        let replies: Vec<WorkerReply> = self
-            .reply_rxs
-            .iter()
-            .map(|rx| rx.recv().expect("worker panicked"))
-            .collect();
-
-        let merge_start = Instant::now();
-        let mut deltas = Vec::with_capacity(replies.len());
-        let mut thread_seconds = Vec::with_capacity(replies.len());
+        let mut deltas = Vec::with_capacity(n_workers);
+        let mut thread_seconds = Vec::with_capacity(n_workers);
         let mut snapshot_seconds = 0.0f64;
         let mut changed_docs = 0usize;
+        let mut atomic_ops = 0u64;
         let mut sizes = DeltaSizes::default();
-        for reply in replies {
-            reply.delta.apply(state);
-            changed_docs += reply.delta.n_changed_docs();
-            sizes.accumulate(reply.delta.log_sizes());
-            thread_seconds.push(reply.busy_secs);
-            snapshot_seconds = snapshot_seconds.max(reply.sync_secs);
-            deltas.push(reply.delta);
+        for rx in &self.reply_rxs {
+            match rx.recv().expect("worker panicked") {
+                Reply::Sweep(reply) => {
+                    changed_docs += reply.delta.n_changed_docs();
+                    sizes.accumulate(reply.delta.log_sizes());
+                    thread_seconds.push(reply.busy_secs);
+                    snapshot_seconds = snapshot_seconds.max(reply.sync_secs);
+                    atomic_ops += reply.atomic_ops;
+                    deltas.push(reply.delta);
+                }
+                Reply::Fold(_) => unreachable!("fold reply outside a barrier"),
+            }
+        }
+
+        // ---- Barrier fold, on the worker threads --------------------
+        let merge_start = Instant::now();
+        let deltas = Arc::new(deltas);
+        // Decide the next sweep's replay-vs-snapshot sync per array;
+        // the fold workers clone the snapshots for non-replayed arrays.
+        let replay = CountRefresh::decide(state, sizes, n_workers);
+        let mut tasks = Vec::with_capacity(5);
+        // Dense word-topic planes join the fold (kept first: the
+        // scheduler below gives the dominant `Z × W` fold a worker of
+        // its own). A shared atomic plane received every increment
+        // during the sweep already and never appears here.
+        if let Some((n_zw, n_z)) = state.word_topic.take_dense() {
+            tasks.push(FoldTask::new(FoldKind::WordTopic, n_zw, n_z, !replay.n_zw));
+        }
+        tasks.push(FoldTask::new(
+            FoldKind::Assign,
+            std::mem::take(&mut state.doc_community),
+            std::mem::take(&mut state.doc_topic),
+            !replay.assign,
+        ));
+        tasks.push(FoldTask::new(
+            FoldKind::NUc,
+            std::mem::take(&mut state.n_uc),
+            Vec::new(),
+            !replay.n_uc,
+        ));
+        tasks.push(FoldTask::new(
+            FoldKind::NCz,
+            std::mem::take(&mut state.n_cz),
+            std::mem::take(&mut state.n_c),
+            !replay.n_cz,
+        ));
+        tasks.push(FoldTask::new(
+            FoldKind::NTz,
+            std::mem::take(&mut state.n_tz),
+            Vec::new(),
+            !replay.n_tz,
+        ));
+        // Schedule: the `Z × W` fold dwarfs every other array, so with
+        // more than one worker it gets a bucket to itself and the small
+        // arrays round-robin over the remaining workers.
+        let mut buckets: Vec<Vec<FoldTask>> = (0..n_workers).map(|_| Vec::new()).collect();
+        let mut tasks = tasks.into_iter().peekable();
+        let small_workers: Vec<usize> =
+            if n_workers > 1 && tasks.peek().map(|t| t.kind) == Some(FoldKind::WordTopic) {
+                buckets[0].push(tasks.next().expect("just peeked"));
+                (1..n_workers).collect()
+            } else {
+                (0..n_workers).collect()
+            };
+        for (i, task) in tasks.enumerate() {
+            buckets[small_workers[i % small_workers.len()]].push(task);
+        }
+        let mut folding = Vec::new();
+        for (w, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            self.cmd_txs[w]
+                .send(Cmd::Fold(FoldCmd {
+                    deltas: Arc::clone(&deltas),
+                    tasks: bucket,
+                }))
+                .expect("worker hung up");
+            folding.push(w);
+        }
+        let mut refresh = CountRefresh::default();
+        let mut fold = FoldBreakdown::default();
+        for w in folding {
+            match self.reply_rxs[w].recv().expect("worker panicked") {
+                Reply::Fold(tasks) => {
+                    for task in tasks {
+                        task.install(state, &mut refresh, &mut fold);
+                    }
+                }
+                Reply::Sweep(_) => unreachable!("sweep reply inside a barrier"),
+            }
         }
         let merge_seconds = merge_start.elapsed().as_secs_f64();
         debug_assert!(
             state.check_consistency(graph).is_ok(),
             "delta fold diverged from the assignments"
         );
-        self.prev = Arc::new(deltas);
-        self.prev_sizes = sizes;
+        self.prev = deltas;
+        self.pending_replay = replay;
+        self.pending_refresh = Arc::new(refresh);
         SweepStats {
             thread_seconds,
             merge_seconds,
             snapshot_seconds,
             changed_docs,
+            fold,
+            atomic_ops,
         }
     }
 
@@ -629,10 +964,12 @@ mod tests {
                 assert_eq!(delta_state.doc_topic, clone_state.doc_topic);
                 assert_eq!(delta_state.n_uc, clone_state.n_uc);
                 assert_eq!(delta_state.n_cz, clone_state.n_cz);
-                assert_eq!(delta_state.n_zw, clone_state.n_zw);
+                assert_eq!(
+                    delta_state.word_topic.snapshot(),
+                    clone_state.word_topic.snapshot()
+                );
                 assert_eq!(delta_state.n_tz, clone_state.n_tz);
                 assert_eq!(delta_state.n_c, clone_state.n_c);
-                assert_eq!(delta_state.n_z, clone_state.n_z);
                 delta_state.check_consistency(&g).unwrap();
             }
             pool.shutdown();

@@ -2,6 +2,7 @@
 //! empirical estimators `π̂`, `θ̂`, `φ̂` (Sect. 4.2) derived from them.
 
 use crate::config::CpdConfig;
+use crate::counts::{CountPlane as _, WordTopicCounts};
 use cpd_prob::rng::seeded_rng;
 use rand::Rng;
 use social_graph::{SocialGraph, WordId};
@@ -48,10 +49,12 @@ pub struct CpdState {
     pub n_cz: Vec<u32>,
     /// Documents per community.
     pub n_c: Vec<u32>,
-    /// `Z x W` — tokens of word `w` assigned topic `z`.
-    pub n_zw: Vec<u32>,
-    /// Tokens per topic.
-    pub n_z: Vec<u32>,
+    /// `Z x W` word-topic counts `n_zw` plus the `n_z` marginal, behind
+    /// the count-plane abstraction ([`crate::counts`]): dense
+    /// per-replica vectors for the serial/`CloneRebuild`/`DeltaSharded`
+    /// runtimes, or one shared atomic plane every replica aliases under
+    /// `LockFreeCounts`.
+    pub word_topic: WordTopicCounts,
     /// `T x Z` — documents with topic `z` at time `t` (topic popularity).
     pub n_tz: Vec<u32>,
     /// Documents per time bucket (constant).
@@ -82,8 +85,7 @@ impl CpdState {
             n_u: vec![0; graph.n_users()],
             n_cz: vec![0; c_n * z_n],
             n_c: vec![0; c_n],
-            n_zw: vec![0; z_n * w_n],
-            n_z: vec![0; z_n],
+            word_topic: WordTopicCounts::dense(z_n, w_n),
             n_tz: vec![0; t_n * z_n],
             n_t: vec![0; t_n],
             // PG(1, 0) has mean 1/4; a fine starting point before the
@@ -116,8 +118,7 @@ impl CpdState {
         self.n_u.iter_mut().for_each(|x| *x = 0);
         self.n_cz.iter_mut().for_each(|x| *x = 0);
         self.n_c.iter_mut().for_each(|x| *x = 0);
-        self.n_zw.iter_mut().for_each(|x| *x = 0);
-        self.n_z.iter_mut().for_each(|x| *x = 0);
+        self.word_topic.reset();
         self.n_tz.iter_mut().for_each(|x| *x = 0);
         self.n_t.iter_mut().for_each(|x| *x = 0);
         for (d, doc) in graph.docs().iter().enumerate() {
@@ -130,9 +131,9 @@ impl CpdState {
             self.n_cz[c * z_n + z] += 1;
             self.n_c[c] += 1;
             for w in &doc.words {
-                self.n_zw[z * w_n + w.index()] += 1;
-                self.n_z[z] += 1;
+                self.word_topic.add_zw(z * w_n + w.index(), 1);
             }
+            self.word_topic.add_z(z, doc.words.len() as i32);
             self.n_tz[t * z_n + z] += 1;
             self.n_t[t] += 1;
         }
@@ -162,8 +163,8 @@ impl CpdState {
     /// `φ̂_{z,w} = (n_zw + β) / (n_z + |W| β)` (Sect. 4.2).
     #[inline]
     pub fn phi_hat(&self, z: usize, w: usize, beta: f64) -> f64 {
-        (self.n_zw[z * self.vocab_size + w] as f64 + beta)
-            / (self.n_z[z] as f64 + self.vocab_size as f64 * beta)
+        (self.word_topic.zw(z * self.vocab_size + w) as f64 + beta)
+            / (self.word_topic.z(z) as f64 + self.vocab_size as f64 * beta)
     }
 
     /// Normalised topic popularity `n_tz / n_t` at bucket `t` (smoothed;
@@ -189,21 +190,51 @@ impl CpdState {
 
     /// Internal consistency check: every count matrix agrees with the
     /// assignments. Used by tests and debug assertions.
+    ///
+    /// Valid for atomic planes too: the fresh rebuild runs against a
+    /// *detached* dense plane (a cloned shared plane would alias this
+    /// state's live atomics, and `rebuild_counts` would wipe them), and
+    /// the shared plane is only read, via a snapshot — so the check is
+    /// safe to run at a sweep barrier while workers hold live handles.
     pub fn check_consistency(&self, graph: &SocialGraph) -> Result<(), String> {
         let mut fresh = self.clone();
+        fresh.word_topic = WordTopicCounts::dense(self.n_topics, self.vocab_size);
         fresh.rebuild_counts(graph);
         for (name, a, b) in [
             ("n_uc", &self.n_uc, &fresh.n_uc),
             ("n_cz", &self.n_cz, &fresh.n_cz),
-            ("n_zw", &self.n_zw, &fresh.n_zw),
             ("n_tz", &self.n_tz, &fresh.n_tz),
         ] {
             if a != b {
                 return Err(format!("{name} counts diverged from assignments"));
             }
         }
-        if self.n_z != fresh.n_z || self.n_c != fresh.n_c {
-            return Err("aggregate counts diverged".into());
+        let (fzw, fz) = fresh.word_topic.snapshot();
+        match &self.word_topic {
+            WordTopicCounts::Dense { n_zw, n_z } => {
+                if *n_zw != fzw {
+                    return Err("n_zw counts diverged from assignments".into());
+                }
+                if *n_z != fz || self.n_c != fresh.n_c {
+                    return Err("aggregate counts diverged".into());
+                }
+            }
+            WordTopicCounts::Shared { n_zw, n_z, .. } => {
+                // Validate the big plane stripe by stripe — the shards
+                // are the atomic plane's maintenance unit, and a
+                // per-shard report pins divergence to an index range
+                // instead of "somewhere in Z × W".
+                for s in 0..n_zw.n_shards() {
+                    if n_zw.snapshot_shard(s) != fzw[n_zw.shard_range(s)] {
+                        return Err(format!(
+                            "n_zw counts diverged from assignments in plane shard {s}"
+                        ));
+                    }
+                }
+                if n_z.snapshot() != fz || self.n_c != fresh.n_c {
+                    return Err("aggregate counts diverged".into());
+                }
+            }
         }
         Ok(())
     }
@@ -252,11 +283,20 @@ impl DeltaSink for NoDelta {
 /// Assignment writes replay in order, so the last write per document
 /// wins — and each document is owned by exactly one worker, so deltas
 /// from disjoint shards never conflict and all increments commute.
+///
+/// When the owning state's word-topic counts live on a shared atomic
+/// plane (`LockFreeCounts`), workers publish `n_zw`/`n_z` increments
+/// directly during the sweep, so those arrays are dropped from the log
+/// entirely (`track_word_topic == false`) and the delta shrinks to the
+/// small `n_uc`/`n_cz`/`n_tz`/assignment entries.
 #[derive(Debug, Clone)]
 pub struct CountDelta {
     vocab_size: usize,
     n_topics_dim: usize,
     n_communities_dim: usize,
+    /// `false` under `LockFreeCounts`: word-topic increments go to the
+    /// shared plane, not this log.
+    track_word_topic: bool,
     /// `(doc, community, topic)` writes in sweep order.
     assign: Vec<(u32, u32, u32)>,
     /// Distinct documents reassigned (assignment writes for one document
@@ -271,12 +311,15 @@ pub struct CountDelta {
 }
 
 impl CountDelta {
-    /// Empty delta shaped like `state`.
+    /// Empty delta shaped like `state`. Word-topic entries are tracked
+    /// only when `state` owns dense word-topic planes; a shared atomic
+    /// plane receives those increments directly.
     pub fn new(state: &CpdState) -> Self {
         Self {
             vocab_size: state.vocab_size,
             n_topics_dim: state.n_topics,
             n_communities_dim: state.n_communities,
+            track_word_topic: !state.word_topic.is_shared(),
             assign: Vec::new(),
             changed_docs: 0,
             n_uc: Vec::new(),
@@ -286,6 +329,11 @@ impl CountDelta {
             n_c: vec![0; state.n_communities],
             n_z: vec![0; state.n_topics],
         }
+    }
+
+    /// Does this log carry `n_zw`/`n_z` entries?
+    pub fn tracks_word_topic(&self) -> bool {
+        self.track_word_topic
     }
 
     /// No recorded changes?
@@ -322,12 +370,14 @@ impl CountDelta {
         let w_n = self.vocab_size;
         self.n_cz.push(((c * z_n + z_old) as u32, -1));
         self.n_cz.push(((c * z_n + z_new) as u32, 1));
-        for w in words {
-            self.n_zw.push(((z_old * w_n + w.index()) as u32, -1));
-            self.n_zw.push(((z_new * w_n + w.index()) as u32, 1));
+        if self.track_word_topic {
+            for w in words {
+                self.n_zw.push(((z_old * w_n + w.index()) as u32, -1));
+                self.n_zw.push(((z_new * w_n + w.index()) as u32, 1));
+            }
+            self.n_z[z_old] -= words.len() as i32;
+            self.n_z[z_new] += words.len() as i32;
         }
-        self.n_z[z_old] -= words.len() as i32;
-        self.n_z[z_new] += words.len() as i32;
         self.n_tz.push(((t * z_n + z_old) as u32, -1));
         self.n_tz.push(((t * z_n + z_new) as u32, 1));
         self.write_assign(d, c, z_new);
@@ -369,6 +419,10 @@ impl CountDelta {
     /// Fold `other` into `self` (shards are disjoint in documents, so
     /// assignment writes never conflict and increments simply add).
     pub fn merge(&mut self, other: &CountDelta) {
+        debug_assert_eq!(
+            self.track_word_topic, other.track_word_topic,
+            "cannot merge deltas from different count-plane backends"
+        );
         self.assign.extend_from_slice(&other.assign);
         self.changed_docs += other.changed_docs;
         self.n_uc.extend_from_slice(&other.n_uc);
@@ -391,45 +445,91 @@ impl CountDelta {
     /// Apply only the arrays selected in `plan` (the sharded runtime's
     /// replica sync mixes log replay with wholesale snapshot copies per
     /// array; a copied array must not also be replayed).
+    ///
+    /// Word-topic entries replay only into dense planes; a shared
+    /// atomic plane already received its increments during the sweep
+    /// (and the log carries none — see [`CountDelta::new`]).
     pub fn apply_selected(&self, state: &mut CpdState, plan: SyncPlan) {
-        #[inline]
-        fn add(slot: &mut u32, v: i32) {
-            debug_assert!(*slot as i64 + v as i64 >= 0, "count would go negative");
-            *slot = slot.wrapping_add_signed(v);
-        }
         if plan.assign {
-            for &(d, c, z) in &self.assign {
-                state.doc_community[d as usize] = c;
-                state.doc_topic[d as usize] = z;
-            }
+            self.apply_assign(&mut state.doc_community, &mut state.doc_topic);
         }
         if plan.n_uc {
-            for &(i, v) in &self.n_uc {
-                add(&mut state.n_uc[i as usize], v);
-            }
+            self.apply_n_uc(&mut state.n_uc);
         }
         if plan.n_cz {
-            for &(i, v) in &self.n_cz {
-                add(&mut state.n_cz[i as usize], v);
-            }
+            self.apply_n_cz(&mut state.n_cz);
         }
         if plan.n_zw {
-            for &(i, v) in &self.n_zw {
-                add(&mut state.n_zw[i as usize], v);
+            if let Some((n_zw, _)) = state.word_topic.dense_mut() {
+                self.apply_n_zw(n_zw);
             }
         }
         if plan.n_tz {
-            for &(i, v) in &self.n_tz {
-                add(&mut state.n_tz[i as usize], v);
-            }
+            self.apply_n_tz(&mut state.n_tz);
         }
         if plan.marginals {
-            for (c, &v) in self.n_c.iter().enumerate() {
-                add(&mut state.n_c[c], v);
+            self.apply_n_c(&mut state.n_c);
+            if let Some((_, n_z)) = state.word_topic.dense_mut() {
+                self.apply_n_z(n_z);
             }
-            for (z, &v) in self.n_z.iter().enumerate() {
-                add(&mut state.n_z[z], v);
-            }
+        }
+    }
+
+    /// Replay the assignment writes (sweep order; last write per
+    /// document wins).
+    pub fn apply_assign(&self, doc_community: &mut [u32], doc_topic: &mut [u32]) {
+        for &(d, c, z) in &self.assign {
+            doc_community[d as usize] = c;
+            doc_topic[d as usize] = z;
+        }
+    }
+
+    /// Replay the `n_uc` increments into a bare array.
+    pub fn apply_n_uc(&self, n_uc: &mut [u32]) {
+        Self::replay(&self.n_uc, n_uc);
+    }
+
+    /// Replay the `n_cz` increments into a bare array.
+    pub fn apply_n_cz(&self, n_cz: &mut [u32]) {
+        Self::replay(&self.n_cz, n_cz);
+    }
+
+    /// Replay the `n_zw` increments into a bare array (empty log when
+    /// word-topic tracking is off).
+    pub fn apply_n_zw(&self, n_zw: &mut [u32]) {
+        Self::replay(&self.n_zw, n_zw);
+    }
+
+    /// Replay the `n_tz` increments into a bare array.
+    pub fn apply_n_tz(&self, n_tz: &mut [u32]) {
+        Self::replay(&self.n_tz, n_tz);
+    }
+
+    /// Add the dense `n_c` marginal deltas into a bare array.
+    pub fn apply_n_c(&self, n_c: &mut [u32]) {
+        for (slot, &v) in n_c.iter_mut().zip(&self.n_c) {
+            Self::add(slot, v);
+        }
+    }
+
+    /// Add the dense `n_z` marginal deltas into a bare array (all zero
+    /// when word-topic tracking is off).
+    pub fn apply_n_z(&self, n_z: &mut [u32]) {
+        for (slot, &v) in n_z.iter_mut().zip(&self.n_z) {
+            Self::add(slot, v);
+        }
+    }
+
+    #[inline]
+    fn add(slot: &mut u32, v: i32) {
+        debug_assert!(*slot as i64 + v as i64 >= 0, "count would go negative");
+        *slot = slot.wrapping_add_signed(v);
+    }
+
+    #[inline]
+    fn replay(log: &[(u32, i32)], arr: &mut [u32]) {
+        for &(i, v) in log {
+            Self::add(&mut arr[i as usize], v);
         }
     }
 
@@ -510,8 +610,11 @@ impl SyncPlan {
 /// when the sweep churned enough that replay's scattered writes would
 /// cost more than a sequential copy — ships one shared snapshot of the
 /// canonical array for `copy_from_slice`. This is the "double-buffered
-/// snapshot" half of the sharded runtime: one clone by the coordinator
-/// per hot array instead of `threads` full-state clones.
+/// snapshot" half of the sharded runtime: one clone per hot array
+/// instead of `threads` full-state clones — and since the barrier
+/// rework the clone itself is produced by whichever *fold worker*
+/// folded that array, not by the coordinator (see `parallel.rs`,
+/// "Parallel runtime").
 #[derive(Debug, Default)]
 pub struct CountRefresh {
     /// Snapshot of `(doc_community, doc_topic)`.
@@ -520,7 +623,8 @@ pub struct CountRefresh {
     pub n_uc: Option<Vec<u32>>,
     /// Snapshot of `n_cz`.
     pub n_cz: Option<Vec<u32>>,
-    /// Snapshot of `n_zw`.
+    /// Snapshot of `n_zw` (never shipped under `LockFreeCounts`: the
+    /// shared atomic plane needs no replica sync at all).
     pub n_zw: Option<Vec<u32>>,
     /// Snapshot of `n_tz`.
     pub n_tz: Option<Vec<u32>>,
@@ -536,37 +640,35 @@ impl CountRefresh {
         entries * n_workers.saturating_sub(1) * 2 >= len
     }
 
-    /// Build the refresh package for the coming sweep from the previous
-    /// sweep's total delta volume across the `n_workers` shards.
-    pub fn plan(
-        state: &CpdState,
-        totals: DeltaSizes,
-        n_workers: usize,
-    ) -> (CountRefresh, SyncPlan) {
-        let mut refresh = CountRefresh::default();
+    /// Decide, per count array, whether the coming sweep's replica sync
+    /// replays the delta logs (`true`) or ships a snapshot (`false`),
+    /// from the previous sweep's total delta volume across the
+    /// `n_workers` shards. The snapshots themselves are cloned by the
+    /// fold workers (`parallel.rs`), one per non-replayed array.
+    ///
+    /// A shared atomic word-topic plane never syncs: its log is empty
+    /// and every replica aliases the canonical plane already.
+    pub fn decide(state: &CpdState, totals: DeltaSizes, n_workers: usize) -> SyncPlan {
         // `replay.x == false` means "snapshot shipped, skip the log".
         let mut replay = SyncPlan::ALL;
         if Self::copy_wins(totals.assign, n_workers, state.doc_community.len() * 2) {
-            refresh.assign = Some((state.doc_community.clone(), state.doc_topic.clone()));
             replay.assign = false;
         }
         if Self::copy_wins(totals.n_uc, n_workers, state.n_uc.len()) {
-            refresh.n_uc = Some(state.n_uc.clone());
             replay.n_uc = false;
         }
         if Self::copy_wins(totals.n_cz, n_workers, state.n_cz.len()) {
-            refresh.n_cz = Some(state.n_cz.clone());
             replay.n_cz = false;
         }
-        if Self::copy_wins(totals.n_zw, n_workers, state.n_zw.len()) {
-            refresh.n_zw = Some(state.n_zw.clone());
+        if !state.word_topic.is_shared()
+            && Self::copy_wins(totals.n_zw, n_workers, state.word_topic.len_zw())
+        {
             replay.n_zw = false;
         }
         if Self::copy_wins(totals.n_tz, n_workers, state.n_tz.len()) {
-            refresh.n_tz = Some(state.n_tz.clone());
             replay.n_tz = false;
         }
-        (refresh, replay)
+        replay
     }
 
     /// Copy the shipped snapshots into a worker replica.
@@ -582,7 +684,7 @@ impl CountRefresh {
             state.n_cz.copy_from_slice(a);
         }
         if let Some(a) = &self.n_zw {
-            state.n_zw.copy_from_slice(a);
+            state.word_topic.copy_zw_from(a);
         }
         if let Some(a) = &self.n_tz {
             state.n_tz.copy_from_slice(a);
@@ -652,7 +754,8 @@ mod tests {
         s.check_consistency(&g).unwrap();
         assert_eq!(s.n_u, vec![2, 1]);
         assert_eq!(s.n_c.iter().sum::<u32>(), 3);
-        assert_eq!(s.n_z.iter().sum::<u32>(), 5);
+        let (_, n_z) = s.word_topic.snapshot();
+        assert_eq!(n_z.iter().sum::<u32>(), 5);
         assert_eq!(s.n_t, vec![1, 2]);
         assert_eq!(s.lambda.len(), 1);
         assert_eq!(s.delta.len(), 1);
@@ -733,11 +836,13 @@ mod tests {
         state.n_cz[c * z_n + z_old] -= 1;
         state.n_cz[c * z_n + z_new as usize] += 1;
         for w in &doc.words {
-            state.n_zw[z_old * w_n + w.index()] -= 1;
-            state.n_zw[z_new as usize * w_n + w.index()] += 1;
+            state.word_topic.add_zw(z_old * w_n + w.index(), -1);
+            state.word_topic.add_zw(z_new as usize * w_n + w.index(), 1);
         }
-        state.n_z[z_old] -= doc.words.len() as u32;
-        state.n_z[z_new as usize] += doc.words.len() as u32;
+        state.word_topic.add_z(z_old, -(doc.words.len() as i32));
+        state
+            .word_topic
+            .add_z(z_new as usize, doc.words.len() as i32);
         state.n_tz[t * z_n + z_old] -= 1;
         state.n_tz[t * z_n + z_new as usize] += 1;
         state.doc_topic[d] = z_new;
@@ -772,10 +877,9 @@ mod tests {
         assert_eq!(applied.doc_topic, swept.doc_topic);
         assert_eq!(applied.n_uc, swept.n_uc);
         assert_eq!(applied.n_cz, swept.n_cz);
-        assert_eq!(applied.n_zw, swept.n_zw);
+        assert_eq!(applied.word_topic.snapshot(), swept.word_topic.snapshot());
         assert_eq!(applied.n_tz, swept.n_tz);
         assert_eq!(applied.n_c, swept.n_c);
-        assert_eq!(applied.n_z, swept.n_z);
     }
 
     #[test]
@@ -797,9 +901,39 @@ mod tests {
         d2.apply(&mut via_seq);
         assert_eq!(via_merge.n_uc, via_seq.n_uc);
         assert_eq!(via_merge.n_cz, via_seq.n_cz);
-        assert_eq!(via_merge.n_zw, via_seq.n_zw);
+        assert_eq!(
+            via_merge.word_topic.snapshot(),
+            via_seq.word_topic.snapshot()
+        );
         assert_eq!(via_merge.doc_community, via_seq.doc_community);
         via_merge.check_consistency(&g).unwrap();
+    }
+
+    /// Under a shared atomic plane the delta drops `n_zw`/`n_z`
+    /// entirely: increments land on the plane during the sweep, the log
+    /// carries only the small arrays, and applying the delta syncs
+    /// everything *except* the plane (which needs no sync).
+    #[test]
+    fn shared_plane_deltas_drop_word_topic_entries() {
+        let g = graph();
+        let mut shared = CpdState::init(&g, &config());
+        shared.word_topic = shared.word_topic.to_shared(2);
+        let base = shared.clone();
+        let mut delta = CountDelta::new(&shared);
+        assert!(!delta.tracks_word_topic());
+        move_doc(&mut shared, &g, &mut delta, 0, 2, 1);
+        move_doc(&mut shared, &g, &mut delta, 2, 1, 0);
+        let sizes = delta.log_sizes();
+        assert_eq!(sizes.n_zw, 0, "no word-topic log entries");
+        assert!(sizes.n_cz > 0 && sizes.assign > 0);
+        // The plane received the moves directly (base aliases it).
+        assert_eq!(base.word_topic.snapshot(), shared.word_topic.snapshot());
+        // Applying the slim delta to an aliasing replica restores full
+        // consistency — and verifies the atomic plane too.
+        let mut replica = base.clone();
+        delta.apply(&mut replica);
+        replica.check_consistency(&g).unwrap();
+        delta.verify_against_rebuild(&g, &base).unwrap();
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! * **Conductance** of detected communities, with each user assigned to
 //!   her top-five communities ([`conductance`]).
 //! * **AUC** for friendship / diffusion link prediction over positive
-//!   links and sampled negatives ([`auc`]).
+//!   links and sampled negatives ([`auc()`]).
 //! * **MAP/MAR/MAF@K** for profile-driven community ranking
 //!   ([`ranking`]).
 //! * **Perplexity** of content profiles ([`perplexity`]).
 //! * **NMI** against the synthetic ground truth — a recovery check the
-//!   original paper could not run ([`nmi`]).
+//!   original paper could not run ([`nmi()`]).
 //! * Paired one-tailed **Student t-tests** for the significance claims
 //!   ([`ttest`]).
 
