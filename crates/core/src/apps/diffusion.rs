@@ -3,11 +3,60 @@
 //! `p(E^t_ij = 1 | u, v, d_vj, t) = Σ_z p(z | d_vj) ·
 //!  σ(Σ_c Σ_c' π_uc θ_cz η_cc'z π_vc' θ_c'z + topic/individual factors)`.
 
+use crate::apps::ranking::{exp_shift_max, query_log_affinities};
 use crate::config::{CpdConfig, DiffusionModel};
 use crate::features::{community_feature, UserFeatures, F_COMMUNITY, F_TOPIC_POP, N_FEATURES};
-use crate::profiles::CpdModel;
+use crate::profiles::{CpdModel, Eta};
 use cpd_prob::special::sigmoid;
 use social_graph::{DocId, SocialGraph, UserId};
+
+/// `σ(π_uᵀ π_v)` — the Eq. 3 friendship-link probability for two
+/// explicit membership rows. Free-standing so callers holding a
+/// membership vector that is *not* in `model.pi` (e.g. a `cpd-serve`
+/// fold-in posterior for an unseen user) can score links with the same
+/// math as [`DiffusionPredictor::friendship_score`].
+pub fn membership_link_score(pi_u: &[f64], pi_v: &[f64]) -> f64 {
+    sigmoid(pi_u.iter().zip(pi_v).map(|(a, b)| a * b).sum())
+}
+
+/// `s_comm = Σ_{c,c'} η_{c,c',z} π_uc θ_cz π_vc' θ_c'z` — the Eq. 4
+/// soft community factor of the diffusion likelihood, for explicit
+/// membership rows (same reason as [`membership_link_score`]: the
+/// serving fold-in path scores diffusion for users outside `model.pi`).
+pub fn soft_community_factor(
+    theta: &[Vec<f64>],
+    eta: &Eta,
+    pi_u: &[f64],
+    pi_v: &[f64],
+    z: usize,
+) -> f64 {
+    let c_n = theta.len();
+    let mut acc = 0.0f64;
+    for c2 in 0..c_n {
+        let w2 = pi_v[c2] * theta[c2][z];
+        if w2 == 0.0 {
+            continue;
+        }
+        let mut inner = 0.0f64;
+        for c1 in 0..c_n {
+            inner += eta.at(c1, c2, z) * pi_u[c1] * theta[c1][z];
+        }
+        acc += inner * w2;
+    }
+    acc
+}
+
+/// Posterior topic distribution of a bag of words, `p(z | d) ∝ Π_w φ_zw`
+/// (uniform topic prior), computed in log space. Shared by
+/// [`DiffusionPredictor::doc_topic_posterior`] and the serving path's
+/// fold-in scorer.
+pub fn word_topic_posterior(phi: &[Vec<f64>], words: &[social_graph::WordId]) -> Vec<f64> {
+    let mut probs = query_log_affinities(phi, words);
+    exp_shift_max(&mut probs);
+    let total: f64 = probs.iter().sum();
+    probs.iter_mut().for_each(|p| *p /= total);
+    probs
+}
 
 /// Scores candidate diffusions under a fitted model.
 pub struct DiffusionPredictor<'a> {
@@ -34,19 +83,7 @@ impl<'a> DiffusionPredictor<'a> {
     /// Posterior topic distribution of a document, `p(z | d) ∝ Π_w φ_zw`
     /// (uniform topic prior), computed in log space.
     pub fn doc_topic_posterior(&self, graph: &SocialGraph, doc: DocId) -> Vec<f64> {
-        let z_n = self.model.n_topics();
-        let words = &graph.doc(doc).words;
-        let mut logp = vec![0.0f64; z_n];
-        for (z, lp) in logp.iter_mut().enumerate() {
-            for w in words {
-                *lp += self.model.phi[z][w.index()].max(1e-300).ln();
-            }
-        }
-        let m = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut probs: Vec<f64> = logp.iter().map(|&lp| (lp - m).exp()).collect();
-        let total: f64 = probs.iter().sum();
-        probs.iter_mut().for_each(|p| *p /= total);
-        probs
+        word_topic_posterior(&self.model.phi, &graph.doc(doc).words)
     }
 
     /// Probability that user `u` diffuses document `dst` (published by
@@ -84,7 +121,7 @@ impl<'a> DiffusionPredictor<'a> {
     /// `σ(π_uᵀ π_v)` — the friendship link predictor (Eq. 3), shared by
     /// all CPD variants.
     pub fn friendship_score(&self, u: UserId, v: UserId) -> f64 {
-        sigmoid(self.membership_dot(u, v))
+        membership_link_score(&self.model.pi[u.index()], &self.model.pi[v.index()])
     }
 
     fn membership_dot(&self, u: UserId, v: UserId) -> f64 {
@@ -96,22 +133,13 @@ impl<'a> DiffusionPredictor<'a> {
     }
 
     fn soft_community_factor(&self, u: UserId, v: UserId, z: usize) -> f64 {
-        let c_n = self.model.n_communities();
-        let mut acc = 0.0f64;
-        for c2 in 0..c_n {
-            let w2 = self.model.pi[v.index()][c2] * self.model.theta[c2][z];
-            if w2 == 0.0 {
-                continue;
-            }
-            let mut inner = 0.0f64;
-            for c1 in 0..c_n {
-                inner += self.model.eta.at(c1, c2, z)
-                    * self.model.pi[u.index()][c1]
-                    * self.model.theta[c1][z];
-            }
-            acc += inner * w2;
-        }
-        acc
+        soft_community_factor(
+            &self.model.theta,
+            &self.model.eta,
+            &self.model.pi[u.index()],
+            &self.model.pi[v.index()],
+            z,
+        )
     }
 }
 

@@ -2,27 +2,74 @@
 //!
 //! `p(s=1 | c, q) ∝ Σ_z Σ_c' η_cc'z θ_c'z Π_{w∈q} φ_zw` — which
 //! communities are most likely to diffuse content about query `q`.
+//!
+//! The functions here are the **dense-scan reference path**: every query
+//! walks the full `φ` / `η` / `θ` matrices. The online serving path
+//! (`cpd-serve`'s `ProfileIndex`) answers the same queries from
+//! precomputed tables and shares the numeric pipeline below
+//! ([`query_log_affinities`] → [`exp_shift_max`] →
+//! [`normalise_and_rank`]), so the two implementations return
+//! identical scores — the serve crate's oracle tests pin that down.
 
 use crate::profiles::CpdModel;
 use social_graph::WordId;
+
+/// Floor applied to `φ_zw` before taking logs, so an exactly-zero entry
+/// cannot poison a whole query with `-inf`.
+pub const PHI_FLOOR: f64 = 1e-300;
+
+/// Per-topic log affinity of `query`:
+/// `lq_z = Σ_{w∈q} ln max(φ_zw, PHI_FLOOR)`.
+///
+/// This is the `Π_{w∈q} φ_zw` factor of Eq. 19 in log space, shared by
+/// [`rank_communities`], [`query_topics`], the diffusion predictor's
+/// document-topic posterior, and the `cpd-serve` index path.
+pub fn query_log_affinities(phi: &[Vec<f64>], query: &[WordId]) -> Vec<f64> {
+    let mut logq = vec![0.0f64; phi.len()];
+    for (z, lq) in logq.iter_mut().enumerate() {
+        for w in query {
+            *lq += phi[z][w.index()].max(PHI_FLOOR).ln();
+        }
+    }
+    logq
+}
+
+/// Exponentiate `lw` in place after shifting by its maximum — the
+/// log-sum-exp guard that keeps long queries from underflowing. The
+/// result is proportional to `exp(lw)` with the largest entry exactly 1.
+pub fn exp_shift_max(lw: &mut [f64]) {
+    let m = lw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for l in lw.iter_mut() {
+        *l = (*l - m).exp();
+    }
+}
+
+/// Normalise `scores` to sum to 1 (when the total is positive) and rank
+/// them best first, ties broken by ascending index. The tail of every
+/// ranking/topic query, shared by the dense and index-backed paths so
+/// their orderings agree bit for bit.
+pub fn normalise_and_rank(scores: Vec<f64>) -> Vec<(usize, f64)> {
+    let total: f64 = scores.iter().sum();
+    let mut pairs: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
+    if total > 0.0 {
+        for (_, s) in pairs.iter_mut() {
+            *s /= total;
+        }
+    }
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+    pairs
+}
 
 /// Rank all communities for `query`, best first, returning
 /// `(community, score)` pairs. Scores are normalised to sum to 1 for
 /// readability (the ranking is scale-invariant).
 pub fn rank_communities(model: &CpdModel, query: &[WordId]) -> Vec<(usize, f64)> {
     let c_n = model.n_communities();
-    let z_n = model.n_topics();
-    // Query-topic affinity Π_w φ_zw, in log space.
-    let mut logq = vec![0.0f64; z_n];
-    for (z, lq) in logq.iter_mut().enumerate() {
-        for w in query {
-            *lq += model.phi[z][w.index()].max(1e-300).ln();
-        }
-    }
-    let m = logq.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let qz: Vec<f64> = logq.iter().map(|&l| (l - m).exp()).collect();
+    // Query-topic affinity Π_w φ_zw, in log space, then exponentiated.
+    let mut qz = query_log_affinities(&model.phi, query);
+    exp_shift_max(&mut qz);
 
-    let mut scores: Vec<(usize, f64)> = (0..c_n)
+    let scores: Vec<f64> = (0..c_n)
         .map(|c| {
             let mut s = 0.0f64;
             for (z, &q) in qz.iter().enumerate() {
@@ -35,36 +82,18 @@ pub fn rank_communities(model: &CpdModel, query: &[WordId]) -> Vec<(usize, f64)>
                 }
                 s += q * inner;
             }
-            (c, s)
+            s
         })
         .collect();
-    let total: f64 = scores.iter().map(|&(_, s)| s).sum();
-    if total > 0.0 {
-        for (_, s) in scores.iter_mut() {
-            *s /= total;
-        }
-    }
-    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
-    scores
+    normalise_and_rank(scores)
 }
 
 /// The query-topic distribution `p(z | q)` used by the ranking — exposed
 /// for the Table 6 case study ("Topic Distribution" column).
 pub fn query_topics(model: &CpdModel, query: &[WordId]) -> Vec<(usize, f64)> {
-    let z_n = model.n_topics();
-    let mut logq = vec![0.0f64; z_n];
-    for (z, lq) in logq.iter_mut().enumerate() {
-        for w in query {
-            *lq += model.phi[z][w.index()].max(1e-300).ln();
-        }
-    }
-    let m = logq.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mut qz: Vec<f64> = logq.iter().map(|&l| (l - m).exp()).collect();
-    let total: f64 = qz.iter().sum();
-    qz.iter_mut().for_each(|q| *q /= total);
-    let mut pairs: Vec<(usize, f64)> = qz.into_iter().enumerate().collect();
-    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
-    pairs
+    let mut qz = query_log_affinities(&model.phi, query);
+    exp_shift_max(&mut qz);
+    normalise_and_rank(qz)
 }
 
 #[cfg(test)]
@@ -132,5 +161,25 @@ mod tests {
         let three = query_topics(&m, &[WordId(0), WordId(0), WordId(0)]);
         // More repetitions of a topic-0 word → more confident topic 0.
         assert!(three[0].1 > one[0].1);
+    }
+
+    #[test]
+    fn shared_helpers_compose_to_a_softmax() {
+        // exp_shift_max + normalise_and_rank over raw logs is a softmax.
+        let mut lw = vec![0.0f64, (2.0f64).ln(), (5.0f64).ln()];
+        exp_shift_max(&mut lw);
+        let ranked = normalise_and_rank(lw);
+        assert_eq!(ranked[0].0, 2);
+        assert!((ranked[0].1 - 5.0 / 8.0).abs() < 1e-12);
+        assert!((ranked.iter().map(|&(_, p)| p).sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalise_and_rank_breaks_ties_by_index() {
+        let ranked = normalise_and_rank(vec![1.0, 2.0, 2.0, 1.0]);
+        assert_eq!(
+            ranked.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![1, 2, 0, 3]
+        );
     }
 }

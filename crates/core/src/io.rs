@@ -68,9 +68,38 @@ pub fn write_model<W: Write>(model: &CpdModel, writer: W) -> Result<(), ModelIoE
     Ok(())
 }
 
-/// Save `model` to a file at `path`.
+/// Save `model` to a file at `path`, **crash-safely**: the bytes are
+/// written to a process-unique `.tmp` sibling in the same directory,
+/// synced, and then renamed into place. A process killed mid-save can
+/// leave a stale `*.tmp` file behind but never a torn `cpd-model v1`
+/// file at `path` — the serving side ([`load_model`]) either sees the
+/// old complete snapshot or the new one. The temp name carries the pid
+/// and a counter, so concurrent savers (e.g. overlapping refit jobs)
+/// cannot interleave writes in one temp file; last rename wins with a
+/// complete snapshot.
 pub fn save_model(model: &CpdModel, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
-    write_model(model, std::fs::File::create(path)?)
+    static SAVE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        SAVE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        write_model(model, &file)?;
+        // Flush file contents to disk before the rename publishes them.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        // Best effort: do not leave the partial sibling behind.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Read a model from `reader`.
@@ -82,7 +111,18 @@ pub fn read_model<R: Read>(reader: R) -> Result<CpdModel, ModelIoError> {
             .ok_or_else(|| ModelIoError::Format("unexpected end of file".into()))?
             .map_err(ModelIoError::from)
     };
-    if next_line()? != MAGIC {
+    let header = next_line()?;
+    if header != MAGIC {
+        // Distinguish "not our file at all" from "our file, a version
+        // this build does not speak" — the latter shows up whenever the
+        // format (or the serve index built on it) bumps its version and
+        // an old reader meets a new snapshot.
+        if header.starts_with("cpd-model v") {
+            return Err(ModelIoError::Format(format!(
+                "unsupported model format version `{header}` (this build reads `{MAGIC}`; \
+                 re-save the model with a matching build or upgrade this reader)"
+            )));
+        }
         return Err(ModelIoError::Format(format!("missing `{MAGIC}` header")));
     }
     let pi = read_matrix(&mut next_line, "pi")?;
@@ -315,9 +355,39 @@ mod tests {
     }
 
     #[test]
+    fn save_leaves_no_tmp_sibling_and_overwrites_atomically() {
+        let model = fitted_model();
+        let dir = std::env::temp_dir().join("cpd-io-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cpd");
+        save_model(&model, &path).unwrap();
+        // Overwrite an existing snapshot: same guarantees.
+        save_model(&model, &path).unwrap();
+        assert!(path.exists());
+        let leftover_tmp = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"));
+        assert!(!leftover_tmp, "tmp siblings must be renamed away");
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(model.pi, loaded.pi);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejects_wrong_magic() {
         let err = read_model(&b"not a model\n"[..]).unwrap_err();
         assert!(matches!(err, ModelIoError::Format(_)), "{err}");
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn future_version_gets_a_version_error_not_a_magic_error() {
+        let err = read_model(&b"cpd-model v2\npi 1 1\n0.5\n"[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported model format version"), "{msg}");
+        assert!(msg.contains("cpd-model v2"), "{msg}");
+        assert!(msg.contains(MAGIC), "{msg}");
     }
 
     #[test]

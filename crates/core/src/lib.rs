@@ -38,11 +38,15 @@ pub mod parallel;
 pub mod profiles;
 pub mod state;
 
-pub use apps::diffusion::DiffusionPredictor;
-pub use apps::ranking::{query_topics, rank_communities};
+pub use apps::diffusion::{
+    membership_link_score, soft_community_factor, word_topic_posterior, DiffusionPredictor,
+};
+pub use apps::ranking::{
+    exp_shift_max, normalise_and_rank, query_log_affinities, query_topics, rank_communities,
+};
 pub use config::{CpdConfig, DiffusionModel, ParallelRuntime, TrainingMode};
 pub use counts::{AtomicPlane, CountPlane, WordTopicCounts};
 pub use features::UserFeatures;
 pub use model::{Cpd, FitDiagnostics, FitResult};
 pub use parallel::FoldBreakdown;
-pub use profiles::{CpdModel, Eta};
+pub use profiles::{dominant_index, CpdModel, Eta};

@@ -84,6 +84,18 @@ impl Eta {
     }
 }
 
+/// Index of the largest entry of a probability row (ties break to the
+/// lowest index; an empty row gives 0). The one argmax used for every
+/// "dominant community/topic" readout — model, fold-in profiles and
+/// the serve runtime all share it.
+pub fn dominant_index(row: &[f64]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
 /// A fitted CPD model: everything Sect. 5 needs to drive the three
 /// applications.
 #[derive(Debug, Clone)]
@@ -124,16 +136,7 @@ impl CpdModel {
 
     /// Each user's most likely community.
     pub fn dominant_communities(&self) -> Vec<usize> {
-        self.pi
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-                    .map(|(c, _)| c)
-                    .unwrap_or(0)
-            })
-            .collect()
+        self.pi.iter().map(|row| dominant_index(row)).collect()
     }
 
     /// Top-`k` `(word, probability)` pairs of topic `z` (Table 5).

@@ -1,0 +1,76 @@
+//! **cpd-serve** — the online profiling subsystem: what makes a frozen
+//! [`CpdModel`](cpd_core::CpdModel) a *service*.
+//!
+//! The paper's remark 1 (Sect. 1) is that profiling happens **once,
+//! offline** and then "serves multiple applications". `cpd-core` covers
+//! the offline half: fit with [`Cpd::fit`](cpd_core::Cpd::fit),
+//! snapshot with [`io::save_model`](cpd_core::io::save_model) (crash-
+//! safe: written to a `.tmp` sibling and renamed into place). This
+//! crate is the read path that serves the snapshot:
+//!
+//! 1. **[`ProfileIndex`]** — an immutable index built once per
+//!    snapshot: word → topic log-`φ` posting lists, the Eq. 19
+//!    community affinity table, and presorted top-k word/topic tables.
+//!    Ranking queries drop from `O(|C|²|Z|)` dense scans to posting
+//!    merges plus an `O(|C||Z|)` table walk, with answers **identical**
+//!    to the `cpd_core::apps` reference implementations (they share the
+//!    same numeric pipeline; `tests/oracle.rs` pins the equality).
+//! 2. **[`FoldIn`]** — collapsed-Gibbs fold-in for documents and users
+//!    that arrived after training: a local chain over the item's own
+//!    `(community, topic)` assignments with every global parameter
+//!    frozen, returning posterior membership `π̂` and topic mixtures,
+//!    plus friendship/diffusion scores through the same
+//!    `apps::diffusion` math as the offline predictor. Batched and
+//!    seed-deterministic; the trained model is never written.
+//! 3. **[`ServeRuntime`]** — a persistent worker pool sharing the index
+//!    behind an `Arc`, answering typed [`QueryRequest`] batches
+//!    (community ranking, top words, user profiles, fold-in, link
+//!    scores) with per-query-class latency/throughput counters
+//!    ([`ServeDiagnostics`]).
+//!
+//! # Offline fit → snapshot → serve
+//!
+//! ```
+//! use cpd_core::{io, Cpd, CpdConfig};
+//! use cpd_datagen::{generate, GenConfig, Scale};
+//! use cpd_serve::{FoldInItem, ProfileIndex, QueryRequest, ServeOptions, ServeRuntime};
+//! use std::sync::Arc;
+//!
+//! // Offline: fit and snapshot (one process, once).
+//! let (graph, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+//! let config = CpdConfig { em_iters: 2, ..CpdConfig::new(3, 4) };
+//! let fit = Cpd::new(config.clone()).unwrap().fit(&graph);
+//! let path = std::env::temp_dir().join("cpd-serve-doc.cpd");
+//! io::save_model(&fit.model, &path).unwrap();
+//!
+//! // Online: load the snapshot, build the index, serve queries
+//! // (another process, forever).
+//! let model = io::load_model(&path).unwrap();
+//! let index = Arc::new(ProfileIndex::build(model, &config));
+//! let runtime = ServeRuntime::new(index, None, ServeOptions {
+//!     workers: 2,
+//!     ..ServeOptions::default()
+//! })
+//! .unwrap();
+//! let responses = runtime.submit_batch(vec![
+//!     QueryRequest::TopWords { topic: 0, k: 5 },
+//!     QueryRequest::FoldIn {
+//!         item: FoldInItem::doc(vec![social_graph::WordId(0)]),
+//!         seed: 7,
+//!     },
+//! ]);
+//! assert_eq!(responses.len(), 2);
+//! assert_eq!(runtime.diagnostics().total_queries(), 2);
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+pub mod foldin;
+pub mod index;
+pub mod runtime;
+
+pub use foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile};
+pub use index::{ProfileIndex, DEFAULT_TOP_K};
+pub use runtime::{
+    ClassStats, QueryClass, QueryRequest, QueryResponse, ServeDiagnostics, ServeOptions,
+    ServeRuntime,
+};

@@ -1,0 +1,529 @@
+//! The concurrent query runtime: a persistent worker pool answering
+//! typed query batches over one shared [`ProfileIndex`].
+//!
+//! The pool follows the trainer's `parallel.rs` idiom — workers are
+//! spawned **once** (at [`ServeRuntime::new`]) and live for the
+//! runtime's lifetime, each holding an `Arc<ProfileIndex>` handle (the
+//! index is immutable, so reads need no locks) plus its own
+//! [`FoldScratch`] so fold-in queries never allocate in steady state.
+//! A batch drains from one shared queue — expensive queries occupy a
+//! worker while the rest keep pulling cheap ones — answered
+//! concurrently and reassembled in request order.
+//!
+//! Per-query-class latency/throughput counters accumulate in shared
+//! atomics and are surfaced through [`ServeDiagnostics`] — the serving
+//! counterpart of the trainer's `FitDiagnostics`.
+
+use crate::foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile};
+use crate::index::ProfileIndex;
+use cpd_core::UserFeatures;
+use social_graph::{UserId, WordId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One typed query against the index.
+#[derive(Debug, Clone)]
+pub enum QueryRequest {
+    /// Eq. 19: rank all communities for a word query.
+    RankCommunities {
+        /// The query's words.
+        query: Vec<WordId>,
+    },
+    /// `p(z | q)` — the query-topic distribution behind the ranking.
+    QueryTopics {
+        /// The query's words.
+        query: Vec<WordId>,
+    },
+    /// Top-`k` words of a topic (Table 5).
+    TopWords {
+        /// Topic id.
+        topic: usize,
+        /// Entries wanted.
+        k: usize,
+    },
+    /// Top-`k` topics of a community's content profile (Def. 4).
+    CommunityTopics {
+        /// Community id.
+        community: usize,
+        /// Entries wanted.
+        k: usize,
+    },
+    /// Top-`k` topics of the directed diffusion pair `from → to`
+    /// (Def. 5 / Fig. 5(c)).
+    PairTopics {
+        /// Diffusing community.
+        from: usize,
+        /// Source community.
+        to: usize,
+        /// Entries wanted.
+        k: usize,
+    },
+    /// A trained user's membership profile.
+    UserProfile {
+        /// User id (in the training graph).
+        user: UserId,
+    },
+    /// Eq. 3 friendship probability between two trained users.
+    FriendshipScore {
+        /// One endpoint.
+        u: UserId,
+        /// Other endpoint.
+        v: UserId,
+    },
+    /// Eq. 18 diffusion probability: trained user `u` diffusing a
+    /// document with `words` authored by `v` at time `at`. Requires the
+    /// runtime to hold [`UserFeatures`].
+    DiffusionScore {
+        /// Candidate diffuser.
+        u: UserId,
+        /// Author of the source document.
+        v: UserId,
+        /// The source document's words.
+        words: Vec<WordId>,
+        /// Diffusion time bucket.
+        at: u32,
+    },
+    /// Fold-in: profile an unseen document or user against the frozen
+    /// model. `seed` makes the answer deterministic regardless of which
+    /// worker serves it.
+    FoldIn {
+        /// The unseen item.
+        item: FoldInItem,
+        /// Per-request sampler seed.
+        seed: u64,
+    },
+}
+
+/// A query's answer, in the same batch slot as its request.
+#[derive(Debug, Clone)]
+pub enum QueryResponse {
+    /// Ranked `(id, score)` pairs (communities, topics, or words —
+    /// whichever the request asked for).
+    Ranking(Vec<(usize, f64)>),
+    /// A membership row plus its argmax.
+    Profile {
+        /// `π_u` over communities.
+        membership: Vec<f64>,
+        /// Most probable community.
+        dominant: usize,
+    },
+    /// A scalar probability (friendship / diffusion scores).
+    Score(f64),
+    /// A fold-in posterior profile.
+    FoldedIn(Box<FoldedProfile>),
+    /// The request was malformed (out-of-range ids, or a query class
+    /// the runtime is not equipped for). Serving never panics a worker.
+    Error(String),
+}
+
+/// The five query classes the runtime meters separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// `RankCommunities` + `QueryTopics`.
+    Ranking,
+    /// `TopWords` + `CommunityTopics` + `PairTopics`.
+    TopWords,
+    /// `UserProfile`.
+    Profile,
+    /// `FoldIn`.
+    FoldIn,
+    /// `FriendshipScore` + `DiffusionScore`.
+    LinkScore,
+}
+
+const N_CLASSES: usize = 5;
+
+impl QueryClass {
+    fn of(req: &QueryRequest) -> Self {
+        match req {
+            QueryRequest::RankCommunities { .. } | QueryRequest::QueryTopics { .. } => {
+                QueryClass::Ranking
+            }
+            QueryRequest::TopWords { .. }
+            | QueryRequest::CommunityTopics { .. }
+            | QueryRequest::PairTopics { .. } => QueryClass::TopWords,
+            QueryRequest::UserProfile { .. } => QueryClass::Profile,
+            QueryRequest::FoldIn { .. } => QueryClass::FoldIn,
+            QueryRequest::FriendshipScore { .. } | QueryRequest::DiffusionScore { .. } => {
+                QueryClass::LinkScore
+            }
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            QueryClass::Ranking => 0,
+            QueryClass::TopWords => 1,
+            QueryClass::Profile => 2,
+            QueryClass::FoldIn => 3,
+            QueryClass::LinkScore => 4,
+        }
+    }
+}
+
+/// Count + cumulative latency of one query class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Total worker-side seconds spent answering them.
+    pub seconds: f64,
+}
+
+impl ClassStats {
+    /// Mean per-query latency in microseconds (0 when idle).
+    pub fn mean_micros(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.seconds * 1e6 / self.queries as f64
+        }
+    }
+}
+
+/// A snapshot of the runtime's counters — the serving counterpart of
+/// the trainer's `FitDiagnostics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeDiagnostics {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Batches submitted so far.
+    pub batches: u64,
+    /// Community/topic ranking queries.
+    pub ranking: ClassStats,
+    /// Top-word / top-topic table lookups.
+    pub top_words: ClassStats,
+    /// User-profile lookups.
+    pub profile: ClassStats,
+    /// Fold-in inference queries.
+    pub fold_in: ClassStats,
+    /// Friendship / diffusion link scores.
+    pub link_score: ClassStats,
+}
+
+impl ServeDiagnostics {
+    /// Total queries answered across all classes.
+    pub fn total_queries(&self) -> u64 {
+        self.ranking.queries
+            + self.top_words.queries
+            + self.profile.queries
+            + self.fold_in.queries
+            + self.link_score.queries
+    }
+}
+
+/// Shared atomic counter cells (one pair per query class).
+#[derive(Default)]
+struct StatsCells {
+    queries: [AtomicU64; N_CLASSES],
+    nanos: [AtomicU64; N_CLASSES],
+}
+
+impl StatsCells {
+    fn record(&self, class: QueryClass, nanos: u64) {
+        let s = class.slot();
+        self.queries[s].fetch_add(1, Ordering::Relaxed);
+        self.nanos[s].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn class(&self, class: QueryClass) -> ClassStats {
+        let s = class.slot();
+        ClassStats {
+            queries: self.queries[s].load(Ordering::Relaxed),
+            seconds: self.nanos[s].load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+}
+
+/// One unit of work: the batch slot, the request, and where to send the
+/// answer (a per-batch channel, so concurrent batches cannot mix).
+struct Job {
+    slot: usize,
+    request: QueryRequest,
+    reply: Sender<(usize, QueryResponse)>,
+}
+
+/// Runtime construction options.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Worker threads (0 = one per available CPU core, capped at 8).
+    pub workers: usize,
+    /// Fold-in sampler settings (per-request seeds override the root
+    /// seed in here).
+    pub fold_in: FoldInConfig,
+}
+
+/// A persistent serving pool over one immutable [`ProfileIndex`].
+pub struct ServeRuntime {
+    index: Arc<ProfileIndex>,
+    /// Shared work queue: every worker pulls from the same channel, so
+    /// an expensive query (fold-in) occupies one worker while the
+    /// others keep draining cheap lookups — no per-worker assignment
+    /// that a pathological batch stride could starve. `None` only
+    /// during teardown.
+    tx: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<StatsCells>,
+    batches: AtomicU64,
+}
+
+impl ServeRuntime {
+    /// Spawn the worker pool. `features` enables `DiffusionScore`
+    /// queries (they need the diffuser's static features, which live
+    /// outside the model); pass `None` for a model-only deployment.
+    pub fn new(
+        index: Arc<ProfileIndex>,
+        features: Option<Arc<UserFeatures>>,
+        options: ServeOptions,
+    ) -> Result<Self, String> {
+        options.fold_in.validate()?;
+        let workers = if options.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            options.workers
+        };
+        let stats = Arc::new(StatsCells::default());
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let index = Arc::clone(&index);
+            let features = features.clone();
+            let stats = Arc::clone(&stats);
+            let fold_cfg = options.fold_in.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut scratch = FoldScratch::new();
+                let engine = FoldIn::new(&index, fold_cfg).expect("validated by ServeRuntime::new");
+                loop {
+                    // Hold the lock only for the dequeue; workers never
+                    // panic while holding it (execution is unwind-
+                    // caught below), so a poisoned mutex is recovered
+                    // rather than propagated.
+                    let job = {
+                        let guard = match rx.lock() {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        match guard.recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // Runtime dropped; shut down.
+                        }
+                    };
+                    let class = QueryClass::of(&job.request);
+                    let start = Instant::now();
+                    // A panic inside a query (e.g. NaNs smuggled into a
+                    // hand-built model) must not take the worker — and
+                    // with it every future batch — down. The scratch is
+                    // refilled from scratch per request, so it is safe
+                    // to reuse after an unwind.
+                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        execute(
+                            &index,
+                            features.as_deref(),
+                            &engine,
+                            &mut scratch,
+                            job.request,
+                        )
+                    }))
+                    .unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "query panicked".into());
+                        QueryResponse::Error(format!("query panicked: {msg}"))
+                    });
+                    stats.record(class, start.elapsed().as_nanos() as u64);
+                    if job.reply.send((job.slot, response)).is_err() {
+                        // Batch submitter is gone; keep serving others.
+                        continue;
+                    }
+                }
+            }));
+        }
+        Ok(Self {
+            index,
+            tx: Some(tx),
+            handles,
+            stats,
+            batches: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared index.
+    pub fn index(&self) -> &ProfileIndex {
+        &self.index
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Answer a batch: requests drain from a shared queue across the
+    /// workers, execute concurrently, and the responses come back in
+    /// request order.
+    pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<QueryResponse> {
+        let n = requests.len();
+        let tx = self.tx.as_ref().expect("runtime not shut down");
+        let (reply_tx, reply_rx) = channel();
+        for (slot, request) in requests.into_iter().enumerate() {
+            tx.send(Job {
+                slot,
+                request,
+                reply: reply_tx.clone(),
+            })
+            .expect("serve worker hung up");
+        }
+        drop(reply_tx);
+        let mut responses: Vec<Option<QueryResponse>> = (0..n).map(|_| None).collect();
+        for (slot, response) in reply_rx {
+            responses[slot] = Some(response);
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        responses
+            .into_iter()
+            .map(|r| r.expect("every slot answered"))
+            .collect()
+    }
+
+    /// Snapshot the per-class counters.
+    pub fn diagnostics(&self) -> ServeDiagnostics {
+        ServeDiagnostics {
+            workers: self.handles.len(),
+            batches: self.batches.load(Ordering::Relaxed),
+            ranking: self.stats.class(QueryClass::Ranking),
+            top_words: self.stats.class(QueryClass::TopWords),
+            profile: self.stats.class(QueryClass::Profile),
+            fold_in: self.stats.class(QueryClass::FoldIn),
+            link_score: self.stats.class(QueryClass::LinkScore),
+        }
+    }
+
+    /// Drain the pool and join the workers (also happens on drop).
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Execute one request against the shared index. Validation errors come
+/// back as [`QueryResponse::Error`] — a malformed request must never
+/// take a worker (and with it the whole pool) down.
+fn execute(
+    index: &ProfileIndex,
+    features: Option<&UserFeatures>,
+    engine: &FoldIn<'_>,
+    scratch: &mut FoldScratch,
+    request: QueryRequest,
+) -> QueryResponse {
+    let c_n = index.n_communities();
+    let z_n = index.n_topics();
+    let u_n = index.model().pi.len();
+    let check_words = |words: &[WordId]| -> Result<(), String> {
+        match words.iter().find(|w| w.index() >= index.vocab_size()) {
+            Some(w) => Err(format!("word {} outside vocabulary", w.index())),
+            None => Ok(()),
+        }
+    };
+    match request {
+        QueryRequest::RankCommunities { query } => match check_words(&query) {
+            Ok(()) => QueryResponse::Ranking(index.rank_communities(&query)),
+            Err(e) => QueryResponse::Error(e),
+        },
+        QueryRequest::QueryTopics { query } => match check_words(&query) {
+            Ok(()) => QueryResponse::Ranking(index.query_topics(&query)),
+            Err(e) => QueryResponse::Error(e),
+        },
+        QueryRequest::TopWords { topic, k } => {
+            if topic >= z_n {
+                return QueryResponse::Error(format!("topic {topic} out of range (|Z| = {z_n})"));
+            }
+            QueryResponse::Ranking(index.top_words(topic, k))
+        }
+        QueryRequest::CommunityTopics { community, k } => {
+            if community >= c_n {
+                return QueryResponse::Error(format!(
+                    "community {community} out of range (|C| = {c_n})"
+                ));
+            }
+            QueryResponse::Ranking(index.top_topics_of_community(community, k))
+        }
+        QueryRequest::PairTopics { from, to, k } => {
+            if from >= c_n || to >= c_n {
+                return QueryResponse::Error(format!(
+                    "pair ({from}, {to}) out of range (|C| = {c_n})"
+                ));
+            }
+            QueryResponse::Ranking(index.pair_top_topics(from, to, k))
+        }
+        QueryRequest::UserProfile { user } => {
+            if user.index() >= u_n {
+                return QueryResponse::Error(format!(
+                    "user {} out of range ({u_n} trained users)",
+                    user.index()
+                ));
+            }
+            let membership = index.user_membership(user).to_vec();
+            let dominant = cpd_core::dominant_index(&membership);
+            QueryResponse::Profile {
+                membership,
+                dominant,
+            }
+        }
+        QueryRequest::FriendshipScore { u, v } => {
+            if u.index() >= u_n || v.index() >= u_n {
+                return QueryResponse::Error(format!(
+                    "users ({}, {}) out of range ({u_n} trained users)",
+                    u.index(),
+                    v.index()
+                ));
+            }
+            QueryResponse::Score(index.friendship_score(u, v))
+        }
+        QueryRequest::DiffusionScore { u, v, words, at } => {
+            let Some(features) = features else {
+                return QueryResponse::Error(
+                    "diffusion scoring needs UserFeatures (runtime built without them)".into(),
+                );
+            };
+            if u.index() >= u_n || v.index() >= u_n {
+                return QueryResponse::Error(format!(
+                    "users ({}, {}) out of range ({u_n} trained users)",
+                    u.index(),
+                    v.index()
+                ));
+            }
+            if let Err(e) = check_words(&words) {
+                return QueryResponse::Error(e);
+            }
+            QueryResponse::Score(index.diffusion_score(features, u, v, &words, at))
+        }
+        QueryRequest::FoldIn { item, seed } => {
+            if let Some(v) = item.friends.iter().find(|v| v.index() >= u_n) {
+                return QueryResponse::Error(format!(
+                    "fold-in friend {} out of range ({u_n} trained users)",
+                    v.index()
+                ));
+            }
+            if let Some(e) = item.docs.iter().find_map(|d| check_words(d).err()) {
+                return QueryResponse::Error(e);
+            }
+            QueryResponse::FoldedIn(Box::new(engine.profile_with_seed(&item, seed, scratch)))
+        }
+    }
+}

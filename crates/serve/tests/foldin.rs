@@ -1,0 +1,236 @@
+//! Fold-in behaviour: seed determinism, frozen-model invariance, and
+//! posterior sanity on a hand-built model whose communities/topics are
+//! unambiguous.
+
+use cpd_core::{io::write_model, CpdConfig, CpdModel, Eta};
+use cpd_datagen::{generate, GenConfig, Scale};
+use cpd_serve::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, ProfileIndex};
+use social_graph::{UserId, WordId};
+
+/// Community 0 ⇔ topic 0 ⇔ words {0, 1}; community 1 ⇔ topic 1 ⇔
+/// words {3, 4}; word 2 is neutral.
+fn separable_model() -> (CpdModel, CpdConfig) {
+    let counts = vec![
+        10.0, 0.5, 0.5, 0.5, //
+        0.5, 0.5, 0.5, 10.0,
+    ];
+    let model = CpdModel {
+        pi: vec![vec![0.95, 0.05], vec![0.05, 0.95], vec![0.5, 0.5]],
+        theta: vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+        phi: vec![
+            vec![0.45, 0.45, 0.06, 0.02, 0.02],
+            vec![0.02, 0.02, 0.06, 0.45, 0.45],
+        ],
+        eta: Eta::from_counts(2, 2, &counts, 0.01),
+        nu: vec![0.2; cpd_core::features::N_FEATURES],
+        topic_popularity: vec![vec![0.5, 0.5]],
+        doc_community: vec![],
+        doc_topic: vec![],
+    };
+    // Small explicit priors, like the synthetic-scale experiment
+    // preset: the paper's `50/|C|`-style defaults assume hundreds of
+    // documents per user and would swamp a handful of folded-in docs.
+    let cfg = CpdConfig {
+        rho: Some(0.1),
+        alpha: Some(0.2),
+        ..CpdConfig::new(2, 2)
+    };
+    (model, cfg)
+}
+
+#[test]
+fn fold_in_is_deterministic_by_seed() {
+    let (model, cfg) = separable_model();
+    let index = ProfileIndex::build(model, &cfg);
+    let engine = FoldIn::new(&index, FoldInConfig::default()).unwrap();
+    let item = FoldInItem::user(
+        vec![vec![WordId(0), WordId(1)], vec![WordId(3), WordId(2)]],
+        vec![UserId(0)],
+    );
+    let mut scratch = FoldScratch::new();
+    let a = engine.profile_with_seed(&item, 42, &mut scratch);
+    let b = engine.profile_with_seed(&item, 42, &mut scratch);
+    assert_eq!(a.membership, b.membership);
+    assert_eq!(a.topics, b.topics);
+    assert_eq!(a.doc_topics, b.doc_topics);
+
+    // Whole batches are deterministic too.
+    let items = vec![item.clone(), FoldInItem::doc(vec![WordId(4)])];
+    let batch_a = engine.profile_batch(&items);
+    let batch_b = engine.profile_batch(&items);
+    for (x, y) in batch_a.iter().zip(&batch_b) {
+        assert_eq!(x.membership, y.membership);
+        assert_eq!(x.topics, y.topics);
+    }
+
+    // A different seed moves the chain (almost surely).
+    let c = engine.profile_with_seed(&item, 43, &mut scratch);
+    assert!(
+        a.membership != c.membership || a.doc_topics != c.doc_topics,
+        "different seeds should give different sample paths"
+    );
+}
+
+#[test]
+fn fold_in_recovers_planted_community_and_topic() {
+    let (model, cfg) = separable_model();
+    let index = ProfileIndex::build(model, &cfg);
+    let engine = FoldIn::new(&index, FoldInConfig::default()).unwrap();
+    let mut scratch = FoldScratch::new();
+
+    // Pure topic-0 content → community 0, topic 0.
+    let p0 = engine.profile_with_seed(
+        &FoldInItem::user(vec![vec![WordId(0), WordId(1), WordId(0)]; 3], vec![]),
+        7,
+        &mut scratch,
+    );
+    assert_eq!(p0.dominant_community(), 0);
+    assert!(p0.topics[0] > 0.8, "topic mixture {:?}", p0.topics);
+    assert!(p0.membership[0] > 0.6, "membership {:?}", p0.membership);
+
+    // Pure topic-1 content → community 1, topic 1.
+    let p1 = engine.profile_with_seed(
+        &FoldInItem::user(vec![vec![WordId(3), WordId(4), WordId(4)]; 3], vec![]),
+        7,
+        &mut scratch,
+    );
+    assert_eq!(p1.dominant_community(), 1);
+    assert!(p1.topics[1] > 0.8, "topic mixture {:?}", p1.topics);
+
+    // Posteriors are normalised.
+    for p in [&p0, &p1] {
+        assert!((p.membership.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((p.topics.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for dt in &p.doc_topics {
+            assert!((dt.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn friendship_evidence_steers_ambiguous_content() {
+    let (model, cfg) = separable_model();
+    let index = ProfileIndex::build(model, &cfg);
+    let engine = FoldIn::new(&index, FoldInConfig::default()).unwrap();
+    let mut scratch = FoldScratch::new();
+    // Word 2 is topically neutral; only the friends differ.
+    let neutral_docs = vec![vec![WordId(2)]; 2];
+    let with_c0_friends = engine.profile_with_seed(
+        &FoldInItem::user(neutral_docs.clone(), vec![UserId(0); 4]),
+        11,
+        &mut scratch,
+    );
+    let with_c1_friends = engine.profile_with_seed(
+        &FoldInItem::user(neutral_docs, vec![UserId(1); 4]),
+        11,
+        &mut scratch,
+    );
+    assert!(
+        with_c0_friends.membership[0] > with_c1_friends.membership[0],
+        "friends in community 0 ({:?}) vs community 1 ({:?})",
+        with_c0_friends.membership,
+        with_c1_friends.membership
+    );
+}
+
+#[test]
+fn docless_fold_in_still_uses_friendship_evidence() {
+    let (model, cfg) = separable_model();
+    let index = ProfileIndex::build(model, &cfg);
+    let engine = FoldIn::new(&index, FoldInConfig::default()).unwrap();
+    let mut scratch = FoldScratch::new();
+    // A user known only through links: friends in community 1 must tilt
+    // the membership toward 1 (no documents at all).
+    let p = engine.profile_with_seed(
+        &FoldInItem::user(vec![], vec![UserId(1); 3]),
+        1,
+        &mut scratch,
+    );
+    assert!((p.membership.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    assert!(
+        p.membership[1] > p.membership[0],
+        "membership {:?}",
+        p.membership
+    );
+    // No evidence at all: the uniform prior.
+    let empty = engine.profile_with_seed(&FoldInItem::default(), 1, &mut scratch);
+    assert_eq!(empty.membership, vec![0.5, 0.5]);
+}
+
+#[test]
+fn link_scores_flow_through_diffusion_math() {
+    let (model, cfg) = separable_model();
+    let index = ProfileIndex::build(model.clone(), &cfg);
+    let engine = FoldIn::new(&index, FoldInConfig::default()).unwrap();
+    let mut scratch = FoldScratch::new();
+    let profile = engine.profile_with_seed(
+        &FoldInItem::user(vec![vec![WordId(0), WordId(1)]; 3], vec![]),
+        5,
+        &mut scratch,
+    );
+    // Friendship: same-community user scores higher than the other one.
+    let to_c0 = profile.friendship_score(&index, UserId(0));
+    let to_c1 = profile.friendship_score(&index, UserId(1));
+    assert!(to_c0 > to_c1, "{to_c0} vs {to_c1}");
+    assert_eq!(
+        to_c0,
+        cpd_core::membership_link_score(&profile.membership, &model.pi[0])
+    );
+
+    // "No heterogeneity" ablation: the serve path must mirror
+    // `DiffusionPredictor::score` and collapse diffusion scoring to the
+    // friendship sigmoid.
+    let (model2, cfg2) = separable_model();
+    let ablated = ProfileIndex::build(model2.clone(), &cfg2.no_heterogeneity());
+    let dummy_graph = {
+        use social_graph::{Document, SocialGraphBuilder};
+        let mut b = SocialGraphBuilder::new(3, 5);
+        b.add_document(Document::new(UserId(0), vec![WordId(0)], 0));
+        b.build().unwrap()
+    };
+    let features = cpd_core::UserFeatures::compute(&dummy_graph);
+    let score = profile.diffusion_score(&ablated, &features, UserId(0), &[WordId(0)], 0);
+    assert_eq!(
+        score,
+        cpd_core::membership_link_score(&profile.membership, &model2.pi[0])
+    );
+}
+
+/// Serving must never write to the trained model: the index's model
+/// bytes are identical before and after an arbitrary mix of fold-in
+/// and query traffic.
+#[test]
+fn serving_leaves_the_frozen_model_byte_identical() {
+    let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+    let cfg = CpdConfig {
+        em_iters: 2,
+        gibbs_sweeps: 1,
+        nu_iters: 10,
+        seed: 3,
+        ..CpdConfig::experiment(3, 4)
+    };
+    let model = cpd_core::Cpd::new(cfg.clone()).unwrap().fit(&g).model;
+    let index = ProfileIndex::build(model, &cfg);
+
+    let mut before = Vec::new();
+    write_model(index.model(), &mut before).unwrap();
+
+    let engine = FoldIn::new(&index, FoldInConfig::default()).unwrap();
+    let items: Vec<FoldInItem> = (0..6)
+        .map(|i| {
+            FoldInItem::user(
+                vec![g.docs()[i].words.clone(), g.docs()[i + 1].words.clone()],
+                vec![UserId(i as u32)],
+            )
+        })
+        .collect();
+    let profiles = engine.profile_batch(&items);
+    assert_eq!(profiles.len(), items.len());
+    let _ = index.rank_communities(&[WordId(0), WordId(1)]);
+    let _ = index.query_topics(&[WordId(2)]);
+    let _ = index.top_words(0, 10);
+
+    let mut after = Vec::new();
+    write_model(index.model(), &mut after).unwrap();
+    assert_eq!(before, after, "serving mutated the frozen model");
+}

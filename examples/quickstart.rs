@@ -63,8 +63,14 @@ fn main() {
     let p = predictor.score(&graph, graph.doc(link.src).author, link.dst, link.at);
     println!("\ncommunity-aware diffusion: P(observed retweet) = {p:.3}");
 
+    // Ranking routes through the serving index (`cpd-serve`): same
+    // answers as the dense `rank_communities` scan, precomputed tables
+    // under the hood. See `examples/serving.rs` for the full
+    // fit → snapshot → serve story.
+    let index = ProfileIndex::build(model.clone(), &config);
     let query = graph.docs()[0].words[0];
-    let ranking = rank_communities(model, &[query]);
+    let ranking = index.rank_communities(&[query]);
+    assert_eq!(ranking, rank_communities(model, &[query]));
     println!(
         "community ranking for word {}: top community = c{:02} (score {:.3})",
         query.0, ranking[0].0, ranking[0].1

@@ -1,0 +1,121 @@
+//! Serving quickstart: fit **offline**, snapshot the model, then serve
+//! it **online** — load in a fresh "server" process, build the
+//! [`ProfileIndex`], and answer a mixed query batch (including fold-in
+//! profiling of a user who did not exist at training time).
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use cpd::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // ---- Offline: fit and snapshot (runs once, e.g. nightly) --------
+    let gen = GenConfig::twitter_like(Scale::Tiny);
+    let (graph, _truth) = generate(&gen);
+    let config = CpdConfig {
+        em_iters: 5,
+        seed: 42,
+        ..CpdConfig::experiment(gen.n_communities, gen.n_topics)
+    };
+    let fit = Cpd::new(config.clone()).expect("valid config").fit(&graph);
+    let path = std::env::temp_dir().join("cpd-serving-example.cpd");
+    // Crash-safe: written to a `.tmp` sibling, then renamed into place.
+    cpd::core::io::save_model(&fit.model, &path).expect("snapshot");
+    println!(
+        "offline: fitted {}x{} model in {:.1}s, snapshot at {}",
+        fit.model.n_communities(),
+        fit.model.n_topics(),
+        fit.diagnostics.total_seconds,
+        path.display()
+    );
+    drop(fit); // The server below only sees the snapshot.
+
+    // ---- Online: load, index, serve (runs forever) ------------------
+    let model = cpd::core::io::load_model(&path).expect("load snapshot");
+    let index = Arc::new(ProfileIndex::build(model, &config));
+    let features = Arc::new(UserFeatures::compute(&graph));
+    let runtime = ServeRuntime::new(
+        Arc::clone(&index),
+        Some(features),
+        ServeOptions {
+            workers: 4,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("valid serve options");
+    println!(
+        "online: index over |C|={} |Z|={} |W|={}, {} workers",
+        index.n_communities(),
+        index.n_topics(),
+        index.vocab_size(),
+        runtime.workers()
+    );
+
+    // A batch mixing every query class. The fold-in request profiles a
+    // brand-new user (two fresh documents + one friendship link) whom
+    // the model has never seen — no retraining, no model writes.
+    let query_word = graph.docs()[0].words[0];
+    let new_user_docs = vec![graph.docs()[0].words.clone(), graph.docs()[1].words.clone()];
+    let responses = runtime.submit_batch(vec![
+        QueryRequest::RankCommunities {
+            query: vec![query_word],
+        },
+        QueryRequest::TopWords { topic: 0, k: 5 },
+        QueryRequest::UserProfile { user: UserId(0) },
+        QueryRequest::FriendshipScore {
+            u: UserId(0),
+            v: UserId(1),
+        },
+        QueryRequest::FoldIn {
+            item: FoldInItem::user(new_user_docs, vec![UserId(0)]),
+            seed: 7,
+        },
+    ]);
+
+    for (i, response) in responses.iter().enumerate() {
+        match response {
+            QueryResponse::Ranking(r) => {
+                let head: Vec<String> = r
+                    .iter()
+                    .take(3)
+                    .map(|&(id, s)| format!("{id}:{s:.3}"))
+                    .collect();
+                println!("  [{i}] ranking: {}", head.join(" "));
+            }
+            QueryResponse::Profile {
+                membership,
+                dominant,
+            } => println!(
+                "  [{i}] profile: dominant community c{dominant:02} (pi = {:.3})",
+                membership[*dominant]
+            ),
+            QueryResponse::Score(s) => println!("  [{i}] link score: {s:.3}"),
+            QueryResponse::FoldedIn(p) => println!(
+                "  [{i}] fold-in: new user lands in c{:02} (pi = {:.3}), top topic T{}",
+                p.dominant_community(),
+                p.membership[p.dominant_community()],
+                cpd::core::dominant_index(&p.topics),
+            ),
+            QueryResponse::Error(e) => println!("  [{i}] error: {e}"),
+        }
+    }
+
+    // Per-query-class counters, the serving analogue of FitDiagnostics.
+    let d = runtime.diagnostics();
+    println!(
+        "served {} queries in {} batch(es): ranking {:.0}us, top-words {:.0}us, \
+         profile {:.0}us, fold-in {:.0}us, link-score {:.0}us (mean per query)",
+        d.total_queries(),
+        d.batches,
+        d.ranking.mean_micros(),
+        d.top_words.mean_micros(),
+        d.profile.mean_micros(),
+        d.fold_in.mean_micros(),
+        d.link_score.mean_micros(),
+    );
+
+    runtime.shutdown();
+    std::fs::remove_file(&path).ok();
+}

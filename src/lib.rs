@@ -9,6 +9,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `cpd-core` | the CPD model, inference, applications |
+//! | [`serve`] | `cpd-serve` | online serving: profile index, fold-in, query runtime |
 //! | [`social_graph`] | `social-graph` | users, documents, links (Def. 1) |
 //! | [`text_pipeline`] | `text-pipeline` | tokeniser, stemmer, vocabulary |
 //! | [`topic_model`] | `topic-model` | collapsed-Gibbs LDA |
@@ -26,6 +27,7 @@ pub use cpd_core as core;
 pub use cpd_datagen as datagen;
 pub use cpd_eval as eval;
 pub use cpd_prob as prob;
+pub use cpd_serve as serve;
 pub use polya_gamma;
 pub use social_graph;
 pub use text_pipeline;
@@ -38,6 +40,10 @@ pub mod prelude {
         rank_communities, Cpd, CpdConfig, CpdModel, DiffusionPredictor, Eta, UserFeatures,
     };
     pub use cpd_datagen::{generate, GenConfig, Scale};
+    pub use cpd_serve::{
+        FoldIn, FoldInConfig, FoldInItem, ProfileIndex, QueryRequest, QueryResponse, ServeOptions,
+        ServeRuntime,
+    };
     pub use social_graph::{DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId};
     pub use text_pipeline::{Pipeline, PipelineConfig, RawDocument};
 }
