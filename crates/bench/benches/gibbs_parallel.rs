@@ -7,10 +7,12 @@
 //! `CloneRebuild` and `DeltaSharded` produce identical draws, so their
 //! wall-clock difference is pure runtime overhead: per-sweep state
 //! clones + count rebuilds on one side, delta recording + folding on
-//! the other. `LockFreeCounts` additionally drops the word-topic
-//! arrays from the delta logs, the barrier fold and the replica sync —
-//! its draws are distributionally (not byte-) equivalent, so it is
-//! compared on wall clock for the same sweep schedule.
+//! the other. `LockFreeCounts` additionally drops the **full plane
+//! set** — word-topic, community-topic and user-community — from the
+//! delta logs, the barrier fold and the replica sync (the logs shrink
+//! to assignments + `n_tz`); its draws are distributionally (not
+//! byte-) equivalent, so it is compared on wall clock for the same
+//! sweep schedule.
 //!
 //! Setting `CPD_BENCH_SMOKE=1` runs a single-sweep, tiny-corpus version
 //! of every benchmark (distinct `_smoke` group names so recorded
@@ -143,12 +145,13 @@ fn paper_shaped_corpus() -> GenConfig {
     }
 }
 
-/// The lock-free count plane vs the delta-sharded barrier on the
+/// The full lock-free plane set vs the delta-sharded barrier on the
 /// paper-shaped corpus: under `DeltaSharded` every moved token costs
-/// two `n_zw` log entries that are folded at the barrier and replayed
-/// by (or snapshot-copied to) every replica; under `LockFreeCounts`
-/// those increments go straight to the shared atomic plane and all of
-/// that traffic disappears. Results land in `BENCH_lockfree_counts.json`.
+/// two `n_zw` log entries and every moved document `n_cz`/`n_uc`
+/// entries that are folded at the barrier and replayed by (or
+/// snapshot-copied to) every replica; under `LockFreeCounts` all of
+/// those increments go straight to the shared atomic planes and that
+/// traffic disappears. Results land in `BENCH_lockfree_counts.json`.
 fn bench_lockfree_vs_delta(c: &mut Criterion) {
     let gen = paper_shaped_corpus();
     let (g, _) = generate(&gen);

@@ -71,6 +71,8 @@ fn main() {
                 format!("{:.2}x", base / pt.max(1e-9)),
                 format!("{:.4}", mean(&par.diagnostics.merge_seconds)),
                 format!("{:.4}", mean(&par.diagnostics.snapshot_seconds)),
+                format!("{:.4}", mean(&par.diagnostics.mstep_eta_seconds)),
+                format!("{:.4}", mean(&par.diagnostics.mstep_nu_seconds)),
             ]);
             t += 2;
         }
@@ -82,6 +84,8 @@ fn main() {
                 "speedup",
                 "merge (s)",
                 "snapshot (s)",
+                "mstep eta (s)",
+                "mstep nu (s)",
             ],
             &rows,
         );

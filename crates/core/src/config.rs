@@ -82,6 +82,20 @@ pub struct CpdConfig {
     pub threads: Option<usize>,
     /// Parallel E-step runtime (ignored when serial).
     pub parallel_runtime: ParallelRuntime,
+    /// Overlap the M-step with the next E-step's first document sweep
+    /// (sharded runtimes only; ignored when serial). The sweep runs
+    /// with the previous iteration's η/ν — they are read-only inputs —
+    /// while the coordinator estimates the fresh parameters, swapping
+    /// them in behind an `Arc` at the next barrier. The η inputs (the
+    /// assignment vectors) are barrier-exact; under `LockFreeCounts`
+    /// the ν negative-example features read the live shared planes and
+    /// may observe mid-sweep counts (safe but approximate, like the
+    /// sweep's own reads — under `DeltaSharded` the overlap stays
+    /// fully deterministic). This pipelining changes the draw sequence
+    /// (first sweep per iteration sees one-iteration-stale η/ν), so it
+    /// is off by default; with it off the M-step still parallelises
+    /// over the idle workers, bit-identically to the serial estimators.
+    pub overlap_mstep: bool,
     /// RNG seed.
     pub seed: u64,
     /// Joint vs. two-phase ("no joint modeling" ablation).
@@ -117,6 +131,7 @@ impl CpdConfig {
             max_neighbors: 64,
             threads: None,
             parallel_runtime: ParallelRuntime::default(),
+            overlap_mstep: false,
             seed: 7,
             training: TrainingMode::Joint,
             diffusion: DiffusionModel::Full,

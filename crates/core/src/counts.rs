@@ -1,13 +1,15 @@
 //! Count-plane abstraction over the big count matrices.
 //!
-//! The Gibbs sampler's state is a handful of flat count arrays; the
-//! word-topic pair (`n_zw`: `Z × W`, `n_z`: `Z`) dwarfs the rest and
-//! dominated the sharded runtime's per-sweep barrier: every moved token
-//! cost two `CountDelta` log entries that the coordinator replayed
-//! serially and every other replica replayed again (or paid a
-//! `Z × W` snapshot copy). This module abstracts *where counts live* so
-//! the word-topic plane can move into shared lock-free storage while
-//! everything else stays in plain per-replica vectors.
+//! The Gibbs sampler's state is a handful of flat count arrays, each a
+//! matrix plus its row/column marginal: the word-topic pair (`n_zw`:
+//! `Z × W`, `n_z`: `Z`), the community-topic pair (`n_cz`: `C × Z`,
+//! `n_c`: `C`) and the user-community pair (`n_uc`: `U × C`, `n_u`:
+//! `U`). Under the sharded runtimes every mutation of a per-replica
+//! array costs `CountDelta` log entries that the barrier fold replays
+//! and every other replica replays again (or pays a snapshot copy).
+//! This module abstracts *where counts live* so any of those pairs can
+//! move into shared lock-free storage while the rest stay in plain
+//! per-replica vectors.
 //!
 //! # The [`CountPlane`] contract
 //!
@@ -30,8 +32,8 @@
 //!   this, which is why the sampler proves distributional equivalence,
 //!   not draw-identity, for the lock-free runtime.
 //! * **No transient underflow.** Callers must never let a slot's true
-//!   running total go negative; each document's tokens are removed only
-//!   by the worker that owns the document, so its prior increments are
+//!   running total go negative; a document's counts are removed only by
+//!   the worker that owns the document, so its prior increments are
 //!   always in the slot before the matching decrement.
 //!
 //! Two backends implement the contract:
@@ -41,12 +43,12 @@
 //!   draws, zero overhead);
 //! * [`AtomicPlane`] — one `Arc<[AtomicU32]>` shared by every worker,
 //!   striped into contiguous index shards, used by `LockFreeCounts` so
-//!   workers publish word-topic increments directly during the sweep
-//!   and the arrays vanish from the `CountDelta` logs entirely.
+//!   workers publish increments directly during the sweep and the
+//!   arrays vanish from the `CountDelta` logs entirely.
 //!
-//! [`WordTopicCounts`] pairs an `n_zw` plane with its `n_z` marginal and
-//! is what `CpdState` actually stores; it selects the backend at
-//! runtime (an enum, so `CpdState` stays object-safe and cloneable)
+//! [`PairCounts`] pairs a matrix plane with its marginal and is what
+//! `CpdState` actually stores (once per pair); it selects the backend
+//! at runtime (an enum, so `CpdState` stays object-safe and cloneable)
 //! and counts the atomic read-modify-writes issued through each handle
 //! for the trainer's contention diagnostics.
 
@@ -120,15 +122,14 @@ impl CountPlane for Vec<u32> {
 /// `AtomicU32` cells, striped into contiguous shards.
 ///
 /// Every clone of an `AtomicPlane` aliases the same cells, so cloning a
-/// `CpdState` whose word-topic counts are shared gives each worker
-/// replica a *view* of one canonical plane — increments published by
-/// any worker are visible (modulo relaxed-ordering lag) to all of them
-/// mid-sweep, and exactly summed by the time the sweep barrier is
-/// crossed.
+/// `CpdState` whose counts are shared gives each worker replica a
+/// *view* of one canonical plane — increments published by any worker
+/// are visible (modulo relaxed-ordering lag) to all of them mid-sweep,
+/// and exactly summed by the time the sweep barrier is crossed.
 ///
 /// The shard boundaries partition the flat index space into
-/// `n_shards` contiguous stripes (for the row-major `n_zw` a stripe is
-/// a run of whole and partial topic rows). Shards are the plane's maintenance
+/// `n_shards` contiguous stripes (for a row-major matrix a stripe is a
+/// run of whole and partial rows). Shards are the plane's maintenance
 /// unit: the consistency checker validates the plane stripe by stripe
 /// (`CpdState::check_consistency`), and snapshot/store operations take
 /// shard ranges so future maintenance passes can fan out across worker
@@ -243,8 +244,10 @@ impl CountPlane for AtomicPlane {
     }
 }
 
-/// The word-topic count pair (`n_zw`: `Z × W` row-major, `n_z`: `Z`)
-/// behind a runtime-selected [`CountPlane`] backend.
+/// One count pair — a row-major matrix plane plus its marginal — behind
+/// a runtime-selected [`CountPlane`] backend. `CpdState` stores three:
+/// word-topic (`n_zw`/`n_z`), community-topic (`n_cz`/`n_c`) and
+/// user-community (`n_uc`/`n_u`).
 ///
 /// `Dense` is per-replica storage (cloning copies the tallies);
 /// `Shared` is one atomic plane every clone aliases (cloning hands out
@@ -253,60 +256,61 @@ impl CountPlane for AtomicPlane {
 /// replica accumulates its own tally, which the runtime drains per
 /// sweep into the trainer's contention diagnostics.
 #[derive(Debug)]
-pub enum WordTopicCounts {
+pub enum PairCounts {
     /// Per-replica dense vectors (serial, `CloneRebuild`,
     /// `DeltaSharded`).
     Dense {
-        /// `Z × W` word-topic tallies.
-        n_zw: Vec<u32>,
-        /// Per-topic token totals.
-        n_z: Vec<u32>,
+        /// Row-major matrix tallies.
+        main: Vec<u32>,
+        /// Marginal totals.
+        marginal: Vec<u32>,
     },
     /// One shared atomic plane per array (`LockFreeCounts`).
     Shared {
-        /// Shared `Z × W` word-topic plane.
-        n_zw: AtomicPlane,
-        /// Shared per-topic totals.
-        n_z: AtomicPlane,
+        /// Shared matrix plane.
+        main: AtomicPlane,
+        /// Shared marginal totals.
+        marginal: AtomicPlane,
         /// Atomic read-modify-writes published through this handle
-        /// since the last [`WordTopicCounts::take_ops`].
+        /// since the last [`PairCounts::take_ops`].
         ops: u64,
     },
 }
 
-impl Clone for WordTopicCounts {
+impl Clone for PairCounts {
     fn clone(&self) -> Self {
         match self {
-            Self::Dense { n_zw, n_z } => Self::Dense {
-                n_zw: n_zw.clone(),
-                n_z: n_z.clone(),
+            Self::Dense { main, marginal } => Self::Dense {
+                main: main.clone(),
+                marginal: marginal.clone(),
             },
             // A cloned shared handle starts its own ops tally.
-            Self::Shared { n_zw, n_z, .. } => Self::Shared {
-                n_zw: n_zw.clone(),
-                n_z: n_z.clone(),
+            Self::Shared { main, marginal, .. } => Self::Shared {
+                main: main.clone(),
+                marginal: marginal.clone(),
                 ops: 0,
             },
         }
     }
 }
 
-impl WordTopicCounts {
-    /// Zeroed dense planes for `n_topics × vocab_size`.
-    pub fn dense(n_topics: usize, vocab_size: usize) -> Self {
+impl PairCounts {
+    /// Zeroed dense planes of `main_len` matrix slots and
+    /// `marginal_len` marginal slots.
+    pub fn dense(main_len: usize, marginal_len: usize) -> Self {
         Self::Dense {
-            n_zw: vec![0; n_topics * vocab_size],
-            n_z: vec![0; n_topics],
+            main: vec![0; main_len],
+            marginal: vec![0; marginal_len],
         }
     }
 
     /// A shared atomic plane initialised from the current tallies,
     /// striped into `n_shards` contiguous index shards.
     pub fn to_shared(&self, n_shards: usize) -> Self {
-        let (zw, z) = self.snapshot();
+        let (m, g) = self.snapshot();
         Self::Shared {
-            n_zw: AtomicPlane::from_dense(&zw, n_shards),
-            n_z: AtomicPlane::from_dense(&z, n_shards.min(z.len().max(1))),
+            main: AtomicPlane::from_dense(&m, n_shards),
+            marginal: AtomicPlane::from_dense(&g, n_shards.min(g.len().max(1))),
             ops: 0,
         }
     }
@@ -317,52 +321,52 @@ impl WordTopicCounts {
         matches!(self, Self::Shared { .. })
     }
 
-    /// Number of `n_zw` slots (`Z × W`).
+    /// Number of matrix slots.
     #[inline]
-    pub fn len_zw(&self) -> usize {
+    pub fn len_main(&self) -> usize {
         match self {
-            Self::Dense { n_zw, .. } => n_zw.len(),
-            Self::Shared { n_zw, .. } => n_zw.len(),
+            Self::Dense { main, .. } => main.len(),
+            Self::Shared { main, .. } => main.len(),
         }
     }
 
-    /// Current `n_zw` tally at flat index `i`.
+    /// Current matrix tally at flat index `i`.
     #[inline]
-    pub fn zw(&self, i: usize) -> u32 {
+    pub fn get(&self, i: usize) -> u32 {
         match self {
-            Self::Dense { n_zw, .. } => n_zw[i],
-            Self::Shared { n_zw, .. } => n_zw.get(i),
+            Self::Dense { main, .. } => main[i],
+            Self::Shared { main, .. } => main.get(i),
         }
     }
 
-    /// Current `n_z` tally for topic `z`.
+    /// Current marginal tally at index `i`.
     #[inline]
-    pub fn z(&self, z: usize) -> u32 {
+    pub fn marginal(&self, i: usize) -> u32 {
         match self {
-            Self::Dense { n_z, .. } => n_z[z],
-            Self::Shared { n_z, .. } => n_z.get(z),
+            Self::Dense { marginal, .. } => marginal[i],
+            Self::Shared { marginal, .. } => marginal.get(i),
         }
     }
 
-    /// Apply a signed increment to `n_zw[i]`.
+    /// Apply a signed increment to matrix slot `i`.
     #[inline]
-    pub fn add_zw(&mut self, i: usize, v: i32) {
+    pub fn add(&mut self, i: usize, v: i32) {
         match self {
-            Self::Dense { n_zw, .. } => n_zw.add(i, v),
-            Self::Shared { n_zw, ops, .. } => {
-                n_zw.add(i, v);
+            Self::Dense { main, .. } => main.add(i, v),
+            Self::Shared { main, ops, .. } => {
+                main.add(i, v);
                 *ops += 1;
             }
         }
     }
 
-    /// Apply a signed increment to `n_z[z]`.
+    /// Apply a signed increment to marginal slot `i`.
     #[inline]
-    pub fn add_z(&mut self, z: usize, v: i32) {
+    pub fn add_marginal(&mut self, i: usize, v: i32) {
         match self {
-            Self::Dense { n_z, .. } => n_z.add(z, v),
-            Self::Shared { n_z, ops, .. } => {
-                n_z.add(z, v);
+            Self::Dense { marginal, .. } => marginal.add(i, v),
+            Self::Shared { marginal, ops, .. } => {
+                marginal.add(i, v);
                 *ops += 1;
             }
         }
@@ -372,40 +376,41 @@ impl WordTopicCounts {
     /// handle sees).
     pub fn reset(&mut self) {
         match self {
-            Self::Dense { n_zw, n_z } => {
-                CountPlane::reset(n_zw);
-                CountPlane::reset(n_z);
+            Self::Dense { main, marginal } => {
+                CountPlane::reset(main);
+                CountPlane::reset(marginal);
             }
-            Self::Shared { n_zw, n_z, .. } => {
-                n_zw.reset();
-                n_z.reset();
+            Self::Shared { main, marginal, .. } => {
+                main.reset();
+                marginal.reset();
             }
         }
     }
 
-    /// Copy both planes out as dense vectors (`(n_zw, n_z)`); exact at
-    /// a barrier.
+    /// Copy both planes out as dense vectors (`(main, marginal)`);
+    /// exact at a barrier.
     pub fn snapshot(&self) -> (Vec<u32>, Vec<u32>) {
         match self {
-            Self::Dense { n_zw, n_z } => (n_zw.clone(), n_z.clone()),
-            Self::Shared { n_zw, n_z, .. } => (n_zw.snapshot(), n_z.snapshot()),
+            Self::Dense { main, marginal } => (main.clone(), marginal.clone()),
+            Self::Shared { main, marginal, .. } => (main.snapshot(), marginal.snapshot()),
         }
     }
 
-    /// Overwrite `n_zw` wholesale (the `CountRefresh` snapshot path).
+    /// Overwrite the matrix plane wholesale (the `CountRefresh`
+    /// snapshot path).
     ///
     /// # Panics
     ///
     /// On a shared plane: a snapshot store would clobber the one live
     /// plane every replica aliases with stale tallies, mid-sync, for
-    /// all shards at once. `CountRefresh::decide` never ships an
-    /// `n_zw` snapshot for shared planes, so reaching this is a
+    /// all shards at once. `CountRefresh::decide` never ships a
+    /// snapshot for shared planes, so reaching this is a
     /// runtime-plumbing bug and fails loudly instead of corrupting.
-    pub fn copy_zw_from(&mut self, src: &[u32]) {
+    pub fn copy_main_from(&mut self, src: &[u32]) {
         match self {
-            Self::Dense { n_zw, .. } => n_zw.copy_from(src),
+            Self::Dense { main, .. } => main.copy_from(src),
             Self::Shared { .. } => unreachable!(
-                "shared word-topic planes are never snapshot-synced \
+                "shared count planes are never snapshot-synced \
                  (CountRefresh::decide skips them)"
             ),
         }
@@ -416,7 +421,7 @@ impl WordTopicCounts {
     #[inline]
     pub fn dense_mut(&mut self) -> Option<(&mut Vec<u32>, &mut Vec<u32>)> {
         match self {
-            Self::Dense { n_zw, n_z } => Some((n_zw, n_z)),
+            Self::Dense { main, marginal } => Some((main, marginal)),
             Self::Shared { .. } => None,
         }
     }
@@ -425,15 +430,53 @@ impl WordTopicCounts {
     /// shipping to a fold worker; `None` for shared planes.
     pub fn take_dense(&mut self) -> Option<(Vec<u32>, Vec<u32>)> {
         match self {
-            Self::Dense { n_zw, n_z } => Some((std::mem::take(n_zw), std::mem::take(n_z))),
+            Self::Dense { main, marginal } => {
+                Some((std::mem::take(main), std::mem::take(marginal)))
+            }
             Self::Shared { .. } => None,
         }
     }
 
     /// Re-install dense vectors previously moved out by
-    /// [`WordTopicCounts::take_dense`].
-    pub fn restore_dense(&mut self, zw: Vec<u32>, z: Vec<u32>) {
-        *self = Self::Dense { n_zw: zw, n_z: z };
+    /// [`PairCounts::take_dense`].
+    pub fn restore_dense(&mut self, main: Vec<u32>, marginal: Vec<u32>) {
+        *self = Self::Dense { main, marginal };
+    }
+
+    /// Validate the pair against freshly rebuilt dense tallies,
+    /// reporting the first divergent region. Shared planes are checked
+    /// stripe by stripe — the shards are the atomic plane's maintenance
+    /// unit, and a per-shard report pins divergence to an index range
+    /// instead of "somewhere in the matrix".
+    pub fn check_against(
+        &self,
+        name: &str,
+        fresh_main: &[u32],
+        fresh_marginal: &[u32],
+    ) -> Result<(), String> {
+        match self {
+            Self::Dense { main, marginal } => {
+                if main != fresh_main {
+                    return Err(format!("{name} counts diverged from assignments"));
+                }
+                if marginal != fresh_marginal {
+                    return Err(format!("{name} marginal diverged from assignments"));
+                }
+            }
+            Self::Shared { main, marginal, .. } => {
+                for s in 0..main.n_shards() {
+                    if main.snapshot_shard(s) != fresh_main[main.shard_range(s)] {
+                        return Err(format!(
+                            "{name} counts diverged from assignments in plane shard {s}"
+                        ));
+                    }
+                }
+                if marginal.snapshot() != fresh_marginal {
+                    return Err(format!("{name} marginal diverged from assignments"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Drain this handle's atomic read-modify-write tally (always 0 for
@@ -507,42 +550,50 @@ mod tests {
     }
 
     #[test]
-    fn word_topic_shared_view_counts_ops() {
-        let dense = WordTopicCounts::dense(2, 3);
+    fn pair_shared_view_counts_ops() {
+        let dense = PairCounts::dense(6, 2);
         let mut shared = dense.to_shared(2);
         assert!(shared.is_shared());
         let mut view = shared.clone();
-        view.add_zw(4, 1);
-        view.add_z(1, 1);
+        view.add(4, 1);
+        view.add_marginal(1, 1);
         assert_eq!(view.take_ops(), 2);
         assert_eq!(view.take_ops(), 0);
         // The increments landed on the canonical plane.
-        assert_eq!(shared.zw(4), 1);
-        assert_eq!(shared.z(1), 1);
+        assert_eq!(shared.get(4), 1);
+        assert_eq!(shared.marginal(1), 1);
         assert_eq!(shared.take_ops(), 0, "other handles' ops are not ours");
     }
 
     #[test]
     fn to_shared_preserves_tallies() {
-        let mut d = WordTopicCounts::dense(2, 2);
-        d.add_zw(3, 7);
-        d.add_z(1, 7);
+        let mut d = PairCounts::dense(4, 2);
+        d.add(3, 7);
+        d.add_marginal(1, 7);
         let s = d.to_shared(4);
         assert_eq!(s.snapshot(), d.snapshot());
     }
 
     #[test]
     fn take_and_restore_dense_round_trips() {
-        let mut d = WordTopicCounts::dense(2, 2);
-        d.add_zw(0, 2);
-        let (zw, z) = d.take_dense().unwrap();
-        assert_eq!(zw[0], 2);
-        assert_eq!(d.len_zw(), 0, "taken planes are empty");
-        d.restore_dense(zw, z);
-        assert_eq!(d.zw(0), 2);
-        assert!(WordTopicCounts::dense(1, 1)
-            .to_shared(1)
-            .take_dense()
-            .is_none());
+        let mut d = PairCounts::dense(4, 2);
+        d.add(0, 2);
+        let (main, marginal) = d.take_dense().unwrap();
+        assert_eq!(main[0], 2);
+        assert_eq!(d.len_main(), 0, "taken planes are empty");
+        d.restore_dense(main, marginal);
+        assert_eq!(d.get(0), 2);
+        assert!(PairCounts::dense(1, 1).to_shared(1).take_dense().is_none());
+    }
+
+    #[test]
+    fn check_against_pins_divergence_to_a_shard() {
+        let d = PairCounts::dense(8, 2);
+        let s = d.to_shared(4);
+        s.check_against("n_cz", &[0; 8], &[0; 2]).unwrap();
+        let mut view = s.clone();
+        view.add(6, 1);
+        let err = s.check_against("n_cz", &[0; 8], &[0; 2]).unwrap_err();
+        assert!(err.contains("shard 3"), "{err}");
     }
 }

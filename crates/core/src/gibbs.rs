@@ -163,12 +163,14 @@ fn sample_topic<S: DeltaSink>(
     let z_old = state.doc_topic[d] as usize;
 
     // Remove the document entirely (the ¬{ui} state).
-    state.n_cz[c * z_n + z_old] -= 1;
-    state.n_c[c] -= 1;
+    state.comm_topic.add(c * z_n + z_old, -1);
+    state.comm_topic.add_marginal(c, -1);
     for w in &doc.words {
-        state.word_topic.add_zw(z_old * w_n + w.index(), -1);
+        state.word_topic.add(z_old * w_n + w.index(), -1);
     }
-    state.word_topic.add_z(z_old, -(doc.words.len() as i32));
+    state
+        .word_topic
+        .add_marginal(z_old, -(doc.words.len() as i32));
     state.n_tz[t * z_n + z_old] -= 1;
     state.n_t[t] -= 1;
 
@@ -177,7 +179,7 @@ fn sample_topic<S: DeltaSink>(
     // Community-topic factor: ln(n^z_{c,¬ui} + α); the denominator is
     // constant across candidates.
     for (z, l) in lw.iter_mut().enumerate() {
-        *l = (state.n_cz[c * z_n + z] as f64 + ctx.alpha).ln();
+        *l = (state.n_cz(c * z_n + z) as f64 + ctx.alpha).ln();
     }
     // Topic-word factor with within-document repetition offsets.
     let len = doc.words.len();
@@ -187,9 +189,10 @@ fn sample_topic<S: DeltaSink>(
             // i-th occurrence of this word within the doc (docs are short;
             // the quadratic scan is cheaper than a hash map here).
             let prior = doc.words[..k].iter().filter(|x| *x == w).count();
-            acc += (state.word_topic.zw(z * w_n + w.index()) as f64 + ctx.beta + prior as f64).ln();
+            acc +=
+                (state.word_topic.get(z * w_n + w.index()) as f64 + ctx.beta + prior as f64).ln();
         }
-        let n_z = state.word_topic.z(z) as f64;
+        let n_z = state.word_topic.marginal(z) as f64;
         for j in 0..len {
             acc -= (n_z + w_n as f64 * ctx.beta + j as f64).ln();
         }
@@ -243,12 +246,12 @@ fn sample_topic<S: DeltaSink>(
     let z_new = sample_log_index(rng, lw);
 
     state.doc_topic[d] = z_new as u32;
-    state.n_cz[c * z_n + z_new] += 1;
-    state.n_c[c] += 1;
+    state.comm_topic.add(c * z_n + z_new, 1);
+    state.comm_topic.add_marginal(c, 1);
     for w in &doc.words {
-        state.word_topic.add_zw(z_new * w_n + w.index(), 1);
+        state.word_topic.add(z_new * w_n + w.index(), 1);
     }
-    state.word_topic.add_z(z_new, doc.words.len() as i32);
+    state.word_topic.add_marginal(z_new, doc.words.len() as i32);
     state.n_tz[t * z_n + z_new] += 1;
     state.n_t[t] += 1;
     if z_new != z_old {
@@ -275,9 +278,9 @@ fn sample_community<S: DeltaSink>(
     let c_old = state.doc_community[d] as usize;
 
     // Remove the document (community side).
-    state.n_uc[u * c_n + c_old] -= 1;
-    state.n_cz[c_old * z_n + z] -= 1;
-    state.n_c[c_old] -= 1;
+    state.user_comm.add(u * c_n + c_old, -1);
+    state.comm_topic.add(c_old * z_n + z, -1);
+    state.comm_topic.add_marginal(c_old, -1);
 
     // Disjoint scratch borrows: `lw` for the candidate weights, `g` for
     // the per-link bilinear precomputation further down.
@@ -286,18 +289,18 @@ fn sample_community<S: DeltaSink>(
     let lw = lw_comm;
     // User-community prior: ln(n^c_{u,¬ui} + ρ) (denominator constant).
     for (c, l) in lw.iter_mut().enumerate() {
-        *l = (state.n_uc[u * c_n + c] as f64 + ctx.rho).ln();
+        *l = (state.n_uc(u * c_n + c) as f64 + ctx.rho).ln();
     }
     // Community-topic factor, with its candidate-dependent denominator.
     if phase != SweepPhase::DetectOnly {
         for (c, l) in lw.iter_mut().enumerate() {
-            *l += (state.n_cz[c * z_n + z] as f64 + ctx.alpha).ln()
-                - (state.n_c[c] as f64 + z_n as f64 * ctx.alpha).ln();
+            *l += (state.n_cz(c * z_n + z) as f64 + ctx.alpha).ln()
+                - (state.n_c(c) as f64 + z_n as f64 * ctx.alpha).ln();
         }
     }
 
     // π̂_u(c) denominator with the document re-added.
-    let denom_u = state.n_u[u] as f64 + c_n as f64 * ctx.rho;
+    let denom_u = state.n_u(u) as f64 + c_n as f64 * ctx.rho;
 
     // Friendship factor over Λ_u (Eq. 3 evidence through ψ(·, λ)).
     if ctx.config.use_friendship {
@@ -327,9 +330,9 @@ fn sample_community<S: DeltaSink>(
     let c_new = sample_log_index(rng, lw);
 
     state.doc_community[d] = c_new as u32;
-    state.n_uc[u * c_n + c_new] += 1;
-    state.n_cz[c_new * z_n + z] += 1;
-    state.n_c[c_new] += 1;
+    state.user_comm.add(u * c_n + c_new, 1);
+    state.comm_topic.add(c_new * z_n + z, 1);
+    state.comm_topic.add_marginal(c_new, 1);
     if c_new != c_old {
         sink.community_moved(d, u, z, c_old, c_new);
     }
@@ -401,16 +404,16 @@ fn add_membership_link_terms(
             continue;
         }
         let pg = pg_of[lid];
-        let denom_v = state.n_u[v] as f64 + c_n as f64 * ctx.rho;
+        let denom_v = state.n_u(v) as f64 + c_n as f64 * ctx.rho;
         // S_v = Σ_c (n¬_uc + ρ) π̂_vc  (u's counts currently exclude the doc).
         let mut s_v = 0.0f64;
         for c in 0..c_n {
-            s_v += (state.n_uc[u * c_n + c] as f64 + ctx.rho)
-                * (state.n_uc[v * c_n + c] as f64 + ctx.rho);
+            s_v += (state.n_uc(u * c_n + c) as f64 + ctx.rho)
+                * (state.n_uc(v * c_n + c) as f64 + ctx.rho);
         }
         s_v /= denom_v;
         for (c, l) in lw.iter_mut().enumerate() {
-            let p_vc = (state.n_uc[v * c_n + c] as f64 + ctx.rho) / denom_v;
+            let p_vc = (state.n_uc(v * c_n + c) as f64 + ctx.rho) / denom_v;
             let dot = (s_v + p_vc) / denom_u;
             *l += ln_psi(dot, pg);
         }
@@ -468,7 +471,7 @@ fn add_full_diffusion_terms(
         let mut t0 = 0.0f64;
         for (c, &gc) in g.iter().enumerate() {
             t0 +=
-                (state.n_uc[u * c_n + c] as f64 + ctx.rho) * state.theta_hat(c, zl, ctx.alpha) * gc;
+                (state.n_uc(u * c_n + c) as f64 + ctx.rho) * state.theta_hat(c, zl, ctx.alpha) * gc;
         }
         let mut x = [0.0f64; N_FEATURES];
         ctx.features.fill_static(

@@ -33,7 +33,7 @@ pub mod features;
 mod gibbs;
 pub mod io;
 pub mod model;
-mod mstep;
+pub mod mstep;
 pub mod parallel;
 pub mod profiles;
 pub mod state;
@@ -45,8 +45,9 @@ pub use apps::ranking::{
     exp_shift_max, normalise_and_rank, query_log_affinities, query_topics, rank_communities,
 };
 pub use config::{CpdConfig, DiffusionModel, ParallelRuntime, TrainingMode};
-pub use counts::{AtomicPlane, CountPlane, WordTopicCounts};
+pub use counts::{AtomicPlane, CountPlane, PairCounts};
 pub use features::UserFeatures;
 pub use model::{Cpd, FitDiagnostics, FitResult};
-pub use parallel::FoldBreakdown;
+pub use mstep::{estimate_eta, estimate_eta_sharded, fit_nu, fit_nu_sharded, NuExample};
+pub use parallel::{AtomicOpsBreakdown, FoldBreakdown};
 pub use profiles::{dominant_index, CpdModel, Eta};

@@ -7,10 +7,10 @@ use crate::gibbs::SweepScratch;
 use crate::gibbs::{
     resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
 };
-use crate::mstep::{build_nu_training_set, estimate_eta, fit_nu};
+use crate::mstep::{build_nu_training_set_into, estimate_eta_with, fit_nu, MstepScratch};
 use crate::parallel::{
     allocate_segments, clone_rebuild_doc_sweep, parallel_resample_delta, parallel_resample_lambda,
-    segment_users, FoldBreakdown, Segmentation, WorkerPool,
+    segment_users, AtomicOpsBreakdown, FoldBreakdown, Segmentation, WorkerPool,
 };
 use crate::profiles::{CpdModel, Eta};
 use crate::state::{link_metadata, CpdState, NoDelta};
@@ -27,8 +27,14 @@ pub struct FitDiagnostics {
     /// Wall-clock seconds of each E-step (Gibbs sweeps + PG passes) —
     /// the quantity Fig. 10(a) plots per iteration.
     pub estep_seconds: Vec<f64>,
-    /// Wall-clock seconds of each M-step.
-    pub mstep_seconds: Vec<f64>,
+    /// Wall-clock seconds estimating `η` per M-step (link aggregation;
+    /// sharded over the worker pool when one exists). Under
+    /// `overlap_mstep` the measured interval overlaps the next E-step's
+    /// first sweep, so these seconds are off the critical path.
+    pub mstep_eta_seconds: Vec<f64>,
+    /// Wall-clock seconds per M-step assembling the `ν` training set
+    /// and fitting `ν` (gradient passes sharded over the pool).
+    pub mstep_nu_seconds: Vec<f64>,
     /// Per-thread busy seconds of the last parallel sweep (Fig. 11).
     pub last_thread_seconds: Vec<f64>,
     /// Barrier seconds folding worker `CountDelta`s into the canonical
@@ -42,11 +48,11 @@ pub struct FitDiagnostics {
     /// so [`FoldBreakdown::max`] lower-bounds the barrier critical
     /// path.
     pub fold_seconds: Vec<FoldBreakdown>,
-    /// Atomic read-modify-writes published to the shared word-topic
-    /// plane, one entry per sharded sweep (all zero unless the runtime
-    /// is `LockFreeCounts`) — the contention measure for the lock-free
-    /// count plane.
-    pub atomic_ops: Vec<u64>,
+    /// Per-plane atomic read-modify-writes published to the shared
+    /// count planes (`n_zw`, `n_cz`, `n_uc`), one entry per sharded
+    /// sweep (all zero unless the runtime is `LockFreeCounts`) — the
+    /// contention measure for the lock-free count planes.
+    pub atomic_ops: Vec<AtomicOpsBreakdown>,
     /// Slowest worker's replica-sync seconds (applying the other
     /// shards' deltas + refreshing the Pólya-Gamma vectors), one entry
     /// per sharded document sweep.
@@ -144,6 +150,7 @@ impl Cpd {
         let mut sweep_counter = 0u64;
 
         let mut scratch = SweepScratch::new();
+        let mut mscratch = MstepScratch::new(&links);
         let model = std::thread::scope(|scope| {
             // The persistent sharded worker pool — spawned once per fit,
             // each worker cloning the freshly initialised state exactly
@@ -153,10 +160,13 @@ impl Cpd {
                     scope, graph, cfg, &features, &links, groups, &state,
                 )),
                 (Some(groups), ParallelRuntime::LockFreeCounts) => {
-                    // Lift the word-topic counts onto the shared atomic
-                    // plane *before* the workers clone the state, so
-                    // every replica aliases one plane (one index stripe
-                    // per worker).
+                    // Lift every count pair onto shared atomic planes
+                    // *before* the workers clone the state, so each
+                    // replica aliases one plane set (one index stripe
+                    // per worker). With the full plane set shared the
+                    // delta logs shrink to assignments + `n_tz`.
+                    state.user_comm = state.user_comm.to_shared(groups.len());
+                    state.comm_topic = state.comm_topic.to_shared(groups.len());
                     state.word_topic = state.word_topic.to_shared(groups.len());
                     Some(WorkerPool::spawn(
                         scope, graph, cfg, &features, &links, groups, &state,
@@ -249,22 +259,83 @@ impl Cpd {
                 TrainingMode::TwoPhase => SweepPhase::ProfileOnly,
             };
 
-            for _ in 0..cfg.em_iters {
+            // Overlapped-M-step bookkeeping: when set, the previous
+            // iteration's M-step is still outstanding — it executes on
+            // the coordinator while the workers run the next E-step's
+            // first document sweep, and the fresh η/ν swap in at that
+            // sweep's barrier.
+            let overlap = cfg.overlap_mstep && cfg.gibbs_sweeps > 0;
+            let mut mstep_pending = false;
+
+            for em in 0..cfg.em_iters {
                 // ---- E-step ----------------------------------------------
                 let e_start = Instant::now();
-                for _ in 0..cfg.gibbs_sweeps {
+                for s in 0..cfg.gibbs_sweeps {
                     sweep_counter += 1;
-                    doc_sweep(
-                        doc_phase,
-                        sweep_counter,
-                        &mut pool,
-                        &mut state,
-                        &eta,
-                        &nu,
-                        &mut rng,
-                        &mut scratch,
-                        &mut diagnostics,
-                    );
+                    if s == 0 && mstep_pending {
+                        let pool_ref = pool.as_mut().expect("overlap requires the pool");
+                        // Workers sweep with the previous η/ν (read-only
+                        // sweep inputs) while the coordinator estimates
+                        // the fresh parameters: η from the barrier-exact
+                        // canonical assignments; ν features additionally
+                        // through the count planes, which under shared
+                        // planes may show mid-sweep values (safe but
+                        // approximate, like the sweep's own reads).
+                        let nu_arc = Arc::new(nu.clone());
+                        pool_ref.begin_sweep(&state, doc_phase, sweep_counter, &eta, &nu_arc);
+                        let m_start = Instant::now();
+                        let eta_new = estimate_eta_with(
+                            &state,
+                            &links,
+                            cfg.eta_smoothing,
+                            &mut mscratch.eta_counts,
+                        );
+                        diagnostics
+                            .mstep_eta_seconds
+                            .push(m_start.elapsed().as_secs_f64());
+                        let nu_start = Instant::now();
+                        let mut nu_new = nu.clone();
+                        if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
+                            let ctx =
+                                SweepContext::new(graph, cfg, &eta_new, &nu_new, &features, &links);
+                            build_nu_training_set_into(
+                                &ctx,
+                                &state,
+                                &cached_x,
+                                &mut rng,
+                                &mscratch.linked,
+                                &mut mscratch.examples,
+                            );
+                            fit_nu(&mscratch.examples, &mut nu_new, cfg);
+                        }
+                        diagnostics
+                            .mstep_nu_seconds
+                            .push(nu_start.elapsed().as_secs_f64());
+                        let stats = pool_ref.finish_sweep(graph, &mut state);
+                        diagnostics.last_thread_seconds = stats.thread_seconds;
+                        diagnostics.merge_seconds.push(stats.merge_seconds);
+                        diagnostics.snapshot_seconds.push(stats.snapshot_seconds);
+                        diagnostics.changed_docs.push(stats.changed_docs);
+                        diagnostics.fold_seconds.push(stats.fold);
+                        diagnostics.atomic_ops.push(stats.atomic_ops);
+                        // The Arc swap at the barrier: later sweeps and
+                        // this sweep's PG pass see the fresh η/ν.
+                        eta = Arc::new(eta_new);
+                        nu = nu_new;
+                        mstep_pending = false;
+                    } else {
+                        doc_sweep(
+                            doc_phase,
+                            sweep_counter,
+                            &mut pool,
+                            &mut state,
+                            &eta,
+                            &nu,
+                            &mut rng,
+                            &mut scratch,
+                            &mut diagnostics,
+                        );
+                    }
                     let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
                     if threads > 1 {
                         if cfg.use_friendship && doc_phase != SweepPhase::ProfileOnly {
@@ -296,16 +367,53 @@ impl Cpd {
                     .push(e_start.elapsed().as_secs_f64());
 
                 // ---- M-step ----------------------------------------------
-                let m_start = Instant::now();
-                eta = Arc::new(estimate_eta(&state, &links, cfg.eta_smoothing));
-                if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
-                    let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
-                    let examples = build_nu_training_set(&ctx, &state, &cached_x, &mut rng);
-                    fit_nu(&examples, &mut nu, cfg);
+                if overlap && pool.is_some() && em + 1 < cfg.em_iters {
+                    // Deferred: runs on the coordinator, overlapped with
+                    // the next E-step's first sweep.
+                    mstep_pending = true;
+                } else {
+                    let m_start = Instant::now();
+                    // Sharded over the idle pool workers when one
+                    // exists — bit-identical to the serial estimator, so
+                    // `DeltaSharded` stays draw-for-draw equal to the
+                    // `CloneRebuild` oracle.
+                    eta = Arc::new(match pool.as_mut() {
+                        Some(p) => p.estimate_eta(&state, &links, cfg.eta_smoothing),
+                        None => estimate_eta_with(
+                            &state,
+                            &links,
+                            cfg.eta_smoothing,
+                            &mut mscratch.eta_counts,
+                        ),
+                    });
+                    diagnostics
+                        .mstep_eta_seconds
+                        .push(m_start.elapsed().as_secs_f64());
+                    let nu_start = Instant::now();
+                    if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
+                        {
+                            let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                            build_nu_training_set_into(
+                                &ctx,
+                                &state,
+                                &cached_x,
+                                &mut rng,
+                                &mscratch.linked,
+                                &mut mscratch.examples,
+                            );
+                        }
+                        match pool.as_mut() {
+                            Some(p) => {
+                                let examples = std::mem::take(&mut mscratch.examples);
+                                mscratch.examples = p.fit_nu(examples, &mut nu, cfg);
+                            }
+                            None => fit_nu(&mscratch.examples, &mut nu, cfg),
+                        }
+                    }
+                    diagnostics
+                        .mstep_nu_seconds
+                        .push(nu_start.elapsed().as_secs_f64());
                 }
-                diagnostics
-                    .mstep_seconds
-                    .push(m_start.elapsed().as_secs_f64());
                 diagnostics.em_iterations += 1;
             }
 

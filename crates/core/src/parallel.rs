@@ -29,46 +29,76 @@
 //!   churned array ships as one shared snapshot that replicas
 //!   `copy_from_slice`. Draw-for-draw identical to `CloneRebuild`.
 //!
-//! * **`LockFreeCounts`**: like `DeltaSharded`, but the word-topic
-//!   counts (`n_zw`, `Z × W`, plus `n_z`) — which dominate both the
-//!   delta logs (two entries per moved token) and the barrier fold —
-//!   live on one **shared atomic plane**
-//!   ([`crate::counts::AtomicPlane`], a striped `Arc<[AtomicU32]>`)
-//!   that every replica aliases. Workers publish word-topic increments
+//! * **`LockFreeCounts`**: like `DeltaSharded`, but the **full plane
+//!   set** — word-topic (`n_zw`/`n_z`), community-topic (`n_cz`/`n_c`)
+//!   and user-community (`n_uc`, with the constant `n_u` marginal) —
+//!   lives on **shared atomic planes**
+//!   ([`crate::counts::AtomicPlane`], striped `Arc<[AtomicU32]>`s)
+//!   that every replica aliases. Workers publish count increments
 //!   directly during the sweep with relaxed atomics, so those arrays
 //!   vanish from the `CountDelta` logs, are never folded, and need no
-//!   replica sync at all. Mid-sweep reads may observe other shards'
-//!   in-flight updates — the standard approximate-Gibbs relaxation, so
-//!   this runtime is *distributionally* equivalent to the others (the
-//!   differential tests in `tests/parallel_lockfree.rs` check
-//!   perplexity and community recovery, not draw identity), while the
-//!   counts are still **exact at every barrier** (atomic
+//!   replica sync at all — the log shrinks to the assignment writes
+//!   plus the tiny `n_tz` entries, and the end-to-end trainer is
+//!   lock-free in its counts. Mid-sweep reads may observe other
+//!   shards' in-flight updates — the standard approximate-Gibbs
+//!   relaxation, so this runtime is *distributionally* equivalent to
+//!   the others (the differential tests in `tests/parallel_lockfree.rs`
+//!   check perplexity and community recovery, not draw identity), while
+//!   the counts are still **exact at every barrier** (atomic
 //!   read-modify-writes lose nothing).
 //!
-//! Since the count-plane refactor the barrier fold itself is
-//! parallelised: after collecting the sweep deltas the coordinator
-//! ships each canonical count array (moved out of the state, so no
-//! copies and no unsafe aliasing) to an idle **worker thread** as a
-//! `FoldTask`; workers replay all shards' logs for their array,
-//! clone the refresh snapshot for it when [`CountRefresh::decide`]
-//! picked the snapshot path, and send the folded array back. The
-//! coordinator's residual work is channel traffic and re-installing the
-//! arrays. Count arrays are the fold's sharding unit; the one array too
-//! big for that to be acceptable — `n_zw` — is exactly the one the
-//! atomic plane removes from the fold altogether under
-//! `LockFreeCounts`.
+//! # The barrier fold
+//!
+//! The barrier fold is parallelised: after collecting the sweep deltas
+//! the coordinator ships each canonical count array still tracked in
+//! the logs (moved out of the state, so no copies and no unsafe
+//! aliasing) to an idle **worker thread** as a `FoldTask`; workers
+//! replay all shards' logs for their array, clone the refresh snapshot
+//! for it when [`CountRefresh::decide`] picked the snapshot path, and
+//! send the folded array back. The coordinator's residual work is
+//! channel traffic and re-installing the arrays. Count arrays are the
+//! fold's sharding unit; under `LockFreeCounts` every count pair lives
+//! on a shared plane, so only the assignment replay and `n_tz` reach
+//! the fold at all.
 //!
 //! `CpdState::rebuild_counts` runs only at initialisation.
 //!
-//! Next step (see ROADMAP "Open items"): shard the `n_cz`
-//! community-topic plane the same way, or overlap the M-step with the
-//! first sweep of the next E-step.
+//! # The parallel M-step
+//!
+//! Between E-steps the same worker pool executes the M-step (the
+//! trainer's last serial resident): `estimate_eta`'s link aggregation
+//! is sharded into per-worker `|C|·|C|·|Z|` count buffers combined by
+//! a tree reduce, and each `fit_nu` gradient-descent iteration shards
+//! its gradient/sigmoid pass over fixed example chunks. Both are
+//! **bit-identical** to the serial estimators at any worker count (see
+//! the `mstep` module docs), which is how `DeltaSharded` stays
+//! draw-for-draw identical to the `CloneRebuild` oracle while its
+//! M-step runs on the pool.
+//!
+//! With [`crate::config::CpdConfig::overlap_mstep`] set, the trainer
+//! instead *overlaps* η/ν estimation with the next E-step's first
+//! document sweep: the coordinator issues the sweep (workers run with
+//! the previous η/ν — they are read-only inputs to the sweep context),
+//! computes the M-step on its own idle thread, and swaps the fresh
+//! parameters in behind an `Arc` at the next barrier
+//! (`WorkerPool::begin_sweep` / `WorkerPool::finish_sweep` expose the
+//! two barrier halves). The η inputs (the assignment vectors) are
+//! coordinator-owned and barrier-exact during the sweep; the ν
+//! negative-example features additionally read `π̂`/`θ̂`, which under
+//! `LockFreeCounts` go through the live shared planes and may observe
+//! mid-sweep counts — safe, but approximate (and non-reproducible),
+//! exactly like the sweep's own reads. Under `DeltaSharded` every
+//! M-step input is dense and coordinator-owned, so the overlapped
+//! pipeline stays fully deterministic.
 
 use crate::config::CpdConfig;
 use crate::features::{UserFeatures, N_FEATURES};
 use crate::gibbs::{
     resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
     SweepScratch,
+};
+use crate::mstep::{
+    apply_nu_step, eta_counts_range, nu_chunk_grad, tree_reduce_counts, NuExample, NU_GRAD_CHUNK,
 };
 use crate::profiles::Eta;
 use crate::state::{CountDelta, CountRefresh, CpdState, DeltaSizes, LinkMeta, NoDelta, SyncPlan};
@@ -322,11 +352,35 @@ struct SweepCmd {
     refresh: Arc<CountRefresh>,
 }
 
-/// A coordinator→worker message: run a document sweep, or fold a batch
-/// of canonical count arrays at the barrier.
+/// A coordinator→worker message: run a document sweep, fold a batch of
+/// canonical count arrays at the barrier, or execute one shard of the
+/// M-step (η link aggregation / one ν gradient pass).
 enum Cmd {
     Sweep(SweepCmd),
     Fold(FoldCmd),
+    EtaShard(EtaCmd),
+    NuGrad(NuGradCmd),
+}
+
+/// One worker's shard of the η link aggregation: count links
+/// `[lo, hi)` into `buf` (shipped back and forth so the buffer is
+/// reused across EM iterations instead of reallocated).
+struct EtaCmd {
+    lo: usize,
+    hi: usize,
+    doc_community: Arc<Vec<u32>>,
+    doc_topic: Arc<Vec<u32>>,
+    buf: Vec<f64>,
+}
+
+/// One worker's shard of a ν gradient-descent iteration: the chunk
+/// partials for example chunks `[chunk_lo, chunk_hi)` under the
+/// current `nu`.
+struct NuGradCmd {
+    examples: Arc<Vec<NuExample>>,
+    nu: Arc<Vec<f64>>,
+    chunk_lo: usize,
+    chunk_hi: usize,
 }
 
 /// Barrier fold work for one worker: apply every shard's delta log for
@@ -337,18 +391,18 @@ struct FoldCmd {
     tasks: Vec<FoldTask>,
 }
 
-/// Which canonical array class a [`FoldTask`] carries.
+/// Which canonical array class a [`FoldTask`] carries. The three count
+/// pairs appear only when their planes are dense — a shared atomic
+/// plane (`LockFreeCounts`) is folded by construction and never ships.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FoldKind {
     /// `doc_community` + `doc_topic` (assignment replay).
     Assign,
-    /// `n_uc`.
+    /// Dense `n_uc` + the constant `n_u` marginal.
     NUc,
-    /// `n_cz` + the `n_c` marginal.
+    /// Dense `n_cz` + the `n_c` marginal.
     NCz,
-    /// Dense `n_zw` + the `n_z` marginal (absent under
-    /// `LockFreeCounts`, where the shared atomic plane is folded by
-    /// construction).
+    /// Dense `n_zw` + the `n_z` marginal.
     WordTopic,
     /// `n_tz`.
     NTz,
@@ -443,13 +497,12 @@ impl FoldTask {
                 fold.assign = self.seconds;
             }
             FoldKind::NUc => {
-                state.n_uc = self.a;
+                state.user_comm.restore_dense(self.a, self.b);
                 refresh.n_uc = self.snap_a;
                 fold.n_uc = self.seconds;
             }
             FoldKind::NCz => {
-                state.n_cz = self.a;
-                state.n_c = self.b;
+                state.comm_topic.restore_dense(self.a, self.b);
                 refresh.n_cz = self.snap_a;
                 fold.n_cz = self.seconds;
             }
@@ -467,10 +520,13 @@ impl FoldTask {
     }
 }
 
-/// A worker's reply: the sweep result, or the folded arrays.
+/// A worker's reply: the sweep result, the folded arrays, or one
+/// M-step shard's output.
 enum Reply {
     Sweep(Box<WorkerReply>),
     Fold(Vec<FoldTask>),
+    Eta(Vec<f64>),
+    NuGrad(Vec<[f64; N_FEATURES]>),
 }
 
 /// A worker's result for one sweep.
@@ -479,8 +535,37 @@ struct WorkerReply {
     busy_secs: f64,
     sync_secs: f64,
     /// Atomic read-modify-writes this worker published to the shared
-    /// word-topic plane (0 for dense planes).
-    atomic_ops: u64,
+    /// count planes (all zero for dense planes).
+    atomic_ops: AtomicOpsBreakdown,
+}
+
+/// Per-plane atomic read-modify-writes published to the shared count
+/// planes during one sharded sweep (all zero unless the runtime is
+/// `LockFreeCounts`) — the contention measure for the lock-free count
+/// planes, surfaced through `FitDiagnostics::atomic_ops`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AtomicOpsBreakdown {
+    /// RMWs on the `n_zw`/`n_z` plane (two per moved token, plus the
+    /// remove/re-add traffic of unmoved documents).
+    pub word_topic: u64,
+    /// RMWs on the `n_cz`/`n_c` plane.
+    pub comm_topic: u64,
+    /// RMWs on the `n_uc` plane.
+    pub user_comm: u64,
+}
+
+impl AtomicOpsBreakdown {
+    /// Sum across the three planes.
+    pub fn total(&self) -> u64 {
+        self.word_topic + self.comm_topic + self.user_comm
+    }
+
+    /// Element-wise accumulation (totals across a sweep's workers).
+    pub fn accumulate(&mut self, other: AtomicOpsBreakdown) {
+        self.word_topic += other.word_topic;
+        self.comm_topic += other.comm_topic;
+        self.user_comm += other.user_comm;
+    }
 }
 
 /// Per-array worker-side fold seconds of one barrier (surfaced through
@@ -491,12 +576,12 @@ struct WorkerReply {
 pub struct FoldBreakdown {
     /// Assignment replay (`doc_community`/`doc_topic`).
     pub assign: f64,
-    /// `n_uc` fold.
+    /// `n_uc` fold (0 under `LockFreeCounts` — a shared atomic plane is
+    /// never folded).
     pub n_uc: f64,
-    /// `n_cz` + `n_c` fold.
+    /// `n_cz` + `n_c` fold (0 under `LockFreeCounts`).
     pub n_cz: f64,
-    /// Dense `n_zw` + `n_z` fold (0 under `LockFreeCounts` — the shared
-    /// atomic plane is never folded).
+    /// Dense `n_zw` + `n_z` fold (0 under `LockFreeCounts`).
     pub n_zw: f64,
     /// `n_tz` fold.
     pub n_tz: f64,
@@ -529,8 +614,8 @@ pub(crate) struct SweepStats {
     pub changed_docs: usize,
     /// Per-array worker-side fold seconds.
     pub fold: FoldBreakdown,
-    /// Atomic RMWs published to the shared word-topic plane this sweep.
-    pub atomic_ops: u64,
+    /// Per-plane atomic RMWs published to the shared planes this sweep.
+    pub atomic_ops: AtomicOpsBreakdown,
 }
 
 /// Persistent sharded E-step runtime: one worker thread per user group,
@@ -546,6 +631,9 @@ pub(crate) struct WorkerPool<'scope> {
     pending_replay: SyncPlan,
     /// Snapshots backing `pending_replay`, cloned by the fold workers.
     pending_refresh: Arc<CountRefresh>,
+    /// Reusable per-worker η aggregation buffers (shipped to the
+    /// workers with each [`Cmd::EtaShard`] and returned folded).
+    eta_bufs: Vec<Vec<f64>>,
     handles: Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
 }
 
@@ -614,7 +702,11 @@ impl<'scope> WorkerPool<'scope> {
                                 delta,
                                 busy_secs,
                                 sync_secs,
-                                atomic_ops: local.word_topic.take_ops(),
+                                atomic_ops: AtomicOpsBreakdown {
+                                    word_topic: local.word_topic.take_ops(),
+                                    comm_topic: local.comm_topic.take_ops(),
+                                    user_comm: local.user_comm.take_ops(),
+                                },
                             }))
                         }
                         Cmd::Fold(mut fold) => {
@@ -622,6 +714,27 @@ impl<'scope> WorkerPool<'scope> {
                                 task.run(&fold.deltas);
                             }
                             Reply::Fold(fold.tasks)
+                        }
+                        Cmd::EtaShard(cmd) => {
+                            let mut buf = cmd.buf;
+                            eta_counts_range(
+                                &cmd.doc_community,
+                                &cmd.doc_topic,
+                                &links[cmd.lo..cmd.hi],
+                                config.n_communities,
+                                config.n_topics,
+                                &mut buf,
+                            );
+                            Reply::Eta(buf)
+                        }
+                        Cmd::NuGrad(cmd) => {
+                            let mut grads = Vec::with_capacity(cmd.chunk_hi - cmd.chunk_lo);
+                            for k in cmd.chunk_lo..cmd.chunk_hi {
+                                let lo = k * NU_GRAD_CHUNK;
+                                let hi = ((k + 1) * NU_GRAD_CHUNK).min(cmd.examples.len());
+                                grads.push(nu_chunk_grad(&cmd.examples[lo..hi], &cmd.nu));
+                            }
+                            Reply::NuGrad(grads)
                         }
                     };
                     if reply_tx.send(reply).is_err() {
@@ -638,6 +751,7 @@ impl<'scope> WorkerPool<'scope> {
             prev: Arc::new(Vec::new()),
             pending_replay: SyncPlan::ALL,
             pending_refresh: Arc::new(CountRefresh::default()),
+            eta_bufs: Vec::new(),
             handles,
         }
     }
@@ -654,7 +768,26 @@ impl<'scope> WorkerPool<'scope> {
         eta: &Arc<Eta>,
         nu: &Arc<Vec<f64>>,
     ) -> SweepStats {
-        let n_workers = self.cmd_txs.len();
+        self.begin_sweep(state, phase, sweep_index, eta, nu);
+        self.finish_sweep(graph, state)
+    }
+
+    /// First barrier half: broadcast the sweep command (previous-sweep
+    /// sync package, fresh PG vectors, current η/ν) and return while
+    /// the workers sweep. The canonical dense arrays (assignments,
+    /// `n_tz`, dense count pairs) stay untouched until
+    /// [`WorkerPool::finish_sweep`], so the coordinator may read them
+    /// concurrently — that is what the overlapped M-step does. Shared
+    /// atomic planes are the exception: they are live during the
+    /// sweep, so coordinator reads through them see mid-sweep counts.
+    pub fn begin_sweep(
+        &mut self,
+        state: &CpdState,
+        phase: SweepPhase,
+        sweep_index: u64,
+        eta: &Arc<Eta>,
+        nu: &Arc<Vec<f64>>,
+    ) {
         let lambda = Arc::new(state.lambda.clone());
         let delta_pg = Arc::new(state.delta.clone());
         for tx in &self.cmd_txs {
@@ -671,11 +804,18 @@ impl<'scope> WorkerPool<'scope> {
             }))
             .expect("worker hung up");
         }
+    }
+
+    /// Second barrier half: collect the workers' sweep deltas and fold
+    /// them into the canonical `state` on the (now idle) worker
+    /// threads, one [`FoldTask`] per dense count array.
+    pub fn finish_sweep(&mut self, graph: &SocialGraph, state: &mut CpdState) -> SweepStats {
+        let n_workers = self.cmd_txs.len();
         let mut deltas = Vec::with_capacity(n_workers);
         let mut thread_seconds = Vec::with_capacity(n_workers);
         let mut snapshot_seconds = 0.0f64;
         let mut changed_docs = 0usize;
-        let mut atomic_ops = 0u64;
+        let mut atomic_ops = AtomicOpsBreakdown::default();
         let mut sizes = DeltaSizes::default();
         for rx in &self.reply_rxs {
             match rx.recv().expect("worker panicked") {
@@ -684,12 +824,29 @@ impl<'scope> WorkerPool<'scope> {
                     sizes.accumulate(reply.delta.log_sizes());
                     thread_seconds.push(reply.busy_secs);
                     snapshot_seconds = snapshot_seconds.max(reply.sync_secs);
-                    atomic_ops += reply.atomic_ops;
+                    atomic_ops.accumulate(reply.atomic_ops);
                     deltas.push(reply.delta);
                 }
-                Reply::Fold(_) => unreachable!("fold reply outside a barrier"),
+                _ => unreachable!("non-sweep reply outside a barrier"),
             }
         }
+        // Delta-size diagnostic: a shared plane's increments must have
+        // gone to the plane, never the logs.
+        debug_assert!(
+            !state.word_topic.is_shared() || sizes.n_zw == 0,
+            "shared n_zw plane leaked {} delta entries",
+            sizes.n_zw
+        );
+        debug_assert!(
+            !state.comm_topic.is_shared() || sizes.n_cz == 0,
+            "shared n_cz plane leaked {} delta entries",
+            sizes.n_cz
+        );
+        debug_assert!(
+            !state.user_comm.is_shared() || sizes.n_uc == 0,
+            "shared n_uc plane leaked {} delta entries",
+            sizes.n_uc
+        );
 
         // ---- Barrier fold, on the worker threads --------------------
         let merge_start = Instant::now();
@@ -698,7 +855,7 @@ impl<'scope> WorkerPool<'scope> {
         // the fold workers clone the snapshots for non-replayed arrays.
         let replay = CountRefresh::decide(state, sizes, n_workers);
         let mut tasks = Vec::with_capacity(5);
-        // Dense word-topic planes join the fold (kept first: the
+        // Dense planes join the fold (word-topic kept first: the
         // scheduler below gives the dominant `Z × W` fold a worker of
         // its own). A shared atomic plane received every increment
         // during the sweep already and never appears here.
@@ -711,18 +868,12 @@ impl<'scope> WorkerPool<'scope> {
             std::mem::take(&mut state.doc_topic),
             !replay.assign,
         ));
-        tasks.push(FoldTask::new(
-            FoldKind::NUc,
-            std::mem::take(&mut state.n_uc),
-            Vec::new(),
-            !replay.n_uc,
-        ));
-        tasks.push(FoldTask::new(
-            FoldKind::NCz,
-            std::mem::take(&mut state.n_cz),
-            std::mem::take(&mut state.n_c),
-            !replay.n_cz,
-        ));
+        if let Some((n_uc, n_u)) = state.user_comm.take_dense() {
+            tasks.push(FoldTask::new(FoldKind::NUc, n_uc, n_u, !replay.n_uc));
+        }
+        if let Some((n_cz, n_c)) = state.comm_topic.take_dense() {
+            tasks.push(FoldTask::new(FoldKind::NCz, n_cz, n_c, !replay.n_cz));
+        }
         tasks.push(FoldTask::new(
             FoldKind::NTz,
             std::mem::take(&mut state.n_tz),
@@ -766,7 +917,7 @@ impl<'scope> WorkerPool<'scope> {
                         task.install(state, &mut refresh, &mut fold);
                     }
                 }
-                Reply::Sweep(_) => unreachable!("sweep reply inside a barrier"),
+                _ => unreachable!("non-fold reply inside a barrier"),
             }
         }
         let merge_seconds = merge_start.elapsed().as_secs_f64();
@@ -785,6 +936,116 @@ impl<'scope> WorkerPool<'scope> {
             fold,
             atomic_ops,
         }
+    }
+
+    /// Shard `estimate_eta`'s link aggregation over the idle workers:
+    /// each worker counts a contiguous link range into its reusable
+    /// `|C|·|C|·|Z|` buffer, and the partials are combined by a tree
+    /// reduce. Counts are integer-valued, so the result is bit-equal to
+    /// the serial [`crate::mstep::estimate_eta`] at any worker count.
+    pub fn estimate_eta(&mut self, state: &CpdState, links: &[LinkMeta], smoothing: f64) -> Eta {
+        let n_workers = self.cmd_txs.len();
+        let c_n = state.n_communities;
+        let z_n = state.n_topics;
+        let mut bufs = std::mem::take(&mut self.eta_bufs);
+        bufs.resize_with(n_workers, Vec::new);
+        let dc = Arc::new(state.doc_community.clone());
+        let dt = Arc::new(state.doc_topic.clone());
+        let chunk = links.len().div_ceil(n_workers).max(1);
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(n_workers);
+        let mut active: Vec<usize> = Vec::new();
+        for (w, mut buf) in bufs.drain(..).enumerate() {
+            let lo = (w * chunk).min(links.len());
+            let hi = ((w + 1) * chunk).min(links.len());
+            if lo < hi {
+                self.cmd_txs[w]
+                    .send(Cmd::EtaShard(EtaCmd {
+                        lo,
+                        hi,
+                        doc_community: Arc::clone(&dc),
+                        doc_topic: Arc::clone(&dt),
+                        buf,
+                    }))
+                    .expect("worker hung up");
+                active.push(w);
+                out.push(Vec::new()); // placeholder until the reply lands
+            } else {
+                // Idle worker (more workers than link shards): a zeroed
+                // buffer keeps the reduce shape uniform.
+                buf.clear();
+                buf.resize(c_n * c_n * z_n, 0.0);
+                out.push(buf);
+            }
+        }
+        for &w in &active {
+            match self.reply_rxs[w].recv().expect("worker panicked") {
+                Reply::Eta(buf) => out[w] = buf,
+                _ => unreachable!("non-eta reply during the M-step"),
+            }
+        }
+        tree_reduce_counts(&mut out);
+        let eta = Eta::from_counts(c_n, z_n, &out[0], smoothing);
+        self.eta_bufs = out;
+        eta
+    }
+
+    /// Shard each `fit_nu` gradient-descent iteration over the idle
+    /// workers: every worker computes the partial gradients of a
+    /// contiguous run of [`NU_GRAD_CHUNK`]-example chunks, and the
+    /// coordinator folds the partials in ascending chunk order before
+    /// stepping `nu` — bit-equal to the serial
+    /// [`crate::mstep::fit_nu`] at any worker count. Returns the
+    /// example vector for buffer reuse.
+    pub fn fit_nu(
+        &mut self,
+        examples: Vec<NuExample>,
+        nu: &mut [f64],
+        config: &CpdConfig,
+    ) -> Vec<NuExample> {
+        if examples.is_empty() || config.nu_iters == 0 {
+            return examples;
+        }
+        let n_workers = self.cmd_txs.len();
+        let n_chunks = examples.len().div_ceil(NU_GRAD_CHUNK);
+        let per = n_chunks.div_ceil(n_workers).max(1);
+        let n = examples.len() as f64;
+        let lr = config.nu_learning_rate;
+        let examples = Arc::new(examples);
+        let mut grads: Vec<[f64; N_FEATURES]> = Vec::with_capacity(n_chunks);
+        for _ in 0..config.nu_iters {
+            let nu_arc = Arc::new(nu.to_vec());
+            let mut active: Vec<usize> = Vec::new();
+            for w in 0..n_workers {
+                let chunk_lo = (w * per).min(n_chunks);
+                let chunk_hi = ((w + 1) * per).min(n_chunks);
+                if chunk_lo >= chunk_hi {
+                    continue;
+                }
+                self.cmd_txs[w]
+                    .send(Cmd::NuGrad(NuGradCmd {
+                        examples: Arc::clone(&examples),
+                        nu: Arc::clone(&nu_arc),
+                        chunk_lo,
+                        chunk_hi,
+                    }))
+                    .expect("worker hung up");
+                active.push(w);
+            }
+            grads.clear();
+            // Ascending worker order == ascending chunk order (workers
+            // own contiguous chunk ranges), so this fold reproduces the
+            // serial summation bit for bit.
+            for &w in &active {
+                match self.reply_rxs[w].recv().expect("worker panicked") {
+                    Reply::NuGrad(g) => grads.extend(g),
+                    _ => unreachable!("non-gradient reply during the M-step"),
+                }
+            }
+            apply_nu_step(nu, grads.iter().copied(), n, lr);
+        }
+        // Workers drop their Arc clones before replying, so after the
+        // last barrier the coordinator usually holds the only handle.
+        Arc::try_unwrap(examples).unwrap_or_default()
     }
 
     /// Drop the command channels and join the workers.
@@ -962,14 +1223,19 @@ mod tests {
 
                 assert_eq!(delta_state.doc_community, clone_state.doc_community);
                 assert_eq!(delta_state.doc_topic, clone_state.doc_topic);
-                assert_eq!(delta_state.n_uc, clone_state.n_uc);
-                assert_eq!(delta_state.n_cz, clone_state.n_cz);
+                assert_eq!(
+                    delta_state.user_comm.snapshot(),
+                    clone_state.user_comm.snapshot()
+                );
+                assert_eq!(
+                    delta_state.comm_topic.snapshot(),
+                    clone_state.comm_topic.snapshot()
+                );
                 assert_eq!(
                     delta_state.word_topic.snapshot(),
                     clone_state.word_topic.snapshot()
                 );
                 assert_eq!(delta_state.n_tz, clone_state.n_tz);
-                assert_eq!(delta_state.n_c, clone_state.n_c);
                 delta_state.check_consistency(&g).unwrap();
             }
             pool.shutdown();

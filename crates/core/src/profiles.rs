@@ -85,7 +85,7 @@ impl Eta {
 }
 
 /// Index of the largest entry of a probability row (ties break to the
-/// lowest index; an empty row gives 0). The one argmax used for every
+/// highest index; an empty row gives 0). The one argmax used for every
 /// "dominant community/topic" readout — model, fold-in profiles and
 /// the serve runtime all share it.
 pub fn dominant_index(row: &[f64]) -> usize {

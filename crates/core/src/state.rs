@@ -2,7 +2,7 @@
 //! empirical estimators `π̂`, `θ̂`, `φ̂` (Sect. 4.2) derived from them.
 
 use crate::config::CpdConfig;
-use crate::counts::{CountPlane as _, WordTopicCounts};
+use crate::counts::PairCounts;
 use cpd_prob::rng::seeded_rng;
 use rand::Rng;
 use social_graph::{SocialGraph, WordId};
@@ -41,20 +41,18 @@ pub struct CpdState {
     pub doc_community: Vec<u32>,
     /// Per-document topic assignment `z_ui`.
     pub doc_topic: Vec<u32>,
-    /// `U x C` — documents of user `u` assigned to community `c`.
-    pub n_uc: Vec<u32>,
-    /// Documents per user (constant).
-    pub n_u: Vec<u32>,
-    /// `C x Z` — documents of community `c` with topic `z`.
-    pub n_cz: Vec<u32>,
-    /// Documents per community.
-    pub n_c: Vec<u32>,
-    /// `Z x W` word-topic counts `n_zw` plus the `n_z` marginal, behind
-    /// the count-plane abstraction ([`crate::counts`]): dense
-    /// per-replica vectors for the serial/`CloneRebuild`/`DeltaSharded`
-    /// runtimes, or one shared atomic plane every replica aliases under
-    /// `LockFreeCounts`.
-    pub word_topic: WordTopicCounts,
+    /// `U x C` user-community counts `n_uc` plus the constant `n_u`
+    /// (documents per user) marginal, behind the count-plane
+    /// abstraction ([`crate::counts`]): dense per-replica vectors for
+    /// the serial/`CloneRebuild`/`DeltaSharded` runtimes, or one shared
+    /// atomic plane every replica aliases under `LockFreeCounts`.
+    pub user_comm: PairCounts,
+    /// `C x Z` community-topic counts `n_cz` plus the `n_c` (documents
+    /// per community) marginal, same backend selection as `user_comm`.
+    pub comm_topic: PairCounts,
+    /// `Z x W` word-topic counts `n_zw` plus the `n_z` marginal, same
+    /// backend selection as `user_comm`.
+    pub word_topic: PairCounts,
     /// `T x Z` — documents with topic `z` at time `t` (topic popularity).
     pub n_tz: Vec<u32>,
     /// Documents per time bucket (constant).
@@ -81,11 +79,9 @@ impl CpdState {
             n_timestamps: t_n,
             doc_community: vec![0; d_n],
             doc_topic: vec![0; d_n],
-            n_uc: vec![0; graph.n_users() * c_n],
-            n_u: vec![0; graph.n_users()],
-            n_cz: vec![0; c_n * z_n],
-            n_c: vec![0; c_n],
-            word_topic: WordTopicCounts::dense(z_n, w_n),
+            user_comm: PairCounts::dense(graph.n_users() * c_n, graph.n_users()),
+            comm_topic: PairCounts::dense(c_n * z_n, c_n),
+            word_topic: PairCounts::dense(z_n * w_n, z_n),
             n_tz: vec![0; t_n * z_n],
             n_t: vec![0; t_n],
             // PG(1, 0) has mean 1/4; a fine starting point before the
@@ -114,10 +110,8 @@ impl CpdState {
         let c_n = self.n_communities;
         let z_n = self.n_topics;
         let w_n = self.vocab_size;
-        self.n_uc.iter_mut().for_each(|x| *x = 0);
-        self.n_u.iter_mut().for_each(|x| *x = 0);
-        self.n_cz.iter_mut().for_each(|x| *x = 0);
-        self.n_c.iter_mut().for_each(|x| *x = 0);
+        self.user_comm.reset();
+        self.comm_topic.reset();
         self.word_topic.reset();
         self.n_tz.iter_mut().for_each(|x| *x = 0);
         self.n_t.iter_mut().for_each(|x| *x = 0);
@@ -126,24 +120,48 @@ impl CpdState {
             let c = self.doc_community[d] as usize;
             let z = self.doc_topic[d] as usize;
             let t = doc.timestamp as usize;
-            self.n_uc[u * c_n + c] += 1;
-            self.n_u[u] += 1;
-            self.n_cz[c * z_n + z] += 1;
-            self.n_c[c] += 1;
+            self.user_comm.add(u * c_n + c, 1);
+            self.user_comm.add_marginal(u, 1);
+            self.comm_topic.add(c * z_n + z, 1);
+            self.comm_topic.add_marginal(c, 1);
             for w in &doc.words {
-                self.word_topic.add_zw(z * w_n + w.index(), 1);
+                self.word_topic.add(z * w_n + w.index(), 1);
             }
-            self.word_topic.add_z(z, doc.words.len() as i32);
+            self.word_topic.add_marginal(z, doc.words.len() as i32);
             self.n_tz[t * z_n + z] += 1;
             self.n_t[t] += 1;
         }
     }
 
+    /// `n_uc` at flat index `u * |C| + c`.
+    #[inline]
+    pub fn n_uc(&self, i: usize) -> u32 {
+        self.user_comm.get(i)
+    }
+
+    /// Documents of user `u` (constant over a fit).
+    #[inline]
+    pub fn n_u(&self, u: usize) -> u32 {
+        self.user_comm.marginal(u)
+    }
+
+    /// `n_cz` at flat index `c * |Z| + z`.
+    #[inline]
+    pub fn n_cz(&self, i: usize) -> u32 {
+        self.comm_topic.get(i)
+    }
+
+    /// Documents of community `c`.
+    #[inline]
+    pub fn n_c(&self, c: usize) -> u32 {
+        self.comm_topic.marginal(c)
+    }
+
     /// `π̂_{u,c} = (n_uc + ρ) / (n_u + |C| ρ)` (Sect. 4.2).
     #[inline]
     pub fn pi_hat(&self, u: usize, c: usize, rho: f64) -> f64 {
-        (self.n_uc[u * self.n_communities + c] as f64 + rho)
-            / (self.n_u[u] as f64 + self.n_communities as f64 * rho)
+        (self.n_uc(u * self.n_communities + c) as f64 + rho)
+            / (self.n_u(u) as f64 + self.n_communities as f64 * rho)
     }
 
     /// Full `π̂_u` row.
@@ -156,15 +174,15 @@ impl CpdState {
     /// `θ̂_{c,z} = (n_cz + α) / (n_c + |Z| α)` (Sect. 4.2).
     #[inline]
     pub fn theta_hat(&self, c: usize, z: usize, alpha: f64) -> f64 {
-        (self.n_cz[c * self.n_topics + z] as f64 + alpha)
-            / (self.n_c[c] as f64 + self.n_topics as f64 * alpha)
+        (self.n_cz(c * self.n_topics + z) as f64 + alpha)
+            / (self.n_c(c) as f64 + self.n_topics as f64 * alpha)
     }
 
     /// `φ̂_{z,w} = (n_zw + β) / (n_z + |W| β)` (Sect. 4.2).
     #[inline]
     pub fn phi_hat(&self, z: usize, w: usize, beta: f64) -> f64 {
-        (self.word_topic.zw(z * self.vocab_size + w) as f64 + beta)
-            / (self.word_topic.z(z) as f64 + self.vocab_size as f64 * beta)
+        (self.word_topic.get(z * self.vocab_size + w) as f64 + beta)
+            / (self.word_topic.marginal(z) as f64 + self.vocab_size as f64 * beta)
     }
 
     /// Normalised topic popularity `n_tz / n_t` at bucket `t` (smoothed;
@@ -179,11 +197,11 @@ impl CpdState {
     /// Dot product `π̂_uᵀ π̂_v`.
     pub fn membership_dot(&self, u: usize, v: usize, rho: f64) -> f64 {
         let c_n = self.n_communities;
-        let du = self.n_u[u] as f64 + c_n as f64 * rho;
-        let dv = self.n_u[v] as f64 + c_n as f64 * rho;
+        let du = self.n_u(u) as f64 + c_n as f64 * rho;
+        let dv = self.n_u(v) as f64 + c_n as f64 * rho;
         let mut acc = 0.0;
         for c in 0..c_n {
-            acc += (self.n_uc[u * c_n + c] as f64 + rho) * (self.n_uc[v * c_n + c] as f64 + rho);
+            acc += (self.n_uc(u * c_n + c) as f64 + rho) * (self.n_uc(v * c_n + c) as f64 + rho);
         }
         acc / (du * dv)
     }
@@ -191,50 +209,30 @@ impl CpdState {
     /// Internal consistency check: every count matrix agrees with the
     /// assignments. Used by tests and debug assertions.
     ///
-    /// Valid for atomic planes too: the fresh rebuild runs against a
-    /// *detached* dense plane (a cloned shared plane would alias this
+    /// Valid for atomic planes too: the fresh rebuild runs against
+    /// *detached* dense planes (cloned shared planes would alias this
     /// state's live atomics, and `rebuild_counts` would wipe them), and
-    /// the shared plane is only read, via a snapshot — so the check is
+    /// the shared planes are only read, via snapshots — so the check is
     /// safe to run at a sweep barrier while workers hold live handles.
+    /// Shared planes are validated stripe by stripe
+    /// ([`PairCounts::check_against`]).
     pub fn check_consistency(&self, graph: &SocialGraph) -> Result<(), String> {
         let mut fresh = self.clone();
-        fresh.word_topic = WordTopicCounts::dense(self.n_topics, self.vocab_size);
+        fresh.user_comm = PairCounts::dense(self.user_comm.len_main(), graph.n_users());
+        fresh.comm_topic =
+            PairCounts::dense(self.n_communities * self.n_topics, self.n_communities);
+        fresh.word_topic = PairCounts::dense(self.n_topics * self.vocab_size, self.n_topics);
         fresh.rebuild_counts(graph);
-        for (name, a, b) in [
-            ("n_uc", &self.n_uc, &fresh.n_uc),
-            ("n_cz", &self.n_cz, &fresh.n_cz),
-            ("n_tz", &self.n_tz, &fresh.n_tz),
-        ] {
-            if a != b {
-                return Err(format!("{name} counts diverged from assignments"));
-            }
+        if self.n_tz != fresh.n_tz {
+            return Err("n_tz counts diverged from assignments".into());
         }
-        let (fzw, fz) = fresh.word_topic.snapshot();
-        match &self.word_topic {
-            WordTopicCounts::Dense { n_zw, n_z } => {
-                if *n_zw != fzw {
-                    return Err("n_zw counts diverged from assignments".into());
-                }
-                if *n_z != fz || self.n_c != fresh.n_c {
-                    return Err("aggregate counts diverged".into());
-                }
-            }
-            WordTopicCounts::Shared { n_zw, n_z, .. } => {
-                // Validate the big plane stripe by stripe — the shards
-                // are the atomic plane's maintenance unit, and a
-                // per-shard report pins divergence to an index range
-                // instead of "somewhere in Z × W".
-                for s in 0..n_zw.n_shards() {
-                    if n_zw.snapshot_shard(s) != fzw[n_zw.shard_range(s)] {
-                        return Err(format!(
-                            "n_zw counts diverged from assignments in plane shard {s}"
-                        ));
-                    }
-                }
-                if n_z.snapshot() != fz || self.n_c != fresh.n_c {
-                    return Err("aggregate counts diverged".into());
-                }
-            }
+        for (name, pair, fresh_pair) in [
+            ("n_uc", &self.user_comm, &fresh.user_comm),
+            ("n_cz", &self.comm_topic, &fresh.comm_topic),
+            ("n_zw", &self.word_topic, &fresh.word_topic),
+        ] {
+            let (fm, fg) = fresh_pair.snapshot();
+            pair.check_against(name, &fm, &fg)?;
         }
         Ok(())
     }
@@ -284,19 +282,24 @@ impl DeltaSink for NoDelta {
 /// wins — and each document is owned by exactly one worker, so deltas
 /// from disjoint shards never conflict and all increments commute.
 ///
-/// When the owning state's word-topic counts live on a shared atomic
-/// plane (`LockFreeCounts`), workers publish `n_zw`/`n_z` increments
-/// directly during the sweep, so those arrays are dropped from the log
-/// entirely (`track_word_topic == false`) and the delta shrinks to the
-/// small `n_uc`/`n_cz`/`n_tz`/assignment entries.
+/// When one of the owning state's count pairs lives on a shared atomic
+/// plane (`LockFreeCounts`), workers publish its increments directly
+/// during the sweep, so that pair is dropped from the log entirely
+/// (its `track_*` flag is `false`). With the full plane set shared the
+/// delta shrinks to the assignment writes plus the tiny `n_tz`
+/// entries.
 #[derive(Debug, Clone)]
 pub struct CountDelta {
     vocab_size: usize,
     n_topics_dim: usize,
     n_communities_dim: usize,
-    /// `false` under `LockFreeCounts`: word-topic increments go to the
-    /// shared plane, not this log.
+    /// `false` when `n_zw`/`n_z` live on a shared plane: word-topic
+    /// increments go to the plane, not this log.
     track_word_topic: bool,
+    /// `false` when `n_cz`/`n_c` live on a shared plane.
+    track_comm_topic: bool,
+    /// `false` when `n_uc` lives on a shared plane.
+    track_user_comm: bool,
     /// `(doc, community, topic)` writes in sweep order.
     assign: Vec<(u32, u32, u32)>,
     /// Distinct documents reassigned (assignment writes for one document
@@ -311,15 +314,17 @@ pub struct CountDelta {
 }
 
 impl CountDelta {
-    /// Empty delta shaped like `state`. Word-topic entries are tracked
-    /// only when `state` owns dense word-topic planes; a shared atomic
-    /// plane receives those increments directly.
+    /// Empty delta shaped like `state`. A pair's entries are tracked
+    /// only when `state` owns its dense planes; a shared atomic plane
+    /// receives those increments directly.
     pub fn new(state: &CpdState) -> Self {
         Self {
             vocab_size: state.vocab_size,
             n_topics_dim: state.n_topics,
             n_communities_dim: state.n_communities,
             track_word_topic: !state.word_topic.is_shared(),
+            track_comm_topic: !state.comm_topic.is_shared(),
+            track_user_comm: !state.user_comm.is_shared(),
             assign: Vec::new(),
             changed_docs: 0,
             n_uc: Vec::new(),
@@ -334,6 +339,16 @@ impl CountDelta {
     /// Does this log carry `n_zw`/`n_z` entries?
     pub fn tracks_word_topic(&self) -> bool {
         self.track_word_topic
+    }
+
+    /// Does this log carry `n_cz`/`n_c` entries?
+    pub fn tracks_comm_topic(&self) -> bool {
+        self.track_comm_topic
+    }
+
+    /// Does this log carry `n_uc` entries?
+    pub fn tracks_user_comm(&self) -> bool {
+        self.track_user_comm
     }
 
     /// No recorded changes?
@@ -368,8 +383,10 @@ impl CountDelta {
     ) {
         let z_n = self.n_topics_dim;
         let w_n = self.vocab_size;
-        self.n_cz.push(((c * z_n + z_old) as u32, -1));
-        self.n_cz.push(((c * z_n + z_new) as u32, 1));
+        if self.track_comm_topic {
+            self.n_cz.push(((c * z_n + z_old) as u32, -1));
+            self.n_cz.push(((c * z_n + z_new) as u32, 1));
+        }
         if self.track_word_topic {
             for w in words {
                 self.n_zw.push(((z_old * w_n + w.index()) as u32, -1));
@@ -395,12 +412,16 @@ impl CountDelta {
     ) {
         let c_n = self.n_communities_dim;
         let z_n = self.n_topics_dim;
-        self.n_uc.push(((u * c_n + c_old) as u32, -1));
-        self.n_uc.push(((u * c_n + c_new) as u32, 1));
-        self.n_cz.push(((c_old * z_n + z) as u32, -1));
-        self.n_cz.push(((c_new * z_n + z) as u32, 1));
-        self.n_c[c_old] -= 1;
-        self.n_c[c_new] += 1;
+        if self.track_user_comm {
+            self.n_uc.push(((u * c_n + c_old) as u32, -1));
+            self.n_uc.push(((u * c_n + c_new) as u32, 1));
+        }
+        if self.track_comm_topic {
+            self.n_cz.push(((c_old * z_n + z) as u32, -1));
+            self.n_cz.push(((c_new * z_n + z) as u32, 1));
+            self.n_c[c_old] -= 1;
+            self.n_c[c_new] += 1;
+        }
         self.write_assign(d, c_new, z);
     }
 
@@ -420,7 +441,16 @@ impl CountDelta {
     /// assignment writes never conflict and increments simply add).
     pub fn merge(&mut self, other: &CountDelta) {
         debug_assert_eq!(
-            self.track_word_topic, other.track_word_topic,
+            (
+                self.track_word_topic,
+                self.track_comm_topic,
+                self.track_user_comm
+            ),
+            (
+                other.track_word_topic,
+                other.track_comm_topic,
+                other.track_user_comm
+            ),
             "cannot merge deltas from different count-plane backends"
         );
         self.assign.extend_from_slice(&other.assign);
@@ -446,18 +476,22 @@ impl CountDelta {
     /// replica sync mixes log replay with wholesale snapshot copies per
     /// array; a copied array must not also be replayed).
     ///
-    /// Word-topic entries replay only into dense planes; a shared
-    /// atomic plane already received its increments during the sweep
-    /// (and the log carries none — see [`CountDelta::new`]).
+    /// A pair's entries replay only into dense planes; a shared atomic
+    /// plane already received its increments during the sweep (and the
+    /// log carries none — see [`CountDelta::new`]).
     pub fn apply_selected(&self, state: &mut CpdState, plan: SyncPlan) {
         if plan.assign {
             self.apply_assign(&mut state.doc_community, &mut state.doc_topic);
         }
         if plan.n_uc {
-            self.apply_n_uc(&mut state.n_uc);
+            if let Some((n_uc, _)) = state.user_comm.dense_mut() {
+                self.apply_n_uc(n_uc);
+            }
         }
         if plan.n_cz {
-            self.apply_n_cz(&mut state.n_cz);
+            if let Some((n_cz, _)) = state.comm_topic.dense_mut() {
+                self.apply_n_cz(n_cz);
+            }
         }
         if plan.n_zw {
             if let Some((n_zw, _)) = state.word_topic.dense_mut() {
@@ -468,7 +502,9 @@ impl CountDelta {
             self.apply_n_tz(&mut state.n_tz);
         }
         if plan.marginals {
-            self.apply_n_c(&mut state.n_c);
+            if let Some((_, n_c)) = state.comm_topic.dense_mut() {
+                self.apply_n_c(n_c);
+            }
             if let Some((_, n_z)) = state.word_topic.dense_mut() {
                 self.apply_n_z(n_z);
             }
@@ -619,12 +655,12 @@ impl SyncPlan {
 pub struct CountRefresh {
     /// Snapshot of `(doc_community, doc_topic)`.
     pub assign: Option<(Vec<u32>, Vec<u32>)>,
-    /// Snapshot of `n_uc`.
+    /// Snapshot of `n_uc` (never shipped when the pair is shared: the
+    /// atomic plane needs no replica sync at all).
     pub n_uc: Option<Vec<u32>>,
-    /// Snapshot of `n_cz`.
+    /// Snapshot of `n_cz` (never shipped when the pair is shared).
     pub n_cz: Option<Vec<u32>>,
-    /// Snapshot of `n_zw` (never shipped under `LockFreeCounts`: the
-    /// shared atomic plane needs no replica sync at all).
+    /// Snapshot of `n_zw` (never shipped when the pair is shared).
     pub n_zw: Option<Vec<u32>>,
     /// Snapshot of `n_tz`.
     pub n_tz: Option<Vec<u32>>,
@@ -646,22 +682,26 @@ impl CountRefresh {
     /// `n_workers` shards. The snapshots themselves are cloned by the
     /// fold workers (`parallel.rs`), one per non-replayed array.
     ///
-    /// A shared atomic word-topic plane never syncs: its log is empty
-    /// and every replica aliases the canonical plane already.
+    /// A shared atomic plane never syncs: its log is empty and every
+    /// replica aliases the canonical plane already.
     pub fn decide(state: &CpdState, totals: DeltaSizes, n_workers: usize) -> SyncPlan {
         // `replay.x == false` means "snapshot shipped, skip the log".
         let mut replay = SyncPlan::ALL;
         if Self::copy_wins(totals.assign, n_workers, state.doc_community.len() * 2) {
             replay.assign = false;
         }
-        if Self::copy_wins(totals.n_uc, n_workers, state.n_uc.len()) {
+        if !state.user_comm.is_shared()
+            && Self::copy_wins(totals.n_uc, n_workers, state.user_comm.len_main())
+        {
             replay.n_uc = false;
         }
-        if Self::copy_wins(totals.n_cz, n_workers, state.n_cz.len()) {
+        if !state.comm_topic.is_shared()
+            && Self::copy_wins(totals.n_cz, n_workers, state.comm_topic.len_main())
+        {
             replay.n_cz = false;
         }
         if !state.word_topic.is_shared()
-            && Self::copy_wins(totals.n_zw, n_workers, state.word_topic.len_zw())
+            && Self::copy_wins(totals.n_zw, n_workers, state.word_topic.len_main())
         {
             replay.n_zw = false;
         }
@@ -678,13 +718,13 @@ impl CountRefresh {
             state.doc_topic.copy_from_slice(dt);
         }
         if let Some(a) = &self.n_uc {
-            state.n_uc.copy_from_slice(a);
+            state.user_comm.copy_main_from(a);
         }
         if let Some(a) = &self.n_cz {
-            state.n_cz.copy_from_slice(a);
+            state.comm_topic.copy_main_from(a);
         }
         if let Some(a) = &self.n_zw {
-            state.word_topic.copy_zw_from(a);
+            state.word_topic.copy_main_from(a);
         }
         if let Some(a) = &self.n_tz {
             state.n_tz.copy_from_slice(a);
@@ -752,8 +792,9 @@ mod tests {
         let g = graph();
         let s = CpdState::init(&g, &config());
         s.check_consistency(&g).unwrap();
-        assert_eq!(s.n_u, vec![2, 1]);
-        assert_eq!(s.n_c.iter().sum::<u32>(), 3);
+        assert_eq!((s.n_u(0), s.n_u(1)), (2, 1));
+        let (_, n_c) = s.comm_topic.snapshot();
+        assert_eq!(n_c.iter().sum::<u32>(), 3);
         let (_, n_z) = s.word_topic.snapshot();
         assert_eq!(n_z.iter().sum::<u32>(), 5);
         assert_eq!(s.n_t, vec![1, 2]);
@@ -813,7 +854,7 @@ mod tests {
     fn consistency_check_detects_corruption() {
         let g = graph();
         let mut s = CpdState::init(&g, &config());
-        s.n_cz[0] += 1;
+        s.comm_topic.add(0, 1);
         assert!(s.check_consistency(&g).is_err());
     }
 
@@ -833,16 +874,18 @@ mod tests {
         let c = state.doc_community[d] as usize;
         let z_old = state.doc_topic[d] as usize;
         let t = doc.timestamp as usize;
-        state.n_cz[c * z_n + z_old] -= 1;
-        state.n_cz[c * z_n + z_new as usize] += 1;
+        state.comm_topic.add(c * z_n + z_old, -1);
+        state.comm_topic.add(c * z_n + z_new as usize, 1);
         for w in &doc.words {
-            state.word_topic.add_zw(z_old * w_n + w.index(), -1);
-            state.word_topic.add_zw(z_new as usize * w_n + w.index(), 1);
+            state.word_topic.add(z_old * w_n + w.index(), -1);
+            state.word_topic.add(z_new as usize * w_n + w.index(), 1);
         }
-        state.word_topic.add_z(z_old, -(doc.words.len() as i32));
         state
             .word_topic
-            .add_z(z_new as usize, doc.words.len() as i32);
+            .add_marginal(z_old, -(doc.words.len() as i32));
+        state
+            .word_topic
+            .add_marginal(z_new as usize, doc.words.len() as i32);
         state.n_tz[t * z_n + z_old] -= 1;
         state.n_tz[t * z_n + z_new as usize] += 1;
         state.doc_topic[d] = z_new;
@@ -850,12 +893,12 @@ mod tests {
 
         let u = doc.author.index();
         let z = state.doc_topic[d] as usize;
-        state.n_uc[u * c_n + c] -= 1;
-        state.n_uc[u * c_n + c_new as usize] += 1;
-        state.n_cz[c * z_n + z] -= 1;
-        state.n_cz[c_new as usize * z_n + z] += 1;
-        state.n_c[c] -= 1;
-        state.n_c[c_new as usize] += 1;
+        state.user_comm.add(u * c_n + c, -1);
+        state.user_comm.add(u * c_n + c_new as usize, 1);
+        state.comm_topic.add(c * z_n + z, -1);
+        state.comm_topic.add(c_new as usize * z_n + z, 1);
+        state.comm_topic.add_marginal(c, -1);
+        state.comm_topic.add_marginal(c_new as usize, 1);
         state.doc_community[d] = c_new;
         delta.record_community_move(d, u, z, c, c_new as usize);
     }
@@ -875,11 +918,10 @@ mod tests {
         delta.apply(&mut applied);
         assert_eq!(applied.doc_community, swept.doc_community);
         assert_eq!(applied.doc_topic, swept.doc_topic);
-        assert_eq!(applied.n_uc, swept.n_uc);
-        assert_eq!(applied.n_cz, swept.n_cz);
+        assert_eq!(applied.user_comm.snapshot(), swept.user_comm.snapshot());
+        assert_eq!(applied.comm_topic.snapshot(), swept.comm_topic.snapshot());
         assert_eq!(applied.word_topic.snapshot(), swept.word_topic.snapshot());
         assert_eq!(applied.n_tz, swept.n_tz);
-        assert_eq!(applied.n_c, swept.n_c);
     }
 
     #[test]
@@ -899,8 +941,11 @@ mod tests {
         let mut via_seq = base.clone();
         d1.apply(&mut via_seq);
         d2.apply(&mut via_seq);
-        assert_eq!(via_merge.n_uc, via_seq.n_uc);
-        assert_eq!(via_merge.n_cz, via_seq.n_cz);
+        assert_eq!(via_merge.user_comm.snapshot(), via_seq.user_comm.snapshot());
+        assert_eq!(
+            via_merge.comm_topic.snapshot(),
+            via_seq.comm_topic.snapshot()
+        );
         assert_eq!(
             via_merge.word_topic.snapshot(),
             via_seq.word_topic.snapshot()
@@ -909,10 +954,10 @@ mod tests {
         via_merge.check_consistency(&g).unwrap();
     }
 
-    /// Under a shared atomic plane the delta drops `n_zw`/`n_z`
-    /// entirely: increments land on the plane during the sweep, the log
-    /// carries only the small arrays, and applying the delta syncs
-    /// everything *except* the plane (which needs no sync).
+    /// Under a shared atomic word-topic plane the delta drops
+    /// `n_zw`/`n_z` entirely: increments land on the plane during the
+    /// sweep, the log carries only the small arrays, and applying the
+    /// delta syncs everything *except* the plane (which needs no sync).
     #[test]
     fn shared_plane_deltas_drop_word_topic_entries() {
         let g = graph();
@@ -921,6 +966,7 @@ mod tests {
         let base = shared.clone();
         let mut delta = CountDelta::new(&shared);
         assert!(!delta.tracks_word_topic());
+        assert!(delta.tracks_comm_topic() && delta.tracks_user_comm());
         move_doc(&mut shared, &g, &mut delta, 0, 2, 1);
         move_doc(&mut shared, &g, &mut delta, 2, 1, 0);
         let sizes = delta.log_sizes();
@@ -936,6 +982,42 @@ mod tests {
         delta.verify_against_rebuild(&g, &base).unwrap();
     }
 
+    /// With the full plane set shared (`LockFreeCounts`), the log drops
+    /// `n_uc`/`n_cz`/`n_zw` *and* the dense `n_c`/`n_z` marginals: only
+    /// the assignment writes and the tiny `n_tz` entries remain.
+    #[test]
+    fn full_shared_plane_deltas_carry_only_assignments_and_n_tz() {
+        let g = graph();
+        let mut shared = CpdState::init(&g, &config());
+        shared.user_comm = shared.user_comm.to_shared(2);
+        shared.comm_topic = shared.comm_topic.to_shared(2);
+        shared.word_topic = shared.word_topic.to_shared(2);
+        let base = shared.clone();
+        let mut delta = CountDelta::new(&shared);
+        assert!(!delta.tracks_word_topic());
+        assert!(!delta.tracks_comm_topic());
+        assert!(!delta.tracks_user_comm());
+        move_doc(&mut shared, &g, &mut delta, 0, 2, 1);
+        move_doc(&mut shared, &g, &mut delta, 2, 1, 0);
+        let sizes = delta.log_sizes();
+        assert_eq!(
+            (sizes.n_uc, sizes.n_cz, sizes.n_zw),
+            (0, 0, 0),
+            "no plane log entries under the full shared plane set"
+        );
+        assert!(sizes.assign > 0 && sizes.n_tz > 0);
+        // Every plane received the moves directly (base aliases them).
+        assert_eq!(base.user_comm.snapshot(), shared.user_comm.snapshot());
+        assert_eq!(base.comm_topic.snapshot(), shared.comm_topic.snapshot());
+        assert_eq!(base.word_topic.snapshot(), shared.word_topic.snapshot());
+        // Applying the slim delta to an aliasing replica restores full
+        // consistency — all three atomic planes validate at the barrier.
+        let mut replica = base.clone();
+        delta.apply(&mut replica);
+        replica.check_consistency(&g).unwrap();
+        delta.verify_against_rebuild(&g, &base).unwrap();
+    }
+
     #[test]
     fn empty_delta_is_a_no_op() {
         let g = graph();
@@ -944,7 +1026,7 @@ mod tests {
         assert!(delta.is_empty());
         let mut applied = base.clone();
         delta.apply(&mut applied);
-        assert_eq!(applied.n_uc, base.n_uc);
+        assert_eq!(applied.user_comm.snapshot(), base.user_comm.snapshot());
         delta.verify_against_rebuild(&g, &base).unwrap();
     }
 
