@@ -1,0 +1,176 @@
+//! End-to-end server benchmarks: the full TCP path — client encode →
+//! loopback socket → frame decode → pipelined batch through the
+//! runtime → response encode → client decode — at 1/2/4 worker
+//! threads, plus the fold-in cache cold vs warm.
+//!
+//! The model is synthesised at the paper's serving shape (|C| = 50,
+//! |Z| = 50, 60k vocabulary — same rationale as `serve_queries`): query
+//! cost depends only on the shapes. Comparing `e2e_mixed_batch_x*`
+//! against `serve_runtime`'s in-process `mixed_batch_x*` isolates the
+//! wire + socket overhead; on the 1-core CI box the worker ladder
+//! measures time-sliced scheduling, not parallel speedup (the
+//! `gibbs_parallel` caveat applies).
+//!
+//! Results land in `BENCH_serve_server.json`; `CPD_BENCH_SMOKE=1` runs
+//! a tiny single-iteration version for CI (distinct `_smoke` group
+//! name so recorded results are not clobbered).
+
+use cpd_core::{CpdConfig, CpdModel, Eta};
+use cpd_prob::rng::seeded_rng;
+use cpd_serve::{FoldInItem, ProfileIndex, QueryRequest, ServeOptions, ServeRuntime};
+use cpd_server::{Client, Server, ServerOptions};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use social_graph::WordId;
+use std::sync::Arc;
+
+fn smoke() -> bool {
+    std::env::var_os("CPD_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn group_name(base: &str) -> String {
+    if smoke() {
+        format!("{base}_smoke")
+    } else {
+        base.to_string()
+    }
+}
+
+/// The serving shape: K=50 communities, 50 topics, 60k vocabulary.
+fn shape() -> (usize, usize, usize, usize) {
+    if smoke() {
+        (8, 8, 2_000, 100)
+    } else {
+        (50, 50, 60_000, 2_000)
+    }
+}
+
+fn random_simplex(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    let mut row: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 1e-6).collect();
+    let total: f64 = row.iter().sum();
+    row.iter_mut().for_each(|x| *x /= total);
+    row
+}
+
+/// A synthetic but fully normalised model of the given shape.
+fn synthetic_index(seed: u64) -> Arc<ProfileIndex> {
+    let (c_n, z_n, v_n, u_n) = shape();
+    let mut rng = seeded_rng(seed);
+    let eta_counts: Vec<f64> = (0..c_n * c_n * z_n).map(|_| rng.gen::<f64>()).collect();
+    let model = CpdModel {
+        pi: (0..u_n).map(|_| random_simplex(&mut rng, c_n)).collect(),
+        theta: (0..c_n).map(|_| random_simplex(&mut rng, z_n)).collect(),
+        phi: (0..z_n).map(|_| random_simplex(&mut rng, v_n)).collect(),
+        eta: Eta::from_counts(c_n, z_n, &eta_counts, 0.01),
+        nu: vec![0.3; cpd_core::features::N_FEATURES],
+        topic_popularity: vec![vec![1.0 / z_n as f64; z_n]; 4],
+        doc_community: vec![],
+        doc_topic: vec![],
+    };
+    Arc::new(ProfileIndex::build(model, &CpdConfig::new(c_n, z_n)))
+}
+
+fn mixed_batch(rng: &mut StdRng, n: usize, z_n: usize, v_n: usize) -> Vec<QueryRequest> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => QueryRequest::RankCommunities {
+                query: (0..3)
+                    .map(|_| WordId(rng.gen_range(0..v_n as u32)))
+                    .collect(),
+            },
+            1 => QueryRequest::QueryTopics {
+                query: (0..3)
+                    .map(|_| WordId(rng.gen_range(0..v_n as u32)))
+                    .collect(),
+            },
+            _ => QueryRequest::TopWords {
+                topic: i % z_n,
+                k: 10,
+            },
+        })
+        .collect()
+}
+
+/// Loopback end-to-end latency of a pipelined mixed batch across the
+/// worker ladder.
+fn bench_e2e_mixed(c: &mut Criterion) {
+    let (_, z_n, v_n, _) = shape();
+    let index = synthetic_index(0xCAFE);
+    let mut rng = seeded_rng(7);
+    let batch = mixed_batch(&mut rng, if smoke() { 8 } else { 64 }, z_n, v_n);
+
+    let mut group = c.benchmark_group(group_name("serve_server"));
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let ladder: &[usize] = if smoke() { &[2] } else { &[1, 2, 4] };
+    for &workers in ladder {
+        let runtime = ServeRuntime::new(
+            Arc::clone(&index),
+            None,
+            ServeOptions {
+                workers,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        group.bench_function(format!("e2e_mixed_batch_x{workers}"), |b| {
+            b.iter(|| black_box(client.query_batch(batch.clone()).unwrap()))
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // Fold-in over the wire, cache cold vs warm: cold fabricates a
+    // fresh (item, seed) per dispatch so every query runs the Gibbs
+    // chain; warm replays one batch so every query after the first
+    // dispatch answers from the cache.
+    let n_items = if smoke() { 4 } else { 16 };
+    let runtime = ServeRuntime::new(
+        Arc::clone(&index),
+        None,
+        ServeOptions {
+            workers: if smoke() { 2 } else { 4 },
+            fold_cache_capacity: 4096,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let make_batch = |round: u64| -> Vec<QueryRequest> {
+        let mut rng = seeded_rng(0xF01D);
+        (0..n_items)
+            .map(|i| QueryRequest::FoldIn {
+                item: FoldInItem::doc(
+                    (0..12)
+                        .map(|_| WordId(rng.gen_range(0..v_n as u32)))
+                        .collect(),
+                ),
+                // Distinct per round for the cold run ⇒ all misses;
+                // round pinned to 0 for the warm run ⇒ all hits.
+                seed: round * n_items as u64 + i as u64,
+            })
+            .collect()
+    };
+    let mut round = 1u64;
+    group.bench_function(format!("foldin_{n_items}_cold"), |b| {
+        b.iter(|| {
+            round += 1;
+            black_box(client.query_batch(make_batch(round)).unwrap())
+        })
+    });
+    let warm = make_batch(0);
+    client.query_batch(warm.clone()).unwrap(); // populate
+    group.bench_function(format!("foldin_{n_items}_warm"), |b| {
+        b.iter(|| black_box(client.query_batch(warm.clone()).unwrap()))
+    });
+    group.finish();
+    drop(client);
+    let report = server.shutdown();
+    assert!(report.cache.hits > 0, "warm run must hit the cache");
+}
+
+criterion_group!(benches, bench_e2e_mixed);
+criterion_main!(benches);

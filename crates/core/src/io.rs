@@ -37,6 +37,25 @@ impl fmt::Display for ModelIoError {
 
 impl std::error::Error for ModelIoError {}
 
+impl ModelIoError {
+    /// Prefix the error with the file it concerns. The stream-level
+    /// entry points ([`read_model`]/[`write_model`]) are path-agnostic;
+    /// the file-path entry points ([`load_model`]/[`save_model`]) wrap
+    /// every failure through here so callers that relay the message —
+    /// e.g. a serving hot-reload answering over the wire — always name
+    /// the offending snapshot. `Io` stays `Io` (the `ErrorKind` is
+    /// preserved for programmatic handling), `Format` stays `Format`.
+    pub fn with_path(self, path: &Path) -> Self {
+        match self {
+            ModelIoError::Io(e) => ModelIoError::Io(std::io::Error::new(
+                e.kind(),
+                format!("{}: {e}", path.display()),
+            )),
+            ModelIoError::Format(m) => ModelIoError::Format(format!("{}: {m}", path.display())),
+        }
+    }
+}
+
 impl From<std::io::Error> for ModelIoError {
     fn from(e: std::io::Error) -> Self {
         ModelIoError::Io(e)
@@ -99,7 +118,7 @@ pub fn save_model(model: &CpdModel, path: impl AsRef<Path>) -> Result<(), ModelI
         // Best effort: do not leave the partial sibling behind.
         let _ = std::fs::remove_file(&tmp);
     }
-    result
+    result.map_err(|e: ModelIoError| e.with_path(path))
 }
 
 /// Read a model from `reader`.
@@ -166,9 +185,12 @@ pub fn read_model<R: Read>(reader: R) -> Result<CpdModel, ModelIoError> {
     Ok(model)
 }
 
-/// Load a model from a file at `path`.
+/// Load a model from a file at `path` (the serving hot-reload path).
+/// Failures carry the path, so a relayed error names the snapshot.
 pub fn load_model(path: impl AsRef<Path>) -> Result<CpdModel, ModelIoError> {
-    read_model(std::fs::File::open(path)?)
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| ModelIoError::from(e).with_path(path))?;
+    read_model(file).map_err(|e| e.with_path(path))
 }
 
 fn validate(model: &CpdModel) -> Result<(), ModelIoError> {

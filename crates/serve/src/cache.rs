@@ -1,0 +1,343 @@
+//! The fold-in cache: repeated fold-ins of the same unseen item answer
+//! from memory instead of re-running the Gibbs chain.
+//!
+//! Fold-in is the runtime's only *expensive* query class (a full local
+//! Gibbs chain per item, ~three orders of magnitude above a table
+//! lookup), and real query streams repeat — the same fresh document
+//! gets profiled by several downstream applications, the same new user
+//! re-queries her profile on every page load. Because a fold-in answer
+//! is **deterministic given `(item, seed, snapshot)`** (see
+//! [`FoldIn`](crate::FoldIn)), it is perfectly cacheable: the cache key
+//! is an FNV-1a content hash over the item's documents, friends and
+//! seed, mixed with the snapshot **generation** so a hot-reload
+//! atomically invalidates every cached profile without touching the
+//! entries (stale keys can never match; [`FoldCache::invalidate`]
+//! additionally frees the memory).
+//!
+//! The store is a fixed number of independently locked shards (selected
+//! by the key's high bits, which FNV mixes well), each a small
+//! tick-stamped LRU map — lookups from different connections contend
+//! only 1-in-[`N_SHARDS`] of the time, and eviction is an `O(shard)`
+//! scan that is negligible next to the Gibbs chain it replaces.
+//! Hit / miss / eviction counters surface in
+//! [`ServeDiagnostics`](crate::ServeDiagnostics) as [`CacheStats`].
+
+use crate::foldin::{FoldInItem, FoldedProfile};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Independently locked shards in a [`FoldCache`].
+pub const N_SHARDS: usize = 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the fold-in request's full identity: every document's
+/// words (with per-document separators so `[[a, b]]` and `[[a], [b]]`
+/// differ), the friend list, the per-request seed and the snapshot
+/// generation. Two requests with equal keys get byte-identical answers,
+/// so a (vanishingly unlikely) 64-bit collision degrades to a wrong
+/// *profile*, never to corruption — the trade the ROADMAP's serving
+/// item accepts for a fixed-width key.
+pub fn fold_key(item: &FoldInItem, seed: u64, generation: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(item.docs.len() as u64);
+    for doc in &item.docs {
+        eat(doc.len() as u64);
+        for w in doc {
+            eat(w.index() as u64);
+        }
+    }
+    eat(item.friends.len() as u64);
+    for v in &item.friends {
+        eat(v.index() as u64);
+    }
+    eat(seed);
+    eat(generation);
+    h
+}
+
+/// Cache counters, surfaced through
+/// [`ServeDiagnostics`](crate::ServeDiagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Fold-in queries answered from the cache.
+    pub hits: u64,
+    /// Fold-in queries that ran the Gibbs chain (and then populated the
+    /// cache).
+    pub misses: u64,
+    /// Entries displaced to make room (capacity pressure, not
+    /// invalidation).
+    pub evictions: u64,
+    /// Entries resident right now.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all cache-eligible queries (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One entry: the profile plus its LRU tick and the generation it was
+/// computed against (kept for targeted invalidation sweeps).
+struct Entry {
+    tick: u64,
+    generation: u64,
+    profile: FoldedProfile,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// A sharded LRU of [`FoldedProfile`]s keyed by [`fold_key`].
+///
+/// Capacity 0 disables the cache entirely: every lookup misses without
+/// counting, so a cache-less runtime's diagnostics stay all-zero.
+pub struct FoldCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Max entries per shard (total capacity / [`N_SHARDS`], min 1).
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl FoldCache {
+    /// A cache holding up to `capacity` profiles across [`N_SHARDS`]
+    /// shards (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(N_SHARDS).max(1)
+        };
+        Self {
+            shards: (0..N_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache can ever hold an entry.
+    pub fn enabled(&self) -> bool {
+        self.per_shard > 0
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // High bits: FNV-1a mixes them at least as well as the low ones
+        // and they are independent of any HashMap bucket masking below.
+        &self.shards[(key >> 61) as usize % N_SHARDS]
+    }
+
+    /// Look `key` up, counting a hit or miss (no-op when disabled).
+    pub fn get(&self, key: u64) -> Option<FoldedProfile> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = lock(self.shard(key));
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let profile = entry.profile.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(profile)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert the profile computed for `key` under snapshot
+    /// `generation`, evicting the shard's least recently used entry if
+    /// it is full (no-op when disabled).
+    pub fn insert(&self, key: u64, generation: u64, profile: FoldedProfile) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = lock(self.shard(key));
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            // O(shard) LRU scan — shards are small (capacity /
+            // N_SHARDS) and eviction only happens under capacity
+            // pressure, so this never shows next to the Gibbs chain
+            // whose rerun it saves.
+            if let Some(&lru) = shard.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
+                shard.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                tick,
+                generation,
+                profile,
+            },
+        );
+    }
+
+    /// Drop every cached profile (called on snapshot swap: the
+    /// generation-mixed keys already make old entries unreachable, this
+    /// frees their memory immediately).
+    pub fn invalidate(&self) {
+        for shard in &self.shards {
+            lock(shard).map.clear();
+        }
+    }
+
+    /// Drop entries computed against generations **older than**
+    /// `live`. Equivalent to [`FoldCache::invalidate`] right after a
+    /// swap; `>=` (not `==`) so that when reloads race, a slower, older
+    /// reload's late sweep cannot wipe the entries a newer generation
+    /// already repopulated — stale entries it leaves behind are
+    /// unreachable anyway (the generation is mixed into every key).
+    pub fn retain_generation(&self, live: u64) {
+        for shard in &self.shards {
+            lock(shard).map.retain(|_, e| e.generation >= live);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| lock(s).map.len() as u64).sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FoldCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FoldCache")
+            .field("per_shard", &self.per_shard)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Nothing in here panics while holding a shard lock, but recover from
+/// poisoning anyway — a cache must never take the pool down.
+fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social_graph::{UserId, WordId};
+
+    fn profile(tag: f64) -> FoldedProfile {
+        FoldedProfile {
+            membership: vec![tag],
+            topics: vec![tag],
+            doc_topics: vec![],
+        }
+    }
+
+    #[test]
+    fn key_distinguishes_doc_boundaries_seed_and_generation() {
+        let split = FoldInItem {
+            docs: vec![vec![WordId(1)], vec![WordId(2)]],
+            friends: vec![],
+        };
+        let joined = FoldInItem {
+            docs: vec![vec![WordId(1), WordId(2)]],
+            friends: vec![],
+        };
+        assert_ne!(fold_key(&split, 0, 1), fold_key(&joined, 0, 1));
+        assert_ne!(fold_key(&split, 0, 1), fold_key(&split, 1, 1));
+        assert_ne!(fold_key(&split, 0, 1), fold_key(&split, 0, 2));
+        let friended = FoldInItem {
+            friends: vec![UserId(3)],
+            ..split.clone()
+        };
+        assert_ne!(fold_key(&split, 0, 1), fold_key(&friended, 0, 1));
+        assert_eq!(fold_key(&split, 0, 1), fold_key(&split.clone(), 0, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_counts() {
+        let cache = FoldCache::new(2 * N_SHARDS); // two entries per shard
+        let item = FoldInItem::doc(vec![WordId(0)]);
+        // Find three keys landing in the same shard.
+        let mut keys = Vec::new();
+        let mut seed = 0u64;
+        let shard0 = fold_key(&item, 0, 1) >> 61;
+        while keys.len() < 3 {
+            let k = fold_key(&item, seed, 1);
+            if k >> 61 == shard0 {
+                keys.push((k, seed));
+            }
+            seed += 1;
+        }
+        cache.insert(keys[0].0, 1, profile(0.0));
+        cache.insert(keys[1].0, 1, profile(1.0));
+        // Touch key 0 so key 1 is the LRU, then insert key 2.
+        assert!(cache.get(keys[0].0).is_some());
+        cache.insert(keys[2].0, 1, profile(2.0));
+        assert!(cache.get(keys[0].0).is_some(), "recently used survives");
+        assert!(cache.get(keys[1].0).is_none(), "LRU evicted");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_without_counting() {
+        let cache = FoldCache::new(0);
+        cache.insert(7, 1, profile(0.5));
+        assert!(cache.get(7).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn invalidate_and_retain_generation() {
+        let cache = FoldCache::new(64);
+        cache.insert(1, 1, profile(0.1));
+        cache.insert(2, 2, profile(0.2));
+        cache.retain_generation(2);
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
+        // A slower, *older* reload's late sweep must not wipe entries a
+        // newer generation already repopulated.
+        cache.insert(3, 3, profile(0.3));
+        cache.retain_generation(2);
+        assert!(cache.get(3).is_some(), "newer-generation entry survives");
+        cache.invalidate();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

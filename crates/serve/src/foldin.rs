@@ -76,7 +76,7 @@ impl FoldInConfig {
 
 /// An unseen document or user to profile: a bag-of-words document list
 /// plus optional friendship links into the trained user set.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FoldInItem {
     /// The item's documents (one entry for a single-document fold-in).
     pub docs: Vec<Vec<WordId>>,
@@ -102,7 +102,7 @@ impl FoldInItem {
 }
 
 /// Posterior profile of a folded-in document or user.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FoldedProfile {
     /// Posterior community membership `π̂` (length `|C|`, sums to 1).
     pub membership: Vec<f64>,

@@ -1,0 +1,123 @@
+//! The generation-numbered [`IndexHandle`]: the swap point that lets a
+//! new model snapshot land **under live traffic**.
+//!
+//! A [`ProfileIndex`] is immutable, so serving it
+//! is trivially lock-free — until a refit lands and the runtime needs
+//! to move to the new snapshot without tearing down its worker pool or
+//! breaking in-flight batches. The handle solves exactly that:
+//!
+//! * the *current* index lives behind an `Arc` guarded by a mutex that
+//!   is held only for the pointer clone/replace (never across a query),
+//! * every published snapshot carries a monotonically increasing
+//!   **generation** number, mirrored in an atomic for lock-free reads,
+//! * readers take `(Arc, generation)` pairs with [`IndexHandle::load`]
+//!   — one load per *batch*, so every query in a batch is answered on
+//!   one self-consistent snapshot, and a batch that straddles a swap
+//!   simply finishes on the generation it started with (the old `Arc`
+//!   stays alive until its last batch drops it).
+//!
+//! The generation number is what makes the swap observable: the fold-in
+//! cache keys on it (a swap invalidates every cached profile), reload
+//! responses report it, and [`ServeDiagnostics`](crate::ServeDiagnostics)
+//! surfaces it so an operator can confirm which snapshot is live.
+
+use crate::index::ProfileIndex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The generation a fresh handle starts at.
+pub const FIRST_GENERATION: u64 = 1;
+
+/// A swappable, generation-numbered reference to the live
+/// [`ProfileIndex`].
+///
+/// Shared between the [`ServeRuntime`](crate::ServeRuntime) (which
+/// loads it once per batch) and whoever lands new snapshots (the
+/// `reload` admin path). Cloning the handle is not needed — it is
+/// always shared behind an `Arc`.
+#[derive(Debug)]
+pub struct IndexHandle {
+    /// Current snapshot + its generation. The lock is held only for
+    /// the `Arc` clone (load) or replace (swap) — queries never run
+    /// under it.
+    current: Mutex<(Arc<ProfileIndex>, u64)>,
+    /// Lock-free mirror of the live generation for diagnostics.
+    generation: AtomicU64,
+}
+
+impl IndexHandle {
+    /// Wrap `index` as generation [`FIRST_GENERATION`].
+    pub fn new(index: Arc<ProfileIndex>) -> Self {
+        Self {
+            current: Mutex::new((index, FIRST_GENERATION)),
+            generation: AtomicU64::new(FIRST_GENERATION),
+        }
+    }
+
+    /// The live snapshot and its generation, as one consistent pair.
+    pub fn load(&self) -> (Arc<ProfileIndex>, u64) {
+        let guard = match self.current.lock() {
+            Ok(g) => g,
+            // Neither `load` nor `swap` can panic while holding the
+            // lock (they only move `Arc`s), but recover rather than
+            // propagate just in case.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        (Arc::clone(&guard.0), guard.1)
+    }
+
+    /// The live snapshot's generation (lock-free).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Publish `index` as the new live snapshot, returning its
+    /// generation. In-flight batches keep the `Arc` they loaded and
+    /// finish on the old snapshot; every batch submitted after `swap`
+    /// returns sees the new one.
+    pub fn swap(&self, index: Arc<ProfileIndex>) -> u64 {
+        let mut guard = match self.current.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let generation = guard.1 + 1;
+        *guard = (index, generation);
+        self.generation.store(generation, Ordering::Release);
+        generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpd_core::{CpdConfig, CpdModel, Eta};
+
+    fn tiny_index() -> Arc<ProfileIndex> {
+        let model = CpdModel {
+            pi: vec![vec![1.0]],
+            theta: vec![vec![1.0]],
+            phi: vec![vec![0.5, 0.5]],
+            eta: Eta::uniform(1, 1),
+            nu: vec![0.0; cpd_core::features::N_FEATURES],
+            topic_popularity: vec![vec![1.0]],
+            doc_community: vec![],
+            doc_topic: vec![],
+        };
+        Arc::new(ProfileIndex::build(model, &CpdConfig::new(1, 1)))
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_old_arcs_stay_alive() {
+        let handle = IndexHandle::new(tiny_index());
+        let (old, g1) = handle.load();
+        assert_eq!(g1, FIRST_GENERATION);
+        let g2 = handle.swap(tiny_index());
+        assert_eq!(g2, FIRST_GENERATION + 1);
+        assert_eq!(handle.generation(), g2);
+        let (new, g) = handle.load();
+        assert_eq!(g, g2);
+        assert!(!Arc::ptr_eq(&old, &new));
+        // The pre-swap snapshot is still usable by its holders.
+        assert_eq!(old.n_topics(), 1);
+    }
+}

@@ -6,7 +6,8 @@
 //! the offline half: fit with [`Cpd::fit`](cpd_core::Cpd::fit),
 //! snapshot with [`io::save_model`](cpd_core::io::save_model) (crash-
 //! safe: written to a `.tmp` sibling and renamed into place). This
-//! crate is the read path that serves the snapshot:
+//! crate is the read path that serves the snapshot — the full lifecycle
+//! is **fit → snapshot → serve → reload**:
 //!
 //! 1. **[`ProfileIndex`]** — an immutable index built once per
 //!    snapshot: word → topic log-`φ` posting lists, the Eq. 19
@@ -22,13 +23,29 @@
 //!    plus friendship/diffusion scores through the same
 //!    `apps::diffusion` math as the offline predictor. Batched and
 //!    seed-deterministic; the trained model is never written.
-//! 3. **[`ServeRuntime`]** — a persistent worker pool sharing the index
-//!    behind an `Arc`, answering typed [`QueryRequest`] batches
-//!    (community ranking, top words, user profiles, fold-in, link
-//!    scores) with per-query-class latency/throughput counters
+//! 3. **[`ServeRuntime`]** — a persistent worker pool answering typed
+//!    [`QueryRequest`] batches (community ranking, top words, user
+//!    profiles, fold-in, link scores) with per-query-class latency
+//!    counters, queue-depth high-water mark and cache counters
 //!    ([`ServeDiagnostics`]).
+//! 4. **[`IndexHandle`]** — the runtime serves the *live snapshot* of a
+//!    generation-numbered handle, not a pinned index:
+//!    [`ServeRuntime::reload`] builds a fresh index from a new model
+//!    snapshot and swaps it in **under full query load** — in-flight
+//!    batches finish on the old generation, later batches see the new
+//!    one, the worker pool never restarts.
+//! 5. **[`FoldCache`]** — fold-in answers are deterministic given
+//!    `(item, seed, generation)`, so a sharded LRU keyed by an FNV
+//!    content hash returns repeat fold-ins byte-identically without
+//!    re-running the Gibbs chain; the generation in the key makes a
+//!    reload an atomic whole-cache invalidation.
+//! 6. **[`wire`]** — the versioned, length-prefixed binary codec
+//!    (queries, responses, and the reload/stats/shutdown admin frames)
+//!    that the `cpd-server` crate speaks over TCP; oversized frames are
+//!    rejected before allocation, malformed ones answered with `Error`
+//!    frames.
 //!
-//! # Offline fit → snapshot → serve
+//! # Offline fit → snapshot → serve → reload
 //!
 //! ```
 //! use cpd_core::{io, Cpd, CpdConfig};
@@ -60,17 +77,30 @@
 //!     },
 //! ]);
 //! assert_eq!(responses.len(), 2);
-//! assert_eq!(runtime.diagnostics().total_queries(), 2);
+//!
+//! // Later: a refit lands a new snapshot — swap it in without
+//! // stopping the pool. Batches before/after the swap each answer on
+//! // one consistent generation.
+//! let generation = runtime.reload(&path).unwrap();
+//! assert_eq!(generation, 2);
+//! let final_report = runtime.shutdown();
+//! assert_eq!(final_report.total_queries(), 2);
 //! # std::fs::remove_file(&path).ok();
 //! ```
 
+pub mod cache;
 pub mod foldin;
+pub mod handle;
 pub mod index;
 pub mod runtime;
+pub mod wire;
 
+pub use cache::{fold_key, CacheStats, FoldCache};
 pub use foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile};
+pub use handle::IndexHandle;
 pub use index::{ProfileIndex, DEFAULT_TOP_K};
 pub use runtime::{
-    ClassStats, QueryClass, QueryRequest, QueryResponse, ServeDiagnostics, ServeOptions,
+    ClassStats, NetStats, QueryClass, QueryRequest, QueryResponse, ServeDiagnostics, ServeOptions,
     ServeRuntime,
 };
+pub use wire::{RequestFrame, ResponseFrame, WireError};

@@ -1,30 +1,54 @@
 //! The concurrent query runtime: a persistent worker pool answering
-//! typed query batches over one shared [`ProfileIndex`].
+//! typed query batches over the **live snapshot** of a generation-
+//! numbered [`IndexHandle`].
 //!
 //! The pool follows the trainer's `parallel.rs` idiom — workers are
 //! spawned **once** (at [`ServeRuntime::new`]) and live for the
-//! runtime's lifetime, each holding an `Arc<ProfileIndex>` handle (the
-//! index is immutable, so reads need no locks) plus its own
-//! [`FoldScratch`] so fold-in queries never allocate in steady state.
-//! A batch drains from one shared queue — expensive queries occupy a
-//! worker while the rest keep pulling cheap ones — answered
-//! concurrently and reassembled in request order.
+//! runtime's lifetime, each with its own [`FoldScratch`] so fold-in
+//! queries never allocate in steady state. A batch drains from one
+//! shared queue — expensive queries occupy a worker while the rest keep
+//! pulling cheap ones — answered concurrently and reassembled in
+//! request order.
 //!
-//! Per-query-class latency/throughput counters accumulate in shared
-//! atomics and are surfaced through [`ServeDiagnostics`] — the serving
-//! counterpart of the trainer's `FitDiagnostics`.
+//! Two serving-hardening layers sit between the queue and the index:
+//!
+//! * **Snapshot hot-reload** — the runtime does not own a
+//!   `ProfileIndex`; it owns an [`IndexHandle`]. [`submit_batch`]
+//!   resolves the handle **once per batch**, so every query in a batch
+//!   answers on one self-consistent snapshot, and
+//!   [`ServeRuntime::reload`] (or [`swap_index`]) can land a new model
+//!   under full query load: in-flight batches finish on the old
+//!   generation, later batches see the new one, and the worker pool
+//!   never restarts.
+//! * **Fold-in cache** — fold-in answers are deterministic given
+//!   `(item, seed, generation)`, so a sharded LRU ([`FoldCache`])
+//!   short-circuits repeat fold-ins to a byte-identical cached profile.
+//!   The generation in the key makes a snapshot swap an atomic
+//!   whole-cache invalidation.
+//!
+//! Per-query-class latency counters, the queue-depth high-water mark
+//! and the cache counters accumulate in shared atomics and are surfaced
+//! through [`ServeDiagnostics`] — the serving counterpart of the
+//! trainer's `FitDiagnostics` — which [`ServeRuntime::shutdown`]
+//! returns as the pool's final account.
+//!
+//! [`submit_batch`]: ServeRuntime::submit_batch
+//! [`swap_index`]: ServeRuntime::swap_index
 
+use crate::cache::{fold_key, CacheStats, FoldCache};
 use crate::foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile};
+use crate::handle::IndexHandle;
 use crate::index::ProfileIndex;
 use cpd_core::UserFeatures;
 use social_graph::{UserId, WordId};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One typed query against the index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryRequest {
     /// Eq. 19: rank all communities for a word query.
     RankCommunities {
@@ -87,7 +111,7 @@ pub enum QueryRequest {
     },
     /// Fold-in: profile an unseen document or user against the frozen
     /// model. `seed` makes the answer deterministic regardless of which
-    /// worker serves it.
+    /// worker serves it (and is part of the cache key).
     FoldIn {
         /// The unseen item.
         item: FoldInItem,
@@ -97,7 +121,7 @@ pub enum QueryRequest {
 }
 
 /// A query's answer, in the same batch slot as its request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryResponse {
     /// Ranked `(id, score)` pairs (communities, topics, or words —
     /// whichever the request asked for).
@@ -164,7 +188,7 @@ impl QueryClass {
 }
 
 /// Count + cumulative latency of one query class.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ClassStats {
     /// Queries answered.
     pub queries: u64,
@@ -183,14 +207,36 @@ impl ClassStats {
     }
 }
 
+/// Transport-side counters, filled in by `cpd-server` (all zero when
+/// the runtime is driven in-process through [`ServeRuntime::submit_batch`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// TCP connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Request frames decoded across all connections.
+    pub frames_in: u64,
+    /// Response frames written across all connections.
+    pub frames_out: u64,
+}
+
 /// A snapshot of the runtime's counters — the serving counterpart of
 /// the trainer's `FitDiagnostics`.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServeDiagnostics {
     /// Worker threads in the pool.
     pub workers: usize,
     /// Batches submitted so far.
     pub batches: u64,
+    /// Generation of the live index snapshot.
+    pub generation: u64,
+    /// Most jobs ever waiting in the shared queue at once — the
+    /// back-pressure signal (sustained high-water near batch sizes
+    /// means the pool is keeping up; growth means it is not).
+    pub queue_high_water: u64,
+    /// Fold-in cache counters.
+    pub cache: CacheStats,
+    /// Transport counters (zero unless fronted by `cpd-server`).
+    pub net: NetStats,
     /// Community/topic ranking queries.
     pub ranking: ClassStats,
     /// Top-word / top-topic table lookups.
@@ -214,11 +260,14 @@ impl ServeDiagnostics {
     }
 }
 
-/// Shared atomic counter cells (one pair per query class).
+/// Shared atomic counter cells (one pair per query class, plus the
+/// queue-depth gauge and its high-water mark).
 #[derive(Default)]
 struct StatsCells {
     queries: [AtomicU64; N_CLASSES],
     nanos: [AtomicU64; N_CLASSES],
+    queue_depth: AtomicU64,
+    queue_high_water: AtomicU64,
 }
 
 impl StatsCells {
@@ -235,29 +284,58 @@ impl StatsCells {
             seconds: self.nanos[s].load(Ordering::Relaxed) as f64 * 1e-9,
         }
     }
+
+    fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
-/// One unit of work: the batch slot, the request, and where to send the
-/// answer (a per-batch channel, so concurrent batches cannot mix).
+/// One unit of work: the batch slot, the request, the snapshot the
+/// whole batch resolved to, and where to send the answer (a per-batch
+/// channel, so concurrent batches cannot mix).
 struct Job {
     slot: usize,
     request: QueryRequest,
+    /// The snapshot this job's batch loaded from the handle — every job
+    /// of a batch carries the same `Arc`, so a swap mid-batch cannot
+    /// mix generations within one batch.
+    index: Arc<ProfileIndex>,
+    generation: u64,
     reply: Sender<(usize, QueryResponse)>,
 }
 
 /// Runtime construction options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Worker threads (0 = one per available CPU core, capped at 8).
     pub workers: usize,
     /// Fold-in sampler settings (per-request seeds override the root
     /// seed in here).
     pub fold_in: FoldInConfig,
+    /// Fold-in cache capacity in profiles (0 disables the cache).
+    pub fold_cache_capacity: usize,
 }
 
-/// A persistent serving pool over one immutable [`ProfileIndex`].
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            fold_in: FoldInConfig::default(),
+            fold_cache_capacity: 1024,
+        }
+    }
+}
+
+/// A persistent serving pool over the live snapshot of an
+/// [`IndexHandle`].
 pub struct ServeRuntime {
-    index: Arc<ProfileIndex>,
+    handle: Arc<IndexHandle>,
+    cache: Arc<FoldCache>,
     /// Shared work queue: every worker pulls from the same channel, so
     /// an expensive query (fold-in) occupies one worker while the
     /// others keep draining cheap lookups — no per-worker assignment
@@ -270,7 +348,8 @@ pub struct ServeRuntime {
 }
 
 impl ServeRuntime {
-    /// Spawn the worker pool. `features` enables `DiffusionScore`
+    /// Spawn the worker pool over `index` (published as generation 1 of
+    /// a fresh [`IndexHandle`]). `features` enables `DiffusionScore`
     /// queries (they need the diffuser's static features, which live
     /// outside the model); pass `None` for a model-only deployment.
     pub fn new(
@@ -287,19 +366,20 @@ impl ServeRuntime {
         } else {
             options.workers
         };
+        let handle = Arc::new(IndexHandle::new(index));
+        let cache = Arc::new(FoldCache::new(options.fold_cache_capacity));
         let stats = Arc::new(StatsCells::default());
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(std::sync::Mutex::new(rx));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = Arc::clone(&rx);
-            let index = Arc::clone(&index);
             let features = features.clone();
             let stats = Arc::clone(&stats);
+            let cache = Arc::clone(&cache);
             let fold_cfg = options.fold_in.clone();
             handles.push(std::thread::spawn(move || {
                 let mut scratch = FoldScratch::new();
-                let engine = FoldIn::new(&index, fold_cfg).expect("validated by ServeRuntime::new");
                 loop {
                     // Hold the lock only for the dequeue; workers never
                     // panic while holding it (execution is unwind-
@@ -315,6 +395,7 @@ impl ServeRuntime {
                             Err(_) => break, // Runtime dropped; shut down.
                         }
                     };
+                    stats.dequeued();
                     let class = QueryClass::of(&job.request);
                     let start = Instant::now();
                     // A panic inside a query (e.g. NaNs smuggled into a
@@ -324,9 +405,11 @@ impl ServeRuntime {
                     // to reuse after an unwind.
                     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         execute(
-                            &index,
+                            &job.index,
+                            job.generation,
                             features.as_deref(),
-                            &engine,
+                            &fold_cfg,
+                            &cache,
                             &mut scratch,
                             job.request,
                         )
@@ -348,7 +431,8 @@ impl ServeRuntime {
             }));
         }
         Ok(Self {
-            index,
+            handle,
+            cache,
             tx: Some(tx),
             handles,
             stats,
@@ -356,9 +440,64 @@ impl ServeRuntime {
         })
     }
 
-    /// The shared index.
-    pub fn index(&self) -> &ProfileIndex {
-        &self.index
+    /// The live index snapshot (an `Arc`, so callers can keep answering
+    /// off it consistently even across a concurrent reload).
+    pub fn index(&self) -> Arc<ProfileIndex> {
+        self.handle.load().0
+    }
+
+    /// The swappable handle behind the runtime.
+    pub fn handle(&self) -> &IndexHandle {
+        &self.handle
+    }
+
+    /// Generation of the live snapshot.
+    pub fn generation(&self) -> u64 {
+        self.handle.generation()
+    }
+
+    /// Publish `index` as the new live snapshot under full query load:
+    /// in-flight batches finish on the snapshot they started with,
+    /// every later batch answers on `index`, and the fold-in cache is
+    /// invalidated (its keys are generation-mixed, so stale hits are
+    /// impossible either way). Returns the new generation.
+    pub fn swap_index(&self, index: Arc<ProfileIndex>) -> u64 {
+        let generation = self.handle.swap(index);
+        self.cache.retain_generation(generation);
+        generation
+    }
+
+    /// Hot-reload: read the model snapshot at `path` (the same format
+    /// [`cpd_core::io::save_model`] writes), build a fresh
+    /// [`ProfileIndex`] with the live snapshot's configuration, and
+    /// [`swap_index`](ServeRuntime::swap_index) it in. The build runs
+    /// on the calling thread — never on the pool — so queries keep
+    /// flowing while the new index is prepared.
+    ///
+    /// The snapshot must match the live `(|C|, |Z|)` shape: the
+    /// retained config's priors and ablation flags are resolved
+    /// against those dimensions, so a refit with a different shape
+    /// needs a fresh deployment, not a hot-swap — a mismatch is
+    /// rejected (leaving the live snapshot untouched) rather than
+    /// silently served with wrong priors.
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<u64, String> {
+        let path = path.as_ref();
+        // `load_model` errors already name the snapshot path.
+        let model = cpd_core::io::load_model(path).map_err(|e| format!("reload failed: {e}"))?;
+        let config = self.handle.load().0.config().clone();
+        if model.n_communities() != config.n_communities || model.n_topics() != config.n_topics {
+            return Err(format!(
+                "reload rejected: {} is a {}x{} (communities x topics) snapshot but the live \
+                 config is {}x{} — shape changes need a new deployment, not a hot-swap",
+                path.display(),
+                model.n_communities(),
+                model.n_topics(),
+                config.n_communities,
+                config.n_topics,
+            ));
+        }
+        let index = Arc::new(ProfileIndex::build(model, &config));
+        Ok(self.swap_index(index))
     }
 
     /// Worker threads in the pool.
@@ -368,15 +507,20 @@ impl ServeRuntime {
 
     /// Answer a batch: requests drain from a shared queue across the
     /// workers, execute concurrently, and the responses come back in
-    /// request order.
+    /// request order. The whole batch answers on one snapshot — the
+    /// handle is resolved once, here.
     pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<QueryResponse> {
         let n = requests.len();
+        let (index, generation) = self.handle.load();
         let tx = self.tx.as_ref().expect("runtime not shut down");
         let (reply_tx, reply_rx) = channel();
         for (slot, request) in requests.into_iter().enumerate() {
+            self.stats.enqueued();
             tx.send(Job {
                 slot,
                 request,
+                index: Arc::clone(&index),
+                generation,
                 reply: reply_tx.clone(),
             })
             .expect("serve worker hung up");
@@ -398,6 +542,10 @@ impl ServeRuntime {
         ServeDiagnostics {
             workers: self.handles.len(),
             batches: self.batches.load(Ordering::Relaxed),
+            generation: self.handle.generation(),
+            queue_high_water: self.stats.queue_high_water.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            net: NetStats::default(),
             ranking: self.stats.class(QueryClass::Ranking),
             top_words: self.stats.class(QueryClass::TopWords),
             profile: self.stats.class(QueryClass::Profile),
@@ -406,9 +554,12 @@ impl ServeRuntime {
         }
     }
 
-    /// Drain the pool and join the workers (also happens on drop).
-    pub fn shutdown(self) {
+    /// Drain the pool, join the workers and return the final counter
+    /// snapshot (the same teardown happens on drop, minus the report).
+    pub fn shutdown(self) -> ServeDiagnostics {
+        let final_diagnostics = self.diagnostics();
         drop(self);
+        final_diagnostics
     }
 }
 
@@ -421,13 +572,16 @@ impl Drop for ServeRuntime {
     }
 }
 
-/// Execute one request against the shared index. Validation errors come
-/// back as [`QueryResponse::Error`] — a malformed request must never
-/// take a worker (and with it the whole pool) down.
+/// Execute one request against the batch's resolved snapshot.
+/// Validation errors come back as [`QueryResponse::Error`] — a
+/// malformed request must never take a worker (and with it the whole
+/// pool) down.
 fn execute(
     index: &ProfileIndex,
+    generation: u64,
     features: Option<&UserFeatures>,
-    engine: &FoldIn<'_>,
+    fold_cfg: &FoldInConfig,
+    cache: &FoldCache,
     scratch: &mut FoldScratch,
     request: QueryRequest,
 ) -> QueryResponse {
@@ -523,7 +677,19 @@ fn execute(
             if let Some(e) = item.docs.iter().find_map(|d| check_words(d).err()) {
                 return QueryResponse::Error(e);
             }
-            QueryResponse::FoldedIn(Box::new(engine.profile_with_seed(&item, seed, scratch)))
+            // Cache lookup only after validation, so malformed items
+            // never populate (or count against) the cache. The key
+            // mixes the generation: a snapshot swap invalidates every
+            // prior entry atomically.
+            let key = fold_key(&item, seed, generation);
+            if let Some(cached) = cache.get(key) {
+                return QueryResponse::FoldedIn(Box::new(cached));
+            }
+            let engine =
+                FoldIn::new(index, fold_cfg.clone()).expect("validated by ServeRuntime::new");
+            let profile = engine.profile_with_seed(&item, seed, scratch);
+            cache.insert(key, generation, profile.clone());
+            QueryResponse::FoldedIn(Box::new(profile))
         }
     }
 }

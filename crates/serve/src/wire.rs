@@ -1,0 +1,768 @@
+//! The wire protocol: a versioned, length-prefixed binary codec for
+//! [`QueryRequest`] / [`QueryResponse`] plus the admin operations
+//! (reload, stats, shutdown) that `cpd-server` speaks over TCP.
+//!
+//! # Frame layout
+//!
+//! Every frame — request or response — is self-describing:
+//!
+//! ```text
+//! ┌───────────┬─────────┬─────┬──────────────┬───────────────┐
+//! │ magic (2) │ ver (1) │ tag │ len u32 (LE) │ payload (len) │
+//! └───────────┴─────────┴─────┴──────────────┴───────────────┘
+//! ```
+//!
+//! * **magic** [`WIRE_MAGIC`] — rejects non-CPD peers on the first
+//!   frame instead of misparsing garbage;
+//! * **version** [`WIRE_VERSION`] — a reader that meets a newer frame
+//!   version refuses it by name (mirroring the model file format's
+//!   policy in `cpd_core::io`), so protocol evolution is an explicit
+//!   error, never silent misdecoding;
+//! * **tag** — the frame class (query, reload, stats, shutdown on the
+//!   request side; response, reloaded, stats, shutting-down, error on
+//!   the response side);
+//! * **len** — payload bytes. Frames beyond [`MAX_FRAME_PAYLOAD`] are
+//!   rejected **before any allocation**, so a hostile or corrupt length
+//!   prefix cannot balloon server memory.
+//!
+//! Payloads are hand-rolled little-endian primitives (`f64` as raw IEEE
+//! bits, so an encode → decode round trip is byte-exact, NaN payloads
+//! included; collections length-prefixed with counts validated against
+//! the remaining payload before allocating). Decoding is strict: every
+//! payload must consume exactly its declared length, unknown variant
+//! tags are [`WireError::Malformed`], and a truncated stream is
+//! distinguishable from a clean end-of-stream ([`read_request`] /
+//! [`read_response`] return `Ok(None)` only at a frame boundary).
+//!
+//! Malformed frames never kill a connection silently: the server
+//! answers with a [`ResponseFrame::Error`] before closing (payload-
+//! level garbage after a valid header keeps the stream synchronized, so
+//! those connections even survive).
+
+use crate::cache::CacheStats;
+use crate::foldin::{FoldInItem, FoldedProfile};
+use crate::runtime::{ClassStats, NetStats, QueryRequest, QueryResponse, ServeDiagnostics};
+use social_graph::{UserId, WordId};
+use std::io::{Read, Write};
+
+/// First two bytes of every frame.
+pub const WIRE_MAGIC: [u8; 2] = [0xC9, 0xDF];
+
+/// Protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame's payload length — anything larger is
+/// rejected from the 8-byte header alone, before any payload
+/// allocation.
+pub const MAX_FRAME_PAYLOAD: u32 = 16 << 20;
+
+/// Bytes in the fixed frame header.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+// Request-side frame tags.
+const TAG_QUERY: u8 = 0x01;
+const TAG_RELOAD: u8 = 0x02;
+const TAG_STATS: u8 = 0x03;
+const TAG_SHUTDOWN: u8 = 0x04;
+// Response-side frame tags (high bit set).
+const TAG_RESPONSE: u8 = 0x81;
+const TAG_RELOADED: u8 = 0x82;
+const TAG_STATS_REPLY: u8 = 0x83;
+const TAG_SHUTTING_DOWN: u8 = 0x84;
+const TAG_ERROR: u8 = 0xFF;
+
+/// A client → server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestFrame {
+    /// One query for the serving pool; consecutive `Query` frames on a
+    /// connection are batched into one `submit_batch` call.
+    Query(QueryRequest),
+    /// Admin: hot-reload the index from a model snapshot on the
+    /// server's filesystem, answered with [`ResponseFrame::Reloaded`].
+    Reload {
+        /// Path (server-side) of the `cpd-model` snapshot to load.
+        path: String,
+    },
+    /// Admin: fetch the live [`ServeDiagnostics`].
+    Stats,
+    /// Admin: ask the server to stop accepting connections and drain.
+    Shutdown,
+}
+
+/// A server → client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseFrame {
+    /// Answer to one [`RequestFrame::Query`], in request order.
+    Response(QueryResponse),
+    /// A reload landed; the new snapshot generation.
+    Reloaded {
+        /// Generation of the now-live index.
+        generation: u64,
+    },
+    /// Answer to [`RequestFrame::Stats`].
+    Stats(ServeDiagnostics),
+    /// Acknowledges [`RequestFrame::Shutdown`]; the server stops
+    /// accepting new connections and drains the existing ones.
+    ShuttingDown,
+    /// A frame-level failure: the offending frame could not be decoded
+    /// (or an admin operation failed). Query-level validation errors
+    /// travel inside [`QueryResponse::Error`] instead.
+    Error(String),
+}
+
+/// Decode-side failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The bytes are not a valid frame (bad magic, unknown version or
+    /// tag, truncated or trailing payload bytes, …).
+    Malformed(String),
+    /// The header declared a payload larger than [`MAX_FRAME_PAYLOAD`];
+    /// nothing was allocated.
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire io error: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Oversized { len } => write!(
+                f,
+                "oversized frame: payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD} limit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Payload writer: plain little-endian pushes into a `Vec`.
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, x: u8) {
+        self.0.push(x);
+    }
+    fn u32(&mut self, x: u32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f64(&mut self, x: f64) {
+        self.0.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    fn words(&mut self, ws: &[WordId]) {
+        self.u32(ws.len() as u32);
+        for w in ws {
+            self.u32(w.0);
+        }
+    }
+    fn users(&mut self, us: &[UserId]) {
+        self.u32(us.len() as u32);
+        for u in us {
+            self.u32(u.0);
+        }
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn class(&mut self, c: &ClassStats) {
+        self.u64(c.queries);
+        self.f64(c.seconds);
+    }
+}
+
+fn encode_query(e: &mut Enc, q: &QueryRequest) {
+    match q {
+        QueryRequest::RankCommunities { query } => {
+            e.u8(0);
+            e.words(query);
+        }
+        QueryRequest::QueryTopics { query } => {
+            e.u8(1);
+            e.words(query);
+        }
+        QueryRequest::TopWords { topic, k } => {
+            e.u8(2);
+            e.u64(*topic as u64);
+            e.u64(*k as u64);
+        }
+        QueryRequest::CommunityTopics { community, k } => {
+            e.u8(3);
+            e.u64(*community as u64);
+            e.u64(*k as u64);
+        }
+        QueryRequest::PairTopics { from, to, k } => {
+            e.u8(4);
+            e.u64(*from as u64);
+            e.u64(*to as u64);
+            e.u64(*k as u64);
+        }
+        QueryRequest::UserProfile { user } => {
+            e.u8(5);
+            e.u32(user.0);
+        }
+        QueryRequest::FriendshipScore { u, v } => {
+            e.u8(6);
+            e.u32(u.0);
+            e.u32(v.0);
+        }
+        QueryRequest::DiffusionScore { u, v, words, at } => {
+            e.u8(7);
+            e.u32(u.0);
+            e.u32(v.0);
+            e.words(words);
+            e.u32(*at);
+        }
+        QueryRequest::FoldIn { item, seed } => {
+            e.u8(8);
+            e.u32(item.docs.len() as u32);
+            for doc in &item.docs {
+                e.words(doc);
+            }
+            e.users(&item.friends);
+            e.u64(*seed);
+        }
+    }
+}
+
+fn encode_response_payload(e: &mut Enc, r: &QueryResponse) {
+    match r {
+        QueryResponse::Ranking(pairs) => {
+            e.u8(0);
+            e.u32(pairs.len() as u32);
+            for &(id, score) in pairs {
+                e.u64(id as u64);
+                e.f64(score);
+            }
+        }
+        QueryResponse::Profile {
+            membership,
+            dominant,
+        } => {
+            e.u8(1);
+            e.f64s(membership);
+            e.u64(*dominant as u64);
+        }
+        QueryResponse::Score(s) => {
+            e.u8(2);
+            e.f64(*s);
+        }
+        QueryResponse::FoldedIn(p) => {
+            e.u8(3);
+            e.f64s(&p.membership);
+            e.f64s(&p.topics);
+            e.u32(p.doc_topics.len() as u32);
+            for row in &p.doc_topics {
+                e.f64s(row);
+            }
+        }
+        QueryResponse::Error(msg) => {
+            e.u8(4);
+            e.string(msg);
+        }
+    }
+}
+
+fn encode_diagnostics(e: &mut Enc, d: &ServeDiagnostics) {
+    e.u64(d.workers as u64);
+    e.u64(d.batches);
+    e.u64(d.generation);
+    e.u64(d.queue_high_water);
+    e.u64(d.cache.hits);
+    e.u64(d.cache.misses);
+    e.u64(d.cache.evictions);
+    e.u64(d.cache.entries);
+    e.u64(d.net.connections);
+    e.u64(d.net.frames_in);
+    e.u64(d.net.frames_out);
+    e.class(&d.ranking);
+    e.class(&d.top_words);
+    e.class(&d.profile);
+    e.class(&d.fold_in);
+    e.class(&d.link_score);
+}
+
+fn frame(tag: u8, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Serialize a request frame (header + payload).
+pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    let tag = match req {
+        RequestFrame::Query(q) => {
+            encode_query(&mut e, q);
+            TAG_QUERY
+        }
+        RequestFrame::Reload { path } => {
+            e.string(path);
+            TAG_RELOAD
+        }
+        RequestFrame::Stats => TAG_STATS,
+        RequestFrame::Shutdown => TAG_SHUTDOWN,
+    };
+    frame(tag, e.0)
+}
+
+/// Serialize a response frame (header + payload). A payload that would
+/// exceed [`MAX_FRAME_PAYLOAD`] (possible for pathological fold-in
+/// responses: the request limit does not bound the response size) is
+/// replaced by an in-band [`ResponseFrame::Error`] — the stream stays
+/// framed and the peer gets a typed failure instead of a frame its own
+/// reader must reject (or, past `u32`, a silently corrupt length
+/// prefix).
+pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    let tag = match resp {
+        ResponseFrame::Response(r) => {
+            encode_response_payload(&mut e, r);
+            TAG_RESPONSE
+        }
+        ResponseFrame::Reloaded { generation } => {
+            e.u64(*generation);
+            TAG_RELOADED
+        }
+        ResponseFrame::Stats(d) => {
+            encode_diagnostics(&mut e, d);
+            TAG_STATS_REPLY
+        }
+        ResponseFrame::ShuttingDown => TAG_SHUTTING_DOWN,
+        ResponseFrame::Error(msg) => {
+            e.string(msg);
+            TAG_ERROR
+        }
+    };
+    if e.0.len() > MAX_FRAME_PAYLOAD as usize {
+        let mut err = Enc(Vec::new());
+        err.string(&format!(
+            "response of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame limit",
+            e.0.len()
+        ));
+        return frame(TAG_ERROR, err.0);
+    }
+    frame(tag, e.0)
+}
+
+/// Write one request frame. Refuses (without writing) a request whose
+/// payload exceeds [`MAX_FRAME_PAYLOAD`] — the server would reject the
+/// frame from its header anyway, and past `u32` the length prefix
+/// would silently wrap and desynchronize the stream.
+pub fn write_request<W: Write>(w: &mut W, req: &RequestFrame) -> std::io::Result<()> {
+    let bytes = encode_request(req);
+    if bytes.len() - FRAME_HEADER_LEN > MAX_FRAME_PAYLOAD as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "request payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame limit",
+                bytes.len() - FRAME_HEADER_LEN
+            ),
+        ));
+    }
+    w.write_all(&bytes)
+}
+
+/// Write one response frame.
+pub fn write_response<W: Write>(w: &mut W, resp: &ResponseFrame) -> std::io::Result<()> {
+    w.write_all(&encode_response(resp))
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Strict payload cursor: every read is bounds-checked, and the frame
+/// decoders assert full consumption before returning.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed(format!(
+                "payload truncated: wanted {n} more bytes, had {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length prefix for elements of at least `elem_size` bytes,
+    /// refusing counts the remaining payload cannot possibly hold — so
+    /// a corrupt count cannot drive a huge `Vec` pre-allocation.
+    fn count(&mut self, elem_size: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_size) > self.remaining() {
+            return Err(WireError::Malformed(format!(
+                "{what} count {n} exceeds the remaining {} payload bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn words(&mut self) -> Result<Vec<WordId>, WireError> {
+        let n = self.count(4, "word list")?;
+        (0..n).map(|_| Ok(WordId(self.u32()?))).collect()
+    }
+
+    fn users(&mut self) -> Result<Vec<UserId>, WireError> {
+        let n = self.count(4, "user list")?;
+        (0..n).map(|_| Ok(UserId(self.u32()?))).collect()
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.count(8, "float row")?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.count(1, "string")?;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| WireError::Malformed("string is not valid UTF-8".into()))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| WireError::Malformed(format!("{what} does not fit in usize")))
+    }
+
+    fn class(&mut self) -> Result<ClassStats, WireError> {
+        Ok(ClassStats {
+            queries: self.u64()?,
+            seconds: self.f64()?,
+        })
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{what} payload has {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn decode_query(d: &mut Dec<'_>) -> Result<QueryRequest, WireError> {
+    Ok(match d.u8()? {
+        0 => QueryRequest::RankCommunities { query: d.words()? },
+        1 => QueryRequest::QueryTopics { query: d.words()? },
+        2 => QueryRequest::TopWords {
+            topic: d.usize("topic")?,
+            k: d.usize("k")?,
+        },
+        3 => QueryRequest::CommunityTopics {
+            community: d.usize("community")?,
+            k: d.usize("k")?,
+        },
+        4 => QueryRequest::PairTopics {
+            from: d.usize("from")?,
+            to: d.usize("to")?,
+            k: d.usize("k")?,
+        },
+        5 => QueryRequest::UserProfile {
+            user: UserId(d.u32()?),
+        },
+        6 => QueryRequest::FriendshipScore {
+            u: UserId(d.u32()?),
+            v: UserId(d.u32()?),
+        },
+        7 => QueryRequest::DiffusionScore {
+            u: UserId(d.u32()?),
+            v: UserId(d.u32()?),
+            words: d.words()?,
+            at: d.u32()?,
+        },
+        8 => {
+            let n_docs = d.count(4, "document list")?;
+            let docs = (0..n_docs)
+                .map(|_| d.words())
+                .collect::<Result<Vec<_>, _>>()?;
+            QueryRequest::FoldIn {
+                item: FoldInItem {
+                    docs,
+                    friends: d.users()?,
+                },
+                seed: d.u64()?,
+            }
+        }
+        v => return Err(WireError::Malformed(format!("unknown query variant {v}"))),
+    })
+}
+
+fn decode_response_payload(d: &mut Dec<'_>) -> Result<QueryResponse, WireError> {
+    Ok(match d.u8()? {
+        0 => {
+            let n = d.count(16, "ranking")?;
+            let pairs = (0..n)
+                .map(|_| Ok((d.usize("ranked id")?, d.f64()?)))
+                .collect::<Result<Vec<_>, WireError>>()?;
+            QueryResponse::Ranking(pairs)
+        }
+        1 => QueryResponse::Profile {
+            membership: d.f64s()?,
+            dominant: d.usize("dominant community")?,
+        },
+        2 => QueryResponse::Score(d.f64()?),
+        3 => {
+            let membership = d.f64s()?;
+            let topics = d.f64s()?;
+            let n_docs = d.count(4, "doc-topic rows")?;
+            let doc_topics = (0..n_docs)
+                .map(|_| d.f64s())
+                .collect::<Result<Vec<_>, _>>()?;
+            QueryResponse::FoldedIn(Box::new(FoldedProfile {
+                membership,
+                topics,
+                doc_topics,
+            }))
+        }
+        4 => QueryResponse::Error(d.string()?),
+        v => {
+            return Err(WireError::Malformed(format!(
+                "unknown response variant {v}"
+            )))
+        }
+    })
+}
+
+fn decode_diagnostics(d: &mut Dec<'_>) -> Result<ServeDiagnostics, WireError> {
+    Ok(ServeDiagnostics {
+        workers: d.usize("workers")?,
+        batches: d.u64()?,
+        generation: d.u64()?,
+        queue_high_water: d.u64()?,
+        cache: CacheStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            evictions: d.u64()?,
+            entries: d.u64()?,
+        },
+        net: NetStats {
+            connections: d.u64()?,
+            frames_in: d.u64()?,
+            frames_out: d.u64()?,
+        },
+        ranking: d.class()?,
+        top_words: d.class()?,
+        profile: d.class()?,
+        fold_in: d.class()?,
+        link_score: d.class()?,
+    })
+}
+
+/// Read one frame header + payload. `Ok(None)` = clean end-of-stream
+/// (EOF exactly at a frame boundary); EOF anywhere inside a frame is
+/// [`WireError::Malformed`]. The payload is allocated only after the
+/// length passed the [`MAX_FRAME_PAYLOAD`] check.
+fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // First byte by hand so a clean EOF is distinguishable from a
+    // truncated header.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    read_exact_frame(r, &mut header[1..], "frame header")?;
+    if header[..2] != WIRE_MAGIC {
+        return Err(WireError::Malformed(format!(
+            "bad magic {:#04x}{:02x} (not a CPD wire peer?)",
+            header[0], header[1]
+        )));
+    }
+    if header[2] != WIRE_VERSION {
+        return Err(WireError::Malformed(format!(
+            "unsupported wire version {} (this build speaks {WIRE_VERSION})",
+            header[2]
+        )));
+    }
+    let tag = header[3];
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_frame(r, &mut payload, "frame payload")?;
+    Ok(Some((tag, payload)))
+}
+
+/// `read_exact` that reports truncation as [`WireError::Malformed`]
+/// (mid-frame EOF is a protocol violation, not a transport failure).
+fn read_exact_frame<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Malformed(format!("{what} truncated"))
+        } else {
+            WireError::Io(e)
+        }
+    })
+}
+
+/// Read one request frame (`Ok(None)` = clean end-of-stream).
+pub fn read_request<R: Read>(r: &mut R) -> Result<Option<RequestFrame>, WireError> {
+    let Some((tag, payload)) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let mut d = Dec::new(&payload);
+    let frame = match tag {
+        TAG_QUERY => RequestFrame::Query(decode_query(&mut d)?),
+        TAG_RELOAD => RequestFrame::Reload { path: d.string()? },
+        TAG_STATS => RequestFrame::Stats,
+        TAG_SHUTDOWN => RequestFrame::Shutdown,
+        t => {
+            return Err(WireError::Malformed(format!(
+                "unknown request frame tag {t:#04x}"
+            )))
+        }
+    };
+    d.finish("request")?;
+    Ok(Some(frame))
+}
+
+/// Read one response frame (`Ok(None)` = clean end-of-stream).
+pub fn read_response<R: Read>(r: &mut R) -> Result<Option<ResponseFrame>, WireError> {
+    let Some((tag, payload)) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let mut d = Dec::new(&payload);
+    let frame = match tag {
+        TAG_RESPONSE => ResponseFrame::Response(decode_response_payload(&mut d)?),
+        TAG_RELOADED => ResponseFrame::Reloaded {
+            generation: d.u64()?,
+        },
+        TAG_STATS_REPLY => ResponseFrame::Stats(decode_diagnostics(&mut d)?),
+        TAG_SHUTTING_DOWN => ResponseFrame::ShuttingDown,
+        TAG_ERROR => ResponseFrame::Error(d.string()?),
+        t => {
+            return Err(WireError::Malformed(format!(
+                "unknown response frame tag {t:#04x}"
+            )))
+        }
+    };
+    d.finish("response")?;
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let frames = vec![
+            RequestFrame::Query(QueryRequest::RankCommunities {
+                query: vec![WordId(3), WordId(1)],
+            }),
+            RequestFrame::Query(QueryRequest::FoldIn {
+                item: FoldInItem {
+                    docs: vec![vec![WordId(0)], vec![]],
+                    friends: vec![UserId(9)],
+                },
+                seed: u64::MAX,
+            }),
+            RequestFrame::Reload {
+                path: "/tmp/model.cpd".into(),
+            },
+            RequestFrame::Stats,
+            RequestFrame::Shutdown,
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            write_request(&mut bytes, f).unwrap();
+        }
+        let mut r = &bytes[..];
+        for f in &frames {
+            assert_eq!(read_request(&mut r).unwrap().as_ref(), Some(f));
+        }
+        assert!(read_request(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let mut bytes = vec![WIRE_MAGIC[0], WIRE_MAGIC[1], WIRE_VERSION, TAG_QUERY];
+        bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        // No payload follows — if the length were trusted, read would
+        // try to allocate and fill 16 MiB + 1.
+        let err = read_request(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, WireError::Oversized { len } if len == MAX_FRAME_PAYLOAD + 1));
+    }
+
+    #[test]
+    fn corrupt_count_cannot_force_huge_allocation() {
+        // A word list claiming u32::MAX entries inside a 16-byte
+        // payload must fail the remaining-bytes check, not allocate.
+        let mut e = Enc(Vec::new());
+        e.u8(0); // RankCommunities
+        e.u32(u32::MAX);
+        e.u32(0);
+        e.u32(0);
+        let bytes = frame(TAG_QUERY, e.0);
+        let err = read_request(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(m) if m.contains("count")));
+    }
+}

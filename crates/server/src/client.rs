@@ -1,0 +1,156 @@
+//! The blocking client: one TCP connection speaking the CPD wire
+//! protocol, used by the loopback tests, benches and examples — and a
+//! reference implementation for clients in other languages.
+
+use cpd_serve::wire::{read_response, write_request, RequestFrame, ResponseFrame, WireError};
+use cpd_serve::{QueryRequest, QueryResponse, ServeDiagnostics};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Wire(WireError),
+    /// The server answered with a frame-level `Error` (malformed frame
+    /// or failed admin operation). Query-level validation errors come
+    /// back inside [`QueryResponse::Error`] instead.
+    Server(String),
+    /// The server answered with a frame class the request cannot
+    /// produce (protocol bug on one side).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "client wire failure: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server (Nagle disabled — the protocol is
+    /// request/response and frames are already write-buffered).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One query, one answer.
+    pub fn query(&mut self, request: QueryRequest) -> Result<QueryResponse, ClientError> {
+        Ok(self
+            .query_batch(vec![request])?
+            .pop()
+            .expect("one response per request"))
+    }
+
+    /// Pipeline a batch: every request frame is written before the
+    /// first response is read, so the server folds them into one
+    /// concurrent `submit_batch` call. Responses come back in request
+    /// order.
+    ///
+    /// A frame-level `Error` arriving in a response slot (e.g. the
+    /// server substituting for a response that exceeded the frame
+    /// limit) is surfaced **in that slot** as [`QueryResponse::Error`]
+    /// — the remaining responses are still read, so the connection
+    /// stays in sync for the next call instead of handing later
+    /// queries earlier queries' answers.
+    pub fn query_batch(
+        &mut self,
+        requests: Vec<QueryRequest>,
+    ) -> Result<Vec<QueryResponse>, ClientError> {
+        let n = requests.len();
+        for request in requests {
+            write_request(&mut self.writer, &RequestFrame::Query(request))?;
+        }
+        self.writer.flush()?;
+        let mut responses = Vec::with_capacity(n);
+        for i in 0..n {
+            match self.read_frame()? {
+                ResponseFrame::Response(r) => responses.push(r),
+                ResponseFrame::Error(m) => responses.push(QueryResponse::Error(m)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected response {i} of {n}, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(responses)
+    }
+
+    /// Ask the server to hot-reload its index from a model snapshot at
+    /// `path` **on the server's filesystem**; returns the new snapshot
+    /// generation.
+    pub fn reload(&mut self, path: &str) -> Result<u64, ClientError> {
+        match self.round_trip(&RequestFrame::Reload { path: path.into() })? {
+            ResponseFrame::Reloaded { generation } => Ok(generation),
+            ResponseFrame::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Reloaded, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's live [`ServeDiagnostics`].
+    pub fn stats(&mut self) -> Result<ServeDiagnostics, ClientError> {
+        match self.round_trip(&RequestFrame::Stats)? {
+            ResponseFrame::Stats(d) => Ok(d),
+            ResponseFrame::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to stop accepting connections and drain
+    /// (acknowledged before this connection closes).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&RequestFrame::Shutdown)? {
+            ResponseFrame::ShuttingDown => Ok(()),
+            ResponseFrame::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
+        }
+    }
+
+    fn round_trip(&mut self, frame: &RequestFrame) -> Result<ResponseFrame, ClientError> {
+        write_request(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        self.read_frame()
+    }
+
+    fn read_frame(&mut self) -> Result<ResponseFrame, ClientError> {
+        read_response(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection mid-reply".into()))
+    }
+}

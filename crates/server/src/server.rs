@@ -1,0 +1,438 @@
+//! The accept loop and per-connection protocol drivers.
+//!
+//! Threading model (mirrors the trainer's "spawn once, live forever"
+//! idiom): one accept thread owns the [`TcpListener`]; each accepted
+//! connection gets a reader thread that decodes frames, feeds the
+//! shared [`ServeRuntime`] and writes responses back in request order.
+//! The runtime's own worker pool does the actual query work, so a slow
+//! connection never blocks another connection's queries — only its own
+//! socket.
+//!
+//! Shutdown is **drain-then-stop**: [`Server::shutdown`] (or a client's
+//! `Shutdown` admin frame) flips the stop flag, wakes the accept loop
+//! with a loopback connect, and closes the **read** side of every live
+//! connection. No new connections or requests are accepted, every
+//! request already received is still answered (write sides stay open
+//! until the reader threads flush), an idle client cannot hold the
+//! drain hostage (blocked reads see EOF; blocked writes to a stalled
+//! consumer fail after [`ServerOptions::write_timeout`]), and once
+//! every reader thread has exited the runtime is shut down and its
+//! final [`ServeDiagnostics`] — including the transport's
+//! connection/frame counters — are returned instead of discarded.
+
+use cpd_serve::wire::{read_request, write_response, RequestFrame, ResponseFrame, WireError};
+use cpd_serve::{NetStats, QueryRequest, ServeDiagnostics, ServeRuntime};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Most pipelined `Query` frames folded into one `submit_batch`
+    /// call (further buffered frames simply form the next batch).
+    pub max_batch: usize,
+    /// Per-socket write timeout. A client that stops consuming
+    /// responses eventually fills the TCP send buffer and would
+    /// otherwise block its reader thread in `flush()` forever —
+    /// closing its read side (the drain) cannot unblock a write, so
+    /// without this cap one stalled client could hang
+    /// [`Server::shutdown`]. `None` disables the cap (trusted
+    /// clients only).
+    pub write_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 128,
+            write_timeout: Some(std::time::Duration::from_secs(30)),
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection thread and the
+/// [`Server`] handle.
+struct Shared {
+    runtime: ServeRuntime,
+    stop: AtomicBool,
+    /// The bound address, kept for the self-connect that wakes the
+    /// accept loop out of `accept()` at shutdown.
+    addr: SocketAddr,
+    max_batch: usize,
+    write_timeout: Option<std::time::Duration>,
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    /// Reader-thread handles, pushed by the accept loop and joined at
+    /// shutdown (the drain).
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    /// One clone of each **live** connection's socket, keyed by
+    /// connection id, so shutdown can close the read sides: every
+    /// request already received is still answered (the write sides
+    /// stay open until the reader threads flush and exit), but an idle
+    /// client can no longer hold the drain hostage. A connection
+    /// removes its entry as it exits — the clone would otherwise hold
+    /// the fd open and the peer would never see the close.
+    streams: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl Shared {
+    fn net(&self) -> NetStats {
+        NetStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flip the stop flag, poke the accept loop awake and start the
+    /// connection drain.
+    fn trigger_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `accept()`; a throwaway connection
+        // makes it return so it can observe the flag. A wildcard bind
+        // (0.0.0.0 / ::) is not connectable on every platform, so the
+        // wake-up targets the loopback of the same family instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        // Close every connection's read side: blocked readers see EOF
+        // and exit after answering what they already received.
+        let streams = match self.streams.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for (_, stream) in streams.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+
+    /// Drop a finished connection's socket clone (so the fd closes as
+    /// soon as its reader thread is done with it).
+    fn deregister_stream(&self, conn_id: u64) {
+        let mut streams = match self.streams.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        streams.retain(|(id, _)| *id != conn_id);
+    }
+}
+
+/// A running CPD query server: the accept loop plus the serving
+/// runtime behind it.
+///
+/// Dropping the handle without calling [`Server::shutdown`] or
+/// [`Server::join`] stops the accept loop but does **not** block on the
+/// drain — the runtime tears down when its last connection thread
+/// exits. Prefer the explicit calls; they return the final
+/// diagnostics.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback
+    /// port) and start accepting connections over `runtime`.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        runtime: ServeRuntime,
+        options: ServerOptions,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            runtime,
+            stop: AtomicBool::new(false),
+            addr,
+            max_batch: options.max_batch.max(1),
+            write_timeout: options.write_timeout,
+            connections: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            streams: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::Acquire) {
+                    break; // Includes the shutdown wake-up connect.
+                }
+                let Ok(stream) = stream else { continue };
+                // Without a registered clone the drain could never
+                // force-close this connection's read side — refuse to
+                // serve it rather than risk a hostage shutdown.
+                let Ok(clone) = stream.try_clone() else {
+                    continue;
+                };
+                let conn_id = accept_shared.connections.fetch_add(1, Ordering::Relaxed);
+                match accept_shared.streams.lock() {
+                    Ok(mut streams) => streams.push((conn_id, clone)),
+                    Err(poisoned) => poisoned.into_inner().push((conn_id, clone)),
+                }
+                // A `trigger_stop` racing this accept may have swept
+                // `streams` before the push above; re-checking the flag
+                // after registering (the mutex orders the two) closes
+                // the gap where a late connection would dodge the drain
+                // and hang the shutdown join.
+                if accept_shared.stop.load(Ordering::Acquire) {
+                    let _ = stream.shutdown(std::net::Shutdown::Read);
+                }
+                let conn_shared = Arc::clone(&accept_shared);
+                let handle = std::thread::spawn(move || {
+                    serve_connection(&conn_shared, stream);
+                    conn_shared.deregister_stream(conn_id);
+                });
+                let mut conns = match accept_shared.conns.lock() {
+                    Ok(conns) => conns,
+                    // Nothing panics while holding this lock; recover
+                    // rather than propagate.
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                // Reap finished connections as new ones arrive, so a
+                // long-lived server's handle list is bounded by *live*
+                // connections, not lifetime ones (dropping a finished
+                // handle just detaches an already-exited thread).
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+        });
+        Ok(Self {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (port resolved, for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The serving runtime behind the listener — e.g. for an
+    /// in-process [`reload`](ServeRuntime::reload) from the process
+    /// that owns the server, without a wire round trip.
+    pub fn runtime(&self) -> &ServeRuntime {
+        &self.shared.runtime
+    }
+
+    /// Live counters: the runtime's query/cache stats plus this
+    /// transport's connection and frame counters.
+    pub fn diagnostics(&self) -> ServeDiagnostics {
+        let mut d = self.shared.runtime.diagnostics();
+        d.net = self.shared.net();
+        d
+    }
+
+    /// Graceful drain-then-shutdown: stop accepting, answer everything
+    /// already received, close the connections, join every thread,
+    /// shut the runtime down, and return the final diagnostics.
+    pub fn shutdown(mut self) -> ServeDiagnostics {
+        self.shared.trigger_stop();
+        self.finish()
+    }
+
+    /// Wait for a client's `Shutdown` admin frame to trigger the stop,
+    /// then drain exactly like [`Server::shutdown`].
+    pub fn join(mut self) -> ServeDiagnostics {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> ServeDiagnostics {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept loop has exited, so no new handles can appear.
+        let handles = match self.shared.conns.lock() {
+            Ok(mut conns) => std::mem::take(&mut *conns),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        // Every frame-producing thread has been joined, so this
+        // snapshot is the final account; the runtime's own worker pool
+        // is joined when the last `Arc<Shared>` drops (here, as the
+        // caller consumed `self`).
+        let mut d = self.shared.runtime.diagnostics();
+        d.net = self.shared.net();
+        d
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shared.trigger_stop();
+        }
+    }
+}
+
+/// Outcome of one read pass over a connection's socket.
+struct ReadBatch {
+    frames: Vec<RequestFrame>,
+    /// A decode failure hit after `frames` (answered, then the
+    /// connection closes — framing can no longer be trusted).
+    error: Option<WireError>,
+    /// The peer closed cleanly after `frames`.
+    eof: bool,
+}
+
+/// Read one blocking frame, then drain every further frame the socket
+/// has already buffered (bounded by `max_batch`) — this is what turns a
+/// pipelining client's stream into one `submit_batch` call.
+fn read_pipelined(reader: &mut BufReader<TcpStream>, max_batch: usize) -> ReadBatch {
+    let mut out = ReadBatch {
+        frames: Vec::new(),
+        error: None,
+        eof: false,
+    };
+    match read_request(reader) {
+        Ok(Some(frame)) => out.frames.push(frame),
+        Ok(None) => {
+            out.eof = true;
+            return out;
+        }
+        Err(e) => {
+            out.error = Some(e);
+            return out;
+        }
+    }
+    // `buffer()` only reports bytes already pulled off the socket, so
+    // these extra reads never block the batch behind a slow sender
+    // (except the benign case of a frame split across the buffer
+    // boundary, whose tail is already in flight).
+    while !reader.buffer().is_empty() && out.frames.len() < max_batch {
+        match read_request(reader) {
+            Ok(Some(frame)) => out.frames.push(frame),
+            Ok(None) => {
+                out.eof = true;
+                break;
+            }
+            Err(e) => {
+                out.error = Some(e);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Drive one connection until its client disconnects, the framing
+/// breaks, or a shutdown is requested. An acknowledged `Shutdown` frame
+/// triggers the stop **whatever exit path follows it** — a client that
+/// sends `Shutdown` and slams its socket without reading the ack still
+/// gets its drain.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    if drive_connection(shared, stream) {
+        shared.trigger_stop();
+    }
+}
+
+/// The connection protocol loop; returns whether a `Shutdown` admin
+/// frame was received.
+fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
+    let _ = stream.set_nodelay(true);
+    // A stalled consumer fails its writes after this cap instead of
+    // pinning the reader thread (and with it the shutdown join).
+    let _ = stream.set_write_timeout(shared.write_timeout);
+    let mut shutdown_requested = false;
+    let Ok(read_half) = stream.try_clone() else {
+        return shutdown_requested;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut respond = |writer: &mut BufWriter<TcpStream>, frame: &ResponseFrame| {
+        shared.frames_out.fetch_add(1, Ordering::Relaxed);
+        write_response(writer, frame)
+    };
+
+    loop {
+        let batch = read_pipelined(&mut reader, shared.max_batch);
+        shared
+            .frames_in
+            .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
+
+        // Answer the decoded frames in order, folding consecutive
+        // Query frames into single runtime batches.
+        let mut queries: Vec<QueryRequest> = Vec::new();
+        for frame in batch.frames {
+            match frame {
+                RequestFrame::Query(q) => {
+                    queries.push(q);
+                    continue;
+                }
+                admin => {
+                    if !flush_queries(shared, &mut queries, &mut writer, &mut respond) {
+                        return shutdown_requested;
+                    }
+                    let reply = match admin {
+                        RequestFrame::Reload { path } => match shared.runtime.reload(&path) {
+                            Ok(generation) => ResponseFrame::Reloaded { generation },
+                            Err(e) => ResponseFrame::Error(e),
+                        },
+                        RequestFrame::Stats => {
+                            let mut d = shared.runtime.diagnostics();
+                            d.net = shared.net();
+                            ResponseFrame::Stats(d)
+                        }
+                        RequestFrame::Shutdown => {
+                            shutdown_requested = true;
+                            ResponseFrame::ShuttingDown
+                        }
+                        RequestFrame::Query(_) => unreachable!("handled above"),
+                    };
+                    if respond(&mut writer, &reply).is_err() {
+                        return shutdown_requested;
+                    }
+                    // No early break on Shutdown: frames pipelined
+                    // behind it in the same read are still answered —
+                    // the drain contract is "everything received gets
+                    // a response".
+                }
+            }
+        }
+        if !flush_queries(shared, &mut queries, &mut writer, &mut respond) {
+            return shutdown_requested;
+        }
+
+        if let Some(e) = batch.error {
+            // Best-effort: tell the peer why before closing a stream
+            // whose framing can no longer be trusted.
+            let _ = respond(&mut writer, &ResponseFrame::Error(e.to_string()));
+            let _ = writer.flush();
+            return shutdown_requested;
+        }
+        if writer.flush().is_err() || shutdown_requested || batch.eof {
+            return shutdown_requested;
+        }
+    }
+}
+
+/// Submit any accumulated queries as one batch and write the answers in
+/// request order. Returns `false` if the socket died.
+fn flush_queries(
+    shared: &Shared,
+    queries: &mut Vec<QueryRequest>,
+    writer: &mut BufWriter<TcpStream>,
+    respond: &mut impl FnMut(&mut BufWriter<TcpStream>, &ResponseFrame) -> std::io::Result<()>,
+) -> bool {
+    if queries.is_empty() {
+        return true;
+    }
+    let responses = shared.runtime.submit_batch(std::mem::take(queries));
+    for response in responses {
+        if respond(writer, &ResponseFrame::Response(response)).is_err() {
+            return false;
+        }
+    }
+    true
+}

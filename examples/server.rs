@@ -1,0 +1,141 @@
+//! The full serving lifecycle over a real socket: fit **offline**,
+//! snapshot, start a `cpd-server` on a loopback port, drive it with the
+//! TCP client — pipelined query batches, a fold-in that hits the cache
+//! on its second ask, a **hot-reload** to a refreshed snapshot under a
+//! live connection — and shut it down gracefully for the final
+//! diagnostics.
+//!
+//! ```sh
+//! cargo run --release --example server
+//! ```
+
+use cpd::prelude::*;
+use std::sync::Arc;
+
+fn fit_snapshot(seed: u64, path: &std::path::Path) -> CpdConfig {
+    let gen = GenConfig::twitter_like(Scale::Tiny);
+    let (graph, _) = generate(&gen);
+    let config = CpdConfig {
+        em_iters: 5,
+        seed,
+        ..CpdConfig::experiment(gen.n_communities, gen.n_topics)
+    };
+    let fit = Cpd::new(config.clone()).expect("valid config").fit(&graph);
+    cpd::core::io::save_model(&fit.model, path).expect("snapshot");
+    config
+}
+
+fn main() {
+    // ---- Offline: two fits, two snapshots (e.g. tonight's and -------
+    // tomorrow's nightly build of the model).
+    let dir = std::env::temp_dir().join("cpd-server-example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap_v1 = dir.join("model-v1.cpd");
+    let snap_v2 = dir.join("model-v2.cpd");
+    let config = fit_snapshot(42, &snap_v1);
+    fit_snapshot(4242, &snap_v2);
+    println!(
+        "offline: snapshots at {} and {}",
+        snap_v1.display(),
+        snap_v2.display()
+    );
+
+    // ---- Server process: load v1, listen on an ephemeral port -------
+    let model = cpd::core::io::load_model(&snap_v1).expect("load snapshot");
+    let index = Arc::new(ProfileIndex::build(model, &config));
+    let runtime = ServeRuntime::new(
+        index,
+        None,
+        ServeOptions {
+            workers: 4,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("valid serve options");
+    let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).expect("bind");
+    println!("online: cpd-server listening on {}", server.local_addr());
+
+    // ---- Client process: pipelined queries over TCP -----------------
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let responses = client
+        .query_batch(vec![
+            QueryRequest::RankCommunities {
+                query: vec![WordId(0), WordId(1)],
+            },
+            QueryRequest::TopWords { topic: 0, k: 5 },
+            QueryRequest::UserProfile { user: UserId(0) },
+            QueryRequest::FriendshipScore {
+                u: UserId(0),
+                v: UserId(1),
+            },
+        ])
+        .expect("batch");
+    for (i, response) in responses.iter().enumerate() {
+        match response {
+            QueryResponse::Ranking(r) => {
+                let head: Vec<String> = r
+                    .iter()
+                    .take(3)
+                    .map(|&(id, s)| format!("{id}:{s:.3}"))
+                    .collect();
+                println!("  [{i}] ranking: {}", head.join(" "));
+            }
+            QueryResponse::Profile {
+                membership,
+                dominant,
+            } => println!(
+                "  [{i}] profile: dominant community c{dominant:02} (pi = {:.3})",
+                membership[*dominant]
+            ),
+            QueryResponse::Score(s) => println!("  [{i}] link score: {s:.3}"),
+            QueryResponse::FoldedIn(p) => {
+                println!("  [{i}] fold-in: c{:02}", p.dominant_community())
+            }
+            QueryResponse::Error(e) => println!("  [{i}] error: {e}"),
+        }
+    }
+
+    // The same unseen user folded in twice: the second answer comes
+    // from the generation-keyed cache, byte-identical, without
+    // re-running the Gibbs chain.
+    let fold = QueryRequest::FoldIn {
+        item: FoldInItem::user(vec![vec![WordId(0), WordId(2)]], vec![UserId(0)]),
+        seed: 7,
+    };
+    let first = client.query(fold.clone()).expect("fold-in");
+    let second = client.query(fold).expect("fold-in again");
+    let stats = client.stats().expect("stats");
+    println!(
+        "fold-in twice: byte-identical = {}, cache hits/misses = {}/{}",
+        matches!((&first, &second), (QueryResponse::FoldedIn(a), QueryResponse::FoldedIn(b)) if a == b),
+        stats.cache.hits,
+        stats.cache.misses,
+    );
+
+    // ---- Hot-reload: v2 lands without restarting anything -----------
+    let generation = client
+        .reload(snap_v2.to_str().expect("utf8 path"))
+        .expect("reload");
+    println!(
+        "hot-reload over the wire: now serving generation {generation} \
+         (in-flight batches finished on generation 1)"
+    );
+
+    // ---- Graceful shutdown: drain, join, final report ---------------
+    client.shutdown_server().expect("shutdown handshake");
+    drop(client);
+    let report = server.join();
+    println!(
+        "served {} queries over {} connection(s), {} frames in / {} out, \
+         queue high-water {}, generation {} at shutdown",
+        report.total_queries(),
+        report.net.connections,
+        report.net.frames_in,
+        report.net.frames_out,
+        report.queue_high_water,
+        report.generation,
+    );
+
+    std::fs::remove_file(&snap_v1).ok();
+    std::fs::remove_file(&snap_v2).ok();
+}

@@ -116,6 +116,32 @@ fn main() {
         d.link_score.mean_micros(),
     );
 
-    runtime.shutdown();
+    // ---- Hot-reload: a refreshed model lands, the pool keeps running.
+    // (Here the "new" snapshot is a refit with another seed; in
+    // production it is tonight's model build.) In-flight batches finish
+    // on the old generation; everything after `reload` answers on the
+    // new one. `runtime.index()` hands out an `Arc` of whichever
+    // snapshot is live.
+    let refit = Cpd::new(CpdConfig {
+        seed: 43,
+        ..config.clone()
+    })
+    .expect("valid config")
+    .fit(&graph);
+    cpd::core::io::save_model(&refit.model, &path).expect("snapshot v2");
+    let generation = runtime.reload(&path).expect("hot-reload");
+    println!(
+        "hot-reload: generation {generation} live, |C| = {} communities",
+        runtime.index().n_communities()
+    );
+
+    // Shutdown returns the final counters instead of discarding them.
+    let report = runtime.shutdown();
+    println!(
+        "final report: {} queries, generation {}, queue high-water {}",
+        report.total_queries(),
+        report.generation,
+        report.queue_high_water,
+    );
     std::fs::remove_file(&path).ok();
 }

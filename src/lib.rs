@@ -9,7 +9,8 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `cpd-core` | the CPD model, inference, applications |
-//! | [`serve`] | `cpd-serve` | online serving: profile index, fold-in, query runtime |
+//! | [`serve`] | `cpd-serve` | online serving: profile index, fold-in, query runtime, wire codec |
+//! | [`server`] | `cpd-server` | TCP server + client for the serving runtime, hot-reload over the wire |
 //! | [`social_graph`] | `social-graph` | users, documents, links (Def. 1) |
 //! | [`text_pipeline`] | `text-pipeline` | tokeniser, stemmer, vocabulary |
 //! | [`topic_model`] | `topic-model` | collapsed-Gibbs LDA |
@@ -28,6 +29,7 @@ pub use cpd_datagen as datagen;
 pub use cpd_eval as eval;
 pub use cpd_prob as prob;
 pub use cpd_serve as serve;
+pub use cpd_server as server;
 pub use polya_gamma;
 pub use social_graph;
 pub use text_pipeline;
@@ -41,9 +43,10 @@ pub mod prelude {
     };
     pub use cpd_datagen::{generate, GenConfig, Scale};
     pub use cpd_serve::{
-        FoldIn, FoldInConfig, FoldInItem, ProfileIndex, QueryRequest, QueryResponse, ServeOptions,
-        ServeRuntime,
+        FoldIn, FoldInConfig, FoldInItem, IndexHandle, ProfileIndex, QueryRequest, QueryResponse,
+        ServeDiagnostics, ServeOptions, ServeRuntime,
     };
+    pub use cpd_server::{Client, Server, ServerOptions};
     pub use social_graph::{DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId};
     pub use text_pipeline::{Pipeline, PipelineConfig, RawDocument};
 }
