@@ -45,6 +45,7 @@ fn group_name(base: &str) -> String {
 
 fn runtime_label(runtime: ParallelRuntime) -> &'static str {
     match runtime {
+        ParallelRuntime::Auto => "auto",
         ParallelRuntime::DeltaSharded => "delta",
         ParallelRuntime::CloneRebuild => "clone_rebuild",
         ParallelRuntime::LockFreeCounts => "lockfree",

@@ -37,11 +37,14 @@ pub fn query_log_affinities(phi: &[Vec<f64>], query: &[WordId]) -> Vec<f64> {
 /// Exponentiate `lw` in place after shifting by its maximum — the
 /// log-sum-exp guard that keeps long queries from underflowing. The
 /// result is proportional to `exp(lw)` with the largest entry exactly 1.
+///
+/// Delegates to [`cpd_prob::exp_shift_total`], the shared
+/// weight-to-sample kernel behind `sample_log_index_mut`; the in-place
+/// transform is bit-identical to the historical two-pass loop here
+/// (including the all-`-inf` NaN degeneracy), the running total is
+/// simply discarded.
 pub fn exp_shift_max(lw: &mut [f64]) {
-    let m = lw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    for l in lw.iter_mut() {
-        *l = (*l - m).exp();
-    }
+    let _ = cpd_prob::exp_shift_total(lw);
 }
 
 /// Normalise `scores` to sum to 1 (when the total is positive) and rank

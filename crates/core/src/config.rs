@@ -18,10 +18,18 @@ pub enum DiffusionModel {
 /// runtime" module docs in `parallel.rs` for the three-runtime story).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParallelRuntime {
+    /// Pick a concrete runtime per fit from the corpus shape and the
+    /// thread count — `DeltaSharded` for serial fits and small count
+    /// planes (keeping the deterministic path), `LockFreeCounts` when
+    /// the planes dwarf the per-sweep churn (see `choose_runtime` in
+    /// `parallel.rs` for the heuristic and the bench numbers behind
+    /// it). The resolved choice is reported in
+    /// `FitDiagnostics::runtime`.
+    #[default]
+    Auto,
     /// Persistent sharded workers exchanging sparse `CountDelta`s; no
     /// per-sweep state clone and no count rebuild (Sect. 4.3 runtime).
     /// Draw-for-draw identical to `CloneRebuild`.
-    #[default]
     DeltaSharded,
     /// Legacy runtime: clone the full state per worker per sweep and
     /// rebuild every count matrix after the merge. Kept as a
@@ -36,6 +44,34 @@ pub enum ParallelRuntime {
     /// — not draw-for-draw — equivalent to the other two. Runs the
     /// sharded pool even at `threads = Some(1)`.
     LockFreeCounts,
+}
+
+/// Which per-document sampling math runs inside the Gibbs sweep — the
+/// skew-aware hot-path axis. All three kinds target the same collapsed
+/// conditionals (Eqs. 13–16); they differ in how the candidate weights
+/// are evaluated. See the module docs in `gibbs.rs` for the weight
+/// decomposition and the equivalence arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerKind {
+    /// The historical dense math: one `ln()` per candidate per word,
+    /// every candidate scanned. Kept verbatim as the
+    /// differential-testing oracle.
+    Dense,
+    /// Cached + sparse exact path: memoised `ln(count + offset)`
+    /// tables replace the transcendental calls and the `n_uc`/`n_cz`
+    /// prior factors are built from nonzero row entries over a
+    /// constant baseline. Draw-for-draw identical to `Dense` (every
+    /// cached value is bitwise equal to the direct computation).
+    #[default]
+    Exact,
+    /// Alias-backed Metropolis–Hastings topic proposals (the LightLDA
+    /// trick): the slowly-changing community-topic prior factor is
+    /// drawn from a per-community alias table refreshed once per
+    /// sweep, corrected by a few MH accept/reject steps against the
+    /// exact target. O(mh_steps·|doc|) per topic draw instead of
+    /// O(|Z|·|doc|). Statistically equivalent, not draw-identical;
+    /// community draws stay on the exact cached path.
+    AliasMh,
 }
 
 /// Joint vs. two-phase training.
@@ -82,6 +118,9 @@ pub struct CpdConfig {
     pub threads: Option<usize>,
     /// Parallel E-step runtime (ignored when serial).
     pub parallel_runtime: ParallelRuntime,
+    /// Per-document sampling math (dense oracle, cached+sparse exact,
+    /// or alias-MH approximate).
+    pub sampler: SamplerKind,
     /// Overlap the M-step with the next E-step's first document sweep
     /// (sharded runtimes only; ignored when serial). The sweep runs
     /// with the previous iteration's η/ν — they are read-only inputs —
@@ -131,6 +170,7 @@ impl CpdConfig {
             max_neighbors: 64,
             threads: None,
             parallel_runtime: ParallelRuntime::default(),
+            sampler: SamplerKind::default(),
             overlap_mstep: false,
             seed: 7,
             training: TrainingMode::Joint,

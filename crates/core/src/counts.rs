@@ -348,6 +348,38 @@ impl PairCounts {
         }
     }
 
+    /// Visit the nonzero entries of the contiguous slot range
+    /// `start..start + len` — one row of a row-major plane — as
+    /// `(offset_within_row, count)` pairs, in ascending offset order.
+    ///
+    /// This is the sparse-candidate primitive of the skew-aware
+    /// sampler: community/user count rows are mostly zero on skewed
+    /// corpora, so candidate weights are built as a constant prior-only
+    /// baseline plus corrections at exactly these offsets. On the
+    /// shared backend each entry is one relaxed load, same as
+    /// [`PairCounts::get`]; mid-sweep values carry the usual
+    /// `LockFreeCounts` staleness.
+    #[inline]
+    pub fn for_each_nonzero_in_row(&self, start: usize, len: usize, mut f: impl FnMut(usize, u32)) {
+        match self {
+            Self::Dense { main, .. } => {
+                for (k, &n) in main[start..start + len].iter().enumerate() {
+                    if n != 0 {
+                        f(k, n);
+                    }
+                }
+            }
+            Self::Shared { main, .. } => {
+                for k in 0..len {
+                    let n = main.get(start + k);
+                    if n != 0 {
+                        f(k, n);
+                    }
+                }
+            }
+        }
+    }
+
     /// Apply a signed increment to matrix slot `i`.
     #[inline]
     pub fn add(&mut self, i: usize, v: i32) {
@@ -526,6 +558,42 @@ mod tests {
             p.snapshot_shard(0).len() + p.snapshot_shard(1).len() + p.snapshot_shard(2).len(),
             10
         );
+    }
+
+    #[test]
+    fn sparse_row_iteration_matches_dense_scan_on_both_backends() {
+        // A skewed plane: 4 rows of 6 slots, most entries zero.
+        let mut dense = PairCounts::dense(24, 4);
+        for (i, v) in [(1usize, 3i32), (5, 1), (7, 9), (12, 2), (17, 4), (23, 1)] {
+            dense.add(i, v);
+        }
+        let shared = dense.to_shared(2);
+        for plane in [&dense, &shared] {
+            for row in 0..4 {
+                let start = row * 6;
+                let mut sparse: Vec<(usize, u32)> = Vec::new();
+                plane.for_each_nonzero_in_row(start, 6, |k, n| sparse.push((k, n)));
+                let full: Vec<(usize, u32)> = (0..6)
+                    .map(|k| (k, plane.get(start + k)))
+                    .filter(|&(_, n)| n != 0)
+                    .collect();
+                assert_eq!(sparse, full, "row {row} shared={}", plane.is_shared());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_row_iteration_handles_empty_and_full_rows() {
+        let mut p = PairCounts::dense(6, 2);
+        let mut seen = 0;
+        p.for_each_nonzero_in_row(0, 3, |_, _| seen += 1);
+        assert_eq!(seen, 0, "all-zero row must not invoke the callback");
+        for i in 3..6 {
+            p.add(i, i as i32 + 1);
+        }
+        let mut full = Vec::new();
+        p.for_each_nonzero_in_row(3, 3, |k, n| full.push((k, n)));
+        assert_eq!(full, vec![(0, 4), (1, 5), (2, 6)]);
     }
 
     #[test]

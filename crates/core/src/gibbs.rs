@@ -1,4 +1,5 @@
-//! Collapsed Gibbs sampling (Eqs. 13–16 of the paper).
+//! Collapsed Gibbs sampling (Eqs. 13–16 of the paper), with a
+//! skew-aware hot path.
 //!
 //! Per document the sweep resamples the topic `z_ui` (Eq. 13) and the
 //! community `c_ui` (Eq. 14); per link it resamples the Pólya-Gamma
@@ -12,16 +13,69 @@
 //! `O(|C||F| + |C|²|E|)` sweep complexity. When resampling a *topic*
 //! with incident diffusion links the community pair is held at its
 //! current hard assignment (the dominant term of the bilinear form).
+//!
+//! # The skew-aware sampler (`SamplerKind`)
+//!
+//! Each candidate log-weight decomposes into
+//!
+//! ```text
+//! ln p(z | ·) = ln(n_cz + α)                        (count-prior factor)
+//!             + Σ_k ln(n_zw + β + occ_k)            (word numerator)
+//!             − Σ_j ln(n_z + Wβ + j)                (word denominator)
+//!             + Σ_links ln ψ(ν·x(z), δ)             (diffusion factor)
+//! ```
+//!
+//! and analogously for communities with `ln(n_uc + ρ)` as the prior
+//! factor. Every transcendental there is a logarithm of a *small
+//! integer count plus a fixed offset*, and on skewed corpora the
+//! `n_cz`/`n_uc` rows are mostly zero — which the three sampler kinds
+//! exploit to different degrees:
+//!
+//! * [`SamplerKind::Dense`] — the historical math, one `ln()` per
+//!   candidate per word, every candidate scanned. Kept verbatim as the
+//!   differential-testing oracle; use it to validate the others, never
+//!   for throughput.
+//! * [`SamplerKind::Exact`] (default) — same draws, cheaper
+//!   arithmetic. The prior factors become a constant zero-count
+//!   baseline (`ln α` / `ln ρ`) written across the whole candidate
+//!   buffer plus corrections at the nonzero row entries
+//!   ([`crate::counts::PairCounts::for_each_nonzero_in_row`]), so that
+//!   work tracks row occupancy instead of K and C. All remaining
+//!   logarithms come from the per-fit [`SamplerTables`] memo tables.
+//!   Bit-exactness argument: each table entry is computed by the same
+//!   floating-point expression the dense path evaluates inline (see
+//!   `cpd_prob::logcache`), a baseline-then-overwrite fill produces the
+//!   same value in every slot as the dense loop, and the one-pass
+//!   sampler draw (`sample_log_index_mut`) preserves the shift, the
+//!   summation order and the single uniform draw — so `Exact` is
+//!   draw-for-draw identical to `Dense` for any seed.
+//! * [`SamplerKind::AliasMh`] — the LightLDA trick adapted to
+//!   document-level assignments. Topic candidates are *proposed* from
+//!   a per-community alias table over the slowly-changing
+//!   `n_cz + α` prior row (rebuilt lazily once per sweep, O(1) per
+//!   draw) and corrected by a few Metropolis–Hastings steps against
+//!   the exact target, evaluating the O(|doc|) word factor only for
+//!   the current and proposed topics. Correctness: the MH acceptance
+//!   `min(1, [p(z')q(z)] / [p(z)q(z')])` uses the *live* counts in
+//!   `p` while `q` is the stale proposal, and `q > 0` wherever
+//!   `p > 0`, so the chain's stationary distribution per step is the
+//!   exact conditional — staleness costs mixing speed, not
+//!   correctness. Communities keep the `Exact` path (their factor mix
+//!   is dominated by link terms, not the prior row). Wins once
+//!   `|Z| · |doc|` dwarfs `mh_steps · |doc|`, i.e. for large topic
+//!   counts; on small K the alias rebuilds outweigh the savings.
 
-use crate::config::{CpdConfig, DiffusionModel};
+use crate::config::{CpdConfig, DiffusionModel, SamplerKind};
 use crate::features::{community_feature, UserFeatures, F_COMMUNITY, F_TOPIC_POP, N_FEATURES};
 use crate::profiles::Eta;
 use crate::state::{CpdState, DeltaSink, LinkMeta};
-use cpd_prob::categorical::sample_log_index;
+use cpd_prob::categorical::{sample_log_index_mut, AliasTable};
+use cpd_prob::logcache::{LogCountCache, LogShiftCache};
 use polya_gamma::sample_pg1;
 use rand::rngs::StdRng;
 use rand::Rng;
 use social_graph::{DocId, SocialGraph, UserId};
+use std::time::Instant;
 
 /// Which factors a sweep samples — the "no joint modeling" ablation
 /// trains in two phases.
@@ -36,13 +90,140 @@ pub(crate) enum SweepPhase {
     ProfileOnly,
 }
 
+/// Metropolis–Hastings steps per topic draw on the
+/// [`SamplerKind::AliasMh`] path. LightLDA uses 2; a couple of steps
+/// already mix well because the proposal tracks the dominant prior
+/// factor.
+const MH_STEPS: usize = 2;
+
+/// Per-fit memo tables for the sampler's transcendental calls: flat
+/// `ln(count + offset)` tables for the fixed `α`/`ρ`/`Zα` offsets and
+/// two-axis `ln((count + offset) + shift)` tables for the word factors.
+/// Built once per fit from the corpus shape (counts can never exceed
+/// the token/document totals), shared read-only by every worker, with a
+/// direct-`ln` fallback above the bounds so lookups are total. Every
+/// table entry is bitwise identical to the expression the dense oracle
+/// evaluates inline — see the module docs.
+pub(crate) struct SamplerTables {
+    /// `ln(n + α)` for the community-topic rows (`n_cz`).
+    pub ln_alpha: LogCountCache,
+    /// `ln(n + ρ)` for the user-community rows (`n_uc`).
+    pub ln_rho: LogCountCache,
+    /// `ln(n + |Z|·α)` for the community marginals (`n_c`).
+    pub ln_calpha: LogCountCache,
+    /// `ln((n + β) + occ)` for the word numerator (`n_zw` with the
+    /// within-document repetition offset).
+    pub word_num: LogShiftCache,
+    /// `ln((n + |W|·β) + j)` for the word denominator (`n_z` with the
+    /// per-token position offset).
+    pub word_den: LogShiftCache,
+}
+
+impl SamplerTables {
+    /// Cap on 1-D table sizes and on the count axis of the 2-D tables.
+    const MAX_COUNT_BOUND: usize = 1 << 16;
+    /// Cap on total 2-D table entries (8 MiB of `f64` each).
+    const MAX_SHIFT_ENTRIES: usize = 1 << 20;
+
+    pub(crate) fn new(graph: &SocialGraph, config: &CpdConfig) -> Self {
+        let alpha = config.resolved_alpha();
+        let rho = config.resolved_rho();
+        let z_n = config.n_topics;
+        let w_n = graph.vocab_size();
+        let n_docs = graph.n_docs();
+        let tokens = graph.n_tokens();
+        let max_len = graph
+            .docs()
+            .iter()
+            .map(|d| d.words.len())
+            .max()
+            .unwrap_or(0);
+
+        let count_bound = (n_docs + 1).min(Self::MAX_COUNT_BOUND);
+        // Word counts are bounded by the token total; repetition offsets
+        // and position shifts by the longest document.
+        let num_shifts = max_len.min(16);
+        let den_shifts = max_len.min(64);
+        let word_bound = |shifts: usize| {
+            (tokens + 1)
+                .min(Self::MAX_COUNT_BOUND)
+                .min(Self::MAX_SHIFT_ENTRIES / shifts.max(1))
+        };
+        Self {
+            ln_alpha: LogCountCache::new(alpha, count_bound),
+            ln_rho: LogCountCache::new(rho, count_bound),
+            ln_calpha: LogCountCache::new(z_n as f64 * alpha, count_bound),
+            word_num: LogShiftCache::new(config.beta, word_bound(num_shifts), num_shifts),
+            word_den: LogShiftCache::new(
+                w_n as f64 * config.beta,
+                word_bound(den_shifts),
+                den_shifts,
+            ),
+        }
+    }
+}
+
+/// Where a sweep's time and sparsity went — drained per sweep into
+/// [`crate::FitDiagnostics`] so the speedup provenance is visible
+/// (alias rebuild cost, MH mixing, how sparse the count rows actually
+/// were).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SamplerStats {
+    /// Seconds spent (re)building per-community alias proposal tables.
+    pub alias_build_seconds: f64,
+    /// Metropolis–Hastings proposals made (`AliasMh` only).
+    pub mh_proposals: u64,
+    /// Metropolis–Hastings proposals accepted (`AliasMh` only).
+    pub mh_accepts: u64,
+    /// Count rows visited through the sparse-iteration path.
+    pub sparse_rows: u64,
+    /// Nonzero entries across those rows.
+    pub sparse_nonzeros: u64,
+    /// Total candidate slots across those rows.
+    pub sparse_slots: u64,
+}
+
+impl SamplerStats {
+    /// Fold another accumulator (e.g. a worker's) into this one.
+    pub fn merge(&mut self, other: &SamplerStats) {
+        self.alias_build_seconds += other.alias_build_seconds;
+        self.mh_proposals += other.mh_proposals;
+        self.mh_accepts += other.mh_accepts;
+        self.sparse_rows += other.sparse_rows;
+        self.sparse_nonzeros += other.sparse_nonzeros;
+        self.sparse_slots += other.sparse_slots;
+    }
+
+    /// Fraction of MH proposals accepted, if any were made.
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        (self.mh_proposals > 0).then(|| self.mh_accepts as f64 / self.mh_proposals as f64)
+    }
+
+    /// Mean occupied fraction of the sparse-visited count rows (nonzero
+    /// entries over candidate slots), if any rows were scanned — the
+    /// skew measure that decides how much the sparse decomposition
+    /// saves over a dense scan.
+    pub fn avg_row_occupancy(&self) -> Option<f64> {
+        (self.sparse_slots > 0).then(|| self.sparse_nonzeros as f64 / self.sparse_slots as f64)
+    }
+}
+
+/// Stale per-community alias proposal over the `n_cz + α` row: O(1)
+/// draws plus the log proposal weights needed by the MH correction.
+struct AliasProposal {
+    table: AliasTable,
+    ln_w: Vec<f64>,
+}
+
 /// Reusable per-worker scratch space for the sweep hot loop: the
 /// candidate log-weight vectors and the bilinear `g` buffer used to be
 /// allocated fresh for every document visit (two `Vec`s per document,
 /// one more per diffusion link); each worker now carries one
 /// `SweepScratch` for its whole fit and the hot loop never touches the
-/// allocator. Logically this is the mutable, per-thread companion of
-/// the shared immutable [`SweepContext`].
+/// allocator. It also holds the per-document occurrence offsets, the
+/// per-sweep alias proposals, and the [`SamplerStats`] accumulator.
+/// Logically this is the mutable, per-thread companion of the shared
+/// immutable [`SweepContext`].
 pub(crate) struct SweepScratch {
     /// Topic-candidate log weights (`|Z|`).
     lw_topic: Vec<f64>,
@@ -50,6 +231,17 @@ pub(crate) struct SweepScratch {
     lw_comm: Vec<f64>,
     /// Bilinear diffusion precomputation `g[c]` (`|C|`).
     g: Vec<f64>,
+    /// Per-token within-document repetition offsets (`occ[k]` = number
+    /// of earlier occurrences of word `k` in the current document),
+    /// computed once per document visit and reused across all
+    /// candidates.
+    occ: Vec<u32>,
+    /// Per-community alias proposals, rebuilt lazily each sweep
+    /// (`AliasMh` only).
+    alias: Vec<Option<AliasProposal>>,
+    /// Sampler accounting, drained per sweep via
+    /// [`SweepScratch::take_stats`].
+    stats: SamplerStats,
 }
 
 impl SweepScratch {
@@ -58,7 +250,21 @@ impl SweepScratch {
             lw_topic: Vec::new(),
             lw_comm: Vec::new(),
             g: Vec::new(),
+            occ: Vec::new(),
+            alias: Vec::new(),
+            stats: SamplerStats::default(),
         }
+    }
+
+    /// Drain the accumulated sampler accounting.
+    pub(crate) fn take_stats(&mut self) -> SamplerStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Invalidate sweep-scoped state (the stale alias proposals).
+    fn begin_sweep(&mut self, n_communities: usize) {
+        self.alias.clear();
+        self.alias.resize_with(n_communities, || None);
     }
 }
 
@@ -77,6 +283,7 @@ pub(crate) struct SweepContext<'a> {
     pub nu: &'a [f64],
     pub features: &'a UserFeatures,
     pub links: &'a [LinkMeta],
+    pub tables: &'a SamplerTables,
     pub alpha: f64,
     pub rho: f64,
     pub beta: f64,
@@ -90,6 +297,7 @@ impl<'a> SweepContext<'a> {
         nu: &'a [f64],
         features: &'a UserFeatures,
         links: &'a [LinkMeta],
+        tables: &'a SamplerTables,
     ) -> Self {
         Self {
             graph,
@@ -98,6 +306,7 @@ impl<'a> SweepContext<'a> {
             nu,
             features,
             links,
+            tables,
             alpha: config.resolved_alpha(),
             rho: config.resolved_rho(),
             beta: config.beta,
@@ -132,6 +341,9 @@ pub(crate) fn sweep_user_docs<S: DeltaSink>(
     sink: &mut S,
     scratch: &mut SweepScratch,
 ) {
+    // One call = one sweep over this worker's users: the stale alias
+    // proposals expire here ("refreshed per sweep").
+    scratch.begin_sweep(state.n_communities);
     for &u in users {
         for d in ctx.graph.docs_of(UserId(u)) {
             if phase != SweepPhase::DetectOnly {
@@ -142,6 +354,21 @@ pub(crate) fn sweep_user_docs<S: DeltaSink>(
             }
         }
     }
+}
+
+/// Fill `occ` with per-token repetition offsets for `words`: `occ[k]` =
+/// occurrences of `words[k]` among `words[..k]`. Computed once per
+/// document and reused across all candidates (documents are short, so
+/// the quadratic scan beats a hash map — but it now runs once, not once
+/// per candidate).
+fn fill_occurrence_offsets(occ: &mut Vec<u32>, words: &[social_graph::WordId]) {
+    occ.clear();
+    occ.extend(
+        words
+            .iter()
+            .enumerate()
+            .map(|(k, w)| words[..k].iter().filter(|x| *x == w).count() as u32),
+    );
 }
 
 // --- Topic resampling (Eq. 13) -----------------------------------------
@@ -174,76 +401,12 @@ fn sample_topic<S: DeltaSink>(
     state.n_tz[t * z_n + z_old] -= 1;
     state.n_t[t] -= 1;
 
-    zeroed(&mut scratch.lw_topic, z_n);
-    let lw = &mut scratch.lw_topic;
-    // Community-topic factor: ln(n^z_{c,¬ui} + α); the denominator is
-    // constant across candidates.
-    for (z, l) in lw.iter_mut().enumerate() {
-        *l = (state.n_cz(c * z_n + z) as f64 + ctx.alpha).ln();
-    }
-    // Topic-word factor with within-document repetition offsets.
-    let len = doc.words.len();
-    for (z, l) in lw.iter_mut().enumerate() {
-        let mut acc = 0.0f64;
-        for (k, w) in doc.words.iter().enumerate() {
-            // i-th occurrence of this word within the doc (docs are short;
-            // the quadratic scan is cheaper than a hash map here).
-            let prior = doc.words[..k].iter().filter(|x| *x == w).count();
-            acc +=
-                (state.word_topic.get(z * w_n + w.index()) as f64 + ctx.beta + prior as f64).ln();
-        }
-        let n_z = state.word_topic.marginal(z) as f64;
-        for j in 0..len {
-            acc -= (n_z + w_n as f64 * ctx.beta + j as f64).ln();
-        }
-        *l += acc;
-    }
-
-    // Diffusion factor: links where this document is the *diffused*
-    // source — their link topic is this document's topic. (Links where
-    // this document is the diffuser carry the other end's topic and do
-    // not depend on the candidate.)
-    if (phase == SweepPhase::Full || phase == SweepPhase::ProfileOnly)
-        && ctx.config.diffusion == DiffusionModel::Full
-    {
-        for &lid in ctx.graph.diffusion_links_of(DocId(d as u32)) {
-            let lm = &ctx.links[lid as usize];
-            if lm.dst_doc as usize != d {
-                continue;
-            }
-            let delta = state.delta[lid as usize];
-            let diffuser_doc = lm.src_doc as usize;
-            let ck = state.doc_community[diffuser_doc] as usize;
-            let uk = lm.src_author as usize;
-            let pi_pair =
-                state.pi_hat(uk, ck, ctx.rho) * state.pi_hat(doc.author.index(), c, ctx.rho);
-            let mut x = [0.0f64; N_FEATURES];
-            ctx.features.fill_static(
-                &mut x,
-                UserId(lm.src_author),
-                UserId(lm.dst_author),
-                ctx.config.individual_factor,
-            );
-            let at = lm.at as usize;
-            for (z, l) in lw.iter_mut().enumerate() {
-                // Hard-pair community factor at (c_k, c) for topic z.
-                let s = ctx.eta.at(ck, c, z)
-                    * state.theta_hat(ck, z, ctx.alpha)
-                    * state.theta_hat(c, z, ctx.alpha)
-                    * pi_pair;
-                x[F_COMMUNITY] = community_feature(s, state.n_communities, z_n);
-                x[F_TOPIC_POP] = if ctx.config.topic_factor {
-                    state.topic_popularity(at, z)
-                } else {
-                    0.0
-                };
-                *l += ln_psi(ctx.dot_nu(&x), delta);
-            }
-        }
-    }
-    // SameAsFriendship diffusion has no topic dependence.
-
-    let z_new = sample_log_index(rng, lw);
+    fill_occurrence_offsets(&mut scratch.occ, &doc.words);
+    let z_new = match ctx.config.sampler {
+        SamplerKind::Dense => topic_draw_dense(ctx, state, d, c, rng, phase, scratch),
+        SamplerKind::Exact => topic_draw_exact(ctx, state, d, c, rng, phase, scratch),
+        SamplerKind::AliasMh => topic_draw_alias_mh(ctx, state, d, c, z_old, rng, phase, scratch),
+    };
 
     state.doc_topic[d] = z_new as u32;
     state.comm_topic.add(c * z_n + z_new, 1);
@@ -257,6 +420,299 @@ fn sample_topic<S: DeltaSink>(
     if z_new != z_old {
         sink.topic_moved(d, c, t, &doc.words, z_old, z_new);
     }
+}
+
+/// Whether topic candidates carry diffusion-link terms for this phase
+/// and diffusion model.
+#[inline]
+fn topic_links_active(ctx: &SweepContext<'_>, phase: SweepPhase) -> bool {
+    // SameAsFriendship diffusion has no topic dependence.
+    (phase == SweepPhase::Full || phase == SweepPhase::ProfileOnly)
+        && ctx.config.diffusion == DiffusionModel::Full
+}
+
+/// [`SamplerKind::Dense`] topic draw: the historical math, kept
+/// verbatim as the oracle (one `ln()` per candidate per word, every
+/// candidate scanned). Only the repetition offsets come precomputed.
+fn topic_draw_dense(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    d: usize,
+    c: usize,
+    rng: &mut StdRng,
+    phase: SweepPhase,
+    scratch: &mut SweepScratch,
+) -> usize {
+    let doc = &ctx.graph.docs()[d];
+    let z_n = state.n_topics;
+    let w_n = state.vocab_size;
+    let SweepScratch { lw_topic, occ, .. } = scratch;
+    zeroed(lw_topic, z_n);
+    let lw = lw_topic;
+    // Community-topic factor: ln(n^z_{c,¬ui} + α); the denominator is
+    // constant across candidates.
+    for (z, l) in lw.iter_mut().enumerate() {
+        *l = (state.n_cz(c * z_n + z) as f64 + ctx.alpha).ln();
+    }
+    // Topic-word factor with within-document repetition offsets.
+    let len = doc.words.len();
+    for (z, l) in lw.iter_mut().enumerate() {
+        let mut acc = 0.0f64;
+        for (k, w) in doc.words.iter().enumerate() {
+            acc +=
+                (state.word_topic.get(z * w_n + w.index()) as f64 + ctx.beta + occ[k] as f64).ln();
+        }
+        let n_z = state.word_topic.marginal(z) as f64;
+        for j in 0..len {
+            acc -= (n_z + w_n as f64 * ctx.beta + j as f64).ln();
+        }
+        *l += acc;
+    }
+    if topic_links_active(ctx, phase) {
+        add_topic_diffusion_terms(ctx, state, d, c, lw);
+    }
+    sample_log_index_mut(rng, lw)
+}
+
+/// [`SamplerKind::Exact`] topic draw: identical draws to
+/// [`topic_draw_dense`], but the prior factor is a zero-count baseline
+/// plus sparse nonzero-row corrections and every logarithm is a memo
+/// table lookup.
+fn topic_draw_exact(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    d: usize,
+    c: usize,
+    rng: &mut StdRng,
+    phase: SweepPhase,
+    scratch: &mut SweepScratch,
+) -> usize {
+    let doc = &ctx.graph.docs()[d];
+    let z_n = state.n_topics;
+    let w_n = state.vocab_size;
+    let tab = ctx.tables;
+    let SweepScratch {
+        lw_topic,
+        occ,
+        stats,
+        ..
+    } = scratch;
+    zeroed(lw_topic, z_n);
+    let lw = lw_topic;
+    // Community-topic factor, sparsely: ln(α) everywhere, corrected at
+    // the nonzero entries of the n_cz row.
+    let base = tab.ln_alpha.at(0);
+    for l in lw.iter_mut() {
+        *l = base;
+    }
+    let mut nnz = 0u64;
+    state
+        .comm_topic
+        .for_each_nonzero_in_row(c * z_n, z_n, |z, n| {
+            lw[z] = tab.ln_alpha.at(n);
+            nnz += 1;
+        });
+    stats.sparse_rows += 1;
+    stats.sparse_nonzeros += nnz;
+    stats.sparse_slots += z_n as u64;
+    // Topic-word factor from the memo tables.
+    let len = doc.words.len();
+    for (z, l) in lw.iter_mut().enumerate() {
+        let mut acc = 0.0f64;
+        let row = z * w_n;
+        for (k, w) in doc.words.iter().enumerate() {
+            acc += tab
+                .word_num
+                .at(state.word_topic.get(row + w.index()), occ[k] as usize);
+        }
+        let n_z = state.word_topic.marginal(z);
+        for j in 0..len {
+            acc -= tab.word_den.at(n_z, j);
+        }
+        *l += acc;
+    }
+    if topic_links_active(ctx, phase) {
+        add_topic_diffusion_terms(ctx, state, d, c, lw);
+    }
+    sample_log_index_mut(rng, lw)
+}
+
+/// [`SamplerKind::AliasMh`] topic draw: propose from the stale
+/// per-community alias table over `n_cz + α`, correct with
+/// [`MH_STEPS`] Metropolis–Hastings steps against the exact target
+/// (live counts, cached logarithms). O(`MH_STEPS`·|doc|) instead of
+/// O(|Z|·|doc|).
+#[allow(clippy::too_many_arguments)]
+fn topic_draw_alias_mh(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    d: usize,
+    c: usize,
+    z_old: usize,
+    rng: &mut StdRng,
+    phase: SweepPhase,
+    scratch: &mut SweepScratch,
+) -> usize {
+    let doc = &ctx.graph.docs()[d];
+    let z_n = state.n_topics;
+    let w_n = state.vocab_size;
+    let tab = ctx.tables;
+    let SweepScratch {
+        occ, alias, stats, ..
+    } = scratch;
+
+    // Lazily (re)build this community's proposal: first touch in the
+    // current sweep snapshots the n_cz row. Later draws in the sweep
+    // keep proposing from this snapshot — the MH correction absorbs the
+    // staleness.
+    if alias[c].is_none() {
+        let t0 = Instant::now();
+        let weights: Vec<f64> = (0..z_n)
+            .map(|z| state.n_cz(c * z_n + z) as f64 + ctx.alpha)
+            .collect();
+        let ln_w: Vec<f64> = (0..z_n)
+            .map(|z| tab.ln_alpha.at(state.n_cz(c * z_n + z)))
+            .collect();
+        alias[c] = Some(AliasProposal {
+            table: AliasTable::new(&weights),
+            ln_w,
+        });
+        stats.alias_build_seconds += t0.elapsed().as_secs_f64();
+    }
+    let prop = alias[c].as_ref().expect("proposal just ensured");
+
+    let use_links = topic_links_active(ctx, phase);
+    let len = doc.words.len();
+    // Exact target log-weight at a single candidate, from live counts.
+    let target = |z: usize| -> f64 {
+        let mut lp = tab.ln_alpha.at(state.n_cz(c * z_n + z));
+        let row = z * w_n;
+        for (k, w) in doc.words.iter().enumerate() {
+            lp += tab
+                .word_num
+                .at(state.word_topic.get(row + w.index()), occ[k] as usize);
+        }
+        let n_z = state.word_topic.marginal(z);
+        for j in 0..len {
+            lp -= tab.word_den.at(n_z, j);
+        }
+        if use_links {
+            lp += topic_diffusion_at(ctx, state, d, c, z);
+        }
+        lp
+    };
+
+    let mut z_cur = z_old;
+    let mut lp_cur = target(z_cur);
+    for _ in 0..MH_STEPS {
+        stats.mh_proposals += 1;
+        let z_prop = prop.table.sample(rng);
+        if z_prop == z_cur {
+            stats.mh_accepts += 1;
+            continue;
+        }
+        let lp_prop = target(z_prop);
+        let ln_a = (lp_prop - prop.ln_w[z_prop]) - (lp_cur - prop.ln_w[z_cur]);
+        if ln_a >= 0.0 || rng.gen::<f64>() < ln_a.exp() {
+            z_cur = z_prop;
+            lp_cur = lp_prop;
+            stats.mh_accepts += 1;
+        }
+    }
+    z_cur
+}
+
+/// Add the diffusion-link terms to every topic candidate in `lw`.
+/// Links where this document is the *diffused* source carry its topic;
+/// links where it is the diffuser carry the other end's topic and do
+/// not depend on the candidate.
+fn add_topic_diffusion_terms(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    d: usize,
+    c: usize,
+    lw: &mut [f64],
+) {
+    let doc = &ctx.graph.docs()[d];
+    let z_n = state.n_topics;
+    for &lid in ctx.graph.diffusion_links_of(DocId(d as u32)) {
+        let lm = &ctx.links[lid as usize];
+        if lm.dst_doc as usize != d {
+            continue;
+        }
+        let delta = state.delta[lid as usize];
+        let diffuser_doc = lm.src_doc as usize;
+        let ck = state.doc_community[diffuser_doc] as usize;
+        let uk = lm.src_author as usize;
+        let pi_pair = state.pi_hat(uk, ck, ctx.rho) * state.pi_hat(doc.author.index(), c, ctx.rho);
+        let mut x = [0.0f64; N_FEATURES];
+        ctx.features.fill_static(
+            &mut x,
+            UserId(lm.src_author),
+            UserId(lm.dst_author),
+            ctx.config.individual_factor,
+        );
+        let at = lm.at as usize;
+        for (z, l) in lw.iter_mut().enumerate() {
+            // Hard-pair community factor at (c_k, c) for topic z.
+            let s = ctx.eta.at(ck, c, z)
+                * state.theta_hat(ck, z, ctx.alpha)
+                * state.theta_hat(c, z, ctx.alpha)
+                * pi_pair;
+            x[F_COMMUNITY] = community_feature(s, state.n_communities, z_n);
+            x[F_TOPIC_POP] = if ctx.config.topic_factor {
+                state.topic_popularity(at, z)
+            } else {
+                0.0
+            };
+            *l += ln_psi(ctx.dot_nu(&x), delta);
+        }
+    }
+}
+
+/// Diffusion-link contribution for a *single* topic candidate — the
+/// scalar companion of [`add_topic_diffusion_terms`] used by the MH
+/// target evaluations.
+fn topic_diffusion_at(
+    ctx: &SweepContext<'_>,
+    state: &CpdState,
+    d: usize,
+    c: usize,
+    z: usize,
+) -> f64 {
+    let doc = &ctx.graph.docs()[d];
+    let z_n = state.n_topics;
+    let mut out = 0.0f64;
+    for &lid in ctx.graph.diffusion_links_of(DocId(d as u32)) {
+        let lm = &ctx.links[lid as usize];
+        if lm.dst_doc as usize != d {
+            continue;
+        }
+        let delta = state.delta[lid as usize];
+        let diffuser_doc = lm.src_doc as usize;
+        let ck = state.doc_community[diffuser_doc] as usize;
+        let uk = lm.src_author as usize;
+        let pi_pair = state.pi_hat(uk, ck, ctx.rho) * state.pi_hat(doc.author.index(), c, ctx.rho);
+        let mut x = [0.0f64; N_FEATURES];
+        ctx.features.fill_static(
+            &mut x,
+            UserId(lm.src_author),
+            UserId(lm.dst_author),
+            ctx.config.individual_factor,
+        );
+        let s = ctx.eta.at(ck, c, z)
+            * state.theta_hat(ck, z, ctx.alpha)
+            * state.theta_hat(c, z, ctx.alpha)
+            * pi_pair;
+        x[F_COMMUNITY] = community_feature(s, state.n_communities, z_n);
+        x[F_TOPIC_POP] = if ctx.config.topic_factor {
+            state.topic_popularity(lm.at as usize, z)
+        } else {
+            0.0
+        };
+        out += ln_psi(ctx.dot_nu(&x), delta);
+    }
+    out
 }
 
 // --- Community resampling (Eq. 14) --------------------------------------
@@ -284,18 +740,56 @@ fn sample_community<S: DeltaSink>(
 
     // Disjoint scratch borrows: `lw` for the candidate weights, `g` for
     // the per-link bilinear precomputation further down.
-    let SweepScratch { lw_comm, g, .. } = scratch;
+    let SweepScratch {
+        lw_comm, g, stats, ..
+    } = scratch;
     zeroed(lw_comm, c_n);
     let lw = lw_comm;
-    // User-community prior: ln(n^c_{u,¬ui} + ρ) (denominator constant).
-    for (c, l) in lw.iter_mut().enumerate() {
-        *l = (state.n_uc(u * c_n + c) as f64 + ctx.rho).ln();
-    }
-    // Community-topic factor, with its candidate-dependent denominator.
-    if phase != SweepPhase::DetectOnly {
-        for (c, l) in lw.iter_mut().enumerate() {
-            *l += (state.n_cz(c * z_n + z) as f64 + ctx.alpha).ln()
-                - (state.n_c(c) as f64 + z_n as f64 * ctx.alpha).ln();
+    match ctx.config.sampler {
+        SamplerKind::Dense => {
+            // User-community prior: ln(n^c_{u,¬ui} + ρ) (denominator
+            // constant).
+            for (c, l) in lw.iter_mut().enumerate() {
+                *l = (state.n_uc(u * c_n + c) as f64 + ctx.rho).ln();
+            }
+            // Community-topic factor, with its candidate-dependent
+            // denominator.
+            if phase != SweepPhase::DetectOnly {
+                for (c, l) in lw.iter_mut().enumerate() {
+                    *l += (state.n_cz(c * z_n + z) as f64 + ctx.alpha).ln()
+                        - (state.n_c(c) as f64 + z_n as f64 * ctx.alpha).ln();
+                }
+            }
+        }
+        // AliasMh keeps the exact cached path for communities: the
+        // community conditional is dominated by the link terms below,
+        // so a stale prior proposal would buy little and mix worse.
+        SamplerKind::Exact | SamplerKind::AliasMh => {
+            let tab = ctx.tables;
+            // User-community prior, sparsely: ln(ρ) everywhere,
+            // corrected at the nonzero entries of the n_uc row.
+            let base = tab.ln_rho.at(0);
+            for l in lw.iter_mut() {
+                *l = base;
+            }
+            let mut nnz = 0u64;
+            state
+                .user_comm
+                .for_each_nonzero_in_row(u * c_n, c_n, |c, n| {
+                    lw[c] = tab.ln_rho.at(n);
+                    nnz += 1;
+                });
+            stats.sparse_rows += 1;
+            stats.sparse_nonzeros += nnz;
+            stats.sparse_slots += c_n as u64;
+            // Community-topic factor: the n_cz column and the marginal
+            // denominator are candidate-dependent, so both stay per-slot
+            // lookups.
+            if phase != SweepPhase::DetectOnly {
+                for (c, l) in lw.iter_mut().enumerate() {
+                    *l += tab.ln_alpha.at(state.n_cz(c * z_n + z)) - tab.ln_calpha.at(state.n_c(c));
+                }
+            }
         }
     }
 
@@ -327,7 +821,7 @@ fn sample_community<S: DeltaSink>(
         }
     }
 
-    let c_new = sample_log_index(rng, lw);
+    let c_new = sample_log_index_mut(rng, lw);
 
     state.doc_community[d] = c_new as u32;
     state.user_comm.add(u * c_n + c_new, 1);
@@ -634,7 +1128,8 @@ mod tests {
         let links = link_metadata(&g);
         let eta = Eta::uniform(2, 2);
         let nu = vec![0.1; N_FEATURES];
-        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let tables = SamplerTables::new(&g, &cfg);
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links, &tables);
         let mut state = CpdState::init(&g, &cfg);
         let mut rng = seeded_rng(3);
         let mut scratch = SweepScratch::new();
@@ -660,7 +1155,8 @@ mod tests {
         let links = link_metadata(&g);
         let eta = Eta::uniform(2, 2);
         let nu = vec![0.0; N_FEATURES];
-        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let tables = SamplerTables::new(&g, &cfg);
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links, &tables);
         let mut state = CpdState::init(&g, &cfg);
         let topics_before = state.doc_topic.clone();
         let mut rng = seeded_rng(4);
@@ -684,7 +1180,8 @@ mod tests {
         let links = link_metadata(&g);
         let eta = Eta::uniform(2, 2);
         let nu = vec![0.0; N_FEATURES];
-        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let tables = SamplerTables::new(&g, &cfg);
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links, &tables);
         let mut state = CpdState::init(&g, &cfg);
         let comms_before = state.doc_community.clone();
         let mut rng = seeded_rng(5);
@@ -708,7 +1205,8 @@ mod tests {
         let links = link_metadata(&g);
         let eta = Eta::uniform(2, 2);
         let nu = vec![0.1; N_FEATURES];
-        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let tables = SamplerTables::new(&g, &cfg);
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links, &tables);
         let state = CpdState::init(&g, &cfg);
         let mut rng = seeded_rng(6);
         let mut lam = vec![0.0; g.friendships().len()];
@@ -731,7 +1229,8 @@ mod tests {
         let counts = vec![4.0, 1.0, 2.0, 0.5, 1.0, 3.0, 0.2, 2.2];
         let eta = Eta::from_counts(2, 2, &counts, 0.1);
         let nu = vec![0.0; N_FEATURES];
-        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let tables = SamplerTables::new(&g, &cfg);
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links, &tables);
         let state = CpdState::init(&g, &cfg);
         let (u, v, z) = (0usize, 1usize, 1usize);
         let fast = soft_community_factor(&ctx, &state, u, v, z);
@@ -756,7 +1255,8 @@ mod tests {
         let links = link_metadata(&g);
         let eta = Eta::uniform(2, 2);
         let nu = vec![0.5; N_FEATURES];
-        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+        let tables = SamplerTables::new(&g, &cfg);
+        let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links, &tables);
         let state = CpdState::init(&g, &cfg);
         let lm = &links[0];
         let (w, _) = diffusion_logit(&ctx, &state, lm);

@@ -44,9 +44,10 @@ pub use apps::diffusion::{
 pub use apps::ranking::{
     exp_shift_max, normalise_and_rank, query_log_affinities, query_topics, rank_communities,
 };
-pub use config::{CpdConfig, DiffusionModel, ParallelRuntime, TrainingMode};
+pub use config::{CpdConfig, DiffusionModel, ParallelRuntime, SamplerKind, TrainingMode};
 pub use counts::{AtomicPlane, CountPlane, PairCounts};
 pub use features::UserFeatures;
+pub use gibbs::SamplerStats;
 pub use model::{Cpd, FitDiagnostics, FitResult};
 pub use mstep::{estimate_eta, estimate_eta_sharded, fit_nu, fit_nu_sharded, NuExample};
 pub use parallel::{AtomicOpsBreakdown, FoldBreakdown};

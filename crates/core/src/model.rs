@@ -3,14 +3,15 @@
 
 use crate::config::{CpdConfig, DiffusionModel, ParallelRuntime, TrainingMode};
 use crate::features::{UserFeatures, F_COMMUNITY, N_FEATURES};
-use crate::gibbs::SweepScratch;
 use crate::gibbs::{
     resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
 };
+use crate::gibbs::{SamplerStats, SamplerTables, SweepScratch};
 use crate::mstep::{build_nu_training_set_into, estimate_eta_with, fit_nu, MstepScratch};
 use crate::parallel::{
-    allocate_segments, clone_rebuild_doc_sweep, parallel_resample_delta, parallel_resample_lambda,
-    segment_users, AtomicOpsBreakdown, FoldBreakdown, Segmentation, WorkerPool,
+    allocate_segments, choose_runtime, clone_rebuild_doc_sweep, parallel_resample_delta,
+    parallel_resample_lambda, segment_users, AtomicOpsBreakdown, FoldBreakdown, Segmentation,
+    WorkerPool,
 };
 use crate::profiles::{CpdModel, Eta};
 use crate::state::{link_metadata, CpdState, NoDelta};
@@ -62,6 +63,16 @@ pub struct FitDiagnostics {
     pub changed_docs: Vec<usize>,
     /// Threads used (1 = serial).
     pub threads: usize,
+    /// The concrete parallel runtime the fit executed under —
+    /// [`ParallelRuntime::Auto`] resolves to one of the others via
+    /// `choose_runtime` before any worker spawns.
+    pub runtime: ParallelRuntime,
+    /// Sampler accounting per document sweep (merged across workers):
+    /// alias-table rebuild seconds, MH proposal/accept tallies, and
+    /// sparse-row occupancy — the provenance data behind the hot-path
+    /// speedup (use [`SamplerStats::acceptance_rate`] and
+    /// [`SamplerStats::avg_row_occupancy`]).
+    pub sampler_stats: Vec<SamplerStats>,
     /// Total wall-clock seconds.
     pub total_seconds: f64,
 }
@@ -95,7 +106,9 @@ impl Cpd {
 
     /// Fit the model on `graph` (Alg. 1).
     ///
-    /// With `threads > 1` and the default
+    /// The default [`ParallelRuntime::Auto`] is resolved to a concrete
+    /// runtime up front by [`choose_runtime`] (recorded in
+    /// [`FitDiagnostics::runtime`]). With `threads > 1` under
     /// [`ParallelRuntime::DeltaSharded`], the E-step workers are spawned
     /// once here and live for the whole fit, exchanging sparse
     /// `CountDelta`s with the coordinator every sweep (see
@@ -105,6 +118,7 @@ impl Cpd {
         let cfg = &self.config;
         let features = UserFeatures::compute(graph);
         let links = link_metadata(graph);
+        let tables = SamplerTables::new(graph, cfg);
         let mut state = CpdState::init(graph, cfg);
         let mut eta = Arc::new(Eta::uniform(cfg.n_communities, cfg.n_topics));
         let mut nu = vec![0.0f64; N_FEATURES];
@@ -112,11 +126,14 @@ impl Cpd {
 
         let threads = cfg.threads.unwrap_or(1).max(1);
         let all_users: Vec<u32> = (0..graph.n_users() as u32).collect();
+        // Resolve `Auto` to a concrete runtime up front so every later
+        // branch (pool spawn, sharding decision, diagnostics) agrees.
+        let runtime = choose_runtime(graph, cfg);
         // The lock-free runtime exercises the sharded pool whenever a
         // thread count is given, including `Some(1)`; the draw-identical
         // runtimes fall back to the serial sweep at one thread.
-        let sharded = cfg.threads.is_some()
-            && (threads > 1 || cfg.parallel_runtime == ParallelRuntime::LockFreeCounts);
+        let sharded =
+            cfg.threads.is_some() && (threads > 1 || runtime == ParallelRuntime::LockFreeCounts);
         // Segment + allocate once up front (Sect. 4.3); reused every sweep.
         let user_groups: Option<Vec<Vec<u32>>> = if sharded {
             let seg: Segmentation = segment_users(
@@ -143,6 +160,7 @@ impl Cpd {
 
         let mut diagnostics = FitDiagnostics {
             threads,
+            runtime,
             ..Default::default()
         };
         let mut rng = seeded_rng(cfg.seed ^ 0xE57E9);
@@ -155,9 +173,9 @@ impl Cpd {
             // The persistent sharded worker pool — spawned once per fit,
             // each worker cloning the freshly initialised state exactly
             // once.
-            let mut pool: Option<WorkerPool<'_>> = match (&user_groups, cfg.parallel_runtime) {
+            let mut pool: Option<WorkerPool<'_>> = match (&user_groups, runtime) {
                 (Some(groups), ParallelRuntime::DeltaSharded) => Some(WorkerPool::spawn(
-                    scope, graph, cfg, &features, &links, groups, &state,
+                    scope, graph, cfg, &features, &links, &tables, groups, &state,
                 )),
                 (Some(groups), ParallelRuntime::LockFreeCounts) => {
                     // Lift every count pair onto shared atomic planes
@@ -169,7 +187,7 @@ impl Cpd {
                     state.comm_topic = state.comm_topic.to_shared(groups.len());
                     state.word_topic = state.word_topic.to_shared(groups.len());
                     Some(WorkerPool::spawn(
-                        scope, graph, cfg, &features, &links, groups, &state,
+                        scope, graph, cfg, &features, &links, &tables, groups, &state,
                     ))
                 }
                 _ => None,
@@ -196,18 +214,22 @@ impl Cpd {
                         diagnostics.changed_docs.push(stats.changed_docs);
                         diagnostics.fold_seconds.push(stats.fold);
                         diagnostics.atomic_ops.push(stats.atomic_ops);
+                        diagnostics.sampler_stats.push(stats.sampler);
                     }
                     None => {
-                        let ctx = SweepContext::new(graph, cfg, eta, nu, &features, &links);
+                        let ctx =
+                            SweepContext::new(graph, cfg, eta, nu, &features, &links, &tables);
                         match &user_groups {
                             Some(groups) => {
-                                diagnostics.last_thread_seconds = clone_rebuild_doc_sweep(
+                                let (thread_seconds, sampler) = clone_rebuild_doc_sweep(
                                     &ctx,
                                     state,
                                     groups,
                                     phase,
                                     sweep_counter,
                                 );
+                                diagnostics.last_thread_seconds = thread_seconds;
+                                diagnostics.sampler_stats.push(sampler);
                             }
                             None => {
                                 sweep_user_docs(
@@ -219,6 +241,7 @@ impl Cpd {
                                     &mut NoDelta,
                                     scratch,
                                 );
+                                diagnostics.sampler_stats.push(scratch.take_stats());
                             }
                         }
                     }
@@ -242,7 +265,8 @@ impl Cpd {
                             &mut scratch,
                             &mut diagnostics,
                         );
-                        let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                        let ctx =
+                            SweepContext::new(graph, cfg, &eta, &nu, &features, &links, &tables);
                         if threads > 1 {
                             parallel_resample_lambda(&ctx, &mut state, threads, sweep_counter);
                         } else {
@@ -296,8 +320,9 @@ impl Cpd {
                         let nu_start = Instant::now();
                         let mut nu_new = nu.clone();
                         if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
-                            let ctx =
-                                SweepContext::new(graph, cfg, &eta_new, &nu_new, &features, &links);
+                            let ctx = SweepContext::new(
+                                graph, cfg, &eta_new, &nu_new, &features, &links, &tables,
+                            );
                             build_nu_training_set_into(
                                 &ctx,
                                 &state,
@@ -318,6 +343,7 @@ impl Cpd {
                         diagnostics.changed_docs.push(stats.changed_docs);
                         diagnostics.fold_seconds.push(stats.fold);
                         diagnostics.atomic_ops.push(stats.atomic_ops);
+                        diagnostics.sampler_stats.push(stats.sampler);
                         // The Arc swap at the barrier: later sweeps and
                         // this sweep's PG pass see the fresh η/ν.
                         eta = Arc::new(eta_new);
@@ -336,7 +362,7 @@ impl Cpd {
                             &mut diagnostics,
                         );
                     }
-                    let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                    let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links, &tables);
                     if threads > 1 {
                         if cfg.use_friendship && doc_phase != SweepPhase::ProfileOnly {
                             parallel_resample_lambda(&ctx, &mut state, threads, sweep_counter);
@@ -392,7 +418,9 @@ impl Cpd {
                     let nu_start = Instant::now();
                     if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
                         {
-                            let ctx = SweepContext::new(graph, cfg, &eta, &nu, &features, &links);
+                            let ctx = SweepContext::new(
+                                graph, cfg, &eta, &nu, &features, &links, &tables,
+                            );
                             build_nu_training_set_into(
                                 &ctx,
                                 &state,

@@ -255,7 +255,8 @@ pub fn build_nu_training_set(
     positive_x: &[[f64; N_FEATURES]],
     rng: &mut StdRng,
 ) -> Vec<NuExample> {
-    let ctx = SweepContext::new(graph, config, eta, nu, features, links);
+    let tables = crate::gibbs::SamplerTables::new(graph, config);
+    let ctx = SweepContext::new(graph, config, eta, nu, features, links, &tables);
     let linked: HashSet<(u32, u32)> = links.iter().map(|lm| (lm.src_doc, lm.dst_doc)).collect();
     let mut examples = Vec::new();
     build_nu_training_set_into(&ctx, state, positive_x, rng, &linked, &mut examples);

@@ -18,7 +18,8 @@
 //!   per sweep. Kept for benchmarking and as the differential-testing
 //!   oracle.
 //!
-//! * **`DeltaSharded`** (default): the persistent `WorkerPool`,
+//! * **`DeltaSharded`** (the deterministic workhorse, and what `Auto`
+//!   picks for most fits): the persistent `WorkerPool`,
 //!   spawned **once per fit**. Each worker keeps a replica of the
 //!   sampler state, cloned at spawn and kept in sync incrementally:
 //!   every sweep it refreshes from the coordinator's sync package,
@@ -46,6 +47,13 @@
 //!   check perplexity and community recovery, not draw identity), while
 //!   the counts are still **exact at every barrier** (atomic
 //!   read-modify-writes lose nothing).
+//!
+//! * **`Auto`** (the config default): not a fourth runtime but a
+//!   per-fit resolution step — [`choose_runtime`] inspects the corpus
+//!   shape and thread count once, before any worker spawns, and picks
+//!   `DeltaSharded` or `LockFreeCounts` (see its docs for the exact
+//!   heuristic and the bench numbers behind it). The resolved choice is
+//!   recorded in `FitDiagnostics::runtime`.
 //!
 //! # The barrier fold
 //!
@@ -92,10 +100,11 @@
 //! pipeline stays fully deterministic.
 
 use crate::config::CpdConfig;
+use crate::config::ParallelRuntime;
 use crate::features::{UserFeatures, N_FEATURES};
 use crate::gibbs::{
-    resample_delta_range, resample_lambda_range, sweep_user_docs, SweepContext, SweepPhase,
-    SweepScratch,
+    resample_delta_range, resample_lambda_range, sweep_user_docs, SamplerStats, SamplerTables,
+    SweepContext, SweepPhase, SweepScratch,
 };
 use crate::mstep::{
     apply_nu_step, eta_counts_range, nu_chunk_grad, tree_reduce_counts, NuExample, NU_GRAD_CHUNK,
@@ -264,21 +273,66 @@ pub fn balance_ratio(groups: &[Vec<usize>], workloads: &[f64]) -> f64 {
     }
 }
 
+/// Resolve [`ParallelRuntime::Auto`] to a concrete runtime from the
+/// corpus shape and thread count; explicit runtime choices pass through
+/// untouched.
+///
+/// The decision follows the committed `BENCH_lockfree_counts.json`
+/// numbers: on the paper-shaped bench corpus (K=50, V=60k) the shared
+/// atomic planes win at 8 threads (262 ms vs 377 ms per fit) but lose
+/// serially (226 ms vs 165 ms) — their advantage is skipping the
+/// per-sweep delta fold of the huge dense planes, which only pays once
+/// the planes dwarf the per-sweep token churn. So `Auto` picks:
+///
+/// * **`DeltaSharded`** when serial (`threads <= 1`) or whenever the
+///   count planes are small relative to the corpus — the delta fold is
+///   cheap there, and the runtime stays draw-for-draw deterministic.
+/// * **`LockFreeCounts`** when multi-threaded *and* the plane slot
+///   count (`Z·W + C·Z + U·C`) is both large in absolute terms
+///   (≥ 2¹⁷ slots) and at least 64× the token count — i.e. folding the
+///   dense planes would move far more memory per sweep than the sweep
+///   itself touches.
+///
+/// The tiny differential-test graphs stay on the deterministic
+/// `DeltaSharded` path under `Auto`; the wide-vocabulary bench corpus
+/// flips to the lock-free planes.
+pub fn choose_runtime(graph: &SocialGraph, config: &CpdConfig) -> ParallelRuntime {
+    match config.parallel_runtime {
+        ParallelRuntime::Auto => {
+            let threads = config.threads.unwrap_or(1).max(1);
+            if threads <= 1 {
+                return ParallelRuntime::DeltaSharded;
+            }
+            let z = config.n_topics;
+            let c = config.n_communities;
+            let plane_slots = z * graph.vocab_size() + c * z + graph.n_users() * c;
+            let tokens = graph.n_tokens();
+            if plane_slots >= 64 * tokens.max(1) && plane_slots >= (1 << 17) {
+                ParallelRuntime::LockFreeCounts
+            } else {
+                ParallelRuntime::DeltaSharded
+            }
+        }
+        explicit => explicit,
+    }
+}
+
 /// Legacy clone-and-rebuild parallel sweep: every sweep each thread
 /// clones the full count state, samples its user group, and the merged
 /// assignments are rebuilt into `state` from scratch. Kept as the
 /// benchmarking reference and differential-testing oracle for the
 /// sharded delta runtime ([`WorkerPool`]); both produce identical draws.
-/// Returns the per-thread wall times (Fig. 11).
+/// Returns the per-thread wall times (Fig. 11) and the merged sampler
+/// accounting.
 pub(crate) fn clone_rebuild_doc_sweep(
     ctx: &SweepContext<'_>,
     state: &mut CpdState,
     user_groups: &[Vec<u32>],
     phase: SweepPhase,
     sweep_index: u64,
-) -> Vec<f64> {
-    // (owned docs, their communities, their topics, busy seconds)
-    type GroupResult = (Vec<u32>, Vec<u32>, Vec<u32>, f64);
+) -> (Vec<f64>, SamplerStats) {
+    // (owned docs, their communities, their topics, busy seconds, stats)
+    type GroupResult = (Vec<u32>, Vec<u32>, Vec<u32>, f64, SamplerStats);
     let snapshot: &CpdState = state;
     let results: Vec<GroupResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = user_groups
@@ -313,7 +367,13 @@ pub(crate) fn clone_rebuild_doc_sweep(
                         .map(|&d| local.doc_community[d as usize])
                         .collect();
                     let zs: Vec<u32> = docs.iter().map(|&d| local.doc_topic[d as usize]).collect();
-                    (docs, cs, zs, start.elapsed().as_secs_f64())
+                    (
+                        docs,
+                        cs,
+                        zs,
+                        start.elapsed().as_secs_f64(),
+                        scratch.take_stats(),
+                    )
                 })
             })
             .collect();
@@ -323,15 +383,17 @@ pub(crate) fn clone_rebuild_doc_sweep(
             .collect()
     });
     let mut times = Vec::with_capacity(results.len());
-    for (docs, cs, zs, secs) in results {
+    let mut sampler = SamplerStats::default();
+    for (docs, cs, zs, secs, stats) in results {
         for i in 0..docs.len() {
             state.doc_community[docs[i] as usize] = cs[i];
             state.doc_topic[docs[i] as usize] = zs[i];
         }
         times.push(secs);
+        sampler.merge(&stats);
     }
     state.rebuild_counts(ctx.graph);
-    times
+    (times, sampler)
 }
 
 /// One sweep command from the coordinator to a worker. `eta`/`nu` are
@@ -537,6 +599,9 @@ struct WorkerReply {
     /// Atomic read-modify-writes this worker published to the shared
     /// count planes (all zero for dense planes).
     atomic_ops: AtomicOpsBreakdown,
+    /// This worker's sampler accounting for the sweep (alias rebuilds,
+    /// MH acceptance, sparse-row occupancy).
+    sampler: SamplerStats,
 }
 
 /// Per-plane atomic read-modify-writes published to the shared count
@@ -616,6 +681,8 @@ pub(crate) struct SweepStats {
     pub fold: FoldBreakdown,
     /// Per-plane atomic RMWs published to the shared planes this sweep.
     pub atomic_ops: AtomicOpsBreakdown,
+    /// Sampler accounting merged across the sweep's workers.
+    pub sampler: SamplerStats,
 }
 
 /// Persistent sharded E-step runtime: one worker thread per user group,
@@ -642,12 +709,14 @@ impl<'scope> WorkerPool<'scope> {
     /// — the only full copy it will ever make. (Under `LockFreeCounts`
     /// the clone's word-topic plane is another handle onto the shared
     /// atomics, not a copy.)
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn<'env: 'scope>(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         graph: &'env SocialGraph,
         config: &'env CpdConfig,
         features: &'env UserFeatures,
         links: &'env [LinkMeta],
+        tables: &'env SamplerTables,
         user_groups: &[Vec<u32>],
         state: &CpdState,
     ) -> Self {
@@ -680,7 +749,7 @@ impl<'scope> WorkerPool<'scope> {
                             let sync_secs = sync_start.elapsed().as_secs_f64();
 
                             let ctx = SweepContext::new(
-                                graph, config, &cmd.eta, &cmd.nu, features, links,
+                                graph, config, &cmd.eta, &cmd.nu, features, links, tables,
                             );
                             let mut rng = child_rng(
                                 config.seed ^ 0x9A7A_11E1,
@@ -707,6 +776,7 @@ impl<'scope> WorkerPool<'scope> {
                                     comm_topic: local.comm_topic.take_ops(),
                                     user_comm: local.user_comm.take_ops(),
                                 },
+                                sampler: scratch.take_stats(),
                             }))
                         }
                         Cmd::Fold(mut fold) => {
@@ -816,6 +886,7 @@ impl<'scope> WorkerPool<'scope> {
         let mut snapshot_seconds = 0.0f64;
         let mut changed_docs = 0usize;
         let mut atomic_ops = AtomicOpsBreakdown::default();
+        let mut sampler = SamplerStats::default();
         let mut sizes = DeltaSizes::default();
         for rx in &self.reply_rxs {
             match rx.recv().expect("worker panicked") {
@@ -825,6 +896,7 @@ impl<'scope> WorkerPool<'scope> {
                     thread_seconds.push(reply.busy_secs);
                     snapshot_seconds = snapshot_seconds.max(reply.sync_secs);
                     atomic_ops.accumulate(reply.atomic_ops);
+                    sampler.merge(&reply.sampler);
                     deltas.push(reply.delta);
                 }
                 _ => unreachable!("non-sweep reply outside a barrier"),
@@ -935,6 +1007,7 @@ impl<'scope> WorkerPool<'scope> {
             changed_docs,
             fold,
             atomic_ops,
+            sampler,
         }
     }
 
@@ -1211,14 +1284,23 @@ mod tests {
         let mut delta_state = CpdState::init(&g, &cfg);
         let mut clone_state = delta_state.clone();
 
+        let tables = SamplerTables::new(&g, &cfg);
         std::thread::scope(|scope| {
-            let mut pool =
-                WorkerPool::spawn(scope, &g, &cfg, &features, &links, &groups, &delta_state);
+            let mut pool = WorkerPool::spawn(
+                scope,
+                &g,
+                &cfg,
+                &features,
+                &links,
+                &tables,
+                &groups,
+                &delta_state,
+            );
             for sweep in 1..=4u64 {
                 let stats = pool.sweep(&g, &mut delta_state, SweepPhase::Full, sweep, &eta, &nu);
                 assert_eq!(stats.thread_seconds.len(), 3);
 
-                let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links);
+                let ctx = SweepContext::new(&g, &cfg, &eta, &nu, &features, &links, &tables);
                 clone_rebuild_doc_sweep(&ctx, &mut clone_state, &groups, SweepPhase::Full, sweep);
 
                 assert_eq!(delta_state.doc_community, clone_state.doc_community);
@@ -1265,8 +1347,10 @@ mod tests {
         ];
         let mut state = CpdState::init(&g, &cfg);
         let base = state.clone();
+        let tables = SamplerTables::new(&g, &cfg);
         std::thread::scope(|scope| {
-            let mut pool = WorkerPool::spawn(scope, &g, &cfg, &features, &links, &groups, &state);
+            let mut pool =
+                WorkerPool::spawn(scope, &g, &cfg, &features, &links, &tables, &groups, &state);
             let stats = pool.sweep(&g, &mut state, SweepPhase::Full, 1, &eta, &nu);
             assert!(stats.changed_docs > 0, "tiny graph should reshuffle");
             // The merged delta of the sweep reproduces the fold exactly.

@@ -32,6 +32,11 @@ pub fn sample_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
 }
 
 /// Sample an index proportional to `exp(log_weights)`, computed stably.
+///
+/// Read-only variant: exponentiates twice (once for the total, once for
+/// the scan). Hot loops that own the buffer should prefer
+/// [`sample_log_index_mut`], which is draw-for-draw identical but makes
+/// a single `exp` pass.
 pub fn sample_log_index<R: Rng + ?Sized>(rng: &mut R, log_weights: &[f64]) -> usize {
     assert!(!log_weights.is_empty());
     let m = log_weights
@@ -49,7 +54,59 @@ pub fn sample_log_index<R: Rng + ?Sized>(rng: &mut R, log_weights: &[f64]) -> us
             return i;
         }
     }
-    log_weights.len() - 1
+    // Floating point slack: return the last index with positive shifted
+    // weight (a `-inf` tail entry has zero mass and must not be drawn).
+    log_weights
+        .iter()
+        .rposition(|&lw| (lw - m).exp() > 0.0)
+        .unwrap_or(log_weights.len() - 1)
+}
+
+/// Exponentiate `lw` in place after shifting by its maximum, returning the
+/// total mass — the shared single-pass core of the weight-to-sample
+/// pipeline (`query → exp_shift → normalise/draw`). The result is
+/// proportional to `exp(lw)` with the largest finite entry exactly 1;
+/// with no finite entry the buffer degenerates to NaN exactly as the
+/// historical two-step helpers did, so guarded callers must check the
+/// maximum first.
+pub fn exp_shift_total(lw: &mut [f64]) -> f64 {
+    let m = lw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for l in lw.iter_mut() {
+        *l = (*l - m).exp();
+        total += *l;
+    }
+    total
+}
+
+/// Sample an index proportional to `exp(log_weights)`, overwriting the
+/// buffer with the shifted weights. One `exp` per entry instead of the
+/// two made by [`sample_log_index`]; the maximum, the summation order,
+/// the single uniform draw, and the subtraction scan are all identical,
+/// so for any RNG state this returns the same index as the read-only
+/// variant.
+pub fn sample_log_index_mut<R: Rng + ?Sized>(rng: &mut R, log_weights: &mut [f64]) -> usize {
+    assert!(!log_weights.is_empty());
+    let m = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return rng.gen_range(0..log_weights.len());
+    }
+    let total = exp_shift_total(log_weights);
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in log_weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    // Same floating-point-slack guard as `sample_log_index`.
+    log_weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .unwrap_or(log_weights.len() - 1)
 }
 
 /// Precomputed cumulative weights; O(log n) draws by binary search.
@@ -223,6 +280,55 @@ mod tests {
         for i in 0..4 {
             assert!((f[i] - w[i]).abs() < 0.01, "dim {i}: {}", f[i]);
         }
+    }
+
+    #[test]
+    fn log_sampler_never_draws_minus_inf_tail() {
+        // Historically the fallback returned the *last* index even when
+        // that entry carried zero mass; pin the fix on a weight vector
+        // whose tail is -inf.
+        let lw = [0.0f64, -0.5, f64::NEG_INFINITY, f64::NEG_INFINITY];
+        let mut rng = seeded_rng(57);
+        for _ in 0..20_000 {
+            let i = sample_log_index(&mut rng, &lw);
+            assert!(i < 2, "drew zero-probability index {i}");
+            let mut buf = lw;
+            let j = sample_log_index_mut(&mut rng, &mut buf);
+            assert!(j < 2, "mut variant drew zero-probability index {j}");
+        }
+    }
+
+    #[test]
+    fn mut_log_sampler_is_draw_identical_to_readonly() {
+        let mut rng_a = seeded_rng(58);
+        let mut rng_b = seeded_rng(58);
+        let mut gen = seeded_rng(59);
+        use rand::Rng;
+        for len in 1usize..40 {
+            let lw: Vec<f64> = (0..len)
+                .map(|i| {
+                    if gen.gen::<f64>() < 0.1 {
+                        f64::NEG_INFINITY
+                    } else {
+                        gen.gen::<f64>() * 30.0 - 15.0 + i as f64
+                    }
+                })
+                .collect();
+            let a = sample_log_index(&mut rng_a, &lw);
+            let mut buf = lw.clone();
+            let b = sample_log_index_mut(&mut rng_b, &mut buf);
+            assert_eq!(a, b, "draws diverged on {lw:?}");
+        }
+    }
+
+    #[test]
+    fn exp_shift_total_matches_two_step() {
+        let mut lw = vec![-3.0f64, 0.0, 2.5, -1.0];
+        let reference: Vec<f64> = lw.iter().map(|&l| (l - 2.5).exp()).collect();
+        let expect_total: f64 = reference.iter().sum();
+        let total = exp_shift_total(&mut lw);
+        assert_eq!(lw, reference);
+        assert_eq!(total, expect_total);
     }
 
     #[test]

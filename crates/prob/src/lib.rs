@@ -20,6 +20,7 @@ pub mod dirichlet;
 pub mod exponential;
 pub mod gamma;
 pub mod inverse_gaussian;
+pub mod logcache;
 pub mod normal;
 pub mod poisson;
 pub mod rng;
@@ -27,8 +28,12 @@ pub mod special;
 pub mod stats;
 pub mod zipf;
 
-pub use categorical::{sample_index, sample_log_index, AliasTable, CumulativeTable};
+pub use categorical::{
+    exp_shift_total, sample_index, sample_log_index, sample_log_index_mut, AliasTable,
+    CumulativeTable,
+};
 pub use dirichlet::{sample_dirichlet, sample_symmetric_dirichlet};
+pub use logcache::{LogCountCache, LogShiftCache};
 pub use rng::{child_rng, seeded_rng, SeedStream};
 pub use special::{digamma, erf, erfc, ln_gamma, log1pexp, log_sum_exp, sigmoid};
 pub use stats::RunningStats;

@@ -34,7 +34,7 @@ use crate::index::ProfileIndex;
 use cpd_core::features::{community_feature, F_ACT_V, F_COMMUNITY, F_POP_V, F_TOPIC_POP};
 use cpd_core::features::{UserFeatures, N_FEATURES};
 use cpd_core::{exp_shift_max, membership_link_score, soft_community_factor};
-use cpd_prob::categorical::sample_log_index;
+use cpd_prob::categorical::sample_log_index_mut;
 use cpd_prob::rng::child_rng;
 use cpd_prob::special::sigmoid;
 use social_graph::{UserId, WordId};
@@ -376,12 +376,12 @@ impl<'a> FoldIn<'a> {
             scratch
                 .lw_topic
                 .copy_from_slice(&scratch.doc_logq[d * z_n..(d + 1) * z_n]);
-            let z = sample_log_index(&mut rng, &scratch.lw_topic);
+            let z = sample_log_index_mut(&mut rng, &mut scratch.lw_topic);
             scratch.doc_z[d] = z as u32;
             for (c, lw) in scratch.lw_comm.iter_mut().enumerate() {
                 *lw = idx.log_theta_row(c)[z];
             }
-            let c = sample_log_index(&mut rng, &scratch.lw_comm);
+            let c = sample_log_index_mut(&mut rng, &mut scratch.lw_comm);
             scratch.doc_c[d] = c as u32;
             scratch.n_uc[c] += 1;
         }
@@ -401,7 +401,7 @@ impl<'a> FoldIn<'a> {
                 for ((lw, &lq), &lt) in scratch.lw_topic.iter_mut().zip(logq).zip(theta_row) {
                     *lw = lq + lt;
                 }
-                let z_new = sample_log_index(&mut rng, &scratch.lw_topic);
+                let z_new = sample_log_index_mut(&mut rng, &mut scratch.lw_topic);
                 scratch.doc_z[d] = z_new as u32;
 
                 // Community resample with the document removed.
@@ -422,7 +422,7 @@ impl<'a> FoldIn<'a> {
                         *lw += sigmoid(dot).max(f64::MIN_POSITIVE).ln();
                     }
                 }
-                let c_new = sample_log_index(&mut rng, &scratch.lw_comm);
+                let c_new = sample_log_index_mut(&mut rng, &mut scratch.lw_comm);
                 scratch.doc_c[d] = c_new as u32;
                 scratch.n_uc[c_new] += 1;
             }
