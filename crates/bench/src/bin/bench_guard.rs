@@ -1,0 +1,144 @@
+//! Bench-regression guard for the CI smoke step.
+//!
+//! After `CPD_BENCH_SMOKE=1 cargo bench ...` rewrites the
+//! `BENCH_*_smoke.json` reports at the workspace root, this binary
+//! compares every rewritten smoke report against the version committed
+//! at `HEAD` (via `git show`) and fails — exit code 1 — when any
+//! benchmark's median regressed by more than 2× (a deliberately
+//! generous threshold: CI boxes are shared and smoke samples are tiny,
+//! so anything tighter would flake; a real regression from an
+//! accidental O(n²) or a lost fast path clears 2× easily).
+//!
+//! Reports with no committed counterpart (a brand-new bench group) and
+//! benchmarks that exist on only one side (renamed cells) are skipped
+//! with a note, so adding a bench never requires a two-commit dance.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Maximum tolerated `current / committed` median ratio.
+const MAX_RATIO: f64 = 2.0;
+
+/// Walk up to the topmost directory containing a `Cargo.toml` (matches
+/// the criterion stub's notion of where `BENCH_*.json` lives).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut best: Option<PathBuf> = None;
+    loop {
+        if dir.join("Cargo.toml").is_file() {
+            best = Some(dir.clone());
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => break,
+        }
+    }
+    best.unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Extract `name → median_ns` from the criterion stub's report format:
+/// one `{"name": "...", "median_ns": N, ...}` object per benchmark.
+/// Hand-rolled so the guard needs no JSON dependency; the stub's writer
+/// is the only producer, so the shape is stable.
+fn parse_medians(json: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for chunk in json.split("\"name\":").skip(1) {
+        let Some(name) = chunk.split('"').nth(1) else {
+            continue;
+        };
+        let Some(rest) = chunk.split("\"median_ns\":").nth(1) else {
+            continue;
+        };
+        let med: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = med.parse::<f64>() {
+            out.insert(name.to_string(), v);
+        }
+    }
+    out
+}
+
+/// The committed content of `file` at `HEAD`, or `None` when the file
+/// is untracked / new / git is unavailable.
+fn committed(root: &Path, file: &str) -> Option<String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .arg("show")
+        .arg(format!("HEAD:{file}"))
+        .output()
+        .ok()?;
+    out.status
+        .success()
+        .then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+fn main() {
+    let root = workspace_root();
+    let mut regressions = Vec::new();
+    let mut checked = 0usize;
+
+    let mut reports: Vec<String> = std::fs::read_dir(&root)
+        .expect("readable workspace root")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with("_smoke.json"))
+        .collect();
+    reports.sort();
+
+    if reports.is_empty() {
+        println!("bench_guard: no BENCH_*_smoke.json reports found — nothing to check");
+        return;
+    }
+
+    for file in &reports {
+        let current = match std::fs::read_to_string(root.join(file)) {
+            Ok(s) => parse_medians(&s),
+            Err(e) => {
+                println!("bench_guard: {file}: unreadable ({e}); skipping");
+                continue;
+            }
+        };
+        let Some(base_raw) = committed(&root, file) else {
+            println!("bench_guard: {file}: no committed baseline at HEAD; skipping");
+            continue;
+        };
+        let base = parse_medians(&base_raw);
+        for (name, &cur) in &current {
+            let Some(&was) = base.get(name) else {
+                println!("bench_guard: {file}/{name}: new benchmark; skipping");
+                continue;
+            };
+            if was <= 0.0 {
+                continue;
+            }
+            checked += 1;
+            let ratio = cur / was;
+            let verdict = if ratio > MAX_RATIO { "REGRESSED" } else { "ok" };
+            println!(
+                "bench_guard: {file}/{name}: {:.2}x ({:.1} ms -> {:.1} ms) {verdict}",
+                ratio,
+                was / 1e6,
+                cur / 1e6,
+            );
+            if ratio > MAX_RATIO {
+                regressions.push(format!("{file}/{name}: {ratio:.2}x"));
+            }
+        }
+    }
+
+    println!(
+        "bench_guard: {checked} benchmark(s) checked, {} regression(s)",
+        regressions.len()
+    );
+    if !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!("bench_guard: median regression > {MAX_RATIO}x: {r}");
+        }
+        std::process::exit(1);
+    }
+}

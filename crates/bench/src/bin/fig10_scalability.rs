@@ -59,6 +59,15 @@ fn main() {
         // coordination overhead the delta-based E-step pays instead of
         // the old full clone + rebuild (see FitDiagnostics).
         let serial = Cpd::new(time_cfg(None)).unwrap().fit(&g);
+        let fp = serial.diagnostics.plane_bytes;
+        println!(
+            "count planes ({ds_name}): n_zw {:.1} MB, n_cz {:.1} MB, n_uc {:.1} MB \
+             (total {:.1} MB resident)",
+            fp.word_topic as f64 / 1e6,
+            fp.comm_topic as f64 / 1e6,
+            fp.user_comm as f64 / 1e6,
+            fp.total() as f64 / 1e6,
+        );
         let base = mean(&serial.diagnostics.estep_seconds);
         let mut rows = Vec::new();
         let mut t = 2usize;

@@ -149,6 +149,32 @@ pub struct CpdConfig {
     pub topic_factor: bool,
     /// Model friendship links at all (COLD does not).
     pub use_friendship: bool,
+    /// Topology-aware layout for the shared count planes
+    /// (`LockFreeCounts` only): stripe boundaries rounded to 64-byte
+    /// cache lines so adjacent stripes never false-share, and the tiny
+    /// hot marginals (`n_z`, `n_c`) stride-padded to one slot per line.
+    /// Changes where bytes live, never what they count — barrier
+    /// exactness and shard partitioning are identical either way. On by
+    /// default; the `plane_locality` bench's baseline arm turns it off
+    /// to measure the packed legacy layout.
+    pub plane_padding: bool,
+    /// Pin each sharded worker to a CPU (`worker index mod
+    /// available_parallelism`) via `sched_setaffinity`, so first-touch
+    /// page placement and the stripe-ownership map stay aligned with
+    /// the topology for the whole fit. Linux-only; degrades to a logged
+    /// no-op when the kernel refuses (containers, cpuset limits) or on
+    /// other platforms. Off by default — pinning helps on multi-socket
+    /// boxes and can hurt on shared/oversubscribed ones.
+    pub affinity: bool,
+    /// Block each lock-free worker's document queue into word-range
+    /// tiles (by median word id) so successive token updates hit warm
+    /// `n_zw` stripes instead of striding the whole plane. Only changes
+    /// the per-worker document *visit order*, and only under
+    /// `LockFreeCounts` — the approximate-Gibbs relaxation already
+    /// tolerates order changes there, while the draw-identical runtimes
+    /// (`DeltaSharded`, serial, `CloneRebuild`) keep user order and
+    /// their golden-fingerprint guarantees.
+    pub sweep_tiling: bool,
 }
 
 impl CpdConfig {
@@ -178,6 +204,9 @@ impl CpdConfig {
             individual_factor: true,
             topic_factor: true,
             use_friendship: true,
+            plane_padding: true,
+            affinity: false,
+            sweep_tiling: true,
         }
     }
 

@@ -10,8 +10,8 @@ use crate::gibbs::{SamplerStats, SamplerTables, SweepScratch};
 use crate::mstep::{build_nu_training_set_into, estimate_eta_with, fit_nu, MstepScratch};
 use crate::parallel::{
     allocate_segments, choose_runtime, clone_rebuild_doc_sweep, parallel_resample_delta,
-    parallel_resample_lambda, segment_users, AtomicOpsBreakdown, FoldBreakdown, Segmentation,
-    WorkerPool,
+    parallel_resample_lambda, segment_users, AtomicOpsBreakdown, FirstTouchPlan, FoldBreakdown,
+    Segmentation, WorkerPool,
 };
 use crate::profiles::{CpdModel, Eta};
 use crate::state::{link_metadata, CpdState, NoDelta};
@@ -19,6 +19,28 @@ use cpd_prob::rng::seeded_rng;
 use social_graph::SocialGraph;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Resident bytes of the three count planes (dense `Vec<u32>` pairs or
+/// shared atomic planes, whichever the resolved runtime installed) —
+/// at V=1M the `Z × W` plane is the model's dominant allocation, so
+/// this records what a fit actually costs in memory. Padded atomic
+/// layouts include their alignment slack.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlaneFootprint {
+    /// `n_uc` plane + `n_u` marginal bytes.
+    pub user_comm: usize,
+    /// `n_cz` plane + `n_c` marginal bytes.
+    pub comm_topic: usize,
+    /// `n_zw` plane + `n_z` marginal bytes.
+    pub word_topic: usize,
+}
+
+impl PlaneFootprint {
+    /// Total resident estimate across the three planes.
+    pub fn total(&self) -> usize {
+        self.user_comm + self.comm_topic + self.word_topic
+    }
+}
 
 /// Timing and progress information from a fit.
 #[derive(Debug, Clone, Default)]
@@ -67,6 +89,9 @@ pub struct FitDiagnostics {
     /// [`ParallelRuntime::Auto`] resolves to one of the others via
     /// `choose_runtime` before any worker spawns.
     pub runtime: ParallelRuntime,
+    /// Resident bytes of the three count planes under the resolved
+    /// runtime (padded shared planes include alignment slack).
+    pub plane_bytes: PlaneFootprint,
     /// Sampler accounting per document sweep (merged across workers):
     /// alias-table rebuild seconds, MH proposal/accept tallies, and
     /// sparse-row occupancy — the provenance data behind the hot-path
@@ -175,22 +200,36 @@ impl Cpd {
             // once.
             let mut pool: Option<WorkerPool<'_>> = match (&user_groups, runtime) {
                 (Some(groups), ParallelRuntime::DeltaSharded) => Some(WorkerPool::spawn(
-                    scope, graph, cfg, &features, &links, &tables, groups, &state,
+                    scope, graph, cfg, &features, &links, &tables, groups, &state, None,
                 )),
                 (Some(groups), ParallelRuntime::LockFreeCounts) => {
-                    // Lift every count pair onto shared atomic planes
-                    // *before* the workers clone the state, so each
-                    // replica aliases one plane set (one index stripe
-                    // per worker). With the full plane set shared the
-                    // delta logs shrink to assignments + `n_tz`.
-                    state.user_comm = state.user_comm.to_shared(groups.len());
-                    state.comm_topic = state.comm_topic.to_shared(groups.len());
-                    state.word_topic = state.word_topic.to_shared(groups.len());
+                    // Lift every count pair onto *cold* shared atomic
+                    // planes before the workers clone the state, so each
+                    // replica aliases one plane set (one stripe range
+                    // owned per worker) and the delta logs shrink to
+                    // assignments + `n_tz`. The planes stay unwritten
+                    // here: each worker first-touches its owned stripes
+                    // on its own thread (NUMA page placement), and
+                    // `spawn` blocks until the planes are exact.
+                    let plan = FirstTouchPlan::install(&mut state, groups.len(), cfg.plane_padding);
                     Some(WorkerPool::spawn(
-                        scope, graph, cfg, &features, &links, &tables, groups, &state,
+                        scope,
+                        graph,
+                        cfg,
+                        &features,
+                        &links,
+                        &tables,
+                        groups,
+                        &state,
+                        Some(plan),
                     ))
                 }
                 _ => None,
+            };
+            diagnostics.plane_bytes = PlaneFootprint {
+                user_comm: state.user_comm.mem_bytes(),
+                comm_topic: state.comm_topic.mem_bytes(),
+                word_topic: state.word_topic.mem_bytes(),
             };
 
             // One barrier-synchronised document sweep under the active

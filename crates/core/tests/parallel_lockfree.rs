@@ -246,8 +246,8 @@ fn concurrent_ncz_nuc_increments_are_exact_at_the_barrier() {
                     for d in lo..hi {
                         out.push((d, local.doc_community[d]));
                     }
-                    assert!(local.user_comm.take_ops() > 0);
-                    assert!(local.comm_topic.take_ops() > 0);
+                    assert!(local.user_comm.take_ops().total() > 0);
+                    assert!(local.comm_topic.take_ops().total() > 0);
                     out
                 })
             })

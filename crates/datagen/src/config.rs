@@ -65,6 +65,16 @@ pub struct GenConfig {
     /// Force diffusion source timestamps to be >= target timestamps
     /// (citations cannot go back in time).
     pub respect_time_order: bool,
+    /// Sample document words through the O(W)-setup mixture sampler
+    /// (one shared background Zipf alias table + one per-topic anchor
+    /// alias table + a Bernoulli(anchor_mass) mixing draw) instead of
+    /// materialising a dense `W`-entry alias table per topic. The word
+    /// *distribution* is identical — the mixture is exactly the φ row —
+    /// but the RNG stream differs, so existing corpora keep this off
+    /// for bit-reproducibility; the vocabulary-scaling bench corpora
+    /// turn it on so V=1M generation is O(1) per token with setup
+    /// linear in `W`, not `Z × W`.
+    pub sparse_phi: bool,
     /// RNG seed; everything is deterministic given this.
     pub seed: u64,
 }
@@ -101,6 +111,7 @@ impl GenConfig {
             duplicate_content: true,
             symmetric_friendship: false,
             respect_time_order: false,
+            sparse_phi: false,
             seed: 2017,
         }
     }
@@ -138,7 +149,27 @@ impl GenConfig {
             duplicate_content: false,
             symmetric_friendship: true,
             respect_time_order: true,
+            sparse_phi: false,
             seed: 1936,
+        }
+    }
+
+    /// Vocabulary-scaling bench preset: a twitter-shaped corpus over an
+    /// arbitrary Zipf vocabulary, with the sparse-phi sampler on so
+    /// generation stays O(1) per token and setup linear in `W` even at
+    /// V=1M (a dense per-topic alias table there costs `Z × W` slots of
+    /// construction and hundreds of megabytes — the generator would
+    /// dominate any bench it feeds).
+    pub fn vocab_scaling(n_users: usize, vocab_size: usize) -> Self {
+        Self {
+            n_users,
+            vocab_size,
+            sparse_phi: true,
+            // Enough tokens that every bench config sweeps a realistic
+            // document load, without per-user doc counts ballooning.
+            mean_docs_per_user: 8.0,
+            mean_words_per_doc: 12.0,
+            ..Self::twitter_like(Scale::Medium)
         }
     }
 

@@ -77,7 +77,7 @@ pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
     let theta_samplers: Vec<AliasTable> = theta.iter().map(|t| AliasTable::new(t)).collect();
 
     let phi = build_phi(cfg);
-    let phi_samplers: Vec<AliasTable> = phi.iter().map(|p| AliasTable::new(p)).collect();
+    let word_sampler = WordSampler::build(cfg, &phi);
 
     // Topic popularity peaks over time.
     let topic_peak: Vec<u32> = (0..z_n)
@@ -121,7 +121,7 @@ pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
             let c = weighted_community(&mut rng, pi_u);
             let z = theta_samplers[c].sample(&mut rng);
             let t = timestamp_near_peak(&mut rng, topic_peak[z], cfg.n_timestamps);
-            let words = sample_words(&mut rng, &phi_samplers[z], cfg.mean_words_per_doc);
+            let words = sample_words(&mut rng, &word_sampler, z, cfg.mean_words_per_doc);
             emit_doc(
                 &mut builder,
                 &mut rng,
@@ -293,7 +293,7 @@ pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
             // Retweets duplicate the source content verbatim.
             builder.doc(DocId(dst)).words.clone()
         } else {
-            sample_words(&mut rng, &phi_samplers[z], cfg.mean_words_per_doc)
+            sample_words(&mut rng, &word_sampler, z, cfg.mean_words_per_doc)
         };
         let c_label = weighted_community(&mut rng, &pi[u as usize]);
         let src = emit_doc(
@@ -332,30 +332,111 @@ pub fn generate(cfg: &GenConfig) -> (SocialGraph, GroundTruth) {
     (graph, truth)
 }
 
+/// The Zipf weight vector `1/(rank+1)^e`, computed once per generation.
+/// (Recomputing the `powf` per (topic, slot) — the old `build_phi`
+/// inner loop — alone dominated setup at V=1M.)
+fn zipf_weights(w: usize, exponent: f64) -> Vec<f64> {
+    (0..w)
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(exponent))
+        .collect()
+}
+
+/// The anchor-word block of topic `z`: `W/Z` words, with the last topic
+/// absorbing the remainder.
+fn anchor_block(z: usize, z_n: usize, w: usize) -> std::ops::Range<usize> {
+    let block = w / z_n;
+    let lo = z * block;
+    let hi = if z == z_n - 1 { w } else { lo + block };
+    lo..hi
+}
+
 /// Topic-word distributions with anchor blocks: topic `z` puts
 /// `anchor_mass` on its own block of `W/Z` words (Zipf within the block)
-/// and the remainder on a global Zipf background.
+/// and the remainder on a global Zipf background. The weight vector is
+/// precomputed once; the summation order matches the per-rank closure
+/// this replaced bit for bit, so corpora are unchanged.
 fn build_phi(cfg: &GenConfig) -> Vec<Vec<f64>> {
     let w = cfg.vocab_size;
     let z_n = cfg.n_topics;
-    let block = w / z_n;
-    let zipf_weight = |rank: usize| 1.0 / ((rank + 1) as f64).powf(cfg.word_zipf_exponent);
-    let background_total: f64 = (0..w).map(zipf_weight).sum();
+    let zw = zipf_weights(w, cfg.word_zipf_exponent);
+    let background_total: f64 = zw.iter().sum();
     (0..z_n)
         .map(|z| {
-            let lo = z * block;
-            let hi = if z == z_n - 1 { w } else { lo + block };
-            let anchor_total: f64 = (0..hi - lo).map(zipf_weight).sum();
+            let r = anchor_block(z, z_n, w);
+            let anchor_total: f64 = zw[..r.len()].iter().sum();
             let mut row = vec![0.0f64; w];
             for (i, slot) in row.iter_mut().enumerate() {
-                *slot = (1.0 - cfg.anchor_mass) * zipf_weight(i) / background_total;
+                *slot = (1.0 - cfg.anchor_mass) * zw[i] / background_total;
             }
-            for (i, slot) in row[lo..hi].iter_mut().enumerate() {
-                *slot += cfg.anchor_mass * zipf_weight(i) / anchor_total;
+            for (i, slot) in row[r].iter_mut().enumerate() {
+                *slot += cfg.anchor_mass * zw[i] / anchor_total;
             }
             row
         })
         .collect()
+}
+
+/// Per-topic word sampler behind [`sample_words`].
+///
+/// `Dense` materialises one `W`-entry alias table per topic — one RNG
+/// draw per token, and the bit-exact legacy RNG stream every committed
+/// corpus (and the core crate's golden fingerprints) depends on.
+/// `Sparse` ([`GenConfig::sparse_phi`]) decomposes the φ row into the
+/// mixture it was built from — `anchor_mass` on the topic's anchor
+/// block, the rest on the shared Zipf background — so setup is one
+/// `W`-entry table plus `Z` block-sized tables (`O(W)` total instead of
+/// `O(Z × W)`) and a token costs two RNG draws (mixing Bernoulli +
+/// component). Identical word distribution, different stream.
+enum WordSampler {
+    Dense(Vec<AliasTable>),
+    Sparse {
+        background: AliasTable,
+        anchors: Vec<AliasTable>,
+        anchor_lo: Vec<usize>,
+        anchor_mass: f64,
+    },
+}
+
+impl WordSampler {
+    fn build(cfg: &GenConfig, phi: &[Vec<f64>]) -> Self {
+        if !cfg.sparse_phi {
+            return Self::Dense(phi.iter().map(|p| AliasTable::new(p)).collect());
+        }
+        let w = cfg.vocab_size;
+        let z_n = cfg.n_topics;
+        let zw = zipf_weights(w, cfg.word_zipf_exponent);
+        let mut anchors = Vec::with_capacity(z_n);
+        let mut anchor_lo = Vec::with_capacity(z_n);
+        for z in 0..z_n {
+            let r = anchor_block(z, z_n, w);
+            anchor_lo.push(r.start);
+            anchors.push(AliasTable::new(&zw[..r.len()]));
+        }
+        Self::Sparse {
+            background: AliasTable::new(&zw),
+            anchors,
+            anchor_lo,
+            anchor_mass: cfg.anchor_mass,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng, z: usize) -> usize {
+        match self {
+            Self::Dense(tables) => tables[z].sample(rng),
+            Self::Sparse {
+                background,
+                anchors,
+                anchor_lo,
+                anchor_mass,
+            } => {
+                if rng.gen::<f64>() < *anchor_mass {
+                    anchor_lo[z] + anchors[z].sample(rng)
+                } else {
+                    background.sample(rng)
+                }
+            }
+        }
+    }
 }
 
 fn weighted_community(rng: &mut StdRng, pi_row: &[f64]) -> usize {
@@ -368,10 +449,10 @@ fn timestamp_near_peak(rng: &mut StdRng, peak: u32, n_timestamps: u32) -> u32 {
     (peak as i64 + sign * offset).clamp(0, n_timestamps as i64 - 1) as u32
 }
 
-fn sample_words(rng: &mut StdRng, sampler: &AliasTable, mean_len: f64) -> Vec<WordId> {
+fn sample_words(rng: &mut StdRng, sampler: &WordSampler, z: usize, mean_len: f64) -> Vec<WordId> {
     let len = 2 + sample_poisson(rng, (mean_len - 2.0).max(0.0)) as usize;
     (0..len)
-        .map(|_| WordId(sampler.sample(rng) as u32))
+        .map(|_| WordId(sampler.sample(rng, z) as u32))
         .collect()
 }
 
@@ -389,5 +470,58 @@ mod tests {
             let s: f64 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-9, "{s}");
         }
+    }
+
+    /// The sparse mixture sampler is deterministic for a seed and only
+    /// ever emits in-vocabulary words.
+    #[test]
+    fn sparse_phi_generation_is_deterministic_and_in_range() {
+        let cfg = GenConfig {
+            sparse_phi: true,
+            ..GenConfig::twitter_like(Scale::Tiny)
+        };
+        let (a, _) = generate(&cfg);
+        let (b, _) = generate(&cfg);
+        assert_eq!(a.n_docs(), b.n_docs());
+        for (da, db) in a.docs().iter().zip(b.docs().iter()) {
+            assert_eq!(da.words, db.words);
+            for &w in &da.words {
+                assert!((w.0 as usize) < cfg.vocab_size);
+            }
+        }
+    }
+
+    /// The mixture decomposition concentrates tokens on each topic's
+    /// anchor block at (at least) the configured anchor mass — the same
+    /// shape the dense per-topic tables produce.
+    #[test]
+    fn sparse_phi_tokens_hit_their_anchor_blocks() {
+        let cfg = GenConfig {
+            sparse_phi: true,
+            ..GenConfig::twitter_like(Scale::Tiny)
+        };
+        let (g, truth) = generate(&cfg);
+        let mut in_block = 0usize;
+        let mut total = 0usize;
+        for (d, doc) in g.docs().iter().enumerate() {
+            let r = anchor_block(truth.doc_topic[d], cfg.n_topics, cfg.vocab_size);
+            for &w in &doc.words {
+                total += 1;
+                in_block += usize::from(r.contains(&(w.0 as usize)));
+            }
+        }
+        let frac = in_block as f64 / total.max(1) as f64;
+        // ≥ anchor_mass (0.7) by construction, plus whatever background
+        // mass falls inside the block; generous bounds for a tiny corpus.
+        assert!((0.6..=0.99).contains(&frac), "anchor fraction {frac}");
+    }
+
+    /// `vocab_scaling` builds a valid sparse-phi config at large V.
+    #[test]
+    fn vocab_scaling_preset_validates() {
+        let cfg = GenConfig::vocab_scaling(500, 60_000);
+        cfg.validate().unwrap();
+        assert!(cfg.sparse_phi);
+        assert_eq!(cfg.vocab_size, 60_000);
     }
 }
