@@ -166,6 +166,22 @@ fn bench_e2e_mixed(c: &mut Criterion) {
     group.bench_function(format!("foldin_{n_items}_warm"), |b| {
         b.iter(|| black_box(client.query_batch(warm.clone()).unwrap()))
     });
+
+    // A Prometheus scrape over the wire (the `Metrics` admin frame,
+    // answered on the reader thread, never queued behind the pool).
+    // Running in the CI smoke step, this keeps the metrics path
+    // exercised end to end on every push — the asserts pin that the
+    // scrape actually carries the per-class latency series and that the
+    // health probe answers.
+    let scrape = client.metrics().unwrap();
+    assert!(
+        scrape.contains("cpd_serve_query_seconds{class=\"fold_in\",quantile=\"0.5\"}"),
+        "scrape must carry per-class quantile series:\n{scrape}"
+    );
+    assert!(client.health().unwrap().ready, "health probe must answer");
+    group.bench_function("metrics_scrape", |b| {
+        b.iter(|| black_box(client.metrics().unwrap()))
+    });
     group.finish();
     drop(client);
     let report = server.shutdown();

@@ -9,9 +9,18 @@
 //! so anything tighter would flake; a real regression from an
 //! accidental O(n²) or a lost fast path clears 2× easily).
 //!
-//! Reports with no committed counterpart (a brand-new bench group) and
-//! benchmarks that exist on only one side (renamed cells) are skipped
-//! with a note, so adding a bench never requires a two-commit dance.
+//! Every regression line names the offending report file, the
+//! benchmark, and **both medians** (committed → current), so a CI
+//! failure is diagnosable from the log alone — no diffing JSON by
+//! hand.
+//!
+//! A smoke report with no committed counterpart at `HEAD` is a **named
+//! error** (exit code 2): a guard that silently skips an uncommitted
+//! baseline guards nothing. Pass `--allow-missing` when introducing a
+//! brand-new bench group, so the first commit of its report doesn't
+//! require a two-commit dance. Benchmarks that exist on only one side
+//! of an existing report (renamed cells) are still skipped with a
+//! note.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -78,12 +87,23 @@ fn committed(root: &Path, file: &str) -> Option<String> {
 }
 
 fn main() {
+    let allow_missing = std::env::args().any(|a| a == "--allow-missing");
     let root = workspace_root();
     let mut regressions = Vec::new();
+    let mut missing = Vec::new();
     let mut checked = 0usize;
 
-    let mut reports: Vec<String> = std::fs::read_dir(&root)
-        .expect("readable workspace root")
+    let entries = match std::fs::read_dir(&root) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!(
+                "bench_guard: error: cannot list workspace root {}: {e}",
+                root.display()
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut reports: Vec<String> = entries
         .filter_map(|e| e.ok())
         .filter_map(|e| e.file_name().into_string().ok())
         .filter(|n| n.starts_with("BENCH_") && n.ends_with("_smoke.json"))
@@ -104,7 +124,14 @@ fn main() {
             }
         };
         let Some(base_raw) = committed(&root, file) else {
-            println!("bench_guard: {file}: no committed baseline at HEAD; skipping");
+            if allow_missing {
+                println!(
+                    "bench_guard: {file}: no committed baseline at HEAD; \
+                     skipping (--allow-missing)"
+                );
+            } else {
+                missing.push(file.clone());
+            }
             continue;
         };
         let base = parse_medians(&base_raw);
@@ -126,15 +153,31 @@ fn main() {
                 cur / 1e6,
             );
             if ratio > MAX_RATIO {
-                regressions.push(format!("{file}/{name}: {ratio:.2}x"));
+                regressions.push(format!(
+                    "{file}: benchmark `{name}` median {ratio:.2}x \
+                     (committed {:.3} ms -> current {:.3} ms)",
+                    was / 1e6,
+                    cur / 1e6,
+                ));
             }
         }
     }
 
     println!(
-        "bench_guard: {checked} benchmark(s) checked, {} regression(s)",
-        regressions.len()
+        "bench_guard: {checked} benchmark(s) checked, {} regression(s), {} missing baseline(s)",
+        regressions.len(),
+        missing.len(),
     );
+    if !missing.is_empty() {
+        for file in &missing {
+            eprintln!(
+                "bench_guard: error: {file} has no committed baseline at HEAD — \
+                 commit the smoke report (or pass --allow-missing for a brand-new \
+                 bench group)"
+            );
+        }
+        std::process::exit(2);
+    }
     if !regressions.is_empty() {
         for r in &regressions {
             eprintln!("bench_guard: median regression > {MAX_RATIO}x: {r}");

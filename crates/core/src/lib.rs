@@ -52,3 +52,7 @@ pub use model::{Cpd, FitDiagnostics, FitResult, PlaneFootprint};
 pub use mstep::{estimate_eta, estimate_eta_sharded, fit_nu, fit_nu_sharded, NuExample};
 pub use parallel::{AtomicOpsBreakdown, FoldBreakdown};
 pub use profiles::{dominant_index, CpdModel, Eta};
+
+// Re-exported so trainer embedders can attach a registry
+// (`Cpd::with_telemetry`) without naming `cpd-telemetry` themselves.
+pub use cpd_telemetry::Registry;

@@ -8,6 +8,7 @@ use crate::gibbs::{
 };
 use crate::gibbs::{SamplerStats, SamplerTables, SweepScratch};
 use crate::mstep::{build_nu_training_set_into, estimate_eta_with, fit_nu, MstepScratch};
+use crate::parallel::SweepStats;
 use crate::parallel::{
     allocate_segments, choose_runtime, clone_rebuild_doc_sweep, parallel_resample_delta,
     parallel_resample_lambda, segment_users, AtomicOpsBreakdown, FirstTouchPlan, FoldBreakdown,
@@ -16,6 +17,7 @@ use crate::parallel::{
 use crate::profiles::{CpdModel, Eta};
 use crate::state::{link_metadata, CpdState, NoDelta};
 use cpd_prob::rng::seeded_rng;
+use cpd_telemetry::{Counter, Gauge, Histogram, Registry};
 use social_graph::SocialGraph;
 use std::sync::Arc;
 use std::time::Instant;
@@ -111,17 +113,157 @@ pub struct FitResult {
     pub diagnostics: FitDiagnostics,
 }
 
+/// Live metric handles resolved once per fit from an attached
+/// [`Registry`]. `FitDiagnostics` stays the post-hoc snapshot; these
+/// make the same quantities observable *mid-fit* (another thread can
+/// scrape the registry while sweeps run). All recording is per sweep
+/// or per M-step — a handful of relaxed atomics at barrier
+/// granularity, never on the per-token hot path.
+struct FitMetrics {
+    /// `cpd_fit_span_seconds{span=...}` — one histogram per span kind.
+    sweep_span: Histogram,
+    estep_span: Histogram,
+    fold_span: Histogram,
+    mstep_eta_span: Histogram,
+    mstep_nu_span: Histogram,
+    alias_span: Histogram,
+    /// `cpd_fit_sweeps_total`.
+    sweeps: Counter,
+    /// `cpd_fit_changed_docs_total`.
+    changed_docs: Counter,
+    /// `cpd_fit_plane_rmw_total{plane=word_topic|comm_topic|user_comm}`.
+    rmw: [Counter; 3],
+    mh_proposals: Counter,
+    mh_accepts: Counter,
+    /// `cpd_fit_em_iteration` — completed outer EM iterations.
+    em_iteration: Gauge,
+}
+
+impl FitMetrics {
+    fn resolve(r: &Registry) -> Self {
+        let span = |kind: &str| {
+            r.histogram(
+                "cpd_fit_span_seconds",
+                "Wall-clock seconds of trainer spans, by span kind",
+                &[("span", kind)],
+            )
+        };
+        let rmw_help = "Atomic RMWs published to the shared count planes";
+        FitMetrics {
+            sweep_span: span("sweep"),
+            estep_span: span("estep"),
+            fold_span: span("fold"),
+            mstep_eta_span: span("mstep_eta"),
+            mstep_nu_span: span("mstep_nu"),
+            alias_span: span("alias_rebuild"),
+            sweeps: r.counter("cpd_fit_sweeps_total", "Document sweeps executed", &[]),
+            changed_docs: r.counter(
+                "cpd_fit_changed_docs_total",
+                "Documents whose assignment changed, summed over sweeps",
+                &[],
+            ),
+            rmw: [
+                r.counter(
+                    "cpd_fit_plane_rmw_total",
+                    rmw_help,
+                    &[("plane", "word_topic")],
+                ),
+                r.counter(
+                    "cpd_fit_plane_rmw_total",
+                    rmw_help,
+                    &[("plane", "comm_topic")],
+                ),
+                r.counter(
+                    "cpd_fit_plane_rmw_total",
+                    rmw_help,
+                    &[("plane", "user_comm")],
+                ),
+            ],
+            mh_proposals: r.counter(
+                "cpd_fit_mh_proposals_total",
+                "Metropolis-Hastings topic proposals made (AliasMh sampler)",
+                &[],
+            ),
+            mh_accepts: r.counter(
+                "cpd_fit_mh_accepts_total",
+                "Metropolis-Hastings topic proposals accepted (AliasMh sampler)",
+                &[],
+            ),
+            em_iteration: r.gauge(
+                "cpd_fit_em_iteration",
+                "Completed outer EM iterations of the current fit",
+                &[],
+            ),
+        }
+    }
+
+    /// Record the per-sweep sampler accounting (all runtimes).
+    fn record_sampler(&self, s: &SamplerStats) {
+        if s.alias_build_seconds > 0.0 {
+            self.alias_span.record_secs(s.alias_build_seconds);
+        }
+        self.mh_proposals.add(s.mh_proposals);
+        self.mh_accepts.add(s.mh_accepts);
+    }
+}
+
+/// Push one pooled sweep's barrier stats into both views: the
+/// [`FitDiagnostics`] vectors (post-hoc) and, when attached, the live
+/// registry metrics. Shared by the plain sweep path and the
+/// overlapped-M-step path, which previously duplicated the pushes.
+fn record_pool_sweep(
+    diagnostics: &mut FitDiagnostics,
+    metrics: Option<&FitMetrics>,
+    stats: SweepStats,
+) {
+    if let Some(m) = metrics {
+        m.fold_span.record_secs(stats.merge_seconds);
+        m.changed_docs.add(stats.changed_docs as u64);
+        m.rmw[0].add(stats.atomic_ops.word_topic);
+        m.rmw[1].add(stats.atomic_ops.comm_topic);
+        m.rmw[2].add(stats.atomic_ops.user_comm);
+        m.record_sampler(&stats.sampler);
+    }
+    diagnostics.last_thread_seconds = stats.thread_seconds;
+    diagnostics.merge_seconds.push(stats.merge_seconds);
+    diagnostics.snapshot_seconds.push(stats.snapshot_seconds);
+    diagnostics.changed_docs.push(stats.changed_docs);
+    diagnostics.fold_seconds.push(stats.fold);
+    diagnostics.atomic_ops.push(stats.atomic_ops);
+    diagnostics.sampler_stats.push(stats.sampler);
+}
+
 /// The CPD trainer.
 #[derive(Debug, Clone)]
 pub struct Cpd {
     config: CpdConfig,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl Cpd {
     /// Create a trainer, validating the configuration.
     pub fn new(config: CpdConfig) -> Result<Self, String> {
         config.validate()?;
-        Ok(Self { config })
+        Ok(Self {
+            config,
+            telemetry: None,
+        })
+    }
+
+    /// Attach a metric registry: every [`fit`](Cpd::fit) then streams
+    /// per-sweep spans (`cpd_fit_span_seconds`), plane-RMW/sweep
+    /// counters, and an EM-iteration gauge into it live. Without a
+    /// registry the trainer runs the exact pre-telemetry
+    /// instructions; with one, recording happens at sweep/barrier
+    /// granularity only, so the per-token hot path is untouched.
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// The attached metric registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref()
     }
 
     /// The configuration.
@@ -188,6 +330,16 @@ impl Cpd {
             runtime,
             ..Default::default()
         };
+        let metrics = self.telemetry.as_deref().map(FitMetrics::resolve);
+        if let Some(r) = self.telemetry.as_deref() {
+            r.event(
+                "fit_start",
+                format!(
+                    "users={} runtime={runtime:?} threads={threads}",
+                    graph.n_users()
+                ),
+            );
+        }
         let mut rng = seeded_rng(cfg.seed ^ 0xE57E9);
         let mut cached_x: Vec<[f64; N_FEATURES]> = vec![[0.0; N_FEATURES]; links.len()];
         let mut sweep_counter = 0u64;
@@ -243,17 +395,12 @@ impl Cpd {
                              rng: &mut rand::rngs::StdRng,
                              scratch: &mut SweepScratch,
                              diagnostics: &mut FitDiagnostics| {
+                let sweep_start = Instant::now();
                 match pool {
                     Some(pool) => {
                         let nu_arc = Arc::new(nu.to_vec());
                         let stats = pool.sweep(graph, state, phase, sweep_counter, eta, &nu_arc);
-                        diagnostics.last_thread_seconds = stats.thread_seconds;
-                        diagnostics.merge_seconds.push(stats.merge_seconds);
-                        diagnostics.snapshot_seconds.push(stats.snapshot_seconds);
-                        diagnostics.changed_docs.push(stats.changed_docs);
-                        diagnostics.fold_seconds.push(stats.fold);
-                        diagnostics.atomic_ops.push(stats.atomic_ops);
-                        diagnostics.sampler_stats.push(stats.sampler);
+                        record_pool_sweep(diagnostics, metrics.as_ref(), stats);
                     }
                     None => {
                         let ctx =
@@ -268,6 +415,9 @@ impl Cpd {
                                     sweep_counter,
                                 );
                                 diagnostics.last_thread_seconds = thread_seconds;
+                                if let Some(m) = &metrics {
+                                    m.record_sampler(&sampler);
+                                }
                                 diagnostics.sampler_stats.push(sampler);
                             }
                             None => {
@@ -280,10 +430,19 @@ impl Cpd {
                                     &mut NoDelta,
                                     scratch,
                                 );
-                                diagnostics.sampler_stats.push(scratch.take_stats());
+                                let sampler = scratch.take_stats();
+                                if let Some(m) = &metrics {
+                                    m.record_sampler(&sampler);
+                                }
+                                diagnostics.sampler_stats.push(sampler);
                             }
                         }
                     }
+                }
+                if let Some(m) = &metrics {
+                    m.sweeps.inc();
+                    m.sweep_span
+                        .record_secs(sweep_start.elapsed().as_secs_f64());
                 }
             };
 
@@ -336,6 +495,7 @@ impl Cpd {
                 for s in 0..cfg.gibbs_sweeps {
                     sweep_counter += 1;
                     if s == 0 && mstep_pending {
+                        let sweep_start = Instant::now();
                         let pool_ref = pool.as_mut().expect("overlap requires the pool");
                         // Workers sweep with the previous η/ν (read-only
                         // sweep inputs) while the coordinator estimates
@@ -353,9 +513,11 @@ impl Cpd {
                             cfg.eta_smoothing,
                             &mut mscratch.eta_counts,
                         );
-                        diagnostics
-                            .mstep_eta_seconds
-                            .push(m_start.elapsed().as_secs_f64());
+                        let eta_secs = m_start.elapsed().as_secs_f64();
+                        if let Some(m) = &metrics {
+                            m.mstep_eta_span.record_secs(eta_secs);
+                        }
+                        diagnostics.mstep_eta_seconds.push(eta_secs);
                         let nu_start = Instant::now();
                         let mut nu_new = nu.clone();
                         if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
@@ -372,17 +534,18 @@ impl Cpd {
                             );
                             fit_nu(&mscratch.examples, &mut nu_new, cfg);
                         }
-                        diagnostics
-                            .mstep_nu_seconds
-                            .push(nu_start.elapsed().as_secs_f64());
+                        let nu_secs = nu_start.elapsed().as_secs_f64();
+                        if let Some(m) = &metrics {
+                            m.mstep_nu_span.record_secs(nu_secs);
+                        }
+                        diagnostics.mstep_nu_seconds.push(nu_secs);
                         let stats = pool_ref.finish_sweep(graph, &mut state);
-                        diagnostics.last_thread_seconds = stats.thread_seconds;
-                        diagnostics.merge_seconds.push(stats.merge_seconds);
-                        diagnostics.snapshot_seconds.push(stats.snapshot_seconds);
-                        diagnostics.changed_docs.push(stats.changed_docs);
-                        diagnostics.fold_seconds.push(stats.fold);
-                        diagnostics.atomic_ops.push(stats.atomic_ops);
-                        diagnostics.sampler_stats.push(stats.sampler);
+                        record_pool_sweep(&mut diagnostics, metrics.as_ref(), stats);
+                        if let Some(m) = &metrics {
+                            m.sweeps.inc();
+                            m.sweep_span
+                                .record_secs(sweep_start.elapsed().as_secs_f64());
+                        }
                         // The Arc swap at the barrier: later sweeps and
                         // this sweep's PG pass see the fresh η/ν.
                         eta = Arc::new(eta_new);
@@ -427,9 +590,11 @@ impl Cpd {
                         state.delta = del;
                     }
                 }
-                diagnostics
-                    .estep_seconds
-                    .push(e_start.elapsed().as_secs_f64());
+                let e_secs = e_start.elapsed().as_secs_f64();
+                if let Some(m) = &metrics {
+                    m.estep_span.record_secs(e_secs);
+                }
+                diagnostics.estep_seconds.push(e_secs);
 
                 // ---- M-step ----------------------------------------------
                 if overlap && pool.is_some() && em + 1 < cfg.em_iters {
@@ -451,9 +616,11 @@ impl Cpd {
                             &mut mscratch.eta_counts,
                         ),
                     });
-                    diagnostics
-                        .mstep_eta_seconds
-                        .push(m_start.elapsed().as_secs_f64());
+                    let eta_secs = m_start.elapsed().as_secs_f64();
+                    if let Some(m) = &metrics {
+                        m.mstep_eta_span.record_secs(eta_secs);
+                    }
+                    diagnostics.mstep_eta_seconds.push(eta_secs);
                     let nu_start = Instant::now();
                     if cfg.diffusion == DiffusionModel::Full && !links.is_empty() {
                         {
@@ -477,11 +644,16 @@ impl Cpd {
                             None => fit_nu(&mscratch.examples, &mut nu, cfg),
                         }
                     }
-                    diagnostics
-                        .mstep_nu_seconds
-                        .push(nu_start.elapsed().as_secs_f64());
+                    let nu_secs = nu_start.elapsed().as_secs_f64();
+                    if let Some(m) = &metrics {
+                        m.mstep_nu_span.record_secs(nu_secs);
+                    }
+                    diagnostics.mstep_nu_seconds.push(nu_secs);
                 }
                 diagnostics.em_iterations += 1;
+                if let Some(m) = &metrics {
+                    m.em_iteration.set(diagnostics.em_iterations as f64);
+                }
             }
 
             if let Some(pool) = pool {
@@ -492,6 +664,15 @@ impl Cpd {
         });
 
         diagnostics.total_seconds = start.elapsed().as_secs_f64();
+        if let Some(r) = self.telemetry.as_deref() {
+            r.event(
+                "fit_done",
+                format!(
+                    "em_iterations={} total_seconds={:.3}",
+                    diagnostics.em_iterations, diagnostics.total_seconds
+                ),
+            );
+        }
         FitResult { model, diagnostics }
     }
 }
@@ -643,5 +824,71 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         assert!(Cpd::new(CpdConfig::new(0, 5)).is_err());
+    }
+
+    /// Telemetry is live, not post-hoc: a scraper thread polling the
+    /// shared registry *while the fit runs* sees the sweep counter
+    /// climb monotonically to its final value, and the rendered
+    /// Prometheus text carries the trainer span series.
+    #[test]
+    fn fit_progress_is_observable_mid_fit() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let registry = Arc::new(Registry::new());
+        let trainer = Cpd::new(CpdConfig {
+            em_iters: 6,
+            gibbs_sweeps: 2,
+            nu_iters: 20,
+            seed: 11,
+            ..CpdConfig::new(4, 6)
+        })
+        .unwrap()
+        .with_telemetry(Arc::clone(&registry));
+        let sweeps = registry.counter("cpd_fit_sweeps_total", "Document sweeps executed", &[]);
+
+        let observed = std::thread::scope(|scope| {
+            let reg = Arc::clone(&registry);
+            let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let done_flag = Arc::clone(&done);
+            let scraper = scope.spawn(move || {
+                let c = reg.counter("cpd_fit_sweeps_total", "Document sweeps executed", &[]);
+                let mut seen = Vec::new();
+                while !done_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    seen.push(c.get());
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                seen
+            });
+            let fit = trainer.fit(&g);
+            done.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(fit.diagnostics.em_iterations, 6);
+            scraper.join().unwrap()
+        });
+
+        assert_eq!(sweeps.get(), 12, "6 EM iterations x 2 sweeps");
+        assert!(observed.windows(2).all(|w| w[0] <= w[1]), "monotone");
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE cpd_fit_span_seconds summary"));
+        assert!(text.contains("cpd_fit_span_seconds_count{span=\"sweep\"} 12"));
+        assert!(text.contains("cpd_fit_sweeps_total 12"));
+        assert!(text.contains("cpd_fit_em_iteration 6"));
+        let events = registry.events();
+        assert!(events.iter().any(|e| e.kind == "fit_start"));
+        assert!(events.iter().any(|e| e.kind == "fit_done"));
+    }
+
+    /// A fit with no registry attached must behave identically to one
+    /// with telemetry — draw-for-draw — so the hooks cannot perturb
+    /// the sampler.
+    #[test]
+    fn telemetry_does_not_change_draws() {
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let plain = Cpd::new(quick_config(5)).unwrap().fit(&g);
+        let instrumented = Cpd::new(quick_config(5))
+            .unwrap()
+            .with_telemetry(Arc::new(Registry::new()))
+            .fit(&g);
+        assert_eq!(plain.model.doc_community, instrumented.model.doc_community);
+        assert_eq!(plain.model.doc_topic, instrumented.model.doc_topic);
     }
 }

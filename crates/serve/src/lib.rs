@@ -25,9 +25,12 @@
 //!    seed-deterministic; the trained model is never written.
 //! 3. **[`ServeRuntime`]** — a persistent worker pool answering typed
 //!    [`QueryRequest`] batches (community ranking, top words, user
-//!    profiles, fold-in, link scores) with per-query-class latency
-//!    counters, queue-depth high-water mark and cache counters
-//!    ([`ServeDiagnostics`]).
+//!    profiles, fold-in, link scores). Latency flows into a
+//!    [`cpd_telemetry::Registry`] of per-class histograms (share one
+//!    via [`ServeOptions::registry`]); [`ServeDiagnostics`] snapshots
+//!    it with p50/p99/p999 per class, queue-depth/high-water and
+//!    cache counters, and [`ServeRuntime::prometheus_text`] /
+//!    [`ServeRuntime::health`] expose the scrape + probe surface.
 //! 4. **[`IndexHandle`]** — the runtime serves the *live snapshot* of a
 //!    generation-numbered handle, not a pinned index:
 //!    [`ServeRuntime::reload`] builds a fresh index from a new model
@@ -40,10 +43,10 @@
 //!    re-running the Gibbs chain; the generation in the key makes a
 //!    reload an atomic whole-cache invalidation.
 //! 6. **[`wire`]** — the versioned, length-prefixed binary codec
-//!    (queries, responses, and the reload/stats/shutdown admin frames)
-//!    that the `cpd-server` crate speaks over TCP; oversized frames are
-//!    rejected before allocation, malformed ones answered with `Error`
-//!    frames.
+//!    (queries, responses, and the reload/stats/metrics/health/
+//!    shutdown admin frames) that the `cpd-server` crate speaks over
+//!    TCP; oversized frames are rejected before allocation, malformed
+//!    ones answered with `Error` frames.
 //!
 //! # Offline fit → snapshot → serve → reload
 //!
@@ -100,7 +103,11 @@ pub use foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile};
 pub use handle::IndexHandle;
 pub use index::{ProfileIndex, DEFAULT_TOP_K};
 pub use runtime::{
-    ClassStats, NetStats, QueryClass, QueryRequest, QueryResponse, ServeDiagnostics, ServeOptions,
-    ServeRuntime,
+    ClassStats, HealthStatus, NetStats, QueryClass, QueryRequest, QueryResponse, ServeDiagnostics,
+    ServeOptions, ServeRuntime,
 };
 pub use wire::{RequestFrame, ResponseFrame, WireError};
+
+// Re-exported so serve embedders can build a shared registry without
+// naming `cpd-telemetry` directly.
+pub use cpd_telemetry::Registry;

@@ -26,11 +26,16 @@
 //!   The generation in the key makes a snapshot swap an atomic
 //!   whole-cache invalidation.
 //!
-//! Per-query-class latency counters, the queue-depth high-water mark
-//! and the cache counters accumulate in shared atomics and are surfaced
-//! through [`ServeDiagnostics`] — the serving counterpart of the
-//! trainer's `FitDiagnostics` — which [`ServeRuntime::shutdown`]
-//! returns as the pool's final account.
+//! Per-query-class latency flows into log-bucketed histograms in a
+//! [`cpd_telemetry::Registry`] (pass one in via
+//! [`ServeOptions::registry`] to share it with, say, the trainer — a
+//! private registry is created otherwise), alongside queue-depth /
+//! queue-wait gauges and the cache counters. [`ServeDiagnostics`] —
+//! the serving counterpart of the trainer's `FitDiagnostics` — is a
+//! snapshot view over the same registry (now with p50/p99/p999 per
+//! class, not just means), [`ServeRuntime::prometheus_text`] renders
+//! it in the Prometheus text exposition format, and
+//! [`ServeRuntime::shutdown`] returns the final account.
 //!
 //! [`submit_batch`]: ServeRuntime::submit_batch
 //! [`swap_index`]: ServeRuntime::swap_index
@@ -40,6 +45,7 @@ use crate::foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile
 use crate::handle::IndexHandle;
 use crate::index::ProfileIndex;
 use cpd_core::UserFeatures;
+use cpd_telemetry::{Counter, Gauge, Histogram, Registry};
 use social_graph::{UserId, WordId};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -185,15 +191,34 @@ impl QueryClass {
             QueryClass::LinkScore => 4,
         }
     }
+
+    /// The `class` label value this class exports under.
+    fn label(self) -> &'static str {
+        match self {
+            QueryClass::Ranking => "ranking",
+            QueryClass::TopWords => "top_words",
+            QueryClass::Profile => "profile",
+            QueryClass::FoldIn => "fold_in",
+            QueryClass::LinkScore => "link_score",
+        }
+    }
 }
 
-/// Count + cumulative latency of one query class.
+/// Latency account of one query class: count, cumulative time, and
+/// histogram-backed tail quantiles (bucket-midpoint readout, within
+/// 1/16 relative error — see `cpd-telemetry`).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ClassStats {
     /// Queries answered.
     pub queries: u64,
     /// Total worker-side seconds spent answering them.
     pub seconds: f64,
+    /// Median per-query latency in microseconds (0 when idle).
+    pub p50_micros: f64,
+    /// 99th-percentile per-query latency in microseconds.
+    pub p99_micros: f64,
+    /// 99.9th-percentile per-query latency in microseconds.
+    pub p999_micros: f64,
 }
 
 impl ClassStats {
@@ -260,28 +285,139 @@ impl ServeDiagnostics {
     }
 }
 
-/// Shared atomic counter cells (one pair per query class, plus the
-/// queue-depth gauge and its high-water mark).
-#[derive(Default)]
-struct StatsCells {
-    queries: [AtomicU64; N_CLASSES],
-    nanos: [AtomicU64; N_CLASSES],
-    queue_depth: AtomicU64,
-    queue_high_water: AtomicU64,
+/// Liveness/readiness snapshot — what a `Health` probe answers with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthStatus {
+    /// The worker pool is up and accepting batches.
+    pub ready: bool,
+    /// The process is responding at all (always `true` from a live
+    /// runtime; the field exists so probes distinguish "no answer"
+    /// from "answered unhealthy").
+    pub live: bool,
+    /// Generation of the live index snapshot.
+    pub generation: u64,
+    /// Seconds since the runtime (or its shared registry) started.
+    pub uptime_seconds: f64,
 }
 
-impl StatsCells {
+/// The runtime's handles into its [`Registry`]: per-class latency
+/// histograms plus queue instrumentation. The hot path (worker record,
+/// enqueue/dequeue) is relaxed atomics only; the cache / generation /
+/// uptime mirrors are refreshed at scrape time by [`sync`].
+///
+/// [`sync`]: ServeMetrics::sync
+struct ServeMetrics {
+    registry: Arc<Registry>,
+    /// `cpd_serve_query_seconds{class=...}`, indexed by
+    /// [`QueryClass::slot`].
+    query_seconds: [Histogram; N_CLASSES],
+    /// `cpd_serve_queue_wait_seconds` — enqueue → dequeue.
+    queue_wait: Histogram,
+    /// Exact integer queue depth + high-water cells (the gauges below
+    /// mirror them at scrape time; `fetch_max` needs an integer cell).
+    queue_depth: AtomicU64,
+    queue_high_water: AtomicU64,
+    queue_depth_gauge: Gauge,
+    queue_high_water_gauge: Gauge,
+    /// `cpd_serve_batches_total`.
+    batches: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    cache_entries: Gauge,
+    generation_gauge: Gauge,
+    uptime_gauge: Gauge,
+    workers_gauge: Gauge,
+}
+
+impl ServeMetrics {
+    fn resolve(registry: Arc<Registry>) -> Self {
+        let query_help = "Worker-side query latency by query class";
+        let query_seconds = [
+            QueryClass::Ranking,
+            QueryClass::TopWords,
+            QueryClass::Profile,
+            QueryClass::FoldIn,
+            QueryClass::LinkScore,
+        ]
+        .map(|c| {
+            registry.histogram(
+                "cpd_serve_query_seconds",
+                query_help,
+                &[("class", c.label())],
+            )
+        });
+        ServeMetrics {
+            query_seconds,
+            queue_wait: registry.histogram(
+                "cpd_serve_queue_wait_seconds",
+                "Time jobs spend queued before a worker dequeues them",
+                &[],
+            ),
+            queue_depth: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            queue_depth_gauge: registry.gauge(
+                "cpd_serve_queue_depth",
+                "Jobs currently waiting in the shared queue",
+                &[],
+            ),
+            queue_high_water_gauge: registry.gauge(
+                "cpd_serve_queue_high_water",
+                "Most jobs ever waiting in the shared queue at once",
+                &[],
+            ),
+            batches: registry.counter("cpd_serve_batches_total", "Query batches submitted", &[]),
+            cache_hits: registry.counter(
+                "cpd_serve_fold_cache_hits_total",
+                "Fold-in cache hits",
+                &[],
+            ),
+            cache_misses: registry.counter(
+                "cpd_serve_fold_cache_misses_total",
+                "Fold-in cache misses",
+                &[],
+            ),
+            cache_evictions: registry.counter(
+                "cpd_serve_fold_cache_evictions_total",
+                "Fold-in cache LRU evictions",
+                &[],
+            ),
+            cache_entries: registry.gauge(
+                "cpd_serve_fold_cache_entries",
+                "Profiles resident in the fold-in cache",
+                &[],
+            ),
+            generation_gauge: registry.gauge(
+                "cpd_serve_generation",
+                "Generation of the live index snapshot",
+                &[],
+            ),
+            uptime_gauge: registry.gauge(
+                "cpd_serve_uptime_seconds",
+                "Seconds since the metric registry started",
+                &[],
+            ),
+            workers_gauge: registry.gauge(
+                "cpd_serve_workers",
+                "Worker threads in the serving pool",
+                &[],
+            ),
+            registry,
+        }
+    }
+
     fn record(&self, class: QueryClass, nanos: u64) {
-        let s = class.slot();
-        self.queries[s].fetch_add(1, Ordering::Relaxed);
-        self.nanos[s].fetch_add(nanos, Ordering::Relaxed);
+        self.query_seconds[class.slot()].record(nanos);
     }
 
     fn class(&self, class: QueryClass) -> ClassStats {
-        let s = class.slot();
+        let h = &self.query_seconds[class.slot()];
         ClassStats {
-            queries: self.queries[s].load(Ordering::Relaxed),
-            seconds: self.nanos[s].load(Ordering::Relaxed) as f64 * 1e-9,
+            queries: h.count(),
+            seconds: h.sum_nanos() as f64 * 1e-9,
+            p50_micros: h.quantile(0.5) / 1e3,
+            p99_micros: h.quantile(0.99) / 1e3,
+            p999_micros: h.quantile(0.999) / 1e3,
         }
     }
 
@@ -290,8 +426,25 @@ impl StatsCells {
         self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
-    fn dequeued(&self) {
+    fn dequeued(&self, waited: std::time::Duration) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait.record_duration(waited);
+    }
+
+    /// Refresh the scrape-time mirrors: cache counters (tracked by the
+    /// cache itself), queue gauges, generation, uptime, pool size.
+    fn sync(&self, cache: &CacheStats, generation: u64, workers: usize) {
+        self.cache_hits.store(cache.hits);
+        self.cache_misses.store(cache.misses);
+        self.cache_evictions.store(cache.evictions);
+        self.cache_entries.set(cache.entries as f64);
+        self.queue_depth_gauge
+            .set(self.queue_depth.load(Ordering::Relaxed) as f64);
+        self.queue_high_water_gauge
+            .set(self.queue_high_water.load(Ordering::Relaxed) as f64);
+        self.generation_gauge.set(generation as f64);
+        self.uptime_gauge.set(self.registry.uptime_seconds());
+        self.workers_gauge.set(workers as f64);
     }
 }
 
@@ -306,6 +459,9 @@ struct Job {
     /// mix generations within one batch.
     index: Arc<ProfileIndex>,
     generation: u64,
+    /// When the job entered the shared queue (feeds the queue-wait
+    /// histogram at dequeue).
+    enqueued: Instant,
     reply: Sender<(usize, QueryResponse)>,
 }
 
@@ -319,6 +475,12 @@ pub struct ServeOptions {
     pub fold_in: FoldInConfig,
     /// Fold-in cache capacity in profiles (0 disables the cache).
     pub fold_cache_capacity: usize,
+    /// Metric registry to record into. Pass the registry a trainer was
+    /// fitted with and one scrape surfaces both layers
+    /// (`cpd_fit_*` + `cpd_serve_*`); when `None`, the runtime creates
+    /// a private registry — `prometheus_text` and the histogram-backed
+    /// diagnostics work either way.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for ServeOptions {
@@ -327,6 +489,7 @@ impl Default for ServeOptions {
             workers: 0,
             fold_in: FoldInConfig::default(),
             fold_cache_capacity: 1024,
+            registry: None,
         }
     }
 }
@@ -343,8 +506,7 @@ pub struct ServeRuntime {
     /// during teardown.
     tx: Option<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
-    stats: Arc<StatsCells>,
-    batches: AtomicU64,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl ServeRuntime {
@@ -368,14 +530,18 @@ impl ServeRuntime {
         };
         let handle = Arc::new(IndexHandle::new(index));
         let cache = Arc::new(FoldCache::new(options.fold_cache_capacity));
-        let stats = Arc::new(StatsCells::default());
+        let registry = options
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+        let metrics = Arc::new(ServeMetrics::resolve(registry));
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(std::sync::Mutex::new(rx));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = Arc::clone(&rx);
             let features = features.clone();
-            let stats = Arc::clone(&stats);
+            let metrics = Arc::clone(&metrics);
             let cache = Arc::clone(&cache);
             let fold_cfg = options.fold_in.clone();
             handles.push(std::thread::spawn(move || {
@@ -395,7 +561,7 @@ impl ServeRuntime {
                             Err(_) => break, // Runtime dropped; shut down.
                         }
                     };
-                    stats.dequeued();
+                    metrics.dequeued(job.enqueued.elapsed());
                     let class = QueryClass::of(&job.request);
                     let start = Instant::now();
                     // A panic inside a query (e.g. NaNs smuggled into a
@@ -422,7 +588,7 @@ impl ServeRuntime {
                             .unwrap_or_else(|| "query panicked".into());
                         QueryResponse::Error(format!("query panicked: {msg}"))
                     });
-                    stats.record(class, start.elapsed().as_nanos() as u64);
+                    metrics.record(class, start.elapsed().as_nanos() as u64);
                     if job.reply.send((job.slot, response)).is_err() {
                         // Batch submitter is gone; keep serving others.
                         continue;
@@ -435,8 +601,7 @@ impl ServeRuntime {
             cache,
             tx: Some(tx),
             handles,
-            stats,
-            batches: AtomicU64::new(0),
+            metrics,
         })
     }
 
@@ -464,6 +629,10 @@ impl ServeRuntime {
     pub fn swap_index(&self, index: Arc<ProfileIndex>) -> u64 {
         let generation = self.handle.swap(index);
         self.cache.retain_generation(generation);
+        self.metrics.generation_gauge.set(generation as f64);
+        self.metrics
+            .registry
+            .event("reload", format!("snapshot generation {generation} live"));
         generation
     }
 
@@ -515,12 +684,13 @@ impl ServeRuntime {
         let tx = self.tx.as_ref().expect("runtime not shut down");
         let (reply_tx, reply_rx) = channel();
         for (slot, request) in requests.into_iter().enumerate() {
-            self.stats.enqueued();
+            self.metrics.enqueued();
             tx.send(Job {
                 slot,
                 request,
                 index: Arc::clone(&index),
                 generation,
+                enqueued: Instant::now(),
                 reply: reply_tx.clone(),
             })
             .expect("serve worker hung up");
@@ -530,27 +700,65 @@ impl ServeRuntime {
         for (slot, response) in reply_rx {
             responses[slot] = Some(response);
         }
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.batches.inc();
         responses
             .into_iter()
             .map(|r| r.expect("every slot answered"))
             .collect()
     }
 
-    /// Snapshot the per-class counters.
+    /// Snapshot the per-class counters (and refresh the registry's
+    /// scrape-time mirrors, so a snapshot and a Prometheus scrape tell
+    /// the same story).
     pub fn diagnostics(&self) -> ServeDiagnostics {
+        let cache = self.cache.stats();
+        let generation = self.handle.generation();
+        self.metrics.sync(&cache, generation, self.handles.len());
         ServeDiagnostics {
             workers: self.handles.len(),
-            batches: self.batches.load(Ordering::Relaxed),
-            generation: self.handle.generation(),
-            queue_high_water: self.stats.queue_high_water.load(Ordering::Relaxed),
-            cache: self.cache.stats(),
+            batches: self.metrics.batches.get(),
+            generation,
+            queue_high_water: self.metrics.queue_high_water.load(Ordering::Relaxed),
+            cache,
             net: NetStats::default(),
-            ranking: self.stats.class(QueryClass::Ranking),
-            top_words: self.stats.class(QueryClass::TopWords),
-            profile: self.stats.class(QueryClass::Profile),
-            fold_in: self.stats.class(QueryClass::FoldIn),
-            link_score: self.stats.class(QueryClass::LinkScore),
+            ranking: self.metrics.class(QueryClass::Ranking),
+            top_words: self.metrics.class(QueryClass::TopWords),
+            profile: self.metrics.class(QueryClass::Profile),
+            fold_in: self.metrics.class(QueryClass::FoldIn),
+            link_score: self.metrics.class(QueryClass::LinkScore),
+        }
+    }
+
+    /// The metric registry the runtime records into (the one passed
+    /// via [`ServeOptions::registry`], or the private one created at
+    /// construction). Share it with other layers — or scrape it
+    /// directly from another thread mid-load.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
+    }
+
+    /// Render every metric in the registry — the runtime's own
+    /// `cpd_serve_*` families plus whatever else shares the registry
+    /// (trainer `cpd_fit_*` spans, server `cpd_server_*` transport
+    /// counters) — in the Prometheus text exposition format, after
+    /// refreshing the scrape-time mirrors (cache, queue gauges,
+    /// generation, uptime).
+    pub fn prometheus_text(&self) -> String {
+        let cache = self.cache.stats();
+        self.metrics
+            .sync(&cache, self.handle.generation(), self.handles.len());
+        self.metrics.registry.render_prometheus()
+    }
+
+    /// Liveness/readiness probe, answerable without touching the
+    /// worker pool: ready while the pool accepts batches, plus the
+    /// live generation and registry uptime.
+    pub fn health(&self) -> HealthStatus {
+        HealthStatus {
+            ready: self.tx.is_some() && !self.handles.is_empty(),
+            live: true,
+            generation: self.handle.generation(),
+            uptime_seconds: self.metrics.registry.uptime_seconds(),
         }
     }
 

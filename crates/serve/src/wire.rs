@@ -1,6 +1,7 @@
 //! The wire protocol: a versioned, length-prefixed binary codec for
 //! [`QueryRequest`] / [`QueryResponse`] plus the admin operations
-//! (reload, stats, shutdown) that `cpd-server` speaks over TCP.
+//! (reload, stats, metrics, health, shutdown) that `cpd-server`
+//! speaks over TCP.
 //!
 //! # Frame layout
 //!
@@ -41,7 +42,9 @@
 
 use crate::cache::CacheStats;
 use crate::foldin::{FoldInItem, FoldedProfile};
-use crate::runtime::{ClassStats, NetStats, QueryRequest, QueryResponse, ServeDiagnostics};
+use crate::runtime::{
+    ClassStats, HealthStatus, NetStats, QueryRequest, QueryResponse, ServeDiagnostics,
+};
 use social_graph::{UserId, WordId};
 use std::io::{Read, Write};
 
@@ -49,7 +52,14 @@ use std::io::{Read, Write};
 pub const WIRE_MAGIC: [u8; 2] = [0xC9, 0xDF];
 
 /// Protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// * v1 — queries + reload/stats/shutdown admin frames.
+/// * v2 — adds the `Metrics` (Prometheus text) and `Health` admin
+///   frames, and extends each [`ClassStats`] in a `Stats` reply with
+///   histogram-backed p50/p99/p999 microsecond fields. The stats
+///   payload layout changed, so v1 peers are refused by name rather
+///   than misdecoded.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame's payload length — anything larger is
 /// rejected from the 8-byte header alone, before any payload
@@ -64,11 +74,15 @@ const TAG_QUERY: u8 = 0x01;
 const TAG_RELOAD: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_METRICS: u8 = 0x05;
+const TAG_HEALTH: u8 = 0x06;
 // Response-side frame tags (high bit set).
 const TAG_RESPONSE: u8 = 0x81;
 const TAG_RELOADED: u8 = 0x82;
 const TAG_STATS_REPLY: u8 = 0x83;
 const TAG_SHUTTING_DOWN: u8 = 0x84;
+const TAG_METRICS_REPLY: u8 = 0x85;
+const TAG_HEALTH_REPLY: u8 = 0x86;
 const TAG_ERROR: u8 = 0xFF;
 
 /// A client → server frame.
@@ -87,6 +101,14 @@ pub enum RequestFrame {
     Stats,
     /// Admin: ask the server to stop accepting connections and drain.
     Shutdown,
+    /// Admin: fetch the full metric registry rendered in the
+    /// Prometheus text exposition format. Answered inline on the
+    /// connection thread — never queued behind the worker pool — so a
+    /// scrape succeeds even when the runtime is saturated.
+    Metrics,
+    /// Admin: liveness/readiness probe, answered inline like
+    /// [`Metrics`](RequestFrame::Metrics).
+    Health,
 }
 
 /// A server → client frame.
@@ -99,11 +121,18 @@ pub enum ResponseFrame {
         /// Generation of the now-live index.
         generation: u64,
     },
-    /// Answer to [`RequestFrame::Stats`].
-    Stats(ServeDiagnostics),
+    /// Answer to [`RequestFrame::Stats`]. Boxed: the per-class quantile
+    /// fields make [`ServeDiagnostics`] by far the widest payload, and
+    /// every other variant would pay its footprint inline.
+    Stats(Box<ServeDiagnostics>),
     /// Acknowledges [`RequestFrame::Shutdown`]; the server stops
     /// accepting new connections and drains the existing ones.
     ShuttingDown,
+    /// Answer to [`RequestFrame::Metrics`]: the registry rendered as
+    /// Prometheus text (UTF-8).
+    Metrics(String),
+    /// Answer to [`RequestFrame::Health`].
+    Health(HealthStatus),
     /// A frame-level failure: the offending frame could not be decoded
     /// (or an admin operation failed). Query-level validation errors
     /// travel inside [`QueryResponse::Error`] instead.
@@ -192,6 +221,9 @@ impl Enc {
     fn class(&mut self, c: &ClassStats) {
         self.u64(c.queries);
         self.f64(c.seconds);
+        self.f64(c.p50_micros);
+        self.f64(c.p99_micros);
+        self.f64(c.p999_micros);
     }
 }
 
@@ -330,6 +362,8 @@ pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
         }
         RequestFrame::Stats => TAG_STATS,
         RequestFrame::Shutdown => TAG_SHUTDOWN,
+        RequestFrame::Metrics => TAG_METRICS,
+        RequestFrame::Health => TAG_HEALTH,
     };
     frame(tag, e.0)
 }
@@ -357,6 +391,17 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
             TAG_STATS_REPLY
         }
         ResponseFrame::ShuttingDown => TAG_SHUTTING_DOWN,
+        ResponseFrame::Metrics(text) => {
+            e.string(text);
+            TAG_METRICS_REPLY
+        }
+        ResponseFrame::Health(h) => {
+            e.u8(h.ready as u8);
+            e.u8(h.live as u8);
+            e.u64(h.generation);
+            e.f64(h.uptime_seconds);
+            TAG_HEALTH_REPLY
+        }
         ResponseFrame::Error(msg) => {
             e.string(msg);
             TAG_ERROR
@@ -479,6 +524,17 @@ impl<'a> Dec<'a> {
             .map_err(|_| WireError::Malformed("string is not valid UTF-8".into()))
     }
 
+    /// A strict boolean byte: anything but 0/1 is malformed (so a
+    /// desynchronized stream fails loudly instead of decoding as
+    /// `true`).
+    fn bool(&mut self, what: &str) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(WireError::Malformed(format!("{what} byte {v} is not 0/1"))),
+        }
+    }
+
     fn usize(&mut self, what: &str) -> Result<usize, WireError> {
         usize::try_from(self.u64()?)
             .map_err(|_| WireError::Malformed(format!("{what} does not fit in usize")))
@@ -488,6 +544,9 @@ impl<'a> Dec<'a> {
         Ok(ClassStats {
             queries: self.u64()?,
             seconds: self.f64()?,
+            p50_micros: self.f64()?,
+            p99_micros: self.f64()?,
+            p999_micros: self.f64()?,
         })
     }
 
@@ -674,6 +733,8 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<RequestFrame>, WireErro
         TAG_RELOAD => RequestFrame::Reload { path: d.string()? },
         TAG_STATS => RequestFrame::Stats,
         TAG_SHUTDOWN => RequestFrame::Shutdown,
+        TAG_METRICS => RequestFrame::Metrics,
+        TAG_HEALTH => RequestFrame::Health,
         t => {
             return Err(WireError::Malformed(format!(
                 "unknown request frame tag {t:#04x}"
@@ -695,8 +756,19 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<Option<ResponseFrame>, WireEr
         TAG_RELOADED => ResponseFrame::Reloaded {
             generation: d.u64()?,
         },
-        TAG_STATS_REPLY => ResponseFrame::Stats(decode_diagnostics(&mut d)?),
+        TAG_STATS_REPLY => ResponseFrame::Stats(Box::new(decode_diagnostics(&mut d)?)),
         TAG_SHUTTING_DOWN => ResponseFrame::ShuttingDown,
+        TAG_METRICS_REPLY => ResponseFrame::Metrics(d.string()?),
+        TAG_HEALTH_REPLY => {
+            let ready = d.bool("health.ready")?;
+            let live = d.bool("health.live")?;
+            ResponseFrame::Health(HealthStatus {
+                ready,
+                live,
+                generation: d.u64()?,
+                uptime_seconds: d.f64()?,
+            })
+        }
         TAG_ERROR => ResponseFrame::Error(d.string()?),
         t => {
             return Err(WireError::Malformed(format!(

@@ -8,8 +8,8 @@ use cpd_serve::wire::{
     ResponseFrame, WireError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_VERSION,
 };
 use cpd_serve::{
-    CacheStats, ClassStats, FoldInItem, FoldedProfile, NetStats, QueryRequest, QueryResponse,
-    ServeDiagnostics,
+    CacheStats, ClassStats, FoldInItem, FoldedProfile, HealthStatus, NetStats, QueryRequest,
+    QueryResponse, ServeDiagnostics,
 };
 use proptest::prelude::*;
 use social_graph::{UserId, WordId};
@@ -185,7 +185,7 @@ proptest! {
 // ---------------------------------------------------------------------
 
 fn valid_stats_frame() -> ResponseFrame {
-    ResponseFrame::Stats(ServeDiagnostics {
+    ResponseFrame::Stats(Box::new(ServeDiagnostics {
         workers: 4,
         batches: 17,
         generation: 3,
@@ -204,15 +204,21 @@ fn valid_stats_frame() -> ResponseFrame {
         ranking: ClassStats {
             queries: 10,
             seconds: 0.5,
+            p50_micros: 42.0,
+            p99_micros: 180.5,
+            p999_micros: 950.0,
         },
         top_words: ClassStats::default(),
         profile: ClassStats::default(),
         fold_in: ClassStats {
             queries: 3,
             seconds: 1.25,
+            p50_micros: 410_000.0,
+            p99_micros: 420_000.0,
+            p999_micros: 430_000.0,
         },
         link_score: ClassStats::default(),
-    })
+    }))
 }
 
 #[test]
@@ -223,6 +229,8 @@ fn admin_and_stats_frames_round_trip() {
         },
         RequestFrame::Stats,
         RequestFrame::Shutdown,
+        RequestFrame::Metrics,
+        RequestFrame::Health,
     ];
     let mut bytes = Vec::new();
     for f in &requests {
@@ -238,6 +246,17 @@ fn admin_and_stats_frames_round_trip() {
         ResponseFrame::Reloaded { generation: 42 },
         valid_stats_frame(),
         ResponseFrame::ShuttingDown,
+        ResponseFrame::Metrics(
+            "# TYPE cpd_serve_query_seconds summary\n\
+             cpd_serve_query_seconds{class=\"ranking\",quantile=\"0.5\"} 0.000042\n"
+                .into(),
+        ),
+        ResponseFrame::Health(HealthStatus {
+            ready: true,
+            live: true,
+            generation: 42,
+            uptime_seconds: 12.75,
+        }),
         ResponseFrame::Error("nope".into()),
     ];
     let mut bytes = Vec::new();

@@ -3,7 +3,7 @@
 //! reference implementation for clients in other languages.
 
 use cpd_serve::wire::{read_response, write_request, RequestFrame, ResponseFrame, WireError};
-use cpd_serve::{QueryRequest, QueryResponse, ServeDiagnostics};
+use cpd_serve::{HealthStatus, QueryRequest, QueryResponse, ServeDiagnostics};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -123,10 +123,39 @@ impl Client {
     /// Fetch the server's live [`ServeDiagnostics`].
     pub fn stats(&mut self) -> Result<ServeDiagnostics, ClientError> {
         match self.round_trip(&RequestFrame::Stats)? {
-            ResponseFrame::Stats(d) => Ok(d),
+            ResponseFrame::Stats(d) => Ok(*d),
             ResponseFrame::Error(m) => Err(ClientError::Server(m)),
             other => Err(ClientError::Protocol(format!(
                 "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics in Prometheus text exposition format
+    /// — per-query-class latency quantiles, trainer sweep spans (when
+    /// the fit shared the serve registry), cache and transport
+    /// counters. Answered on the connection's reader thread, never
+    /// queued behind the query pool, so a scrape works even under full
+    /// query load.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(&RequestFrame::Metrics)? {
+            ResponseFrame::Metrics(text) => Ok(text),
+            ResponseFrame::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Metrics, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's readiness/liveness probe: pool state, live
+    /// snapshot generation and uptime. Like [`Client::metrics`], this
+    /// is answered inline rather than through the query pool.
+    pub fn health(&mut self) -> Result<HealthStatus, ClientError> {
+        match self.round_trip(&RequestFrame::Health)? {
+            ResponseFrame::Health(h) => Ok(h),
+            ResponseFrame::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Health, got {other:?}"
             ))),
         }
     }

@@ -22,6 +22,7 @@
 
 use cpd_serve::wire::{read_request, write_response, RequestFrame, ResponseFrame, WireError};
 use cpd_serve::{NetStats, QueryRequest, ServeDiagnostics, ServeRuntime};
+use cpd_telemetry::Counter;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -63,9 +64,15 @@ struct Shared {
     addr: SocketAddr,
     max_batch: usize,
     write_timeout: Option<std::time::Duration>,
-    connections: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
+    /// Monotonic connection ids for the `streams` drain registry (the
+    /// count itself lives in the `connections` registry counter).
+    next_conn_id: AtomicU64,
+    /// Transport counters, registered in the runtime's
+    /// [`Registry`](cpd_serve::Registry) so they show up in the
+    /// Prometheus scrape alongside the query-class histograms.
+    connections: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
     /// Reader-thread handles, pushed by the accept loop and joined at
     /// shutdown (the drain).
     conns: Mutex<Vec<JoinHandle<()>>>,
@@ -82,9 +89,9 @@ struct Shared {
 impl Shared {
     fn net(&self) -> NetStats {
         NetStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
         }
     }
 
@@ -149,15 +156,32 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let registry = runtime.registry();
+        let connections = registry.counter(
+            "cpd_server_connections_total",
+            "TCP connections accepted since the server started.",
+            &[],
+        );
+        let frames_in = registry.counter(
+            "cpd_server_frames_in_total",
+            "Request frames decoded off client sockets.",
+            &[],
+        );
+        let frames_out = registry.counter(
+            "cpd_server_frames_out_total",
+            "Response frames written back to clients.",
+            &[],
+        );
         let shared = Arc::new(Shared {
             runtime,
             stop: AtomicBool::new(false),
             addr,
             max_batch: options.max_batch.max(1),
             write_timeout: options.write_timeout,
-            connections: AtomicU64::new(0),
-            frames_in: AtomicU64::new(0),
-            frames_out: AtomicU64::new(0),
+            next_conn_id: AtomicU64::new(0),
+            connections,
+            frames_in,
+            frames_out,
             conns: Mutex::new(Vec::new()),
             streams: Mutex::new(Vec::new()),
         });
@@ -174,7 +198,8 @@ impl Server {
                 let Ok(clone) = stream.try_clone() else {
                     continue;
                 };
-                let conn_id = accept_shared.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_id = accept_shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                accept_shared.connections.inc();
                 match accept_shared.streams.lock() {
                     Ok(mut streams) => streams.push((conn_id, clone)),
                     Err(poisoned) => poisoned.into_inner().push((conn_id, clone)),
@@ -351,15 +376,13 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut respond = |writer: &mut BufWriter<TcpStream>, frame: &ResponseFrame| {
-        shared.frames_out.fetch_add(1, Ordering::Relaxed);
+        shared.frames_out.inc();
         write_response(writer, frame)
     };
 
     loop {
         let batch = read_pipelined(&mut reader, shared.max_batch);
-        shared
-            .frames_in
-            .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
+        shared.frames_in.add(batch.frames.len() as u64);
 
         // Answer the decoded frames in order, folding consecutive
         // Query frames into single runtime batches.
@@ -382,8 +405,16 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
                         RequestFrame::Stats => {
                             let mut d = shared.runtime.diagnostics();
                             d.net = shared.net();
-                            ResponseFrame::Stats(d)
+                            ResponseFrame::Stats(Box::new(d))
                         }
+                        // Metrics and Health are answered inline on the
+                        // reader thread, never queued behind the query
+                        // pool — a scrape or liveness probe must work
+                        // even when every worker is busy.
+                        RequestFrame::Metrics => {
+                            ResponseFrame::Metrics(shared.runtime.prometheus_text())
+                        }
+                        RequestFrame::Health => ResponseFrame::Health(shared.runtime.health()),
                         RequestFrame::Shutdown => {
                             shutdown_requested = true;
                             ResponseFrame::ShuttingDown

@@ -7,7 +7,7 @@
 use cpd_core::{io::save_model, Cpd, CpdConfig, UserFeatures};
 use cpd_datagen::{generate, GenConfig, Scale};
 use cpd_serve::{
-    FoldInItem, ProfileIndex, QueryRequest, QueryResponse, ServeOptions, ServeRuntime,
+    FoldInItem, ProfileIndex, QueryRequest, QueryResponse, Registry, ServeOptions, ServeRuntime,
 };
 use cpd_server::{Client, ClientError, Server, ServerOptions};
 use social_graph::{SocialGraph, UserId, WordId};
@@ -249,6 +249,162 @@ fn loopback_every_query_class_reload_mid_stream_and_cache_hit() {
     assert_eq!(report.cache.hits, 1);
 
     std::fs::remove_file(&snapshot_b).ok();
+}
+
+/// The observability acceptance path: one [`Registry`] shared by the
+/// trainer and the serve runtime, scraped over the wire. `Metrics` and
+/// `Health` must answer while the query pool is under load, the
+/// generation gauge must move across a hot-reload, and an unknown tag
+/// on the same port must still get an `Error` frame — the admin surface
+/// does not weaken the framing rules.
+#[test]
+fn metrics_and_health_over_the_wire_mid_load_and_across_reload() {
+    // Fit with telemetry attached: the same registry the server will
+    // scrape, so `cpd_fit_*` training series ride along with the
+    // serving ones.
+    let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+    let cfg = CpdConfig {
+        em_iters: 2,
+        gibbs_sweeps: 2,
+        nu_iters: 5,
+        seed: 23,
+        ..CpdConfig::experiment(3, 4)
+    };
+    let registry = Arc::new(Registry::new());
+    let fit = Cpd::new(cfg.clone())
+        .unwrap()
+        .with_telemetry(Arc::clone(&registry))
+        .fit(&g);
+    let index = Arc::new(ProfileIndex::build(fit.model, &cfg));
+
+    // A second snapshot for the reload phase.
+    let dir = std::env::temp_dir().join("cpd-server-metrics-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("model.cpd");
+    save_model(index.model(), &snapshot).unwrap();
+
+    let runtime = ServeRuntime::new(
+        Arc::clone(&index),
+        None,
+        ServeOptions {
+            workers: 2,
+            registry: Some(Arc::clone(&registry)),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Populate the ranking-class histogram before the first scrape.
+    let warmup: Vec<QueryRequest> = (0..8)
+        .map(|i| QueryRequest::RankCommunities {
+            query: vec![WordId(i), WordId(i + 1)],
+        })
+        .collect();
+    assert_eq!(client.query_batch(warmup).unwrap().len(), 8);
+
+    // ---- Scrape: per-class quantiles AND trainer series -------------
+    let text = client.metrics().unwrap();
+    for series in [
+        // Serving: the ranking class answered queries, so all three
+        // quantiles must be present on its series.
+        "cpd_serve_query_seconds{class=\"ranking\",quantile=\"0.5\"}",
+        "cpd_serve_query_seconds{class=\"ranking\",quantile=\"0.99\"}",
+        "cpd_serve_query_seconds{class=\"ranking\",quantile=\"0.999\"}",
+        "# TYPE cpd_serve_query_seconds summary",
+        "cpd_serve_generation 1",
+        // Training: sweep counters and span histograms from the fit
+        // that shared this registry.
+        "# TYPE cpd_fit_span_seconds summary",
+        "cpd_fit_span_seconds_count{span=\"sweep\"} 4",
+        "cpd_fit_sweeps_total 4",
+        "cpd_fit_em_iteration 2",
+        // Transport: the server's own counters live here too.
+        "cpd_server_connections_total 1",
+    ] {
+        assert!(
+            text.contains(series),
+            "metrics text missing {series:?}:\n{text}"
+        );
+    }
+    let ranking_count: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("cpd_serve_query_seconds_count{class=\"ranking\"} "))
+        .expect("ranking count series present")
+        .parse()
+        .unwrap();
+    assert_eq!(ranking_count, 8);
+
+    // ---- Health probe -----------------------------------------------
+    let health = client.health().unwrap();
+    assert!(health.ready && health.live);
+    assert_eq!(health.generation, 1);
+    assert!(health.uptime_seconds >= 0.0);
+
+    // ---- Metrics/Health answer mid-load -----------------------------
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut batches = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let batch: Vec<QueryRequest> = (0..16)
+                    .map(|i| QueryRequest::TopWords { topic: i % 4, k: 3 })
+                    .collect();
+                assert_eq!(c.query_batch(batch).unwrap().len(), 16);
+                batches += 1;
+            }
+            batches
+        })
+    };
+    for _ in 0..5 {
+        // Admin frames bypass the pool: both must answer while the
+        // hammer keeps every worker busy.
+        assert!(client
+            .metrics()
+            .unwrap()
+            .contains("cpd_serve_query_seconds"));
+        assert!(client.health().unwrap().ready);
+    }
+
+    // ---- Hot-reload bumps the generation gauge ----------------------
+    let generation = client.reload(snapshot.to_str().unwrap()).unwrap();
+    assert_eq!(generation, 2);
+    assert_eq!(client.health().unwrap().generation, 2);
+    let text = client.metrics().unwrap();
+    assert!(text.contains("cpd_serve_generation 2"), "{text}");
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    assert!(hammer.join().unwrap() > 0);
+
+    // ---- Unknown tag on the same connection family ------------------
+    // The new admin tags must not have loosened framing: an unknown tag
+    // still gets a named Error frame, then the connection closes.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0xC9, 0xDF, cpd_serve::wire::WIRE_VERSION, 0x7E, 0, 0, 0, 0])
+        .unwrap();
+    raw.flush().unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    match cpd_serve::wire::read_response(&mut reader).unwrap() {
+        Some(cpd_serve::ResponseFrame::Error(m)) => {
+            assert!(
+                m.contains("tag") || m.contains("0x7e") || m.contains("126"),
+                "{m}"
+            )
+        }
+        other => panic!("expected an Error frame, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    client.shutdown_server().unwrap();
+    drop(client);
+    let report = server.join();
+    assert_eq!(report.generation, 2);
+    std::fs::remove_file(&snapshot).ok();
 }
 
 #[test]

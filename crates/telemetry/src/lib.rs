@@ -1,0 +1,64 @@
+//! # cpd-telemetry — metrics for the CPD training and serving stack
+//!
+//! A minimal, pure-`std`, dependency-free observability layer shared
+//! by `cpd-core` (the trainer), `cpd-serve` (the query runtime), and
+//! `cpd-server` (the TCP front). It exists so that behaviour the
+//! paper *measures* — sweep times, query latency tails, cache
+//! efficiency — is observable live, not only in post-hoc one-shot
+//! structs.
+//!
+//! ## Pieces
+//!
+//! - [`Registry`] — named, labelled metric families. Registration is
+//!   a cold-path `Mutex`; the returned handles are lock-free.
+//! - [`Counter`] / [`Gauge`] — one relaxed atomic op per update.
+//! - [`Histogram`] — log-bucketed latency histogram (8 sub-buckets
+//!   per octave, 496 fixed slots): `record` is three relaxed
+//!   `fetch_add`s; [`Histogram::quantile`] reads p50/p99/p999 back
+//!   within one bucket's relative error (≤ 1/16). Durations are
+//!   recorded in nanoseconds and rendered in seconds.
+//! - [`Span`] — a guard timer from [`Histogram::span`]: records its
+//!   wall-clock lifetime exactly once, on drop or `finish()`.
+//! - Event ring — [`Registry::event`] appends to a bounded
+//!   `VecDeque` (oldest evicted) for rare, discrete happenings:
+//!   snapshot reloads, fit milestones.
+//! - [`Registry::render_prometheus`] — the text exposition format
+//!   (version 0.0.4) with `# HELP`/`# TYPE` lines, escaped label
+//!   values, stable (sorted) family and series order, and histograms
+//!   rendered as `summary` quantile series plus `_sum`/`_count`.
+//!
+//! ## Zero overhead when unused
+//!
+//! Nothing here installs itself globally. Producers hold an
+//! `Option<Arc<Registry>>` (or `Option<Histogram>` handles resolved
+//! at setup); when the option is `None` the instrumented code runs
+//! the same instructions as before this crate existed. When a
+//! registry *is* attached, the hot-path cost is a handful of relaxed
+//! atomics per *sweep* or per *query* — never per token.
+//!
+//! ## Naming conventions
+//!
+//! Metrics follow Prometheus conventions: `cpd_` prefix, `_total`
+//! suffix on counters, `_seconds` on time histograms, base units
+//! only. `docs/monitoring.md` at the workspace root lists every
+//! metric the CPD crates export.
+//!
+//! ```
+//! use cpd_telemetry::Registry;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let queries = registry.counter("cpd_demo_queries_total", "demo", &[]);
+//! let latency = registry.histogram("cpd_demo_seconds", "demo", &[]);
+//! queries.inc();
+//! latency.time(|| { /* work */ });
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("# TYPE cpd_demo_queries_total counter"));
+//! assert!(text.contains("cpd_demo_seconds_count 1"));
+//! ```
+
+mod histogram;
+mod registry;
+
+pub use histogram::{Histogram, Span, N_BUCKETS};
+pub use registry::{Counter, Event, Gauge, Registry};

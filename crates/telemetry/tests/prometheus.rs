@@ -1,0 +1,88 @@
+//! Format tests for the Prometheus text exposition output: `# TYPE`
+//! lines, label escaping, stable ordering, summary rendering.
+
+use cpd_telemetry::Registry;
+
+#[test]
+fn type_lines_and_series_render() {
+    let r = Registry::new();
+    r.counter("cpd_z_total", "last family", &[]).add(7);
+    let g = r.gauge("cpd_a_gauge", "first family", &[("shard", "0")]);
+    g.set(3.25);
+    let h = r.histogram("cpd_m_seconds", "latency", &[("class", "ranking")]);
+    for _ in 0..100 {
+        h.record(1_000_000); // 1 ms
+    }
+
+    let text = r.render_prometheus();
+
+    assert!(text.contains("# HELP cpd_a_gauge first family\n"));
+    assert!(text.contains("# TYPE cpd_a_gauge gauge\n"));
+    assert!(text.contains("cpd_a_gauge{shard=\"0\"} 3.25\n"));
+
+    assert!(text.contains("# TYPE cpd_z_total counter\n"));
+    assert!(text.contains("cpd_z_total 7\n"));
+
+    assert!(text.contains("# TYPE cpd_m_seconds summary\n"));
+    assert!(text.contains("cpd_m_seconds{class=\"ranking\",quantile=\"0.5\"}"));
+    assert!(text.contains("cpd_m_seconds{class=\"ranking\",quantile=\"0.99\"}"));
+    assert!(text.contains("cpd_m_seconds{class=\"ranking\",quantile=\"0.999\"}"));
+    assert!(text.contains("cpd_m_seconds_count{class=\"ranking\"} 100\n"));
+    assert!(text.contains("cpd_m_seconds_sum{class=\"ranking\"} 0.1\n"));
+
+    // All samples were 1 ms; the p50 midpoint readout must stay
+    // within the bucket's relative error of 0.001 s.
+    let p50_line = text
+        .lines()
+        .find(|l| l.contains("quantile=\"0.5\""))
+        .expect("p50 series present");
+    let v: f64 = p50_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!((v - 0.001).abs() <= 0.001 / 8.0, "p50 was {v}");
+}
+
+#[test]
+fn families_and_series_are_sorted() {
+    let r = Registry::new();
+    r.counter("cpd_bbb_total", "b", &[]).inc();
+    r.counter("cpd_aaa_total", "a", &[]).inc();
+    r.gauge("cpd_mid", "m", &[("class", "zeta")]).set(1.0);
+    r.gauge("cpd_mid", "m", &[("class", "alpha")]).set(2.0);
+
+    let text = r.render_prometheus();
+    let a = text.find("cpd_aaa_total").unwrap();
+    let b = text.find("cpd_bbb_total").unwrap();
+    let m = text.find("cpd_mid").unwrap();
+    assert!(a < b && b < m, "families must sort by name");
+
+    let alpha = text.find("class=\"alpha\"").unwrap();
+    let zeta = text.find("class=\"zeta\"").unwrap();
+    assert!(alpha < zeta, "series must sort by label set");
+
+    // Rendering twice is byte-identical (stable ordering).
+    assert_eq!(text, r.render_prometheus());
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let r = Registry::new();
+    r.counter("cpd_esc_total", "escaping", &[("path", "a\\b\"c\nd")])
+        .inc();
+    let text = r.render_prometheus();
+    assert!(
+        text.contains("cpd_esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+        "got: {text}"
+    );
+    // The raw newline must not survive into the exposition output.
+    assert!(!text.contains("c\nd"));
+}
+
+#[test]
+fn events_ring_and_uptime() {
+    let r = Registry::new();
+    r.event("reload", "generation 2");
+    let events = r.events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].kind, "reload");
+    assert!(events[0].at_seconds >= 0.0);
+    assert!(r.uptime_seconds() >= events[0].at_seconds);
+}

@@ -1,0 +1,56 @@
+//! Property test: histogram quantiles track exact sorted-sample
+//! quantiles within one bucket's relative error, across magnitudes.
+
+use cpd_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// The bucketing splits every octave into 8 slots, so a bucket's
+/// width is at most 1/8 of its lower bound; the midpoint readout is
+/// therefore within 1/16 of any sample in the bucket. Assert the
+/// looser "one bucket" bound of 1/8 plus an absolute slack of 1.0 ns
+/// for the exact low buckets.
+fn close(got: f64, exact: f64) -> bool {
+    (got - exact).abs() <= exact / 8.0 + 1.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn quantiles_match_exact_within_bucket_error(
+        // Magnitude exponent spreads samples from ~1ns to ~100s.
+        exp in 0u32..11,
+        raw in prop::collection::vec(1u64..10_000, 10..400),
+    ) {
+        let scale = 10u64.pow(exp);
+        let mut vals: Vec<u64> = raw.iter().map(|&v| v.saturating_mul(scale)).collect();
+
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        let exact_sum: u64 = vals.iter().sum();
+        prop_assert_eq!(h.sum_nanos(), exact_sum);
+
+        for &q in &[0.5f64, 0.9, 0.99, 0.999] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1] as f64;
+            let got = h.quantile(q);
+            prop_assert!(
+                close(got, exact),
+                "q={} got={} exact={} (n={}, scale={})",
+                q, got, exact, vals.len(), scale
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_reads_zero() {
+    let h = Histogram::new();
+    assert_eq!(h.quantile(0.5), 0.0);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum_nanos(), 0);
+}

@@ -2,7 +2,8 @@
 //! snapshot, start a `cpd-server` on a loopback port, drive it with the
 //! TCP client — pipelined query batches, a fold-in that hits the cache
 //! on its second ask, a **hot-reload** to a refreshed snapshot under a
-//! live connection — and shut it down gracefully for the final
+//! live connection, a **Prometheus metrics scrape and health probe
+//! over the wire** — and shut it down gracefully for the final
 //! diagnostics.
 //!
 //! ```sh
@@ -120,6 +121,28 @@ fn main() {
         "hot-reload over the wire: now serving generation {generation} \
          (in-flight batches finished on generation 1)"
     );
+
+    // ---- Observability over the wire --------------------------------
+    // `Health` is what a load balancer polls: readiness, liveness, the
+    // live snapshot generation, uptime. Answered inline on the
+    // connection's reader thread — never queued behind the query pool.
+    let health = client.health().expect("health probe");
+    println!(
+        "health: ready = {}, live = {}, generation = {}, uptime = {:.1}s",
+        health.ready, health.live, health.generation, health.uptime_seconds,
+    );
+    // `Metrics` is what a Prometheus scraper polls: the full registry —
+    // per-query-class latency quantiles, fold-in cache counters, the
+    // transport's connection/frame counters — in text exposition
+    // format. Here we print the per-class latency series.
+    let metrics = client.metrics().expect("metrics scrape");
+    println!("metrics scrape (cpd_serve_query_seconds series):");
+    for line in metrics
+        .lines()
+        .filter(|l| l.starts_with("cpd_serve_query_seconds"))
+    {
+        println!("  {line}");
+    }
 
     // ---- Graceful shutdown: drain, join, final report ---------------
     client.shutdown_server().expect("shutdown handshake");

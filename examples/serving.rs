@@ -102,18 +102,21 @@ fn main() {
         }
     }
 
-    // Per-query-class counters, the serving analogue of FitDiagnostics.
+    // Per-query-class latency, the serving analogue of FitDiagnostics:
+    // histogram-backed, so each class reports tail quantiles, not just
+    // a mean.
     let d = runtime.diagnostics();
     println!(
-        "served {} queries in {} batch(es): ranking {:.0}us, top-words {:.0}us, \
-         profile {:.0}us, fold-in {:.0}us, link-score {:.0}us (mean per query)",
+        "served {} queries in {} batch(es); per-class p50/p99 (us): \
+         ranking {:.0}/{:.0}, top-words {:.0}/{:.0}, fold-in {:.0}/{:.0}",
         d.total_queries(),
         d.batches,
-        d.ranking.mean_micros(),
-        d.top_words.mean_micros(),
-        d.profile.mean_micros(),
-        d.fold_in.mean_micros(),
-        d.link_score.mean_micros(),
+        d.ranking.p50_micros,
+        d.ranking.p99_micros,
+        d.top_words.p50_micros,
+        d.top_words.p99_micros,
+        d.fold_in.p50_micros,
+        d.fold_in.p99_micros,
     );
 
     // ---- Hot-reload: a refreshed model lands, the pool keeps running.
@@ -134,6 +137,17 @@ fn main() {
         "hot-reload: generation {generation} live, |C| = {} communities",
         runtime.index().n_communities()
     );
+
+    // The same registry a `cpd-server` would expose over the wire, as
+    // Prometheus text — every serving series in one scrape. (Embedders
+    // can pass their own registry via `ServeOptions::registry` to fold
+    // trainer `cpd_fit_*` series into the same page.)
+    println!("prometheus snapshot (query latency + generation series):");
+    for line in runtime.prometheus_text().lines().filter(|l| {
+        l.starts_with("cpd_serve_query_seconds{") || l.starts_with("cpd_serve_generation")
+    }) {
+        println!("  {line}");
+    }
 
     // Shutdown returns the final counters instead of discarding them.
     let report = runtime.shutdown();

@@ -11,6 +11,7 @@
 //! | [`core`] | `cpd-core` | the CPD model, inference, applications |
 //! | [`serve`] | `cpd-serve` | online serving: profile index, fold-in, query runtime, wire codec |
 //! | [`server`] | `cpd-server` | TCP server + client for the serving runtime, hot-reload over the wire |
+//! | [`telemetry`] | `cpd-telemetry` | lock-free metrics registry, latency histograms, Prometheus text |
 //! | [`social_graph`] | `social-graph` | users, documents, links (Def. 1) |
 //! | [`text_pipeline`] | `text-pipeline` | tokeniser, stemmer, vocabulary |
 //! | [`topic_model`] | `topic-model` | collapsed-Gibbs LDA |
@@ -30,6 +31,7 @@ pub use cpd_eval as eval;
 pub use cpd_prob as prob;
 pub use cpd_serve as serve;
 pub use cpd_server as server;
+pub use cpd_telemetry as telemetry;
 pub use polya_gamma;
 pub use social_graph;
 pub use text_pipeline;
@@ -43,8 +45,8 @@ pub mod prelude {
     };
     pub use cpd_datagen::{generate, GenConfig, Scale};
     pub use cpd_serve::{
-        FoldIn, FoldInConfig, FoldInItem, IndexHandle, ProfileIndex, QueryRequest, QueryResponse,
-        ServeDiagnostics, ServeOptions, ServeRuntime,
+        FoldIn, FoldInConfig, FoldInItem, HealthStatus, IndexHandle, ProfileIndex, QueryRequest,
+        QueryResponse, Registry, ServeDiagnostics, ServeOptions, ServeRuntime,
     };
     pub use cpd_server::{Client, Server, ServerOptions};
     pub use social_graph::{DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId};
