@@ -17,8 +17,10 @@
 
 use cpd_core::{CpdConfig, CpdModel, Eta};
 use cpd_prob::rng::seeded_rng;
-use cpd_serve::{FoldInItem, ProfileIndex, QueryRequest, ServeOptions, ServeRuntime};
-use cpd_server::{Client, Server, ServerOptions};
+use cpd_serve::{
+    FaultHook, FoldInItem, ProfileIndex, QueryRequest, QueryResponse, ServeOptions, ServeRuntime,
+};
+use cpd_server::{Client, ClientOptions, Server, ServerOptions};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -120,6 +122,56 @@ fn bench_e2e_mixed(c: &mut Criterion) {
         });
         drop(client);
         server.shutdown();
+    }
+
+    // Overload shedding under burst: one deliberately slowed worker
+    // behind a 4-deep admission queue, hit with a pipelined burst from
+    // a non-retrying client. Measures the full shed round-trip — the
+    // admission check, the in-slot `Overloaded` answer, and the wire
+    // hop — i.e. what a shed request *costs the server* compared to an
+    // executed one (it must be far cheaper, that is the point of
+    // admission control).
+    {
+        let burst = if smoke() { 16 } else { 64 };
+        let runtime = ServeRuntime::new(
+            Arc::clone(&index),
+            None,
+            ServeOptions {
+                workers: 1,
+                max_queue_depth: 4,
+                fault_hook: Some(FaultHook::new(|point| {
+                    if point == "serve.worker_execute" {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                })),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+        let mut client = Client::connect_with(
+            server.local_addr(),
+            ClientOptions {
+                retry: None,
+                ..ClientOptions::default()
+            },
+        )
+        .unwrap();
+        let batch = mixed_batch(&mut rng, burst, z_n, v_n);
+        let mut shed = 0u64;
+        group.bench_function("overload_shed", |b| {
+            b.iter(|| {
+                let responses = black_box(client.query_batch(batch.clone()).unwrap());
+                shed += responses
+                    .iter()
+                    .filter(|r| matches!(r, QueryResponse::Overloaded { .. }))
+                    .count() as u64;
+            })
+        });
+        drop(client);
+        let report = server.shutdown();
+        assert!(shed > 0, "the burst must overrun the 4-deep queue");
+        assert_eq!(report.shed, shed, "diagnostics agree with the client");
     }
 
     // Fold-in over the wire, cache cold vs warm: cold fabricates a

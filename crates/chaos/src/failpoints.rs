@@ -1,0 +1,130 @@
+//! Named failpoints for in-process latency injection.
+//!
+//! Production code exposes hook points by name (the serve runtime
+//! calls its `FaultHook` with `"serve.worker_execute"` before each
+//! query, `"serve.reload_build"` before rebuilding an index); tests
+//! arm the points they care about and everything else stays free.
+//! Unarmed points cost one mutex-guarded map probe — acceptable for
+//! a harness that only ships in tests and gated examples.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What an armed failpoint does when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Sleep for the given duration (injected worker latency, delayed
+    /// reload).
+    Delay(Duration),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    points: Mutex<HashMap<String, Action>>,
+    hits: Mutex<HashMap<String, u64>>,
+}
+
+/// A shared registry of named failpoints. Clones are handles onto the
+/// same registry, so a test can keep one half and hand the other to
+/// the code under test.
+#[derive(Debug, Clone, Default)]
+pub struct Failpoints {
+    inner: Arc<Inner>,
+}
+
+impl Failpoints {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `point` to sleep for `delay` on every hit.
+    pub fn delay(&self, point: &str, delay: Duration) {
+        self.inner
+            .points
+            .lock()
+            .expect("failpoints lock")
+            .insert(point.to_string(), Action::Delay(delay));
+    }
+
+    /// Disarm `point` (hits still count).
+    pub fn clear(&self, point: &str) {
+        self.inner
+            .points
+            .lock()
+            .expect("failpoints lock")
+            .remove(point);
+    }
+
+    /// Record a hit at `point` and apply its armed action, if any.
+    /// This is the closure body to hand to `cpd_serve`'s fault hook.
+    pub fn hit(&self, point: &str) {
+        *self
+            .inner
+            .hits
+            .lock()
+            .expect("failpoint hits lock")
+            .entry(point.to_string())
+            .or_insert(0) += 1;
+        let action = self
+            .inner
+            .points
+            .lock()
+            .expect("failpoints lock")
+            .get(point)
+            .copied();
+        if let Some(Action::Delay(d)) = action {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// How many times `point` was hit (armed or not).
+    pub fn hits(&self, point: &str) -> u64 {
+        self.inner
+            .hits
+            .lock()
+            .expect("failpoint hits lock")
+            .get(point)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn unarmed_points_count_but_do_not_delay() {
+        let fp = Failpoints::new();
+        let start = Instant::now();
+        fp.hit("cold");
+        fp.hit("cold");
+        assert!(start.elapsed().as_millis() < 25);
+        assert_eq!(fp.hits("cold"), 2);
+        assert_eq!(fp.hits("never"), 0);
+    }
+
+    #[test]
+    fn armed_delay_applies_and_clear_disarms() {
+        let fp = Failpoints::new();
+        fp.delay("p", Duration::from_millis(30));
+        let start = Instant::now();
+        fp.hit("p");
+        assert!(start.elapsed().as_millis() >= 25);
+        fp.clear("p");
+        let start = Instant::now();
+        fp.hit("p");
+        assert!(start.elapsed().as_millis() < 25);
+        assert_eq!(fp.hits("p"), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let fp = Failpoints::new();
+        let other = fp.clone();
+        other.hit("shared");
+        assert_eq!(fp.hits("shared"), 1);
+    }
+}

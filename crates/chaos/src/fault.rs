@@ -1,0 +1,171 @@
+//! Scripted byte-stream faults.
+//!
+//! A [`FaultPlan`] is a sorted script of "after N bytes have passed,
+//! do X" events for **one direction** of a byte stream. Plans are
+//! declarative and cheap to clone; [`ActivePlan`] is the consuming
+//! cursor a stream wrapper drives.
+
+use crate::rng::ChaosRng;
+use std::collections::VecDeque;
+
+/// What happens when a plan position is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop the connection: bytes before the position are delivered,
+    /// everything after is lost — the peer sees a torn frame.
+    Tear,
+    /// Freeze the stream for `millis` before delivering another byte
+    /// (a half-dead peer / congested path).
+    Stall { millis: u64 },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultAt {
+    /// Fires once this many bytes have passed in the plan's direction.
+    pub after_bytes: u64,
+    pub fault: Fault,
+}
+
+/// A replayable script of faults for one stream direction.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultAt>,
+}
+
+impl FaultPlan {
+    /// No injected faults — bytes flow untouched.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Tear the connection after exactly `bytes` bytes.
+    pub fn tear_after(bytes: u64) -> Self {
+        Self::default().with(FaultAt {
+            after_bytes: bytes,
+            fault: Fault::Tear,
+        })
+    }
+
+    /// Stall for `millis` after exactly `bytes` bytes.
+    pub fn stall_after(bytes: u64, millis: u64) -> Self {
+        Self::default().with(FaultAt {
+            after_bytes: bytes,
+            fault: Fault::Stall { millis },
+        })
+    }
+
+    /// Tear at a seed-determined position in `[lo, hi)` bytes — the
+    /// workhorse for "kill the connection somewhere mid-reply".
+    pub fn random_tear(seed: u64, lo: u64, hi: u64) -> Self {
+        let mut rng = ChaosRng::new(seed);
+        Self::tear_after(rng.gen_range(lo, hi))
+    }
+
+    /// Add another event (kept sorted by position; ties keep insertion
+    /// order).
+    pub fn with(mut self, at: FaultAt) -> Self {
+        let idx = self
+            .events
+            .partition_point(|e| e.after_bytes <= at.after_bytes);
+        self.events.insert(idx, at);
+        self
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Begin executing the plan from byte position zero.
+    pub fn activate(self) -> ActivePlan {
+        ActivePlan {
+            events: self.events.into(),
+            forwarded: 0,
+        }
+    }
+}
+
+/// A [`FaultPlan`] being executed: tracks how many bytes have passed
+/// and which events already fired.
+#[derive(Debug)]
+pub struct ActivePlan {
+    events: VecDeque<FaultAt>,
+    forwarded: u64,
+}
+
+impl ActivePlan {
+    /// Bytes that may still pass before the next scheduled fault
+    /// (`u64::MAX` when the script is exhausted).
+    pub fn budget(&self) -> u64 {
+        match self.events.front() {
+            Some(ev) => ev.after_bytes.saturating_sub(self.forwarded),
+            None => u64::MAX,
+        }
+    }
+
+    /// Record `n` bytes as passed.
+    pub fn advance(&mut self, n: u64) {
+        self.forwarded += n;
+    }
+
+    /// Take the fault scheduled at the current position, if one is
+    /// due.
+    pub fn due(&mut self) -> Option<Fault> {
+        match self.events.front() {
+            Some(ev) if ev.after_bytes <= self.forwarded => {
+                Some(self.events.pop_front().expect("front exists").fault)
+            }
+            _ => None,
+        }
+    }
+
+    /// Total bytes passed so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_and_due_follow_the_script() {
+        let mut plan = FaultPlan::stall_after(4, 10)
+            .with(FaultAt {
+                after_bytes: 10,
+                fault: Fault::Tear,
+            })
+            .activate();
+        assert_eq!(plan.budget(), 4);
+        assert_eq!(plan.due(), None);
+        plan.advance(4);
+        assert_eq!(plan.budget(), 0);
+        assert_eq!(plan.due(), Some(Fault::Stall { millis: 10 }));
+        assert_eq!(plan.budget(), 6);
+        plan.advance(6);
+        assert_eq!(plan.due(), Some(Fault::Tear));
+        assert_eq!(plan.budget(), u64::MAX);
+        assert_eq!(plan.due(), None);
+    }
+
+    #[test]
+    fn events_sort_by_position() {
+        let plan = FaultPlan::tear_after(100).with(FaultAt {
+            after_bytes: 5,
+            fault: Fault::Stall { millis: 1 },
+        });
+        let mut active = plan.activate();
+        assert_eq!(active.budget(), 5);
+        active.advance(5);
+        assert_eq!(active.due(), Some(Fault::Stall { millis: 1 }));
+    }
+
+    #[test]
+    fn random_tear_is_seed_deterministic() {
+        let a = FaultPlan::random_tear(9, 100, 200).activate().budget();
+        let b = FaultPlan::random_tear(9, 100, 200).activate().budget();
+        assert_eq!(a, b);
+        assert!((100..200).contains(&a));
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic fault injection for the CPD serving stack.
+//!
+//! Distributed-systems failures — torn frames, stalled sockets, slow
+//! workers — are easy to hand-wave about and hard to reproduce. This
+//! crate makes them first-class test inputs:
+//!
+//! - [`ChaosRng`]: a tiny seedable SplitMix64 generator, so every
+//!   fault schedule is replayable from a single `u64`.
+//! - [`FaultPlan`] / [`ActivePlan`]: a scripted list of byte-position
+//!   faults ([`Fault::Tear`], [`Fault::Stall`]) applied to one
+//!   direction of a byte stream.
+//! - [`ChaosStream`]: a `Read + Write` wrapper that executes a plan
+//!   inline — frames are torn mid-payload, writes stall for scripted
+//!   intervals — without the code under test knowing.
+//! - [`ChaosProxy`]: a std-TCP proxy that sits between a real client
+//!   and a real server and applies a per-connection [`ConnPlan`], so
+//!   failures are injected on the wire, not mocked.
+//! - [`Failpoints`]: a named-point registry for latency injection
+//!   inside the process (slow workers, delayed reloads), designed to
+//!   plug into `cpd_serve::FaultHook`.
+//!
+//! Everything is pure std and deterministic given a seed; nothing in
+//! this crate belongs on a production dependency edge — link it from
+//! dev-dependencies or behind an off-by-default feature.
+
+mod failpoints;
+mod fault;
+mod proxy;
+mod rng;
+mod stream;
+
+pub use failpoints::{Action, Failpoints};
+pub use fault::{ActivePlan, Fault, FaultAt, FaultPlan};
+pub use proxy::{ChaosProxy, ConnPlan};
+pub use rng::ChaosRng;
+pub use stream::ChaosStream;

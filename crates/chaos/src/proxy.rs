@@ -1,0 +1,278 @@
+//! A chaos TCP proxy: real sockets, scripted failures.
+//!
+//! [`ChaosProxy`] listens on a loopback port and forwards every
+//! accepted connection to an upstream address, pushing each direction
+//! through a [`ChaosStream`] built from a per-connection [`ConnPlan`].
+//! Tests point a real `Client` at the proxy and a real `Server`
+//! behind it, so torn frames and stalls happen on genuine TCP streams
+//! — kernel buffering, partial writes and all.
+
+use crate::fault::FaultPlan;
+use crate::stream::ChaosStream;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Fault scripts for one proxied connection, one per direction.
+#[derive(Debug, Clone, Default)]
+pub struct ConnPlan {
+    pub client_to_server: FaultPlan,
+    pub server_to_client: FaultPlan,
+}
+
+impl ConnPlan {
+    /// Forward both directions untouched.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+}
+
+struct ProxyShared {
+    stop: AtomicBool,
+    addr: SocketAddr,
+    /// Connections accepted so far (also the index fed to the
+    /// planner, so schedules are per-connection deterministic).
+    accepted: AtomicU64,
+    /// Live sockets, force-closed on shutdown so pump threads never
+    /// outlive the proxy.
+    streams: Mutex<Vec<TcpStream>>,
+    pumps: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running chaos proxy; dropped or [`ChaosProxy::shutdown`] tears
+/// down the listener and every live connection.
+pub struct ChaosProxy {
+    shared: Arc<ProxyShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start proxying to `upstream`. `planner` is called once per
+    /// accepted connection with its zero-based index and returns the
+    /// fault script for that connection.
+    pub fn start(
+        upstream: SocketAddr,
+        mut planner: impl FnMut(u64) -> ConnPlan + Send + 'static,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let shared = Arc::new(ProxyShared {
+            stop: AtomicBool::new(false),
+            addr: listener.local_addr()?,
+            accepted: AtomicU64::new(0),
+            streams: Mutex::new(Vec::new()),
+            pumps: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("chaos-proxy-accept".into())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if accept_shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = incoming else { continue };
+                    let idx = accept_shared.accepted.fetch_add(1, Ordering::SeqCst);
+                    let plan = planner(idx);
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    let _ = client.set_nodelay(true);
+                    let _ = server.set_nodelay(true);
+                    spawn_pumps(&accept_shared, client, server, plan);
+                }
+            })
+            .expect("spawn chaos proxy accept thread");
+        Ok(Self {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The loopback address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Connections accepted so far — lets tests assert that a
+    /// retrying client actually reconnected.
+    pub fn connections(&self) -> u64 {
+        self.shared.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, sever every live connection, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept the same way the server does: one
+        // throwaway loopback connection.
+        let _ = TcpStream::connect(self.shared.addr);
+        for stream in self.shared.streams.lock().expect("streams lock").drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let pumps = std::mem::take(&mut *self.shared.pumps.lock().expect("pumps lock"));
+        for h in pumps {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if !self.shared.stop.load(Ordering::SeqCst) {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn spawn_pumps(shared: &Arc<ProxyShared>, client: TcpStream, server: TcpStream, plan: ConnPlan) {
+    let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    {
+        let mut streams = shared.streams.lock().expect("streams lock");
+        if let Ok(c) = client.try_clone() {
+            streams.push(c);
+        }
+        if let Ok(s) = server.try_clone() {
+            streams.push(s);
+        }
+    }
+    let mut pumps = shared.pumps.lock().expect("pumps lock");
+    let c2s = std::thread::Builder::new()
+        .name("chaos-pump-c2s".into())
+        .spawn(move || pump(client_r, server, plan.client_to_server))
+        .expect("spawn pump");
+    let s2c = std::thread::Builder::new()
+        .name("chaos-pump-s2c".into())
+        .spawn(move || pump(server_r, client, plan.server_to_client))
+        .expect("spawn pump");
+    pumps.push(c2s);
+    pumps.push(s2c);
+}
+
+/// Copy `src` into `dst` through the fault plan. A tear (or any real
+/// I/O failure) severs both sockets so the paired pump exits too; a
+/// clean EOF half-closes downstream, preserving orderly shutdown
+/// semantics end to end.
+fn pump(mut src: TcpStream, dst: TcpStream, plan: FaultPlan) {
+    let mut dst = ChaosStream::with_write_plan(dst, plan);
+    let mut buf = [0u8; 8192];
+    loop {
+        match src.read(&mut buf) {
+            Ok(0) => {
+                let _ = dst.get_ref().shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => {
+                if dst.write_all(&buf[..n]).and_then(|_| dst.flush()).is_err() {
+                    let _ = src.shutdown(Shutdown::Both);
+                    let _ = dst.get_ref().shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Err(_) => {
+                let _ = src.shutdown(Shutdown::Both);
+                let _ = dst.get_ref().shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    /// An upstream echo server good for a fixed number of connections.
+    fn echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut stream = stream;
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = stream.read(&mut buf) {
+                        if n == 0 || stream.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn clean_plan_round_trips() {
+        let upstream = echo_upstream();
+        let proxy = ChaosProxy::start(upstream, |_| ConnPlan::clean()).expect("proxy");
+        let mut conn = TcpStream::connect(proxy.local_addr()).expect("connect");
+        conn.write_all(b"ping").expect("write");
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+        assert_eq!(proxy.connections(), 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn torn_reply_reaches_the_client_as_a_broken_stream() {
+        let upstream = echo_upstream();
+        let proxy = ChaosProxy::start(upstream, |_| ConnPlan {
+            client_to_server: FaultPlan::clean(),
+            server_to_client: FaultPlan::tear_after(2),
+        })
+        .expect("proxy");
+        let mut conn = TcpStream::connect(proxy.local_addr()).expect("connect");
+        conn.write_all(b"ping").expect("write");
+        let mut got = Vec::new();
+        // The stream dies after two echoed bytes: either a short read
+        // then EOF/reset, or an immediate error — never all four bytes.
+        let _ = conn.read_to_end(&mut got);
+        assert!(got.len() <= 2, "tear must cap delivery, got {got:?}");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn per_connection_plans_follow_the_connection_index() {
+        let upstream = echo_upstream();
+        let proxy = ChaosProxy::start(upstream, |idx| {
+            if idx == 0 {
+                ConnPlan {
+                    client_to_server: FaultPlan::tear_after(0),
+                    server_to_client: FaultPlan::clean(),
+                }
+            } else {
+                ConnPlan::clean()
+            }
+        })
+        .expect("proxy");
+
+        // First connection: torn before any byte is forwarded.
+        let mut first = TcpStream::connect(proxy.local_addr()).expect("connect");
+        first.write_all(b"ping").expect("kernel accepts the write");
+        let mut buf = [0u8; 4];
+        let n = first.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "torn connection must not echo");
+
+        // Second connection: clean.
+        let mut second = TcpStream::connect(proxy.local_addr()).expect("connect");
+        second.write_all(b"pong").expect("write");
+        second.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"pong");
+        assert_eq!(proxy.connections(), 2);
+        proxy.shutdown();
+    }
+}

@@ -1,0 +1,159 @@
+//! A `Read + Write` wrapper that executes a [`FaultPlan`] per
+//! direction: reads and writes are silently truncated at fault
+//! boundaries, stalled for scripted intervals, or torn into typed I/O
+//! errors — the code under test sees an ordinary stream.
+
+use crate::fault::{ActivePlan, Fault, FaultPlan};
+use std::io::{self, Read, Write};
+
+/// Wraps any byte stream with independent read- and write-direction
+/// fault scripts.
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    read: ActivePlan,
+    write: ActivePlan,
+}
+
+impl<S> ChaosStream<S> {
+    pub fn new(inner: S, read_plan: FaultPlan, write_plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            read: read_plan.activate(),
+            write: write_plan.activate(),
+        }
+    }
+
+    /// Faults applied to outgoing bytes only; reads pass through.
+    pub fn with_write_plan(inner: S, plan: FaultPlan) -> Self {
+        Self::new(inner, FaultPlan::clean(), plan)
+    }
+
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+fn torn() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, "injected tear")
+}
+
+impl<S: Read> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.read.due() {
+                Some(Fault::Tear) => return Err(torn()),
+                Some(Fault::Stall { millis }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                    continue;
+                }
+                None => {}
+            }
+            let budget = self.read.budget().min(buf.len() as u64) as usize;
+            let n = self.inner.read(&mut buf[..budget])?;
+            self.read.advance(n as u64);
+            return Ok(n);
+        }
+    }
+}
+
+impl<S: Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        loop {
+            match self.write.due() {
+                Some(Fault::Tear) => {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected tear"))
+                }
+                Some(Fault::Stall { millis }) => {
+                    // Flush what was already accepted so the peer sees
+                    // a genuine mid-frame stall, not a buffered gap.
+                    self.inner.flush()?;
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                    continue;
+                }
+                None => {}
+            }
+            let budget = self.write.budget().min(buf.len() as u64) as usize;
+            let n = self.inner.write(&buf[..budget])?;
+            self.write.advance(n as u64);
+            return Ok(n);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultAt;
+    use std::io::Cursor;
+    use std::time::Instant;
+
+    #[test]
+    fn write_tear_delivers_exactly_the_scripted_prefix() {
+        let mut s = ChaosStream::with_write_plan(Vec::new(), FaultPlan::tear_after(5));
+        let err = s.write_all(b"hello world").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(s.get_ref(), b"hello");
+    }
+
+    #[test]
+    fn read_tear_surfaces_after_the_prefix() {
+        let data = b"abcdefgh".to_vec();
+        let mut s = ChaosStream::new(
+            Cursor::new(data),
+            FaultPlan::tear_after(3),
+            FaultPlan::clean(),
+        );
+        let mut buf = [0u8; 8];
+        assert_eq!(s.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"abc");
+        assert_eq!(
+            s.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+    }
+
+    #[test]
+    fn stall_delays_then_delivers_everything() {
+        let mut s = ChaosStream::with_write_plan(Vec::new(), FaultPlan::stall_after(2, 30));
+        let start = Instant::now();
+        s.write_all(b"abcd").unwrap();
+        assert!(start.elapsed().as_millis() >= 25);
+        assert_eq!(s.get_ref(), b"abcd");
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let mut s = ChaosStream::new(
+            Cursor::new(b"payload".to_vec()),
+            FaultPlan::clean(),
+            FaultPlan::clean(),
+        );
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"payload");
+    }
+
+    #[test]
+    fn multiple_faults_fire_in_order() {
+        let plan = FaultPlan::stall_after(1, 1).with(FaultAt {
+            after_bytes: 3,
+            fault: Fault::Tear,
+        });
+        let mut s = ChaosStream::with_write_plan(Vec::new(), plan);
+        assert!(s.write_all(b"xyzw").is_err());
+        assert_eq!(s.get_ref(), b"xyz");
+    }
+}

@@ -103,8 +103,8 @@ pub use foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile};
 pub use handle::IndexHandle;
 pub use index::{ProfileIndex, DEFAULT_TOP_K};
 pub use runtime::{
-    ClassStats, HealthStatus, NetStats, QueryClass, QueryRequest, QueryResponse, ServeDiagnostics,
-    ServeOptions, ServeRuntime,
+    ClassStats, FaultHook, HealthState, HealthStatus, NetStats, QueryClass, QueryRequest,
+    QueryResponse, ServeDiagnostics, ServeOptions, ServeRuntime,
 };
 pub use wire::{RequestFrame, ResponseFrame, WireError};
 

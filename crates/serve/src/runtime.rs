@@ -51,7 +51,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One typed query against the index.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +146,15 @@ pub enum QueryResponse {
     /// The request was malformed (out-of-range ids, or a query class
     /// the runtime is not equipped for). Serving never panics a worker.
     Error(String),
+    /// The runtime shed this query instead of queueing it (queue at
+    /// [`ServeOptions::max_queue_depth`]) or dropped it at dequeue
+    /// after its deadline passed. `retry_after_ms` is the server's
+    /// backoff hint, derived from recent queue waits — retrying sooner
+    /// mostly earns another shed.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 /// The five query classes the runtime meters separately.
@@ -258,6 +267,12 @@ pub struct ServeDiagnostics {
     /// back-pressure signal (sustained high-water near batch sizes
     /// means the pool is keeping up; growth means it is not).
     pub queue_high_water: u64,
+    /// Queries shed at admission because the queue was at
+    /// [`ServeOptions::max_queue_depth`].
+    pub shed: u64,
+    /// Admitted jobs dropped at dequeue because their deadline had
+    /// already passed (the answer would have been wasted work).
+    pub deadline_exceeded: u64,
     /// Fold-in cache counters.
     pub cache: CacheStats,
     /// Transport counters (zero unless fronted by `cpd-server`).
@@ -285,6 +300,18 @@ impl ServeDiagnostics {
     }
 }
 
+/// Coarse serving condition, for probes and load balancers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Accepting and answering within capacity.
+    Ok,
+    /// Alive but shedding: the queue hit
+    /// [`ServeOptions::max_queue_depth`] or deadlines expired within
+    /// the last [`ServeOptions::degraded_window`]. Load balancers
+    /// should prefer other replicas but need not eject this one.
+    Degraded,
+}
+
 /// Liveness/readiness snapshot — what a `Health` probe answers with.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HealthStatus {
@@ -294,6 +321,9 @@ pub struct HealthStatus {
     /// runtime; the field exists so probes distinguish "no answer"
     /// from "answered unhealthy").
     pub live: bool,
+    /// [`HealthState::Degraded`] while the runtime is shedding (or
+    /// recently was); [`HealthState::Ok`] otherwise.
+    pub state: HealthState,
     /// Generation of the live index snapshot.
     pub generation: u64,
     /// Seconds since the runtime (or its shared registry) started.
@@ -319,6 +349,22 @@ struct ServeMetrics {
     queue_high_water: AtomicU64,
     queue_depth_gauge: Gauge,
     queue_high_water_gauge: Gauge,
+    /// Admission cap ([`ServeOptions::max_queue_depth`]; 0 =
+    /// unbounded) — kept here so the admission CAS and the health
+    /// probe read the same number.
+    max_queue_depth: u64,
+    /// How long after the last shed/deadline-drop the runtime keeps
+    /// reporting [`HealthState::Degraded`].
+    degraded_window: Duration,
+    /// `cpd_serve_shed_total`.
+    shed: Counter,
+    /// `cpd_serve_deadline_exceeded_total`.
+    deadline_exceeded: Counter,
+    /// `cpd_serve_health_state` (0 = Ok, 1 = Degraded).
+    health_state_gauge: Gauge,
+    /// Registry-uptime micros (+1, so 0 means "never") of the most
+    /// recent shed or deadline drop — drives the Degraded window.
+    last_overload_micros: AtomicU64,
     /// `cpd_serve_batches_total`.
     batches: Counter,
     cache_hits: Counter,
@@ -331,7 +377,7 @@ struct ServeMetrics {
 }
 
 impl ServeMetrics {
-    fn resolve(registry: Arc<Registry>) -> Self {
+    fn resolve(registry: Arc<Registry>, max_queue_depth: usize, degraded_window: Duration) -> Self {
         let query_help = "Worker-side query latency by query class";
         let query_seconds = [
             QueryClass::Ranking,
@@ -366,6 +412,24 @@ impl ServeMetrics {
                 "Most jobs ever waiting in the shared queue at once",
                 &[],
             ),
+            max_queue_depth: max_queue_depth as u64,
+            degraded_window,
+            shed: registry.counter(
+                "cpd_serve_shed_total",
+                "Queries shed at admission because the queue was at max_queue_depth",
+                &[],
+            ),
+            deadline_exceeded: registry.counter(
+                "cpd_serve_deadline_exceeded_total",
+                "Admitted jobs dropped at dequeue because their deadline had passed",
+                &[],
+            ),
+            health_state_gauge: registry.gauge(
+                "cpd_serve_health_state",
+                "Serving condition: 0 = Ok, 1 = Degraded (recent shedding or queue at capacity)",
+                &[],
+            ),
+            last_overload_micros: AtomicU64::new(0),
             batches: registry.counter("cpd_serve_batches_total", "Query batches submitted", &[]),
             cache_hits: registry.counter(
                 "cpd_serve_fold_cache_hits_total",
@@ -421,14 +485,78 @@ impl ServeMetrics {
         }
     }
 
-    fn enqueued(&self) {
-        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    /// Reserve a queue slot, or refuse because the queue is at
+    /// [`ServeOptions::max_queue_depth`]. The reservation is a CAS
+    /// loop on the depth cell so concurrent batches can never
+    /// collectively overshoot the cap — the invariant behind "never
+    /// unbounded queue growth".
+    fn try_admit(&self) -> bool {
+        if self.max_queue_depth == 0 {
+            let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+            self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+            return true;
+        }
+        let mut depth = self.queue_depth.load(Ordering::Relaxed);
+        loop {
+            if depth >= self.max_queue_depth {
+                return false;
+            }
+            match self.queue_depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.queue_high_water
+                        .fetch_max(depth + 1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(current) => depth = current,
+            }
+        }
     }
 
-    fn dequeued(&self, waited: std::time::Duration) {
+    fn dequeued(&self, waited: Duration) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
         self.queue_wait.record_duration(waited);
+    }
+
+    /// Note a shed or deadline drop — starts (or extends) the
+    /// Degraded window.
+    fn note_overload(&self) {
+        let now = (self.registry.uptime_seconds() * 1e6) as u64 + 1;
+        self.last_overload_micros.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Degraded while a shed/deadline drop happened within the window,
+    /// or while the queue is sitting at its cap right now.
+    fn degraded(&self) -> bool {
+        if self.max_queue_depth != 0
+            && self.queue_depth.load(Ordering::Relaxed) >= self.max_queue_depth
+        {
+            return true;
+        }
+        let last = self.last_overload_micros.load(Ordering::Relaxed);
+        if last == 0 {
+            return false;
+        }
+        let now = (self.registry.uptime_seconds() * 1e6) as u64 + 1;
+        now.saturating_sub(last) <= self.degraded_window.as_micros() as u64
+    }
+
+    /// The backoff hint attached to [`QueryResponse::Overloaded`]:
+    /// roughly two recent mean queue waits, clamped to a sane band so
+    /// cold starts (no samples) and pathological tails both give
+    /// usable advice.
+    fn retry_after_ms(&self) -> u64 {
+        let mean_ms = self
+            .queue_wait
+            .sum_nanos()
+            .checked_div(self.queue_wait.count())
+            .unwrap_or(0)
+            / 1_000_000;
+        (2 * mean_ms).clamp(25, 2_000)
     }
 
     /// Refresh the scrape-time mirrors: cache counters (tracked by the
@@ -445,6 +573,8 @@ impl ServeMetrics {
         self.generation_gauge.set(generation as f64);
         self.uptime_gauge.set(self.registry.uptime_seconds());
         self.workers_gauge.set(workers as f64);
+        self.health_state_gauge
+            .set(if self.degraded() { 1.0 } else { 0.0 });
     }
 }
 
@@ -462,7 +592,43 @@ struct Job {
     /// When the job entered the shared queue (feeds the queue-wait
     /// histogram at dequeue).
     enqueued: Instant,
+    /// Answer-by time: the tighter of the caller's wire deadline and
+    /// the runtime's [`ServeOptions::max_queue_wait`]. Workers drop
+    /// expired jobs at dequeue — the caller has given up, so the
+    /// answer would be wasted capacity.
+    deadline: Option<Instant>,
     reply: Sender<(usize, QueryResponse)>,
+}
+
+/// A named observation/injection point threaded through the runtime's
+/// hot paths, for deterministic fault injection in tests (see the
+/// `cpd-chaos` crate). The runtime calls the hook with a stable point
+/// name; an armed hook may sleep to simulate slow workers or delayed
+/// reloads. `None` (the default) costs one branch per point.
+///
+/// Current points: `"serve.worker_execute"` (before each query
+/// executes) and `"serve.reload_build"` (before a reload builds the
+/// new index).
+#[derive(Clone)]
+pub struct FaultHook(Arc<dyn Fn(&str) + Send + Sync>);
+
+impl FaultHook {
+    /// Wrap a callback invoked at every hook point with the point's
+    /// name.
+    pub fn new(f: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// Invoke the hook at `point`.
+    pub fn hit(&self, point: &str) {
+        (self.0)(point)
+    }
+}
+
+impl std::fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FaultHook(..)")
+    }
 }
 
 /// Runtime construction options.
@@ -481,6 +647,24 @@ pub struct ServeOptions {
     /// a private registry — `prometheus_text` and the histogram-backed
     /// diagnostics work either way.
     pub registry: Option<Arc<Registry>>,
+    /// Admission cap: jobs beyond this many waiting in the shared
+    /// queue are shed with [`QueryResponse::Overloaded`] instead of
+    /// queued (0 = unbounded, the pre-hardening behaviour — not
+    /// recommended for production).
+    pub max_queue_depth: usize,
+    /// Implicit deadline for every admitted job: one that has waited
+    /// longer than this when a worker dequeues it is dropped as
+    /// [`QueryResponse::Overloaded`] rather than executed (`None`
+    /// disables). Callers with tighter wire deadlines override this
+    /// downward, never upward.
+    pub max_queue_wait: Option<Duration>,
+    /// How long after the last shed/deadline drop [`ServeRuntime::health`]
+    /// keeps reporting [`HealthState::Degraded`] — hysteresis so load
+    /// balancers see a stable signal, not a flapping one.
+    pub degraded_window: Duration,
+    /// Deterministic fault-injection hook (tests only; see
+    /// [`FaultHook`]). `None` in production.
+    pub fault_hook: Option<FaultHook>,
 }
 
 impl Default for ServeOptions {
@@ -490,6 +674,10 @@ impl Default for ServeOptions {
             fold_in: FoldInConfig::default(),
             fold_cache_capacity: 1024,
             registry: None,
+            max_queue_depth: 1024,
+            max_queue_wait: Some(Duration::from_secs(30)),
+            degraded_window: Duration::from_secs(5),
+            fault_hook: None,
         }
     }
 }
@@ -507,6 +695,10 @@ pub struct ServeRuntime {
     tx: Option<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     metrics: Arc<ServeMetrics>,
+    /// Implicit per-job deadline (see [`ServeOptions::max_queue_wait`]).
+    max_queue_wait: Option<Duration>,
+    /// Fault-injection hook for the non-worker points (reload).
+    fault_hook: Option<FaultHook>,
 }
 
 impl ServeRuntime {
@@ -534,7 +726,11 @@ impl ServeRuntime {
             .registry
             .clone()
             .unwrap_or_else(|| Arc::new(Registry::new()));
-        let metrics = Arc::new(ServeMetrics::resolve(registry));
+        let metrics = Arc::new(ServeMetrics::resolve(
+            registry,
+            options.max_queue_depth,
+            options.degraded_window,
+        ));
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(std::sync::Mutex::new(rx));
         let mut handles = Vec::with_capacity(workers);
@@ -544,6 +740,7 @@ impl ServeRuntime {
             let metrics = Arc::clone(&metrics);
             let cache = Arc::clone(&cache);
             let fold_cfg = options.fold_in.clone();
+            let fault_hook = options.fault_hook.clone();
             handles.push(std::thread::spawn(move || {
                 let mut scratch = FoldScratch::new();
                 loop {
@@ -562,6 +759,25 @@ impl ServeRuntime {
                         }
                     };
                     metrics.dequeued(job.enqueued.elapsed());
+                    // An expired job is answered `Overloaded` without
+                    // executing: its caller (or the queue-wait cap)
+                    // already gave up on the answer, and burning a
+                    // worker on it would starve jobs that can still
+                    // make their deadlines.
+                    if job.deadline.is_some_and(|d| Instant::now() > d) {
+                        metrics.deadline_exceeded.inc();
+                        metrics.note_overload();
+                        let _ = job.reply.send((
+                            job.slot,
+                            QueryResponse::Overloaded {
+                                retry_after_ms: metrics.retry_after_ms(),
+                            },
+                        ));
+                        continue;
+                    }
+                    if let Some(hook) = &fault_hook {
+                        hook.hit("serve.worker_execute");
+                    }
                     let class = QueryClass::of(&job.request);
                     let start = Instant::now();
                     // A panic inside a query (e.g. NaNs smuggled into a
@@ -602,6 +818,8 @@ impl ServeRuntime {
             tx: Some(tx),
             handles,
             metrics,
+            max_queue_wait: options.max_queue_wait,
+            fault_hook: options.fault_hook,
         })
     }
 
@@ -651,6 +869,9 @@ impl ServeRuntime {
     /// silently served with wrong priors.
     pub fn reload(&self, path: impl AsRef<Path>) -> Result<u64, String> {
         let path = path.as_ref();
+        if let Some(hook) = &self.fault_hook {
+            hook.hit("serve.reload_build");
+        }
         // `load_model` errors already name the snapshot path.
         let model = cpd_core::io::load_model(path).map_err(|e| format!("reload failed: {e}"))?;
         let config = self.handle.load().0.config().clone();
@@ -678,25 +899,54 @@ impl ServeRuntime {
     /// workers, execute concurrently, and the responses come back in
     /// request order. The whole batch answers on one snapshot — the
     /// handle is resolved once, here.
+    ///
+    /// Admission is per job, not per batch: slots that cannot reserve
+    /// queue capacity come back [`QueryResponse::Overloaded`]
+    /// immediately while the rest of the batch proceeds.
     pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<QueryResponse> {
+        self.submit_batch_with_deadlines(requests.into_iter().map(|r| (r, None)).collect())
+    }
+
+    /// [`submit_batch`](ServeRuntime::submit_batch) with a per-job
+    /// answer-by deadline (e.g. propagated from a wire request's
+    /// budget). A job still queued past the tighter of its deadline
+    /// and [`ServeOptions::max_queue_wait`] is dropped at dequeue and
+    /// answered [`QueryResponse::Overloaded`].
+    pub fn submit_batch_with_deadlines(
+        &self,
+        requests: Vec<(QueryRequest, Option<Instant>)>,
+    ) -> Vec<QueryResponse> {
         let n = requests.len();
         let (index, generation) = self.handle.load();
         let tx = self.tx.as_ref().expect("runtime not shut down");
         let (reply_tx, reply_rx) = channel();
-        for (slot, request) in requests.into_iter().enumerate() {
-            self.metrics.enqueued();
+        let mut responses: Vec<Option<QueryResponse>> = (0..n).map(|_| None).collect();
+        for (slot, (request, caller_deadline)) in requests.into_iter().enumerate() {
+            if !self.metrics.try_admit() {
+                self.metrics.shed.inc();
+                self.metrics.note_overload();
+                responses[slot] = Some(QueryResponse::Overloaded {
+                    retry_after_ms: self.metrics.retry_after_ms(),
+                });
+                continue;
+            }
+            let enqueued = Instant::now();
+            let deadline = match (caller_deadline, self.max_queue_wait.map(|w| enqueued + w)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
             tx.send(Job {
                 slot,
                 request,
                 index: Arc::clone(&index),
                 generation,
-                enqueued: Instant::now(),
+                enqueued,
+                deadline,
                 reply: reply_tx.clone(),
             })
             .expect("serve worker hung up");
         }
         drop(reply_tx);
-        let mut responses: Vec<Option<QueryResponse>> = (0..n).map(|_| None).collect();
         for (slot, response) in reply_rx {
             responses[slot] = Some(response);
         }
@@ -719,6 +969,8 @@ impl ServeRuntime {
             batches: self.metrics.batches.get(),
             generation,
             queue_high_water: self.metrics.queue_high_water.load(Ordering::Relaxed),
+            shed: self.metrics.shed.get(),
+            deadline_exceeded: self.metrics.deadline_exceeded.get(),
             cache,
             net: NetStats::default(),
             ranking: self.metrics.class(QueryClass::Ranking),
@@ -752,11 +1004,21 @@ impl ServeRuntime {
 
     /// Liveness/readiness probe, answerable without touching the
     /// worker pool: ready while the pool accepts batches, plus the
-    /// live generation and registry uptime.
+    /// live generation and registry uptime. `state` flips to
+    /// [`HealthState::Degraded`] while the runtime is shedding (queue
+    /// at capacity, or a shed/deadline drop within
+    /// [`ServeOptions::degraded_window`]) and back to
+    /// [`HealthState::Ok`] once the window passes.
     pub fn health(&self) -> HealthStatus {
+        let state = if self.metrics.degraded() {
+            HealthState::Degraded
+        } else {
+            HealthState::Ok
+        };
         HealthStatus {
             ready: self.tx.is_some() && !self.handles.is_empty(),
             live: true,
+            state,
             generation: self.handle.generation(),
             uptime_seconds: self.metrics.registry.uptime_seconds(),
         }

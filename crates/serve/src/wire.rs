@@ -43,7 +43,7 @@
 use crate::cache::CacheStats;
 use crate::foldin::{FoldInItem, FoldedProfile};
 use crate::runtime::{
-    ClassStats, HealthStatus, NetStats, QueryRequest, QueryResponse, ServeDiagnostics,
+    ClassStats, HealthState, HealthStatus, NetStats, QueryRequest, QueryResponse, ServeDiagnostics,
 };
 use social_graph::{UserId, WordId};
 use std::io::{Read, Write};
@@ -59,7 +59,14 @@ pub const WIRE_MAGIC: [u8; 2] = [0xC9, 0xDF];
 ///   histogram-backed p50/p99/p999 microsecond fields. The stats
 ///   payload layout changed, so v1 peers are refused by name rather
 ///   than misdecoded.
-pub const WIRE_VERSION: u8 = 2;
+/// * v3 — overload hardening: `Query` frames carry an optional
+///   deadline budget (milliseconds the client is still willing to
+///   wait), responses gain the `Overloaded { retry_after_ms }`
+///   variant, `Health` replies carry the Ok/Degraded state byte, and
+///   `Stats` replies add the shed / deadline-exceeded counters. The
+///   query and health payload layouts changed, so v2 peers are
+///   refused by name.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Hard ceiling on a frame's payload length — anything larger is
 /// rejected from the 8-byte header alone, before any payload
@@ -90,7 +97,18 @@ const TAG_ERROR: u8 = 0xFF;
 pub enum RequestFrame {
     /// One query for the serving pool; consecutive `Query` frames on a
     /// connection are batched into one `submit_batch` call.
-    Query(QueryRequest),
+    Query {
+        /// The query itself.
+        request: QueryRequest,
+        /// Optional deadline budget: how many more milliseconds the
+        /// client is willing to wait for this answer. The server
+        /// anchors the budget at decode time and propagates the
+        /// resulting deadline into the runtime queue, where an
+        /// expired job is dropped as `Overloaded` instead of
+        /// executed. `None` = no client-imposed deadline (the
+        /// runtime's own `max_queue_wait` still applies).
+        deadline_ms: Option<u32>,
+    },
     /// Admin: hot-reload the index from a model snapshot on the
     /// server's filesystem, answered with [`ResponseFrame::Reloaded`].
     Reload {
@@ -153,6 +171,16 @@ pub enum WireError {
         /// Declared payload length.
         len: u32,
     },
+    /// The transport's read timeout expired. `mid_frame` is the
+    /// severity split: `false` means the stream timed out **between**
+    /// frames (an idle peer — harmless, the stream is still
+    /// synchronized and the caller may keep waiting), `true` means it
+    /// expired with a frame partially read (a half-dead or slow-loris
+    /// peer — the stream is desynchronized and must be closed).
+    Timeout {
+        /// Whether the deadline expired inside a frame.
+        mid_frame: bool,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -164,6 +192,12 @@ impl std::fmt::Display for WireError {
                 f,
                 "oversized frame: payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD} limit"
             ),
+            WireError::Timeout { mid_frame: true } => {
+                write!(f, "read timed out mid-frame (half-dead peer)")
+            }
+            WireError::Timeout { mid_frame: false } => {
+                write!(f, "read timed out between frames (idle peer)")
+            }
         }
     }
 }
@@ -316,6 +350,10 @@ fn encode_response_payload(e: &mut Enc, r: &QueryResponse) {
             e.u8(4);
             e.string(msg);
         }
+        QueryResponse::Overloaded { retry_after_ms } => {
+            e.u8(5);
+            e.u64(*retry_after_ms);
+        }
     }
 }
 
@@ -324,6 +362,8 @@ fn encode_diagnostics(e: &mut Enc, d: &ServeDiagnostics) {
     e.u64(d.batches);
     e.u64(d.generation);
     e.u64(d.queue_high_water);
+    e.u64(d.shed);
+    e.u64(d.deadline_exceeded);
     e.u64(d.cache.hits);
     e.u64(d.cache.misses);
     e.u64(d.cache.evictions);
@@ -352,8 +392,20 @@ fn frame(tag: u8, payload: Vec<u8>) -> Vec<u8> {
 pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
     let mut e = Enc(Vec::new());
     let tag = match req {
-        RequestFrame::Query(q) => {
-            encode_query(&mut e, q);
+        RequestFrame::Query {
+            request,
+            deadline_ms,
+        } => {
+            // Deadline budget first, so the server can anchor it
+            // before touching the (arbitrarily large) query payload.
+            match deadline_ms {
+                Some(ms) => {
+                    e.u8(1);
+                    e.u32(*ms);
+                }
+                None => e.u8(0),
+            }
+            encode_query(&mut e, request);
             TAG_QUERY
         }
         RequestFrame::Reload { path } => {
@@ -398,6 +450,10 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
         ResponseFrame::Health(h) => {
             e.u8(h.ready as u8);
             e.u8(h.live as u8);
+            e.u8(match h.state {
+                HealthState::Ok => 0,
+                HealthState::Degraded => 1,
+            });
             e.u64(h.generation);
             e.f64(h.uptime_seconds);
             TAG_HEALTH_REPLY
@@ -636,6 +692,9 @@ fn decode_response_payload(d: &mut Dec<'_>) -> Result<QueryResponse, WireError> 
             }))
         }
         4 => QueryResponse::Error(d.string()?),
+        5 => QueryResponse::Overloaded {
+            retry_after_ms: d.u64()?,
+        },
         v => {
             return Err(WireError::Malformed(format!(
                 "unknown response variant {v}"
@@ -650,6 +709,8 @@ fn decode_diagnostics(d: &mut Dec<'_>) -> Result<ServeDiagnostics, WireError> {
         batches: d.u64()?,
         generation: d.u64()?,
         queue_high_water: d.u64()?,
+        shed: d.u64()?,
+        deadline_exceeded: d.u64()?,
         cache: CacheStats {
             hits: d.u64()?,
             misses: d.u64()?,
@@ -683,6 +744,10 @@ fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
             Ok(0) => return Ok(None),
             Ok(_) => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A timeout before the first byte is an *idle* peer: the
+            // stream is still at a frame boundary and perfectly
+            // usable, so the caller gets the recoverable variant.
+            Err(e) if is_timeout(&e) => return Err(WireError::Timeout { mid_frame: false }),
             Err(e) => return Err(WireError::Io(e)),
         }
     }
@@ -710,12 +775,25 @@ fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
     Ok(Some((tag, payload)))
 }
 
+/// `true` for the two kinds a socket read deadline surfaces as
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// `read_exact` that reports truncation as [`WireError::Malformed`]
-/// (mid-frame EOF is a protocol violation, not a transport failure).
+/// (mid-frame EOF is a protocol violation, not a transport failure)
+/// and a read deadline as the mid-frame [`WireError::Timeout`] — the
+/// stream is desynchronized either way, so the connection must close.
 fn read_exact_frame<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), WireError> {
     r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             WireError::Malformed(format!("{what} truncated"))
+        } else if is_timeout(&e) {
+            WireError::Timeout { mid_frame: true }
         } else {
             WireError::Io(e)
         }
@@ -729,7 +807,17 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<RequestFrame>, WireErro
     };
     let mut d = Dec::new(&payload);
     let frame = match tag {
-        TAG_QUERY => RequestFrame::Query(decode_query(&mut d)?),
+        TAG_QUERY => {
+            let deadline_ms = if d.bool("query deadline flag")? {
+                Some(d.u32()?)
+            } else {
+                None
+            };
+            RequestFrame::Query {
+                request: decode_query(&mut d)?,
+                deadline_ms,
+            }
+        }
         TAG_RELOAD => RequestFrame::Reload { path: d.string()? },
         TAG_STATS => RequestFrame::Stats,
         TAG_SHUTDOWN => RequestFrame::Shutdown,
@@ -762,9 +850,19 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<Option<ResponseFrame>, WireEr
         TAG_HEALTH_REPLY => {
             let ready = d.bool("health.ready")?;
             let live = d.bool("health.live")?;
+            let state = match d.u8()? {
+                0 => HealthState::Ok,
+                1 => HealthState::Degraded,
+                v => {
+                    return Err(WireError::Malformed(format!(
+                        "unknown health state {v} (0 = Ok, 1 = Degraded)"
+                    )))
+                }
+            };
             ResponseFrame::Health(HealthStatus {
                 ready,
                 live,
+                state,
                 generation: d.u64()?,
                 uptime_seconds: d.f64()?,
             })
@@ -787,16 +885,22 @@ mod tests {
     #[test]
     fn request_round_trip() {
         let frames = vec![
-            RequestFrame::Query(QueryRequest::RankCommunities {
-                query: vec![WordId(3), WordId(1)],
-            }),
-            RequestFrame::Query(QueryRequest::FoldIn {
-                item: FoldInItem {
-                    docs: vec![vec![WordId(0)], vec![]],
-                    friends: vec![UserId(9)],
+            RequestFrame::Query {
+                request: QueryRequest::RankCommunities {
+                    query: vec![WordId(3), WordId(1)],
                 },
-                seed: u64::MAX,
-            }),
+                deadline_ms: None,
+            },
+            RequestFrame::Query {
+                request: QueryRequest::FoldIn {
+                    item: FoldInItem {
+                        docs: vec![vec![WordId(0)], vec![]],
+                        friends: vec![UserId(9)],
+                    },
+                    seed: u64::MAX,
+                },
+                deadline_ms: Some(1_500),
+            },
             RequestFrame::Reload {
                 path: "/tmp/model.cpd".into(),
             },
@@ -829,6 +933,7 @@ mod tests {
         // A word list claiming u32::MAX entries inside a 16-byte
         // payload must fail the remaining-bytes check, not allocate.
         let mut e = Enc(Vec::new());
+        e.u8(0); // no deadline
         e.u8(0); // RankCommunities
         e.u32(u32::MAX);
         e.u32(0);

@@ -8,8 +8,8 @@ use cpd_serve::wire::{
     ResponseFrame, WireError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_VERSION,
 };
 use cpd_serve::{
-    CacheStats, ClassStats, FoldInItem, FoldedProfile, HealthStatus, NetStats, QueryRequest,
-    QueryResponse, ServeDiagnostics,
+    CacheStats, ClassStats, FoldInItem, FoldedProfile, HealthState, HealthStatus, NetStats,
+    QueryRequest, QueryResponse, ServeDiagnostics,
 };
 use proptest::prelude::*;
 use social_graph::{UserId, WordId};
@@ -69,8 +69,8 @@ fn build_response(
     ids: (u32, u32),
     msg: String,
 ) -> QueryResponse {
-    let (a, _) = ids;
-    match variant % 5 {
+    let (a, b) = ids;
+    match variant % 6 {
         0 => QueryResponse::Ranking(
             row.iter()
                 .enumerate()
@@ -87,6 +87,9 @@ fn build_response(
             topics: row,
             doc_topics: rows,
         })),
+        4 => QueryResponse::Overloaded {
+            retry_after_ms: u64::from(b),
+        },
         _ => QueryResponse::Error(msg),
     }
 }
@@ -107,8 +110,15 @@ proptest! {
         y in 0usize..10_000,
         k in 0usize..500,
         seed in 0u64..u64::MAX,
+        deadline_raw in 0u32..600_000,
     ) {
-        let frame = RequestFrame::Query(build_request(variant, words, docs, (a, b), (x, y, k), seed));
+        // The vendored proptest stub has no Option strategy; fold
+        // "no deadline" in as one residue class.
+        let deadline_ms = (deadline_raw % 3 != 0).then_some(deadline_raw);
+        let frame = RequestFrame::Query {
+            request: build_request(variant, words, docs, (a, b), (x, y, k), seed),
+            deadline_ms,
+        };
         let bytes = encode_request(&frame);
         let mut r = &bytes[..];
         let decoded = read_request(&mut r).unwrap().expect("one frame in");
@@ -121,7 +131,7 @@ proptest! {
     /// payloads surviving bit-exactly.
     #[test]
     fn response_frames_round_trip(
-        variant in 0usize..5,
+        variant in 0usize..6,
         row in prop::collection::vec(-1.0e12f64..1.0e12, 0..10),
         rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 0..5), 0..4),
         a in 0u32..1_000_000,
@@ -145,9 +155,10 @@ proptest! {
         words in prop::collection::vec(0u32..100, 1..6),
         cut in 0usize..1000,
     ) {
-        let frame = RequestFrame::Query(build_request(
-            variant, words, vec![vec![1, 2]], (1, 2), (3, 4, 5), 99,
-        ));
+        let frame = RequestFrame::Query {
+            request: build_request(variant, words, vec![vec![1, 2]], (1, 2), (3, 4, 5), 99),
+            deadline_ms: Some(1_500),
+        };
         let bytes = encode_request(&frame);
         // Cut somewhere strictly inside the frame (never index 0 — an
         // empty stream is a *clean* EOF by contract).
@@ -167,9 +178,10 @@ proptest! {
         flip_at in 0usize..1000,
         flip_bit in 0u8..8,
     ) {
-        let frame = RequestFrame::Query(build_request(
-            variant, words, vec![vec![7]], (1, 2), (3, 4, 5), 42,
-        ));
+        let frame = RequestFrame::Query {
+            request: build_request(variant, words, vec![vec![7]], (1, 2), (3, 4, 5), 42),
+            deadline_ms: None,
+        };
         let mut bytes = encode_request(&frame);
         if bytes.len() > FRAME_HEADER_LEN {
             let i = FRAME_HEADER_LEN + flip_at % (bytes.len() - FRAME_HEADER_LEN);
@@ -190,6 +202,8 @@ fn valid_stats_frame() -> ResponseFrame {
         batches: 17,
         generation: 3,
         queue_high_water: 9,
+        shed: 2,
+        deadline_exceeded: 1,
         cache: CacheStats {
             hits: 5,
             misses: 6,
@@ -254,6 +268,7 @@ fn admin_and_stats_frames_round_trip() {
         ResponseFrame::Health(HealthStatus {
             ready: true,
             live: true,
+            state: HealthState::Degraded,
             generation: 42,
             uptime_seconds: 12.75,
         }),
@@ -289,6 +304,24 @@ fn future_version_is_refused_by_name() {
     let msg = err.to_string();
     assert!(msg.contains("version"), "{msg}");
     assert!(msg.contains(&(WIRE_VERSION + 1).to_string()), "{msg}");
+}
+
+#[test]
+fn stale_version_is_refused_by_name() {
+    // A v2 peer (pre-deadline, pre-Overloaded) must be refused with a
+    // message naming both versions — cross-version frames never decode
+    // as garbage.
+    let mut bytes = encode_request(&RequestFrame::Stats);
+    bytes[2] = WIRE_VERSION - 1;
+    let err = read_request(&mut &bytes[..]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("version"), "{msg}");
+    assert!(msg.contains(&(WIRE_VERSION - 1).to_string()), "{msg}");
+    assert!(msg.contains(&WIRE_VERSION.to_string()), "{msg}");
+    // Same on the response side.
+    let mut bytes = encode_response(&ResponseFrame::ShuttingDown);
+    bytes[2] = WIRE_VERSION - 1;
+    assert!(read_response(&mut &bytes[..]).is_err());
 }
 
 #[test]
@@ -364,9 +397,12 @@ fn oversized_response_encodes_as_an_in_band_error_frame() {
 fn oversized_request_is_refused_at_write_time() {
     // 4.2M query words is ~16.8 MB of payload: the writer must refuse
     // before anything hits the stream.
-    let huge = RequestFrame::Query(QueryRequest::RankCommunities {
-        query: vec![WordId(1); 4_200_000],
-    });
+    let huge = RequestFrame::Query {
+        request: QueryRequest::RankCommunities {
+            query: vec![WordId(1); 4_200_000],
+        },
+        deadline_ms: None,
+    };
     let mut sink = Vec::new();
     let err = write_request(&mut sink, &huge).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);

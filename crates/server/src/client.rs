@@ -1,11 +1,36 @@
 //! The blocking client: one TCP connection speaking the CPD wire
 //! protocol, used by the loopback tests, benches and examples — and a
 //! reference implementation for clients in other languages.
+//!
+//! # Resilience
+//!
+//! The client is built for servers that *fail well*:
+//!
+//! * **Timeouts everywhere** — connect, read and write deadlines
+//!   default on ([`ClientOptions`]), so a server that dies mid-frame
+//!   surfaces as a typed [`ClientError::Timeout`] instead of hanging
+//!   the caller forever.
+//! * **Retry with backoff** — [`Client::query_batch`] transparently
+//!   retries slots answered [`QueryResponse::Overloaded`] and
+//!   transient transport failures (connection reset, clean EOF,
+//!   timeouts), reconnecting as needed, with capped exponential
+//!   backoff and deterministic seeded jitter, all under an overall
+//!   per-call budget ([`ClientOptions::call_budget`]). Queries are
+//!   read-only and deterministic against a given snapshot, so
+//!   resending after an ambiguous failure is safe.
+//! * **Deadline propagation** — [`ClientOptions::request_deadline`]
+//!   attaches a wire deadline budget to every query so the server can
+//!   drop work the client has already given up on.
+//!
+//! Admin operations (reload, stats, shutdown…) are **not** retried:
+//! they either have side effects or are cheap probes whose failure the
+//! caller wants to see.
 
 use cpd_serve::wire::{read_response, write_request, RequestFrame, ResponseFrame, WireError};
 use cpd_serve::{HealthStatus, QueryRequest, QueryResponse, ServeDiagnostics};
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -19,6 +44,15 @@ pub enum ClientError {
     /// The server answered with a frame class the request cannot
     /// produce (protocol bug on one side).
     Protocol(String),
+    /// A connect/read/write deadline expired. `what` names the
+    /// operation that timed out.
+    Timeout {
+        /// The operation that hit its deadline.
+        what: &'static str,
+    },
+    /// The server closed the connection mid-conversation (clean EOF
+    /// where a response was due).
+    Disconnected,
 }
 
 impl std::fmt::Display for ClientError {
@@ -27,6 +61,8 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "client wire failure: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Timeout { what } => write!(f, "{what} timed out"),
+            ClientError::Disconnected => write!(f, "server closed the connection mid-reply"),
         }
     }
 }
@@ -35,13 +71,110 @@ impl std::error::Error for ClientError {}
 
 impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
-        ClientError::Wire(e)
+        match e {
+            WireError::Timeout { .. } => ClientError::Timeout { what: "read" },
+            WireError::Io(io) if is_timeout_io(&io) => ClientError::Timeout { what: "io" },
+            other => ClientError::Wire(other),
+        }
     }
 }
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Wire(WireError::Io(e))
+        if is_timeout_io(&e) {
+            ClientError::Timeout { what: "io" }
+        } else {
+            ClientError::Wire(WireError::Io(e))
+        }
+    }
+}
+
+fn is_timeout_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Is this failure worth a reconnect-and-resend? Covers the ways a
+/// dying/restarting server or injected fault surfaces at this layer;
+/// `Server`/`Protocol` answers are deliberate and final.
+fn is_transient(e: &ClientError) -> bool {
+    match e {
+        ClientError::Timeout { .. } | ClientError::Disconnected => true,
+        // Any wire-level failure (I/O error, torn frame decoded as
+        // malformed, oversized garbage) means the stream is gone or
+        // untrustworthy; a fresh connection is the only way forward
+        // and retrying is bounded by the policy either way.
+        ClientError::Wire(_) => true,
+        ClientError::Server(_) | ClientError::Protocol(_) => false,
+    }
+}
+
+/// Retry/backoff policy for [`Client::query_batch`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retry rounds after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff; doubles each round up to [`max_backoff`].
+    ///
+    /// [`max_backoff`]: RetryPolicy::max_backoff
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter applied to each backoff
+    /// (±25%) — decorrelates a thundering herd of retrying clients
+    /// while keeping any single client's schedule replayable.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// Client construction options; the defaults suit a healthy loopback
+/// or LAN deployment.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// TCP connect deadline (`None` = OS default, which can be
+    /// minutes).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read deadline: how long to wait for a response byte
+    /// before the call fails with [`ClientError::Timeout`]. Must
+    /// comfortably exceed the server's worst honest latency.
+    pub read_timeout: Option<Duration>,
+    /// Socket write deadline.
+    pub write_timeout: Option<Duration>,
+    /// Overall per-call budget across every retry round and backoff
+    /// sleep in one `query`/`query_batch` call (`None` = bounded only
+    /// by the per-attempt timeouts and retry counts).
+    pub call_budget: Option<Duration>,
+    /// Retry policy for queries (`None` = never retry).
+    pub retry: Option<RetryPolicy>,
+    /// Wire deadline budget attached to every query, so the server
+    /// can drop work this client has stopped waiting for. `None`
+    /// sends no deadline (the server's own queue-wait cap still
+    /// applies).
+    pub request_deadline: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            call_budget: Some(Duration::from_secs(120)),
+            retry: Some(RetryPolicy::default()),
+            request_deadline: None,
+        }
     }
 }
 
@@ -49,19 +182,58 @@ impl From<std::io::Error> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// The resolved address, kept for reconnects.
+    addr: SocketAddr,
+    options: ClientOptions,
+    /// SplitMix64 state behind the backoff jitter.
+    jitter_state: u64,
 }
 
 impl Client {
-    /// Connect to a running server (Nagle disabled — the protocol is
-    /// request/response and frames are already write-buffered).
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        let read_half = stream.try_clone()?;
-        Ok(Self {
-            reader: BufReader::new(read_half),
-            writer: BufWriter::new(stream),
-        })
+    /// Connect with [`ClientOptions::default`] (Nagle disabled — the
+    /// protocol is request/response and frames are already
+    /// write-buffered).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connect with explicit options.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        options: ClientOptions,
+    ) -> Result<Self, ClientError> {
+        let mut last_err: Option<ClientError> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match open_stream(candidate, &options) {
+                Ok(stream) => {
+                    let jitter_state = options.retry.as_ref().map(|r| r.jitter_seed).unwrap_or(0)
+                        ^ 0x9E37_79B9_7F4A_7C15;
+                    let read_half = stream.try_clone().map_err(ClientError::from)?;
+                    return Ok(Self {
+                        reader: BufReader::new(read_half),
+                        writer: BufWriter::new(stream),
+                        addr: candidate,
+                        options,
+                        jitter_state,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Protocol(
+            "address resolved to no candidates".into(),
+        )))
+    }
+
+    /// Drop the current connection and dial the same address again
+    /// (fresh socket, same options). Any unread responses die with the
+    /// old socket — callers resend what is still unanswered.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = open_stream(self.addr, &self.options)?;
+        let read_half = stream.try_clone().map_err(ClientError::from)?;
+        self.reader = BufReader::new(read_half);
+        self.writer = BufWriter::new(stream);
+        Ok(())
     }
 
     /// One query, one answer.
@@ -83,28 +255,152 @@ impl Client {
     /// — the remaining responses are still read, so the connection
     /// stays in sync for the next call instead of handing later
     /// queries earlier queries' answers.
+    ///
+    /// With a [`RetryPolicy`] armed, slots answered
+    /// [`QueryResponse::Overloaded`] are retried (only those slots are
+    /// resent) after a backoff honouring the server's
+    /// `retry_after_ms` hint, and transient transport failures
+    /// reconnect and resend every still-unanswered slot — queries are
+    /// read-only, so a resend after an ambiguous failure cannot
+    /// double-apply anything. When retries (or the call budget) run
+    /// out, still-shed slots come back as `Overloaded` for the caller
+    /// to handle; transport failures surface as the last error.
     pub fn query_batch(
         &mut self,
         requests: Vec<QueryRequest>,
     ) -> Result<Vec<QueryResponse>, ClientError> {
+        let started = Instant::now();
         let n = requests.len();
-        for request in requests {
-            write_request(&mut self.writer, &RequestFrame::Query(request))?;
+        let mut slots: Vec<Option<QueryResponse>> = (0..n).map(|_| None).collect();
+        // Indices (into `requests`) still awaiting a real answer.
+        let mut pending: Vec<usize> = (0..n).collect();
+        let policy = self.options.retry.clone();
+        let max_retries = policy.as_ref().map_or(0, |p| p.max_retries);
+        let mut attempt: u32 = 0;
+        loop {
+            match self.send_and_collect(&requests, &pending) {
+                Ok(round) => {
+                    let mut hint_ms: u64 = 0;
+                    let mut still = Vec::new();
+                    for (&slot, response) in pending.iter().zip(round) {
+                        match response {
+                            QueryResponse::Overloaded { retry_after_ms } => {
+                                hint_ms = hint_ms.max(retry_after_ms);
+                                still.push(slot);
+                            }
+                            answered => slots[slot] = Some(answered),
+                        }
+                    }
+                    pending = still;
+                    if pending.is_empty() {
+                        break;
+                    }
+                    if attempt >= max_retries || self.out_of_budget(started) {
+                        // Typed give-up: the caller sees exactly which
+                        // slots the server shed, with the final hint.
+                        for &slot in &pending {
+                            slots[slot] = Some(QueryResponse::Overloaded {
+                                retry_after_ms: hint_ms.max(1),
+                            });
+                        }
+                        break;
+                    }
+                    attempt += 1;
+                    self.backoff(attempt, hint_ms, started);
+                }
+                Err(e) if is_transient(&e) && attempt < max_retries => {
+                    if self.out_of_budget(started) {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.backoff(attempt, 0, started);
+                    // The old stream may hold half a conversation;
+                    // only a fresh one has known state. A failed
+                    // reconnect is itself transient (the server may be
+                    // restarting) — loop and pay another attempt.
+                    if let Err(re) = self.reconnect() {
+                        if attempt >= max_retries || self.out_of_budget(started) {
+                            return Err(re);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every slot answered or shed"))
+            .collect())
+    }
+
+    /// Write the pending requests (with any configured wire deadline)
+    /// and read exactly that many responses.
+    fn send_and_collect(
+        &mut self,
+        requests: &[QueryRequest],
+        pending: &[usize],
+    ) -> Result<Vec<QueryResponse>, ClientError> {
+        let deadline_ms = self
+            .options
+            .request_deadline
+            .map(|d| d.as_millis().min(u128::from(u32::MAX)) as u32);
+        for &slot in pending {
+            write_request(
+                &mut self.writer,
+                &RequestFrame::Query {
+                    request: requests[slot].clone(),
+                    deadline_ms,
+                },
+            )?;
         }
         self.writer.flush()?;
-        let mut responses = Vec::with_capacity(n);
-        for i in 0..n {
+        let mut responses = Vec::with_capacity(pending.len());
+        for i in 0..pending.len() {
             match self.read_frame()? {
                 ResponseFrame::Response(r) => responses.push(r),
                 ResponseFrame::Error(m) => responses.push(QueryResponse::Error(m)),
                 other => {
                     return Err(ClientError::Protocol(format!(
-                        "expected response {i} of {n}, got {other:?}"
+                        "expected response {i} of {}, got {other:?}",
+                        pending.len()
                     )))
                 }
             }
         }
         Ok(responses)
+    }
+
+    fn out_of_budget(&self, started: Instant) -> bool {
+        self.options
+            .call_budget
+            .is_some_and(|b| started.elapsed() >= b)
+    }
+
+    /// Sleep `min(max_backoff, base · 2^(attempt-1))`, jittered ±25%
+    /// deterministically, raised to the server's `retry_after` hint,
+    /// and clipped to whatever call budget remains.
+    fn backoff(&mut self, attempt: u32, hint_ms: u64, started: Instant) {
+        let Some(policy) = &self.options.retry else {
+            return;
+        };
+        let base = policy.base_backoff.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << (attempt - 1).min(20));
+        let capped = exp.min(policy.max_backoff.as_millis() as u64);
+        // SplitMix64 step → jitter factor in [0.75, 1.25).
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jittered = capped / 2 + (capped.max(2) * (z % 512) / 1024);
+        let mut sleep_ms = jittered.max(hint_ms);
+        if let Some(budget) = self.options.call_budget {
+            let remaining = budget.saturating_sub(started.elapsed());
+            sleep_ms = sleep_ms.min(remaining.as_millis() as u64);
+        }
+        if sleep_ms > 0 {
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+        }
     }
 
     /// Ask the server to hot-reload its index from a model snapshot at
@@ -179,7 +475,25 @@ impl Client {
     }
 
     fn read_frame(&mut self) -> Result<ResponseFrame, ClientError> {
-        read_response(&mut self.reader)?
-            .ok_or_else(|| ClientError::Protocol("server closed the connection mid-reply".into()))
+        read_response(&mut self.reader)?.ok_or(ClientError::Disconnected)
     }
+}
+
+/// Dial `addr` honouring the connect deadline, then arm the socket's
+/// read/write deadlines.
+fn open_stream(addr: SocketAddr, options: &ClientOptions) -> Result<TcpStream, ClientError> {
+    let stream = match options.connect_timeout {
+        Some(limit) => TcpStream::connect_timeout(&addr, limit).map_err(|e| {
+            if is_timeout_io(&e) {
+                ClientError::Timeout { what: "connect" }
+            } else {
+                ClientError::from(e)
+            }
+        })?,
+        None => TcpStream::connect(addr).map_err(ClientError::from)?,
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(options.read_timeout);
+    let _ = stream.set_write_timeout(options.write_timeout);
+    Ok(stream)
 }

@@ -75,5 +75,5 @@
 pub mod client;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ClientOptions, RetryPolicy};
 pub use server::{Server, ServerOptions};

@@ -28,6 +28,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server construction options.
 #[derive(Debug, Clone)]
@@ -43,6 +44,14 @@ pub struct ServerOptions {
     /// [`Server::shutdown`]. `None` disables the cap (trusted
     /// clients only).
     pub write_timeout: Option<std::time::Duration>,
+    /// Per-socket read timeout. A timeout **between** frames is an
+    /// idle (healthy) client and the connection keeps waiting; a
+    /// timeout **mid-frame** is a half-dead or slow-loris peer — the
+    /// stream can no longer be trusted and the connection is reaped
+    /// (counted in `cpd_server_read_timeouts_total`) instead of
+    /// pinning its reader thread forever. `None` disables the cap
+    /// (trusted clients only).
+    pub read_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServerOptions {
@@ -50,8 +59,25 @@ impl Default for ServerOptions {
         Self {
             max_batch: 128,
             write_timeout: Some(std::time::Duration::from_secs(30)),
+            read_timeout: Some(std::time::Duration::from_secs(30)),
         }
     }
+}
+
+/// Where to connect to wake a listener blocked in `accept()` out of
+/// its loop: the bound address itself — unless it is a wildcard bind
+/// (`0.0.0.0` / `::`), which is not connectable on every platform, in
+/// which case the loopback of the same family (with the bound port)
+/// is used instead.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let mut wake = bound;
+    if wake.ip().is_unspecified() {
+        wake.set_ip(match wake.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    wake
 }
 
 /// State shared by the accept loop, every connection thread and the
@@ -64,6 +90,7 @@ struct Shared {
     addr: SocketAddr,
     max_batch: usize,
     write_timeout: Option<std::time::Duration>,
+    read_timeout: Option<std::time::Duration>,
     /// Monotonic connection ids for the `streams` drain registry (the
     /// count itself lives in the `connections` registry counter).
     next_conn_id: AtomicU64,
@@ -73,6 +100,9 @@ struct Shared {
     connections: Counter,
     frames_in: Counter,
     frames_out: Counter,
+    /// Connections reaped because a read deadline expired mid-frame
+    /// (half-dead peers, slow-loris attempts).
+    read_timeouts: Counter,
     /// Reader-thread handles, pushed by the accept loop and joined at
     /// shutdown (the drain).
     conns: Mutex<Vec<JoinHandle<()>>>,
@@ -100,17 +130,10 @@ impl Shared {
     fn trigger_stop(&self) {
         self.stop.store(true, Ordering::Release);
         // The accept loop blocks in `accept()`; a throwaway connection
-        // makes it return so it can observe the flag. A wildcard bind
-        // (0.0.0.0 / ::) is not connectable on every platform, so the
-        // wake-up targets the loopback of the same family instead.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(wake);
+        // makes it return so it can observe the flag. `wake_addr`
+        // redirects wildcard binds (0.0.0.0 / ::) to the same-family
+        // loopback, which is what is actually connectable.
+        let _ = TcpStream::connect(wake_addr(self.addr));
         // Close every connection's read side: blocked readers see EOF
         // and exit after answering what they already received.
         let streams = match self.streams.lock() {
@@ -172,16 +195,23 @@ impl Server {
             "Response frames written back to clients.",
             &[],
         );
+        let read_timeouts = registry.counter(
+            "cpd_server_read_timeouts_total",
+            "Connections reaped because a read deadline expired mid-frame.",
+            &[],
+        );
         let shared = Arc::new(Shared {
             runtime,
             stop: AtomicBool::new(false),
             addr,
             max_batch: options.max_batch.max(1),
             write_timeout: options.write_timeout,
+            read_timeout: options.read_timeout,
             next_conn_id: AtomicU64::new(0),
             connections,
             frames_in,
             frames_out,
+            read_timeouts,
             conns: Mutex::new(Vec::new()),
             streams: Mutex::new(Vec::new()),
         });
@@ -303,12 +333,19 @@ impl Drop for Server {
 
 /// Outcome of one read pass over a connection's socket.
 struct ReadBatch {
-    frames: Vec<RequestFrame>,
+    /// Decoded frames paired with their decode timestamp — the anchor
+    /// for any wire deadline budget the frame carries (the budget
+    /// counts from when the server *received* the request, not from
+    /// whenever a worker gets to it).
+    frames: Vec<(RequestFrame, Instant)>,
     /// A decode failure hit after `frames` (answered, then the
     /// connection closes — framing can no longer be trusted).
     error: Option<WireError>,
     /// The peer closed cleanly after `frames`.
     eof: bool,
+    /// The read deadline expired **between** frames: the peer is just
+    /// idle, the stream is still synchronized, keep the connection.
+    idle: bool,
 }
 
 /// Read one blocking frame, then drain every further frame the socket
@@ -319,11 +356,16 @@ fn read_pipelined(reader: &mut BufReader<TcpStream>, max_batch: usize) -> ReadBa
         frames: Vec::new(),
         error: None,
         eof: false,
+        idle: false,
     };
     match read_request(reader) {
-        Ok(Some(frame)) => out.frames.push(frame),
+        Ok(Some(frame)) => out.frames.push((frame, Instant::now())),
         Ok(None) => {
             out.eof = true;
+            return out;
+        }
+        Err(WireError::Timeout { mid_frame: false }) => {
+            out.idle = true;
             return out;
         }
         Err(e) => {
@@ -337,7 +379,7 @@ fn read_pipelined(reader: &mut BufReader<TcpStream>, max_batch: usize) -> ReadBa
     // boundary, whose tail is already in flight).
     while !reader.buffer().is_empty() && out.frames.len() < max_batch {
         match read_request(reader) {
-            Ok(Some(frame)) => out.frames.push(frame),
+            Ok(Some(frame)) => out.frames.push((frame, Instant::now())),
             Ok(None) => {
                 out.eof = true;
                 break;
@@ -369,6 +411,9 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
     // A stalled consumer fails its writes after this cap instead of
     // pinning the reader thread (and with it the shutdown join).
     let _ = stream.set_write_timeout(shared.write_timeout);
+    // A peer that stops sending mid-frame fails its read after this
+    // cap (idle between-frame timeouts are tolerated below).
+    let _ = stream.set_read_timeout(shared.read_timeout);
     let mut shutdown_requested = false;
     let Ok(read_half) = stream.try_clone() else {
         return shutdown_requested;
@@ -386,11 +431,19 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
 
         // Answer the decoded frames in order, folding consecutive
         // Query frames into single runtime batches.
-        let mut queries: Vec<QueryRequest> = Vec::new();
-        for frame in batch.frames {
+        let mut queries: Vec<(QueryRequest, Option<Instant>)> = Vec::new();
+        for (frame, received) in batch.frames {
             match frame {
-                RequestFrame::Query(q) => {
-                    queries.push(q);
+                RequestFrame::Query {
+                    request,
+                    deadline_ms,
+                } => {
+                    // Anchor the client's remaining-budget at decode
+                    // time; the runtime drops the job at dequeue if
+                    // the moment has passed.
+                    let deadline = deadline_ms
+                        .map(|ms| received + std::time::Duration::from_millis(u64::from(ms)));
+                    queries.push((request, deadline));
                     continue;
                 }
                 admin => {
@@ -419,7 +472,7 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
                             shutdown_requested = true;
                             ResponseFrame::ShuttingDown
                         }
-                        RequestFrame::Query(_) => unreachable!("handled above"),
+                        RequestFrame::Query { .. } => unreachable!("handled above"),
                     };
                     if respond(&mut writer, &reply).is_err() {
                         return shutdown_requested;
@@ -436,6 +489,12 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
         }
 
         if let Some(e) = batch.error {
+            // A mid-frame read timeout is a half-dead peer being
+            // reaped — count it so operators can tell reaps from
+            // protocol violations.
+            if matches!(e, WireError::Timeout { .. }) {
+                shared.read_timeouts.inc();
+            }
             // Best-effort: tell the peer why before closing a stream
             // whose framing can no longer be trusted.
             let _ = respond(&mut writer, &ResponseFrame::Error(e.to_string()));
@@ -445,6 +504,12 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
         if writer.flush().is_err() || shutdown_requested || batch.eof {
             return shutdown_requested;
         }
+        // An idle between-frames timeout keeps the connection — unless
+        // a drain is in progress, in which case the reader exits now
+        // rather than waiting out another timeout window.
+        if batch.idle && shared.stop.load(Ordering::Acquire) {
+            return shutdown_requested;
+        }
     }
 }
 
@@ -452,18 +517,42 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
 /// request order. Returns `false` if the socket died.
 fn flush_queries(
     shared: &Shared,
-    queries: &mut Vec<QueryRequest>,
+    queries: &mut Vec<(QueryRequest, Option<Instant>)>,
     writer: &mut BufWriter<TcpStream>,
     respond: &mut impl FnMut(&mut BufWriter<TcpStream>, &ResponseFrame) -> std::io::Result<()>,
 ) -> bool {
     if queries.is_empty() {
         return true;
     }
-    let responses = shared.runtime.submit_batch(std::mem::take(queries));
+    let responses = shared
+        .runtime
+        .submit_batch_with_deadlines(std::mem::take(queries));
     for response in responses {
         if respond(writer, &ResponseFrame::Response(response)).is_err() {
             return false;
         }
     }
     true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::wake_addr;
+    use std::net::SocketAddr;
+
+    #[test]
+    fn wake_addr_keeps_concrete_binds() {
+        let addr: SocketAddr = "127.0.0.1:8080".parse().unwrap();
+        assert_eq!(wake_addr(addr), addr);
+        let addr: SocketAddr = "[::1]:8080".parse().unwrap();
+        assert_eq!(wake_addr(addr), addr);
+    }
+
+    #[test]
+    fn wake_addr_redirects_wildcard_binds_to_loopback() {
+        let v4: SocketAddr = "0.0.0.0:9001".parse().unwrap();
+        assert_eq!(wake_addr(v4), "127.0.0.1:9001".parse().unwrap());
+        let v6: SocketAddr = "[::]:9002".parse().unwrap();
+        assert_eq!(wake_addr(v6), "[::1]:9002".parse().unwrap());
+    }
 }

@@ -466,13 +466,19 @@ fn queries_pipelined_behind_a_shutdown_frame_are_still_answered() {
     let mut bytes = Vec::new();
     cpd_serve::wire::write_request(
         &mut bytes,
-        &cpd_serve::RequestFrame::Query(QueryRequest::TopWords { topic: 0, k: 2 }),
+        &cpd_serve::RequestFrame::Query {
+            request: QueryRequest::TopWords { topic: 0, k: 2 },
+            deadline_ms: None,
+        },
     )
     .unwrap();
     cpd_serve::wire::write_request(&mut bytes, &cpd_serve::RequestFrame::Shutdown).unwrap();
     cpd_serve::wire::write_request(
         &mut bytes,
-        &cpd_serve::RequestFrame::Query(QueryRequest::TopWords { topic: 1, k: 2 }),
+        &cpd_serve::RequestFrame::Query {
+            request: QueryRequest::TopWords { topic: 1, k: 2 },
+            deadline_ms: None,
+        },
     )
     .unwrap();
     raw.write_all(&bytes).unwrap();

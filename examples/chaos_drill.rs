@@ -1,0 +1,128 @@
+//! A fault-injection drill against a live server — run with the
+//! off-by-default `chaos` feature:
+//!
+//! ```text
+//! cargo run --example chaos_drill --features chaos
+//! ```
+//!
+//! The drill stands up a deliberately fragile deployment — one slowed
+//! worker behind a 4-deep admission queue, reached through a chaos
+//! proxy that tears the first two connections mid-reply — and drives a
+//! retrying client through it. Watch for three things: the client
+//! converging anyway (reconnect + backoff), typed `Overloaded` sheds
+//! instead of queue growth, and health flipping Degraded → Ok once the
+//! storm passes.
+
+use cpd::chaos::{ChaosProxy, ConnPlan, Failpoints, FaultPlan};
+use cpd::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // Offline: a tiny fit, enough to serve real answers.
+    let (graph, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+    let config = CpdConfig {
+        em_iters: 2,
+        gibbs_sweeps: 1,
+        seed: 7,
+        ..CpdConfig::experiment(3, 4)
+    };
+    let fit = Cpd::new(config.clone()).unwrap().fit(&graph);
+    let index = Arc::new(ProfileIndex::build(fit.model, &config));
+
+    // A fragile deployment: one worker, slowed 5 ms per query by a
+    // failpoint, behind a 4-deep admission queue.
+    let points = Failpoints::new();
+    points.delay("serve.worker_execute", Duration::from_millis(5));
+    let hook = {
+        let points = points.clone();
+        FaultHook::new(move |point| points.hit(point))
+    };
+    let runtime = ServeRuntime::new(
+        Arc::clone(&index),
+        None,
+        ServeOptions {
+            workers: 1,
+            max_queue_depth: 4,
+            degraded_window: Duration::from_millis(500),
+            fault_hook: Some(hook),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+
+    // The chaos proxy: connections 0 and 1 are torn after 64 bytes of
+    // responses; everything later passes clean.
+    let proxy = ChaosProxy::start(server.local_addr(), |conn| {
+        if conn < 2 {
+            ConnPlan {
+                client_to_server: FaultPlan::clean(),
+                server_to_client: FaultPlan::tear_after(64),
+            }
+        } else {
+            ConnPlan::default()
+        }
+    })
+    .unwrap();
+    println!(
+        "server {} behind chaos proxy {} (first 2 connections torn)",
+        server.local_addr(),
+        proxy.local_addr()
+    );
+
+    // A retrying client, through the proxy, with a burst big enough to
+    // overrun the queue.
+    let mut client = Client::connect_with(
+        proxy.local_addr(),
+        ClientOptions {
+            retry: Some(RetryPolicy {
+                max_retries: 8,
+                base_backoff: Duration::from_millis(10),
+                ..RetryPolicy::default()
+            }),
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+    for round in 0..3 {
+        let batch: Vec<QueryRequest> = (0..16)
+            .map(|i| QueryRequest::TopWords {
+                topic: i % 3,
+                k: 1 + i % 4,
+            })
+            .collect();
+        let responses = client.query_batch(batch).unwrap();
+        let shed = responses
+            .iter()
+            .filter(|r| matches!(r, QueryResponse::Overloaded { .. }))
+            .count();
+        let health = client.health().unwrap();
+        println!(
+            "round {round}: {} answered, {shed} shed after retries, health {:?}, \
+             {} connection(s) so far",
+            responses.len() - shed,
+            health.state,
+            proxy.connections(),
+        );
+    }
+
+    // Storm over: clear the injected latency and watch health settle.
+    points.clear("serve.worker_execute");
+    std::thread::sleep(Duration::from_millis(600));
+    println!(
+        "after the storm: health {:?}",
+        client.health().unwrap().state
+    );
+
+    drop(client);
+    proxy.shutdown();
+    let report = server.shutdown();
+    println!(
+        "final diagnostics: {} batches, shed {}, deadline-expired {}, worker hits {}",
+        report.batches,
+        report.shed,
+        report.deadline_exceeded,
+        points.hits("serve.worker_execute"),
+    );
+}

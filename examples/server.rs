@@ -92,6 +92,9 @@ fn main() {
             QueryResponse::FoldedIn(p) => {
                 println!("  [{i}] fold-in: c{:02}", p.dominant_community())
             }
+            QueryResponse::Overloaded { retry_after_ms } => {
+                println!("  [{i}] shed by admission control; retry after {retry_after_ms} ms")
+            }
             QueryResponse::Error(e) => println!("  [{i}] error: {e}"),
         }
     }

@@ -98,6 +98,9 @@ fn main() {
                 p.membership[p.dominant_community()],
                 cpd::core::dominant_index(&p.topics),
             ),
+            QueryResponse::Overloaded { retry_after_ms } => {
+                println!("  [{i}] shed by admission control; retry after {retry_after_ms} ms")
+            }
             QueryResponse::Error(e) => println!("  [{i}] error: {e}"),
         }
     }

@@ -24,6 +24,12 @@
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
 //! for the paper-to-code map.
 
+/// Deterministic fault injection (torn streams, chaos proxy, seeded
+/// failpoints) — compiled in only with the off-by-default `chaos`
+/// feature; the test suites depend on `cpd-chaos` directly.
+#[cfg(feature = "chaos")]
+pub use cpd_chaos as chaos;
+
 pub use cpd_baselines as baselines;
 pub use cpd_core as core;
 pub use cpd_datagen as datagen;
@@ -45,10 +51,11 @@ pub mod prelude {
     };
     pub use cpd_datagen::{generate, GenConfig, Scale};
     pub use cpd_serve::{
-        FoldIn, FoldInConfig, FoldInItem, HealthStatus, IndexHandle, ProfileIndex, QueryRequest,
-        QueryResponse, Registry, ServeDiagnostics, ServeOptions, ServeRuntime,
+        FaultHook, FoldIn, FoldInConfig, FoldInItem, HealthState, HealthStatus, IndexHandle,
+        ProfileIndex, QueryRequest, QueryResponse, Registry, ServeDiagnostics, ServeOptions,
+        ServeRuntime,
     };
-    pub use cpd_server::{Client, Server, ServerOptions};
+    pub use cpd_server::{Client, ClientOptions, RetryPolicy, Server, ServerOptions};
     pub use social_graph::{DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId};
     pub use text_pipeline::{Pipeline, PipelineConfig, RawDocument};
 }
