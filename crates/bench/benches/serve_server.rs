@@ -19,6 +19,7 @@ use cpd_core::{CpdConfig, CpdModel, Eta};
 use cpd_prob::rng::seeded_rng;
 use cpd_serve::{
     FaultHook, FoldInItem, ProfileIndex, QueryRequest, QueryResponse, ServeOptions, ServeRuntime,
+    TraceConfig,
 };
 use cpd_server::{Client, ClientOptions, Server, ServerOptions};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -172,6 +173,55 @@ fn bench_e2e_mixed(c: &mut Criterion) {
         let report = server.shutdown();
         assert!(shed > 0, "the burst must overrun the 4-deep queue");
         assert_eq!(report.shed, shed, "diagnostics agree with the client");
+    }
+
+    // Tracing overhead: the e2e mixed batch again, once from a client
+    // that samples nothing (the untraced path — one branch per
+    // request, zero allocation) and once from a client head-sampling
+    // every query (full span trees on both sides plus the wire
+    // context). The batch size and worker count deliberately match
+    // `e2e_mixed_batch_x2`; `bench_guard` checks untraced against that
+    // cell within this report, pinning the unsampled fast path to
+    // noise. The traced cell is expected to cost real multiples on
+    // microsecond queries — span recording is work — and is tracked
+    // against its committed baseline like any other cell.
+    {
+        let batch = mixed_batch(&mut rng, if smoke() { 8 } else { 64 }, z_n, v_n);
+        let runtime = ServeRuntime::new(
+            Arc::clone(&index),
+            None,
+            ServeOptions {
+                workers: 2,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+        let mut plain = Client::connect(server.local_addr()).unwrap();
+        group.bench_function("trace_overhead_untraced", |b| {
+            b.iter(|| black_box(plain.query_batch(batch.clone()).unwrap()))
+        });
+        drop(plain);
+        let mut traced = Client::connect_with(
+            server.local_addr(),
+            ClientOptions {
+                trace: TraceConfig {
+                    sample_one_in: 1,
+                    ..TraceConfig::default()
+                },
+                ..ClientOptions::default()
+            },
+        )
+        .unwrap();
+        group.bench_function("trace_overhead_traced", |b| {
+            b.iter(|| black_box(traced.query_batch(batch.clone()).unwrap()))
+        });
+        assert!(
+            !traced.traces().unwrap().is_empty(),
+            "the traced run must leave server-side traces"
+        );
+        drop(traced);
+        server.shutdown();
     }
 
     // Fold-in over the wire, cache cold vs warm: cold fabricates a

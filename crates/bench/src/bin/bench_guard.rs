@@ -29,6 +29,17 @@ use std::process::Command;
 /// Maximum tolerated `current / committed` median ratio.
 const MAX_RATIO: f64 = 2.0;
 
+/// Maximum tolerated `trace_overhead_untraced / e2e_mixed_batch_x2`
+/// median ratio **within one report** — the untraced-fast-path cell.
+/// The two cells run the same-shaped batch against same-shaped servers
+/// in the same process moments apart, so shared-box noise largely
+/// cancels: the only difference is that `trace_overhead_untraced` runs
+/// after the tracing subsystem has been exercised in-process. An
+/// allocation or lock sneaking onto the unsampled branch shows up
+/// here; the deliberate cost of *sampled* tracing does not (the traced
+/// cell is tracked against its committed baseline like any other).
+const TRACE_MAX_RATIO: f64 = 2.0;
+
 /// Walk up to the topmost directory containing a `Cargo.toml` (matches
 /// the criterion stub's notion of where `BENCH_*.json` lives).
 fn workspace_root() -> PathBuf {
@@ -123,6 +134,39 @@ fn main() {
                 continue;
             }
         };
+        // Within-report cell: the untraced client vs the plain e2e
+        // pipeline (same batch shape, same worker count). Needs no
+        // committed baseline — both sides live in `current`.
+        if let (Some(&e2e), Some(&untraced)) = (
+            current.get("e2e_mixed_batch_x2"),
+            current.get("trace_overhead_untraced"),
+        ) {
+            if e2e > 0.0 {
+                checked += 1;
+                let ratio = untraced / e2e;
+                let verdict = if ratio > TRACE_MAX_RATIO {
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "bench_guard: {file}/trace_overhead: untraced/e2e {:.2}x \
+                     ({:.1} ms vs {:.1} ms) {verdict}",
+                    ratio,
+                    e2e / 1e6,
+                    untraced / 1e6,
+                );
+                if ratio > TRACE_MAX_RATIO {
+                    regressions.push(format!(
+                        "{file}: untraced pipeline {ratio:.2}x over the plain e2e \
+                         batch — the unsampled fast path grew a cost \
+                         (e2e {:.3} ms, untraced {:.3} ms)",
+                        e2e / 1e6,
+                        untraced / 1e6,
+                    ));
+                }
+            }
+        }
         let Some(base_raw) = committed(&root, file) else {
             if allow_missing {
                 println!(

@@ -23,6 +23,10 @@ pub enum Action {
 struct Inner {
     points: Mutex<HashMap<String, Action>>,
     hits: Mutex<HashMap<String, u64>>,
+    /// Trace ids observed per point (traced hits only) — lets a chaos
+    /// test tie an injected fault back to the exact request trace that
+    /// crossed it.
+    trace_ids: Mutex<HashMap<String, Vec<u64>>>,
 }
 
 /// A shared registry of named failpoints. Clones are handles onto the
@@ -59,6 +63,13 @@ impl Failpoints {
     /// Record a hit at `point` and apply its armed action, if any.
     /// This is the closure body to hand to `cpd_serve`'s fault hook.
     pub fn hit(&self, point: &str) {
+        self.hit_traced(point, None);
+    }
+
+    /// [`Failpoints::hit`] carrying the trace id of the request that
+    /// crossed the point, when that request was traced. This is the
+    /// body for `cpd_serve`'s `FaultHook::new_traced`.
+    pub fn hit_traced(&self, point: &str, trace_id: Option<u64>) {
         *self
             .inner
             .hits
@@ -66,6 +77,15 @@ impl Failpoints {
             .expect("failpoint hits lock")
             .entry(point.to_string())
             .or_insert(0) += 1;
+        if let Some(id) = trace_id {
+            self.inner
+                .trace_ids
+                .lock()
+                .expect("failpoint trace ids lock")
+                .entry(point.to_string())
+                .or_default()
+                .push(id);
+        }
         let action = self
             .inner
             .points
@@ -87,6 +107,19 @@ impl Failpoints {
             .get(point)
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Trace ids of traced requests that hit `point`, in hit order.
+    /// Untraced hits leave no id, so this can be shorter than
+    /// [`Failpoints::hits`].
+    pub fn trace_ids(&self, point: &str) -> Vec<u64> {
+        self.inner
+            .trace_ids
+            .lock()
+            .expect("failpoint trace ids lock")
+            .get(point)
+            .cloned()
+            .unwrap_or_default()
     }
 }
 
@@ -126,5 +159,16 @@ mod tests {
         let other = fp.clone();
         other.hit("shared");
         assert_eq!(fp.hits("shared"), 1);
+    }
+
+    #[test]
+    fn traced_hits_record_ids_untraced_do_not() {
+        let fp = Failpoints::new();
+        fp.hit_traced("p", Some(0xAB));
+        fp.hit_traced("p", None);
+        fp.hit_traced("p", Some(0xCD));
+        assert_eq!(fp.hits("p"), 3);
+        assert_eq!(fp.trace_ids("p"), vec![0xAB, 0xCD]);
+        assert!(fp.trace_ids("other").is_empty());
     }
 }

@@ -17,7 +17,7 @@ use crate::parallel::{
 use crate::profiles::{CpdModel, Eta};
 use crate::state::{link_metadata, CpdState, NoDelta};
 use cpd_prob::rng::seeded_rng;
-use cpd_telemetry::{Counter, Gauge, Histogram, Registry};
+use cpd_telemetry::{ActiveTrace, Counter, Gauge, Histogram, Registry};
 use social_graph::SocialGraph;
 use std::sync::Arc;
 use std::time::Instant;
@@ -238,6 +238,7 @@ fn record_pool_sweep(
 pub struct Cpd {
     config: CpdConfig,
     telemetry: Option<Arc<Registry>>,
+    trace: Option<(ActiveTrace, u64)>,
 }
 
 impl Cpd {
@@ -247,6 +248,7 @@ impl Cpd {
         Ok(Self {
             config,
             telemetry: None,
+            trace: None,
         })
     }
 
@@ -264,6 +266,19 @@ impl Cpd {
     /// The attached metric registry, if any.
     pub fn telemetry(&self) -> Option<&Arc<Registry>> {
         self.telemetry.as_ref()
+    }
+
+    /// Attach an active trace: [`fit`](Cpd::fit) records a `fit` span
+    /// under `parent_span` with one `fit_sweep` child per document
+    /// sweep — the same span vocabulary the serve path emits for
+    /// fold-in Gibbs work, so an offline refit driven from a traced
+    /// request (or a tooling harness) reads identically in a trace
+    /// dump. Recording happens at sweep granularity only; like
+    /// [`with_telemetry`](Cpd::with_telemetry) the per-token hot path
+    /// is untouched, and without a trace nothing is recorded.
+    pub fn with_trace(mut self, trace: ActiveTrace, parent_span: u64) -> Self {
+        self.trace = Some((trace, parent_span));
+        self
     }
 
     /// The configuration.
@@ -340,6 +355,18 @@ impl Cpd {
                 ),
             );
         }
+        // Trainer spans: the whole fit under one `fit` span, each
+        // document sweep a `fit_sweep` child. `sweep_trace` is a
+        // cheap clone pair the sweep closure can capture by ref.
+        let fit_guard = self
+            .trace
+            .as_ref()
+            .map(|(t, parent)| t.start_span("fit", *parent));
+        let sweep_trace: Option<(ActiveTrace, u64)> = self
+            .trace
+            .as_ref()
+            .zip(fit_guard.as_ref())
+            .map(|((t, _), g)| (t.clone(), g.id()));
         let mut rng = seeded_rng(cfg.seed ^ 0xE57E9);
         let mut cached_x: Vec<[f64; N_FEATURES]> = vec![[0.0; N_FEATURES]; links.len()];
         let mut sweep_counter = 0u64;
@@ -444,6 +471,9 @@ impl Cpd {
                     m.sweep_span
                         .record_secs(sweep_start.elapsed().as_secs_f64());
                 }
+                if let Some((t, parent)) = &sweep_trace {
+                    t.record_between("fit_sweep", *parent, sweep_start, Instant::now());
+                }
             };
 
             // "No joint modeling": phase 1 detects communities from
@@ -545,6 +575,9 @@ impl Cpd {
                             m.sweeps.inc();
                             m.sweep_span
                                 .record_secs(sweep_start.elapsed().as_secs_f64());
+                        }
+                        if let Some((t, parent)) = &sweep_trace {
+                            t.record_between("fit_sweep", *parent, sweep_start, Instant::now());
                         }
                         // The Arc swap at the barrier: later sweeps and
                         // this sweep's PG pass see the fresh η/ν.
@@ -663,6 +696,9 @@ impl Cpd {
             extract_model(graph, cfg, &state, eta, nu)
         });
 
+        if let Some(g) = fit_guard {
+            g.finish();
+        }
         diagnostics.total_seconds = start.elapsed().as_secs_f64();
         if let Some(r) = self.telemetry.as_deref() {
             r.event(
@@ -875,6 +911,44 @@ mod tests {
         let events = registry.events();
         assert!(events.iter().any(|e| e.kind == "fit_start"));
         assert!(events.iter().any(|e| e.kind == "fit_done"));
+    }
+
+    /// A traced fit records a `fit` span parented where the caller
+    /// said, with one `fit_sweep` child per document sweep — the
+    /// contract that lets a serving-side trace adopt trainer spans.
+    #[test]
+    fn fit_records_parentable_trace_spans() {
+        use cpd_telemetry::{ActiveTrace, KeepReason};
+        let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+        let trace = ActiveTrace::begin(0x7E57, 256);
+        let root = trace.start_span("refit_request", 0);
+        let root_id = root.id();
+        let cfg = CpdConfig {
+            em_iters: 2,
+            gibbs_sweeps: 3,
+            nu_iters: 5,
+            ..CpdConfig::new(3, 4)
+        };
+        Cpd::new(cfg)
+            .unwrap()
+            .with_trace(trace.clone(), root_id)
+            .fit(&g);
+        root.finish();
+        let done = trace.complete(KeepReason::Sampled);
+        let fit = done
+            .spans
+            .iter()
+            .find(|s| s.name == "fit")
+            .expect("fit span recorded");
+        assert_eq!(fit.parent, root_id, "fit parents under the caller's span");
+        let sweeps: Vec<_> = done
+            .spans
+            .iter()
+            .filter(|s| s.name == "fit_sweep")
+            .collect();
+        assert_eq!(sweeps.len(), 6, "2 EM iterations x 3 sweeps");
+        assert!(sweeps.iter().all(|s| s.parent == fit.id));
+        assert!(sweeps.iter().all(|s| s.end_nanos <= fit.end_nanos));
     }
 
     /// A fit with no registry attached must behave identically to one

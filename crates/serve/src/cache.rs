@@ -19,12 +19,19 @@
 //! tick-stamped LRU map — lookups from different connections contend
 //! only 1-in-[`N_SHARDS`] of the time, and eviction is an `O(shard)`
 //! scan that is negligible next to the Gibbs chain it replaces.
-//! Hit / miss / eviction counters surface in
-//! [`ServeDiagnostics`](crate::ServeDiagnostics) as [`CacheStats`].
+//!
+//! Hit / miss / eviction counts are recorded **directly** into
+//! [`cpd_telemetry::Counter`] cells (one relaxed atomic op, the same
+//! cost as the plain atomics they replaced). Build the cache with
+//! [`FoldCache::with_counters`] to make registry series the cells —
+//! the registry is then the single source of truth, with no
+//! scrape-time mirroring — or with [`FoldCache::new`] for private
+//! unregistered cells. [`CacheStats`] snapshots the same cells either
+//! way.
 
 use crate::foldin::{FoldInItem, FoldedProfile};
+use cpd_telemetry::Counter;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Independently locked shards in a [`FoldCache`].
@@ -114,15 +121,29 @@ pub struct FoldCache {
     shards: Vec<Mutex<Shard>>,
     /// Max entries per shard (total capacity / [`N_SHARDS`], min 1).
     per_shard: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl FoldCache {
     /// A cache holding up to `capacity` profiles across [`N_SHARDS`]
-    /// shards (0 disables caching).
+    /// shards (0 disables caching), counting into private cells.
     pub fn new(capacity: usize) -> Self {
+        Self::with_counters(capacity, Counter::new(), Counter::new(), Counter::new())
+    }
+
+    /// Like [`FoldCache::new`], but recording hits / misses /
+    /// evictions straight into the given counter cells — pass
+    /// registry-registered counters and the registry becomes the
+    /// single source of truth for the cache series, no mirroring step
+    /// involved.
+    pub fn with_counters(
+        capacity: usize,
+        hits: Counter,
+        misses: Counter,
+        evictions: Counter,
+    ) -> Self {
         let per_shard = if capacity == 0 {
             0
         } else {
@@ -133,9 +154,9 @@ impl FoldCache {
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             per_shard,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -163,12 +184,12 @@ impl FoldCache {
                 entry.tick = tick;
                 let profile = entry.profile.clone();
                 drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(profile)
             }
             None => {
                 drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -191,7 +212,7 @@ impl FoldCache {
             // whose rerun it saves.
             if let Some(&lru) = shard.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
                 shard.map.remove(&lru);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         shard.map.insert(
@@ -228,9 +249,9 @@ impl FoldCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries: self.shards.iter().map(|s| lock(s).map.len() as u64).sum(),
         }
     }

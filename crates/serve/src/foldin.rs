@@ -37,7 +37,9 @@ use cpd_core::{exp_shift_max, membership_link_score, soft_community_factor};
 use cpd_prob::categorical::sample_log_index_mut;
 use cpd_prob::rng::child_rng;
 use cpd_prob::special::sigmoid;
+use cpd_telemetry::ActiveTrace;
 use social_graph::{UserId, WordId};
+use std::time::Instant;
 
 /// Fold-in sampler settings.
 #[derive(Debug, Clone)]
@@ -278,7 +280,7 @@ impl<'a> FoldIn<'a> {
             .iter()
             .enumerate()
             .map(|(i, item)| {
-                self.profile_with_seed_indexed(item, self.config.seed, i as u64, &mut scratch)
+                self.profile_with_seed_indexed(item, self.config.seed, i as u64, &mut scratch, None)
             })
             .collect()
     }
@@ -291,7 +293,21 @@ impl<'a> FoldIn<'a> {
         seed: u64,
         scratch: &mut FoldScratch,
     ) -> FoldedProfile {
-        self.profile_with_seed_indexed(item, seed, 0, scratch)
+        self.profile_with_seed_indexed(item, seed, 0, scratch, None)
+    }
+
+    /// [`FoldIn::profile_with_seed`] with span recording: each Gibbs
+    /// sweep appends a `gibbs_sweep` child span under `parent` in
+    /// `trace`. Tracing never perturbs the chain — the RNG stream and
+    /// the produced profile are byte-identical to the untraced call.
+    pub fn profile_with_seed_traced(
+        &self,
+        item: &FoldInItem,
+        seed: u64,
+        scratch: &mut FoldScratch,
+        trace: Option<(&ActiveTrace, u64)>,
+    ) -> FoldedProfile {
+        self.profile_with_seed_indexed(item, seed, 0, scratch, trace)
     }
 
     /// A user with no documents has no latent `(c, z)` chain to sample,
@@ -341,6 +357,7 @@ impl<'a> FoldIn<'a> {
         seed: u64,
         index_in_batch: u64,
         scratch: &mut FoldScratch,
+        trace: Option<(&ActiveTrace, u64)>,
     ) -> FoldedProfile {
         let idx = self.index;
         let c_n = idx.n_communities();
@@ -393,6 +410,9 @@ impl<'a> FoldIn<'a> {
         let denom_u = d_n as f64 + c_n as f64 * rho;
         let mut samples = 0usize;
         for sweep in 0..self.config.sweeps {
+            // One clock read per sweep, and only when sampled — the
+            // untraced path pays a single branch here.
+            let sweep_start = trace.map(|_| Instant::now());
             for d in 0..d_n {
                 // Topic resample: θ frozen, words fixed.
                 let c_cur = scratch.doc_c[d] as usize;
@@ -425,6 +445,10 @@ impl<'a> FoldIn<'a> {
                 let c_new = sample_log_index_mut(&mut rng, &mut scratch.lw_comm);
                 scratch.doc_c[d] = c_new as u32;
                 scratch.n_uc[c_new] += 1;
+            }
+
+            if let (Some((t, parent)), Some(start)) = (trace, sweep_start) {
+                t.record_between("gibbs_sweep", parent, start, Instant::now());
             }
 
             if sweep < self.config.burnin {

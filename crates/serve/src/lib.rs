@@ -103,11 +103,15 @@ pub use foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile};
 pub use handle::IndexHandle;
 pub use index::{ProfileIndex, DEFAULT_TOP_K};
 pub use runtime::{
-    ClassStats, FaultHook, HealthState, HealthStatus, NetStats, QueryClass, QueryRequest,
-    QueryResponse, ServeDiagnostics, ServeOptions, ServeRuntime,
+    BatchItem, ClassStats, FaultHook, HealthState, HealthStatus, NetStats, QueryClass,
+    QueryRequest, QueryResponse, ServeDiagnostics, ServeOptions, ServeRuntime,
 };
 pub use wire::{RequestFrame, ResponseFrame, WireError};
 
-// Re-exported so serve embedders can build a shared registry without
-// naming `cpd-telemetry` directly.
-pub use cpd_telemetry::Registry;
+// Re-exported so serve embedders can build a shared registry — and
+// wire traces through the runtime — without naming `cpd-telemetry`
+// directly.
+pub use cpd_telemetry::{
+    ActiveTrace, KeepReason, Registry, SpanRecord, Trace, TraceConfig, TraceContext, TraceStore,
+    Tracer,
+};

@@ -45,7 +45,9 @@ use crate::foldin::{FoldIn, FoldInConfig, FoldInItem, FoldScratch, FoldedProfile
 use crate::handle::IndexHandle;
 use crate::index::ProfileIndex;
 use cpd_core::UserFeatures;
-use cpd_telemetry::{Counter, Gauge, Histogram, Registry};
+use cpd_telemetry::{
+    ActiveTrace, Counter, Gauge, Histogram, KeepReason, Registry, TraceConfig, Tracer,
+};
 use social_graph::{UserId, WordId};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -211,6 +213,17 @@ impl QueryClass {
             QueryClass::LinkScore => "link_score",
         }
     }
+
+    /// The span name a worker records this class's execution under.
+    fn span_name(self) -> &'static str {
+        match self {
+            QueryClass::Ranking => "execute.ranking",
+            QueryClass::TopWords => "execute.top_words",
+            QueryClass::Profile => "execute.profile",
+            QueryClass::FoldIn => "execute.fold_in",
+            QueryClass::LinkScore => "execute.link_score",
+        }
+    }
 }
 
 /// Latency account of one query class: count, cumulative time, and
@@ -255,6 +268,14 @@ pub struct NetStats {
 
 /// A snapshot of the runtime's counters — the serving counterpart of
 /// the trainer's `FitDiagnostics`.
+///
+/// Every numeric field here is a **read-through view of a registry
+/// series** (the [`Registry`] is the single source of truth; the
+/// struct holds no counters of its own). New consumers should prefer
+/// the registry — `cpd_serve_shed_total`, `cpd_serve_fold_cache_*`,
+/// `cpd_serve_query_seconds{class=...}` and friends — which is live,
+/// labelled, and scrapeable; these fields survive as a convenience
+/// snapshot for in-process callers and the examples.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServeDiagnostics {
     /// Worker threads in the pool.
@@ -559,12 +580,13 @@ impl ServeMetrics {
         (2 * mean_ms).clamp(25, 2_000)
     }
 
-    /// Refresh the scrape-time mirrors: cache counters (tracked by the
-    /// cache itself), queue gauges, generation, uptime, pool size.
+    /// Refresh the scrape-time gauges: queue depth/high-water, cache
+    /// residency, generation, uptime, pool size. Counters are **not**
+    /// mirrored here — the cache records hits/misses/evictions
+    /// straight into the registry cells it was built with
+    /// ([`FoldCache::with_counters`]), so the registry is always
+    /// current without a sync step.
     fn sync(&self, cache: &CacheStats, generation: u64, workers: usize) {
-        self.cache_hits.store(cache.hits);
-        self.cache_misses.store(cache.misses);
-        self.cache_evictions.store(cache.evictions);
         self.cache_entries.set(cache.entries as f64);
         self.queue_depth_gauge
             .set(self.queue_depth.load(Ordering::Relaxed) as f64);
@@ -597,31 +619,59 @@ struct Job {
     /// expired jobs at dequeue — the caller has given up, so the
     /// answer would be wasted capacity.
     deadline: Option<Instant>,
+    /// Sampled requests carry their live span tree plus the span id to
+    /// parent worker spans under; unsampled requests carry `None` and
+    /// the worker records nothing.
+    trace: Option<(ActiveTrace, u64)>,
+    /// The wire trace id when the request carried one (sampled or
+    /// not) — labels fault-hook hits and tail-sampled traces.
+    trace_id: Option<u64>,
     reply: Sender<(usize, QueryResponse)>,
 }
 
 /// A named observation/injection point threaded through the runtime's
 /// hot paths, for deterministic fault injection in tests (see the
 /// `cpd-chaos` crate). The runtime calls the hook with a stable point
-/// name; an armed hook may sleep to simulate slow workers or delayed
-/// reloads. `None` (the default) costs one branch per point.
+/// name plus the request's trace id when it has one, so a chaos log
+/// can be joined against trace dumps; an armed hook may sleep to
+/// simulate slow workers or delayed reloads. `None` (the default)
+/// costs one branch per point.
 ///
 /// Current points: `"serve.worker_execute"` (before each query
 /// executes) and `"serve.reload_build"` (before a reload builds the
 /// new index).
 #[derive(Clone)]
-pub struct FaultHook(Arc<dyn Fn(&str) + Send + Sync>);
+pub struct FaultHook(FaultHookFn);
+
+/// The boxed callback behind a [`FaultHook`]: point name plus the
+/// crossing request's trace id, if any.
+type FaultHookFn = Arc<dyn Fn(&str, Option<u64>) + Send + Sync>;
 
 impl FaultHook {
     /// Wrap a callback invoked at every hook point with the point's
-    /// name.
+    /// name (the trace id, if any, is dropped — the pre-tracing
+    /// signature, kept for callers that only care *that* a point
+    /// fired).
     pub fn new(f: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(move |point, _trace| f(point)))
+    }
+
+    /// Wrap a callback that also receives the hitting request's trace
+    /// id (`None` at non-request points such as reloads, or for
+    /// traceless requests).
+    pub fn new_traced(f: impl Fn(&str, Option<u64>) + Send + Sync + 'static) -> Self {
         Self(Arc::new(f))
     }
 
-    /// Invoke the hook at `point`.
+    /// Invoke the hook at `point` with no trace attribution.
     pub fn hit(&self, point: &str) {
-        (self.0)(point)
+        (self.0)(point, None)
+    }
+
+    /// Invoke the hook at `point` on behalf of a request whose trace
+    /// id is `trace_id`.
+    pub fn hit_traced(&self, point: &str, trace_id: Option<u64>) {
+        (self.0)(point, trace_id)
     }
 }
 
@@ -665,6 +715,12 @@ pub struct ServeOptions {
     /// Deterministic fault-injection hook (tests only; see
     /// [`FaultHook`]). `None` in production.
     pub fault_hook: Option<FaultHook>,
+    /// Request-tracing policy: head-sampling rate, slow threshold,
+    /// trace-store capacity, span cap (see
+    /// [`cpd_telemetry::TraceConfig`]). The default head-samples
+    /// nothing; tail triggers (shed / deadline drop / error / slow)
+    /// still capture forensic traces.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeOptions {
@@ -678,6 +734,43 @@ impl Default for ServeOptions {
             max_queue_wait: Some(Duration::from_secs(30)),
             degraded_window: Duration::from_secs(5),
             fault_hook: None,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// One request of a traced batch: what to run, when to give up, and
+/// which trace (if any) the work should record into.
+///
+/// [`ServeRuntime::submit_batch`] and `submit_batch_with_deadlines`
+/// build untraced items internally; the server edge (or any in-process
+/// caller holding an [`ActiveTrace`]) uses
+/// [`ServeRuntime::submit_batch_items`] to thread its trace through
+/// the queue and workers.
+#[derive(Debug)]
+pub struct BatchItem {
+    /// The query.
+    pub request: QueryRequest,
+    /// Caller's answer-by time (tightened by
+    /// [`ServeOptions::max_queue_wait`], never loosened).
+    pub deadline: Option<Instant>,
+    /// For head-sampled requests: the live trace and the span id that
+    /// queue/worker spans parent under.
+    pub trace: Option<(ActiveTrace, u64)>,
+    /// The request's trace id even when unsampled (labels tail-sampled
+    /// forensics and fault-hook hits). Ignored when `trace` is set —
+    /// the live trace's own id wins.
+    pub trace_id: Option<u64>,
+}
+
+impl BatchItem {
+    /// An untraced item with no deadline.
+    pub fn new(request: QueryRequest) -> Self {
+        BatchItem {
+            request,
+            deadline: None,
+            trace: None,
+            trace_id: None,
         }
     }
 }
@@ -699,6 +792,9 @@ pub struct ServeRuntime {
     max_queue_wait: Option<Duration>,
     /// Fault-injection hook for the non-worker points (reload).
     fault_hook: Option<FaultHook>,
+    /// Tracing policy + completed-trace store (see
+    /// [`ServeOptions::trace`]).
+    tracer: Arc<Tracer>,
 }
 
 impl ServeRuntime {
@@ -721,7 +817,6 @@ impl ServeRuntime {
             options.workers
         };
         let handle = Arc::new(IndexHandle::new(index));
-        let cache = Arc::new(FoldCache::new(options.fold_cache_capacity));
         let registry = options
             .registry
             .clone()
@@ -731,6 +826,15 @@ impl ServeRuntime {
             options.max_queue_depth,
             options.degraded_window,
         ));
+        // The cache counts straight into the registry series — no
+        // scrape-time mirroring, one source of truth.
+        let cache = Arc::new(FoldCache::with_counters(
+            options.fold_cache_capacity,
+            metrics.cache_hits.clone(),
+            metrics.cache_misses.clone(),
+            metrics.cache_evictions.clone(),
+        ));
+        let tracer = Arc::new(Tracer::new(options.trace));
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(std::sync::Mutex::new(rx));
         let mut handles = Vec::with_capacity(workers);
@@ -741,6 +845,7 @@ impl ServeRuntime {
             let cache = Arc::clone(&cache);
             let fold_cfg = options.fold_in.clone();
             let fault_hook = options.fault_hook.clone();
+            let tracer = Arc::clone(&tracer);
             handles.push(std::thread::spawn(move || {
                 let mut scratch = FoldScratch::new();
                 loop {
@@ -758,7 +863,12 @@ impl ServeRuntime {
                             Err(_) => break, // Runtime dropped; shut down.
                         }
                     };
-                    metrics.dequeued(job.enqueued.elapsed());
+                    let dequeued_at = Instant::now();
+                    metrics.dequeued(dequeued_at - job.enqueued);
+                    let class = QueryClass::of(&job.request);
+                    if let Some((t, parent)) = &job.trace {
+                        t.record_between("queue_wait", *parent, job.enqueued, dequeued_at);
+                    }
                     // An expired job is answered `Overloaded` without
                     // executing: its caller (or the queue-wait cap)
                     // already gave up on the answer, and burning a
@@ -767,6 +877,29 @@ impl ServeRuntime {
                     if job.deadline.is_some_and(|d| Instant::now() > d) {
                         metrics.deadline_exceeded.inc();
                         metrics.note_overload();
+                        match &job.trace {
+                            Some((t, parent)) => {
+                                t.record_between(
+                                    "deadline_dropped",
+                                    *parent,
+                                    dequeued_at,
+                                    Instant::now(),
+                                );
+                            }
+                            None => {
+                                // Tail-sample the drop so forensics see
+                                // it even though nothing head-sampled
+                                // this request. The span covers the
+                                // whole doomed queue residence.
+                                tracer.tail_sample(
+                                    job.trace_id,
+                                    class.label(),
+                                    KeepReason::DeadlineExceeded,
+                                    job.enqueued,
+                                    Instant::now(),
+                                );
+                            }
+                        }
                         let _ = job.reply.send((
                             job.slot,
                             QueryResponse::Overloaded {
@@ -776,15 +909,29 @@ impl ServeRuntime {
                         continue;
                     }
                     if let Some(hook) = &fault_hook {
-                        hook.hit("serve.worker_execute");
+                        let trace_id = job
+                            .trace
+                            .as_ref()
+                            .map(|(t, _)| t.trace_id())
+                            .or(job.trace_id);
+                        hook.hit_traced("serve.worker_execute", trace_id);
                     }
-                    let class = QueryClass::of(&job.request);
+                    let exec_span = job
+                        .trace
+                        .as_ref()
+                        .map(|(t, parent)| t.start_span(class.span_name(), *parent));
+                    let trace_ref = job
+                        .trace
+                        .as_ref()
+                        .zip(exec_span.as_ref())
+                        .map(|((t, _), s)| (t, s.id()));
                     let start = Instant::now();
                     // A panic inside a query (e.g. NaNs smuggled into a
                     // hand-built model) must not take the worker — and
                     // with it every future batch — down. The scratch is
                     // refilled from scratch per request, so it is safe
                     // to reuse after an unwind.
+                    let request = job.request;
                     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         execute(
                             &job.index,
@@ -793,7 +940,8 @@ impl ServeRuntime {
                             &fold_cfg,
                             &cache,
                             &mut scratch,
-                            job.request,
+                            request,
+                            trace_ref,
                         )
                     }))
                     .unwrap_or_else(|panic| {
@@ -804,7 +952,34 @@ impl ServeRuntime {
                             .unwrap_or_else(|| "query panicked".into());
                         QueryResponse::Error(format!("query panicked: {msg}"))
                     });
-                    metrics.record(class, start.elapsed().as_nanos() as u64);
+                    drop(exec_span);
+                    let end = Instant::now();
+                    metrics.record(class, (end - start).as_nanos() as u64);
+                    if job.trace.is_none() {
+                        // Tail-sampling triggers for requests nothing
+                        // head-sampled: errors always, plus anything
+                        // whose queue+execute extent crossed the slow
+                        // threshold. (Sampled traces get their keep
+                        // reason at completion, from whoever owns the
+                        // ActiveTrace.)
+                        if matches!(response, QueryResponse::Error(_)) {
+                            tracer.tail_sample(
+                                job.trace_id,
+                                class.label(),
+                                KeepReason::Error,
+                                start,
+                                end,
+                            );
+                        } else if tracer.is_slow(end - job.enqueued) {
+                            tracer.tail_sample(
+                                job.trace_id,
+                                class.label(),
+                                KeepReason::Slow,
+                                job.enqueued,
+                                end,
+                            );
+                        }
+                    }
                     if job.reply.send((job.slot, response)).is_err() {
                         // Batch submitter is gone; keep serving others.
                         continue;
@@ -820,7 +995,15 @@ impl ServeRuntime {
             metrics,
             max_queue_wait: options.max_queue_wait,
             fault_hook: options.fault_hook,
+            tracer,
         })
+    }
+
+    /// The runtime's tracing policy and completed-trace store. Mint or
+    /// adopt traces here at the edge, and read
+    /// `tracer().store().slow_log(n)` for forensics.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The live index snapshot (an `Arc`, so callers can keep answering
@@ -916,32 +1099,69 @@ impl ServeRuntime {
         &self,
         requests: Vec<(QueryRequest, Option<Instant>)>,
     ) -> Vec<QueryResponse> {
-        let n = requests.len();
+        self.submit_batch_items(
+            requests
+                .into_iter()
+                .map(|(request, deadline)| BatchItem {
+                    request,
+                    deadline,
+                    trace: None,
+                    trace_id: None,
+                })
+                .collect(),
+        )
+    }
+
+    /// The fully general batch entry point: per-item deadlines *and*
+    /// per-item trace attachments (see [`BatchItem`]). Sampled items
+    /// get `queue_wait` / `execute.<class>` (and, for fold-ins, cache
+    /// and per-sweep Gibbs) spans recorded into their trace; unsampled
+    /// items that end badly — shed, deadline drop, error, slow — are
+    /// tail-sampled into the runtime's [`ServeRuntime::tracer`] store.
+    pub fn submit_batch_items(&self, items: Vec<BatchItem>) -> Vec<QueryResponse> {
+        let n = items.len();
         let (index, generation) = self.handle.load();
         let tx = self.tx.as_ref().expect("runtime not shut down");
         let (reply_tx, reply_rx) = channel();
         let mut responses: Vec<Option<QueryResponse>> = (0..n).map(|_| None).collect();
-        for (slot, (request, caller_deadline)) in requests.into_iter().enumerate() {
+        for (slot, item) in items.into_iter().enumerate() {
             if !self.metrics.try_admit() {
                 self.metrics.shed.inc();
                 self.metrics.note_overload();
+                let now = Instant::now();
+                match &item.trace {
+                    Some((t, parent)) => {
+                        t.record_between("shed", *parent, now, now);
+                    }
+                    None => {
+                        self.tracer.tail_sample(
+                            item.trace_id,
+                            QueryClass::of(&item.request).label(),
+                            KeepReason::Shed,
+                            now,
+                            now,
+                        );
+                    }
+                }
                 responses[slot] = Some(QueryResponse::Overloaded {
                     retry_after_ms: self.metrics.retry_after_ms(),
                 });
                 continue;
             }
             let enqueued = Instant::now();
-            let deadline = match (caller_deadline, self.max_queue_wait.map(|w| enqueued + w)) {
+            let deadline = match (item.deadline, self.max_queue_wait.map(|w| enqueued + w)) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
             tx.send(Job {
                 slot,
-                request,
+                request: item.request,
                 index: Arc::clone(&index),
                 generation,
                 enqueued,
                 deadline,
+                trace: item.trace,
+                trace_id: item.trace_id,
                 reply: reply_tx.clone(),
             })
             .expect("serve worker hung up");
@@ -1045,7 +1265,10 @@ impl Drop for ServeRuntime {
 /// Execute one request against the batch's resolved snapshot.
 /// Validation errors come back as [`QueryResponse::Error`] — a
 /// malformed request must never take a worker (and with it the whole
-/// pool) down.
+/// pool) down. `trace` is the sampled request's span tree plus the
+/// parent (the worker's `execute.<class>` span) for the phase spans
+/// recorded here; `None` records nothing.
+#[allow(clippy::too_many_arguments)]
 fn execute(
     index: &ProfileIndex,
     generation: u64,
@@ -1054,6 +1277,7 @@ fn execute(
     cache: &FoldCache,
     scratch: &mut FoldScratch,
     request: QueryRequest,
+    trace: Option<(&ActiveTrace, u64)>,
 ) -> QueryResponse {
     let c_n = index.n_communities();
     let z_n = index.n_topics();
@@ -1151,13 +1375,30 @@ fn execute(
             // never populate (or count against) the cache. The key
             // mixes the generation: a snapshot swap invalidates every
             // prior entry atomically.
+            let lookup_start = trace.map(|_| Instant::now());
             let key = fold_key(&item, seed, generation);
             if let Some(cached) = cache.get(key) {
+                if let (Some((t, parent)), Some(start)) = (trace, lookup_start) {
+                    t.record_between("fold_cache_hit", parent, start, Instant::now());
+                }
                 return QueryResponse::FoldedIn(Box::new(cached));
+            }
+            if let (Some((t, parent)), Some(start)) = (trace, lookup_start) {
+                t.record_between("fold_cache_miss", parent, start, Instant::now());
             }
             let engine =
                 FoldIn::new(index, fold_cfg.clone()).expect("validated by ServeRuntime::new");
-            let profile = engine.profile_with_seed(&item, seed, scratch);
+            let profile = match trace {
+                Some((t, parent)) => {
+                    let gibbs = t.start_span("fold_in_gibbs", parent);
+                    let gibbs_id = gibbs.id();
+                    let profile =
+                        engine.profile_with_seed_traced(&item, seed, scratch, Some((t, gibbs_id)));
+                    gibbs.finish();
+                    profile
+                }
+                None => engine.profile_with_seed(&item, seed, scratch),
+            };
             cache.insert(key, generation, profile.clone());
             QueryResponse::FoldedIn(Box::new(profile))
         }

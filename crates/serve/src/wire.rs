@@ -15,10 +15,11 @@
 //!
 //! * **magic** [`WIRE_MAGIC`] — rejects non-CPD peers on the first
 //!   frame instead of misparsing garbage;
-//! * **version** [`WIRE_VERSION`] — a reader that meets a newer frame
-//!   version refuses it by name (mirroring the model file format's
-//!   policy in `cpd_core::io`), so protocol evolution is an explicit
-//!   error, never silent misdecoding;
+//! * **version** [`WIRE_VERSION`] — a reader accepts
+//!   [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] (v3 frames decode as
+//!   traceless) and refuses anything else by name (mirroring the
+//!   model file format's policy in `cpd_core::io`), so protocol
+//!   evolution is an explicit error, never silent misdecoding;
 //! * **tag** — the frame class (query, reload, stats, shutdown on the
 //!   request side; response, reloaded, stats, shutting-down, error on
 //!   the response side);
@@ -45,6 +46,7 @@ use crate::foldin::{FoldInItem, FoldedProfile};
 use crate::runtime::{
     ClassStats, HealthState, HealthStatus, NetStats, QueryRequest, QueryResponse, ServeDiagnostics,
 };
+use cpd_telemetry::{KeepReason, SpanRecord, Trace, TraceContext};
 use social_graph::{UserId, WordId};
 use std::io::{Read, Write};
 
@@ -66,7 +68,21 @@ pub const WIRE_MAGIC: [u8; 2] = [0xC9, 0xDF];
 ///   `Stats` replies add the shed / deadline-exceeded counters. The
 ///   query and health payload layouts changed, so v2 peers are
 ///   refused by name.
-pub const WIRE_VERSION: u8 = 3;
+/// * v4 — request tracing: `Query` frames carry an optional
+///   [`TraceContext`] (trace id, parent span id, sampled flag) after
+///   the deadline field, `Response` frames mirror the trace id back,
+///   and the `Traces` admin frame pair dumps the server's completed
+///   [`Trace`] ring. Uniquely, v4 is **backward compatible on the
+///   read side**: the new fields are strictly additive, so a v4
+///   reader accepts v3 frames (≥ [`MIN_WIRE_VERSION`]) as traceless
+///   and a v4 server answers each connection in the version its peer
+///   spoke — stale v3 clients keep working untraced.
+pub const WIRE_VERSION: u8 = 4;
+
+/// Oldest frame version a v4 reader still accepts. v3 `Query` frames
+/// decode as traceless requests; v3 peers never see trace fields or
+/// the (v4-only) `Traces` admin pair in replies.
+pub const MIN_WIRE_VERSION: u8 = 3;
 
 /// Hard ceiling on a frame's payload length — anything larger is
 /// rejected from the 8-byte header alone, before any payload
@@ -83,6 +99,7 @@ const TAG_STATS: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
 const TAG_METRICS: u8 = 0x05;
 const TAG_HEALTH: u8 = 0x06;
+const TAG_TRACES: u8 = 0x07;
 // Response-side frame tags (high bit set).
 const TAG_RESPONSE: u8 = 0x81;
 const TAG_RELOADED: u8 = 0x82;
@@ -90,6 +107,7 @@ const TAG_STATS_REPLY: u8 = 0x83;
 const TAG_SHUTTING_DOWN: u8 = 0x84;
 const TAG_METRICS_REPLY: u8 = 0x85;
 const TAG_HEALTH_REPLY: u8 = 0x86;
+const TAG_TRACES_REPLY: u8 = 0x87;
 const TAG_ERROR: u8 = 0xFF;
 
 /// A client → server frame.
@@ -108,6 +126,13 @@ pub enum RequestFrame {
         /// executed. `None` = no client-imposed deadline (the
         /// runtime's own `max_queue_wait` still applies).
         deadline_ms: Option<u32>,
+        /// Optional trace context (v4): the trace this query belongs
+        /// to and the client span it parents under. `None` = untraced
+        /// (the server may still head-sample it at its own edge). A
+        /// context with `sampled == false` labels the request with a
+        /// trace id (for tail sampling and fault logs) without paying
+        /// for span recording.
+        trace: Option<TraceContext>,
     },
     /// Admin: hot-reload the index from a model snapshot on the
     /// server's filesystem, answered with [`ResponseFrame::Reloaded`].
@@ -127,13 +152,26 @@ pub enum RequestFrame {
     /// Admin: liveness/readiness probe, answered inline like
     /// [`Metrics`](RequestFrame::Metrics).
     Health,
+    /// Admin (v4): fetch the server's completed-trace ring — newest
+    /// first, head-sampled and tail-kept traces alike. Answered
+    /// inline on the connection thread like
+    /// [`Metrics`](RequestFrame::Metrics).
+    Traces,
 }
 
 /// A server → client frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResponseFrame {
     /// Answer to one [`RequestFrame::Query`], in request order.
-    Response(QueryResponse),
+    Response {
+        /// The answer itself.
+        response: QueryResponse,
+        /// The request's trace id mirrored back (v4), so a pipelined
+        /// client can correlate each answer with a trace without
+        /// relying on slot order alone. Omitted on the wire for v3
+        /// peers.
+        trace_id: Option<u64>,
+    },
     /// A reload landed; the new snapshot generation.
     Reloaded {
         /// Generation of the now-live index.
@@ -151,6 +189,9 @@ pub enum ResponseFrame {
     Metrics(String),
     /// Answer to [`RequestFrame::Health`].
     Health(HealthStatus),
+    /// Answer to [`RequestFrame::Traces`] (v4): the completed-trace
+    /// ring, newest first.
+    Traces(Vec<Trace>),
     /// A frame-level failure: the offending frame could not be decoded
     /// (or an admin operation failed). Query-level validation errors
     /// travel inside [`QueryResponse::Error`] instead.
@@ -258,6 +299,31 @@ impl Enc {
         self.f64(c.p50_micros);
         self.f64(c.p99_micros);
         self.f64(c.p999_micros);
+    }
+    fn trace_ctx(&mut self, t: &Option<TraceContext>) {
+        match t {
+            Some(ctx) => {
+                self.u8(1);
+                self.u64(ctx.trace_id);
+                self.u64(ctx.parent_span);
+                self.u8(ctx.sampled as u8);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn trace(&mut self, t: &Trace) {
+        self.u64(t.trace_id);
+        self.u8(t.keep.as_u8());
+        self.u64(t.duration_nanos);
+        self.u64(t.dropped_spans);
+        self.u32(t.spans.len() as u32);
+        for s in &t.spans {
+            self.u64(s.id);
+            self.u64(s.parent);
+            self.string(&s.name);
+            self.u64(s.start_nanos);
+            self.u64(s.end_nanos);
+        }
     }
 }
 
@@ -378,23 +444,38 @@ fn encode_diagnostics(e: &mut Enc, d: &ServeDiagnostics) {
     e.class(&d.link_score);
 }
 
-fn frame(tag: u8, payload: Vec<u8>) -> Vec<u8> {
+fn frame_versioned(version: u8, tag: u8, payload: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(&WIRE_MAGIC);
-    out.push(WIRE_VERSION);
+    out.push(version);
     out.push(tag);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&payload);
     out
 }
 
-/// Serialize a request frame (header + payload).
+/// Serialize a request frame (header + payload) at [`WIRE_VERSION`].
 pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
+    encode_request_versioned(req, WIRE_VERSION)
+}
+
+/// Serialize a request frame at an explicit protocol version (within
+/// [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`]) — how the interop tests
+/// speak like a stale v3 client. A v3 frame simply omits the trace
+/// field; the (v4-only) `Traces` admin frame cannot be expressed at
+/// v3 and panics, as does an out-of-range version (programmer error,
+/// not wire input).
+pub fn encode_request_versioned(req: &RequestFrame, version: u8) -> Vec<u8> {
+    assert!(
+        (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version),
+        "cannot encode wire version {version} (this build speaks {MIN_WIRE_VERSION}..={WIRE_VERSION})"
+    );
     let mut e = Enc(Vec::new());
     let tag = match req {
         RequestFrame::Query {
             request,
             deadline_ms,
+            trace,
         } => {
             // Deadline budget first, so the server can anchor it
             // before touching the (arbitrarily large) query payload.
@@ -404,6 +485,12 @@ pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
                     e.u32(*ms);
                 }
                 None => e.u8(0),
+            }
+            // Trace context second (v4+): still ahead of the query
+            // payload so the edge can adopt the trace before the
+            // decode span's bulk work.
+            if version >= 4 {
+                e.trace_ctx(trace);
             }
             encode_query(&mut e, request);
             TAG_QUERY
@@ -416,22 +503,49 @@ pub fn encode_request(req: &RequestFrame) -> Vec<u8> {
         RequestFrame::Shutdown => TAG_SHUTDOWN,
         RequestFrame::Metrics => TAG_METRICS,
         RequestFrame::Health => TAG_HEALTH,
+        RequestFrame::Traces => {
+            assert!(version >= 4, "the Traces admin frame requires wire v4");
+            TAG_TRACES
+        }
     };
-    frame(tag, e.0)
+    frame_versioned(version, tag, e.0)
 }
 
-/// Serialize a response frame (header + payload). A payload that would
-/// exceed [`MAX_FRAME_PAYLOAD`] (possible for pathological fold-in
-/// responses: the request limit does not bound the response size) is
-/// replaced by an in-band [`ResponseFrame::Error`] — the stream stays
-/// framed and the peer gets a typed failure instead of a frame its own
-/// reader must reject (or, past `u32`, a silently corrupt length
-/// prefix).
+/// Serialize a response frame (header + payload) at [`WIRE_VERSION`].
+/// A payload that would exceed [`MAX_FRAME_PAYLOAD`] (possible for
+/// pathological fold-in responses: the request limit does not bound
+/// the response size) is replaced by an in-band
+/// [`ResponseFrame::Error`] — the stream stays framed and the peer
+/// gets a typed failure instead of a frame its own reader must reject
+/// (or, past `u32`, a silently corrupt length prefix).
 pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
+    encode_response_versioned(resp, WIRE_VERSION)
+}
+
+/// Serialize a response frame at an explicit protocol version — the
+/// server answers each connection in the version its peer spoke, so a
+/// stale v3 client receives v3 frames (trace mirror omitted). Panics
+/// on an out-of-range version or a v4-only `Traces` reply forced to
+/// v3 (both programmer errors: a v3 peer cannot have sent the
+/// `Traces` request).
+pub fn encode_response_versioned(resp: &ResponseFrame, version: u8) -> Vec<u8> {
+    assert!(
+        (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version),
+        "cannot encode wire version {version} (this build speaks {MIN_WIRE_VERSION}..={WIRE_VERSION})"
+    );
     let mut e = Enc(Vec::new());
     let tag = match resp {
-        ResponseFrame::Response(r) => {
-            encode_response_payload(&mut e, r);
+        ResponseFrame::Response { response, trace_id } => {
+            if version >= 4 {
+                match trace_id {
+                    Some(id) => {
+                        e.u8(1);
+                        e.u64(*id);
+                    }
+                    None => e.u8(0),
+                }
+            }
+            encode_response_payload(&mut e, response);
             TAG_RESPONSE
         }
         ResponseFrame::Reloaded { generation } => {
@@ -458,6 +572,14 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
             e.f64(h.uptime_seconds);
             TAG_HEALTH_REPLY
         }
+        ResponseFrame::Traces(traces) => {
+            assert!(version >= 4, "the Traces reply requires wire v4");
+            e.u32(traces.len() as u32);
+            for t in traces {
+                e.trace(t);
+            }
+            TAG_TRACES_REPLY
+        }
         ResponseFrame::Error(msg) => {
             e.string(msg);
             TAG_ERROR
@@ -469,9 +591,9 @@ pub fn encode_response(resp: &ResponseFrame) -> Vec<u8> {
             "response of {} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame limit",
             e.0.len()
         ));
-        return frame(TAG_ERROR, err.0);
+        return frame_versioned(version, TAG_ERROR, err.0);
     }
-    frame(tag, e.0)
+    frame_versioned(version, tag, e.0)
 }
 
 /// Write one request frame. Refuses (without writing) a request whose
@@ -492,9 +614,19 @@ pub fn write_request<W: Write>(w: &mut W, req: &RequestFrame) -> std::io::Result
     w.write_all(&bytes)
 }
 
-/// Write one response frame.
+/// Write one response frame at [`WIRE_VERSION`].
 pub fn write_response<W: Write>(w: &mut W, resp: &ResponseFrame) -> std::io::Result<()> {
     w.write_all(&encode_response(resp))
+}
+
+/// Write one response frame at an explicit peer version (see
+/// [`encode_response_versioned`]).
+pub fn write_response_versioned<W: Write>(
+    w: &mut W,
+    resp: &ResponseFrame,
+    version: u8,
+) -> std::io::Result<()> {
+    w.write_all(&encode_response_versioned(resp, version))
 }
 
 // ---------------------------------------------------------------------
@@ -603,6 +735,47 @@ impl<'a> Dec<'a> {
             p50_micros: self.f64()?,
             p99_micros: self.f64()?,
             p999_micros: self.f64()?,
+        })
+    }
+
+    fn trace_ctx(&mut self) -> Result<Option<TraceContext>, WireError> {
+        if !self.bool("trace flag")? {
+            return Ok(None);
+        }
+        Ok(Some(TraceContext {
+            trace_id: self.u64()?,
+            parent_span: self.u64()?,
+            sampled: self.bool("trace sampled flag")?,
+        }))
+    }
+
+    fn trace(&mut self) -> Result<Trace, WireError> {
+        let trace_id = self.u64()?;
+        let keep_byte = self.u8()?;
+        let keep = KeepReason::from_u8(keep_byte)
+            .ok_or_else(|| WireError::Malformed(format!("unknown keep reason {keep_byte}")))?;
+        let duration_nanos = self.u64()?;
+        let dropped_spans = self.u64()?;
+        // Each span is at least 36 bytes (id + parent + name length +
+        // start + end), bounding the pre-allocation.
+        let n = self.count(36, "span list")?;
+        let spans = (0..n)
+            .map(|_| {
+                Ok(SpanRecord {
+                    id: self.u64()?,
+                    parent: self.u64()?,
+                    name: std::borrow::Cow::Owned(self.string()?),
+                    start_nanos: self.u64()?,
+                    end_nanos: self.u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?;
+        Ok(Trace {
+            trace_id,
+            keep,
+            duration_nanos,
+            dropped_spans,
+            spans,
         })
     }
 
@@ -730,11 +903,13 @@ fn decode_diagnostics(d: &mut Dec<'_>) -> Result<ServeDiagnostics, WireError> {
     })
 }
 
-/// Read one frame header + payload. `Ok(None)` = clean end-of-stream
-/// (EOF exactly at a frame boundary); EOF anywhere inside a frame is
+/// Read one frame header + payload, returning the frame's version
+/// alongside its tag. `Ok(None)` = clean end-of-stream (EOF exactly
+/// at a frame boundary); EOF anywhere inside a frame is
 /// [`WireError::Malformed`]. The payload is allocated only after the
-/// length passed the [`MAX_FRAME_PAYLOAD`] check.
-fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+/// length passed the [`MAX_FRAME_PAYLOAD`] check. Versions outside
+/// [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`] are refused by name.
+fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, u8, Vec<u8>)>, WireError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     // First byte by hand so a clean EOF is distinguishable from a
     // truncated header.
@@ -759,10 +934,10 @@ fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
             header[0], header[1]
         )));
     }
-    if header[2] != WIRE_VERSION {
+    let version = header[2];
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::Malformed(format!(
-            "unsupported wire version {} (this build speaks {WIRE_VERSION})",
-            header[2]
+            "unsupported wire version {version} (this build speaks {MIN_WIRE_VERSION}..={WIRE_VERSION})"
         )));
     }
     let tag = header[3];
@@ -772,7 +947,7 @@ fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, WireError> {
     }
     let mut payload = vec![0u8; len as usize];
     read_exact_frame(r, &mut payload, "frame payload")?;
-    Ok(Some((tag, payload)))
+    Ok(Some((version, tag, payload)))
 }
 
 /// `true` for the two kinds a socket read deadline surfaces as
@@ -800,9 +975,18 @@ fn read_exact_frame<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<()
     })
 }
 
-/// Read one request frame (`Ok(None)` = clean end-of-stream).
+/// Read one request frame (`Ok(None)` = clean end-of-stream),
+/// discarding the peer's frame version. Servers that answer in the
+/// peer's version use [`read_request_versioned`] instead.
 pub fn read_request<R: Read>(r: &mut R) -> Result<Option<RequestFrame>, WireError> {
-    let Some((tag, payload)) = read_frame(r)? else {
+    Ok(read_request_versioned(r)?.map(|(frame, _)| frame))
+}
+
+/// Read one request frame plus the protocol version it was encoded at
+/// (`Ok(None)` = clean end-of-stream). A v3 `Query` decodes with
+/// `trace: None`; the v4-only `Traces` frame is malformed below v4.
+pub fn read_request_versioned<R: Read>(r: &mut R) -> Result<Option<(RequestFrame, u8)>, WireError> {
+    let Some((version, tag, payload)) = read_frame(r)? else {
         return Ok(None);
     };
     let mut d = Dec::new(&payload);
@@ -813,9 +997,11 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<RequestFrame>, WireErro
             } else {
                 None
             };
+            let trace = if version >= 4 { d.trace_ctx()? } else { None };
             RequestFrame::Query {
                 request: decode_query(&mut d)?,
                 deadline_ms,
+                trace,
             }
         }
         TAG_RELOAD => RequestFrame::Reload { path: d.string()? },
@@ -823,6 +1009,12 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<RequestFrame>, WireErro
         TAG_SHUTDOWN => RequestFrame::Shutdown,
         TAG_METRICS => RequestFrame::Metrics,
         TAG_HEALTH => RequestFrame::Health,
+        TAG_TRACES if version >= 4 => RequestFrame::Traces,
+        TAG_TRACES => {
+            return Err(WireError::Malformed(format!(
+                "the Traces admin frame requires wire v4 (frame spoke v{version})"
+            )))
+        }
         t => {
             return Err(WireError::Malformed(format!(
                 "unknown request frame tag {t:#04x}"
@@ -830,17 +1022,32 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<RequestFrame>, WireErro
         }
     };
     d.finish("request")?;
-    Ok(Some(frame))
+    Ok(Some((frame, version)))
 }
 
-/// Read one response frame (`Ok(None)` = clean end-of-stream).
+/// Read one response frame (`Ok(None)` = clean end-of-stream). A v3
+/// `Response` decodes with `trace_id: None`.
 pub fn read_response<R: Read>(r: &mut R) -> Result<Option<ResponseFrame>, WireError> {
-    let Some((tag, payload)) = read_frame(r)? else {
+    let Some((version, tag, payload)) = read_frame(r)? else {
         return Ok(None);
     };
     let mut d = Dec::new(&payload);
     let frame = match tag {
-        TAG_RESPONSE => ResponseFrame::Response(decode_response_payload(&mut d)?),
+        TAG_RESPONSE => {
+            let trace_id = if version >= 4 {
+                if d.bool("response trace flag")? {
+                    Some(d.u64()?)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            ResponseFrame::Response {
+                response: decode_response_payload(&mut d)?,
+                trace_id,
+            }
+        }
         TAG_RELOADED => ResponseFrame::Reloaded {
             generation: d.u64()?,
         },
@@ -867,6 +1074,17 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<Option<ResponseFrame>, WireEr
                 uptime_seconds: d.f64()?,
             })
         }
+        TAG_TRACES_REPLY if version >= 4 => {
+            // A trace is at least 29 payload bytes (id + keep +
+            // duration + dropped + span count).
+            let n = d.count(29, "trace list")?;
+            ResponseFrame::Traces((0..n).map(|_| d.trace()).collect::<Result<Vec<_>, _>>()?)
+        }
+        TAG_TRACES_REPLY => {
+            return Err(WireError::Malformed(format!(
+                "the Traces reply requires wire v4 (frame spoke v{version})"
+            )))
+        }
         TAG_ERROR => ResponseFrame::Error(d.string()?),
         t => {
             return Err(WireError::Malformed(format!(
@@ -890,6 +1108,7 @@ mod tests {
                     query: vec![WordId(3), WordId(1)],
                 },
                 deadline_ms: None,
+                trace: None,
             },
             RequestFrame::Query {
                 request: QueryRequest::FoldIn {
@@ -900,12 +1119,18 @@ mod tests {
                     seed: u64::MAX,
                 },
                 deadline_ms: Some(1_500),
+                trace: Some(TraceContext {
+                    trace_id: 0xDEAD_BEEF,
+                    parent_span: 7,
+                    sampled: true,
+                }),
             },
             RequestFrame::Reload {
                 path: "/tmp/model.cpd".into(),
             },
             RequestFrame::Stats,
             RequestFrame::Shutdown,
+            RequestFrame::Traces,
         ];
         let mut bytes = Vec::new();
         for f in &frames {
@@ -913,9 +1138,79 @@ mod tests {
         }
         let mut r = &bytes[..];
         for f in &frames {
-            assert_eq!(read_request(&mut r).unwrap().as_ref(), Some(f));
+            let (got, version) = read_request_versioned(&mut r).unwrap().unwrap();
+            assert_eq!(&got, f);
+            assert_eq!(version, WIRE_VERSION);
         }
         assert!(read_request(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn v3_interop_decodes_traceless_and_replies_traceless() {
+        // A stale v3 client's query decodes with `trace: None`…
+        let sent = RequestFrame::Query {
+            request: QueryRequest::TopWords { topic: 2, k: 5 },
+            deadline_ms: Some(250),
+            trace: None,
+        };
+        let bytes = encode_request_versioned(&sent, 3);
+        assert_eq!(bytes[2], 3, "header carries the peer's version");
+        let (got, version) = read_request_versioned(&mut &bytes[..]).unwrap().unwrap();
+        assert_eq!(got, sent);
+        assert_eq!(version, 3);
+
+        // …and the v3-encoded reply omits the trace mirror but still
+        // decodes on a v4 reader.
+        let reply = ResponseFrame::Response {
+            response: QueryResponse::Score(0.5),
+            trace_id: Some(42),
+        };
+        let v3 = encode_response_versioned(&reply, 3);
+        let v4 = encode_response_versioned(&reply, 4);
+        assert!(v3.len() < v4.len(), "v3 frame has no trace mirror");
+        match read_response(&mut &v3[..]).unwrap().unwrap() {
+            ResponseFrame::Response { trace_id, .. } => assert_eq!(trace_id, None),
+            other => panic!("unexpected frame {other:?}"),
+        }
+        match read_response(&mut &v4[..]).unwrap().unwrap() {
+            ResponseFrame::Response { trace_id, .. } => assert_eq!(trace_id, Some(42)),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traces_reply_round_trips() {
+        let trace = Trace {
+            trace_id: 0xC0FFEE,
+            keep: KeepReason::Slow,
+            duration_nanos: 1_234_567,
+            dropped_spans: 1,
+            spans: vec![SpanRecord {
+                id: 1,
+                parent: 0,
+                name: std::borrow::Cow::Borrowed("request"),
+                start_nanos: 0,
+                end_nanos: 1_234_567,
+            }],
+        };
+        let bytes = encode_response(&ResponseFrame::Traces(vec![trace.clone()]));
+        match read_response(&mut &bytes[..]).unwrap().unwrap() {
+            ResponseFrame::Traces(got) => assert_eq!(got, vec![trace]),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_versions_are_refused_by_name() {
+        for bad in [2u8, WIRE_VERSION + 1] {
+            let mut bytes = encode_request(&RequestFrame::Stats);
+            bytes[2] = bad;
+            let err = read_request(&mut &bytes[..]).unwrap_err();
+            assert!(
+                matches!(&err, WireError::Malformed(m) if m.contains("unsupported wire version")),
+                "{err}"
+            );
+        }
     }
 
     #[test]
@@ -934,11 +1229,12 @@ mod tests {
         // payload must fail the remaining-bytes check, not allocate.
         let mut e = Enc(Vec::new());
         e.u8(0); // no deadline
+        e.u8(0); // no trace context
         e.u8(0); // RankCommunities
         e.u32(u32::MAX);
         e.u32(0);
         e.u32(0);
-        let bytes = frame(TAG_QUERY, e.0);
+        let bytes = frame_versioned(WIRE_VERSION, TAG_QUERY, e.0);
         let err = read_request(&mut &bytes[..]).unwrap_err();
         assert!(matches!(err, WireError::Malformed(m) if m.contains("count")));
     }

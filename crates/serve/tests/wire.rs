@@ -4,12 +4,13 @@
 //! — is rejected as a typed error, never a panic or a misdecode.
 
 use cpd_serve::wire::{
-    encode_request, encode_response, read_request, read_response, write_request, RequestFrame,
-    ResponseFrame, WireError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_VERSION,
+    encode_request, encode_request_versioned, encode_response, encode_response_versioned,
+    read_request, read_request_versioned, read_response, write_request, RequestFrame,
+    ResponseFrame, WireError, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD, MIN_WIRE_VERSION, WIRE_VERSION,
 };
 use cpd_serve::{
-    CacheStats, ClassStats, FoldInItem, FoldedProfile, HealthState, HealthStatus, NetStats,
-    QueryRequest, QueryResponse, ServeDiagnostics,
+    CacheStats, ClassStats, FoldInItem, FoldedProfile, HealthState, HealthStatus, KeepReason,
+    NetStats, QueryRequest, QueryResponse, ServeDiagnostics, SpanRecord, Trace, TraceContext,
 };
 use proptest::prelude::*;
 use social_graph::{UserId, WordId};
@@ -111,13 +112,22 @@ proptest! {
         k in 0usize..500,
         seed in 0u64..u64::MAX,
         deadline_raw in 0u32..600_000,
+        trace_id in 1u64..u64::MAX,
+        parent_span in 0u64..10_000,
+        trace_sel in 0u8..4,
     ) {
         // The vendored proptest stub has no Option strategy; fold
-        // "no deadline" in as one residue class.
+        // "no deadline" / "no trace" in as residue classes.
         let deadline_ms = (deadline_raw % 3 != 0).then_some(deadline_raw);
+        let trace = match trace_sel {
+            0 => None,
+            1 => Some(TraceContext { trace_id, parent_span, sampled: false }),
+            _ => Some(TraceContext { trace_id, parent_span, sampled: true }),
+        };
         let frame = RequestFrame::Query {
             request: build_request(variant, words, docs, (a, b), (x, y, k), seed),
             deadline_ms,
+            trace,
         };
         let bytes = encode_request(&frame);
         let mut r = &bytes[..];
@@ -137,8 +147,13 @@ proptest! {
         a in 0u32..1_000_000,
         b in 0u32..1_000_000,
         msg in "[a-z ]{0,40}",
+        mirror_raw in 1u64..u64::MAX,
+        mirror_sel in 0u8..3,
     ) {
-        let frame = ResponseFrame::Response(build_response(variant, row, rows, (a, b), msg));
+        let frame = ResponseFrame::Response {
+            response: build_response(variant, row, rows, (a, b), msg),
+            trace_id: (mirror_sel != 0).then_some(mirror_raw),
+        };
         let bytes = encode_response(&frame);
         let mut r = &bytes[..];
         let decoded = read_response(&mut r).unwrap().expect("one frame in");
@@ -158,6 +173,9 @@ proptest! {
         let frame = RequestFrame::Query {
             request: build_request(variant, words, vec![vec![1, 2]], (1, 2), (3, 4, 5), 99),
             deadline_ms: Some(1_500),
+            // A full trace context widens the truncation surface: cuts
+            // land inside the trace field as often as the query body.
+            trace: Some(TraceContext { trace_id: 0xDEAD_BEEF, parent_span: 7, sampled: true }),
         };
         let bytes = encode_request(&frame);
         // Cut somewhere strictly inside the frame (never index 0 — an
@@ -181,6 +199,7 @@ proptest! {
         let frame = RequestFrame::Query {
             request: build_request(variant, words, vec![vec![7]], (1, 2), (3, 4, 5), 42),
             deadline_ms: None,
+            trace: Some(TraceContext { trace_id: 0xC0FFEE, parent_span: 3, sampled: false }),
         };
         let mut bytes = encode_request(&frame);
         if bytes.len() > FRAME_HEADER_LEN {
@@ -310,18 +329,103 @@ fn future_version_is_refused_by_name() {
 fn stale_version_is_refused_by_name() {
     // A v2 peer (pre-deadline, pre-Overloaded) must be refused with a
     // message naming both versions — cross-version frames never decode
-    // as garbage.
+    // as garbage. (v3, one below current, is *accepted* — see the
+    // interop tests — so the stale case is one below the minimum.)
+    let stale = MIN_WIRE_VERSION - 1;
     let mut bytes = encode_request(&RequestFrame::Stats);
-    bytes[2] = WIRE_VERSION - 1;
+    bytes[2] = stale;
     let err = read_request(&mut &bytes[..]).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("version"), "{msg}");
-    assert!(msg.contains(&(WIRE_VERSION - 1).to_string()), "{msg}");
+    assert!(msg.contains(&stale.to_string()), "{msg}");
     assert!(msg.contains(&WIRE_VERSION.to_string()), "{msg}");
     // Same on the response side.
     let mut bytes = encode_response(&ResponseFrame::ShuttingDown);
-    bytes[2] = WIRE_VERSION - 1;
+    bytes[2] = stale;
     assert!(read_response(&mut &bytes[..]).is_err());
+}
+
+/// A v3 peer still speaks: traceless queries decode (reporting the
+/// peer's version so the server can answer in kind), and a v3-encoded
+/// response simply drops the trace mirror instead of corrupting the
+/// frame.
+#[test]
+fn v3_peers_round_trip_traceless() {
+    let req = RequestFrame::Query {
+        request: QueryRequest::TopWords { topic: 1, k: 3 },
+        deadline_ms: Some(250),
+        trace: None,
+    };
+    let bytes = encode_request_versioned(&req, 3);
+    assert_eq!(bytes[2], 3, "encoded at the peer's version");
+    let mut r = &bytes[..];
+    let (decoded, version) = read_request_versioned(&mut r).unwrap().expect("one frame");
+    assert_eq!(version, 3);
+    assert_eq!(decoded, req);
+    assert!(r.is_empty());
+
+    // Response side: the v4 mirror field does not exist at v3, so a
+    // v3 re-encode loses exactly the mirror and nothing else.
+    let resp = ResponseFrame::Response {
+        response: QueryResponse::Score(0.5),
+        trace_id: Some(0xFEED),
+    };
+    let bytes = encode_response_versioned(&resp, 3);
+    assert_eq!(bytes[2], 3);
+    let decoded = read_response(&mut &bytes[..]).unwrap().expect("one frame");
+    assert_eq!(
+        decoded,
+        ResponseFrame::Response {
+            response: QueryResponse::Score(0.5),
+            trace_id: None,
+        }
+    );
+}
+
+/// A `Traces` reply carrying real span trees round-trips exactly, and
+/// a corrupted keep-reason byte is a typed rejection.
+#[test]
+fn traces_reply_round_trips_and_rejects_bad_keep() {
+    let reply = ResponseFrame::Traces(vec![Trace {
+        trace_id: 0xABCD_EF01,
+        keep: KeepReason::Slow,
+        duration_nanos: 2_000_000,
+        dropped_spans: 1,
+        spans: vec![
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                name: "request".into(),
+                start_nanos: 0,
+                end_nanos: 2_000_000,
+            },
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                name: "execute.fold_in".into(),
+                start_nanos: 10_000,
+                end_nanos: 1_900_000,
+            },
+        ],
+    }]);
+    let bytes = encode_response(&reply);
+    let decoded = read_response(&mut &bytes[..]).unwrap().expect("one frame");
+    assert_eq!(decoded, reply);
+    assert_eq!(encode_response(&decoded), bytes);
+
+    // Find the keep-reason byte (the only 0x01 for `Slow` right after
+    // the trace id) the robust way: corrupt every payload byte to an
+    // out-of-range keep value and require that *some* corruption is
+    // refused as malformed while none panics.
+    let mut saw_malformed = false;
+    for i in FRAME_HEADER_LEN..bytes.len() {
+        let mut dup = bytes.clone();
+        dup[i] = 0xEE;
+        if let Err(WireError::Malformed(_)) = read_response(&mut &dup[..]) {
+            saw_malformed = true;
+        }
+    }
+    assert!(saw_malformed, "corrupting the reply never tripped a check");
 }
 
 #[test]
@@ -382,9 +486,10 @@ fn oversized_response_encodes_as_an_in_band_error_frame() {
     // ~17.6 MB of ranking pairs: over the 16 MiB payload limit. The
     // encoder must substitute a framed Error rather than emit a frame
     // every reader rejects (or, past u32, a wrapped length prefix).
-    let huge = ResponseFrame::Response(QueryResponse::Ranking(
-        (0..1_100_000).map(|i| (i, 0.5)).collect(),
-    ));
+    let huge = ResponseFrame::Response {
+        response: QueryResponse::Ranking((0..1_100_000).map(|i| (i, 0.5)).collect()),
+        trace_id: None,
+    };
     let bytes = encode_response(&huge);
     assert!(bytes.len() < MAX_FRAME_PAYLOAD as usize);
     match read_response(&mut &bytes[..]).unwrap() {
@@ -402,6 +507,7 @@ fn oversized_request_is_refused_at_write_time() {
             query: vec![WordId(1); 4_200_000],
         },
         deadline_ms: None,
+        trace: None,
     };
     let mut sink = Vec::new();
     let err = write_request(&mut sink, &huge).unwrap_err();

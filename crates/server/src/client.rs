@@ -28,6 +28,7 @@
 
 use cpd_serve::wire::{read_response, write_request, RequestFrame, ResponseFrame, WireError};
 use cpd_serve::{HealthStatus, QueryRequest, QueryResponse, ServeDiagnostics};
+use cpd_telemetry::{ActiveTrace, KeepReason, Trace, TraceConfig, TraceSpanGuard, Tracer};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -163,6 +164,14 @@ pub struct ClientOptions {
     /// sends no deadline (the server's own queue-wait cap still
     /// applies).
     pub request_deadline: Option<Duration>,
+    /// Client-side tracing policy. With `sample_one_in > 0` the
+    /// client head-samples queries: a sampled query gets a local span
+    /// tree (`client_request` root, `send` / `await_response`
+    /// children) kept in [`Client::tracer`]'s store, and its
+    /// [`cpd_telemetry::TraceContext`] travels on the wire so the
+    /// server's spans join the same trace — fetch those with
+    /// [`Client::traces`]. The default samples nothing.
+    pub trace: TraceConfig,
 }
 
 impl Default for ClientOptions {
@@ -174,6 +183,7 @@ impl Default for ClientOptions {
             call_budget: Some(Duration::from_secs(120)),
             retry: Some(RetryPolicy::default()),
             request_deadline: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -187,6 +197,9 @@ pub struct Client {
     options: ClientOptions,
     /// SplitMix64 state behind the backoff jitter.
     jitter_state: u64,
+    /// Client-side tracing: mints trace ids, makes the head-sampling
+    /// decision, stores this side's completed traces.
+    tracer: Tracer,
 }
 
 impl Client {
@@ -209,12 +222,14 @@ impl Client {
                     let jitter_state = options.retry.as_ref().map(|r| r.jitter_seed).unwrap_or(0)
                         ^ 0x9E37_79B9_7F4A_7C15;
                     let read_half = stream.try_clone().map_err(ClientError::from)?;
+                    let tracer = Tracer::new(options.trace);
                     return Ok(Self {
                         reader: BufReader::new(read_half),
                         writer: BufWriter::new(stream),
                         addr: candidate,
                         options,
                         jitter_state,
+                        tracer,
                     });
                 }
                 Err(e) => last_err = Some(e),
@@ -274,11 +289,22 @@ impl Client {
         let mut slots: Vec<Option<QueryResponse>> = (0..n).map(|_| None).collect();
         // Indices (into `requests`) still awaiting a real answer.
         let mut pending: Vec<usize> = (0..n).collect();
+        // Head-sample per slot: a sampled slot gets a `client_request`
+        // root span held open across retries, and its context rides
+        // every (re)send so server spans join the same trace.
+        let mut roots: Vec<Option<(ActiveTrace, TraceSpanGuard)>> = (0..n)
+            .map(|_| {
+                self.tracer.mint(started).map(|t| {
+                    let root = t.start_span("client_request", 0);
+                    (t, root)
+                })
+            })
+            .collect();
         let policy = self.options.retry.clone();
         let max_retries = policy.as_ref().map_or(0, |p| p.max_retries);
         let mut attempt: u32 = 0;
         loop {
-            match self.send_and_collect(&requests, &pending) {
+            match self.send_and_collect(&requests, &pending, &roots) {
                 Ok(round) => {
                     let mut hint_ms: u64 = 0;
                     let mut still = Vec::new();
@@ -327,37 +353,64 @@ impl Client {
                 Err(e) => return Err(e),
             }
         }
+        // Close the root spans and keep the client-side trees. Shed
+        // and errored slots are tagged so the store's tail-kept set
+        // matches the server's.
+        for (slot, entry) in roots.iter_mut().enumerate() {
+            if let Some((trace, root)) = entry.take() {
+                root.finish();
+                let keep = match slots[slot].as_ref() {
+                    Some(QueryResponse::Overloaded { .. }) => KeepReason::Shed,
+                    Some(QueryResponse::Error(_)) => KeepReason::Error,
+                    _ => KeepReason::Sampled,
+                };
+                self.tracer.complete(&trace, keep);
+            }
+        }
         Ok(slots
             .into_iter()
             .map(|s| s.expect("every slot answered or shed"))
             .collect())
     }
 
-    /// Write the pending requests (with any configured wire deadline)
-    /// and read exactly that many responses.
+    /// Write the pending requests (with any configured wire deadline
+    /// and trace context) and read exactly that many responses.
     fn send_and_collect(
         &mut self,
         requests: &[QueryRequest],
         pending: &[usize],
+        roots: &[Option<(ActiveTrace, TraceSpanGuard)>],
     ) -> Result<Vec<QueryResponse>, ClientError> {
         let deadline_ms = self
             .options
             .request_deadline
             .map(|d| d.as_millis().min(u128::from(u32::MAX)) as u32);
         for &slot in pending {
+            let trace = roots[slot].as_ref().map(|(t, root)| t.context(root.id()));
+            let send_start = roots[slot].as_ref().map(|_| Instant::now());
             write_request(
                 &mut self.writer,
                 &RequestFrame::Query {
                     request: requests[slot].clone(),
                     deadline_ms,
+                    trace,
                 },
             )?;
+            if let (Some((t, root)), Some(start)) = (roots[slot].as_ref(), send_start) {
+                t.record_between("send", root.id(), start, Instant::now());
+            }
         }
         self.writer.flush()?;
         let mut responses = Vec::with_capacity(pending.len());
-        for i in 0..pending.len() {
+        for (i, &slot) in pending.iter().enumerate() {
+            let await_start = roots[slot].as_ref().map(|_| Instant::now());
             match self.read_frame()? {
-                ResponseFrame::Response(r) => responses.push(r),
+                ResponseFrame::Response { response, .. } => {
+                    if let (Some((t, root)), Some(start)) = (roots[slot].as_ref(), await_start) {
+                        t.record_between("await_response", root.id(), start, Instant::now());
+                    }
+                    responses.push(response);
+                }
                 ResponseFrame::Error(m) => responses.push(QueryResponse::Error(m)),
                 other => {
                     return Err(ClientError::Protocol(format!(
@@ -454,6 +507,32 @@ impl Client {
                 "expected Health, got {other:?}"
             ))),
         }
+    }
+
+    /// Fetch the server's kept traces (newest first): head-sampled
+    /// requests plus the tail-kept forensics — sheds, deadline drops,
+    /// errors, and anything over the slow threshold. Answered inline
+    /// on the connection's reader thread like [`Client::metrics`].
+    ///
+    /// The client keeps its own half of each sampled trace locally —
+    /// see [`Client::tracer`]; matching `trace_id`s join the two
+    /// sides.
+    pub fn traces(&mut self) -> Result<Vec<Trace>, ClientError> {
+        match self.round_trip(&RequestFrame::Traces)? {
+            ResponseFrame::Traces(traces) => Ok(traces),
+            ResponseFrame::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Traces, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The client-side tracer: its store holds this client's span
+    /// trees (`client_request` / `send` / `await_response`) for every
+    /// head-sampled query, keyed by the same trace ids the server
+    /// reports.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Ask the server to stop accepting connections and drain

@@ -20,9 +20,12 @@
 //! final [`ServeDiagnostics`] — including the transport's
 //! connection/frame counters — are returned instead of discarded.
 
-use cpd_serve::wire::{read_request, write_response, RequestFrame, ResponseFrame, WireError};
-use cpd_serve::{NetStats, QueryRequest, ServeDiagnostics, ServeRuntime};
-use cpd_telemetry::Counter;
+use cpd_serve::wire::{
+    read_request_versioned, write_response_versioned, RequestFrame, ResponseFrame, WireError,
+    WIRE_VERSION,
+};
+use cpd_serve::{BatchItem, NetStats, QueryResponse, ServeDiagnostics, ServeRuntime};
+use cpd_telemetry::{ActiveTrace, Counter, KeepReason};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -331,13 +334,24 @@ impl Drop for Server {
     }
 }
 
+/// One decoded frame plus the instants that bracket its socket read —
+/// the trace's `socket_read` span bounds, and the anchor for any wire
+/// deadline budget the frame carries (the budget counts from when the
+/// server *received* the request, not from whenever a worker gets to
+/// it). `read_start` is when the server began waiting on the socket,
+/// so the first frame of a quiet connection includes the peer's think
+/// time; pipelined frames are already buffered and read back-to-back.
+struct ReadFrame {
+    frame: RequestFrame,
+    version: u8,
+    read_start: Instant,
+    received: Instant,
+}
+
 /// Outcome of one read pass over a connection's socket.
 struct ReadBatch {
-    /// Decoded frames paired with their decode timestamp — the anchor
-    /// for any wire deadline budget the frame carries (the budget
-    /// counts from when the server *received* the request, not from
-    /// whenever a worker gets to it).
-    frames: Vec<(RequestFrame, Instant)>,
+    /// Decoded frames, in arrival order.
+    frames: Vec<ReadFrame>,
     /// A decode failure hit after `frames` (answered, then the
     /// connection closes — framing can no longer be trusted).
     error: Option<WireError>,
@@ -358,8 +372,14 @@ fn read_pipelined(reader: &mut BufReader<TcpStream>, max_batch: usize) -> ReadBa
         eof: false,
         idle: false,
     };
-    match read_request(reader) {
-        Ok(Some(frame)) => out.frames.push((frame, Instant::now())),
+    let read_start = Instant::now();
+    match read_request_versioned(reader) {
+        Ok(Some((frame, version))) => out.frames.push(ReadFrame {
+            frame,
+            version,
+            read_start,
+            received: Instant::now(),
+        }),
         Ok(None) => {
             out.eof = true;
             return out;
@@ -378,8 +398,14 @@ fn read_pipelined(reader: &mut BufReader<TcpStream>, max_batch: usize) -> ReadBa
     // (except the benign case of a frame split across the buffer
     // boundary, whose tail is already in flight).
     while !reader.buffer().is_empty() && out.frames.len() < max_batch {
-        match read_request(reader) {
-            Ok(Some(frame)) => out.frames.push((frame, Instant::now())),
+        let read_start = Instant::now();
+        match read_request_versioned(reader) {
+            Ok(Some((frame, version))) => out.frames.push(ReadFrame {
+                frame,
+                version,
+                read_start,
+                received: Instant::now(),
+            }),
             Ok(None) => {
                 out.eof = true;
                 break;
@@ -420,9 +446,13 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut respond = |writer: &mut BufWriter<TcpStream>, frame: &ResponseFrame| {
+    // The server answers in the version its peer speaks: v3 clients
+    // get v3 frames (no trace fields), v4 clients get the mirror.
+    // Tracked per frame, applied to the responses that follow it.
+    let mut peer_version = WIRE_VERSION;
+    let mut respond = |writer: &mut BufWriter<TcpStream>, frame: &ResponseFrame, version: u8| {
         shared.frames_out.inc();
-        write_response(writer, frame)
+        write_response_versioned(writer, frame, version)
     };
 
     loop {
@@ -431,23 +461,64 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
 
         // Answer the decoded frames in order, folding consecutive
         // Query frames into single runtime batches.
-        let mut queries: Vec<(QueryRequest, Option<Instant>)> = Vec::new();
-        for (frame, received) in batch.frames {
-            match frame {
+        let mut queries: Vec<BatchItem> = Vec::new();
+        for read in batch.frames {
+            peer_version = read.version;
+            match read.frame {
                 RequestFrame::Query {
                     request,
                     deadline_ms,
+                    trace,
                 } => {
                     // Anchor the client's remaining-budget at decode
                     // time; the runtime drops the job at dequeue if
                     // the moment has passed.
                     let deadline = deadline_ms
-                        .map(|ms| received + std::time::Duration::from_millis(u64::from(ms)));
-                    queries.push((request, deadline));
+                        .map(|ms| read.received + std::time::Duration::from_millis(u64::from(ms)));
+                    let tracer = shared.runtime.tracer();
+                    // Three trace postures: adopt a sampled wire
+                    // context (span tree shared with the client),
+                    // carry an unsampled context's id for tail
+                    // forensics, or — for untraced clients — let the
+                    // server head-sample at its own edge.
+                    let (active, trace_id) = match &trace {
+                        Some(ctx) if ctx.sampled => {
+                            let t = tracer
+                                .adopt(ctx, read.read_start)
+                                .expect("sampled context always adopts");
+                            t.record_between(
+                                "socket_read",
+                                ctx.parent_span,
+                                read.read_start,
+                                read.received,
+                            );
+                            (Some((t, ctx.parent_span)), None)
+                        }
+                        Some(ctx) => (None, Some(ctx.trace_id)),
+                        None => match tracer.mint(read.read_start) {
+                            Some(t) => {
+                                t.record_between("socket_read", 0, read.read_start, read.received);
+                                (Some((t, 0)), None)
+                            }
+                            None => (None, None),
+                        },
+                    };
+                    queries.push(BatchItem {
+                        request,
+                        deadline,
+                        trace: active,
+                        trace_id,
+                    });
                     continue;
                 }
                 admin => {
-                    if !flush_queries(shared, &mut queries, &mut writer, &mut respond) {
+                    if !flush_queries(
+                        shared,
+                        &mut queries,
+                        &mut writer,
+                        peer_version,
+                        &mut respond,
+                    ) {
                         return shutdown_requested;
                     }
                     let reply = match admin {
@@ -460,21 +531,32 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
                             d.net = shared.net();
                             ResponseFrame::Stats(Box::new(d))
                         }
-                        // Metrics and Health are answered inline on the
-                        // reader thread, never queued behind the query
-                        // pool — a scrape or liveness probe must work
-                        // even when every worker is busy.
+                        // Metrics, Health and Traces are answered
+                        // inline on the reader thread, never queued
+                        // behind the query pool — a scrape, liveness
+                        // probe or forensic dump must work even when
+                        // every worker is busy.
                         RequestFrame::Metrics => {
                             ResponseFrame::Metrics(shared.runtime.prometheus_text())
                         }
                         RequestFrame::Health => ResponseFrame::Health(shared.runtime.health()),
+                        RequestFrame::Traces => ResponseFrame::Traces(
+                            shared
+                                .runtime
+                                .tracer()
+                                .store()
+                                .snapshot()
+                                .iter()
+                                .map(|t| (**t).clone())
+                                .collect(),
+                        ),
                         RequestFrame::Shutdown => {
                             shutdown_requested = true;
                             ResponseFrame::ShuttingDown
                         }
                         RequestFrame::Query { .. } => unreachable!("handled above"),
                     };
-                    if respond(&mut writer, &reply).is_err() {
+                    if respond(&mut writer, &reply, peer_version).is_err() {
                         return shutdown_requested;
                     }
                     // No early break on Shutdown: frames pipelined
@@ -484,7 +566,13 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
                 }
             }
         }
-        if !flush_queries(shared, &mut queries, &mut writer, &mut respond) {
+        if !flush_queries(
+            shared,
+            &mut queries,
+            &mut writer,
+            peer_version,
+            &mut respond,
+        ) {
             return shutdown_requested;
         }
 
@@ -497,7 +585,11 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
             }
             // Best-effort: tell the peer why before closing a stream
             // whose framing can no longer be trusted.
-            let _ = respond(&mut writer, &ResponseFrame::Error(e.to_string()));
+            let _ = respond(
+                &mut writer,
+                &ResponseFrame::Error(e.to_string()),
+                peer_version,
+            );
             let _ = writer.flush();
             return shutdown_requested;
         }
@@ -514,25 +606,60 @@ fn drive_connection(shared: &Shared, stream: TcpStream) -> bool {
 }
 
 /// Submit any accumulated queries as one batch and write the answers in
-/// request order. Returns `false` if the socket died.
+/// request order, recording `encode_write` spans into sampled traces
+/// and completing them at the edge (the keep reason derived from the
+/// answer: shed → [`KeepReason::Shed`], error → [`KeepReason::Error`],
+/// anything else → [`KeepReason::Sampled`], which the tracer upgrades
+/// to `Slow` past its threshold). Returns `false` if the socket died.
 fn flush_queries(
     shared: &Shared,
-    queries: &mut Vec<(QueryRequest, Option<Instant>)>,
+    queries: &mut Vec<BatchItem>,
     writer: &mut BufWriter<TcpStream>,
-    respond: &mut impl FnMut(&mut BufWriter<TcpStream>, &ResponseFrame) -> std::io::Result<()>,
+    peer_version: u8,
+    respond: &mut impl FnMut(&mut BufWriter<TcpStream>, &ResponseFrame, u8) -> std::io::Result<()>,
 ) -> bool {
     if queries.is_empty() {
         return true;
     }
-    let responses = shared
-        .runtime
-        .submit_batch_with_deadlines(std::mem::take(queries));
-    for response in responses {
-        if respond(writer, &ResponseFrame::Response(response)).is_err() {
-            return false;
+    let items = std::mem::take(queries);
+    // Keep an edge-side clone of each sampled trace (the runtime
+    // consumes the `BatchItem` copy), plus the trace id every response
+    // mirrors back — the live trace's own id wins over a carried one.
+    type Edge = (Option<(ActiveTrace, u64)>, Option<u64>);
+    let edges: Vec<Edge> = items
+        .iter()
+        .map(|item| {
+            let id = item
+                .trace
+                .as_ref()
+                .map(|(t, _)| t.trace_id())
+                .or(item.trace_id);
+            (item.trace.clone(), id)
+        })
+        .collect();
+    let responses = shared.runtime.submit_batch_items(items);
+    let mut alive = true;
+    for (response, (edge, trace_id)) in responses.into_iter().zip(edges) {
+        let keep = match &response {
+            QueryResponse::Overloaded { .. } => KeepReason::Shed,
+            QueryResponse::Error(_) => KeepReason::Error,
+            _ => KeepReason::Sampled,
+        };
+        let frame = ResponseFrame::Response { response, trace_id };
+        if alive {
+            let write_start = edge.as_ref().map(|_| Instant::now());
+            alive = respond(writer, &frame, peer_version).is_ok();
+            if let (Some((t, parent)), Some(start)) = (&edge, write_start) {
+                t.record_between("encode_write", *parent, start, Instant::now());
+            }
+        }
+        // Complete sampled traces even when the socket died mid-batch —
+        // the forensics are exactly what explains the dead socket.
+        if let Some((t, _)) = &edge {
+            shared.runtime.tracer().complete(t, keep);
         }
     }
-    true
+    alive
 }
 
 #[cfg(test)]

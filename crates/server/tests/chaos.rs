@@ -332,6 +332,7 @@ fn stalled_consumer_does_not_hang_shutdown() {
             &cpd_serve::RequestFrame::Query {
                 request,
                 deadline_ms: None,
+                trace: None,
             },
         )
         .unwrap();
@@ -371,6 +372,56 @@ fn wildcard_bind_shutdown_does_not_hang() {
         .expect("wildcard-bound server must wake itself");
     watchdog.join().unwrap();
     assert!(started.elapsed() < Duration::from_secs(10));
+}
+
+/// Fault attribution: a failpoint hit by a traced request records
+/// *that request's* trace id, so a chaos run can tie every injected
+/// fault back to the exact trace that crossed it.
+#[test]
+fn failpoint_hits_carry_the_trace_id_of_the_crossing_request() {
+    let index = index(67);
+    let points = Failpoints::new();
+    let fp = points.clone();
+    let runtime = serve(
+        &index,
+        ServeOptions {
+            workers: 1,
+            fault_hook: Some(cpd_serve::FaultHook::new_traced(move |point, trace| {
+                fp.hit_traced(point, trace)
+            })),
+            ..ServeOptions::default()
+        },
+    );
+    let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+
+    let mut client = Client::connect_with(
+        server.local_addr(),
+        ClientOptions {
+            trace: cpd_serve::TraceConfig {
+                sample_one_in: 1,
+                ..cpd_serve::TraceConfig::default()
+            },
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+    let n = 3;
+    client.query_batch(probe_batch(n)).unwrap();
+
+    let hit_ids = points.trace_ids("serve.worker_execute");
+    assert_eq!(hit_ids.len(), n, "every traced request attributed");
+    let local: std::collections::HashSet<u64> = client
+        .tracer()
+        .store()
+        .snapshot()
+        .iter()
+        .map(|t| t.trace_id)
+        .collect();
+    assert_eq!(local.len(), n);
+    for id in &hit_ids {
+        assert!(local.contains(id), "hook saw unknown trace id {id:#x}");
+    }
+    server.shutdown();
 }
 
 /// A half-dead server (accepts, then goes silent mid-frame) surfaces

@@ -469,6 +469,7 @@ fn queries_pipelined_behind_a_shutdown_frame_are_still_answered() {
         &cpd_serve::RequestFrame::Query {
             request: QueryRequest::TopWords { topic: 0, k: 2 },
             deadline_ms: None,
+            trace: None,
         },
     )
     .unwrap();
@@ -478,6 +479,7 @@ fn queries_pipelined_behind_a_shutdown_frame_are_still_answered() {
         &cpd_serve::RequestFrame::Query {
             request: QueryRequest::TopWords { topic: 1, k: 2 },
             deadline_ms: None,
+            trace: None,
         },
     )
     .unwrap();
@@ -489,7 +491,10 @@ fn queries_pipelined_behind_a_shutdown_frame_are_still_answered() {
     use cpd_serve::ResponseFrame;
     assert!(matches!(
         read_response(&mut reader).unwrap(),
-        Some(ResponseFrame::Response(QueryResponse::Ranking(_)))
+        Some(ResponseFrame::Response {
+            response: QueryResponse::Ranking(_),
+            ..
+        })
     ));
     assert!(matches!(
         read_response(&mut reader).unwrap(),
@@ -498,7 +503,10 @@ fn queries_pipelined_behind_a_shutdown_frame_are_still_answered() {
     assert!(
         matches!(
             read_response(&mut reader).unwrap(),
-            Some(ResponseFrame::Response(QueryResponse::Ranking(_)))
+            Some(ResponseFrame::Response {
+                response: QueryResponse::Ranking(_),
+                ..
+            })
         ),
         "query behind the Shutdown frame must still be answered"
     );

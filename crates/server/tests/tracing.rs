@@ -1,0 +1,263 @@
+//! End-to-end tracing acceptance: one trace id minted by the client
+//! links the client's span tree (`client_request` / `send` /
+//! `await_response`), the server edge (`socket_read`, `encode_write`),
+//! and the worker pool (`queue_wait`, per-class execute spans) — with
+//! fold-in forensics down to individual `gibbs_sweep` children on a
+//! cache miss and a `fold_cache_hit` span on the warm repeat. Requests
+//! nobody head-sampled still leave evidence: sheds, deadline drops,
+//! and slow queries are tail-sampled into the server's `TraceStore`
+//! and come back over the wire via `Client::traces()`.
+
+use cpd_chaos::Failpoints;
+use cpd_core::{Cpd, CpdConfig};
+use cpd_datagen::{generate, GenConfig, Scale};
+use cpd_serve::{
+    FaultHook, FoldInItem, KeepReason, ProfileIndex, QueryRequest, QueryResponse, ServeOptions,
+    ServeRuntime, Trace, TraceConfig,
+};
+use cpd_server::{Client, ClientOptions, Server, ServerOptions};
+use social_graph::WordId;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn index(seed: u64) -> Arc<ProfileIndex> {
+    let (g, _) = generate(&GenConfig::twitter_like(Scale::Tiny));
+    let cfg = CpdConfig {
+        em_iters: 2,
+        gibbs_sweeps: 1,
+        nu_iters: 5,
+        seed,
+        ..CpdConfig::experiment(3, 4)
+    };
+    let fit = Cpd::new(cfg.clone()).unwrap().fit(&g);
+    Arc::new(ProfileIndex::build(fit.model, &cfg))
+}
+
+fn sampling_client(addr: std::net::SocketAddr) -> Client {
+    Client::connect_with(
+        addr,
+        ClientOptions {
+            trace: TraceConfig {
+                sample_one_in: 1, // sample every query
+                ..TraceConfig::default()
+            },
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn span_names(trace: &Trace) -> Vec<&str> {
+    trace.spans.iter().map(|s| s.name.as_ref()).collect()
+}
+
+/// The tentpole acceptance path: a client-minted trace id stitches
+/// both sides' dumps together, cold fold-in shows the Gibbs chain,
+/// the warm repeat shows the cache hit.
+#[test]
+fn one_trace_id_links_client_server_and_worker_spans() {
+    let index = index(31);
+    let runtime = ServeRuntime::new(
+        Arc::clone(&index),
+        None,
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+    let mut client = sampling_client(server.local_addr());
+
+    let item = FoldInItem::doc(vec![WordId(0), WordId(1), WordId(2)]);
+    let cold = client
+        .query(QueryRequest::FoldIn {
+            item: item.clone(),
+            seed: 9,
+        })
+        .unwrap();
+    assert!(matches!(cold, QueryResponse::FoldedIn(_)));
+    let warm = client
+        .query(QueryRequest::FoldIn { item, seed: 9 })
+        .unwrap();
+    assert_eq!(cold, warm, "cache hit answers byte-identically");
+
+    // Client half: both queries sampled, each with the full local tree.
+    let local = client.tracer().store().snapshot();
+    assert_eq!(local.len(), 2, "both queries head-sampled");
+    for t in &local {
+        let names = span_names(t);
+        for expected in ["client_request", "send", "await_response"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+    }
+
+    // Server half, fetched over the wire. Newest first, so index the
+    // pair by content rather than order.
+    let remote = client.traces().unwrap();
+    for lt in &local {
+        let st = remote
+            .iter()
+            .find(|t| t.trace_id == lt.trace_id)
+            .unwrap_or_else(|| panic!("server kept no trace {:#x}", lt.trace_id));
+        let names = span_names(st);
+        for expected in [
+            "socket_read",
+            "queue_wait",
+            "execute.fold_in",
+            "encode_write",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // Cross-process parenting: the server's socket_read hangs
+        // under the client's root span id, which is absent from the
+        // server dump (a segment root by contract).
+        let client_root = lt
+            .spans
+            .iter()
+            .find(|s| s.name == "client_request")
+            .expect("client root span");
+        assert!(
+            st.spans.iter().any(|s| s.parent == client_root.id),
+            "no server span parents under the client root"
+        );
+    }
+
+    let miss = remote
+        .iter()
+        .find(|t| span_names(t).contains(&"fold_cache_miss"))
+        .expect("cold query kept with a fold_cache_miss span");
+    let miss_names = span_names(miss);
+    assert!(miss_names.contains(&"fold_in_gibbs"));
+    let gibbs_parent = miss
+        .spans
+        .iter()
+        .find(|s| s.name == "fold_in_gibbs")
+        .unwrap();
+    let sweeps: Vec<_> = miss
+        .spans
+        .iter()
+        .filter(|s| s.name == "gibbs_sweep")
+        .collect();
+    assert!(!sweeps.is_empty(), "cache miss ran the Gibbs chain");
+    assert!(sweeps.iter().all(|s| s.parent == gibbs_parent.id));
+
+    let hit = remote
+        .iter()
+        .find(|t| span_names(t).contains(&"fold_cache_hit"))
+        .expect("warm query kept with a fold_cache_hit span");
+    assert!(
+        !span_names(hit).contains(&"gibbs_sweep"),
+        "a cache hit must not re-run the chain"
+    );
+
+    // The dumps render without panicking and carry the trace id.
+    let text = miss.render_text();
+    assert!(text.contains("gibbs_sweep"), "{text}");
+    assert!(miss.to_json().contains("\"spans\""));
+
+    server.shutdown();
+}
+
+/// Nobody sampled these requests, yet the forensics survive: sheds and
+/// deadline drops are tail-kept in the server's store with precise
+/// keep reasons, retrievable over the wire, and everything executed
+/// past a (deliberately zero) slow threshold lands in the slow-query
+/// log.
+#[test]
+fn unsampled_sheds_and_deadline_drops_are_tail_kept() {
+    let index = index(47);
+    let points = Failpoints::new();
+    points.delay("serve.worker_execute", Duration::from_millis(30));
+    let fp = points.clone();
+    let runtime = ServeRuntime::new(
+        Arc::clone(&index),
+        None,
+        ServeOptions {
+            workers: 1,
+            max_queue_depth: 2,
+            fault_hook: Some(FaultHook::new_traced(move |point, trace| {
+                fp.hit_traced(point, trace)
+            })),
+            trace: TraceConfig {
+                // Head-sample nothing; keep everything slow. Every
+                // executed request exceeds a zero threshold, so the
+                // slow log fills without any sampling decision.
+                sample_one_in: 0,
+                slow_threshold: Duration::from_nanos(1),
+                ..TraceConfig::default()
+            },
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    // Keep a handle on the server-side store before the runtime moves.
+    let tracer = Arc::clone(runtime.tracer());
+    let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+
+    // Untraced client, no retries, 25 ms wire deadline: the burst
+    // overflows the 2-deep queue (sheds) and whatever queues behind
+    // the 30 ms worker dies at dequeue (deadline drops).
+    let mut client = Client::connect_with(
+        server.local_addr(),
+        ClientOptions {
+            retry: None,
+            request_deadline: Some(Duration::from_millis(25)),
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+    let n = 12;
+    let batch = (0..n)
+        .map(|i| QueryRequest::TopWords {
+            topic: i % 3,
+            k: 1 + i % 4,
+        })
+        .collect();
+    let responses = client.query_batch(batch).unwrap();
+    assert_eq!(responses.len(), n);
+    let shed = responses
+        .iter()
+        .filter(|r| matches!(r, QueryResponse::Overloaded { .. }))
+        .count();
+    assert!(shed > 0, "the burst must overflow a 2-deep queue");
+
+    // The wire surface: tail-kept traces come back via the admin frame.
+    let remote = client.traces().unwrap();
+    assert!(
+        remote.iter().any(|t| t.keep == KeepReason::Shed),
+        "no shed trace kept: {:?}",
+        remote.iter().map(|t| t.keep).collect::<Vec<_>>()
+    );
+    assert!(
+        remote
+            .iter()
+            .any(|t| t.keep == KeepReason::DeadlineExceeded),
+        "no deadline-drop trace kept: {:?}",
+        remote.iter().map(|t| t.keep).collect::<Vec<_>>()
+    );
+    assert!(
+        remote.iter().any(|t| t.keep == KeepReason::Slow),
+        "executed requests past the zero threshold must be slow-kept"
+    );
+    // Tail-kept traces are synthetic single-span records naming the
+    // query class — enough to answer "what was shed".
+    let shed_trace = remote.iter().find(|t| t.keep == KeepReason::Shed).unwrap();
+    assert_eq!(shed_trace.root_name(), "top_words");
+
+    // Server-side forensics read the same store directly.
+    let slow = tracer.store().slow_log(5);
+    assert!(!slow.is_empty());
+    assert!(
+        slow.windows(2)
+            .all(|w| w[0].duration_nanos >= w[1].duration_nanos),
+        "slow log is duration-sorted"
+    );
+    let rendered = tracer.store().render_slow_log(5);
+    assert!(rendered.contains("keep="), "{rendered}");
+
+    // Untraced requests never reached the hook with a trace id.
+    assert!(points.trace_ids("serve.worker_execute").is_empty());
+
+    server.shutdown();
+}

@@ -26,6 +26,11 @@
 //!   (version 0.0.4) with `# HELP`/`# TYPE` lines, escaped label
 //!   values, stable (sorted) family and series order, and histograms
 //!   rendered as `summary` quantile series plus `_sum`/`_count`.
+//! - Tracing — [`TraceContext`] (wire-propagated), [`ActiveTrace`]
+//!   span trees for sampled requests, a [`Tracer`] policy (head
+//!   sampling by rate, tail sampling of sheds / deadline drops /
+//!   errors / slow requests), and a bounded [`TraceStore`] ring with
+//!   a derived slow-query log. Unsampled requests allocate nothing.
 //!
 //! ## Zero overhead when unused
 //!
@@ -59,6 +64,12 @@
 
 mod histogram;
 mod registry;
+mod store;
+mod trace;
 
 pub use histogram::{Histogram, Span, N_BUCKETS};
 pub use registry::{Counter, Event, Gauge, Registry};
+pub use store::TraceStore;
+pub use trace::{
+    ActiveTrace, KeepReason, SpanRecord, Trace, TraceConfig, TraceContext, TraceSpanGuard, Tracer,
+};

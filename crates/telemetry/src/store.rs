@@ -1,0 +1,191 @@
+//! A bounded ring of completed traces plus the slow-query log derived
+//! from it.
+//!
+//! The store is sized at construction and never reallocates: `push`
+//! claims a slot with one relaxed `fetch_add` on the head index, then
+//! swaps the `Arc<Trace>` in under that slot's own mutex. The index is
+//! lock-free and slots are touched by at most one pusher at a time in
+//! steady state, so completed-trace publication never contends with
+//! the query hot path (which, for unsampled requests, never gets
+//! here at all).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::trace::{KeepReason, Trace};
+
+struct Slot {
+    /// `(sequence, trace)` — the sequence orders snapshots newest
+    /// first even though slots are reused out of order under races.
+    cell: Mutex<Option<(u64, Arc<Trace>)>>,
+}
+
+/// Bounded, overwrite-oldest storage for completed [`Trace`]s.
+pub struct TraceStore {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("capacity", &self.slots.len())
+            .field("pushed", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TraceStore {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceStore {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    cell: Mutex::new(None),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total traces ever pushed (stored + since overwritten).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Store a completed trace, overwriting the oldest when full.
+    pub fn push(&self, trace: Arc<Trace>) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *slot.cell.lock().unwrap() = Some((seq, trace));
+    }
+
+    /// All currently stored traces, newest first.
+    pub fn snapshot(&self) -> Vec<Arc<Trace>> {
+        let mut entries: Vec<(u64, Arc<Trace>)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.cell.lock().unwrap().clone())
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0));
+        entries.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// The slow-query log: the stored traces ranked by root duration
+    /// (slowest first), truncated to `n`. Tail-kept traces (shed,
+    /// deadline, error) rank by their recorded extent like any other.
+    pub fn slow_log(&self, n: usize) -> Vec<Arc<Trace>> {
+        let mut all = self.snapshot();
+        all.sort_by_key(|t| std::cmp::Reverse(t.duration_nanos));
+        all.truncate(n);
+        all
+    }
+
+    /// One line per slow-log entry — the human-readable forensics
+    /// summary printed by the examples and admin tooling.
+    pub fn render_slow_log(&self, n: usize) -> String {
+        let mut out = String::new();
+        for t in self.slow_log(n) {
+            out.push_str(&format!(
+                "{:>10.3}ms  keep={:<18} trace={:#018x}  {}\n",
+                t.duration_nanos as f64 / 1e6,
+                t.keep.label(),
+                t.trace_id,
+                t.root_name(),
+            ));
+        }
+        out
+    }
+
+    /// JSON array of every stored trace, newest first.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, t) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    /// Stored traces kept for a specific reason, newest first.
+    pub fn kept(&self, keep: KeepReason) -> Vec<Arc<Trace>> {
+        self.snapshot()
+            .into_iter()
+            .filter(|t| t.keep == keep)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, duration_nanos: u64, keep: KeepReason) -> Arc<Trace> {
+        Arc::new(Trace {
+            trace_id: id,
+            keep,
+            duration_nanos,
+            dropped_spans: 0,
+            spans: vec![],
+        })
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let store = TraceStore::new(3);
+        for i in 0..5u64 {
+            store.push(trace(i, i, KeepReason::Sampled));
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 3);
+        let ids: Vec<u64> = snap.iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![4, 3, 2], "newest first, oldest evicted");
+        assert_eq!(store.pushed(), 5);
+    }
+
+    #[test]
+    fn slow_log_ranks_by_duration() {
+        let store = TraceStore::new(8);
+        store.push(trace(1, 10, KeepReason::Sampled));
+        store.push(trace(2, 30, KeepReason::Slow));
+        store.push(trace(3, 20, KeepReason::Shed));
+        let slow = store.slow_log(2);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].trace_id, 2);
+        assert_eq!(slow[1].trace_id, 3);
+        let rendered = store.render_slow_log(8);
+        assert!(rendered.contains("keep=slow"), "{rendered}");
+    }
+
+    #[test]
+    fn kept_filters_by_reason() {
+        let store = TraceStore::new(8);
+        store.push(trace(1, 1, KeepReason::Sampled));
+        store.push(trace(2, 1, KeepReason::Shed));
+        assert_eq!(store.kept(KeepReason::Shed).len(), 1);
+        assert_eq!(store.kept(KeepReason::Shed)[0].trace_id, 2);
+    }
+
+    #[test]
+    fn json_dump_is_an_array() {
+        let store = TraceStore::new(4);
+        store.push(trace(1, 5, KeepReason::Error));
+        let json = store.to_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"keep\":\"error\""), "{json}");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let store = TraceStore::new(0);
+        store.push(trace(1, 1, KeepReason::Sampled));
+        assert_eq!(store.snapshot().len(), 1);
+    }
+}

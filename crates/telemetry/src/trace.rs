@@ -1,0 +1,743 @@
+//! Request tracing: wire-propagated trace context and span trees.
+//!
+//! A [`TraceContext`] is the tiny value that crosses the wire: a
+//! 64-bit trace id, the caller's span id (so remote spans parent
+//! correctly), and a sampling flag. An [`ActiveTrace`] is the
+//! in-process recording surface — a cheap-to-clone `Arc` holding the
+//! span list — that exists *only* for sampled requests: the untraced
+//! path carries `Option<ActiveTrace>::None` and allocates nothing.
+//!
+//! Sampling is two-sided, decided by a [`Tracer`]:
+//!
+//! - **Head sampling** — at the edge (client mint or server adopt),
+//!   one request in [`TraceConfig::sample_one_in`] gets a full span
+//!   tree. Everything about it is recorded as it happens.
+//! - **Tail sampling** — requests that were *not* head-sampled but
+//!   end badly (shed, deadline drop, error, or latency over
+//!   [`TraceConfig::slow_threshold`]) get a minimal one-span trace
+//!   synthesised after the fact, so forensics never miss the
+//!   interesting tail. The rare-path allocation is the entire cost.
+//!
+//! Completed traces land in a bounded [`TraceStore`](crate::TraceStore)
+//! ring; [`Trace::render_text`] renders a flamegraph-style tree and
+//! [`Trace::to_json`] dumps machine-readable JSON (hand-rolled — this
+//! crate stays dependency-free).
+//!
+//! Span timestamps are monotonic (`Instant`-anchored) nanosecond
+//! offsets from the trace start, so a trace whose first span (the
+//! socket read) began *before* the context was decoded can still
+//! anchor at the read: create the trace with [`ActiveTrace::begin_at`].
+//!
+//! Span ids are sequential within one `ActiveTrace`. When a context is
+//! adopted from the wire, ids continue from `parent_span + 1`, so the
+//! server-side dump never reuses the caller's span id and renderers
+//! can treat "parent not present" as a segment root unambiguously.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::store::TraceStore;
+
+/// The wire-carried trace context: which trace a request belongs to,
+/// which caller span it should parent under, and whether the request
+/// is head-sampled (span recording on) or merely labelled (id known,
+/// recording off — still enough for tail sampling and fault logs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub parent_span: u64,
+    pub sampled: bool,
+}
+
+/// One completed span inside a trace. Times are nanosecond offsets
+/// from the trace start (monotonic, never wall clock).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub id: u64,
+    /// Parent span id; a span whose parent is not present in the same
+    /// dump is a segment root (e.g. the server root parents under a
+    /// client span that lives in the client's dump).
+    pub parent: u64,
+    pub name: Cow<'static, str>,
+    pub start_nanos: u64,
+    pub end_nanos: u64,
+}
+
+impl SpanRecord {
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+}
+
+/// Why a completed trace was kept in the store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeepReason {
+    /// Head-sampled at the edge: full span tree.
+    Sampled,
+    /// Root latency crossed [`TraceConfig::slow_threshold`].
+    Slow,
+    /// Refused at admission (`Overloaded`).
+    Shed,
+    /// Admitted but dropped at dequeue past its deadline.
+    DeadlineExceeded,
+    /// The request errored (panic, validation failure, transport).
+    Error,
+}
+
+impl KeepReason {
+    pub fn label(&self) -> &'static str {
+        match self {
+            KeepReason::Sampled => "sampled",
+            KeepReason::Slow => "slow",
+            KeepReason::Shed => "shed",
+            KeepReason::DeadlineExceeded => "deadline_exceeded",
+            KeepReason::Error => "error",
+        }
+    }
+
+    /// Stable byte for wire encoding.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            KeepReason::Sampled => 0,
+            KeepReason::Slow => 1,
+            KeepReason::Shed => 2,
+            KeepReason::DeadlineExceeded => 3,
+            KeepReason::Error => 4,
+        }
+    }
+
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => KeepReason::Sampled,
+            1 => KeepReason::Slow,
+            2 => KeepReason::Shed,
+            3 => KeepReason::DeadlineExceeded,
+            4 => KeepReason::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// A completed, immutable trace: the unit stored, dumped, and shipped
+/// over the wire by the `Traces` admin frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    pub trace_id: u64,
+    pub keep: KeepReason,
+    /// End offset of the latest span — the trace's total extent.
+    pub duration_nanos: u64,
+    /// Spans discarded past [`TraceConfig::max_spans`].
+    pub dropped_spans: u64,
+    /// All recorded spans, sorted by start offset.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Name of the first root span (no parent present), if any —
+    /// the "what was this request" headline for slow-query logs.
+    pub fn root_name(&self) -> &str {
+        let ids: std::collections::HashSet<u64> = self.spans.iter().map(|s| s.id).collect();
+        self.spans
+            .iter()
+            .find(|s| !ids.contains(&s.parent))
+            .map(|s| s.name.as_ref())
+            .unwrap_or("")
+    }
+
+    /// Flamegraph-style text rendering: one line per span, indented by
+    /// tree depth, with start/end offsets and a proportional bar.
+    ///
+    /// ```text
+    /// trace 0x00000000c0ffee42  keep=sampled  spans=3  0.480ms
+    ///   request                        0.000..0.480ms |==============|
+    ///     queue_wait                   0.010..0.060ms | ==           |
+    ///     execute.fold_in              0.070..0.470ms |   ========== |
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "trace {:#018x}  keep={}  spans={}  {:.3}ms",
+            self.trace_id,
+            self.keep.label(),
+            self.spans.len(),
+            self.duration_nanos as f64 / 1e6,
+        );
+        if self.dropped_spans > 0 {
+            out.push_str(&format!("  (+{} spans dropped)", self.dropped_spans));
+        }
+        out.push('\n');
+
+        let ids: std::collections::HashSet<u64> = self.spans.iter().map(|s| s.id).collect();
+        // Children grouped by parent, preserving start order (spans
+        // are already start-sorted).
+        let mut children: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        let mut roots = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if ids.contains(&s.parent) && s.parent != s.id {
+                children.entry(s.parent).or_default().push(i);
+            } else {
+                roots.push(i);
+            }
+        }
+        const BAR: usize = 24;
+        let total = self.duration_nanos.max(1) as f64;
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 1)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            let s = &self.spans[i];
+            let from = ((s.start_nanos as f64 / total) * BAR as f64).floor() as usize;
+            let to = ((s.end_nanos as f64 / total) * BAR as f64).ceil() as usize;
+            let (from, to) = (from.min(BAR), to.clamp(from.min(BAR) + 1, BAR).max(1));
+            let mut bar = String::with_capacity(BAR + 2);
+            bar.push('|');
+            for c in 0..BAR {
+                bar.push(if c >= from && c < to { '=' } else { ' ' });
+            }
+            bar.push('|');
+            let label = format!("{}{}", "  ".repeat(depth), s.name);
+            out.push_str(&format!(
+                "{label:<32} {:>9.3}..{:<9.3}ms {bar}\n",
+                s.start_nanos as f64 / 1e6,
+                s.end_nanos as f64 / 1e6,
+            ));
+            if let Some(kids) = children.get(&s.id) {
+                for &k in kids.iter().rev() {
+                    stack.push((k, depth + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON dump (hand-rolled; span names are escaped).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"trace_id\":\"{:#018x}\",\"keep\":\"{}\",\"duration_nanos\":{},\"dropped_spans\":{},\"spans\":[",
+            self.trace_id,
+            self.keep.label(),
+            self.duration_nanos,
+            self.dropped_spans,
+        );
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_nanos\":{},\"end_nanos\":{}}}",
+                s.id,
+                s.parent,
+                escape_json(&s.name),
+                s.start_nanos,
+                s.end_nanos,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct TraceInner {
+    trace_id: u64,
+    started: Instant,
+    next_span: AtomicU64,
+    max_spans: usize,
+    dropped: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A live, sampled trace being recorded. Cloning is an `Arc` bump;
+/// clones on other threads (the worker pool) append to the same span
+/// list. Exists only for sampled requests — unsampled requests never
+/// construct one, which is the "zero allocation on the untraced path"
+/// guarantee.
+#[derive(Clone)]
+pub struct ActiveTrace {
+    inner: Arc<TraceInner>,
+}
+
+impl std::fmt::Debug for ActiveTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveTrace")
+            .field("trace_id", &self.inner.trace_id)
+            .finish()
+    }
+}
+
+impl ActiveTrace {
+    /// Begin a trace anchored at `now()`.
+    pub fn begin(trace_id: u64, max_spans: usize) -> Self {
+        Self::begin_at(trace_id, Instant::now(), max_spans)
+    }
+
+    /// Begin a trace anchored at an earlier instant — the socket-read
+    /// span predates context decode, so the server anchors the trace
+    /// at the moment the first request byte arrived.
+    pub fn begin_at(trace_id: u64, started: Instant, max_spans: usize) -> Self {
+        ActiveTrace {
+            inner: Arc::new(TraceInner {
+                trace_id,
+                started,
+                next_span: AtomicU64::new(0),
+                max_spans,
+                dropped: AtomicU64::new(0),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Adopt a wire context on the receiving side: same trace id,
+    /// span ids continuing above the caller's `parent_span` so the
+    /// two dumps never collide.
+    pub fn adopt(ctx: &TraceContext, started: Instant, max_spans: usize) -> Self {
+        let t = Self::begin_at(ctx.trace_id, started, max_spans);
+        t.inner.next_span.store(ctx.parent_span, Ordering::Relaxed);
+        t
+    }
+
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace_id
+    }
+
+    /// Nanosecond offset of `at` from the trace anchor (clamped at 0).
+    pub fn offset_nanos(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.inner.started).as_nanos() as u64
+    }
+
+    /// The wire context for an outbound hop parented under `span`.
+    pub fn context(&self, parent_span: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.inner.trace_id,
+            parent_span,
+            sampled: true,
+        }
+    }
+
+    fn alloc_span_id(&self) -> u64 {
+        self.inner.next_span.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Start a span now; finish it by dropping the returned guard (or
+    /// explicitly via [`TraceSpanGuard::finish`]). The guard's id is
+    /// available immediately so children can parent under it while it
+    /// is still open.
+    pub fn start_span(&self, name: impl Into<Cow<'static, str>>, parent: u64) -> TraceSpanGuard {
+        TraceSpanGuard {
+            trace: self.clone(),
+            id: self.alloc_span_id(),
+            parent,
+            name: Some(name.into()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Record a span with explicit bounds (for phases timed before the
+    /// trace existed, or measured on another thread). Returns its id.
+    pub fn record_between(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        parent: u64,
+        start: Instant,
+        end: Instant,
+    ) -> u64 {
+        let id = self.alloc_span_id();
+        self.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            start_nanos: self.offset_nanos(start),
+            end_nanos: self.offset_nanos(end),
+        });
+        id
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut spans = self.inner.spans.lock().unwrap();
+        if spans.len() >= self.inner.max_spans {
+            drop(spans);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(record);
+    }
+
+    /// Snapshot into a completed [`Trace`]. Clones elsewhere may still
+    /// append afterwards; the snapshot holds what had finished.
+    pub fn complete(&self, keep: KeepReason) -> Trace {
+        let mut spans = self.inner.spans.lock().unwrap().clone();
+        spans.sort_by_key(|s| (s.start_nanos, s.id));
+        let duration_nanos = spans.iter().map(|s| s.end_nanos).max().unwrap_or(0);
+        Trace {
+            trace_id: self.inner.trace_id,
+            keep,
+            duration_nanos,
+            dropped_spans: self.inner.dropped.load(Ordering::Relaxed),
+            spans,
+        }
+    }
+}
+
+/// Guard for an open span: records exactly once, on drop or
+/// [`finish`](TraceSpanGuard::finish).
+pub struct TraceSpanGuard {
+    trace: ActiveTrace,
+    id: u64,
+    parent: u64,
+    name: Option<Cow<'static, str>>,
+    start: Instant,
+}
+
+impl TraceSpanGuard {
+    /// The span's id — parent value for child spans.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some(name) = self.name.take() {
+            let start_nanos = self.trace.offset_nanos(self.start);
+            let end_nanos = self.trace.offset_nanos(Instant::now());
+            self.trace.push(SpanRecord {
+                id: self.id,
+                parent: self.parent,
+                name,
+                start_nanos,
+                end_nanos,
+            });
+        }
+    }
+}
+
+impl Drop for TraceSpanGuard {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Sampling and retention knobs for a [`Tracer`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Head-sample one request in this many at the edge. `0` disables
+    /// head sampling entirely (tail triggers still fire).
+    pub sample_one_in: u64,
+    /// Unsampled requests at or over this root latency are
+    /// tail-sampled into the store with [`KeepReason::Slow`]; sampled
+    /// traces over it are stored as `Slow` rather than `Sampled`.
+    pub slow_threshold: Duration,
+    /// Completed-trace ring capacity.
+    pub store_capacity: usize,
+    /// Per-trace span cap; extra spans are counted, not stored.
+    pub max_spans: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_one_in: 0,
+            slow_threshold: Duration::from_millis(100),
+            store_capacity: 128,
+            max_spans: 256,
+        }
+    }
+}
+
+/// The per-process tracing policy: allocates trace ids, makes the
+/// head-sampling decision, applies tail-sampling triggers, and owns
+/// the completed-trace [`TraceStore`].
+pub struct Tracer {
+    config: TraceConfig,
+    ticket: AtomicU64,
+    id_state: AtomicU64,
+    store: TraceStore,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// SplitMix64 — the id mixer (distinct ids from a sequential state).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Tracer {
+    pub fn new(config: TraceConfig) -> Self {
+        // Seed the id stream from wall clock + this tracer's address
+        // entropy so two processes minting concurrently do not collide.
+        let seed = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let tracer = Tracer {
+            config,
+            ticket: AtomicU64::new(0),
+            id_state: AtomicU64::new(seed),
+            store: TraceStore::new(config.store_capacity),
+        };
+        let addr = &tracer as *const _ as u64;
+        tracer
+            .id_state
+            .fetch_xor(splitmix64(addr), Ordering::Relaxed);
+        tracer
+    }
+
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// A fresh, non-zero trace id.
+    pub fn next_trace_id(&self) -> u64 {
+        loop {
+            let id = splitmix64(self.id_state.fetch_add(1, Ordering::Relaxed));
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// The head-sampling decision: true for one call in
+    /// `sample_one_in` (false always when disabled).
+    pub fn head_sample(&self) -> bool {
+        let n = self.config.sample_one_in;
+        n > 0
+            && self
+                .ticket
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n)
+    }
+
+    /// Edge minting: head-sample, and when sampled begin a trace
+    /// anchored at `started`. `None` is the untraced path — no
+    /// allocation happened.
+    pub fn mint(&self, started: Instant) -> Option<ActiveTrace> {
+        self.head_sample()
+            .then(|| ActiveTrace::begin_at(self.next_trace_id(), started, self.config.max_spans))
+    }
+
+    /// Adopt a wire context: recording only if the caller sampled.
+    pub fn adopt(&self, ctx: &TraceContext, started: Instant) -> Option<ActiveTrace> {
+        ctx.sampled
+            .then(|| ActiveTrace::adopt(ctx, started, self.config.max_spans))
+    }
+
+    /// Complete a sampled trace and store it. `keep` upgrades from
+    /// `Sampled` to `Slow` when the root latency crosses the
+    /// threshold; an explicit non-`Sampled` reason is kept as given.
+    pub fn complete(&self, trace: &ActiveTrace, keep: KeepReason) -> Arc<Trace> {
+        let mut done = trace.complete(keep);
+        if done.keep == KeepReason::Sampled
+            && done.duration_nanos >= self.config.slow_threshold.as_nanos() as u64
+        {
+            done.keep = KeepReason::Slow;
+        }
+        let done = Arc::new(done);
+        self.store.push(Arc::clone(&done));
+        done
+    }
+
+    /// Tail-sample an *unsampled* request that ended badly: synthesise
+    /// a minimal one-span trace (the only allocation the untraced path
+    /// ever pays, and only on this rare path). `trace_id` is the
+    /// request's wire id when it carried one, else a fresh id.
+    pub fn tail_sample(
+        &self,
+        trace_id: Option<u64>,
+        name: impl Into<Cow<'static, str>>,
+        keep: KeepReason,
+        start: Instant,
+        end: Instant,
+    ) -> Arc<Trace> {
+        let duration_nanos = end.saturating_duration_since(start).as_nanos() as u64;
+        let trace = Arc::new(Trace {
+            trace_id: trace_id.unwrap_or_else(|| self.next_trace_id()),
+            keep,
+            duration_nanos,
+            dropped_spans: 0,
+            spans: vec![SpanRecord {
+                id: 1,
+                parent: 0,
+                name: name.into(),
+                start_nanos: 0,
+                end_nanos: duration_nanos,
+            }],
+        });
+        self.store.push(Arc::clone(&trace));
+        trace
+    }
+
+    /// Whether an unsampled request's latency alone warrants tail
+    /// sampling.
+    pub fn is_slow(&self, elapsed: Duration) -> bool {
+        elapsed >= self.config.slow_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_tree_records_and_sorts() {
+        let t = ActiveTrace::begin(42, 16);
+        let root = t.start_span("request", 0);
+        let root_id = root.id();
+        {
+            let child = t.start_span("queue_wait", root_id);
+            let grandchild = t.start_span("execute", child.id());
+            grandchild.finish();
+        }
+        root.finish();
+        let done = t.complete(KeepReason::Sampled);
+        assert_eq!(done.trace_id, 42);
+        assert_eq!(done.spans.len(), 3);
+        assert_eq!(done.root_name(), "request");
+        // Every span's end offset fits inside the trace duration.
+        assert!(done
+            .spans
+            .iter()
+            .all(|s| s.end_nanos <= done.duration_nanos));
+        let text = done.render_text();
+        assert!(text.contains("request"), "{text}");
+        assert!(text.contains("queue_wait"), "{text}");
+        let json = done.to_json();
+        assert!(json.contains("\"name\":\"execute\""), "{json}");
+        assert!(json.contains("\"keep\":\"sampled\""), "{json}");
+    }
+
+    #[test]
+    fn adopt_continues_span_ids_above_parent() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 3,
+            sampled: true,
+        };
+        let t = ActiveTrace::adopt(&ctx, Instant::now(), 16);
+        let s = t.start_span("server", ctx.parent_span);
+        assert_eq!(s.id(), 4);
+        s.finish();
+        let done = t.complete(KeepReason::Sampled);
+        // The server root's parent (3) is absent locally → it renders
+        // as a segment root, not a cycle.
+        assert_eq!(done.root_name(), "server");
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let t = ActiveTrace::begin(1, 2);
+        for _ in 0..5 {
+            t.start_span("s", 0).finish();
+        }
+        let done = t.complete(KeepReason::Sampled);
+        assert_eq!(done.spans.len(), 2);
+        assert_eq!(done.dropped_spans, 3);
+    }
+
+    #[test]
+    fn head_sampling_rate() {
+        let tracer = Tracer::new(TraceConfig {
+            sample_one_in: 4,
+            ..TraceConfig::default()
+        });
+        let sampled = (0..16).filter(|_| tracer.head_sample()).count();
+        assert_eq!(sampled, 4);
+        let off = Tracer::new(TraceConfig {
+            sample_one_in: 0,
+            ..TraceConfig::default()
+        });
+        assert!((0..16).all(|_| !off.head_sample()));
+        assert!(off.mint(Instant::now()).is_none());
+    }
+
+    #[test]
+    fn tracer_completes_and_tail_samples() {
+        let tracer = Tracer::new(TraceConfig {
+            sample_one_in: 1,
+            slow_threshold: Duration::from_secs(3600),
+            store_capacity: 8,
+            max_spans: 16,
+        });
+        let t = tracer.mint(Instant::now()).expect("1-in-1 sampling");
+        t.start_span("request", 0).finish();
+        tracer.complete(&t, KeepReason::Sampled);
+
+        let now = Instant::now();
+        tracer.tail_sample(Some(99), "shed.fold_in", KeepReason::Shed, now, now);
+        let stored = tracer.store().snapshot();
+        assert_eq!(stored.len(), 2);
+        // Newest first.
+        assert_eq!(stored[0].trace_id, 99);
+        assert_eq!(stored[0].keep, KeepReason::Shed);
+        assert_eq!(stored[0].spans.len(), 1);
+    }
+
+    #[test]
+    fn slow_upgrade_on_complete() {
+        let tracer = Tracer::new(TraceConfig {
+            sample_one_in: 1,
+            slow_threshold: Duration::from_nanos(1),
+            store_capacity: 8,
+            max_spans: 16,
+        });
+        let earlier = Instant::now() - Duration::from_millis(5);
+        let t = ActiveTrace::begin_at(tracer.next_trace_id(), earlier, 16);
+        t.record_between("request", 0, earlier, Instant::now());
+        let done = tracer.complete(&t, KeepReason::Sampled);
+        assert_eq!(done.keep, KeepReason::Slow);
+    }
+
+    #[test]
+    fn trace_ids_are_distinct_and_nonzero() {
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = tracer.next_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn keep_reason_round_trips() {
+        for k in [
+            KeepReason::Sampled,
+            KeepReason::Slow,
+            KeepReason::Shed,
+            KeepReason::DeadlineExceeded,
+            KeepReason::Error,
+        ] {
+            assert_eq!(KeepReason::from_u8(k.as_u8()), Some(k));
+        }
+        assert_eq!(KeepReason::from_u8(200), None);
+    }
+}

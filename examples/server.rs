@@ -53,11 +53,28 @@ fn main() {
         },
     )
     .expect("valid serve options");
+    // Keep a handle on the server-side trace store before the runtime
+    // moves into the transport — the slow-query log prints from it at
+    // the end.
+    let tracer = Arc::clone(runtime.tracer());
     let server = Server::start("127.0.0.1:0", runtime, ServerOptions::default()).expect("bind");
     println!("online: cpd-server listening on {}", server.local_addr());
 
     // ---- Client process: pipelined queries over TCP -----------------
-    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // This client head-samples every query: it records its own span
+    // tree (request/send/await) locally and sends the trace context on
+    // the wire, so the server's spans join the same trace ids.
+    let mut client = Client::connect_with(
+        server.local_addr(),
+        ClientOptions {
+            trace: TraceConfig {
+                sample_one_in: 1,
+                ..TraceConfig::default()
+            },
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect");
     let responses = client
         .query_batch(vec![
             QueryRequest::RankCommunities {
@@ -146,6 +163,36 @@ fn main() {
     {
         println!("  {line}");
     }
+
+    // `Traces` is what an engineer polls when a request was slow: the
+    // server's kept traces (head-sampled plus tail-kept sheds, drops,
+    // errors, and slow queries), fetched over the wire. Print the
+    // fold-in cache miss — its span tree reaches down to the
+    // individual Gibbs sweeps — next to the client's half of the same
+    // trace, stitched by one trace id.
+    let traces = client.traces().expect("traces fetch");
+    if let Some(server_half) = traces
+        .iter()
+        .find(|t| t.spans.iter().any(|s| s.name == "fold_cache_miss"))
+    {
+        println!("server half of the cold fold-in (flamegraph view):");
+        print!("{}", server_half.render_text());
+        if let Some(client_half) = client
+            .tracer()
+            .store()
+            .snapshot()
+            .iter()
+            .find(|t| t.trace_id == server_half.trace_id)
+        {
+            println!(
+                "client half of the same trace {:#018x}:",
+                client_half.trace_id
+            );
+            print!("{}", client_half.render_text());
+        }
+    }
+    println!("server slow-query log (worst first):");
+    print!("{}", tracer.store().render_slow_log(3));
 
     // ---- Graceful shutdown: drain, join, final report ---------------
     client.shutdown_server().expect("shutdown handshake");

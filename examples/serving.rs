@@ -41,6 +41,15 @@ fn main() {
         Some(features),
         ServeOptions {
             workers: 4,
+            // Tracing for the demo: an aggressively low slow-query
+            // threshold so the tail-sampler keeps real entries, and a
+            // small store. Production keeps the default threshold and
+            // head-samples 1-in-N at the edge.
+            trace: TraceConfig {
+                sample_one_in: 1,
+                slow_threshold: std::time::Duration::from_micros(200),
+                ..TraceConfig::default()
+            },
             ..ServeOptions::default()
         },
     )
@@ -151,6 +160,35 @@ fn main() {
     }) {
         println!("  {line}");
     }
+
+    // ---- Tracing: span-tree forensics for one request ---------------
+    // Embedders mint traces straight from the runtime's tracer (over
+    // TCP the *client* mints and the context rides the wire — see the
+    // `server` example). The span tree below walks queue wait, the
+    // per-class execute span, and — because this fold-in misses the
+    // cache — the individual Gibbs sweeps.
+    let tracer = Arc::clone(runtime.tracer());
+    let trace = tracer
+        .mint(std::time::Instant::now())
+        .expect("sampling 1-in-1");
+    let root = trace.start_span("example_request", 0);
+    let traced = runtime.submit_batch_items(vec![BatchItem {
+        trace: Some((trace.clone(), root.id())),
+        ..BatchItem::new(QueryRequest::FoldIn {
+            item: FoldInItem::doc(graph.docs()[2].words.clone()),
+            seed: 99,
+        })
+    }]);
+    assert!(matches!(traced[0], QueryResponse::FoldedIn(_)));
+    root.finish();
+    let done = tracer.complete(&trace, KeepReason::Sampled);
+    println!("sampled trace (flamegraph view):");
+    print!("{}", done.render_text());
+
+    // The slow-query log, derived from the same store: every kept
+    // trace ranked by duration, one headline per line.
+    println!("slow-query log (worst first):");
+    print!("{}", tracer.store().render_slow_log(3));
 
     // Shutdown returns the final counters instead of discarding them.
     let report = runtime.shutdown();

@@ -51,9 +51,9 @@ pub mod prelude {
     };
     pub use cpd_datagen::{generate, GenConfig, Scale};
     pub use cpd_serve::{
-        FaultHook, FoldIn, FoldInConfig, FoldInItem, HealthState, HealthStatus, IndexHandle,
-        ProfileIndex, QueryRequest, QueryResponse, Registry, ServeDiagnostics, ServeOptions,
-        ServeRuntime,
+        BatchItem, FaultHook, FoldIn, FoldInConfig, FoldInItem, HealthState, HealthStatus,
+        IndexHandle, KeepReason, ProfileIndex, QueryRequest, QueryResponse, Registry,
+        ServeDiagnostics, ServeOptions, ServeRuntime, Trace, TraceConfig, TraceContext, Tracer,
     };
     pub use cpd_server::{Client, ClientOptions, RetryPolicy, Server, ServerOptions};
     pub use social_graph::{DocId, Document, SocialGraph, SocialGraphBuilder, UserId, WordId};
